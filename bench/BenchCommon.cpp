@@ -1,0 +1,54 @@
+//===- BenchCommon.cpp - Shared experiment drivers ---------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdlib>
+
+using namespace coverme;
+using namespace coverme::bench;
+
+RowResult coverme::bench::runRow(const Program &P, const Protocol &Proto) {
+  RowResult Row;
+  Row.Prog = &P;
+
+  CoverMeOptions CmOpts;
+  CmOpts.NStart = Proto.NStart;
+  CmOpts.NIter = Proto.NIter;
+  CmOpts.Seed = Proto.Seed;
+  CoverMe Engine(P, CmOpts);
+  Row.CoverMe = Engine.run();
+
+  uint64_t Budget = static_cast<uint64_t>(
+      Proto.BudgetMultiplier * static_cast<double>(Row.CoverMe.Evaluations));
+  // Floor so trivial programs still exercise the baselines meaningfully.
+  if (Budget < 10000)
+    Budget = 10000;
+
+  if (Proto.RunRand) {
+    RandomTesterOptions RandOpts;
+    RandOpts.Seed = Proto.Seed;
+    Row.Rand = RandomTester(P, RandOpts).run(Budget);
+  }
+  if (Proto.RunAfl) {
+    AflOptions AflOpts;
+    AflOpts.Seed = Proto.Seed;
+    Row.Afl = AflFuzzer(P, AflOpts).run(Budget);
+  }
+  if (Proto.RunAustin) {
+    AustinOptions AOpts;
+    AOpts.Seed = Proto.Seed;
+    AOpts.PerTargetExecutions =
+        P.NumSites ? Budget / (2 * P.NumSites) : Budget;
+    Row.Austin = AustinTester(P, AOpts).run(Budget);
+  }
+  return Row;
+}
+
+Protocol coverme::bench::protocolFromArgs(int Argc, char **Argv) {
+  Protocol Proto;
+  if (Argc > 1)
+    Proto.NStart = static_cast<unsigned>(std::atoi(Argv[1]));
+  if (Argc > 2)
+    Proto.Seed = static_cast<uint64_t>(std::atoll(Argv[2]));
+  return Proto;
+}

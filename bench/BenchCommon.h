@@ -1,0 +1,61 @@
+//===- BenchCommon.h - Shared experiment drivers ---------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment protocol shared by the table/figure benches:
+///
+/// * CoverMe runs first with the paper's parameters (n_start=500, n_iter=5,
+///   LM=powell) and early exit on full saturation.
+/// * Rand and AFL then receive 10x CoverMe's *program executions* — the
+///   paper gives them 10x CoverMe's wall time; executions are the
+///   equivalent budget on this shared in-process substrate, and remove
+///   timer noise from the comparison.
+/// * Austin receives the same 10x budget split per target branch; like the
+///   real tool it stops when every target is covered or exhausted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_BENCH_BENCHCOMMON_H
+#define COVERME_BENCH_BENCHCOMMON_H
+
+#include "core/CoverMe.h"
+#include "fuzz/AflFuzzer.h"
+#include "fuzz/AustinTester.h"
+#include "fuzz/RandomTester.h"
+
+namespace coverme {
+namespace bench {
+
+/// Everything a paper-table row needs about one benchmark function.
+struct RowResult {
+  const Program *Prog = nullptr;
+  CampaignResult CoverMe;  ///< The tool under evaluation.
+  TesterResult Rand;       ///< 10x budget.
+  TesterResult Afl;        ///< 10x budget.
+  TesterResult Austin;     ///< 10x budget, per-target split.
+};
+
+/// Shared experiment parameters (override from argv for quick runs).
+struct Protocol {
+  unsigned NStart = 500;
+  unsigned NIter = 5;
+  uint64_t Seed = 1;
+  double BudgetMultiplier = 10.0; ///< Baselines' budget vs CoverMe's evals.
+  bool RunRand = true;
+  bool RunAfl = true;
+  bool RunAustin = true;
+};
+
+/// Runs the full protocol on one program.
+RowResult runRow(const Program &P, const Protocol &Proto);
+
+/// Parses `[n_start] [seed]` style overrides shared by the bench mains.
+Protocol protocolFromArgs(int Argc, char **Argv);
+
+} // namespace bench
+} // namespace coverme
+
+#endif // COVERME_BENCH_BENCHCOMMON_H

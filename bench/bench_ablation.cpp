@@ -1,0 +1,131 @@
+//===- bench_ablation.cpp - Design-choice ablations --------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Ablations for the design choices DESIGN.md calls out (experiments E7-E9):
+//
+//   A1. n_start sweep      — how many MCMC restarts the guarantee needs in
+//                            practice (Sect. 6.1 fixes 500).
+//   A2. local minimizer    — LM = powell / nelder-mead / coordinate-descent
+//                            / none (pure MCMC), the Remark 6.3 claim that
+//                            the smooth representing function lets local
+//                            optimization do real work.
+//   A3. n_iter sweep       — Monte-Carlo hops per start.
+//   A4. infeasible marking — heuristic on/off (Sect. 5.3).
+//
+// Each ablation reports mean branch coverage and evaluations over the
+// whole Fdlibm suite.
+//
+// Usage: bench_ablation [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoverMe.h"
+#include "fdlibm/Fdlibm.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace coverme;
+
+namespace {
+
+struct SuiteStats {
+  double MeanCoverage = 0.0;
+  double MeanSeconds = 0.0;
+  uint64_t TotalEvals = 0;
+  unsigned FullCoverageCount = 0;
+};
+
+SuiteStats runSuite(const CoverMeOptions &Opts) {
+  SuiteStats Stats;
+  const ProgramRegistry &Reg = fdlibm::registry();
+  for (const Program &P : Reg.programs()) {
+    CoverMe Engine(P, Opts);
+    CampaignResult Res = Engine.run();
+    Stats.MeanCoverage += Res.BranchCoverage;
+    Stats.MeanSeconds += Res.Seconds;
+    Stats.TotalEvals += Res.Evaluations;
+    Stats.FullCoverageCount += Res.BranchCoverage == 1.0;
+  }
+  double N = static_cast<double>(Reg.size());
+  Stats.MeanCoverage = 100.0 * Stats.MeanCoverage / N;
+  Stats.MeanSeconds /= N;
+  return Stats;
+}
+
+void addRow(Table &T, const std::string &Config, const SuiteStats &S) {
+  T.addRow({Config, Table::cell(S.MeanCoverage),
+            Table::cell(static_cast<size_t>(S.FullCoverageCount)),
+            Table::cell(static_cast<size_t>(S.TotalEvals)),
+            Table::cell(S.MeanSeconds, 3)});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = Argc > 1 ? static_cast<uint64_t>(std::atoll(Argv[1])) : 1;
+  CoverMeOptions Base;
+  Base.Seed = Seed;
+
+  std::printf("Ablation A1: n_start sweep (n_iter=5, LM=powell)\n\n");
+  Table T1({"n_start", "mean coverage%", "#full", "total evals", "mean s"});
+  for (unsigned NStart : {10u, 50u, 100u, 500u}) {
+    CoverMeOptions Opts = Base;
+    Opts.NStart = NStart;
+    addRow(T1, std::to_string(NStart), runSuite(Opts));
+  }
+  std::fputs(T1.toAscii().c_str(), stdout);
+
+  std::printf("\nAblation A2: local minimizer choice (n_start=200)\n\n");
+  Table T2({"LM", "mean coverage%", "#full", "total evals", "mean s"});
+  for (LocalMinimizerKind Kind :
+       {LocalMinimizerKind::Powell, LocalMinimizerKind::NelderMead,
+        LocalMinimizerKind::CoordinateDescent, LocalMinimizerKind::None}) {
+    CoverMeOptions Opts = Base;
+    Opts.NStart = 200;
+    Opts.LM = Kind;
+    addRow(T2, localMinimizerKindName(Kind), runSuite(Opts));
+  }
+  std::fputs(T2.toAscii().c_str(), stdout);
+
+  std::printf("\nAblation A3: n_iter sweep (n_start=200, LM=powell)\n\n");
+  Table T3({"n_iter", "mean coverage%", "#full", "total evals", "mean s"});
+  for (unsigned NIter : {1u, 5u, 20u}) {
+    CoverMeOptions Opts = Base;
+    Opts.NStart = 200;
+    Opts.NIter = NIter;
+    addRow(T3, std::to_string(NIter), runSuite(Opts));
+  }
+  std::fputs(T3.toAscii().c_str(), stdout);
+
+  std::printf("\nAblation A4: infeasible-branch heuristic (n_start=200)\n\n");
+  Table T4({"config", "mean coverage%", "#full", "total evals", "mean s"});
+  for (bool Mark : {true, false}) {
+    CoverMeOptions Opts = Base;
+    Opts.NStart = 200;
+    Opts.MarkInfeasible = Mark;
+    addRow(T4, Mark ? "heuristic on" : "heuristic off", runSuite(Opts));
+  }
+  std::fputs(T4.toAscii().c_str(), stdout);
+
+  std::printf("\nAblation A5: global backend (n_start=200, LM=powell)\n\n");
+  Table T5({"backend", "mean coverage%", "#full", "total evals", "mean s"});
+  for (GlobalBackendKind Kind :
+       {GlobalBackendKind::Basinhopping, GlobalBackendKind::SimulatedAnnealing,
+        GlobalBackendKind::RandomRestart, GlobalBackendKind::CmaEs,
+        GlobalBackendKind::DifferentialEvolution}) {
+    CoverMeOptions Opts = Base;
+    Opts.NStart = 200;
+    Opts.Backend = Kind;
+    addRow(T5, globalBackendKindName(Kind), runSuite(Opts));
+  }
+  std::fputs(T5.toAscii().c_str(), stdout);
+
+  std::printf("\nexpected shape: coverage grows with n_start and saturates;"
+              " powell >= other LMs; disabling the heuristic costs time but"
+              " not coverage; basinhopping >= annealing and plain restarts"
+              " (equality-gated arms need local minimization)\n");
+  return 0;
+}

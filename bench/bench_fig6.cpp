@@ -1,0 +1,108 @@
+//===- bench_fig6.cpp - Fig. 6: symbolic execution versus CoverMe -----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Makes the paper's Fig. 6 contrast measurable. Symbolic execution
+// "selects a target path tau, derives a path condition Phi_tau, and
+// calculates a model with a solver" — once per path — where CoverMe
+// "minimizes a single representing function FOO_R". This bench runs a
+// generational-search DSE baseline (concrete path conditions solved with a
+// FloPSy-style search solver; a generous stand-in for an FP-capable SMT
+// backend, which Klee lacks entirely on this code — Sect. 6.1) against the
+// CoverMe campaign on every Fdlibm benchmark and reports:
+//
+//   * branch coverage of both,
+//   * the number of path-condition solves DSE attempted vs the number of
+//     minimization rounds CoverMe launched,
+//   * paths explored (the path-explosion axis),
+//   * executions consumed per covered branch.
+//
+// Usage: bench_fig6 [n_start] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "dse/DseExplorer.h"
+#include "fdlibm/Fdlibm.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace coverme;
+using namespace coverme::bench;
+
+int main(int Argc, char **Argv) {
+  Protocol Proto = protocolFromArgs(Argc, Argv);
+
+  std::printf(
+      "Figure 6: per-path solving (DSE) versus one representing function "
+      "(CoverMe)\n"
+      "protocol: CoverMe n_start=%u, n_iter=%u, seed=%llu; DSE runs "
+      "generational search with a search-based FP constraint solver and "
+      "the same execution budget cap\n\n",
+      Proto.NStart, Proto.NIter,
+      static_cast<unsigned long long>(Proto.Seed));
+
+  Table T({"function", "#br", "DSE cov", "CM cov", "DSE solves", "CM rounds",
+           "DSE paths", "DSE evals/br", "CM evals/br"});
+
+  double SumDse = 0, SumCm = 0;
+  uint64_t TotalSolves = 0, TotalRounds = 0;
+  double SumDseEff = 0, SumCmEff = 0;
+  size_t N = fdlibm::registry().programs().size();
+
+  for (size_t I = 0; I < N; ++I) {
+    const Program &P = fdlibm::registry().programs()[I];
+    std::fprintf(stderr, "[%2zu/%zu] %s\n", I + 1, N, P.Name.c_str());
+
+    CoverMeOptions COpts;
+    COpts.NStart = Proto.NStart;
+    COpts.NIter = Proto.NIter;
+    COpts.Seed = Proto.Seed;
+    CampaignResult Cm = CoverMe(P, COpts).run();
+
+    DseOptions DOpts;
+    DOpts.Seed = Proto.Seed;
+    DOpts.MaxExecutions = std::max<uint64_t>(Cm.Evaluations, 20000);
+    DseResult Dse = DseExplorer(P, DOpts).run();
+
+    double DseCov = 100.0 * Dse.BranchCoverage;
+    double CmCov = 100.0 * Cm.BranchCoverage;
+    SumDse += DseCov;
+    SumCm += CmCov;
+    TotalSolves += Dse.Solves;
+    TotalRounds += Cm.StartsUsed;
+    double DseEff =
+        Dse.Coverage.coveredArms()
+            ? static_cast<double>(Dse.Executions) / Dse.Coverage.coveredArms()
+            : 0.0;
+    double CmEff = Cm.CoveredBranches
+                       ? static_cast<double>(Cm.Evaluations) /
+                             Cm.CoveredBranches
+                       : 0.0;
+    SumDseEff += DseEff;
+    SumCmEff += CmEff;
+
+    T.addRow({P.Name, std::to_string(P.numBranches()), Table::cell(DseCov),
+              Table::cell(CmCov), Table::cell(Dse.Solves),
+              Table::cell(static_cast<size_t>(Cm.StartsUsed)),
+              Table::cell(Dse.PathsExplored), Table::cell(DseEff, 0),
+              Table::cell(CmEff, 0)});
+  }
+
+  T.addRow({"MEAN", "", Table::cell(SumDse / N), Table::cell(SumCm / N),
+            Table::cell(TotalSolves / N), Table::cell(TotalRounds / N),
+            "", Table::cell(SumDseEff / N, 0), Table::cell(SumCmEff / N, 0)});
+  std::fputs(T.toAscii().c_str(), stdout);
+
+  std::printf(
+      "\nexpected shape: CoverMe reaches at least DSE's coverage almost "
+      "everywhere and a higher mean. The failure modes differ tellingly: "
+      "when DSE's per-path solver cannot crack a target, its frontier "
+      "empties and exploration simply stops (low solve counts, coverage "
+      "plateau) — the path-by-path formulation has nowhere else to go — "
+      "while CoverMe's single representing function lets it keep "
+      "searching globally (more evaluations, higher final coverage). "
+      "That is Fig. 6's argument in numbers.\n");
+  return 0;
+}

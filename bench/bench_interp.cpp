@@ -1,0 +1,136 @@
+//===- bench_interp.cpp - Source-pipeline benchmarks (google-benchmark) -----===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Quantifies what the from-source pipeline costs relative to the natively
+// compiled ports: frontend throughput (parse + sema per compile), one
+// interpreted FOO_R evaluation vs one native evaluation on the same
+// function (s_tanh.c, the paper's Fig. 1), and a whole interpreted
+// campaign. The paper's implementation pays a similar toll in its Python
+// optimizer loop and .so round-trips; the interpreter trades constant
+// factors for zero build steps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoverMe.h"
+#include "fdlibm/Fdlibm.h"
+#include "lang/SourceProgram.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace coverme;
+
+namespace {
+
+/// s_tanh.c (Fig. 1) in the supported subset; matches the native port's
+/// 6-site structure.
+const char *TanhSource =
+    "static const double one = 1.0, two = 2.0, tiny = 1.0e-300;\n"
+    "double tanh(double x) {\n"
+    "  double t, z;\n"
+    "  int jx, ix;\n"
+    "  jx = *(1 + (int *)&x);\n"
+    "  ix = jx & 0x7fffffff;\n"
+    "  if (ix >= 0x7ff00000) {\n"
+    "    if (jx >= 0) return one / x + one;\n"
+    "    else return one / x - one;\n"
+    "  }\n"
+    "  if (ix < 0x40360000) {\n"
+    "    if (ix < 0x3c800000)\n"
+    "      return x * (one + x);\n"
+    "    if (ix >= 0x3ff00000) {\n"
+    "      t = expm1(two * fabs(x));\n"
+    "      z = one - two / (t + two);\n"
+    "    } else {\n"
+    "      t = expm1(-two * fabs(x));\n"
+    "      z = -t / (t + two);\n"
+    "    }\n"
+    "  } else {\n"
+    "    z = one - tiny;\n"
+    "  }\n"
+    "  if (jx >= 0) return z;\n"
+    "  else return -z;\n"
+    "}\n";
+
+const lang::SourceProgram &tanhFromSource() {
+  static lang::SourceProgram SP =
+      lang::compileSourceProgram(TanhSource, "tanh");
+  return SP;
+}
+
+} // namespace
+
+/// Frontend cost: parse + analyze + wrap, per call.
+static void BM_CompileSourceProgram(benchmark::State &State) {
+  for (auto _ : State) {
+    lang::SourceProgram SP = lang::compileSourceProgram(TanhSource, "tanh");
+    benchmark::DoNotOptimize(SP.Prog.NumSites);
+  }
+}
+BENCHMARK(BM_CompileSourceProgram);
+
+/// One interpreted execution, no instrumentation context installed.
+static void BM_InterpretedExecution(benchmark::State &State) {
+  const lang::SourceProgram &SP = tanhFromSource();
+  std::vector<double> X = {0.75};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(SP.Prog.Body(X.data()));
+    X[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_InterpretedExecution);
+
+/// One native-port execution for the same function — the speed ratio with
+/// the benchmark above is the interpreter's constant factor.
+static void BM_NativeExecution(benchmark::State &State) {
+  const Program *P = fdlibm::lookup("tanh");
+  std::vector<double> X = {0.75};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P->Body(X.data()));
+    X[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_NativeExecution);
+
+/// One interpreted FOO_R evaluation (hooks firing, pen updating r).
+static void BM_InterpretedRepresentingFunction(benchmark::State &State) {
+  const lang::SourceProgram &SP = tanhFromSource();
+  ExecutionContext Ctx(SP.Prog.NumSites);
+  RepresentingFunction FR(SP.Prog, Ctx);
+  std::vector<double> X = {0.75};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(FR(X));
+    X[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_InterpretedRepresentingFunction);
+
+/// An entire campaign over the interpreted tanh (Algorithm 1 end to end).
+static void BM_InterpretedCampaign(benchmark::State &State) {
+  const lang::SourceProgram &SP = tanhFromSource();
+  for (auto _ : State) {
+    CoverMeOptions Opts;
+    Opts.NStart = 100;
+    Opts.Seed = 1;
+    CampaignResult Res = CoverMe(SP.Prog, Opts).run();
+    benchmark::DoNotOptimize(Res.CoveredBranches);
+  }
+}
+BENCHMARK(BM_InterpretedCampaign)->Unit(benchmark::kMillisecond);
+
+/// The same campaign over the native port, for the end-to-end ratio.
+static void BM_NativeCampaign(benchmark::State &State) {
+  const Program *P = fdlibm::lookup("tanh");
+  for (auto _ : State) {
+    CoverMeOptions Opts;
+    Opts.NStart = 100;
+    Opts.Seed = 1;
+    CampaignResult Res = CoverMe(*P, Opts).run();
+    benchmark::DoNotOptimize(Res.CoveredBranches);
+  }
+}
+BENCHMARK(BM_NativeCampaign)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+//===- bench_micro.cpp - Microbenchmarks (google-benchmark) ------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Engineering microbenchmarks for the hot paths: branch distance, pen,
+// representing-function evaluation (instrumented vs. raw execution),
+// local minimizers, and the RNG. These bound the per-evaluation cost the
+// campaign times in Tables 2/3 are built from.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoverMe.h"
+#include "fdlibm/Fdlibm.h"
+#include "optim/NelderMead.h"
+#include "optim/Powell.h"
+#include "runtime/RepresentingFunction.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace coverme;
+
+static void BM_BranchDistance(benchmark::State &State) {
+  double A = 1.25, B = 7.5;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(branchDistance(CmpOp::LE, A, B));
+    benchmark::DoNotOptimize(branchDistance(CmpOp::EQ, B, A));
+    A += 0.5;
+  }
+}
+BENCHMARK(BM_BranchDistance);
+
+static void BM_PenLookup(benchmark::State &State) {
+  ExecutionContext Ctx(8);
+  Ctx.saturate({3, true});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ctx.pen(3, CmpOp::LT, 1.0, 2.0));
+}
+BENCHMARK(BM_PenLookup);
+
+static void BM_RepresentingFunction(benchmark::State &State) {
+  const Program *P = fdlibm::lookup("tanh");
+  ExecutionContext Ctx(P->NumSites);
+  RepresentingFunction FR(*P, Ctx);
+  std::vector<double> X = {0.75};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(FR(X));
+    X[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_RepresentingFunction);
+
+static void BM_RawExecution(benchmark::State &State) {
+  const Program *P = fdlibm::lookup("tanh");
+  std::vector<double> X = {0.75};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P->Body(X.data()));
+    X[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_RawExecution);
+
+static void BM_RepresentingFunctionPow(benchmark::State &State) {
+  const Program *P = fdlibm::lookup("ieee754_pow");
+  ExecutionContext Ctx(P->NumSites);
+  RepresentingFunction FR(*P, Ctx);
+  std::vector<double> X = {1.5, 2.5};
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(FR(X));
+    X[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_RepresentingFunctionPow);
+
+static void BM_PowellQuadratic(benchmark::State &State) {
+  Objective F = [](const std::vector<double> &X) {
+    double A = X[0] - 3.0, B = X[1] - 5.0;
+    return A * A + B * B;
+  };
+  PowellMinimizer Powell;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Powell.minimize(F, {10.0, -7.0}));
+}
+BENCHMARK(BM_PowellQuadratic);
+
+static void BM_NelderMeadQuadratic(benchmark::State &State) {
+  Objective F = [](const std::vector<double> &X) {
+    double A = X[0] - 3.0, B = X[1] - 5.0;
+    return A * A + B * B;
+  };
+  NelderMeadMinimizer NM;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(NM.minimize(F, {10.0, -7.0}));
+}
+BENCHMARK(BM_NelderMeadQuadratic);
+
+static void BM_RngWideDouble(benchmark::State &State) {
+  Rng Rng(11);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Rng.wideDouble());
+}
+BENCHMARK(BM_RngWideDouble);
+
+static void BM_CoverMeTanhCampaign(benchmark::State &State) {
+  const Program *P = fdlibm::lookup("tanh");
+  for (auto _ : State) {
+    CoverMeOptions Opts;
+    Opts.NStart = 100;
+    Opts.Seed = 5;
+    CoverMe Engine(*P, Opts);
+    benchmark::DoNotOptimize(Engine.run());
+  }
+}
+BENCHMARK(BM_CoverMeTanhCampaign)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+//===- bench_source_suite.cpp - Table 2 protocol over the source pipeline ---===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// The Table-2 protocol (CoverMe vs Rand vs AFL, baselines on 10x CoverMe's
+// executions) run over the ten embedded Fdlibm 5.3 sources, with every
+// program executing through the mini-C interpreter instead of a compiled
+// port — the paper's own deployment model (Fig. 4: the tool consumes
+// source, not hand-instrumented binaries). For the five word-exact
+// overlaps the native-port campaign coverage is printed alongside: the
+// pipeline swap should not change who wins.
+//
+// Usage: bench_source_suite [n_start] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "fdlibm/Fdlibm.h"
+#include "lang/SourceSuite.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace coverme;
+using namespace coverme::bench;
+using namespace coverme::lang;
+
+int main(int Argc, char **Argv) {
+  Protocol Proto = protocolFromArgs(Argc, Argv);
+  Proto.RunAustin = false;
+
+  std::printf(
+      "Source-pipeline suite: CoverMe versus Rand and AFL over interpreted "
+      "Fdlibm 5.3 sources\n"
+      "protocol: n_start=%u, n_iter=%u, LM=powell, seed=%llu; "
+      "Rand/AFL budget = 10x CoverMe evaluations\n\n",
+      Proto.NStart, Proto.NIter,
+      static_cast<unsigned long long>(Proto.Seed));
+
+  Table T({"file", "entry", "#br", "time(s)", "Rand", "AFL", "CoverMe",
+           "native CM", "CM-Rand", "CM-AFL"});
+  double SumRand = 0, SumAfl = 0, SumCm = 0;
+  size_t N = sourceSuite().size();
+
+  for (size_t I = 0; I < N; ++I) {
+    const SourceBenchmark &B = sourceSuite()[I];
+    std::fprintf(stderr, "[%2zu/%zu] %s\n", I + 1, N, B.Name.c_str());
+    SourceProgram SP = compileSourceBenchmark(B);
+    if (!SP.success()) {
+      std::fprintf(stderr, "  frontend failed:\n%s\n",
+                   SP.diagnosticsText().c_str());
+      continue;
+    }
+    RowResult Row = runRow(SP.Prog, Proto);
+    double Cm = 100.0 * Row.CoverMe.BranchCoverage;
+    double Rd = 100.0 * Row.Rand.BranchCoverage;
+    double Af = 100.0 * Row.Afl.BranchCoverage;
+    SumRand += Rd;
+    SumAfl += Af;
+    SumCm += Cm;
+
+    // Where a word-exact native port exists, run the identical campaign
+    // over it so the pipeline effect is visible in one row.
+    std::string NativeText = "-";
+    if (const Program *Port = fdlibm::registry().lookup(B.NativePort)) {
+      if (Port->NumSites == SP.Prog.NumSites) {
+        CoverMeOptions Opts;
+        Opts.NStart = Proto.NStart;
+        Opts.NIter = Proto.NIter;
+        Opts.Seed = Proto.Seed;
+        CampaignResult Native = CoverMe(*Port, Opts).run();
+        NativeText = Table::cell(100.0 * Native.BranchCoverage);
+      }
+    }
+
+    T.addRow({B.File, B.Name, std::to_string(SP.Prog.numBranches()),
+              Table::cell(Row.CoverMe.Seconds, 2), Table::cell(Rd),
+              Table::cell(Af), Table::cell(Cm), NativeText,
+              Table::cell(Cm - Rd), Table::cell(Cm - Af)});
+  }
+
+  T.addRow({"MEAN", "", "", "", Table::cell(SumRand / N),
+            Table::cell(SumAfl / N), Table::cell(SumCm / N), "",
+            Table::cell((SumCm - SumRand) / N),
+            Table::cell((SumCm - SumAfl) / N)});
+  std::fputs(T.toAscii().c_str(), stdout);
+
+  std::printf("\nexpected shape: same orderings as the compiled Table 2 — "
+              "CoverMe >= Rand everywhere, CoverMe above AFL on the mean; "
+              "where the interpreted source and the native port share a "
+              "site structure the campaigns agree\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- bench_table2.cpp - Table 2: CoverMe vs Rand vs AFL -------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Regenerates Table 2: branch coverage of CoverMe, Rand, and AFL over the
+// 40 Fdlibm benchmarks, plus the improvement columns and the MEAN row.
+// Paper-reported percentages are printed alongside for comparison. The
+// paper's expected shape: CoverMe dominates Rand everywhere (mean 90.8% vs
+// 38.0%) and beats AFL on most functions (mean 72.9%).
+//
+// Usage: bench_table2 [n_start] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "fdlibm/Fdlibm.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace coverme;
+using namespace coverme::bench;
+
+int main(int Argc, char **Argv) {
+  Protocol Proto = protocolFromArgs(Argc, Argv);
+  Proto.RunAustin = false; // Austin is Table 3's comparison.
+
+  const ProgramRegistry &Reg = fdlibm::registry();
+  const std::vector<fdlibm::PaperRow> &Paper = fdlibm::paperRows();
+
+  std::printf("Table 2: CoverMe versus Rand and AFL (branch coverage, %%)\n"
+              "protocol: n_start=%u, n_iter=%u, LM=powell, seed=%llu; "
+              "Rand/AFL budget = 10x CoverMe evaluations\n\n",
+              Proto.NStart, Proto.NIter,
+              static_cast<unsigned long long>(Proto.Seed));
+
+  Table T({"file", "function", "#br", "time(s)", "Rand", "AFL", "CoverMe",
+           "paper(R/A/C)", "CM-Rand", "CM-AFL"});
+  double SumRand = 0, SumAfl = 0, SumCm = 0, SumTime = 0;
+  size_t N = Reg.programs().size();
+
+  for (size_t I = 0; I < N; ++I) {
+    const Program &P = Reg.programs()[I];
+    std::fprintf(stderr, "[%2zu/%zu] %s\n", I + 1, N, P.Name.c_str());
+    RowResult Row = runRow(P, Proto);
+    double Cm = 100.0 * Row.CoverMe.BranchCoverage;
+    double Rd = 100.0 * Row.Rand.BranchCoverage;
+    double Af = 100.0 * Row.Afl.BranchCoverage;
+    SumRand += Rd;
+    SumAfl += Af;
+    SumCm += Cm;
+    SumTime += Row.CoverMe.Seconds;
+    char PaperCell[48];
+    std::snprintf(PaperCell, sizeof(PaperCell), "%.1f/%.1f/%.1f",
+                  Paper[I].RandPct, Paper[I].AflPct, Paper[I].CoverMePct);
+    T.addRow({P.File, P.Name, Table::cell(static_cast<int>(P.numBranches())),
+              Table::cell(Row.CoverMe.Seconds, 2), Table::cell(Rd),
+              Table::cell(Af), Table::cell(Cm), PaperCell,
+              Table::cell(Cm - Rd), Table::cell(Cm - Af)});
+  }
+  double DN = static_cast<double>(N);
+  T.addRow({"MEAN", "", "", Table::cell(SumTime / DN, 2),
+            Table::cell(SumRand / DN), Table::cell(SumAfl / DN),
+            Table::cell(SumCm / DN), "38.0/72.9/90.8",
+            Table::cell((SumCm - SumRand) / DN),
+            Table::cell((SumCm - SumAfl) / DN)});
+
+  std::fputs(T.toAscii().c_str(), stdout);
+  std::printf("\npaper means: Rand 38.0, AFL 72.9, CoverMe 90.8 "
+              "(improvements 52.9 and 17.9)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench_table3.cpp - Table 3: CoverMe vs Austin ------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Regenerates Table 3: CoverMe against the search-based tester Austin
+// (AVM). Expected shape: Austin's coverage lands near Rand's (paper mean
+// 42.8% vs CoverMe's 90.8%) while spending orders of magnitude more effort
+// per covered branch; the speedup column reports CoverMe's advantage in
+// executions-per-covered-branch, the substrate-independent analogue of the
+// paper's wall-clock speedup (their Austin ran out of process, ours
+// in-process, so raw seconds are not comparable).
+//
+// Usage: bench_table3 [n_start] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "fdlibm/Fdlibm.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace coverme;
+using namespace coverme::bench;
+
+int main(int Argc, char **Argv) {
+  Protocol Proto = protocolFromArgs(Argc, Argv);
+  Proto.RunRand = false;
+  Proto.RunAfl = false;
+  // Austin runs until it decides no more coverage is attainable; a 100x
+  // execution budget is the bounded stand-in for run-to-exhaustion (its
+  // wall time in the paper averages ~878x CoverMe's).
+  Proto.BudgetMultiplier = 100.0;
+
+  const ProgramRegistry &Reg = fdlibm::registry();
+  const std::vector<fdlibm::PaperRow> &Paper = fdlibm::paperRows();
+
+  std::printf("Table 3: CoverMe versus Austin (branch coverage, %%)\n"
+              "Austin budget: 10x CoverMe evaluations, split per target "
+              "branch\n\n");
+
+  Table T({"program", "function", "Austin", "CoverMe", "paper(Au/CM)",
+           "speedup", "improvement"});
+  double SumAu = 0, SumCm = 0, SumSpeedup = 0;
+  size_t N = Reg.programs().size(), SpeedupN = 0;
+
+  for (size_t I = 0; I < N; ++I) {
+    const Program &P = Reg.programs()[I];
+    RowResult Row = runRow(P, Proto);
+    double Cm = 100.0 * Row.CoverMe.BranchCoverage;
+    double Au = 100.0 * Row.Austin.BranchCoverage;
+    SumAu += Au;
+    SumCm += Cm;
+    // Effort per covered branch: executions / covered arms.
+    double CmEffort = static_cast<double>(Row.CoverMe.Evaluations) /
+                      std::max(1u, Row.CoverMe.CoveredBranches);
+    double AuEffort = static_cast<double>(Row.Austin.Executions) /
+                      std::max(1u, Row.Austin.Coverage.coveredArms());
+    double Speedup = AuEffort / CmEffort;
+    SumSpeedup += Speedup;
+    ++SpeedupN;
+    char PaperCell[32];
+    if (Paper[I].AustinPct < 0)
+      std::snprintf(PaperCell, sizeof(PaperCell), "n/a/%.1f",
+                    Paper[I].CoverMePct);
+    else
+      std::snprintf(PaperCell, sizeof(PaperCell), "%.1f/%.1f",
+                    Paper[I].AustinPct, Paper[I].CoverMePct);
+    T.addRow({P.File, P.Name, Table::cell(Au), Table::cell(Cm), PaperCell,
+              Table::cell(Speedup, 1) + "x", Table::cell(Cm - Au)});
+  }
+  double DN = static_cast<double>(N);
+  T.addRow({"MEAN", "", Table::cell(SumAu / DN), Table::cell(SumCm / DN),
+            "42.8/90.8",
+            Table::cell(SumSpeedup / static_cast<double>(SpeedupN), 1) + "x",
+            Table::cell((SumCm - SumAu) / DN)});
+
+  std::fputs(T.toAscii().c_str(), stdout);
+  std::printf("\npaper means: Austin 42.8, CoverMe 90.8, speedup 3868x, "
+              "improvement 48.9\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- ast_dump.cpp - Inspect what the frontend sees ------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Dumps the analyzed syntax tree of a C file (or of an embedded source-
+// suite benchmark) — every node with its computed type, and every
+// conditional with the site id the runtime hooks will report. This is the
+// fastest way to answer "which of my conditions will CoverMe instrument,
+// and in what order?" before launching a campaign.
+//
+// Usage:
+//   ast_dump tanh            # an embedded source-suite benchmark by name
+//   ast_dump path/to/foo.c   # any C file in the supported subset
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "lang/SourceSuite.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: ast_dump <benchmark-name | file.c>\n");
+    return 2;
+  }
+
+  std::string Source;
+  if (const SourceBenchmark *B = findSourceBenchmark(Argv[1])) {
+    Source = B->Source;
+    std::printf("== %s (embedded %s) ==\n", B->Name.c_str(),
+                B->File.c_str());
+  } else {
+    std::ifstream In(Argv[1]);
+    if (!In) {
+      std::fprintf(stderr,
+                   "error: '%s' is neither an embedded benchmark nor a "
+                   "readable file\n",
+                   Argv[1]);
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+    std::printf("== %s ==\n", Argv[1]);
+  }
+
+  ParseResult Parsed = parseTranslationUnit(Source);
+  if (!Parsed.success()) {
+    for (const Diagnostic &D : Parsed.Diags)
+      std::fprintf(stderr, "%s\n", formatDiagnostic(D).c_str());
+    return 1;
+  }
+  std::vector<Diagnostic> Diags;
+  if (!analyze(*Parsed.TU, Diags)) {
+    for (const Diagnostic &D : Diags)
+      std::fprintf(stderr, "%s\n", formatDiagnostic(D).c_str());
+    return 1;
+  }
+
+  std::fputs(dumpAst(*Parsed.TU).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,247 @@
+//===- coverme_cli.cpp - Command-line driver over the benchmark registry ----===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// A small CLI wrapping the whole pipeline, in the spirit of the original
+// tool's `coverme foo.c` workflow:
+//
+//   coverme_cli list
+//   coverme_cli run <function> [--n-start N] [--n-iter N] [--seed S]
+//                   [--lm powell|nelder-mead|coordinate-descent|none]
+//                   [--backend basinhopping|simulated-annealing|
+//                              random-restart|cma-es|differential-evolution]
+//                   [--reduce] [--csv]
+//   coverme_cli run-source <file.c> <entry> [same options]
+//
+// `run` resolves <function> against the compiled registries first and the
+// embedded Fdlibm source suite second (those execute via the mini-C
+// interpreter); `run-source` compiles an arbitrary C file through the
+// frontend and campaigns over it — the original tool's `coverme foo.c`.
+//
+// `run` prints the campaign summary and the generated test inputs (as hex
+// bit patterns so they replay exactly); `--reduce` post-processes X with
+// the greedy suite reduction; `--csv` emits machine-readable inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoverMe.h"
+#include "fdlibm/Fdlibm.h"
+#include "lang/SourceProgram.h"
+#include "lang/SourceSuite.h"
+#include "support/FloatBits.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace coverme;
+
+namespace {
+
+/// Keeps a compiled-from-source program (and its interpreter) alive for
+/// the rest of the process once the CLI resolves a name to it.
+const Program *holdSourceProgram(lang::SourceProgram SP) {
+  static std::vector<lang::SourceProgram> Held;
+  Held.push_back(std::move(SP));
+  return &Held.back().Prog;
+}
+
+const Program *findProgram(const std::string &Name) {
+  if (const Program *P = fdlibm::lookup(Name))
+    return P;
+  if (const Program *P = fdlibm::extendedRegistry().lookup(Name))
+    return P;
+  if (const lang::SourceBenchmark *B = lang::findSourceBenchmark(Name)) {
+    lang::SourceProgram SP = lang::compileSourceBenchmark(*B);
+    if (SP.success())
+      return holdSourceProgram(std::move(SP));
+  }
+  return nullptr;
+}
+
+const Program *loadSourceFile(const std::string &Path,
+                              const std::string &Entry) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return nullptr;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(Buffer.str(), Entry);
+  if (!SP.success()) {
+    std::fprintf(stderr, "frontend errors:\n%s\n",
+                 SP.diagnosticsText().c_str());
+    return nullptr;
+  }
+  return holdSourceProgram(std::move(SP));
+}
+
+int listCommand() {
+  std::printf("%-20s %-16s %-6s %-9s\n", "function", "file", "arity",
+              "#branches");
+  for (const Program &P : fdlibm::registry().programs())
+    std::printf("%-20s %-16s %-6u %-9u\n", P.Name.c_str(), P.File.c_str(),
+                P.Arity, P.numBranches());
+  std::printf("-- extended suite (lowered int parameters) --\n");
+  for (const Program &P : fdlibm::extendedRegistry().programs())
+    std::printf("%-20s %-16s %-6u %-9u\n", P.Name.c_str(), P.File.c_str(),
+                P.Arity, P.numBranches());
+  std::printf("-- source suite (runs via the mini-C interpreter) --\n");
+  for (const lang::SourceBenchmark &B : lang::sourceSuite())
+    std::printf("%-20s %-16s\n", B.Name.c_str(), B.File.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: coverme_cli list\n"
+               "       coverme_cli run <function> [--n-start N] [--n-iter N]"
+               " [--seed S]\n"
+               "                   [--lm NAME] [--backend NAME] [--reduce]"
+               " [--csv]\n"
+               "       coverme_cli run-source <file.c> <entry>"
+               " [same options]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Command = Argv[1];
+  if (Command == "list")
+    return listCommand();
+
+  const Program *P = nullptr;
+  int OptionsFrom = 0;
+  if (Command == "run" && Argc >= 3) {
+    P = findProgram(Argv[2]);
+    if (!P) {
+      std::fprintf(stderr, "error: unknown function '%s'; try 'list'\n",
+                   Argv[2]);
+      return 1;
+    }
+    OptionsFrom = 3;
+  } else if (Command == "run-source" && Argc >= 4) {
+    P = loadSourceFile(Argv[2], Argv[3]);
+    if (!P)
+      return 1;
+    OptionsFrom = 4;
+  } else {
+    return usage();
+  }
+
+  CoverMeOptions Opts;
+  bool Reduce = false, Csv = false;
+  for (int I = OptionsFrom; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--n-start") {
+      Opts.NStart = static_cast<unsigned>(std::atoi(NextValue()));
+    } else if (Arg == "--n-iter") {
+      Opts.NIter = static_cast<unsigned>(std::atoi(NextValue()));
+    } else if (Arg == "--seed") {
+      Opts.Seed = static_cast<uint64_t>(std::atoll(NextValue()));
+    } else if (Arg == "--lm") {
+      std::string Name = NextValue();
+      if (Name == "powell")
+        Opts.LM = LocalMinimizerKind::Powell;
+      else if (Name == "nelder-mead")
+        Opts.LM = LocalMinimizerKind::NelderMead;
+      else if (Name == "coordinate-descent")
+        Opts.LM = LocalMinimizerKind::CoordinateDescent;
+      else if (Name == "none")
+        Opts.LM = LocalMinimizerKind::None;
+      else {
+        std::fprintf(stderr, "error: unknown local minimizer '%s'\n",
+                     Name.c_str());
+        return 2;
+      }
+    } else if (Arg == "--backend") {
+      std::string Name = NextValue();
+      if (Name == "basinhopping")
+        Opts.Backend = GlobalBackendKind::Basinhopping;
+      else if (Name == "simulated-annealing")
+        Opts.Backend = GlobalBackendKind::SimulatedAnnealing;
+      else if (Name == "random-restart")
+        Opts.Backend = GlobalBackendKind::RandomRestart;
+      else if (Name == "cma-es")
+        Opts.Backend = GlobalBackendKind::CmaEs;
+      else if (Name == "differential-evolution")
+        Opts.Backend = GlobalBackendKind::DifferentialEvolution;
+      else {
+        std::fprintf(stderr, "error: unknown backend '%s'\n", Name.c_str());
+        return 2;
+      }
+    } else if (Arg == "--reduce") {
+      Reduce = true;
+    } else if (Arg == "--csv") {
+      Csv = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+
+  CoverMe Engine(*P, Opts);
+  CampaignResult Res = Engine.run();
+
+  std::vector<size_t> Kept;
+  if (Reduce) {
+    Kept = reduceSuite(*P, Res.Inputs);
+  } else {
+    Kept.resize(Res.Inputs.size());
+    for (size_t I = 0; I < Kept.size(); ++I)
+      Kept[I] = I;
+  }
+
+  if (!Csv) {
+    std::printf("function:         %s (%s)\n", P->Name.c_str(),
+                P->File.c_str());
+    std::printf("backend:          %s + %s\n",
+                globalBackendKindName(Opts.Backend),
+                localMinimizerKindName(Opts.LM));
+    std::printf("branch coverage:  %.1f%% (%u/%u)%s\n",
+                100.0 * Res.BranchCoverage, Res.CoveredBranches,
+                Res.TotalBranches, Res.AllSaturated ? ", all saturated" : "");
+    std::printf("line coverage:    %.1f%%\n", 100.0 * Res.LineCoverage);
+    std::printf("evaluations:      %llu in %u rounds, %.3fs\n",
+                static_cast<unsigned long long>(Res.Evaluations),
+                Res.StartsUsed, Res.Seconds);
+    for (BranchRef Ref : Res.InfeasibleMarked)
+      std::printf("deemed infeasible: site %u %s arm\n", Ref.Site,
+                  Ref.Outcome ? "true" : "false");
+    if (Reduce)
+      std::printf("test inputs (%zu, reduced from %zu):\n", Kept.size(),
+                  Res.Inputs.size());
+    else
+      std::printf("test inputs (%zu):\n", Kept.size());
+  }
+
+  for (size_t Idx : Kept) {
+    const std::vector<double> &X = Res.Inputs[Idx];
+    for (size_t C = 0; C < X.size(); ++C)
+      std::printf(C + 1 == X.size() ? "0x%016llx" : "0x%016llx,",
+                  static_cast<unsigned long long>(doubleToBits(X[C])));
+    if (!Csv) {
+      std::printf("  (");
+      for (size_t C = 0; C < X.size(); ++C)
+        std::printf(C + 1 == X.size() ? "%.17g" : "%.17g, ", X[C]);
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+  return Res.AllSaturated ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+//===- CoverMe.h - Branch coverage-based testing (Algorithm 1) ------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CoverMe driver: Algorithm 1 of the paper. Given an instrumented
+/// Program FOO, it repeatedly minimizes the representing function FOO_R
+/// with an MCMC (Basinhopping) backend. Every minimum point x* with
+/// FOO_R(x*) == 0 is guaranteed (Thm. 4.3) to saturate a branch not yet
+/// saturated, so it is added to the generated input set X; a strictly
+/// positive minimum triggers the infeasible-branch heuristic of Sect. 5.3.
+/// The campaign stops early once every branch is saturated (covered or
+/// deemed infeasible) — the role the SciPy callback plays in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_CORE_COVERME_H
+#define COVERME_CORE_COVERME_H
+
+#include "optim/Basinhopping.h"
+#include "optim/CmaEs.h"
+#include "optim/DifferentialEvolution.h"
+#include "optim/SimulatedAnnealing.h"
+#include "optim/Minimizer.h"
+#include "runtime/BranchDistance.h"
+#include "runtime/Coverage.h"
+#include "runtime/Program.h"
+
+#include <vector>
+
+namespace coverme {
+
+/// The unconstrained-programming backend driving Step 3. Thm. 4.3 lets any
+/// global minimizer serve as the black box (Sect. 2); Basinhopping is the
+/// paper's choice, the others demonstrate the interchangeability claim.
+enum class GlobalBackendKind {
+  Basinhopping,       ///< MCMC over local minima (paper default).
+  SimulatedAnnealing, ///< Annealed Metropolis walk, no local minimizer.
+  RandomRestart,      ///< Pure multi-start local minimization (no MCMC).
+  CmaEs,              ///< Covariance Matrix Adaptation Evolution Strategy.
+  DifferentialEvolution, ///< DE/rand/1/bin population search.
+};
+
+/// Spelling used in reports and option parsing.
+const char *globalBackendKindName(GlobalBackendKind Kind);
+
+/// Algorithm 1's inputs plus engineering budgets.
+struct CoverMeOptions {
+  unsigned NStart = 500;  ///< Starting points (paper: n_start = 500).
+  unsigned NIter = 5;     ///< MCMC iterations per start (paper: n_iter = 5).
+  LocalMinimizerKind LM = LocalMinimizerKind::Powell; ///< Paper: "powell".
+  GlobalBackendKind Backend = GlobalBackendKind::Basinhopping;
+
+  /// Budgets for one local minimization inside Basinhopping.
+  LocalMinimizerOptions LMOptions = {.MaxIterations = 20,
+                                     .MaxEvaluations = 1200,
+                                     .FTol = 1e-12,
+                                     .InitialStep = 1.0};
+
+  /// Budget for one Basinhopping run (one starting point).
+  uint64_t RoundMaxEvaluations = 8000;
+
+  /// Hard cap on objective evaluations across the whole campaign.
+  uint64_t MaxEvaluations = 2000000;
+
+  double Epsilon = DefaultEpsilon; ///< Strict-inequality epsilon (Def. 4.1).
+  uint64_t Seed = 1;               ///< PRNG seed; campaigns replay exactly.
+
+  /// Enables the Sect. 5.3 heuristic: a positive minimum marks the
+  /// unvisited arm of the last conditional on its path as infeasible.
+  bool MarkInfeasible = true;
+
+  /// How many failed rounds must blame the same arm before it is deemed
+  /// infeasible. The paper marks after a single failure; requiring a short
+  /// streak makes the heuristic robust to one-off optimizer misses without
+  /// changing its character (documented deviation, see DESIGN.md).
+  unsigned InfeasibleThreshold = 2;
+
+  /// Stop as soon as all branches are saturated (paper's callback).
+  bool StopWhenAllSaturated = true;
+};
+
+/// One Basinhopping round of the campaign, for reporting and examples.
+struct RoundLog {
+  unsigned Round = 0;          ///< 1-based starting-point index.
+  double MinimumValue = 0.0;   ///< FOO_R at the round's best point.
+  bool Accepted = false;       ///< Added to X (minimum hit zero).
+  bool MarkedInfeasible = false; ///< The heuristic fired this round.
+  unsigned SaturatedArms = 0;  ///< Saturated arms after the round.
+};
+
+/// Outcome of a CoverMe campaign over one program.
+struct CampaignResult {
+  std::vector<std::vector<double>> Inputs; ///< Generated test suite X.
+  CoverageMap Coverage;      ///< Branch coverage achieved by executing X.
+  unsigned TotalBranches = 0;
+  unsigned CoveredBranches = 0;
+  double BranchCoverage = 1.0; ///< CoveredBranches / TotalBranches.
+  double LineCoverage = 1.0;   ///< Under the program's line model.
+  uint64_t Evaluations = 0;    ///< FOO_R evaluations consumed.
+  double Seconds = 0.0;        ///< Wall time of the campaign.
+  unsigned StartsUsed = 0;     ///< Basinhopping rounds launched.
+  bool AllSaturated = false;   ///< Terminated via full saturation.
+  std::vector<BranchRef> InfeasibleMarked; ///< Arms deemed infeasible.
+  std::vector<RoundLog> Rounds;            ///< Per-round trace.
+};
+
+/// The CoverMe testing engine for a single program.
+class CoverMe {
+public:
+  explicit CoverMe(const Program &P, CoverMeOptions Opts = {});
+
+  /// Runs the campaign (Algo. 1, lines 6-13) and returns the result.
+  CampaignResult run();
+
+  const CoverMeOptions &options() const { return Opts; }
+
+private:
+  const Program &Prog;
+  CoverMeOptions Opts;
+};
+
+/// Greedy test-suite reduction: returns the indices of a minimal-ish
+/// subset of \p Inputs that covers exactly the same branch arms of \p P.
+/// Useful when shipping the generated suite — Thm. 4.3 already keeps X
+/// small (every accepted input covers something new), but later inputs
+/// often subsume earlier ones' arms.
+std::vector<size_t>
+reduceSuite(const Program &P, const std::vector<std::vector<double>> &Inputs);
+
+} // namespace coverme
+
+#endif // COVERME_CORE_COVERME_H

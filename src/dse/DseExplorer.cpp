@@ -1,0 +1,218 @@
+//===- DseExplorer.cpp - Dynamic symbolic execution baseline --------------===//
+
+#include "dse/DseExplorer.h"
+
+#include "runtime/BranchDistance.h"
+#include "runtime/ExecutionContext.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <deque>
+#include <set>
+
+using namespace coverme;
+
+DseExplorer::DseExplorer(const Program &P, DseOptions Opts)
+    : Prog(P), Opts(Opts) {
+  assert(P.Body && "program has no body");
+}
+
+namespace {
+
+/// One recorded execution: the branch trace plus, per position, the
+/// concrete comparison operands — the concrete shadow of Phi_tau.
+struct PathRecord {
+  std::vector<BranchRef> Trace;
+  std::vector<SiteObservation> Operands;
+};
+
+/// A worklist entry of generational search: an input plus the first trace
+/// depth this generation is still allowed to flip (SAGE's bound that
+/// prevents re-deriving the parents' conditions).
+struct WorkItem {
+  std::vector<double> Input;
+  unsigned FlipFrom = 0;
+};
+
+/// Normalizes a branch distance into [0, 1) so approach levels dominate
+/// distances — but through a log compression first. The classic
+/// d / (1 + d) squash saturates numerically for the 1e300-scale distances
+/// floating-point comparisons produce (its gradient underflows past any
+/// optimizer's tolerance); log1p keeps a usable slope across the whole
+/// double range.
+double normalized(double Distance) {
+  double Compressed = std::log1p(Distance);
+  if (!std::isfinite(Compressed))
+    return 1.0;
+  return Compressed / (1.0 + Compressed);
+}
+
+} // namespace
+
+DseResult DseExplorer::run() {
+  WallTimer Timer;
+  DseResult Res;
+  Res.Coverage.reset(Prog.NumSites);
+  if (Prog.NumSites == 0) {
+    Res.BranchCoverage = 1.0;
+    return Res;
+  }
+
+  ExecutionContext Ctx(Prog.NumSites);
+  Ctx.PenEnabled = false;
+  Ctx.TraceEnabled = true;
+  Ctx.RecordTraceOperands = true;
+  Ctx.Coverage = &Res.Coverage;
+  ExecutionContext::Scope Scope(Ctx);
+
+  std::set<uint64_t> SeenPaths;
+  // FNV-1a over the trace identifies a path.
+  auto PathHash = [](const std::vector<BranchRef> &Trace) {
+    uint64_t H = 1469598103934665603ull;
+    for (BranchRef Ref : Trace) {
+      H = (H ^ Ref.Site) * 1099511628211ull;
+      H = (H ^ static_cast<uint64_t>(Ref.Outcome)) * 1099511628211ull;
+    }
+    return H;
+  };
+
+  // Executes and records one input.
+  auto Execute = [&](const std::vector<double> &X) {
+    Ctx.beginRun();
+    Prog.Body(X.data());
+    ++Res.Executions;
+    PathRecord Rec;
+    Rec.Trace = Ctx.Trace;
+    Rec.Operands = Ctx.TraceOperands;
+    if (SeenPaths.insert(PathHash(Rec.Trace)).second)
+      ++Res.PathsExplored;
+    return Rec;
+  };
+
+  std::unique_ptr<LocalMinimizer> Solver =
+      makeLocalMinimizer(Opts.Solver, Opts.SolverOptions);
+  Rng Rng(Opts.Seed);
+
+  std::deque<WorkItem> Worklist;
+  std::vector<double> Seed(Prog.Arity);
+  for (double &Coord : Seed) {
+    Coord = Rng.wideDouble();
+    // A non-finite seed leaves the distance landscape flat (every
+    // perturbation of an infinity is the same infinity); concrete DSE
+    // seeds are finite by construction.
+    if (!std::isfinite(Coord))
+      Coord = Rng.uniform(-1e6, 1e6);
+  }
+  Worklist.push_back({Seed, 0});
+  Res.Inputs.push_back(Seed);
+
+  while (!Worklist.empty() && Res.Executions < Opts.MaxExecutions &&
+         Res.Solves < Opts.MaxSolves) {
+    WorkItem Item = std::move(Worklist.front());
+    Worklist.pop_front();
+
+    PathRecord Parent = Execute(Item.Input);
+    unsigned Depth = static_cast<unsigned>(
+        std::min<size_t>(Parent.Trace.size(), Opts.MaxTraceDepth));
+
+    for (unsigned J = Item.FlipFrom; J < Depth; ++J) {
+      if (Res.Executions >= Opts.MaxExecutions ||
+          Res.Solves >= Opts.MaxSolves)
+        break;
+      BranchRef Flipped{Parent.Trace[J].Site, !Parent.Trace[J].Outcome};
+      // Coverage-guided pruning (generous to DSE): skip targets whose arm
+      // some earlier path already covered.
+      if (Res.Coverage.isCovered(Flipped))
+        continue;
+
+      // The flipped path condition Phi: keep positions 0..J-1, negate J.
+      // Solved FloPSy-style — approach level + normalized branch distance
+      // measured against a fresh execution of the candidate.
+      ++Res.Solves;
+      uint64_t SolveBudget =
+          std::min<uint64_t>(Opts.SolveMaxEvaluations,
+                             Opts.MaxExecutions - Res.Executions);
+      if (SolveBudget == 0)
+        break;
+      bool Landed = false;
+      Objective Phi = [&](const std::vector<double> &X) {
+        Ctx.beginRun();
+        Prog.Body(X.data());
+        ++Res.Executions;
+        // Compare against the target prefix.
+        unsigned Matched = 0;
+        while (Matched < J && Matched < Ctx.Trace.size() &&
+               Ctx.Trace[Matched] == Parent.Trace[Matched])
+          ++Matched;
+        if (Matched < J) {
+          // Diverged early: approach level + distance to re-take the
+          // parent's branch at the divergence point.
+          double Level = static_cast<double>(J - Matched);
+          double Dist = 1.0;
+          if (Matched < Ctx.Trace.size() &&
+              Ctx.Trace[Matched].Site == Parent.Trace[Matched].Site) {
+            const SiteObservation &Obs = Ctx.TraceOperands[Matched];
+            CmpOp Want = Parent.Trace[Matched].Outcome
+                             ? Obs.Op
+                             : negateCmpOp(Obs.Op);
+            Dist = normalized(branchDistance(Want, Obs.A, Obs.B));
+          }
+          return Level + Dist;
+        }
+        if (J >= Ctx.Trace.size())
+          return 1.0; // prefix held but the trace ended: level 1
+        const SiteObservation &Obs = Ctx.TraceOperands[J];
+        CmpOp Want = Flipped.Outcome ? Obs.Op : negateCmpOp(Obs.Op);
+        double Dist = normalized(branchDistance(Want, Obs.A, Obs.B));
+        if (Dist == 0.0 && Ctx.Trace[J] == Flipped)
+          Landed = true;
+        return Dist;
+      };
+
+      // The first probing step must live at the start point's own scale:
+      // floating-point operands span 600 orders of magnitude, and a
+      // unit step from 1e158 cannot move the (often overflowed-to-inf)
+      // squared distance at all.
+      auto SolveFrom = [&](std::vector<double> Start) {
+        double Scale = 1.0;
+        for (double Coord : Start)
+          if (std::isfinite(Coord))
+            Scale = std::max(Scale, std::fabs(Coord) / 4.0);
+        LocalMinimizerOptions SolveOpts = Opts.SolverOptions;
+        SolveOpts.MaxEvaluations = SolveBudget / 4 + 1;
+        SolveOpts.InitialStep = Scale;
+        return makeLocalMinimizer(Opts.Solver, SolveOpts)
+            ->minimize(Phi, std::move(Start));
+      };
+      // First attempt from the parent input, then random restarts until
+      // the solve budget is spent — FloPSy's search-based constraint
+      // solver does the same when the seed sits on a flat shelf of the
+      // distance landscape (equality targets usually need several).
+      uint64_t SpentBefore = Res.Executions;
+      MinimizeResult Min = SolveFrom(Item.Input);
+      while (Min.Fx != 0.0 &&
+             Res.Executions - SpentBefore < SolveBudget &&
+             Res.Executions < Opts.MaxExecutions) {
+        std::vector<double> Restart(Prog.Arity);
+        for (double &Coord : Restart)
+          Coord = Rng.exponentUniformDouble();
+        MinimizeResult Next = SolveFrom(std::move(Restart));
+        if (Next.Fx < Min.Fx)
+          Min = Next;
+      }
+
+      if (Min.Fx == 0.0) {
+        // Model found: the input drives execution down the flipped path.
+        ++Res.SolvedFlips;
+        (void)Landed;
+        Res.Inputs.push_back(Min.X);
+        Worklist.push_back({Min.X, J + 1});
+      }
+    }
+  }
+
+  Res.BranchCoverage = Res.Coverage.branchCoverage();
+  Res.Seconds = Timer.seconds();
+  return Res;
+}

@@ -1,0 +1,123 @@
+//===- Fdlibm.cpp - The Fdlibm 5.3 benchmark suite ---------------------------===//
+
+#include "fdlibm/Fdlibm.h"
+
+#include "fdlibm/Ports.h"
+
+using namespace coverme;
+using namespace coverme::fdlibm;
+
+const ProgramRegistry &coverme::fdlibm::registry() {
+  static const ProgramRegistry Reg = [] {
+    ProgramRegistry R;
+    // Table 2 order (sorted by benchmark file name).
+    R.add(detail::makeAcos());
+    R.add(detail::makeAcosh());
+    R.add(detail::makeAsin());
+    R.add(detail::makeAtan2());
+    R.add(detail::makeAtanh());
+    R.add(detail::makeCosh());
+    R.add(detail::makeExp());
+    R.add(detail::makeFmod());
+    R.add(detail::makeHypot());
+    R.add(detail::makeJ0());
+    R.add(detail::makeY0());
+    R.add(detail::makeJ1());
+    R.add(detail::makeY1());
+    R.add(detail::makeLog());
+    R.add(detail::makeLog10());
+    R.add(detail::makePow());
+    R.add(detail::makeRemPio2());
+    R.add(detail::makeRemainder());
+    R.add(detail::makeScalb());
+    R.add(detail::makeSinh());
+    R.add(detail::makeSqrt());
+    R.add(detail::makeKernelCos());
+    R.add(detail::makeAsinh());
+    R.add(detail::makeAtan());
+    R.add(detail::makeCbrt());
+    R.add(detail::makeCeil());
+    R.add(detail::makeCos());
+    R.add(detail::makeErf());
+    R.add(detail::makeErfc());
+    R.add(detail::makeExpm1());
+    R.add(detail::makeFloor());
+    R.add(detail::makeIlogb());
+    R.add(detail::makeLog1p());
+    R.add(detail::makeLogb());
+    R.add(detail::makeModf());
+    R.add(detail::makeNextafter());
+    R.add(detail::makeRint());
+    R.add(detail::makeSin());
+    R.add(detail::makeTan());
+    R.add(detail::makeTanh());
+    return R;
+  }();
+  return Reg;
+}
+
+const Program *coverme::fdlibm::lookup(const std::string &Name) {
+  return registry().lookup(Name);
+}
+
+const ProgramRegistry &coverme::fdlibm::extendedRegistry() {
+  static const ProgramRegistry Reg = [] {
+    ProgramRegistry R;
+    R.add(detail::makeScalbn());
+    R.add(detail::makeLdexp());
+    R.add(detail::makeKernelSin());
+    R.add(detail::makeKernelTan());
+    R.add(detail::makeFrexp());
+    R.add(detail::makeJn());
+    return R;
+  }();
+  return Reg;
+}
+
+const std::vector<PaperRow> &coverme::fdlibm::paperRows() {
+  // Branch-coverage percentages from Table 2 (Rand/AFL/CoverMe) and Table 3
+  // (Austin; -1 marks the timeout/crash rows). Same order as registry().
+  static const std::vector<PaperRow> Rows = {
+      {"ieee754_acos", 12, 16.7, 100.0, 100.0, 16.7},
+      {"ieee754_acosh", 10, 40.0, 100.0, 90.0, 40.0},
+      {"ieee754_asin", 14, 14.3, 85.7, 92.9, 14.3},
+      {"ieee754_atan2", 44, 34.1, 86.4, 63.6, 34.1},
+      {"ieee754_atanh", 12, 8.8, 75.0, 91.7, 8.3},
+      {"ieee754_cosh", 16, 37.5, 81.3, 93.8, 37.5},
+      {"ieee754_exp", 24, 20.8, 83.3, 96.7, 75.0},
+      {"ieee754_fmod", 60, 48.3, 53.3, 70.0, -1.0},
+      {"ieee754_hypot", 22, 40.9, 54.5, 90.9, 36.4},
+      {"ieee754_j0", 18, 33.3, 88.9, 94.4, 33.3},
+      {"ieee754_y0", 16, 56.3, 75.0, 100.0, 56.3},
+      {"ieee754_j1", 16, 50.0, 75.0, 93.8, 50.0},
+      {"ieee754_y1", 16, 56.3, 75.0, 100.0, 56.3},
+      {"ieee754_log", 22, 59.1, 72.7, 90.9, 59.1},
+      {"ieee754_log10", 8, 62.5, 75.0, 87.5, 62.5},
+      {"ieee754_pow", 114, 15.8, 88.6, 81.6, -1.0},
+      {"ieee754_rem_pio2", 30, 33.3, 86.7, 93.3, -1.0},
+      {"ieee754_remainder", 22, 45.5, 50.0, 100.0, 45.5},
+      {"ieee754_scalb", 14, 50.0, 42.9, 92.9, 57.1},
+      {"ieee754_sinh", 20, 35.0, 70.0, 95.0, 35.0},
+      {"ieee754_sqrt", 46, 69.6, 71.7, 82.6, -1.0},
+      {"kernel_cos", 8, 37.5, 87.5, 87.5, 37.5},
+      {"asinh", 12, 41.7, 83.3, 91.7, 41.7},
+      {"atan", 26, 19.2, 15.4, 88.5, 26.9},
+      {"cbrt", 6, 50.0, 66.7, 83.3, 50.0},
+      {"ceil", 30, 10.0, 83.3, 83.3, 36.7},
+      {"cos", 8, 75.0, 87.5, 100.0, 75.0},
+      {"erf", 20, 30.0, 85.0, 100.0, 30.0},
+      {"erfc", 24, 25.0, 79.2, 100.0, 25.0},
+      {"expm1", 42, 21.4, 85.7, 97.6, -1.0},
+      {"floor", 30, 10.0, 83.3, 83.3, 36.7},
+      {"ilogb", 12, 16.7, 16.7, 75.0, 16.7},
+      {"log1p", 36, 38.9, 77.8, 88.9, 61.1},
+      {"logb", 6, 50.0, 16.7, 83.3, 50.0},
+      {"modf", 10, 33.3, 80.0, 100.0, 50.0},
+      {"nextafter", 44, 59.1, 65.9, 79.6, 50.0},
+      {"rint", 20, 15.0, 75.0, 90.0, 35.0},
+      {"sin", 8, 75.0, 87.5, 100.0, 75.0},
+      {"tan", 4, 50.0, 75.0, 100.0, 50.0},
+      {"tanh", 12, 33.3, 75.0, 100.0, 33.3},
+  };
+  return Rows;
+}

@@ -1,0 +1,60 @@
+//===- PortDetail.h - Shared helpers for the Fdlibm ports ------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal conveniences every port file uses: the instrumentation hooks,
+/// word access in Fdlibm's __HI/__LO style, and a Program builder that
+/// fills in the boilerplate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_FDLIBM_PORTDETAIL_H
+#define COVERME_FDLIBM_PORTDETAIL_H
+
+#include "runtime/Hooks.h"
+#include "support/FloatBits.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace coverme {
+namespace fdlibm {
+namespace detail {
+
+/// Builds a Program row with the given metadata.
+inline Program makeProgram(const char *Name, const char *File, unsigned Arity,
+                           unsigned NumSites, unsigned TotalLines,
+                           Program::BodyFn Body) {
+  Program P;
+  P.Name = Name;
+  P.File = File;
+  P.Arity = Arity;
+  P.NumSites = NumSites;
+  P.TotalLines = TotalLines;
+  P.Body = Body;
+  return P;
+}
+
+/// Fdlibm's __HI(x): the sign/exponent word.
+inline int32_t hi(double X) { return highWord(X); }
+
+/// Fdlibm's __LO(x): the low mantissa word, as the signed int the original
+/// C code manipulates.
+inline int32_t lo(double X) { return static_cast<int32_t>(lowWord(X)); }
+
+/// Fdlibm's __HI(x) = V idiom.
+inline void setHi(double &X, int32_t V) { X = setHighWord(X, V); }
+
+/// Fdlibm's __LO(x) = V idiom.
+inline void setLo(double &X, int32_t V) {
+  X = setLowWord(X, static_cast<uint32_t>(V));
+}
+
+} // namespace detail
+} // namespace fdlibm
+} // namespace coverme
+
+#endif // COVERME_FDLIBM_PORTDETAIL_H

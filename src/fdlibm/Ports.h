@@ -1,0 +1,86 @@
+//===- Ports.h - Internal factory declarations for the Fdlibm ports -------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One factory per ported benchmark. Private to the fdlibm library; clients
+/// go through fdlibm::registry().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_FDLIBM_PORTS_H
+#define COVERME_FDLIBM_PORTS_H
+
+#include "runtime/Program.h"
+
+namespace coverme {
+namespace fdlibm {
+namespace detail {
+
+// PortsInverseTrig.cpp
+Program makeAcos();
+Program makeAsin();
+Program makeAtan();
+Program makeAtan2();
+
+// PortsExpLog.cpp
+Program makeExp();
+Program makeExpm1();
+Program makeLog();
+Program makeLog10();
+Program makeLog1p();
+Program makePow();
+Program makeScalb();
+
+// PortsHyperbolic.cpp
+Program makeAcosh();
+Program makeAsinh();
+Program makeAtanh();
+Program makeCosh();
+Program makeSinh();
+Program makeTanh();
+
+// PortsTrig.cpp
+Program makeSin();
+Program makeCos();
+Program makeTan();
+Program makeKernelCos();
+Program makeRemPio2();
+
+// PortsBessel.cpp
+Program makeJ0();
+Program makeY0();
+Program makeJ1();
+Program makeY1();
+Program makeErf();
+Program makeErfc();
+
+// PortsExtended.cpp (beyond the paper: lowered int parameters)
+Program makeScalbn();
+Program makeLdexp();
+Program makeKernelSin();
+Program makeKernelTan();
+Program makeFrexp();
+Program makeJn();
+
+// PortsRounding.cpp
+Program makeCeil();
+Program makeFloor();
+Program makeRint();
+Program makeModf();
+Program makeIlogb();
+Program makeLogb();
+Program makeCbrt();
+Program makeSqrt();
+Program makeFmod();
+Program makeRemainder();
+Program makeHypot();
+Program makeNextafter();
+
+} // namespace detail
+} // namespace fdlibm
+} // namespace coverme
+
+#endif // COVERME_FDLIBM_PORTS_H

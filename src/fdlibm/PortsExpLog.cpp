@@ -1,0 +1,563 @@
+//===- PortsExpLog.cpp - exp/expm1/log/log10/log1p/pow/scalb ports ----------===//
+//
+// Ports of Fdlibm 5.3 e_exp.c, s_expm1.c, e_log.c, e_log10.c, s_log1p.c,
+// e_pow.c, and e_scalb.c. Paper branch counts: 24, 42, 22, 8, 36, 114, 14.
+// e_pow.c is the largest benchmark in the suite (57 conditionals); its
+// special-case cascade is reproduced test for test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fdlibm/PortDetail.h"
+#include "fdlibm/Ports.h"
+
+using namespace coverme;
+using namespace coverme::fdlibm::detail;
+
+namespace {
+
+const double One = 1.0, Half = 0.5, Huge = 1e300, Tiny = 1e-300, Zero = 0.0;
+const double Two54 = 1.80143985094819840000e+16;
+const double Ln2Hi = 6.93147180369123816490e-01;
+const double Ln2Lo = 1.90821492927058770002e-10;
+const double InvLn2 = 1.44269504088896338700e+00;
+const double OThreshold = 7.09782712893383973096e+02;
+const double UThreshold = -7.45133219101941108420e+02;
+const double Twom1000 = 9.33263618503218878990e-302;
+
+/// e_exp.c — 12 conditionals (24 branches).
+double expBody(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X);
+  int Xsb = (Hx >> 31) & 1;
+  Hx &= 0x7fffffff;
+  double HiPart = 0.0, LoPart = 0.0;
+  int K = 0;
+  if (CVM_GE(0, Hx, 0x40862e42)) { // |x| >= 709.78
+    if (CVM_GE(1, Hx, 0x7ff00000)) {
+      if (CVM_NE(2, (Hx & 0xfffff) | lo(X), 0))
+        return X + X; // NaN
+      if (CVM_EQ(3, Xsb, 0))
+        return X; // exp(+inf) = +inf
+      return 0.0;   // exp(-inf) = 0
+    }
+    if (CVM_GT(4, X, OThreshold))
+      return Huge * Huge; // overflow
+    if (CVM_LT(5, X, UThreshold))
+      return Twom1000 * Twom1000; // underflow
+  }
+  if (CVM_GT(6, Hx, 0x3fd62e42)) { // |x| > 0.5 ln2
+    if (CVM_LT(7, Hx, 0x3ff0a2b2)) { // |x| < 1.5 ln2
+      HiPart = X - (Xsb == 0 ? Ln2Hi : -Ln2Hi);
+      LoPart = Xsb == 0 ? Ln2Lo : -Ln2Lo;
+      K = 1 - Xsb - Xsb;
+    } else {
+      K = static_cast<int>(InvLn2 * X + (Xsb == 0 ? 0.5 : -0.5));
+      double T = K;
+      HiPart = X - T * Ln2Hi;
+      LoPart = T * Ln2Lo;
+    }
+    X = HiPart - LoPart;
+  } else if (CVM_LT(8, Hx, 0x3e300000)) { // |x| < 2**-28
+    if (CVM_GT(9, Huge + X, One))
+      return One + X; // inexact
+  } else {
+    K = 0;
+  }
+  // exp(r) on |r| <= 0.5 ln2 via a short rational kernel.
+  double T = X * X;
+  double C = X - T * (0.16666666666666602 - T * 2.7777777777015593e-03);
+  double Y;
+  if (CVM_EQ(10, K, 0))
+    return One - ((X * C) / (C - 2.0) - X);
+  Y = One - ((LoPart - (X * C) / (2.0 - C)) - HiPart);
+  if (CVM_GE(11, K, -1021)) {
+    setHi(Y, hi(Y) + (K << 20)); // add k to y's exponent
+    return Y;
+  }
+  setHi(Y, hi(Y) + ((K + 1000) << 20));
+  return Y * Twom1000;
+}
+
+/// s_expm1.c — 21 conditionals (42 branches).
+double expm1Body(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X);
+  int32_t Xsb = Hx & static_cast<int32_t>(0x80000000);
+  double Y = CVM_EQ(0, Xsb, 0) ? X : -X; // y = |x|
+  Hx &= 0x7fffffff;
+  double HiPart = 0.0, LoPart = 0.0, C = 0.0;
+  int K = 0;
+  (void)Y;
+  if (CVM_GE(1, Hx, 0x4043687a)) { // |x| >= 56 ln2
+    if (CVM_GE(2, Hx, 0x40862e42)) { // |x| >= 709.78
+      if (CVM_GE(3, Hx, 0x7ff00000)) {
+        if (CVM_NE(4, (Hx & 0xfffff) | lo(X), 0))
+          return X + X; // NaN
+        if (CVM_EQ(5, Xsb, 0))
+          return X; // expm1(+inf) = +inf
+        return -1.0; // expm1(-inf) = -1
+      }
+      if (CVM_GT(6, X, OThreshold))
+        return Huge * Huge; // overflow
+    }
+    if (CVM_NE(7, Xsb, 0)) { // x < -56 ln2: expm1 = -1 with inexact
+      if (CVM_LT(8, X + Tiny, 0.0))
+        return Tiny - One;
+    }
+  }
+  if (CVM_GT(9, Hx, 0x3fd62e42)) { // |x| > 0.5 ln2
+    if (CVM_LT(10, Hx, 0x3ff0a2b2)) { // |x| < 1.5 ln2
+      if (CVM_EQ(11, Xsb, 0)) {
+        HiPart = X - Ln2Hi;
+        LoPart = Ln2Lo;
+        K = 1;
+      } else {
+        HiPart = X + Ln2Hi;
+        LoPart = -Ln2Lo;
+        K = -1;
+      }
+    } else {
+      K = static_cast<int>(InvLn2 * X + (CVM_EQ(12, Xsb, 0) ? 0.5 : -0.5));
+      double T = K;
+      HiPart = X - T * Ln2Hi;
+      LoPart = T * Ln2Lo;
+    }
+    X = HiPart - LoPart;
+    C = (HiPart - X) - LoPart;
+  } else if (CVM_LT(13, Hx, 0x3c900000)) { // |x| < 2**-54
+    double T = Huge + X;
+    return X - (T - (Huge + X)); // inexact when x != 0
+  } else {
+    K = 0;
+  }
+  // Kernel on the reduced argument.
+  double Hfx = 0.5 * X;
+  double Hxs = X * Hfx;
+  double R1 = One + Hxs * (-3.33333333333331316428e-02 +
+                           Hxs * 1.58730158725481460165e-03);
+  double T = 3.0 - R1 * Hfx;
+  double E = Hxs * ((R1 - T) / (6.0 - X * T));
+  if (CVM_EQ(14, K, 0))
+    return X - (X * E - Hxs); // |x| <= 0.5 ln2
+  E = (X * (E - C) - C);
+  E -= Hxs;
+  if (CVM_EQ(15, K, -1))
+    return 0.5 * (X - E) - 0.5;
+  if (CVM_EQ(16, K, 1)) {
+    if (CVM_LT(17, X, -0.25))
+      return -2.0 * (E - (X + 0.5));
+    return One + 2.0 * (X - E);
+  }
+  double YOut;
+  if (CVM_LE(18, K, -2) || CVM_GT(19, K, 56)) { // suffice to return exp(x)-1
+    YOut = One - (E - X);
+    setHi(YOut, hi(YOut) + (K << 20));
+    return YOut - One;
+  }
+  double TT = One;
+  if (CVM_LT(20, K, 20)) {
+    setHi(TT, 0x3ff00000 - (0x200000 >> K)); // t = 1 - 2^-k
+    YOut = TT - (E - X);
+    setHi(YOut, hi(YOut) + (K << 20));
+  } else {
+    setHi(TT, (0x3ff - K) << 20); // t = 2^-k
+    YOut = X - (E + TT);
+    YOut += One;
+    setHi(YOut, hi(YOut) + (K << 20));
+  }
+  return YOut;
+}
+
+/// e_log.c — 11 conditionals (22 branches).
+double logBody(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X), Lx = lo(X);
+  int K = 0;
+  if (CVM_LT(0, Hx, 0x00100000)) { // x < 2**-1022
+    if (CVM_EQ(1, (Hx & 0x7fffffff) | Lx, 0))
+      return -Two54 / Zero; // log(+-0) = -inf
+    if (CVM_LT(2, Hx, 0))
+      return (X - X) / Zero; // log(-#) = NaN
+    K -= 54;
+    X *= Two54; // normalize subnormal x
+    Hx = hi(X);
+  }
+  if (CVM_GE(3, Hx, 0x7ff00000))
+    return X + X; // inf or NaN
+  K += (Hx >> 20) - 1023;
+  Hx &= 0x000fffff;
+  int32_t I = (Hx + 0x95f64) & 0x100000;
+  X = setHighWord(X, Hx | (I ^ 0x3ff00000)); // normalize x to [sqrt(2)/2, sqrt(2)]
+  K += I >> 20;
+  double F = X - 1.0;
+  double Dk;
+  if (CVM_LT(4, 0x000fffff & (2 + Hx), 3)) { // |f| < 2**-20
+    if (CVM_EQ(5, F, Zero)) {
+      if (CVM_EQ(6, K, 0))
+        return Zero;
+      Dk = K;
+      return Dk * Ln2Hi + Dk * Ln2Lo;
+    }
+    double R = F * F * (0.5 - 0.3333333333333333 * F);
+    if (CVM_EQ(7, K, 0))
+      return F - R;
+    Dk = K;
+    return Dk * Ln2Hi - ((R - Dk * Ln2Lo) - F);
+  }
+  double S = F / (2.0 + F);
+  Dk = K;
+  double Z = S * S;
+  I = Hx - 0x6147a;
+  double W = Z * Z;
+  int32_t J = 0x6b851 - Hx;
+  double T1 = W * (0.3999999999940942 + W * 0.22222198432149784);
+  double T2 = Z * (0.6666666666666735 + W * 0.2857142874366239);
+  double R = T2 + T1;
+  I |= J;
+  if (CVM_GT(8, I, 0)) {
+    double Hfsq = 0.5 * F * F;
+    if (CVM_EQ(9, K, 0))
+      return F - (Hfsq - S * (Hfsq + R));
+    return Dk * Ln2Hi - ((Hfsq - (S * (Hfsq + R) + Dk * Ln2Lo)) - F);
+  }
+  if (CVM_EQ(10, K, 0))
+    return F - S * (F - R);
+  return Dk * Ln2Hi - ((S * (F - R) - Dk * Ln2Lo) - F);
+}
+
+/// e_log10.c — 4 conditionals (8 branches).
+double log10Body(const double *Args) {
+  const double IvLn10 = 4.34294481903251816668e-01;
+  const double Log102Hi = 3.01029995663611771306e-01;
+  const double Log102Lo = 3.69423907715893089906e-13;
+  double X = Args[0];
+  int32_t Hx = hi(X), Lx = lo(X);
+  int K = 0;
+  if (CVM_LT(0, Hx, 0x00100000)) {
+    if (CVM_EQ(1, (Hx & 0x7fffffff) | Lx, 0))
+      return -Two54 / Zero; // log10(+-0) = -inf
+    if (CVM_LT(2, Hx, 0))
+      return (X - X) / Zero; // log10(-#) = NaN
+    K -= 54;
+    X *= Two54;
+    Hx = hi(X);
+  }
+  if (CVM_GE(3, Hx, 0x7ff00000))
+    return X + X;
+  K += (Hx >> 20) - 1023;
+  int32_t I = (static_cast<uint32_t>(K) & 0x80000000u) >> 31;
+  Hx = (Hx & 0x000fffff) | ((0x3ff - I) << 20);
+  double Y = K + I;
+  X = setHighWord(X, Hx);
+  double Z = Y * Log102Lo + IvLn10 * std::log(X);
+  return Z + Y * Log102Hi;
+}
+
+/// s_log1p.c — 18 conditionals (36 branches).
+double log1pBody(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X);
+  int32_t Ax = Hx & 0x7fffffff;
+  int K = 1, Hu = 0;
+  double F = 0.0, C = 0.0;
+  if (CVM_LT(0, Hx, 0x3fda827a)) { // x < 0.41422
+    if (CVM_GE(1, Ax, 0x3ff00000)) { // x <= -1
+      if (CVM_EQ(2, X, -1.0))
+        return -Two54 / Zero; // log1p(-1) = -inf
+      return (X - X) / (X - X); // log1p(x < -1) = NaN
+    }
+    if (CVM_LT(3, Ax, 0x3e200000)) { // |x| < 2**-29
+      if (CVM_GT(4, Two54 + X, Zero) && CVM_LT(5, Ax, 0x3c900000))
+        return X; // |x| < 2**-54
+      return X - X * X * 0.5;
+    }
+    if (CVM_GT(6, Hx, 0) ||
+        CVM_LE(7, Hx, static_cast<int32_t>(0xbfd2bec3))) {
+      K = 0; // -0.2929 < x < 0.41422
+      F = X;
+      Hu = 1;
+    }
+  }
+  if (CVM_GE(8, Hx, 0x7ff00000))
+    return X + X;
+  if (CVM_NE(9, K, 0)) {
+    double U;
+    if (CVM_LT(10, Hx, 0x43400000)) {
+      U = 1.0 + X;
+      Hu = hi(U);
+      K = (Hu >> 20) - 1023;
+      // Correction term for the rounding in 1+x.
+      C = CVM_GT(11, K, 0) ? 1.0 - (U - X) : X - (U - 1.0);
+      C /= U;
+    } else {
+      U = X;
+      Hu = hi(U);
+      K = (Hu >> 20) - 1023;
+      C = 0;
+    }
+    Hu &= 0x000fffff;
+    if (CVM_LT(12, Hu, 0x6a09e)) {
+      U = setHighWord(U, Hu | 0x3ff00000); // normalize u
+    } else {
+      K += 1;
+      U = setHighWord(U, Hu | 0x3fe00000); // normalize u/2
+      Hu = (0x00100000 - Hu) >> 2;
+    }
+    F = U - 1.0;
+  }
+  double Hfsq = 0.5 * F * F;
+  if (CVM_EQ(13, Hu, 0)) { // |f| < 2**-20
+    if (CVM_EQ(14, F, Zero)) {
+      if (CVM_EQ(15, K, 0))
+        return Zero;
+      C += K * Ln2Lo;
+      return K * Ln2Hi + C;
+    }
+    double R = Hfsq * (1.0 - 0.66666666666666666 * F);
+    if (CVM_EQ(16, K, 0))
+      return F - R;
+    return K * Ln2Hi - ((R - (K * Ln2Lo + C)) - F);
+  }
+  double S = F / (2.0 + F);
+  double Z = S * S;
+  double R = Z * (0.6666666666666735 +
+                  Z * (0.3999999999940942 + Z * 0.2857142874366239));
+  if (CVM_EQ(17, K, 0))
+    return F - (Hfsq - S * (Hfsq + R));
+  return K * Ln2Hi - ((Hfsq - (S * (Hfsq + R) + (K * Ln2Lo + C))) - F);
+}
+
+/// e_pow.c — 57 conditionals (114 branches), the suite's largest program.
+double powBody(const double *Args) {
+  const double Ovt = 8.0085662595372944372e-17; // -(1024-log2(ovfl+.5ulp))
+  double X = Args[0], Y = Args[1];
+  int32_t Hx = hi(X), Hy = hi(Y);
+  uint32_t Lx = lowWord(X), Ly = lowWord(Y);
+  int32_t Ix = Hx & 0x7fffffff, Iy = Hy & 0x7fffffff;
+
+  // y == 0: x**0 = 1.
+  if (CVM_EQ(0, Iy | static_cast<int32_t>(Ly), 0))
+    return One;
+  // x or y NaN.
+  if (CVM_GT(1, Ix, 0x7ff00000))
+    return X + Y;
+  if (CVM_EQ(2, Ix, 0x7ff00000) && CVM_NE(3, Lx, 0))
+    return X + Y;
+  if (CVM_GT(4, Iy, 0x7ff00000))
+    return X + Y;
+  if (CVM_EQ(5, Iy, 0x7ff00000) && CVM_NE(6, Ly, 0))
+    return X + Y;
+
+  // Determine whether y is an odd/even integer when x < 0.
+  int YIsInt = 0;
+  if (CVM_LT(7, Hx, 0)) {
+    if (CVM_GE(8, Iy, 0x43400000)) { // |y| >= 2**52: even integer
+      YIsInt = 2;
+    } else if (CVM_GE(9, Iy, 0x3ff00000)) {
+      int K = (Iy >> 20) - 0x3ff;
+      if (CVM_GT(10, K, 20)) {
+        uint32_t J = Ly >> (52 - K);
+        if (CVM_EQ(11, J << (52 - K), Ly))
+          YIsInt = 2 - static_cast<int>(J & 1);
+      } else if (CVM_EQ(12, Ly, 0)) {
+        int32_t J = Iy >> (20 - K);
+        if (CVM_EQ(13, J << (20 - K), Iy))
+          YIsInt = 2 - (J & 1);
+      }
+    }
+  }
+
+  // Special values of y.
+  if (CVM_EQ(14, Ly, 0)) {
+    if (CVM_EQ(15, Iy, 0x7ff00000)) { // y is +-inf
+      if (CVM_EQ(16, (Ix - 0x3ff00000) | static_cast<int32_t>(Lx), 0))
+        return Y - Y; // (+-1)**inf is NaN (C89 fdlibm behaviour)
+      if (CVM_GE(17, Ix, 0x3ff00000)) // |x| >= 1
+        return CVM_GE(18, Hy, 0) ? Y : Zero;
+      return CVM_LT(19, Hy, 0) ? -Y : Zero; // |x| < 1
+    }
+    if (CVM_EQ(20, Iy, 0x3ff00000)) { // y is +-1
+      if (CVM_LT(21, Hy, 0))
+        return One / X;
+      return X;
+    }
+    if (CVM_EQ(22, Hy, 0x40000000)) // y is 2
+      return X * X;
+    if (CVM_EQ(23, Hy, 0x3fe00000)) { // y is 0.5
+      if (CVM_GE(24, Hx, 0))
+        return std::sqrt(X);
+    }
+  }
+
+  double Ax = std::fabs(X);
+  // Special values of x.
+  if (CVM_EQ(25, Lx, 0)) {
+    if (CVM_EQ(26, Ix, 0x7ff00000) || CVM_EQ(27, Ix, 0) ||
+        CVM_EQ(28, Ix, 0x3ff00000)) { // x is +-0, +-inf, +-1
+      double Z = Ax;
+      if (CVM_LT(29, Hy, 0))
+        Z = One / Z; // z = 1/|x| for y < 0
+      if (CVM_LT(30, Hx, 0)) {
+        if (CVM_EQ(31, (Ix - 0x3ff00000) | YIsInt, 0))
+          Z = (Z - Z) / (Z - Z); // (-1)**non-int is NaN
+        else if (CVM_EQ(32, YIsInt, 1))
+          Z = -Z; // (x<0)**odd = -(|x|**odd)
+      }
+      return Z;
+    }
+  }
+
+  int N = (Hx >> 31) + 1; // 1 when x > 0, 0 when x < 0.
+  // (x<0)**(non-int) is NaN.
+  if (CVM_EQ(33, N | YIsInt, 0))
+    return (X - X) / (X - X);
+
+  double S = One;
+  if (CVM_EQ(34, N | (YIsInt - 1), 0))
+    S = -One; // (-ve)**odd
+
+  double T1, T2;
+  if (CVM_GT(35, Iy, 0x41e00000)) { // |y| > 2**31
+    if (CVM_GT(36, Iy, 0x43f00000)) { // |y| > 2**64: must over/underflow
+      if (CVM_LE(37, Ix, 0x3fefffff))
+        return CVM_LT(38, Hy, 0) ? Huge * Huge : Tiny * Tiny;
+      if (CVM_GE(39, Ix, 0x3ff00000))
+        return CVM_GT(40, Hy, 0) ? Huge * Huge : Tiny * Tiny;
+    }
+    // Over/underflow when x is not close to one.
+    if (CVM_LT(41, Ix, 0x3fefffff))
+      return CVM_LT(42, Hy, 0) ? S * Huge * Huge : S * Tiny * Tiny;
+    if (CVM_GT(43, Ix, 0x3ff00000))
+      return CVM_GT(44, Hy, 0) ? S * Huge * Huge : S * Tiny * Tiny;
+    // |1-x| is tiny: log2(ax) ~ (ax-1)/ln2 to double-double accuracy.
+    double T = Ax - One;
+    double W = (T * T) * (0.5 - T * (0.3333333333333333 - T * 0.25));
+    double U = 1.4426950216293335 * T; // ivln2_h * t
+    double V = T * 1.9259629911266175e-08 - W * 1.4426950408889634;
+    T1 = setLowWord(U + V, 0);
+    T2 = V - (T1 - U);
+  } else {
+    // General case: t1 + t2 = log2(ax) in double-double.
+    double Ax2 = Ax;
+    int N2 = 0;
+    int32_t IxN = Ix;
+    if (CVM_LT(45, IxN, 0x00100000)) { // subnormal x
+      Ax2 *= Two54;
+      N2 -= 54;
+      IxN = hi(Ax2);
+    }
+    N2 += (IxN >> 20) - 0x3ff;
+    int32_t J = IxN & 0x000fffff;
+    IxN = J | 0x3ff00000;
+    if (CVM_LE(46, J, 0x3988e)) {
+      // |x| in [sqrt(2)/2, sqrt(2)): k = 0.
+    } else if (CVM_LT(47, J, 0xbb67a)) {
+      // k = 1 interval of the original's table-driven reduction.
+    } else {
+      N2 += 1;
+      IxN -= 0x00100000;
+    }
+    double AxNorm = setHighWord(Ax2, IxN);
+    double Log2Ax = std::log2(AxNorm) + static_cast<double>(N2);
+    T1 = setLowWord(Log2Ax, 0);
+    T2 = Log2Ax - T1;
+  }
+
+  // Split y and compute z = y * log2(ax) in double-double.
+  double Y1 = setLowWord(Y, 0);
+  double PL = (Y - Y1) * T1 + Y * T2;
+  double PH = Y1 * T1;
+  double Z = PL + PH;
+  int32_t J = hi(Z);
+  int32_t I = lo(Z);
+  if (CVM_GE(48, J, 0x40900000)) { // z >= 1024
+    if (CVM_NE(49, (J - 0x40900000) | I, 0))
+      return S * Huge * Huge; // overflow
+    if (CVM_GT(50, PL + Ovt, Z - PH))
+      return S * Huge * Huge; // overflow
+  } else if (CVM_GE(51, J & 0x7fffffff, 0x4090cc00)) { // z <= -1075
+    if (CVM_NE(52, (J - static_cast<int32_t>(0xc090cc00)) | I, 0))
+      return S * Tiny * Tiny; // underflow
+    if (CVM_LE(53, PL, Z - PH))
+      return S * Tiny * Tiny; // underflow
+  }
+
+  // Compute 2**(ph+pl): extract the integer part first.
+  int32_t IAbs = J & 0x7fffffff;
+  int NExp = 0;
+  if (CVM_GT(54, IAbs, 0x3fe00000)) { // |z| > 0.5: need reduction
+    int Mag = static_cast<int>(std::fabs(Z) + 0.5);
+    if (CVM_LT(55, J, 0))
+      NExp = -Mag;
+    else
+      NExp = Mag;
+  }
+  double Frac = std::exp2((PH - NExp) + PL); // in ~[2**-0.5, 2**0.5]
+  int32_t Jz = hi(Frac) + (NExp << 20);
+  double Out;
+  if (CVM_LE(56, Jz >> 20, 0))
+    Out = std::scalbn(Frac, NExp); // subnormal result
+  else
+    Out = setHighWord(Frac, Jz);
+  return S * Out;
+}
+
+/// e_scalb.c — 7 conditionals (14 branches).
+double scalbBody(const double *Args) {
+  double X = Args[0], Fn = Args[1];
+  if (CVM_NE(0, X, X))
+    return X * Fn; // isnan(x)
+  if (CVM_NE(1, Fn, Fn))
+    return X * Fn; // isnan(fn)
+  int32_t IFn = hi(Fn) & 0x7fffffff;
+  if (CVM_GE(2, IFn, 0x7ff00000)) { // !finite(fn)
+    if (CVM_GT(3, Fn, 0.0))
+      return X * Fn;
+    return X / (-Fn);
+  }
+  if (CVM_NE(4, std::rint(Fn), Fn))
+    return (Fn - Fn) / (Fn - Fn); // fn not an integer: NaN
+  if (CVM_GT(5, Fn, 65000.0))
+    return std::scalbn(X, 65000);
+  if (CVM_GT(6, -Fn, 65000.0))
+    return std::scalbn(X, -65000);
+  return std::scalbn(X, static_cast<int>(Fn));
+}
+
+} // namespace
+
+namespace coverme {
+namespace fdlibm {
+namespace detail {
+
+Program makeExp() {
+  return makeProgram("ieee754_exp", "e_exp.c", 1, 12, 31, expBody);
+}
+
+Program makeExpm1() {
+  return makeProgram("expm1", "s_expm1.c", 1, 21, 56, expm1Body);
+}
+
+Program makeLog() {
+  return makeProgram("ieee754_log", "e_log.c", 1, 11, 39, logBody);
+}
+
+Program makeLog10() {
+  return makeProgram("ieee754_log10", "e_log10.c", 1, 4, 18, log10Body);
+}
+
+Program makeLog1p() {
+  return makeProgram("log1p", "s_log1p.c", 1, 18, 46, log1pBody);
+}
+
+Program makePow() {
+  return makeProgram("ieee754_pow", "e_pow.c", 2, 57, 139, powBody);
+}
+
+Program makeScalb() {
+  return makeProgram("ieee754_scalb", "e_scalb.c", 2, 7, 9, scalbBody);
+}
+
+} // namespace detail
+} // namespace fdlibm
+} // namespace coverme

@@ -1,0 +1,226 @@
+//===- PortsHyperbolic.cpp - acosh/asinh/atanh/cosh/sinh/tanh ports ---------===//
+//
+// Ports of Fdlibm 5.3 e_acosh.c, s_asinh.c, e_atanh.c, e_cosh.c, e_sinh.c,
+// and s_tanh.c. Site numbering follows the original conditional order; the
+// paper's branch counts are 10, 12, 12, 16, 20, and 12 respectively.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fdlibm/PortDetail.h"
+#include "fdlibm/Ports.h"
+
+using namespace coverme;
+using namespace coverme::fdlibm::detail;
+
+namespace {
+
+const double One = 1.0, Half = 0.5, Huge = 1e300, Tiny = 1e-300;
+const double Ln2 = 6.93147180559945286227e-01;
+const double SHuge = 1.0e307;
+
+/// e_acosh.c — 5 conditionals (10 branches).
+double acoshBody(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X), Lx = lo(X);
+  if (CVM_LT(0, Hx, 0x3ff00000)) // x < 1
+    return (X - X) / (X - X);
+  if (CVM_GE(1, Hx, 0x41b00000)) { // x > 2**28
+    if (CVM_GE(2, Hx, 0x7ff00000)) // inf or NaN
+      return X + X;
+    return std::log(X) + Ln2;
+  }
+  if (CVM_EQ(3, (Hx - 0x3ff00000) | Lx, 0)) // x == 1
+    return 0.0;
+  if (CVM_GT(4, Hx, 0x40000000)) { // 2**28 > x > 2
+    double T = X * X;
+    return std::log(2.0 * X - One / (X + std::sqrt(T - One)));
+  }
+  // 1 < x <= 2.
+  double T = X - One;
+  return std::log1p(T + std::sqrt(2.0 * T + T * T));
+}
+
+/// s_asinh.c — 6 conditionals (12 branches).
+double asinhBody(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X);
+  int32_t Ix = Hx & 0x7fffffff;
+  double W;
+  if (CVM_GE(0, Ix, 0x7ff00000)) // inf or NaN
+    return X + X;
+  if (CVM_LT(1, Ix, 0x3e300000)) { // |x| < 2**-28
+    if (CVM_GT(2, Huge + X, One))  // raise inexact
+      return X;
+  }
+  if (CVM_GT(3, Ix, 0x41b00000)) { // |x| > 2**28
+    W = std::log(std::fabs(X)) + Ln2;
+  } else if (CVM_GT(4, Ix, 0x40000000)) { // 2**28 >= |x| > 2
+    double T = std::fabs(X);
+    W = std::log(2.0 * T + One / (std::sqrt(X * X + One) + T));
+  } else { // 2**-28 <= |x| <= 2
+    double T = X * X;
+    W = std::log1p(std::fabs(X) + T / (One + std::sqrt(One + T)));
+  }
+  if (CVM_GT(5, Hx, 0))
+    return W;
+  return -W;
+}
+
+/// e_atanh.c — 6 conditionals (12 branches).
+double atanhBody(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X), Lx = lo(X);
+  int32_t Ix = Hx & 0x7fffffff;
+  int32_t Combined =
+      Ix | static_cast<int32_t>(
+               (static_cast<uint32_t>(Lx | (-Lx))) >> 31);
+  if (CVM_GT(0, Combined, 0x3ff00000)) // |x| > 1
+    return (X - X) / (X - X);
+  if (CVM_EQ(1, Ix, 0x3ff00000)) // |x| == 1
+    return X / 0.0;
+  if (CVM_LT(2, Ix, 0x3e300000)) { // |x| < 2**-28
+    if (CVM_GT(3, Huge + X, 0.0))
+      return X;
+  }
+  double AbsX = setHighWord(X, Ix); // fabs via word twiddling
+  double T;
+  if (CVM_LT(4, Ix, 0x3fe00000)) { // |x| < 0.5
+    T = AbsX + AbsX;
+    T = Half * std::log1p(T + T * AbsX / (One - AbsX));
+  } else {
+    T = Half * std::log1p((AbsX + AbsX) / (One - AbsX));
+  }
+  if (CVM_GE(5, Hx, 0))
+    return T;
+  return -T;
+}
+
+/// e_cosh.c — 8 conditionals (16 branches).
+double coshBody(const double *Args) {
+  double X = Args[0];
+  int32_t Ix = hi(X) & 0x7fffffff;
+  if (CVM_GE(0, Ix, 0x7ff00000)) // inf or NaN
+    return X * X;
+  if (CVM_LT(1, Ix, 0x3fd62e43)) { // |x| < 0.5*ln2
+    double T = std::expm1(std::fabs(X));
+    double W = One + T;
+    if (CVM_LT(2, Ix, 0x3c800000)) // cosh(tiny) = 1
+      return W;
+    return One + (T * T) / (W + W);
+  }
+  if (CVM_LT(3, Ix, 0x40360000)) { // |x| < 22
+    double T = std::exp(std::fabs(X));
+    return Half * T + Half / T;
+  }
+  if (CVM_LT(4, Ix, 0x40862e42)) // |x| < log(maxdouble)
+    return Half * std::exp(std::fabs(X));
+  // |x| in [log(maxdouble), overflow threshold].
+  int32_t Lx = lo(X);
+  bool InRange = CVM_LT(5, Ix, 0x408633ce);
+  if (!InRange && CVM_EQ(6, Ix, 0x408633ce) &&
+      CVM_LE(7, static_cast<uint32_t>(Lx), 0x8fb9f87dU))
+    InRange = true;
+  if (InRange) {
+    double W = std::exp(Half * std::fabs(X));
+    double T = Half * W;
+    return T * W;
+  }
+  return Huge * Huge; // overflow
+}
+
+/// e_sinh.c — 10 conditionals (20 branches).
+double sinhBody(const double *Args) {
+  double X = Args[0];
+  int32_t Hx = hi(X);
+  int32_t Ix = Hx & 0x7fffffff;
+  if (CVM_GE(0, Ix, 0x7ff00000)) // inf or NaN
+    return X + X;
+  double H = Half;
+  if (CVM_LT(1, Hx, 0))
+    H = -H;
+  if (CVM_LT(2, Ix, 0x40360000)) { // |x| < 22
+    if (CVM_LT(3, Ix, 0x3e300000)) // |x| < 2**-28
+      if (CVM_GT(4, SHuge + X, One))
+        return X; // sinh(tiny) = tiny with inexact
+    double T = std::expm1(std::fabs(X));
+    if (CVM_LT(5, Ix, 0x3ff00000))
+      return H * (2.0 * T - T * T / (T + One));
+    return H * (T + T / (T + One));
+  }
+  if (CVM_LT(6, Ix, 0x40862e42)) // |x| < log(maxdouble)
+    return H * std::exp(std::fabs(X));
+  int32_t Lx = lo(X);
+  bool InRange = CVM_LT(7, Ix, 0x408633ce);
+  if (!InRange && CVM_EQ(8, Ix, 0x408633ce) &&
+      CVM_LE(9, static_cast<uint32_t>(Lx), 0x8fb9f87dU))
+    InRange = true;
+  if (InRange) {
+    double W = std::exp(Half * std::fabs(X));
+    double T = H * W;
+    return T * W;
+  }
+  return X * SHuge; // overflow
+}
+
+/// s_tanh.c — 6 conditionals (12 branches); the paper's Fig. 1 program.
+double tanhBody(const double *Args) {
+  double X = Args[0];
+  int32_t Jx = hi(X);
+  int32_t Ix = Jx & 0x7fffffff;
+  double Z;
+  if (CVM_GE(0, Ix, 0x7ff00000)) { // inf or NaN
+    if (CVM_GE(1, Jx, 0))
+      return One / X + One; // tanh(+-inf) = +-1
+    return One / X - One;   // tanh(NaN) = NaN
+  }
+  if (CVM_LT(2, Ix, 0x40360000)) { // |x| < 22
+    if (CVM_LT(3, Ix, 0x3c800000)) // |x| < 2**-55
+      return X * (One + X);
+    if (CVM_GE(4, Ix, 0x3ff00000)) { // |x| >= 1
+      double T = std::expm1(2.0 * std::fabs(X));
+      Z = One - 2.0 / (T + 2.0);
+    } else {
+      double T = std::expm1(-2.0 * std::fabs(X));
+      Z = -T / (T + 2.0);
+    }
+  } else { // |x| >= 22: tanh saturates
+    Z = One - Tiny;
+  }
+  if (CVM_GE(5, Jx, 0))
+    return Z;
+  return -Z;
+}
+
+} // namespace
+
+namespace coverme {
+namespace fdlibm {
+namespace detail {
+
+Program makeAcosh() {
+  return makeProgram("ieee754_acosh", "e_acosh.c", 1, 5, 15, acoshBody);
+}
+
+Program makeAsinh() {
+  return makeProgram("asinh", "s_asinh.c", 1, 6, 14, asinhBody);
+}
+
+Program makeAtanh() {
+  return makeProgram("ieee754_atanh", "e_atanh.c", 1, 6, 15, atanhBody);
+}
+
+Program makeCosh() {
+  return makeProgram("ieee754_cosh", "e_cosh.c", 1, 8, 20, coshBody);
+}
+
+Program makeSinh() {
+  return makeProgram("ieee754_sinh", "e_sinh.c", 1, 10, 19, sinhBody);
+}
+
+Program makeTanh() {
+  return makeProgram("tanh", "s_tanh.c", 1, 6, 16, tanhBody);
+}
+
+} // namespace detail
+} // namespace fdlibm
+} // namespace coverme

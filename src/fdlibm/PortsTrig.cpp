@@ -1,0 +1,283 @@
+//===- PortsTrig.cpp - sin/cos/tan/k_cos/rem_pio2 ports ---------------------===//
+//
+// Ports of Fdlibm 5.3 s_sin.c, s_cos.c, s_tan.c, k_cos.c, and e_rem_pio2.c.
+// Paper branch counts: 8, 8, 4, 8, 30. The kernel functions (__kernel_sin,
+// __kernel_cos used internally, __kernel_rem_pio2) stay uninstrumented —
+// the paper instruments the entry function only (Sect. 5.3); k_cos.c itself
+// is also tested as its own entry function (Fig. 7), including the branch
+// that is statically infeasible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fdlibm/PortDetail.h"
+#include "fdlibm/Ports.h"
+
+#include <array>
+
+using namespace coverme;
+using namespace coverme::fdlibm::detail;
+
+namespace {
+
+const double One = 1.0, Half = 0.5, Zero = 0.0;
+const double InvPiO2 = 6.36619772367581382433e-01; // 2/pi
+const double PiO2_1 = 1.57079632673412561417e+00;  // first 33 bits of pi/2
+const double PiO2_1t = 6.07710050650619224932e-11; // pi/2 - pio2_1
+const double PiO2_2 = 6.07710050630396597660e-11;  // second 33 bits
+const double PiO2_2t = 2.02226624879595063154e-21;
+const double Two24 = 1.67772160000000000000e+07;
+
+/// Uninstrumented __kernel_sin/__kernel_cos stand-ins on |y| <= pi/4.
+double kernelSin(double Y) { return std::sin(Y); }
+double kernelCos(double Y) { return std::cos(Y); }
+
+/// Uninstrumented argument reduction for the huge-|x| path
+/// (__kernel_rem_pio2 stand-in): returns n with y = x - n*pi/2.
+int kernelRemPio2Approx(double X, double &Y0, double &Y1) {
+  int Quo = 0;
+  double Rem = std::remquo(X, PiO2_1 + PiO2_1t, &Quo);
+  Y0 = Rem;
+  Y1 = 0.0;
+  return Quo & 0x7fffffff;
+}
+
+/// Medium-range reduction shared by sin/cos/tan entry functions
+/// (uninstrumented — it belongs to e_rem_pio2.c, a separate entry point).
+int remPio2Internal(double X, double &Y0, double &Y1) {
+  int32_t Ix = hi(X) & 0x7fffffff;
+  if (Ix <= 0x3fe921fb) {
+    Y0 = X;
+    Y1 = 0.0;
+    return 0;
+  }
+  if (Ix >= 0x7ff00000) {
+    Y0 = Y1 = X - X;
+    return 0;
+  }
+  double T = std::fabs(X);
+  int N = static_cast<int>(T * InvPiO2 + Half);
+  double Fn = N;
+  double R = T - Fn * PiO2_1;
+  double W = Fn * PiO2_1t;
+  Y0 = R - W;
+  Y1 = (R - Y0) - W;
+  if (Ix >= 0x41400000) // beyond ~2**21: fall back to remquo reduction
+    N = kernelRemPio2Approx(T, Y0, Y1);
+  if (hi(X) < 0) {
+    Y0 = -Y0;
+    Y1 = -Y1;
+    return -N;
+  }
+  return N;
+}
+
+/// s_sin.c — 4 conditionals (8 branches). The original's switch(n&3) is
+/// decomposed into the n&1 / n&2 tests so all four quadrant arms remain
+/// observable.
+double sinBody(const double *Args) {
+  double X = Args[0];
+  int32_t Ix = hi(X) & 0x7fffffff;
+  if (CVM_LE(0, Ix, 0x3fe921fb)) // |x| <= pi/4
+    return kernelSin(X);
+  if (CVM_GE(1, Ix, 0x7ff00000)) // inf or NaN
+    return X - X;
+  double Y0, Y1;
+  int N = remPio2Internal(X, Y0, Y1);
+  bool OddQuadrant = !CVM_EQ(2, N & 1, 0);
+  bool HighHalf = !CVM_EQ(3, N & 2, 0);
+  double R = OddQuadrant ? kernelCos(Y0) : kernelSin(Y0);
+  return HighHalf ? -R : R;
+}
+
+/// s_cos.c — 4 conditionals (8 branches).
+double cosBody(const double *Args) {
+  double X = Args[0];
+  int32_t Ix = hi(X) & 0x7fffffff;
+  if (CVM_LE(0, Ix, 0x3fe921fb)) // |x| <= pi/4
+    return kernelCos(X);
+  if (CVM_GE(1, Ix, 0x7ff00000)) // inf or NaN
+    return X - X;
+  double Y0, Y1;
+  int N = remPio2Internal(X, Y0, Y1);
+  bool OddQuadrant = !CVM_EQ(2, N & 1, 0);
+  bool HighHalf = !CVM_EQ(3, N & 2, 0);
+  double R = OddQuadrant ? kernelSin(Y0) : kernelCos(Y0);
+  return (OddQuadrant != HighHalf) ? -R : R;
+}
+
+/// s_tan.c — 2 conditionals (4 branches).
+double tanBody(const double *Args) {
+  double X = Args[0];
+  int32_t Ix = hi(X) & 0x7fffffff;
+  if (CVM_LE(0, Ix, 0x3fe921fb)) // |x| <= pi/4
+    return std::tan(X);
+  if (CVM_GE(1, Ix, 0x7ff00000)) // inf or NaN
+    return X - X;
+  double Y0, Y1;
+  int N = remPio2Internal(X, Y0, Y1);
+  double T = std::tan(Y0);
+  return (N & 1) ? -1.0 / T : T; // tan(x+n*pi/2)
+}
+
+/// k_cos.c — 4 conditionals (8 branches); Fig. 7 of the paper. The false
+/// arm of site 1 ((int)x != 0 under |x| < 2**-27) is statically infeasible;
+/// CoverMe's heuristic must detect it, capping coverage at 87.5%.
+double kernelCosBody(const double *Args) {
+  double X = Args[0], Y = Args[1];
+  int32_t Ix = hi(X) & 0x7fffffff;
+  if (CVM_LT(0, Ix, 0x3e400000)) { // |x| < 2**-27
+    if (CVM_EQ(1, static_cast<int>(X), 0)) // always true here
+      return One; // generate inexact
+  }
+  double Z = X * X;
+  double R = Z * (4.16666666666666019037e-02 +
+                  Z * (-1.38888888888741095749e-03 +
+                       Z * 2.48015872894767294178e-05));
+  if (CVM_LT(2, Ix, 0x3fd33333)) // |x| < 0.3
+    return One - (Half * Z - (Z * R - X * Y));
+  double Qx;
+  if (CVM_GT(3, Ix, 0x3fe90000)) { // |x| > 0.78125
+    Qx = 0.28125;
+  } else {
+    Qx = doubleFromWords(Ix - 0x00200000, 0); // |x|/4
+  }
+  double Hz = Half * Z - Qx;
+  double A = One - Qx;
+  return A - (Hz - (Z * R - X * Y));
+}
+
+/// e_rem_pio2.c — 15 conditionals (30 branches). The second parameter seeds
+/// y[0] (the paper's harness passes the pointee as a plain double); the
+/// returned value folds y[0] and n together so the result depends on both.
+double remPio2Body(const double *Args) {
+  // High words of n*pi/2 for n = 1..32, for the "close to a multiple"
+  // check; computed from the constant rather than Sun's literal table.
+  static const auto Npio2Hw = [] {
+    std::array<int32_t, 32> T{};
+    for (int N = 1; N <= 32; ++N)
+      T[N - 1] = hi(N * (PiO2_1 + PiO2_1t));
+    return T;
+  }();
+
+  double X = Args[0];
+  double Y[2] = {Args[1], 0.0};
+  int32_t Hx = hi(X);
+  int32_t Ix = Hx & 0x7fffffff;
+  int N = 0;
+
+  if (CVM_LE(0, Ix, 0x3fe921fb)) { // |x| <= pi/4, no reduction
+    Y[0] = X;
+    Y[1] = 0.0;
+    return Y[0] + 0.0;
+  }
+  if (CVM_LT(1, Ix, 0x4002d97c)) { // |x| < 3pi/4
+    if (CVM_GT(2, Hx, 0)) {
+      double Z = X - PiO2_1;
+      if (CVM_NE(3, Ix, 0x3ff921fb)) { // 33+53 bits of pi suffice
+        Y[0] = Z - PiO2_1t;
+        Y[1] = (Z - Y[0]) - PiO2_1t;
+      } else { // within ulp of pi/2: use 33+33+53 bits
+        Z -= PiO2_2;
+        Y[0] = Z - PiO2_2t;
+        Y[1] = (Z - Y[0]) - PiO2_2t;
+      }
+      return Y[0] + 1.0;
+    }
+    double Z = X + PiO2_1;
+    if (CVM_NE(4, Ix, 0x3ff921fb)) {
+      Y[0] = Z + PiO2_1t;
+      Y[1] = (Z - Y[0]) + PiO2_1t;
+    } else {
+      Z += PiO2_2;
+      Y[0] = Z + PiO2_2t;
+      Y[1] = (Z - Y[0]) + PiO2_2t;
+    }
+    return Y[0] - 1.0;
+  }
+  if (CVM_LE(5, Ix, 0x413921fb)) { // |x| <= 2**19 * pi/2, medium size
+    double T = std::fabs(X);
+    N = static_cast<int>(T * InvPiO2 + Half);
+    double Fn = N;
+    double R = T - Fn * PiO2_1;
+    double W = Fn * PiO2_1t; // first-round good to 85 bits
+    if (CVM_LT(6, N, 32) && CVM_NE(7, Ix, Npio2Hw[N - 1])) {
+      Y[0] = R - W;
+    } else {
+      int32_t J = Ix >> 20;
+      Y[0] = R - W;
+      int32_t High = hi(Y[0]);
+      int I = J - ((High >> 20) & 0x7ff);
+      if (CVM_GT(8, I, 16)) { // second iteration, good to 118 bits
+        T = R;
+        W = Fn * PiO2_2;
+        R = T - W;
+        W = Fn * PiO2_2t - ((T - R) - W);
+        Y[0] = R - W;
+        High = hi(Y[0]);
+        I = J - ((High >> 20) & 0x7ff);
+        if (CVM_GT(9, I, 49)) { // third iteration, 151 bits
+          T = R;
+          W = Fn * PiO2_2 * PiO2_2; // stand-in for pio2_3 tail
+          R = T - W;
+          Y[0] = R - W;
+        }
+      }
+    }
+    Y[1] = (R - Y[0]) - W;
+    if (CVM_LT(10, Hx, 0)) {
+      Y[0] = -Y[0];
+      Y[1] = -Y[1];
+      return Y[0] - static_cast<double>(N);
+    }
+    return Y[0] + static_cast<double>(N);
+  }
+  if (CVM_GE(11, Ix, 0x7ff00000)) { // inf or NaN
+    Y[0] = Y[1] = X - X;
+    return Y[0];
+  }
+  // Huge |x|: prepare the 24-bit chunks and call the kernel reduction.
+  double Z = setLowWord(0.0, lowWord(X));
+  int E0 = (Ix >> 20) - 1046; // ilogb(x) - 23
+  Z = setHighWord(Z, Ix - (E0 << 20));
+  double Tx[3];
+  for (int I = 0; CVM_LT(12, I, 2); ++I) {
+    Tx[I] = static_cast<double>(static_cast<int>(Z));
+    Z = (Z - Tx[I]) * Two24;
+  }
+  Tx[2] = Z;
+  int Nx = 3;
+  while (CVM_EQ(13, Tx[Nx - 1], Zero))
+    --Nx; // skip zero terms
+  N = kernelRemPio2Approx(std::fabs(X), Y[0], Y[1]);
+  if (CVM_LT(14, Hx, 0)) {
+    Y[0] = -Y[0];
+    Y[1] = -Y[1];
+    return Y[0] - static_cast<double>(N);
+  }
+  return Y[0] + static_cast<double>(N);
+}
+
+} // namespace
+
+namespace coverme {
+namespace fdlibm {
+namespace detail {
+
+Program makeSin() { return makeProgram("sin", "s_sin.c", 1, 4, 12, sinBody); }
+
+Program makeCos() { return makeProgram("cos", "s_cos.c", 1, 4, 12, cosBody); }
+
+Program makeTan() { return makeProgram("tan", "s_tan.c", 1, 2, 8, tanBody); }
+
+Program makeKernelCos() {
+  return makeProgram("kernel_cos", "k_cos.c", 2, 4, 15, kernelCosBody);
+}
+
+Program makeRemPio2() {
+  return makeProgram("ieee754_rem_pio2", "e_rem_pio2.c", 2, 15, 64,
+                     remPio2Body);
+}
+
+} // namespace detail
+} // namespace fdlibm
+} // namespace coverme

@@ -1,0 +1,279 @@
+//===- AflFuzzer.cpp - Coverage-guided mutation fuzzing (AFL-lite) ----------===//
+
+#include "fuzz/AflFuzzer.h"
+
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/FloatBits.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+using namespace coverme;
+
+namespace {
+
+/// AFL's hit-count bucketing: collapses raw counts into 8 classes so loops
+/// don't explode the novelty signal.
+unsigned bucketOf(uint64_t Count) {
+  if (Count == 0)
+    return 0;
+  if (Count <= 3)
+    return static_cast<unsigned>(Count);
+  if (Count <= 7)
+    return 4;
+  if (Count <= 15)
+    return 5;
+  if (Count <= 31)
+    return 6;
+  if (Count <= 127)
+    return 7;
+  return 8;
+}
+
+/// One corpus entry: the raw input bytes (8 per double).
+struct QueueEntry {
+  std::vector<uint8_t> Bytes;
+  bool DeterministicDone = false;
+};
+
+/// AFL's interesting integer values (config.h INTERESTING_8/16/32). AFL is
+/// byte-oriented and knows nothing about IEEE doubles; any float-special
+/// pattern has to emerge from these plus bitflips, which is exactly why
+/// the real tool plateaus below CoverMe on this suite.
+const int8_t Interesting8[] = {-128, -1, 0, 1, 16, 32, 64, 100, 127};
+const int16_t Interesting16[] = {-32768, -129, 128, 255, 256, 512, 1000,
+                                 1024, 4096, 32767};
+const int32_t Interesting32[] = {INT32_MIN, -100663046, -32769, 32768,
+                                 65535, 65536, 100663045, INT32_MAX};
+
+} // namespace
+
+AflFuzzer::AflFuzzer(const Program &P, AflOptions Opts)
+    : Prog(P), Opts(Opts) {
+  assert(P.Body && "program has no body");
+}
+
+TesterResult AflFuzzer::run(uint64_t MaxExecutions) {
+  WallTimer Timer;
+  TesterResult Res;
+  Res.Coverage.reset(Prog.NumSites);
+
+  ExecutionContext Ctx(Prog.NumSites);
+  Ctx.PenEnabled = false;
+  Ctx.TraceEnabled = false;
+  RepresentingFunction FR(Prog, Ctx);
+
+  const size_t InputBytes =
+      (Opts.TextHarness ? Opts.TextBytesPerArg : 8) * Prog.Arity;
+  Rng Rng(Opts.Seed);
+
+  // Virgin map: (site, arm, bucket) triples already seen.
+  std::set<uint32_t> Virgin;
+  CoverageMap RunMap(Prog.NumSites);
+
+  std::vector<double> Decoded(Prog.Arity);
+  // Executes one input; returns true when it exercises novel coverage.
+  auto ExecuteInput = [&](const std::vector<uint8_t> &Bytes) {
+    if (Opts.TextHarness) {
+      // The appendix-B harness: zero-initialized doubles, filled by
+      // scanf("%lf %lf ...") over the mutated text. A failed conversion
+      // stops the scan and leaves the remaining arguments at zero.
+      std::string Text(Bytes.begin(), Bytes.end());
+      Text.push_back('\0');
+      std::fill(Decoded.begin(), Decoded.end(), 0.0);
+      const char *Cursor = Text.c_str();
+      for (double &Value : Decoded) {
+        char *End = nullptr;
+        double V = std::strtod(Cursor, &End);
+        if (End == Cursor)
+          break; // conversion failure: scanf stops here
+        Value = V;
+        Cursor = End;
+      }
+    } else {
+      std::memcpy(Decoded.data(), Bytes.data(), InputBytes);
+    }
+    RunMap.reset(Prog.NumSites);
+    Ctx.Coverage = &RunMap;
+    FR.execute(Decoded);
+    Ctx.Coverage = nullptr;
+    ++Res.Executions;
+    Res.Coverage.merge(RunMap);
+    bool Novel = false;
+    for (uint32_t Site = 0; Site < Prog.NumSites; ++Site) {
+      for (unsigned Arm = 0; Arm < 2; ++Arm) {
+        unsigned Bucket = bucketOf(RunMap.hits(Site, Arm != 0));
+        if (Bucket == 0)
+          continue;
+        uint32_t Key = (Site << 5) | (Arm << 4) | Bucket;
+        if (Virgin.insert(Key).second)
+          Novel = true;
+      }
+    }
+    return Novel;
+  };
+
+  // Seed corpus. Text mode mirrors a typical AFL input directory (small
+  // decimal literals); raw mode seeds zeros, ones, and random patterns.
+  std::vector<QueueEntry> Queue;
+  auto AddSeedBytes = [&](std::vector<uint8_t> Bytes) {
+    Bytes.resize(InputBytes, static_cast<uint8_t>(' '));
+    QueueEntry E{std::move(Bytes), false};
+    ExecuteInput(E.Bytes);
+    Queue.push_back(std::move(E));
+  };
+  if (Opts.TextHarness) {
+    for (const char *Seed : {"0", "1.0 1.0", "-3.5 2.25", "100 -100"})
+      AddSeedBytes(std::vector<uint8_t>(Seed, Seed + std::strlen(Seed)));
+  } else {
+    auto AddSeed = [&](const std::vector<double> &Values) {
+      std::vector<uint8_t> Bytes(InputBytes);
+      std::memcpy(Bytes.data(), Values.data(), InputBytes);
+      AddSeedBytes(std::move(Bytes));
+    };
+    AddSeed(std::vector<double>(Prog.Arity, 0.0));
+    AddSeed(std::vector<double>(Prog.Arity, 1.0));
+    for (unsigned I = 0; I < Opts.RandomSeeds; ++I) {
+      std::vector<double> V(Prog.Arity);
+      for (double &Coord : V)
+        Coord = Rng.rawBitsDouble();
+      AddSeed(V);
+    }
+  }
+
+  size_t Cursor = 0;
+  while (Res.Executions < MaxExecutions && !Queue.empty()) {
+    // Copy the scheduled entry's bytes up front: ExecuteInput may push new
+    // queue entries, which can reallocate the vector and would invalidate
+    // any reference held across the stages.
+    size_t EntryIdx = Cursor % Queue.size();
+    const std::vector<uint8_t> Base = Queue[EntryIdx].Bytes;
+    bool NeedDeterministic = !Queue[EntryIdx].DeterministicDone;
+    Queue[EntryIdx].DeterministicDone = true;
+    std::vector<uint8_t> Work = Base;
+
+    if (NeedDeterministic) {
+      // Stage 1: walking single-bit flips.
+      for (size_t Bit = 0;
+           Bit < InputBytes * 8 && Res.Executions < MaxExecutions; ++Bit) {
+        Work[Bit >> 3] ^= (1u << (Bit & 7));
+        if (ExecuteInput(Work) && Queue.size() < Opts.MaxQueue)
+          Queue.push_back({Work, false});
+        Work[Bit >> 3] ^= (1u << (Bit & 7));
+      }
+      // Stage 2: byte arithmetic +-1..16.
+      for (size_t Byte = 0;
+           Byte < InputBytes && Res.Executions < MaxExecutions; ++Byte) {
+        uint8_t Orig = Work[Byte];
+        for (int Delta = -16; Delta <= 16; ++Delta) {
+          if (Delta == 0)
+            continue;
+          Work[Byte] = static_cast<uint8_t>(Orig + Delta);
+          if (ExecuteInput(Work) && Queue.size() < Opts.MaxQueue)
+            Queue.push_back({Work, false});
+          if (Res.Executions >= MaxExecutions)
+            break;
+        }
+        Work[Byte] = Orig;
+      }
+      // Stage 3: interesting 8/16/32-bit integers at every byte offset.
+      for (size_t Byte = 0;
+           Byte < InputBytes && Res.Executions < MaxExecutions; ++Byte) {
+        uint8_t Orig = Work[Byte];
+        for (int8_t V : Interesting8) {
+          Work[Byte] = static_cast<uint8_t>(V);
+          if (ExecuteInput(Work) && Queue.size() < Opts.MaxQueue)
+            Queue.push_back({Work, false});
+          if (Res.Executions >= MaxExecutions)
+            break;
+        }
+        Work[Byte] = Orig;
+      }
+      for (size_t Byte = 0;
+           Byte + 2 <= InputBytes && Res.Executions < MaxExecutions; ++Byte) {
+        uint16_t Orig;
+        std::memcpy(&Orig, Work.data() + Byte, 2);
+        for (int16_t V : Interesting16) {
+          std::memcpy(Work.data() + Byte, &V, 2);
+          if (ExecuteInput(Work) && Queue.size() < Opts.MaxQueue)
+            Queue.push_back({Work, false});
+          if (Res.Executions >= MaxExecutions)
+            break;
+        }
+        std::memcpy(Work.data() + Byte, &Orig, 2);
+      }
+      for (size_t Byte = 0;
+           Byte + 4 <= InputBytes && Res.Executions < MaxExecutions; ++Byte) {
+        uint32_t Orig;
+        std::memcpy(&Orig, Work.data() + Byte, 4);
+        for (int32_t V : Interesting32) {
+          std::memcpy(Work.data() + Byte, &V, 4);
+          if (ExecuteInput(Work) && Queue.size() < Opts.MaxQueue)
+            Queue.push_back({Work, false});
+          if (Res.Executions >= MaxExecutions)
+            break;
+        }
+        std::memcpy(Work.data() + Byte, &Orig, 4);
+      }
+    }
+
+    // Havoc stage: stacked random mutations.
+    unsigned Rounds = 32;
+    for (unsigned R = 0; R < Rounds && Res.Executions < MaxExecutions; ++R) {
+      Work = Base;
+      unsigned Stack = 1u << (1 + Rng.below(Opts.HavocStackPow));
+      for (unsigned S = 0; S < Stack; ++S) {
+        switch (Rng.below(6)) {
+        case 0: { // flip a random bit
+          size_t Bit = Rng.below(InputBytes * 8);
+          Work[Bit >> 3] ^= (1u << (Bit & 7));
+          break;
+        }
+        case 1: // randomize a byte
+          Work[Rng.below(InputBytes)] = static_cast<uint8_t>(Rng.next());
+          break;
+        case 2: { // interesting 16-bit value at a random offset
+          size_t Byte = Rng.below(InputBytes - 1);
+          int16_t V = Interesting16[Rng.below(sizeof(Interesting16) / 2)];
+          std::memcpy(Work.data() + Byte, &V, 2);
+          break;
+        }
+        case 3: { // interesting 32-bit value at a random offset
+          size_t Byte = Rng.below(InputBytes - 3);
+          int32_t V = Interesting32[Rng.below(sizeof(Interesting32) / 4)];
+          std::memcpy(Work.data() + Byte, &V, 4);
+          break;
+        }
+        case 4: { // byte arithmetic at a random offset
+          size_t Byte = Rng.below(InputBytes);
+          Work[Byte] = static_cast<uint8_t>(
+              Work[Byte] + static_cast<int>(Rng.below(71)) - 35);
+          break;
+        }
+        default: { // splice with another queue entry
+          const QueueEntry &Other = Queue[Rng.below(Queue.size())];
+          size_t Cut = Rng.below(InputBytes);
+          std::memcpy(Work.data() + Cut, Other.Bytes.data() + Cut,
+                      InputBytes - Cut);
+          break;
+        }
+        }
+      }
+      if (ExecuteInput(Work) && Queue.size() < Opts.MaxQueue)
+        Queue.push_back({Work, false});
+    }
+    ++Cursor;
+  }
+
+  Res.CorpusSize = Queue.size();
+  Res.BranchCoverage = Res.Coverage.branchCoverage();
+  Res.LineCoverage = Res.Coverage.lineCoverage(Prog);
+  Res.Seconds = Timer.seconds();
+  return Res;
+}

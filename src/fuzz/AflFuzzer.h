@@ -1,0 +1,60 @@
+//===- AflFuzzer.h - Coverage-guided mutation fuzzing (AFL-lite) ----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A faithful-in-structure reimplementation of AFL's algorithmic core for
+/// double-typed inputs: a queue of interesting inputs, deterministic
+/// mutation stages (walking bitflips, byte arithmetic, interesting values)
+/// followed by stacked "havoc" mutations, with novelty judged by new
+/// branch-arm/hit-count-bucket coverage — AFL's virgin-bitmap rule adapted
+/// to the per-site recorder. The paper runs AFL 2.x as released by Google;
+/// this is the same search skeleton on the same substrate as the other
+/// testers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_FUZZ_AFLFUZZER_H
+#define COVERME_FUZZ_AFLFUZZER_H
+
+#include "fuzz/Tester.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace coverme {
+
+struct AflOptions {
+  uint64_t Seed = 1;
+  size_t MaxQueue = 2048;     ///< Queue cap; oldest low-yield entries drop.
+  unsigned HavocStackPow = 3; ///< Up to 2^pow stacked havoc mutations.
+  unsigned RandomSeeds = 4;   ///< Extra random seed inputs besides 0 and 1.
+
+  /// When true (default, the paper's appendix-B setup), the fuzzed buffer
+  /// is ASCII text parsed with scanf("%lf") semantics — AFL mutates the
+  /// decimal string, not raw double bytes. Unparsable text leaves the
+  /// harness's zero-initialized doubles in place, exactly like the
+  /// original test driver. When false, the buffer holds raw IEEE bytes
+  /// (a stronger mode the ablation bench exercises).
+  bool TextHarness = true;
+  size_t TextBytesPerArg = 14; ///< Width of each argument's text field.
+};
+
+/// Grey-box mutation fuzzer over fixed-arity double inputs.
+class AflFuzzer {
+public:
+  AflFuzzer(const Program &P, AflOptions Opts = {});
+
+  /// Fuzzes until \p MaxExecutions program runs are consumed.
+  TesterResult run(uint64_t MaxExecutions);
+
+private:
+  const Program &Prog;
+  AflOptions Opts;
+};
+
+} // namespace coverme
+
+#endif // COVERME_FUZZ_AFLFUZZER_H

@@ -1,0 +1,144 @@
+//===- AustinTester.cpp - Search-based testing (Austin-lite) ----------------===//
+
+#include "fuzz/AustinTester.h"
+
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/Timer.h"
+
+#include <cmath>
+
+using namespace coverme;
+
+namespace {
+
+/// Fitness of the flat region where the target site was never executed.
+const double UnreachedPenalty = 1e120;
+
+} // namespace
+
+AustinTester::AustinTester(const Program &P, AustinOptions Opts)
+    : Prog(P), Opts(Opts) {
+  assert(P.Body && "program has no body");
+}
+
+TesterResult AustinTester::run(uint64_t MaxExecutions) {
+  WallTimer Timer;
+  TesterResult Res;
+  Res.Coverage.reset(Prog.NumSites);
+
+  ExecutionContext Ctx(Prog.NumSites);
+  Ctx.PenEnabled = false;
+  Ctx.TraceEnabled = false;
+  Ctx.RecordOperands = true;
+  Ctx.Coverage = &Res.Coverage;
+  RepresentingFunction FR(Prog, Ctx);
+
+  Rng Rng(Opts.Seed);
+
+  // Fitness of input X for a target arm: zero when the arm is taken; when
+  // only the site is reached, either the branch distance (optional oracle
+  // mode) or a flat wrong-arm level; a larger flat penalty when the site
+  // is not reached at all.
+  auto Fitness = [&](const std::vector<double> &X, BranchRef Target) {
+    FR.execute(X);
+    ++Res.Executions;
+    const SiteObservation &Obs = Ctx.Observations[Target.Site];
+    if (!Obs.Executed)
+      return UnreachedPenalty;
+    CmpOp Op = Target.Outcome ? Obs.Op : negateCmpOp(Obs.Op);
+    double D = branchDistance(Op, Obs.A, Obs.B);
+    if (D != D)
+      return UnreachedPenalty;
+    if (!Opts.UseBranchDistance)
+      return D == 0.0 ? 0.0 : 1.0; // coarse reached/taken level
+    return D;
+  };
+
+  // One AVM descent from a random start. Returns true once the target arm
+  // is covered (fitness zero).
+  auto AvmSearch = [&](BranchRef Target, uint64_t Budget) {
+    uint64_t Spent0 = Res.Executions;
+    std::vector<double> X(Prog.Arity);
+    for (unsigned Restart = 0;
+         Opts.RestartUntilBudget
+             ? (Res.Executions - Spent0 < Budget &&
+                Res.Executions < MaxExecutions)
+             : Restart < Opts.RestartsPerTarget;
+         ++Restart) {
+      // First attempt from the all-zero input (AUSTIN's default), then
+      // uniform random restarts over the conventional input domain.
+      for (double &Coord : X)
+        Coord = Restart == 0 ? 0.0 : Rng.uniform(-Opts.RestartRange,
+                                                 Opts.RestartRange);
+      double F = Fitness(X, Target);
+      if (F == 0.0)
+        return true;
+      bool AnyImprovement = true;
+      while (AnyImprovement && Res.Executions - Spent0 < Budget &&
+             Res.Executions < MaxExecutions) {
+        AnyImprovement = false;
+        for (size_t Var = 0; Var < Prog.Arity; ++Var) {
+          // Exploratory moves: Korel's AVM probes +-delta with a fixed
+          // initial step (0.1 for floating-point variables), relying on
+          // pattern-move doubling to travel — which is precisely why it
+          // struggles to cross the hundreds of binades Fdlibm thresholds
+          // span within a per-target budget.
+          for (double Sign : {+1.0, -1.0}) {
+            double Delta = Sign * 0.1;
+            std::vector<double> Probe = X;
+            Probe[Var] += Delta;
+            double FP = Fitness(Probe, Target);
+            if (FP == 0.0)
+              return true;
+            if (FP >= F)
+              continue;
+            // Pattern move: accelerate while improving.
+            X = Probe;
+            F = FP;
+            AnyImprovement = true;
+            while (Res.Executions - Spent0 < Budget &&
+                   Res.Executions < MaxExecutions) {
+              Delta *= 2.0;
+              std::vector<double> Next = X;
+              Next[Var] += Delta;
+              double FN = Fitness(Next, Target);
+              if (FN == 0.0)
+                return true;
+              if (FN >= F)
+                break;
+              X = std::move(Next);
+              F = FN;
+            }
+            break;
+          }
+          if (Res.Executions - Spent0 >= Budget ||
+              Res.Executions >= MaxExecutions)
+            break;
+        }
+      }
+      if (Res.Executions - Spent0 >= Budget || Res.Executions >= MaxExecutions)
+        break;
+    }
+    return false;
+  };
+
+  // Target every arm in site order, skipping ones already covered by
+  // earlier searches (Austin iterates over uncovered branches similarly).
+  for (uint32_t Site = 0; Site < Prog.NumSites; ++Site) {
+    for (bool Outcome : {true, false}) {
+      if (Res.Executions >= MaxExecutions)
+        break;
+      BranchRef Target{Site, Outcome};
+      if (Res.Coverage.isCovered(Target))
+        continue;
+      if (AvmSearch(Target, Opts.PerTargetExecutions))
+        ++Res.CorpusSize;
+    }
+  }
+
+  Res.BranchCoverage = Res.Coverage.branchCoverage();
+  Res.LineCoverage = Res.Coverage.lineCoverage(Prog);
+  Res.Seconds = Timer.seconds();
+  return Res;
+}

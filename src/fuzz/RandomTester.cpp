@@ -1,0 +1,45 @@
+//===- RandomTester.cpp - Pure random testing (Rand) ------------------------===//
+
+#include "fuzz/RandomTester.h"
+
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/Timer.h"
+
+using namespace coverme;
+
+RandomTester::RandomTester(const Program &P, RandomTesterOptions Opts)
+    : Prog(P), Opts(Opts) {
+  assert(P.Body && "program has no body");
+}
+
+TesterResult RandomTester::run(uint64_t MaxExecutions) {
+  WallTimer Timer;
+  TesterResult Res;
+  Res.Coverage.reset(Prog.NumSites);
+
+  ExecutionContext Ctx(Prog.NumSites);
+  Ctx.PenEnabled = false;
+  Ctx.TraceEnabled = false;
+  Ctx.Coverage = &Res.Coverage;
+  RepresentingFunction FR(Prog, Ctx);
+
+  Rng Rng(Opts.Seed);
+  std::vector<double> X(Prog.Arity);
+  for (uint64_t I = 0; I < MaxExecutions; ++I) {
+    for (double &Coord : X) {
+      if (Opts.Distribution == RandDistribution::RangeUniform)
+        Coord = Rng.uniform(-Opts.Range, Opts.Range);
+      else
+        Coord = Rng.rawBitsDouble();
+    }
+    FR.execute(X);
+    ++Res.Executions;
+  }
+
+  Res.CorpusSize = Res.Executions;
+  Res.BranchCoverage = Res.Coverage.branchCoverage();
+  Res.LineCoverage = Res.Coverage.lineCoverage(Prog);
+  Res.Seconds = Timer.seconds();
+  return Res;
+}

@@ -1,0 +1,42 @@
+//===- Tester.h - Common interface for the baseline testers ---------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared types for the comparison tools of Sect. 6.1: Rand (pure random
+/// testing), AFL (coverage-guided mutation fuzzing), and Austin (search-
+/// based testing). All three run the same instrumented Program with pen
+/// disabled — only CoverMe uses the representing function — and are
+/// budgeted in program executions, the fair currency on a shared substrate
+/// (the paper budgets Rand/AFL at 10x CoverMe's wall time; executions
+/// remove the noise of our much cheaper in-process harness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_FUZZ_TESTER_H
+#define COVERME_FUZZ_TESTER_H
+
+#include "runtime/Coverage.h"
+#include "runtime/Program.h"
+
+#include <cstdint>
+
+namespace coverme {
+
+/// Outcome of one baseline-tester campaign.
+struct TesterResult {
+  CoverageMap Coverage;      ///< Branch arms hit across all executions.
+  uint64_t Executions = 0;   ///< Program runs consumed.
+  double Seconds = 0.0;      ///< Wall time.
+  size_t CorpusSize = 0;     ///< Inputs retained as interesting (AFL) or
+                             ///< generated as tests (Rand: all, Austin: per
+                             ///< target).
+  double BranchCoverage = 0.0;
+  double LineCoverage = 0.0;
+};
+
+} // namespace coverme
+
+#endif // COVERME_FUZZ_TESTER_H

@@ -1,0 +1,236 @@
+//===- Instrumenter.cpp - Source-to-source pen injection --------------------===//
+
+#include "instrument/Instrumenter.h"
+
+#include "instrument/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace coverme;
+using namespace coverme::instrument;
+
+namespace {
+
+/// A pending text replacement [Begin, End) -> Replacement.
+struct Edit {
+  size_t Begin = 0;
+  size_t End = 0;
+  std::string Replacement;
+};
+
+const char *opConstantName(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return "CVM_OP_EQ";
+  case CmpOp::NE:
+    return "CVM_OP_NE";
+  case CmpOp::LT:
+    return "CVM_OP_LT";
+  case CmpOp::LE:
+    return "CVM_OP_LE";
+  case CmpOp::GT:
+    return "CVM_OP_GT";
+  case CmpOp::GE:
+    return "CVM_OP_GE";
+  }
+  assert(false && "unknown CmpOp");
+  return "CVM_OP_EQ";
+}
+
+bool isComparisonPunct(const Token &Tok, CmpOp &Op) {
+  if (!Tok.is(TokenKind::Punct))
+    return false;
+  if (Tok.Text == "==")
+    Op = CmpOp::EQ;
+  else if (Tok.Text == "!=")
+    Op = CmpOp::NE;
+  else if (Tok.Text == "<")
+    Op = CmpOp::LT;
+  else if (Tok.Text == "<=")
+    Op = CmpOp::LE;
+  else if (Tok.Text == ">")
+    Op = CmpOp::GT;
+  else if (Tok.Text == ">=")
+    Op = CmpOp::GE;
+  else
+    return false;
+  return true;
+}
+
+/// Finds the index of the token matching the opening bracket at \p Open
+/// ("(" vs ")", "{" vs "}"). Returns the tokens' size when unbalanced.
+size_t findMatching(const std::vector<Token> &Tokens, size_t Open,
+                    const char *OpenSpelling, const char *CloseSpelling) {
+  int Depth = 0;
+  for (size_t I = Open; I < Tokens.size(); ++I) {
+    if (Tokens[I].isPunct(OpenSpelling))
+      ++Depth;
+    else if (Tokens[I].isPunct(CloseSpelling)) {
+      if (--Depth == 0)
+        return I;
+    }
+  }
+  return Tokens.size();
+}
+
+/// Scans the token range (Begin, End) for a single top-level comparison.
+/// Rejects ranges with top-level &&, ||, ?:, comma, or assignment — those
+/// are outside the Def. 3.1(b) subset. Returns the operator index or 0.
+size_t findTopLevelComparison(const std::vector<Token> &Tokens, size_t Begin,
+                              size_t End, CmpOp &Op) {
+  int Depth = 0;
+  size_t Found = 0;
+  for (size_t I = Begin; I < End; ++I) {
+    const Token &Tok = Tokens[I];
+    if (Tok.isPunct("(") || Tok.isPunct("["))
+      ++Depth;
+    else if (Tok.isPunct(")") || Tok.isPunct("]"))
+      --Depth;
+    if (Depth != 0)
+      continue;
+    if (Tok.isPunct("&&") || Tok.isPunct("||") || Tok.isPunct("?") ||
+        Tok.isPunct(",") || Tok.isPunct("=") || Tok.isPunct(";"))
+      return 0;
+    CmpOp Candidate;
+    if (isComparisonPunct(Tok, Candidate)) {
+      if (Found != 0)
+        return 0; // more than one comparison: chained, unsupported
+      Found = I;
+      Op = Candidate;
+    }
+  }
+  return Found;
+}
+
+} // namespace
+
+std::string
+coverme::instrument::instrumentationPrologue(const std::string &HookName) {
+  std::string Out;
+  Out += "/* CoverMe instrumentation prologue: the hook evaluates\n";
+  Out += " * r = pen(i, op, a, b) and returns the branch outcome. */\n";
+  Out += "#define CVM_OP_EQ 0\n";
+  Out += "#define CVM_OP_NE 1\n";
+  Out += "#define CVM_OP_LT 2\n";
+  Out += "#define CVM_OP_LE 3\n";
+  Out += "#define CVM_OP_GT 4\n";
+  Out += "#define CVM_OP_GE 5\n";
+  Out += "extern int " + HookName + "(int site, int op, double lhs, double rhs);\n\n";
+  return Out;
+}
+
+InstrumentResult
+coverme::instrument::instrumentSource(const std::string &Source,
+                                      const InstrumenterOptions &Opts) {
+  InstrumentResult Res;
+  std::vector<Token> Tokens = lex(Source);
+  std::vector<Edit> Edits;
+
+  // Locate the instrumented region: the whole unit, or the entry
+  // function's body when one is named.
+  size_t RegionBegin = 0, RegionEnd = Tokens.size();
+  if (!Opts.EntryFunction.empty()) {
+    RegionBegin = RegionEnd = 0;
+    for (size_t I = 0; I + 1 < Tokens.size(); ++I) {
+      if (!Tokens[I].isIdentifier(Opts.EntryFunction.c_str()) ||
+          !Tokens[I + 1].isPunct("("))
+        continue;
+      size_t Close = findMatching(Tokens, I + 1, "(", ")");
+      if (Close + 1 >= Tokens.size() || !Tokens[Close + 1].isPunct("{"))
+        continue; // a call or declaration, not a definition
+      RegionBegin = Close + 1;
+      RegionEnd = findMatching(Tokens, Close + 1, "{", "}");
+      break;
+    }
+  }
+
+  auto InstrumentCondition = [&](size_t OpenParen, size_t CloseParen,
+                                 const char *Statement, unsigned Line) {
+    CmpOp Op = CmpOp::EQ;
+    size_t OpIdx =
+        findTopLevelComparison(Tokens, OpenParen + 1, CloseParen, Op);
+    if (OpIdx == 0 || OpIdx == OpenParen + 1 || OpIdx + 1 == CloseParen) {
+      ++Res.SkippedConditionals;
+      return;
+    }
+    SiteInfo Site;
+    Site.Id = static_cast<uint32_t>(Res.Sites.size());
+    Site.Op = Op;
+    Site.Line = Line;
+    Site.Statement = Statement;
+    size_t LhsBegin = Tokens[OpenParen + 1].Offset;
+    size_t LhsEnd = Tokens[OpIdx].Offset;
+    size_t RhsBegin = Tokens[OpIdx].endOffset();
+    size_t RhsEnd = Tokens[CloseParen].Offset;
+    Site.Lhs = Source.substr(LhsBegin, LhsEnd - LhsBegin);
+    Site.Rhs = Source.substr(RhsBegin, RhsEnd - RhsBegin);
+    // Trim trailing/leading whitespace for the report (not the rewrite).
+    auto Trim = [](std::string &S) {
+      while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+        S.pop_back();
+      while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+        S.erase(S.begin());
+    };
+    Trim(Site.Lhs);
+    Trim(Site.Rhs);
+
+    std::string Call = Opts.HookName + "(" + std::to_string(Site.Id) + ", " +
+                       opConstantName(Op) + ", (double)(" + Site.Lhs +
+                       "), (double)(" + Site.Rhs + "))";
+    Edits.push_back({LhsBegin, RhsEnd, std::move(Call)});
+    Res.Sites.push_back(std::move(Site));
+  };
+
+  for (size_t I = RegionBegin; I < RegionEnd; ++I) {
+    const Token &Tok = Tokens[I];
+    if (Tok.isIdentifier("if") || Tok.isIdentifier("while")) {
+      if (I + 1 >= Tokens.size() || !Tokens[I + 1].isPunct("("))
+        continue;
+      size_t Close = findMatching(Tokens, I + 1, "(", ")");
+      if (Close >= RegionEnd)
+        continue;
+      InstrumentCondition(I + 1, Close, Tok.Text == "if" ? "if" : "while",
+                          Tok.Line);
+      continue;
+    }
+    if (Tok.isIdentifier("for")) {
+      if (I + 1 >= Tokens.size() || !Tokens[I + 1].isPunct("("))
+        continue;
+      size_t Close = findMatching(Tokens, I + 1, "(", ")");
+      if (Close >= RegionEnd)
+        continue;
+      // The loop condition is between the two top-level semicolons.
+      size_t FirstSemi = 0, SecondSemi = 0;
+      int Depth = 0;
+      for (size_t J = I + 1; J < Close; ++J) {
+        if (Tokens[J].isPunct("(") || Tokens[J].isPunct("["))
+          ++Depth;
+        else if (Tokens[J].isPunct(")") || Tokens[J].isPunct("]"))
+          --Depth;
+        else if (Depth == 1 && Tokens[J].isPunct(";")) {
+          if (!FirstSemi)
+            FirstSemi = J;
+          else if (!SecondSemi) {
+            SecondSemi = J;
+            break;
+          }
+        }
+      }
+      if (FirstSemi && SecondSemi && SecondSemi > FirstSemi + 1)
+        InstrumentCondition(FirstSemi, SecondSemi, "for", Tok.Line);
+      else
+        ++Res.SkippedConditionals;
+      continue;
+    }
+  }
+
+  // Apply the edits back-to-front so earlier offsets stay valid.
+  std::string Out = Source;
+  for (auto It = Edits.rbegin(); It != Edits.rend(); ++It)
+    Out.replace(It->Begin, It->End - It->Begin, It->Replacement);
+  if (Opts.EmitPrologue)
+    Out = instrumentationPrologue(Opts.HookName) + Out;
+  Res.Source = std::move(Out);
+  return Res;
+}

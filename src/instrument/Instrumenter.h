@@ -1,0 +1,79 @@
+//===- Instrumenter.h - Source-to-source pen injection --------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static half of CoverMe's frontend (Step 1 of Algo. 1) as a
+/// source-to-source transformation: for every conditional statement whose
+/// condition is a single arithmetic comparison `a op b`, inject the
+/// distance-reporting call the paper's LLVM pass would insert — the
+/// rewritten condition
+///
+///   if (cvm_cond(i, CVM_OP_xx, (double)(a), (double)(b)))
+///
+/// evaluates `r = pen(i, op, a, b)` and returns the original outcome, so
+/// the transformed program is FOO_I and linking it against the runtime
+/// yields FOO_R. Non-floating-point comparisons are promoted via the
+/// `(double)` casts (Sect. 5.3); conditions the subset cannot express
+/// (compound &&/||, pointer tests, function calls with side conditions)
+/// are left untouched, exactly as CoverMe ignores unsupported conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_INSTRUMENT_INSTRUMENTER_H
+#define COVERME_INSTRUMENT_INSTRUMENTER_H
+
+#include "runtime/BranchDistance.h"
+
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace instrument {
+
+/// One injected site.
+struct SiteInfo {
+  uint32_t Id = 0;       ///< Sequential site id (the pen's first argument).
+  CmpOp Op = CmpOp::EQ;  ///< Comparison operator at the site.
+  unsigned Line = 0;     ///< Source line of the conditional.
+  std::string Lhs;       ///< Exact source text of the left operand.
+  std::string Rhs;       ///< Exact source text of the right operand.
+  std::string Statement; ///< "if", "while", or "for".
+};
+
+/// Result of instrumenting a translation unit.
+struct InstrumentResult {
+  std::string Source;            ///< Rewritten source text.
+  std::vector<SiteInfo> Sites;   ///< Injected sites, in source order.
+  unsigned SkippedConditionals = 0; ///< Conditionals left untouched.
+};
+
+struct InstrumenterOptions {
+  /// When non-empty, only the body of this function is instrumented (the
+  /// paper instruments the entry function; Sect. 5.3 "Handling Function
+  /// Calls"). Empty means every function in the unit.
+  std::string EntryFunction;
+
+  /// Name of the injected hook; the default matches the C shim exposed in
+  /// runtime/CHooks.h.
+  std::string HookName = "cvm_cond";
+
+  /// Emit the extern declaration prologue at the top of the output.
+  bool EmitPrologue = true;
+};
+
+/// Rewrites \p Source per the options. Never fails: anything outside the
+/// supported subset passes through unchanged and is counted as skipped.
+InstrumentResult instrumentSource(const std::string &Source,
+                                  const InstrumenterOptions &Opts = {});
+
+/// The prologue emitted before instrumented code: hook declaration plus
+/// the operator constants (values match the CmpOp enumeration).
+std::string instrumentationPrologue(const std::string &HookName);
+
+} // namespace instrument
+} // namespace coverme
+
+#endif // COVERME_INSTRUMENT_INSTRUMENTER_H

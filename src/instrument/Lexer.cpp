@@ -1,0 +1,155 @@
+//===- Lexer.cpp - Tokenizer for the mini-C instrumenter --------------------===//
+
+#include "instrument/Lexer.h"
+
+#include <cctype>
+
+using namespace coverme;
+using namespace coverme::instrument;
+
+namespace {
+
+/// Multi-character punctuators, longest first for maximal munch.
+const char *Punctuators[] = {
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+};
+
+} // namespace
+
+std::vector<Token> coverme::instrument::lex(const std::string &Source) {
+  std::vector<Token> Tokens;
+  size_t I = 0;
+  unsigned Line = 1;
+  const size_t N = Source.size();
+
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return I + Ahead < N ? Source[I + Ahead] : '\0';
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Line comment.
+    if (C == '/' && Peek(1) == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    // Block comment.
+    if (C == '/' && Peek(1) == '*') {
+      I += 2;
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
+        if (Source[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      I = I + 2 <= N ? I + 2 : N;
+      continue;
+    }
+    // Preprocessor directive: skip to end of (possibly continued) line.
+    if (C == '#' &&
+        (Tokens.empty() || Tokens.back().Line != Line)) {
+      while (I < N && Source[I] != '\n') {
+        if (Source[I] == '\\' && I + 1 < N && Source[I + 1] == '\n') {
+          ++Line;
+          I += 2;
+          continue;
+        }
+        ++I;
+      }
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      Tokens.push_back({TokenKind::Identifier,
+                        Source.substr(Start, I - Start), Start, Line});
+      continue;
+    }
+    // Number (integer, hex, or float, with exponent and suffixes).
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      size_t Start = I;
+      bool Hex = C == '0' && (Peek(1) == 'x' || Peek(1) == 'X');
+      if (Hex)
+        I += 2;
+      while (I < N) {
+        char D = Source[I];
+        if (std::isalnum(static_cast<unsigned char>(D)) || D == '.') {
+          ++I;
+          continue;
+        }
+        // Exponent sign: 1e-5 or 0x1p-4.
+        if ((D == '+' || D == '-') && I > Start) {
+          char Prev = Source[I - 1];
+          if (Prev == 'e' || Prev == 'E' || (Hex && (Prev == 'p' || Prev == 'P'))) {
+            ++I;
+            continue;
+          }
+        }
+        break;
+      }
+      Tokens.push_back({TokenKind::Number, Source.substr(Start, I - Start),
+                        Start, Line});
+      continue;
+    }
+    // String literal.
+    if (C == '"') {
+      size_t Start = I++;
+      while (I < N && Source[I] != '"') {
+        if (Source[I] == '\\')
+          ++I;
+        if (I < N && Source[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      I = I < N ? I + 1 : N;
+      Tokens.push_back({TokenKind::String, Source.substr(Start, I - Start),
+                        Start, Line});
+      continue;
+    }
+    // Character literal.
+    if (C == '\'') {
+      size_t Start = I++;
+      while (I < N && Source[I] != '\'') {
+        if (Source[I] == '\\')
+          ++I;
+        ++I;
+      }
+      I = I < N ? I + 1 : N;
+      Tokens.push_back({TokenKind::Char, Source.substr(Start, I - Start),
+                        Start, Line});
+      continue;
+    }
+    // Punctuation: maximal munch over the multi-character table.
+    bool Matched = false;
+    for (const char *P : Punctuators) {
+      size_t Len = std::char_traits<char>::length(P);
+      if (Source.compare(I, Len, P) == 0) {
+        Tokens.push_back({TokenKind::Punct, P, I, Line});
+        I += Len;
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+    Tokens.push_back({TokenKind::Punct, std::string(1, C), I, Line});
+    ++I;
+  }
+
+  Tokens.push_back({TokenKind::EndOfFile, "", N, Line});
+  return Tokens;
+}

@@ -1,0 +1,60 @@
+//===- Lexer.h - Tokenizer for the mini-C instrumenter --------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lossless tokenizer for the C subset the instrumenter rewrites. Tokens
+/// carry their exact source offsets so the rewriter can splice text without
+/// disturbing anything it does not understand (comments, preprocessor
+/// lines, and string literals are skipped but never altered).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_INSTRUMENT_LEXER_H
+#define COVERME_INSTRUMENT_LEXER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace instrument {
+
+/// Lexical categories; punctuation keeps its exact spelling.
+enum class TokenKind {
+  Identifier, ///< Names and keywords (keywords are not distinguished).
+  Number,     ///< Integer or floating literal, including hex.
+  Punct,      ///< Operators and separators, maximal munch.
+  String,     ///< "..." literal (contents preserved verbatim).
+  Char,       ///< '...' literal.
+  EndOfFile,
+};
+
+/// One token with its exact location in the original buffer.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;  ///< Exact source spelling.
+  size_t Offset = 0; ///< Byte offset of the first character.
+  unsigned Line = 1; ///< 1-based source line.
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isPunct(const char *Spelling) const {
+    return Kind == TokenKind::Punct && Text == Spelling;
+  }
+  bool isIdentifier(const char *Name) const {
+    return Kind == TokenKind::Identifier && Text == Name;
+  }
+  size_t endOffset() const { return Offset + Text.size(); }
+};
+
+/// Tokenizes \p Source. Comments and preprocessor directives are skipped
+/// (they remain in the buffer; they just produce no tokens). Unknown bytes
+/// become single-character Punct tokens, so lexing never fails.
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace instrument
+} // namespace coverme
+
+#endif // COVERME_INSTRUMENT_LEXER_H

@@ -1,0 +1,484 @@
+//===- Ast.h - Syntax tree for the mini-C frontend -------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree for the C subset CoverMe's frontend understands:
+/// the dialect Fdlibm 5.3 is written in. It covers `int` / `unsigned` /
+/// `double` scalars and pointers, the full C expression grammar over them
+/// (bit twiddling like `*(1 + (int *)&x)` included), the structured
+/// statements (`if`/`while`/`do`/`for`/`return`), and file-scope constants
+/// such as Fdlibm's polynomial coefficient tables.
+///
+/// The tree is produced by the Parser, annotated by Sema (symbol resolution,
+/// type caching, conditional-site numbering), and executed by the
+/// Interpreter — together they replace the Clang/LLVM pipeline the paper's
+/// implementation drives (Sect. 5.1) with an in-process equivalent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_AST_H
+#define COVERME_LANG_AST_H
+
+#include "runtime/BranchDistance.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Scalar base types of the subset. `Int` and `UInt` are exactly 32 bits
+/// (the width every Fdlibm bit manipulation assumes); `Double` is IEEE
+/// binary64.
+enum class BaseType : uint8_t {
+  Void,
+  Int,
+  UInt,
+  Double,
+};
+
+/// A (possibly pointer) type: base type plus pointer depth.
+struct Type {
+  BaseType Base = BaseType::Void;
+  uint8_t PtrDepth = 0;
+
+  constexpr Type() = default;
+  constexpr Type(BaseType Base, uint8_t PtrDepth = 0)
+      : Base(Base), PtrDepth(PtrDepth) {}
+
+  bool isVoid() const { return Base == BaseType::Void && PtrDepth == 0; }
+  bool isPointer() const { return PtrDepth > 0; }
+  bool isDouble() const { return Base == BaseType::Double && PtrDepth == 0; }
+  bool isInteger() const {
+    return (Base == BaseType::Int || Base == BaseType::UInt) && PtrDepth == 0;
+  }
+  bool isArithmetic() const { return isDouble() || isInteger(); }
+
+  /// The type obtained by dereferencing this pointer type.
+  Type pointee() const {
+    assert(PtrDepth > 0 && "pointee() of a non-pointer type");
+    return Type(Base, static_cast<uint8_t>(PtrDepth - 1));
+  }
+
+  /// The type of `&expr` when `expr` has this type.
+  Type pointerTo() const {
+    return Type(Base, static_cast<uint8_t>(PtrDepth + 1));
+  }
+
+  /// Storage size in bytes (pointers are modeled as 8-byte values).
+  unsigned sizeInBytes() const {
+    if (PtrDepth > 0)
+      return 8;
+    switch (Base) {
+    case BaseType::Void:
+      return 0;
+    case BaseType::Int:
+    case BaseType::UInt:
+      return 4;
+    case BaseType::Double:
+      return 8;
+    }
+    assert(false && "unknown BaseType");
+    return 0;
+  }
+
+  friend bool operator==(const Type &L, const Type &R) {
+    return L.Base == R.Base && L.PtrDepth == R.PtrDepth;
+  }
+};
+
+/// Renders a type as C source, e.g. "int *" or "double".
+std::string typeName(Type Ty);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct VarDecl;
+struct FunctionDecl;
+
+/// Expression node kinds. Binary operators are separate enumerators so the
+/// evaluator can switch exhaustively.
+enum class ExprKind : uint8_t {
+  IntLiteral,    ///< 42, 0x7ff00000
+  DoubleLiteral, ///< 1.0, 1e-30
+  VarRef,        ///< x (resolved to a VarDecl by Sema)
+  Unary,         ///< -e, !e, ~e, *e, &e, ++e, --e
+  Postfix,       ///< e++, e--
+  Cast,          ///< (int *)e, (double)e
+  Binary,        ///< e1 op e2 for every C binary operator
+  Ternary,       ///< c ? t : f
+  Assign,        ///< lhs = rhs and compound assignments
+  Call,          ///< f(args...)
+  Index,         ///< a[i]
+};
+
+/// Unary operator spellings.
+enum class UnaryOp : uint8_t {
+  Neg,    ///< -e
+  LogNot, ///< !e
+  BitNot, ///< ~e
+  Deref,  ///< *e
+  AddrOf, ///< &e
+  PreInc, ///< ++e
+  PreDec, ///< --e
+};
+
+/// Binary operator spellings (assignment operators live in AssignExpr).
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  LT,
+  LE,
+  GT,
+  GE,
+  EQ,
+  NE,
+  LogAnd,
+  LogOr,
+  Comma, ///< `a, b` — evaluate a for effect, yield b.
+};
+
+/// True for the six comparison operators — the condition shape Def. 3.1(b)
+/// instruments.
+bool isComparisonOp(BinaryOp Op);
+
+/// Maps a comparison BinaryOp to the runtime's CmpOp for the pen hook.
+CmpOp toCmpOp(BinaryOp Op);
+
+/// Assignment operator spellings.
+enum class AssignOp : uint8_t {
+  Assign, ///< =
+  Add,    ///< +=
+  Sub,    ///< -=
+  Mul,    ///< *=
+  Div,    ///< /=
+  Rem,    ///< %=
+  Shl,    ///< <<=
+  Shr,    ///< >>=
+  And,    ///< &=
+  Or,     ///< |=
+  Xor,    ///< ^=
+};
+
+/// Base class of all expressions. Sema caches the computed type in Ty.
+struct Expr {
+  ExprKind Kind;
+  unsigned Line = 0; ///< 1-based source line, for diagnostics.
+  Type Ty;           ///< Filled by Sema::run.
+
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+  virtual ~Expr();
+
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Integer literal; hex literals that do not fit `int` (e.g. 0x80000000)
+/// carry unsigned type, matching C's literal typing for the Fdlibm masks.
+struct IntLiteralExpr : Expr {
+  uint64_t Value = 0;
+  bool IsUnsigned = false;
+
+  IntLiteralExpr() : Expr(ExprKind::IntLiteral) {}
+};
+
+/// Floating literal.
+struct DoubleLiteralExpr : Expr {
+  double Value = 0.0;
+
+  DoubleLiteralExpr() : Expr(ExprKind::DoubleLiteral) {}
+};
+
+/// Reference to a named variable; Decl is resolved by Sema.
+struct VarRefExpr : Expr {
+  std::string Name;
+  const VarDecl *Decl = nullptr;
+
+  VarRefExpr() : Expr(ExprKind::VarRef) {}
+};
+
+struct UnaryExpr : Expr {
+  UnaryOp Op = UnaryOp::Neg;
+  ExprPtr Operand;
+
+  UnaryExpr() : Expr(ExprKind::Unary) {}
+};
+
+/// e++ / e--.
+struct PostfixExpr : Expr {
+  bool IsIncrement = true;
+  ExprPtr Operand;
+
+  PostfixExpr() : Expr(ExprKind::Postfix) {}
+};
+
+struct CastExpr : Expr {
+  Type Target;
+  ExprPtr Operand;
+
+  CastExpr() : Expr(ExprKind::Cast) {}
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op = BinaryOp::Add;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  BinaryExpr() : Expr(ExprKind::Binary) {}
+};
+
+struct TernaryExpr : Expr {
+  ExprPtr Cond;
+  ExprPtr TrueExpr;
+  ExprPtr FalseExpr;
+
+  TernaryExpr() : Expr(ExprKind::Ternary) {}
+};
+
+struct AssignExpr : Expr {
+  AssignOp Op = AssignOp::Assign;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  AssignExpr() : Expr(ExprKind::Assign) {}
+};
+
+/// Call to a translation-unit function or a libm builtin; Callee is
+/// resolved by Sema (null means builtin, identified by Name).
+struct CallExpr : Expr {
+  std::string Name;
+  const FunctionDecl *Callee = nullptr;
+  std::vector<ExprPtr> Args;
+
+  CallExpr() : Expr(ExprKind::Call) {}
+};
+
+/// Array subscript `Base[Index]`.
+struct IndexExpr : Expr {
+  ExprPtr Base;
+  ExprPtr Index;
+
+  IndexExpr() : Expr(ExprKind::Index) {}
+};
+
+/// Checked downcast helper for expression nodes.
+template <typename T> const T &exprCast(const Expr &E) {
+  return static_cast<const T &>(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Where a variable's storage lives.
+enum class StorageKind : uint8_t {
+  Global, ///< File scope (Fdlibm's `static const` tables and constants).
+  Param,  ///< Function parameter.
+  Local,  ///< Block-scope variable.
+};
+
+/// One declared variable (scalar or one-dimensional array).
+struct VarDecl {
+  std::string Name;
+  Type DeclType;
+  StorageKind Storage = StorageKind::Local;
+  unsigned Line = 0;
+
+  /// 0 for scalars; element count for `double T[n]` arrays.
+  unsigned ArraySize = 0;
+
+  /// Scalar initializer, or null. Arrays use InitList instead.
+  ExprPtr Init;
+
+  /// Array initializer elements (constant expressions).
+  std::vector<ExprPtr> InitList;
+
+  /// Byte offset within the owning arena (frame or global), set by Sema.
+  unsigned ByteOffset = 0;
+
+  bool isArray() const { return ArraySize > 0; }
+
+  /// Bytes of storage this declaration occupies.
+  unsigned storageBytes() const {
+    unsigned Elem = DeclType.sizeInBytes();
+    return isArray() ? Elem * ArraySize : Elem;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Expr,     ///< expression;
+  Decl,     ///< declarations;
+  Block,    ///< { ... }
+  If,       ///< if (c) s [else s]
+  While,    ///< while (c) s
+  DoWhile,  ///< do s while (c);
+  For,      ///< for (init; c; step) s
+  Return,   ///< return [e];
+  Break,    ///< break;
+  Continue, ///< continue;
+  Empty,    ///< ;
+};
+
+struct Stmt {
+  StmtKind Kind;
+  unsigned Line = 0;
+
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+  virtual ~Stmt();
+
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+
+  ExprStmt() : Stmt(StmtKind::Expr) {}
+};
+
+struct DeclStmt : Stmt {
+  std::vector<std::unique_ptr<VarDecl>> Decls;
+
+  DeclStmt() : Stmt(StmtKind::Decl) {}
+};
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Body;
+
+  BlockStmt() : Stmt(StmtKind::Block) {}
+};
+
+/// A conditional site id; kNoSite marks conditions outside Def. 3.1(b)'s
+/// shape (compound &&/|| conditions, pointer tests), which the frontend
+/// leaves uninstrumented exactly as CoverMe does (Sect. 5.3).
+inline constexpr uint32_t kNoSite = ~0u;
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+  uint32_t Site = kNoSite;
+
+  IfStmt() : Stmt(StmtKind::If) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  uint32_t Site = kNoSite;
+
+  WhileStmt() : Stmt(StmtKind::While) {}
+};
+
+struct DoWhileStmt : Stmt {
+  StmtPtr Body;
+  ExprPtr Cond;
+  uint32_t Site = kNoSite;
+
+  DoWhileStmt() : Stmt(StmtKind::DoWhile) {}
+};
+
+struct ForStmt : Stmt {
+  StmtPtr Init;  ///< DeclStmt, ExprStmt, or null.
+  ExprPtr Cond;  ///< May be null (infinite loop).
+  ExprPtr Step;  ///< May be null.
+  StmtPtr Body;
+  uint32_t Site = kNoSite;
+
+  ForStmt() : Stmt(StmtKind::For) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< Null for `return;`.
+
+  ReturnStmt() : Stmt(StmtKind::Return) {}
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+struct EmptyStmt : Stmt {
+  EmptyStmt() : Stmt(StmtKind::Empty) {}
+};
+
+/// Checked downcast helper for statement nodes.
+template <typename T> const T &stmtCast(const Stmt &S) {
+  return static_cast<const T &>(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and translation units
+//===----------------------------------------------------------------------===//
+
+/// One function definition.
+struct FunctionDecl {
+  std::string Name;
+  Type ReturnType;
+  unsigned Line = 0;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  std::unique_ptr<BlockStmt> Body;
+
+  /// Frame bytes needed for params + locals; set by Sema.
+  unsigned FrameBytes = 0;
+
+  /// Conditional sites inside this function, in source order; set by Sema.
+  /// (Site ids are numbered per translation unit so an entry function plus
+  /// its callees share one site space, per Sect. 5.3 "Handling Function
+  /// Calls".)
+  std::vector<uint32_t> Sites;
+};
+
+/// A parsed file: file-scope constants plus function definitions.
+struct TranslationUnit {
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+
+  /// Total conditional sites numbered by Sema across all functions.
+  unsigned NumSites = 0;
+
+  /// Bytes of global storage (constants and tables); set by Sema.
+  unsigned GlobalBytes = 0;
+
+  /// Returns the function named \p Name, or null.
+  const FunctionDecl *findFunction(const std::string &Name) const;
+
+  /// Returns the file-scope variable named \p Name, or null.
+  const VarDecl *findGlobal(const std::string &Name) const;
+};
+
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_AST_H

@@ -1,0 +1,478 @@
+//===- AstPrinter.cpp - Tree dumps and source re-rendering ----------------===//
+
+#include "lang/AstPrinter.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+const char *lang::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::LT:
+    return "<";
+  case BinaryOp::LE:
+    return "<=";
+  case BinaryOp::GT:
+    return ">";
+  case BinaryOp::GE:
+    return ">=";
+  case BinaryOp::EQ:
+    return "==";
+  case BinaryOp::NE:
+    return "!=";
+  case BinaryOp::LogAnd:
+    return "&&";
+  case BinaryOp::LogOr:
+    return "||";
+  case BinaryOp::Comma:
+    return ",";
+  }
+  assert(false && "unknown BinaryOp");
+  return "?";
+}
+
+const char *lang::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::LogNot:
+    return "!";
+  case UnaryOp::BitNot:
+    return "~";
+  case UnaryOp::Deref:
+    return "*";
+  case UnaryOp::AddrOf:
+    return "&";
+  case UnaryOp::PreInc:
+    return "++";
+  case UnaryOp::PreDec:
+    return "--";
+  }
+  assert(false && "unknown UnaryOp");
+  return "?";
+}
+
+const char *lang::assignOpSpelling(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::Assign:
+    return "=";
+  case AssignOp::Add:
+    return "+=";
+  case AssignOp::Sub:
+    return "-=";
+  case AssignOp::Mul:
+    return "*=";
+  case AssignOp::Div:
+    return "/=";
+  case AssignOp::Rem:
+    return "%=";
+  case AssignOp::Shl:
+    return "<<=";
+  case AssignOp::Shr:
+    return ">>=";
+  case AssignOp::And:
+    return "&=";
+  case AssignOp::Or:
+    return "|=";
+  case AssignOp::Xor:
+    return "^=";
+  }
+  assert(false && "unknown AssignOp");
+  return "?";
+}
+
+namespace {
+
+std::string formatDouble(double V) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%g", V);
+  return Buffer;
+}
+
+std::string indentBy(unsigned Levels) {
+  return std::string(2 * static_cast<size_t>(Levels), ' ');
+}
+
+} // namespace
+
+std::string lang::renderExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLiteral: {
+    const auto &Lit = exprCast<IntLiteralExpr>(E);
+    std::string Text = std::to_string(Lit.Value);
+    if (Lit.IsUnsigned)
+      Text += 'u';
+    return Text;
+  }
+  case ExprKind::DoubleLiteral:
+    return formatDouble(exprCast<DoubleLiteralExpr>(E).Value);
+  case ExprKind::VarRef:
+    return exprCast<VarRefExpr>(E).Name;
+  case ExprKind::Unary: {
+    const auto &U = exprCast<UnaryExpr>(E);
+    return std::string(unaryOpSpelling(U.Op)) + "(" +
+           renderExpr(*U.Operand) + ")";
+  }
+  case ExprKind::Postfix: {
+    const auto &P = exprCast<PostfixExpr>(E);
+    return "(" + renderExpr(*P.Operand) + ")" +
+           (P.IsIncrement ? "++" : "--");
+  }
+  case ExprKind::Cast: {
+    const auto &C = exprCast<CastExpr>(E);
+    return "(" + typeName(C.Target) + ")(" + renderExpr(*C.Operand) + ")";
+  }
+  case ExprKind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    return "(" + renderExpr(*B.Lhs) + " " + binaryOpSpelling(B.Op) + " " +
+           renderExpr(*B.Rhs) + ")";
+  }
+  case ExprKind::Ternary: {
+    const auto &T = exprCast<TernaryExpr>(E);
+    return "(" + renderExpr(*T.Cond) + " ? " + renderExpr(*T.TrueExpr) +
+           " : " + renderExpr(*T.FalseExpr) + ")";
+  }
+  case ExprKind::Assign: {
+    const auto &A = exprCast<AssignExpr>(E);
+    return "(" + renderExpr(*A.Lhs) + " " + assignOpSpelling(A.Op) + " " +
+           renderExpr(*A.Rhs) + ")";
+  }
+  case ExprKind::Call: {
+    const auto &Call = exprCast<CallExpr>(E);
+    std::string Text = Call.Name + "(";
+    for (size_t I = 0; I < Call.Args.size(); ++I) {
+      if (I)
+        Text += ", ";
+      Text += renderExpr(*Call.Args[I]);
+    }
+    return Text + ")";
+  }
+  case ExprKind::Index: {
+    const auto &Idx = exprCast<IndexExpr>(E);
+    return renderExpr(*Idx.Base) + "[" + renderExpr(*Idx.Index) + "]";
+  }
+  }
+  assert(false && "unknown ExprKind");
+  return "?";
+}
+
+std::string lang::renderStmt(const Stmt &S, unsigned Indent) {
+  const std::string Pad = indentBy(Indent);
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    return Pad + renderExpr(*stmtCast<ExprStmt>(S).E) + ";\n";
+  case StmtKind::Decl: {
+    const auto &DS = stmtCast<DeclStmt>(S);
+    std::string Text;
+    for (const auto &D : DS.Decls) {
+      Text += Pad + typeName(D->DeclType) + " " + D->Name;
+      if (D->isArray())
+        Text += "[" + std::to_string(D->ArraySize) + "]";
+      if (D->Init)
+        Text += " = " + renderExpr(*D->Init);
+      if (!D->InitList.empty()) {
+        Text += " = {";
+        for (size_t I = 0; I < D->InitList.size(); ++I) {
+          if (I)
+            Text += ", ";
+          Text += renderExpr(*D->InitList[I]);
+        }
+        Text += "}";
+      }
+      Text += ";\n";
+    }
+    return Text;
+  }
+  case StmtKind::Block: {
+    std::string Text = Pad + "{\n";
+    for (const auto &Child : stmtCast<BlockStmt>(S).Body)
+      Text += renderStmt(*Child, Indent + 1);
+    return Text + Pad + "}\n";
+  }
+  case StmtKind::If: {
+    const auto &If = stmtCast<IfStmt>(S);
+    std::string Text = Pad + "if (" + renderExpr(*If.Cond) + ")\n" +
+                       renderStmt(*If.Then, Indent + 1);
+    if (If.Else)
+      Text += Pad + "else\n" + renderStmt(*If.Else, Indent + 1);
+    return Text;
+  }
+  case StmtKind::While: {
+    const auto &W = stmtCast<WhileStmt>(S);
+    return Pad + "while (" + renderExpr(*W.Cond) + ")\n" +
+           renderStmt(*W.Body, Indent + 1);
+  }
+  case StmtKind::DoWhile: {
+    const auto &D = stmtCast<DoWhileStmt>(S);
+    return Pad + "do\n" + renderStmt(*D.Body, Indent + 1) + Pad +
+           "while (" + renderExpr(*D.Cond) + ");\n";
+  }
+  case StmtKind::For: {
+    const auto &F = stmtCast<ForStmt>(S);
+    std::string Init;
+    if (F.Init) {
+      Init = renderStmt(*F.Init, 0);
+      // Strip the trailing "\n" and keep the ';' the sub-render added.
+      while (!Init.empty() && (Init.back() == '\n' || Init.back() == ' '))
+        Init.pop_back();
+    } else {
+      Init = ";";
+    }
+    return Pad + "for (" + Init + " " +
+           (F.Cond ? renderExpr(*F.Cond) : std::string()) + "; " +
+           (F.Step ? renderExpr(*F.Step) : std::string()) + ")\n" +
+           renderStmt(*F.Body, Indent + 1);
+  }
+  case StmtKind::Return: {
+    const auto &R = stmtCast<ReturnStmt>(S);
+    if (R.Value)
+      return Pad + "return " + renderExpr(*R.Value) + ";\n";
+    return Pad + "return;\n";
+  }
+  case StmtKind::Break:
+    return Pad + "break;\n";
+  case StmtKind::Continue:
+    return Pad + "continue;\n";
+  case StmtKind::Empty:
+    return Pad + ";\n";
+  }
+  assert(false && "unknown StmtKind");
+  return "";
+}
+
+namespace {
+
+/// The structural dump walker.
+class Dumper {
+public:
+  std::string Text;
+
+  void line(unsigned Indent, const std::string &S) {
+    Text += indentBy(Indent) + S + "\n";
+  }
+
+  std::string typeSuffix(const Expr &E) {
+    if (E.Ty.isVoid())
+      return "";
+    return " : " + typeName(E.Ty);
+  }
+
+  void dumpExpr(const Expr &E, unsigned Indent) {
+    switch (E.Kind) {
+    case ExprKind::IntLiteral: {
+      const auto &Lit = exprCast<IntLiteralExpr>(E);
+      line(Indent, "IntLiteral " + std::to_string(Lit.Value) +
+                       (Lit.IsUnsigned ? "u" : "") + typeSuffix(E));
+      return;
+    }
+    case ExprKind::DoubleLiteral:
+      line(Indent, "DoubleLiteral " +
+                       formatDouble(exprCast<DoubleLiteralExpr>(E).Value) +
+                       typeSuffix(E));
+      return;
+    case ExprKind::VarRef:
+      line(Indent, "VarRef " + exprCast<VarRefExpr>(E).Name + typeSuffix(E));
+      return;
+    case ExprKind::Unary: {
+      const auto &U = exprCast<UnaryExpr>(E);
+      line(Indent, std::string("Unary ") + unaryOpSpelling(U.Op) +
+                       typeSuffix(E));
+      dumpExpr(*U.Operand, Indent + 1);
+      return;
+    }
+    case ExprKind::Postfix: {
+      const auto &P = exprCast<PostfixExpr>(E);
+      line(Indent, std::string("Postfix ") + (P.IsIncrement ? "++" : "--") +
+                       typeSuffix(E));
+      dumpExpr(*P.Operand, Indent + 1);
+      return;
+    }
+    case ExprKind::Cast: {
+      const auto &C = exprCast<CastExpr>(E);
+      line(Indent, "Cast to " + typeName(C.Target));
+      dumpExpr(*C.Operand, Indent + 1);
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      line(Indent, std::string("Binary ") + binaryOpSpelling(B.Op) +
+                       typeSuffix(E));
+      dumpExpr(*B.Lhs, Indent + 1);
+      dumpExpr(*B.Rhs, Indent + 1);
+      return;
+    }
+    case ExprKind::Ternary: {
+      const auto &T = exprCast<TernaryExpr>(E);
+      line(Indent, "Ternary" + typeSuffix(E));
+      dumpExpr(*T.Cond, Indent + 1);
+      dumpExpr(*T.TrueExpr, Indent + 1);
+      dumpExpr(*T.FalseExpr, Indent + 1);
+      return;
+    }
+    case ExprKind::Assign: {
+      const auto &A = exprCast<AssignExpr>(E);
+      line(Indent, std::string("Assign ") + assignOpSpelling(A.Op) +
+                       typeSuffix(E));
+      dumpExpr(*A.Lhs, Indent + 1);
+      dumpExpr(*A.Rhs, Indent + 1);
+      return;
+    }
+    case ExprKind::Call: {
+      const auto &Call = exprCast<CallExpr>(E);
+      line(Indent, "Call " + Call.Name +
+                       (Call.Callee ? "" : " [builtin]") + typeSuffix(E));
+      for (const auto &Arg : Call.Args)
+        dumpExpr(*Arg, Indent + 1);
+      return;
+    }
+    case ExprKind::Index: {
+      const auto &Idx = exprCast<IndexExpr>(E);
+      line(Indent, "Index" + typeSuffix(E));
+      dumpExpr(*Idx.Base, Indent + 1);
+      dumpExpr(*Idx.Index, Indent + 1);
+      return;
+    }
+    }
+    assert(false && "unknown ExprKind");
+  }
+
+  std::string siteSuffix(uint32_t Site) {
+    if (Site == kNoSite)
+      return "";
+    return " [site " + std::to_string(Site) + "]";
+  }
+
+  void dumpStmt(const Stmt &S, unsigned Indent) {
+    switch (S.Kind) {
+    case StmtKind::Expr:
+      line(Indent, "ExprStmt");
+      dumpExpr(*stmtCast<ExprStmt>(S).E, Indent + 1);
+      return;
+    case StmtKind::Decl:
+      for (const auto &D : stmtCast<DeclStmt>(S).Decls) {
+        std::string Text = "VarDecl " + D->Name + " : " +
+                           typeName(D->DeclType);
+        if (D->isArray())
+          Text += "[" + std::to_string(D->ArraySize) + "]";
+        line(Indent, Text);
+        if (D->Init)
+          dumpExpr(*D->Init, Indent + 1);
+        for (const auto &Elem : D->InitList)
+          dumpExpr(*Elem, Indent + 1);
+      }
+      return;
+    case StmtKind::Block:
+      line(Indent, "Block");
+      for (const auto &Child : stmtCast<BlockStmt>(S).Body)
+        dumpStmt(*Child, Indent + 1);
+      return;
+    case StmtKind::If: {
+      const auto &If = stmtCast<IfStmt>(S);
+      line(Indent, "If" + siteSuffix(If.Site));
+      dumpExpr(*If.Cond, Indent + 1);
+      dumpStmt(*If.Then, Indent + 1);
+      if (If.Else) {
+        line(Indent, "Else");
+        dumpStmt(*If.Else, Indent + 1);
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto &W = stmtCast<WhileStmt>(S);
+      line(Indent, "While" + siteSuffix(W.Site));
+      dumpExpr(*W.Cond, Indent + 1);
+      dumpStmt(*W.Body, Indent + 1);
+      return;
+    }
+    case StmtKind::DoWhile: {
+      const auto &D = stmtCast<DoWhileStmt>(S);
+      line(Indent, "DoWhile" + siteSuffix(D.Site));
+      dumpStmt(*D.Body, Indent + 1);
+      dumpExpr(*D.Cond, Indent + 1);
+      return;
+    }
+    case StmtKind::For: {
+      const auto &F = stmtCast<ForStmt>(S);
+      line(Indent, "For" + siteSuffix(F.Site));
+      if (F.Init)
+        dumpStmt(*F.Init, Indent + 1);
+      if (F.Cond)
+        dumpExpr(*F.Cond, Indent + 1);
+      if (F.Step)
+        dumpExpr(*F.Step, Indent + 1);
+      dumpStmt(*F.Body, Indent + 1);
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &R = stmtCast<ReturnStmt>(S);
+      line(Indent, "Return");
+      if (R.Value)
+        dumpExpr(*R.Value, Indent + 1);
+      return;
+    }
+    case StmtKind::Break:
+      line(Indent, "Break");
+      return;
+    case StmtKind::Continue:
+      line(Indent, "Continue");
+      return;
+    case StmtKind::Empty:
+      line(Indent, "Empty");
+      return;
+    }
+    assert(false && "unknown StmtKind");
+  }
+};
+
+} // namespace
+
+std::string lang::dumpAst(const TranslationUnit &TU) {
+  Dumper D;
+  D.line(0, "TranslationUnit (" + std::to_string(TU.NumSites) + " sites, " +
+                std::to_string(TU.GlobalBytes) + " global bytes)");
+  for (const auto &G : TU.Globals) {
+    std::string Text = "Global " + G->Name + " : " + typeName(G->DeclType);
+    if (G->isArray())
+      Text += "[" + std::to_string(G->ArraySize) + "]";
+    D.line(1, Text);
+    if (G->Init)
+      D.dumpExpr(*G->Init, 2);
+    for (const auto &Elem : G->InitList)
+      D.dumpExpr(*Elem, 2);
+  }
+  for (const auto &F : TU.Functions) {
+    std::string Header = "Function " + F->Name + " : " +
+                         typeName(F->ReturnType) + " (";
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      if (I)
+        Header += ", ";
+      Header += typeName(F->Params[I]->DeclType) + " " + F->Params[I]->Name;
+    }
+    Header += ")";
+    D.line(1, Header);
+    D.dumpStmt(*F->Body, 2);
+  }
+  return D.Text;
+}

@@ -1,0 +1,53 @@
+//===- AstPrinter.h - Tree dumps and source re-rendering ------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two views of an analyzed tree, both primarily diagnostics:
+///
+/// * dumpAst — an indented structural dump (one node per line, types and
+///   site ids included once Sema has run), the view golden tests pin;
+/// * renderExpr / renderStmt — a minimal C re-rendering with explicit
+///   parentheses, handy for error messages and for eyeballing what the
+///   parser actually understood of an expression.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_ASTPRINTER_H
+#define COVERME_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace coverme {
+namespace lang {
+
+/// Spelling of a binary operator, e.g. "<<" or "<=".
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// Spelling of a unary operator, e.g. "~".
+const char *unaryOpSpelling(UnaryOp Op);
+
+/// Spelling of an assignment operator, e.g. "+=".
+const char *assignOpSpelling(AssignOp Op);
+
+/// Renders \p E as C source with explicit parentheses around every
+/// compound subexpression, so precedence is visible.
+std::string renderExpr(const Expr &E);
+
+/// Renders \p S as C source (multi-line for blocks), indented by
+/// \p Indent levels of two spaces.
+std::string renderStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Structural dump of a whole translation unit: globals, functions,
+/// statements and expressions one per line with kind, type (after Sema)
+/// and conditional site ids.
+std::string dumpAst(const TranslationUnit &TU);
+
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_ASTPRINTER_H

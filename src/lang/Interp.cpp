@@ -1,0 +1,1162 @@
+//===- Interp.cpp - Tree-walking interpreter for the mini-C subset --------===//
+
+#include "lang/Interp.h"
+
+#include "runtime/ExecutionContext.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+namespace {
+
+/// Which arena a pointer addresses.
+enum class AddrSpace : uint8_t {
+  Null,   ///< The null pointer.
+  Global, ///< File-scope storage.
+  Stack,  ///< Frame storage.
+};
+
+/// A typed byte address into one of the arenas.
+struct Ptr {
+  AddrSpace Space = AddrSpace::Null;
+  uint32_t Offset = 0;
+
+  bool isNull() const { return Space == AddrSpace::Null; }
+};
+
+/// A runtime value: a scalar of the subset's three types or a pointer.
+/// Int and UInt occupy the I field with their canonical 32-bit value.
+struct Value {
+  Type Ty;
+  double D = 0.0;
+  int64_t I = 0;
+  Ptr P;
+
+  static Value makeInt(int32_t V) {
+    Value R;
+    R.Ty = Type(BaseType::Int);
+    R.I = V;
+    return R;
+  }
+  static Value makeUInt(uint32_t V) {
+    Value R;
+    R.Ty = Type(BaseType::UInt);
+    R.I = V;
+    return R;
+  }
+  static Value makeDouble(double V) {
+    Value R;
+    R.Ty = Type(BaseType::Double);
+    R.D = V;
+    return R;
+  }
+  static Value makePtr(Type Ty, Ptr P) {
+    Value R;
+    R.Ty = Ty;
+    R.P = P;
+    return R;
+  }
+  static Value makeVoid() { return Value(); }
+};
+
+/// Truncates a double to int32 with saturation (C leaves out-of-range
+/// conversions undefined; the interpreter must stay total on hostile
+/// minimizer probes).
+int32_t truncToInt32(double V) {
+  if (V != V)
+    return 0;
+  if (V >= 2147483647.0)
+    return 2147483647;
+  if (V <= -2147483648.0)
+    return std::numeric_limits<int32_t>::min();
+  return static_cast<int32_t>(V);
+}
+
+uint32_t truncToUInt32(double V) {
+  if (V != V)
+    return 0;
+  if (V >= 4294967295.0)
+    return 4294967295u;
+  if (V <= 0.0)
+    return 0u;
+  return static_cast<uint32_t>(V);
+}
+
+/// Packs a pointer into the 8 bytes it occupies in memory.
+uint64_t encodePtr(Ptr P) {
+  return (static_cast<uint64_t>(P.Space) << 56) | P.Offset;
+}
+
+Ptr decodePtr(uint64_t Bits) {
+  Ptr P;
+  P.Space = static_cast<AddrSpace>(Bits >> 56);
+  P.Offset = static_cast<uint32_t>(Bits);
+  return P;
+}
+
+/// One frame of interpreted execution (call state shared via Evaluator).
+struct Frame {
+  uint32_t Base = 0;
+  const FunctionDecl *Fn = nullptr;
+};
+
+/// How a statement finished.
+enum class Flow : uint8_t { Normal, Break, Continue, Return };
+
+} // namespace
+
+/// The per-entry-call evaluation engine. Declared as a friend of
+/// Interpreter so it can reach the arenas; its lifetime is one callEntry.
+class lang::Evaluator {
+public:
+  Evaluator(Interpreter &Interp)
+      : Interp(Interp), TU(Interp.TU), Opts(Interp.Opts),
+        GlobalMem(Interp.GlobalMem) {}
+
+  /// Calls \p F with already-converted argument values.
+  Value call(const FunctionDecl &F, std::vector<Value> Args);
+
+  bool trapped() const { return Trapped; }
+  const std::string &trapMessage() const { return Message; }
+
+  /// Raises a trap. Execution unwinds via the Trapped flag checks.
+  Value trap(const std::string &Why) {
+    if (!Trapped) {
+      Trapped = true;
+      Message = Why;
+    }
+    return Value::makeVoid();
+  }
+
+private:
+  Interpreter &Interp;
+  const TranslationUnit &TU;
+  const InterpOptions &Opts;
+  std::vector<uint8_t> &GlobalMem;
+  std::vector<uint8_t> Stack;
+  std::vector<Frame> Frames;
+  uint32_t StackTop = 0;
+  uint64_t StepsLeft = 0;
+  bool Trapped = false;
+  std::string Message;
+
+  friend class lang::Interpreter;
+
+  bool step() {
+    if (StepsLeft == 0) {
+      trap("step budget exhausted");
+      return false;
+    }
+    --StepsLeft;
+    return true;
+  }
+
+  // ----- memory ------------------------------------------------------------
+
+  uint8_t *resolve(Ptr P, unsigned Size) {
+    std::vector<uint8_t> *Arena = nullptr;
+    switch (P.Space) {
+    case AddrSpace::Null:
+      trap("null pointer dereference");
+      return nullptr;
+    case AddrSpace::Global:
+      Arena = &GlobalMem;
+      break;
+    case AddrSpace::Stack:
+      Arena = &Stack;
+      break;
+    }
+    if (static_cast<uint64_t>(P.Offset) + Size > Arena->size()) {
+      trap("out-of-bounds memory access");
+      return nullptr;
+    }
+    return Arena->data() + P.Offset;
+  }
+
+  Value load(Ptr P, Type Ty) {
+    uint8_t *Mem = resolve(P, Ty.sizeInBytes());
+    if (!Mem)
+      return Value::makeVoid();
+    if (Ty.isPointer()) {
+      uint64_t Bits;
+      std::memcpy(&Bits, Mem, 8);
+      return Value::makePtr(Ty, decodePtr(Bits));
+    }
+    switch (Ty.Base) {
+    case BaseType::Int: {
+      int32_t V;
+      std::memcpy(&V, Mem, 4);
+      return Value::makeInt(V);
+    }
+    case BaseType::UInt: {
+      uint32_t V;
+      std::memcpy(&V, Mem, 4);
+      return Value::makeUInt(V);
+    }
+    case BaseType::Double: {
+      double V;
+      std::memcpy(&V, Mem, 8);
+      return Value::makeDouble(V);
+    }
+    case BaseType::Void:
+      break;
+    }
+    return trap("load of unsupported type");
+  }
+
+  void store(Ptr P, const Value &V) {
+    uint8_t *Mem = resolve(P, V.Ty.sizeInBytes());
+    if (!Mem)
+      return;
+    if (V.Ty.isPointer()) {
+      uint64_t Bits = encodePtr(V.P);
+      std::memcpy(Mem, &Bits, 8);
+      return;
+    }
+    switch (V.Ty.Base) {
+    case BaseType::Int: {
+      int32_t Bits = static_cast<int32_t>(V.I);
+      std::memcpy(Mem, &Bits, 4);
+      return;
+    }
+    case BaseType::UInt: {
+      uint32_t Bits = static_cast<uint32_t>(V.I);
+      std::memcpy(Mem, &Bits, 4);
+      return;
+    }
+    case BaseType::Double:
+      std::memcpy(Mem, &V.D, 8);
+      return;
+    case BaseType::Void:
+      break;
+    }
+    trap("store of unsupported type");
+  }
+
+  /// Address of a declared variable in the current frame / global arena.
+  Ptr addressOf(const VarDecl &D) {
+    Ptr P;
+    if (D.Storage == StorageKind::Global) {
+      P.Space = AddrSpace::Global;
+      P.Offset = D.ByteOffset;
+    } else {
+      P.Space = AddrSpace::Stack;
+      P.Offset = Frames.back().Base + D.ByteOffset;
+    }
+    return P;
+  }
+
+  // ----- conversions ---------------------------------------------------------
+
+  double asDouble(const Value &V) {
+    if (V.Ty.isDouble())
+      return V.D;
+    if (V.Ty.Base == BaseType::UInt && !V.Ty.isPointer())
+      return static_cast<double>(static_cast<uint32_t>(V.I));
+    if (V.Ty.isInteger())
+      return static_cast<double>(V.I);
+    trap("pointer used as a number");
+    return 0.0;
+  }
+
+  int32_t asInt32(const Value &V) {
+    if (V.Ty.isDouble())
+      return truncToInt32(V.D);
+    if (V.Ty.isInteger())
+      return static_cast<int32_t>(V.I);
+    trap("pointer used as an integer");
+    return 0;
+  }
+
+  uint32_t asUInt32(const Value &V) {
+    if (V.Ty.isDouble())
+      return truncToUInt32(V.D);
+    if (V.Ty.isInteger())
+      return static_cast<uint32_t>(V.I);
+    trap("pointer used as an integer");
+    return 0;
+  }
+
+  /// Converts \p V to \p Target for stores, casts, argument passing.
+  Value convert(const Value &V, Type Target) {
+    if (Target.isPointer()) {
+      if (V.Ty.isPointer() || V.Ty.isVoid())
+        return Value::makePtr(Target, V.P);
+      if (V.Ty.isInteger() && V.I == 0)
+        return Value::makePtr(Target, Ptr()); // literal null
+      // Integer-to-pointer casts beyond null do not occur in the subset.
+      trap("invalid conversion to pointer type");
+      return Value::makeVoid();
+    }
+    switch (Target.Base) {
+    case BaseType::Double:
+      return Value::makeDouble(asDouble(V));
+    case BaseType::Int:
+      return Value::makeInt(asInt32(V));
+    case BaseType::UInt:
+      return Value::makeUInt(asUInt32(V));
+    case BaseType::Void:
+      return Value::makeVoid();
+    }
+    assert(false && "unknown BaseType");
+    return Value::makeVoid();
+  }
+
+  bool truthy(const Value &V) {
+    if (V.Ty.isPointer())
+      return !V.P.isNull();
+    if (V.Ty.isDouble())
+      return V.D != 0.0;
+    return V.I != 0;
+  }
+
+  // ----- evaluation -----------------------------------------------------------
+
+  Value evalExpr(const Expr &E);
+  bool evalLvalue(const Expr &E, Ptr &Addr, Type &Ty);
+  Value evalBinary(const BinaryExpr &B);
+  Value applyBinary(BinaryOp Op, const Value &L, const Value &R,
+                    unsigned Line);
+  Value evalCall(const CallExpr &Call);
+  Value callBuiltin(const std::string &Name, const std::vector<Value> &Args);
+  bool evalCondition(const Expr &Cond, uint32_t Site, bool &Outcome);
+  Flow execStmt(const Stmt &S, Value &ReturnValue);
+  void initLocal(const VarDecl &D);
+};
+
+using lang::Evaluator;
+
+bool Evaluator::evalLvalue(const Expr &E, Ptr &Addr, Type &Ty) {
+  if (!step())
+    return false;
+  switch (E.Kind) {
+  case ExprKind::VarRef: {
+    const auto &Ref = exprCast<VarRefExpr>(E);
+    assert(Ref.Decl && "unresolved variable reference");
+    Addr = addressOf(*Ref.Decl);
+    Ty = Ref.Decl->DeclType;
+    return true;
+  }
+  case ExprKind::Unary: {
+    const auto &U = exprCast<UnaryExpr>(E);
+    assert(U.Op == UnaryOp::Deref && "not an lvalue unary");
+    Value P = evalExpr(*U.Operand);
+    if (Trapped)
+      return false;
+    Addr = P.P;
+    Ty = P.Ty.isPointer() ? P.Ty.pointee() : E.Ty;
+    return true;
+  }
+  case ExprKind::Index: {
+    const auto &Idx = exprCast<IndexExpr>(E);
+    Value Base = evalExpr(*Idx.Base);
+    Value Offset = evalExpr(*Idx.Index);
+    if (Trapped)
+      return false;
+    Ty = Base.Ty.pointee();
+    Addr = Base.P;
+    int64_t Delta =
+        static_cast<int64_t>(asInt32(Offset)) * Ty.sizeInBytes();
+    Addr.Offset = static_cast<uint32_t>(Addr.Offset + Delta);
+    return true;
+  }
+  default:
+    trap("expression is not an lvalue");
+    return false;
+  }
+}
+
+Value Evaluator::applyBinary(BinaryOp Op, const Value &L, const Value &R,
+                             unsigned Line) {
+  (void)Line;
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub: {
+    // Pointer arithmetic first.
+    if (L.Ty.isPointer() || R.Ty.isPointer()) {
+      const Value &PtrSide = L.Ty.isPointer() ? L : R;
+      const Value &IntSide = L.Ty.isPointer() ? R : L;
+      int64_t Delta = static_cast<int64_t>(asInt32(IntSide)) *
+                      PtrSide.Ty.pointee().sizeInBytes();
+      if (Op == BinaryOp::Sub)
+        Delta = -Delta;
+      Ptr P = PtrSide.P;
+      P.Offset = static_cast<uint32_t>(P.Offset + Delta);
+      return Value::makePtr(PtrSide.Ty, P);
+    }
+    [[fallthrough]];
+  }
+  case BinaryOp::Mul:
+  case BinaryOp::Div: {
+    if (L.Ty.isDouble() || R.Ty.isDouble()) {
+      double A = asDouble(L), B = asDouble(R);
+      switch (Op) {
+      case BinaryOp::Add:
+        return Value::makeDouble(A + B);
+      case BinaryOp::Sub:
+        return Value::makeDouble(A - B);
+      case BinaryOp::Mul:
+        return Value::makeDouble(A * B);
+      default:
+        return Value::makeDouble(A / B); // IEEE: /0 yields inf/NaN
+      }
+    }
+    if (L.Ty.Base == BaseType::UInt || R.Ty.Base == BaseType::UInt) {
+      uint32_t A = asUInt32(L), B = asUInt32(R);
+      switch (Op) {
+      case BinaryOp::Add:
+        return Value::makeUInt(A + B);
+      case BinaryOp::Sub:
+        return Value::makeUInt(A - B);
+      case BinaryOp::Mul:
+        return Value::makeUInt(A * B);
+      default:
+        if (B == 0)
+          return trap("integer division by zero");
+        return Value::makeUInt(A / B);
+      }
+    }
+    int32_t A = asInt32(L), B = asInt32(R);
+    switch (Op) {
+    case BinaryOp::Add:
+      return Value::makeInt(static_cast<int32_t>(
+          static_cast<uint32_t>(A) + static_cast<uint32_t>(B)));
+    case BinaryOp::Sub:
+      return Value::makeInt(static_cast<int32_t>(
+          static_cast<uint32_t>(A) - static_cast<uint32_t>(B)));
+    case BinaryOp::Mul:
+      return Value::makeInt(static_cast<int32_t>(
+          static_cast<uint32_t>(A) * static_cast<uint32_t>(B)));
+    default:
+      if (B == 0)
+        return trap("integer division by zero");
+      if (A == std::numeric_limits<int32_t>::min() && B == -1)
+        return Value::makeInt(A); // wrap rather than UB
+      return Value::makeInt(A / B);
+    }
+  }
+
+  case BinaryOp::Rem: {
+    if (L.Ty.Base == BaseType::UInt || R.Ty.Base == BaseType::UInt) {
+      uint32_t B = asUInt32(R);
+      if (B == 0)
+        return trap("integer remainder by zero");
+      return Value::makeUInt(asUInt32(L) % B);
+    }
+    int32_t B = asInt32(R);
+    if (B == 0)
+      return trap("integer remainder by zero");
+    int32_t A = asInt32(L);
+    if (A == std::numeric_limits<int32_t>::min() && B == -1)
+      return Value::makeInt(0);
+    return Value::makeInt(A % B);
+  }
+
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    uint32_t Amount = asUInt32(R) & 31u; // defined for any shift count
+    if (L.Ty.Base == BaseType::UInt) {
+      uint32_t A = asUInt32(L);
+      return Value::makeUInt(Op == BinaryOp::Shl ? A << Amount
+                                                 : A >> Amount);
+    }
+    int32_t A = asInt32(L);
+    if (Op == BinaryOp::Shl)
+      return Value::makeInt(
+          static_cast<int32_t>(static_cast<uint32_t>(A) << Amount));
+    return Value::makeInt(A >> Amount); // arithmetic shift, as Fdlibm assumes
+  }
+
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor: {
+    bool Unsigned =
+        L.Ty.Base == BaseType::UInt || R.Ty.Base == BaseType::UInt;
+    uint32_t A = asUInt32(L);
+    uint32_t B = asUInt32(R);
+    uint32_t V = Op == BinaryOp::BitAnd  ? (A & B)
+                 : Op == BinaryOp::BitOr ? (A | B)
+                                         : (A ^ B);
+    return Unsigned ? Value::makeUInt(V)
+                    : Value::makeInt(static_cast<int32_t>(V));
+  }
+
+  case BinaryOp::LT:
+  case BinaryOp::LE:
+  case BinaryOp::GT:
+  case BinaryOp::GE:
+  case BinaryOp::EQ:
+  case BinaryOp::NE: {
+    bool Result;
+    if (L.Ty.isPointer() != R.Ty.isPointer()) {
+      // Null-pointer-constant comparison (==/!= only, per Sema).
+      const Value &PtrSide = L.Ty.isPointer() ? L : R;
+      bool IsNull = PtrSide.P.isNull();
+      return Value::makeInt((Op == BinaryOp::EQ) == IsNull ? 1 : 0);
+    }
+    if (L.Ty.isPointer() && R.Ty.isPointer()) {
+      uint64_t A = encodePtr(L.P), B = encodePtr(R.P);
+      Result = Op == BinaryOp::LT   ? A < B
+               : Op == BinaryOp::LE ? A <= B
+               : Op == BinaryOp::GT ? A > B
+               : Op == BinaryOp::GE ? A >= B
+               : Op == BinaryOp::EQ ? A == B
+                                    : A != B;
+    } else if (L.Ty.isDouble() || R.Ty.isDouble()) {
+      double A = asDouble(L), B = asDouble(R);
+      Result = Op == BinaryOp::LT   ? A < B
+               : Op == BinaryOp::LE ? A <= B
+               : Op == BinaryOp::GT ? A > B
+               : Op == BinaryOp::GE ? A >= B
+               : Op == BinaryOp::EQ ? A == B
+                                    : A != B;
+    } else if (L.Ty.Base == BaseType::UInt || R.Ty.Base == BaseType::UInt) {
+      uint32_t A = asUInt32(L), B = asUInt32(R);
+      Result = Op == BinaryOp::LT   ? A < B
+               : Op == BinaryOp::LE ? A <= B
+               : Op == BinaryOp::GT ? A > B
+               : Op == BinaryOp::GE ? A >= B
+               : Op == BinaryOp::EQ ? A == B
+                                    : A != B;
+    } else {
+      int32_t A = asInt32(L), B = asInt32(R);
+      Result = Op == BinaryOp::LT   ? A < B
+               : Op == BinaryOp::LE ? A <= B
+               : Op == BinaryOp::GT ? A > B
+               : Op == BinaryOp::GE ? A >= B
+               : Op == BinaryOp::EQ ? A == B
+                                    : A != B;
+    }
+    return Value::makeInt(Result ? 1 : 0);
+  }
+
+  case BinaryOp::LogAnd:
+  case BinaryOp::LogOr:
+  case BinaryOp::Comma:
+    assert(false && "handled by evalBinary (sequencing operators)");
+    return Value::makeVoid();
+  }
+  assert(false && "unknown BinaryOp");
+  return Value::makeVoid();
+}
+
+Value Evaluator::evalBinary(const BinaryExpr &B) {
+  // Sequencing operators control operand evaluation themselves.
+  if (B.Op == BinaryOp::LogAnd || B.Op == BinaryOp::LogOr) {
+    Value L = evalExpr(*B.Lhs);
+    if (Trapped)
+      return Value::makeVoid();
+    bool LTrue = truthy(L);
+    if (B.Op == BinaryOp::LogAnd && !LTrue)
+      return Value::makeInt(0);
+    if (B.Op == BinaryOp::LogOr && LTrue)
+      return Value::makeInt(1);
+    Value R = evalExpr(*B.Rhs);
+    if (Trapped)
+      return Value::makeVoid();
+    return Value::makeInt(truthy(R) ? 1 : 0);
+  }
+  if (B.Op == BinaryOp::Comma) {
+    evalExpr(*B.Lhs);
+    if (Trapped)
+      return Value::makeVoid();
+    return evalExpr(*B.Rhs);
+  }
+  Value L = evalExpr(*B.Lhs);
+  Value R = evalExpr(*B.Rhs);
+  if (Trapped)
+    return Value::makeVoid();
+  return applyBinary(B.Op, L, R, B.Line);
+}
+
+Value Evaluator::callBuiltin(const std::string &Name,
+                             const std::vector<Value> &Args) {
+  auto A = [&](size_t I) { return asDouble(Args[I]); };
+  if (Name == "fabs")
+    return Value::makeDouble(std::fabs(A(0)));
+  if (Name == "sqrt")
+    return Value::makeDouble(std::sqrt(A(0)));
+  if (Name == "sin")
+    return Value::makeDouble(std::sin(A(0)));
+  if (Name == "cos")
+    return Value::makeDouble(std::cos(A(0)));
+  if (Name == "tan")
+    return Value::makeDouble(std::tan(A(0)));
+  if (Name == "asin")
+    return Value::makeDouble(std::asin(A(0)));
+  if (Name == "acos")
+    return Value::makeDouble(std::acos(A(0)));
+  if (Name == "atan")
+    return Value::makeDouble(std::atan(A(0)));
+  if (Name == "exp")
+    return Value::makeDouble(std::exp(A(0)));
+  if (Name == "log")
+    return Value::makeDouble(std::log(A(0)));
+  if (Name == "log10")
+    return Value::makeDouble(std::log10(A(0)));
+  if (Name == "log1p")
+    return Value::makeDouble(std::log1p(A(0)));
+  if (Name == "expm1")
+    return Value::makeDouble(std::expm1(A(0)));
+  if (Name == "floor")
+    return Value::makeDouble(std::floor(A(0)));
+  if (Name == "ceil")
+    return Value::makeDouble(std::ceil(A(0)));
+  if (Name == "rint")
+    return Value::makeDouble(std::rint(A(0)));
+  if (Name == "trunc")
+    return Value::makeDouble(std::trunc(A(0)));
+  if (Name == "cbrt")
+    return Value::makeDouble(std::cbrt(A(0)));
+  if (Name == "sinh")
+    return Value::makeDouble(std::sinh(A(0)));
+  if (Name == "cosh")
+    return Value::makeDouble(std::cosh(A(0)));
+  if (Name == "tanh")
+    return Value::makeDouble(std::tanh(A(0)));
+  if (Name == "j0")
+    return Value::makeDouble(::j0(A(0)));
+  if (Name == "j1")
+    return Value::makeDouble(::j1(A(0)));
+  if (Name == "y0")
+    return Value::makeDouble(::y0(A(0)));
+  if (Name == "y1")
+    return Value::makeDouble(::y1(A(0)));
+  if (Name == "pow")
+    return Value::makeDouble(std::pow(A(0), A(1)));
+  if (Name == "fmod")
+    return Value::makeDouble(std::fmod(A(0), A(1)));
+  if (Name == "atan2")
+    return Value::makeDouble(std::atan2(A(0), A(1)));
+  if (Name == "hypot")
+    return Value::makeDouble(std::hypot(A(0), A(1)));
+  if (Name == "copysign")
+    return Value::makeDouble(std::copysign(A(0), A(1)));
+  if (Name == "fmin")
+    return Value::makeDouble(std::fmin(A(0), A(1)));
+  if (Name == "fmax")
+    return Value::makeDouble(std::fmax(A(0), A(1)));
+  if (Name == "scalbn" || Name == "ldexp")
+    return Value::makeDouble(std::scalbn(A(0), asInt32(Args[1])));
+  return trap("unknown builtin '" + Name + "'");
+}
+
+Value Evaluator::evalCall(const CallExpr &Call) {
+  std::vector<Value> Args;
+  Args.reserve(Call.Args.size());
+  for (const auto &Arg : Call.Args) {
+    Args.push_back(evalExpr(*Arg));
+    if (Trapped)
+      return Value::makeVoid();
+  }
+  if (!Call.Callee)
+    return callBuiltin(Call.Name, Args);
+  // Convert arguments to the parameter types.
+  for (size_t I = 0; I < Args.size(); ++I) {
+    Args[I] = convert(Args[I], Call.Callee->Params[I]->DeclType);
+    if (Trapped)
+      return Value::makeVoid();
+  }
+  return call(*Call.Callee, std::move(Args));
+}
+
+Value Evaluator::evalExpr(const Expr &E) {
+  if (!step())
+    return Value::makeVoid();
+  switch (E.Kind) {
+  case ExprKind::IntLiteral: {
+    const auto &Lit = exprCast<IntLiteralExpr>(E);
+    return Lit.IsUnsigned
+               ? Value::makeUInt(static_cast<uint32_t>(Lit.Value))
+               : Value::makeInt(static_cast<int32_t>(Lit.Value));
+  }
+  case ExprKind::DoubleLiteral:
+    return Value::makeDouble(exprCast<DoubleLiteralExpr>(E).Value);
+
+  case ExprKind::VarRef: {
+    const auto &Ref = exprCast<VarRefExpr>(E);
+    assert(Ref.Decl && "unresolved variable reference");
+    Ptr Addr = addressOf(*Ref.Decl);
+    if (Ref.Decl->isArray()) // arrays decay to &elem[0]
+      return Value::makePtr(Ref.Decl->DeclType.pointerTo(), Addr);
+    return load(Addr, Ref.Decl->DeclType);
+  }
+
+  case ExprKind::Unary: {
+    const auto &U = exprCast<UnaryExpr>(E);
+    switch (U.Op) {
+    case UnaryOp::Neg: {
+      Value V = evalExpr(*U.Operand);
+      if (Trapped)
+        return Value::makeVoid();
+      if (V.Ty.isDouble())
+        return Value::makeDouble(-V.D);
+      if (V.Ty.Base == BaseType::UInt)
+        return Value::makeUInt(0u - asUInt32(V));
+      return Value::makeInt(static_cast<int32_t>(
+          0u - static_cast<uint32_t>(asInt32(V))));
+    }
+    case UnaryOp::LogNot: {
+      Value V = evalExpr(*U.Operand);
+      if (Trapped)
+        return Value::makeVoid();
+      return Value::makeInt(truthy(V) ? 0 : 1);
+    }
+    case UnaryOp::BitNot: {
+      Value V = evalExpr(*U.Operand);
+      if (Trapped)
+        return Value::makeVoid();
+      if (V.Ty.Base == BaseType::UInt)
+        return Value::makeUInt(~asUInt32(V));
+      return Value::makeInt(~asInt32(V));
+    }
+    case UnaryOp::Deref: {
+      Value P = evalExpr(*U.Operand);
+      if (Trapped)
+        return Value::makeVoid();
+      if (!P.Ty.isPointer())
+        return trap("dereference of a non-pointer value");
+      return load(P.P, P.Ty.pointee());
+    }
+    case UnaryOp::AddrOf: {
+      Ptr Addr;
+      Type Ty;
+      if (!evalLvalue(*U.Operand, Addr, Ty))
+        return Value::makeVoid();
+      return Value::makePtr(Ty.pointerTo(), Addr);
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec: {
+      Ptr Addr;
+      Type Ty;
+      if (!evalLvalue(*U.Operand, Addr, Ty))
+        return Value::makeVoid();
+      Value V = load(Addr, Ty);
+      if (Trapped)
+        return Value::makeVoid();
+      Value One = Ty.isDouble() ? Value::makeDouble(1.0) : Value::makeInt(1);
+      Value Next = applyBinary(
+          U.Op == UnaryOp::PreInc ? BinaryOp::Add : BinaryOp::Sub, V, One,
+          E.Line);
+      Next = convert(Next, Ty);
+      store(Addr, Next);
+      return Next;
+    }
+    }
+    assert(false && "unknown UnaryOp");
+    return Value::makeVoid();
+  }
+
+  case ExprKind::Postfix: {
+    const auto &P = exprCast<PostfixExpr>(E);
+    Ptr Addr;
+    Type Ty;
+    if (!evalLvalue(*P.Operand, Addr, Ty))
+      return Value::makeVoid();
+    Value V = load(Addr, Ty);
+    if (Trapped)
+      return Value::makeVoid();
+    Value One = Ty.isDouble() ? Value::makeDouble(1.0) : Value::makeInt(1);
+    Value Next = applyBinary(
+        P.IsIncrement ? BinaryOp::Add : BinaryOp::Sub, V, One, E.Line);
+    Next = convert(Next, Ty);
+    store(Addr, Next);
+    return V; // postfix yields the old value
+  }
+
+  case ExprKind::Cast: {
+    const auto &C = exprCast<CastExpr>(E);
+    // `(int *)&x` style casts must preserve the address while retyping the
+    // pointee — the core of Fdlibm's word access.
+    Value V = evalExpr(*C.Operand);
+    if (Trapped)
+      return Value::makeVoid();
+    if (C.Target.isPointer() && V.Ty.isPointer())
+      return Value::makePtr(C.Target, V.P);
+    return convert(V, C.Target);
+  }
+
+  case ExprKind::Binary:
+    return evalBinary(exprCast<BinaryExpr>(E));
+
+  case ExprKind::Ternary: {
+    const auto &T = exprCast<TernaryExpr>(E);
+    Value C = evalExpr(*T.Cond);
+    if (Trapped)
+      return Value::makeVoid();
+    Value V = truthy(C) ? evalExpr(*T.TrueExpr) : evalExpr(*T.FalseExpr);
+    if (Trapped)
+      return Value::makeVoid();
+    return E.Ty.isArithmetic() ? convert(V, E.Ty) : V;
+  }
+
+  case ExprKind::Assign: {
+    const auto &A = exprCast<AssignExpr>(E);
+    Ptr Addr;
+    Type Ty;
+    if (!evalLvalue(*A.Lhs, Addr, Ty))
+      return Value::makeVoid();
+    Value R = evalExpr(*A.Rhs);
+    if (Trapped)
+      return Value::makeVoid();
+    Value Result;
+    if (A.Op == AssignOp::Assign) {
+      Result = convert(R, Ty);
+    } else {
+      Value Old = load(Addr, Ty);
+      if (Trapped)
+        return Value::makeVoid();
+      BinaryOp Op;
+      switch (A.Op) {
+      case AssignOp::Add:
+        Op = BinaryOp::Add;
+        break;
+      case AssignOp::Sub:
+        Op = BinaryOp::Sub;
+        break;
+      case AssignOp::Mul:
+        Op = BinaryOp::Mul;
+        break;
+      case AssignOp::Div:
+        Op = BinaryOp::Div;
+        break;
+      case AssignOp::Rem:
+        Op = BinaryOp::Rem;
+        break;
+      case AssignOp::Shl:
+        Op = BinaryOp::Shl;
+        break;
+      case AssignOp::Shr:
+        Op = BinaryOp::Shr;
+        break;
+      case AssignOp::And:
+        Op = BinaryOp::BitAnd;
+        break;
+      case AssignOp::Or:
+        Op = BinaryOp::BitOr;
+        break;
+      case AssignOp::Xor:
+        Op = BinaryOp::BitXor;
+        break;
+      case AssignOp::Assign:
+        assert(false && "handled above");
+        return Value::makeVoid();
+      }
+      Result = convert(applyBinary(Op, Old, R, E.Line), Ty);
+    }
+    if (Trapped)
+      return Value::makeVoid();
+    store(Addr, Result);
+    return Result;
+  }
+
+  case ExprKind::Call:
+    return evalCall(exprCast<CallExpr>(E));
+
+  case ExprKind::Index: {
+    Ptr Addr;
+    Type Ty;
+    if (!evalLvalue(E, Addr, Ty))
+      return Value::makeVoid();
+    return load(Addr, Ty);
+  }
+  }
+  assert(false && "unknown ExprKind");
+  return Value::makeVoid();
+}
+
+/// Evaluates a statement condition. Sites route through the rt::cond hook
+/// — the moral injection point of the paper's LLVM pass.
+///
+/// The promotion to double (Sect. 5.3) must happen AFTER C's usual
+/// arithmetic conversions, or the hook's comparison diverges from the
+/// program's: in `unsigned j; int i1; if (j < i1)` C converts i1 to
+/// unsigned before comparing, so 0x3d8c63b1 < 0xfd8c63b1 holds — while
+/// the signed value of i1 promoted to double is negative and would flip
+/// the branch. (Fdlibm's floor/ceil carry tests hit exactly this.)
+bool Evaluator::evalCondition(const Expr &Cond, uint32_t Site,
+                              bool &Outcome) {
+  if (Site != kNoSite) {
+    const auto &B = exprCast<BinaryExpr>(Cond);
+    Value L = evalExpr(*B.Lhs);
+    Value R = evalExpr(*B.Rhs);
+    if (Trapped)
+      return false;
+    double A, C;
+    if (L.Ty.isDouble() || R.Ty.isDouble()) {
+      A = asDouble(L);
+      C = asDouble(R);
+    } else if (L.Ty.Base == BaseType::UInt ||
+               R.Ty.Base == BaseType::UInt) {
+      A = static_cast<double>(asUInt32(L));
+      C = static_cast<double>(asUInt32(R));
+    } else {
+      A = static_cast<double>(asInt32(L));
+      C = static_cast<double>(asInt32(R));
+    }
+    Outcome = rt::cond(Site, toCmpOp(B.Op), A, C);
+    return !Trapped;
+  }
+  Value V = evalExpr(Cond);
+  if (Trapped)
+    return false;
+  Outcome = truthy(V);
+  return true;
+}
+
+void Evaluator::initLocal(const VarDecl &D) {
+  Ptr Addr = addressOf(D);
+  if (D.isArray()) {
+    // Zero-fill, then evaluate any initializer elements.
+    uint8_t *Mem = resolve(Addr, D.storageBytes());
+    if (!Mem)
+      return;
+    std::memset(Mem, 0, D.storageBytes());
+    for (size_t I = 0; I < D.InitList.size(); ++I) {
+      Value V = convert(evalExpr(*D.InitList[I]), D.DeclType);
+      if (Trapped)
+        return;
+      Ptr Elem = Addr;
+      Elem.Offset += static_cast<uint32_t>(I * D.DeclType.sizeInBytes());
+      store(Elem, V);
+    }
+    return;
+  }
+  Value V = D.Init ? convert(evalExpr(*D.Init), D.DeclType)
+                   : convert(Value::makeInt(0), D.DeclType);
+  if (!Trapped)
+    store(Addr, V);
+}
+
+Flow Evaluator::execStmt(const Stmt &S, Value &ReturnValue) {
+  if (!step())
+    return Flow::Return;
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    evalExpr(*stmtCast<ExprStmt>(S).E);
+    return Trapped ? Flow::Return : Flow::Normal;
+
+  case StmtKind::Decl:
+    for (const auto &D : stmtCast<DeclStmt>(S).Decls) {
+      initLocal(*D);
+      if (Trapped)
+        return Flow::Return;
+    }
+    return Flow::Normal;
+
+  case StmtKind::Block:
+    for (const auto &Child : stmtCast<BlockStmt>(S).Body) {
+      Flow F = execStmt(*Child, ReturnValue);
+      if (F != Flow::Normal)
+        return F;
+    }
+    return Flow::Normal;
+
+  case StmtKind::If: {
+    const auto &If = stmtCast<IfStmt>(S);
+    bool Taken;
+    if (!evalCondition(*If.Cond, If.Site, Taken))
+      return Flow::Return;
+    if (Taken)
+      return execStmt(*If.Then, ReturnValue);
+    if (If.Else)
+      return execStmt(*If.Else, ReturnValue);
+    return Flow::Normal;
+  }
+
+  case StmtKind::While: {
+    const auto &W = stmtCast<WhileStmt>(S);
+    while (true) {
+      bool Taken;
+      if (!evalCondition(*W.Cond, W.Site, Taken))
+        return Flow::Return;
+      if (!Taken)
+        return Flow::Normal;
+      Flow F = execStmt(*W.Body, ReturnValue);
+      if (F == Flow::Break)
+        return Flow::Normal;
+      if (F == Flow::Return)
+        return F;
+    }
+  }
+
+  case StmtKind::DoWhile: {
+    const auto &D = stmtCast<DoWhileStmt>(S);
+    while (true) {
+      Flow F = execStmt(*D.Body, ReturnValue);
+      if (F == Flow::Break)
+        return Flow::Normal;
+      if (F == Flow::Return)
+        return F;
+      bool Again;
+      if (!evalCondition(*D.Cond, D.Site, Again))
+        return Flow::Return;
+      if (!Again)
+        return Flow::Normal;
+    }
+  }
+
+  case StmtKind::For: {
+    const auto &F = stmtCast<ForStmt>(S);
+    if (F.Init) {
+      Flow InitFlow = execStmt(*F.Init, ReturnValue);
+      if (InitFlow == Flow::Return)
+        return InitFlow;
+    }
+    while (true) {
+      if (F.Cond) {
+        bool Taken;
+        if (!evalCondition(*F.Cond, F.Site, Taken))
+          return Flow::Return;
+        if (!Taken)
+          return Flow::Normal;
+      }
+      Flow BodyFlow = execStmt(*F.Body, ReturnValue);
+      if (BodyFlow == Flow::Break)
+        return Flow::Normal;
+      if (BodyFlow == Flow::Return)
+        return BodyFlow;
+      if (F.Step) {
+        evalExpr(*F.Step);
+        if (Trapped)
+          return Flow::Return;
+      }
+    }
+  }
+
+  case StmtKind::Return: {
+    const auto &R = stmtCast<ReturnStmt>(S);
+    if (R.Value) {
+      ReturnValue = evalExpr(*R.Value);
+      if (Trapped)
+        return Flow::Return;
+    } else {
+      ReturnValue = Value::makeVoid();
+    }
+    return Flow::Return;
+  }
+
+  case StmtKind::Break:
+    return Flow::Break;
+  case StmtKind::Continue:
+    return Flow::Continue;
+  case StmtKind::Empty:
+    return Flow::Normal;
+  }
+  assert(false && "unknown StmtKind");
+  return Flow::Normal;
+}
+
+Value Evaluator::call(const FunctionDecl &F, std::vector<Value> Args) {
+  assert(Args.size() == F.Params.size() && "argument count mismatch");
+  if (Frames.size() >= Interp.options().MaxCallDepth)
+    return trap("call depth limit exceeded");
+  uint32_t Base = StackTop;
+  uint64_t Needed = static_cast<uint64_t>(Base) + F.FrameBytes;
+  if (Needed > Interp.options().MaxStackBytes)
+    return trap("interpreter stack overflow");
+  if (Stack.size() < Needed)
+    Stack.resize(Needed, 0);
+  StackTop = static_cast<uint32_t>(Needed);
+  Frames.push_back({Base, &F});
+
+  for (size_t I = 0; I < Args.size(); ++I)
+    store(addressOf(*F.Params[I]), convert(Args[I], F.Params[I]->DeclType));
+
+  Value ReturnValue = Value::makeVoid();
+  if (!Trapped)
+    execStmt(*F.Body, ReturnValue);
+
+  Frames.pop_back();
+  StackTop = Base;
+  if (Trapped)
+    return Value::makeVoid();
+  if (F.ReturnType.isVoid())
+    return Value::makeVoid();
+  return convert(ReturnValue, F.ReturnType);
+}
+
+void Interpreter::initializeGlobals() {
+  GlobalMem.assign(TU.GlobalBytes, 0);
+  Evaluator Eval(*this);
+  Eval.StepsLeft = Opts.MaxSteps;
+  // Globals initialize in declaration order; later initializers may read
+  // earlier globals (Fdlibm's tables are all literal-initialized anyway).
+  for (const auto &G : TU.Globals) {
+    Eval.Frames.push_back({0, nullptr}); // dummy frame for addressOf
+    Eval.initLocal(*G);
+    Eval.Frames.pop_back();
+    if (Eval.trapped()) {
+      TrapMessage = "global initializer: " + Eval.trapMessage();
+      return;
+    }
+  }
+}
+
+Interpreter::Interpreter(const TranslationUnit &TU, InterpOptions Opts)
+    : TU(TU), Opts(Opts) {
+  initializeGlobals();
+}
+
+double Interpreter::callEntry(const FunctionDecl &F, const double *Args) {
+  TrapMessage.clear();
+  Evaluator Eval(*this);
+  Eval.StepsLeft = Opts.MaxSteps;
+
+  // Entry lowering (Sect. 5.3): double binds directly; double* binds a
+  // fresh cell seeded with the argument; int/unsigned truncate.
+  std::vector<Value> Bound;
+  Bound.reserve(F.Params.size());
+  // Pointer-parameter cells live at the bottom of the stack arena, below
+  // the first frame.
+  uint32_t CellBytes = 0;
+  for (const auto &P : F.Params)
+    if (P->DeclType.isPointer())
+      CellBytes += 8;
+  Eval.Stack.assign(CellBytes, 0);
+  Eval.StackTop = CellBytes;
+  uint32_t NextCell = 0;
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    const Type PTy = F.Params[I]->DeclType;
+    if (PTy.isPointer()) {
+      if (PTy.pointee() != Type(BaseType::Double)) {
+        TrapMessage = "unsupported entry parameter type " + typeName(PTy);
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      Ptr Cell;
+      Cell.Space = AddrSpace::Stack;
+      Cell.Offset = NextCell;
+      NextCell += 8;
+      std::memcpy(Eval.Stack.data() + Cell.Offset, &Args[I], 8);
+      Bound.push_back(Value::makePtr(PTy, Cell));
+      continue;
+    }
+    switch (PTy.Base) {
+    case BaseType::Double:
+      Bound.push_back(Value::makeDouble(Args[I]));
+      break;
+    case BaseType::Int:
+      Bound.push_back(Value::makeInt(truncToInt32(Args[I])));
+      break;
+    case BaseType::UInt:
+      Bound.push_back(Value::makeUInt(truncToUInt32(Args[I])));
+      break;
+    case BaseType::Void:
+      TrapMessage = "void entry parameter";
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+  Value Result = Eval.call(F, std::move(Bound));
+  if (Eval.trapped()) {
+    TrapMessage = Eval.trapMessage();
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (F.ReturnType.isVoid())
+    return 0.0;
+  return Eval.asDouble(Result);
+}

@@ -1,0 +1,85 @@
+//===- Interp.h - Tree-walking interpreter for the mini-C subset ----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes analyzed translation units. Together with the parser and Sema
+/// this replaces the paper's Clang -> LLVM-pass -> libr.so pipeline
+/// (Sect. 5.1): an interpreted function *is* the instrumented FOO_I — every
+/// conditional site Sema numbered calls the same rt::cond hook the LLVM
+/// pass would have injected, so wrapping the interpreter in a Program
+/// yields the representing function FOO_R with no compilation step.
+///
+/// The memory model is a byte arena per storage class, which makes
+/// Fdlibm's pointer-cast bit twiddling — `*(1 + (int *)&x)` reads the high
+/// word of a double on a little-endian host — behave exactly as compiled C.
+///
+/// Execution is total: every trap (out-of-bounds access, step-budget
+/// exhaustion, unexpected NaN conversions) abandons the current entry call
+/// and surfaces as a NaN result, which the optimization layer already
+/// treats as a worst-case objective value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_INTERP_H
+#define COVERME_LANG_INTERP_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+
+class Evaluator;
+
+/// Interpreter resource limits. The step budget bounds hostile inputs
+/// that drive loops astronomically long (the interpreter equivalent of a
+/// test harness timeout).
+struct InterpOptions {
+  uint64_t MaxSteps = 4000000; ///< Expression/statement evaluations per call.
+  unsigned MaxCallDepth = 64;  ///< Nested interpreted calls.
+  unsigned MaxStackBytes = 1u << 20; ///< Frame arena cap.
+};
+
+/// Tree-walking evaluator over one analyzed TranslationUnit.
+///
+/// Thread-compatible, not thread-safe: one Interpreter per thread. The
+/// referenced TranslationUnit must outlive the interpreter.
+class Interpreter {
+public:
+  /// \p TU must have passed Sema::analyze.
+  explicit Interpreter(const TranslationUnit &TU, InterpOptions Opts = {});
+
+  /// Calls \p F with entry-parameter lowering (Sect. 5.3): a `double`
+  /// parameter binds its argument directly; a `double *` parameter binds a
+  /// fresh cell seeded with the argument; `int` / `unsigned` parameters
+  /// truncate the argument. \p Args must hold F.Params.size() doubles.
+  /// Returns the function result converted to double, or NaN on a trap.
+  double callEntry(const FunctionDecl &F, const double *Args);
+
+  /// True when the last callEntry trapped; trapMessage() says why.
+  bool trapped() const { return !TrapMessage.empty(); }
+  const std::string &trapMessage() const { return TrapMessage; }
+
+  const TranslationUnit &unit() const { return TU; }
+  const InterpOptions &options() const { return Opts; }
+
+private:
+  friend class Evaluator;
+
+  const TranslationUnit &TU;
+  InterpOptions Opts;
+  std::vector<uint8_t> GlobalMem;
+  std::string TrapMessage;
+
+  void initializeGlobals();
+};
+
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_INTERP_H

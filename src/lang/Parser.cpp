@@ -1,0 +1,915 @@
+//===- Parser.cpp - Recursive-descent parser for the mini-C subset --------===//
+
+#include "lang/Parser.h"
+
+#include "instrument/Lexer.h"
+
+#include <cstdlib>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+std::string lang::typeName(Type Ty) {
+  std::string Name;
+  switch (Ty.Base) {
+  case BaseType::Void:
+    Name = "void";
+    break;
+  case BaseType::Int:
+    Name = "int";
+    break;
+  case BaseType::UInt:
+    Name = "unsigned";
+    break;
+  case BaseType::Double:
+    Name = "double";
+    break;
+  }
+  for (unsigned I = 0; I < Ty.PtrDepth; ++I)
+    Name += I == 0 ? " *" : "*";
+  return Name;
+}
+
+bool lang::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LT:
+  case BinaryOp::LE:
+  case BinaryOp::GT:
+  case BinaryOp::GE:
+  case BinaryOp::EQ:
+  case BinaryOp::NE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+CmpOp lang::toCmpOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LT:
+    return CmpOp::LT;
+  case BinaryOp::LE:
+    return CmpOp::LE;
+  case BinaryOp::GT:
+    return CmpOp::GT;
+  case BinaryOp::GE:
+    return CmpOp::GE;
+  case BinaryOp::EQ:
+    return CmpOp::EQ;
+  case BinaryOp::NE:
+    return CmpOp::NE;
+  default:
+    assert(false && "not a comparison operator");
+    return CmpOp::EQ;
+  }
+}
+
+std::string lang::formatDiagnostic(const Diagnostic &D) {
+  return "line " + std::to_string(D.Line) + ": " + D.Message;
+}
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+const FunctionDecl *
+TranslationUnit::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+const VarDecl *TranslationUnit::findGlobal(const std::string &Name) const {
+  for (const auto &G : Globals)
+    if (G->Name == Name)
+      return G.get();
+  return nullptr;
+}
+
+namespace {
+
+using instrument::Token;
+using instrument::TokenKind;
+
+/// True when \p Text spells a declaration-specifier keyword.
+bool isDeclSpecifier(const std::string &Text) {
+  return Text == "static" || Text == "const" || Text == "unsigned" ||
+         Text == "signed" || Text == "int" || Text == "double" ||
+         Text == "void" || Text == "volatile" || Text == "register";
+}
+
+/// The recursive-descent parser. One instance per translation unit.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::vector<Diagnostic> &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<TranslationUnit> parseUnit();
+  ExprPtr parseSingleExpression();
+
+private:
+  std::vector<Token> Tokens;
+  std::vector<Diagnostic> &Diags;
+  size_t Pos = 0;
+
+  // ----- token plumbing ---------------------------------------------------
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos < Tokens.size() - 1)
+      ++Pos;
+    return T;
+  }
+
+  bool atEnd() const { return peek().is(TokenKind::EndOfFile); }
+
+  bool consumePunct(const char *Spelling) {
+    if (!peek().isPunct(Spelling))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool consumeKeyword(const char *Name) {
+    if (!peek().isIdentifier(Name))
+      return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string &Message) {
+    Diags.push_back({peek().Line, Message});
+  }
+
+  /// Requires punctuation \p Spelling; reports an error if absent.
+  bool expectPunct(const char *Spelling) {
+    if (consumePunct(Spelling))
+      return true;
+    error(std::string("expected '") + Spelling + "' before '" + peek().Text +
+          "'");
+    return false;
+  }
+
+  /// Skips tokens until just past the next ';' (or a '}' boundary) so one
+  /// malformed construct does not cascade.
+  void synchronize() {
+    unsigned Depth = 0;
+    while (!atEnd()) {
+      const Token &T = advance();
+      if (T.isPunct("{"))
+        ++Depth;
+      else if (T.isPunct("}")) {
+        if (Depth == 0)
+          return;
+        --Depth;
+      } else if (T.isPunct(";") && Depth == 0)
+        return;
+    }
+  }
+
+  // ----- types and declarators --------------------------------------------
+
+  /// True when the current token begins a declaration.
+  bool startsDeclaration() const {
+    return peek().is(TokenKind::Identifier) && isDeclSpecifier(peek().Text);
+  }
+
+  /// Parses decl-specifiers; returns false when no type keyword appears.
+  bool parseDeclSpecifiers(BaseType &Base) {
+    bool SawType = false;
+    bool SawUnsigned = false;
+    Base = BaseType::Int;
+    while (peek().is(TokenKind::Identifier) && isDeclSpecifier(peek().Text)) {
+      const std::string &KW = advance().Text;
+      if (KW == "int") {
+        SawType = true;
+      } else if (KW == "double") {
+        Base = BaseType::Double;
+        SawType = true;
+      } else if (KW == "void") {
+        Base = BaseType::Void;
+        SawType = true;
+      } else if (KW == "unsigned") {
+        SawUnsigned = true;
+        SawType = true;
+      }
+      // static / const / signed / volatile / register carry no semantic
+      // weight in the interpreter's memory model.
+    }
+    if (SawUnsigned && Base == BaseType::Int)
+      Base = BaseType::UInt;
+    return SawType;
+  }
+
+  /// Parses '*'* name and optional [N] suffix into \p D.
+  bool parseDeclarator(BaseType Base, VarDecl &D) {
+    uint8_t Depth = 0;
+    while (consumePunct("*"))
+      ++Depth;
+    if (!peek().is(TokenKind::Identifier) || isDeclSpecifier(peek().Text)) {
+      error("expected declarator name");
+      return false;
+    }
+    D.Line = peek().Line;
+    D.Name = advance().Text;
+    D.DeclType = Type(Base, Depth);
+    if (consumePunct("[")) {
+      if (!peek().is(TokenKind::Number)) {
+        error("array size must be an integer literal");
+        return false;
+      }
+      D.ArraySize = static_cast<unsigned>(
+          std::strtoul(advance().Text.c_str(), nullptr, 0));
+      if (D.ArraySize == 0) {
+        error("array size must be positive");
+        return false;
+      }
+      if (!expectPunct("]"))
+        return false;
+    }
+    return true;
+  }
+
+  /// Whether '(' at the current position opens a cast, i.e. is followed by
+  /// a type keyword (the subset has no typedef names).
+  bool peekIsCast() const {
+    if (!peek().isPunct("("))
+      return false;
+    const Token &Next = peek(1);
+    return Next.is(TokenKind::Identifier) && isDeclSpecifier(Next.Text) &&
+           Next.Text != "static" && Next.Text != "register";
+  }
+
+  // ----- expressions -------------------------------------------------------
+
+  ExprPtr parsePrimary();
+  ExprPtr parsePostfix();
+  ExprPtr parseUnary();
+  ExprPtr parseBinary(int MinPrecedence);
+  ExprPtr parseConditional();
+  ExprPtr parseAssignment();
+  ExprPtr parseExpressionNode();
+
+  // ----- statements ---------------------------------------------------------
+
+  StmtPtr parseStatement();
+  std::unique_ptr<BlockStmt> parseBlock();
+  std::unique_ptr<DeclStmt> parseDeclStmt();
+
+  // ----- top level -----------------------------------------------------------
+
+  void parseTopLevel(TranslationUnit &TU);
+};
+
+/// Parses a Number token's text into an IntLiteral or DoubleLiteral node.
+ExprPtr parseNumberToken(const Token &T, std::vector<Diagnostic> &Diags) {
+  std::string Text = T.Text;
+  bool Unsigned = false;
+  // Strip integer/float suffixes.
+  while (!Text.empty()) {
+    char C = Text.back();
+    if (C == 'u' || C == 'U') {
+      Unsigned = true;
+      Text.pop_back();
+    } else if (C == 'l' || C == 'L' || C == 'f' || C == 'F') {
+      // 'f'/'F' could close a hex literal (0x...F); only strip it as a
+      // suffix for non-hex spellings.
+      if (Text.size() > 1 && (Text[1] == 'x' || Text[1] == 'X') &&
+          (C == 'f' || C == 'F'))
+        break;
+      Text.pop_back();
+    } else {
+      break;
+    }
+  }
+  bool IsHex = Text.size() > 1 && (Text[1] == 'x' || Text[1] == 'X');
+  bool IsFloat =
+      !IsHex && (Text.find('.') != std::string::npos ||
+                 Text.find('e') != std::string::npos ||
+                 Text.find('E') != std::string::npos);
+  if (IsFloat) {
+    auto Node = std::make_unique<DoubleLiteralExpr>();
+    Node->Line = T.Line;
+    Node->Value = std::strtod(Text.c_str(), nullptr);
+    return Node;
+  }
+  auto Node = std::make_unique<IntLiteralExpr>();
+  Node->Line = T.Line;
+  char *End = nullptr;
+  Node->Value = std::strtoull(Text.c_str(), &End, 0);
+  if (End && *End != '\0')
+    Diags.push_back({T.Line, "malformed integer literal '" + T.Text + "'"});
+  // Large literals type as unsigned, matching how C types Fdlibm's masks
+  // like 0x80000000 within 32 bits.
+  Node->IsUnsigned = Unsigned || Node->Value > 0x7fffffffull;
+  return Node;
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token &T = peek();
+  if (T.is(TokenKind::Number))
+    return parseNumberToken(advance(), Diags);
+  if (T.isPunct("(")) {
+    advance();
+    ExprPtr Inner = parseExpressionNode();
+    expectPunct(")");
+    return Inner;
+  }
+  if (T.is(TokenKind::Identifier) && !isDeclSpecifier(T.Text)) {
+    unsigned Line = T.Line;
+    std::string Name = advance().Text;
+    if (consumePunct("(")) {
+      auto Call = std::make_unique<CallExpr>();
+      Call->Line = Line;
+      Call->Name = std::move(Name);
+      if (!peek().isPunct(")")) {
+        do {
+          ExprPtr Arg = parseAssignment();
+          if (!Arg)
+            return nullptr;
+          Call->Args.push_back(std::move(Arg));
+        } while (consumePunct(","));
+      }
+      expectPunct(")");
+      return Call;
+    }
+    auto Ref = std::make_unique<VarRefExpr>();
+    Ref->Line = Line;
+    Ref->Name = std::move(Name);
+    return Ref;
+  }
+  error("expected expression before '" + T.Text + "'");
+  return nullptr;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (E) {
+    if (peek().isPunct("[")) {
+      unsigned Line = advance().Line;
+      auto Node = std::make_unique<IndexExpr>();
+      Node->Line = Line;
+      Node->Base = std::move(E);
+      Node->Index = parseExpressionNode();
+      if (!Node->Index)
+        return nullptr;
+      expectPunct("]");
+      E = std::move(Node);
+      continue;
+    }
+    if (peek().isPunct("++") || peek().isPunct("--")) {
+      auto Node = std::make_unique<PostfixExpr>();
+      Node->Line = peek().Line;
+      Node->IsIncrement = peek().isPunct("++");
+      advance();
+      Node->Operand = std::move(E);
+      E = std::move(Node);
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parseUnary() {
+  const Token &T = peek();
+  auto MakeUnary = [&](UnaryOp Op) -> ExprPtr {
+    auto Node = std::make_unique<UnaryExpr>();
+    Node->Line = T.Line;
+    Node->Op = Op;
+    advance();
+    Node->Operand = parseUnary();
+    return Node->Operand ? std::move(Node) : nullptr;
+  };
+  if (T.isPunct("-"))
+    return MakeUnary(UnaryOp::Neg);
+  if (T.isPunct("+")) { // unary plus: parse and drop
+    advance();
+    return parseUnary();
+  }
+  if (T.isPunct("!"))
+    return MakeUnary(UnaryOp::LogNot);
+  if (T.isPunct("~"))
+    return MakeUnary(UnaryOp::BitNot);
+  if (T.isPunct("*"))
+    return MakeUnary(UnaryOp::Deref);
+  if (T.isPunct("&"))
+    return MakeUnary(UnaryOp::AddrOf);
+  if (T.isPunct("++"))
+    return MakeUnary(UnaryOp::PreInc);
+  if (T.isPunct("--"))
+    return MakeUnary(UnaryOp::PreDec);
+  if (peekIsCast()) {
+    unsigned Line = T.Line;
+    advance(); // '('
+    BaseType Base;
+    if (!parseDeclSpecifiers(Base)) {
+      error("expected type in cast");
+      return nullptr;
+    }
+    uint8_t Depth = 0;
+    while (consumePunct("*"))
+      ++Depth;
+    if (!expectPunct(")"))
+      return nullptr;
+    auto Node = std::make_unique<CastExpr>();
+    Node->Line = Line;
+    Node->Target = Type(Base, Depth);
+    Node->Operand = parseUnary();
+    return Node->Operand ? std::move(Node) : nullptr;
+  }
+  return parsePostfix();
+}
+
+/// Binary operator precedence (higher binds tighter); -1 for non-operators.
+int binaryPrecedence(const Token &T, BinaryOp &Op) {
+  if (!T.is(TokenKind::Punct))
+    return -1;
+  const std::string &S = T.Text;
+  if (S == "*") {
+    Op = BinaryOp::Mul;
+    return 10;
+  }
+  if (S == "/") {
+    Op = BinaryOp::Div;
+    return 10;
+  }
+  if (S == "%") {
+    Op = BinaryOp::Rem;
+    return 10;
+  }
+  if (S == "+") {
+    Op = BinaryOp::Add;
+    return 9;
+  }
+  if (S == "-") {
+    Op = BinaryOp::Sub;
+    return 9;
+  }
+  if (S == "<<") {
+    Op = BinaryOp::Shl;
+    return 8;
+  }
+  if (S == ">>") {
+    Op = BinaryOp::Shr;
+    return 8;
+  }
+  if (S == "<") {
+    Op = BinaryOp::LT;
+    return 7;
+  }
+  if (S == "<=") {
+    Op = BinaryOp::LE;
+    return 7;
+  }
+  if (S == ">") {
+    Op = BinaryOp::GT;
+    return 7;
+  }
+  if (S == ">=") {
+    Op = BinaryOp::GE;
+    return 7;
+  }
+  if (S == "==") {
+    Op = BinaryOp::EQ;
+    return 6;
+  }
+  if (S == "!=") {
+    Op = BinaryOp::NE;
+    return 6;
+  }
+  if (S == "&") {
+    Op = BinaryOp::BitAnd;
+    return 5;
+  }
+  if (S == "^") {
+    Op = BinaryOp::BitXor;
+    return 4;
+  }
+  if (S == "|") {
+    Op = BinaryOp::BitOr;
+    return 3;
+  }
+  if (S == "&&") {
+    Op = BinaryOp::LogAnd;
+    return 2;
+  }
+  if (S == "||") {
+    Op = BinaryOp::LogOr;
+    return 1;
+  }
+  return -1;
+}
+
+ExprPtr Parser::parseBinary(int MinPrecedence) {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (true) {
+    BinaryOp Op;
+    int Prec = binaryPrecedence(peek(), Op);
+    if (Prec < MinPrecedence)
+      return Lhs;
+    unsigned Line = advance().Line;
+    ExprPtr Rhs = parseBinary(Prec + 1); // all binary operators left-assoc
+    if (!Rhs)
+      return nullptr;
+    auto Node = std::make_unique<BinaryExpr>();
+    Node->Line = Line;
+    Node->Op = Op;
+    Node->Lhs = std::move(Lhs);
+    Node->Rhs = std::move(Rhs);
+    Lhs = std::move(Node);
+  }
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr Cond = parseBinary(1);
+  if (!Cond || !peek().isPunct("?"))
+    return Cond;
+  unsigned Line = advance().Line;
+  auto Node = std::make_unique<TernaryExpr>();
+  Node->Line = Line;
+  Node->Cond = std::move(Cond);
+  Node->TrueExpr = parseExpressionNode();
+  if (!Node->TrueExpr || !expectPunct(":"))
+    return nullptr;
+  Node->FalseExpr = parseConditional();
+  return Node->FalseExpr ? std::move(Node) : nullptr;
+}
+
+/// Assignment operator spellings; -1 when the token is not one.
+bool assignOpFor(const Token &T, AssignOp &Op) {
+  if (!T.is(TokenKind::Punct))
+    return false;
+  const std::string &S = T.Text;
+  if (S == "=")
+    Op = AssignOp::Assign;
+  else if (S == "+=")
+    Op = AssignOp::Add;
+  else if (S == "-=")
+    Op = AssignOp::Sub;
+  else if (S == "*=")
+    Op = AssignOp::Mul;
+  else if (S == "/=")
+    Op = AssignOp::Div;
+  else if (S == "%=")
+    Op = AssignOp::Rem;
+  else if (S == "<<=")
+    Op = AssignOp::Shl;
+  else if (S == ">>=")
+    Op = AssignOp::Shr;
+  else if (S == "&=")
+    Op = AssignOp::And;
+  else if (S == "|=")
+    Op = AssignOp::Or;
+  else if (S == "^=")
+    Op = AssignOp::Xor;
+  else
+    return false;
+  return true;
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr Lhs = parseConditional();
+  if (!Lhs)
+    return nullptr;
+  AssignOp Op;
+  if (!assignOpFor(peek(), Op))
+    return Lhs;
+  unsigned Line = advance().Line;
+  auto Node = std::make_unique<AssignExpr>();
+  Node->Line = Line;
+  Node->Op = Op;
+  Node->Lhs = std::move(Lhs);
+  Node->Rhs = parseAssignment(); // right-associative
+  return Node->Rhs ? std::move(Node) : nullptr;
+}
+
+ExprPtr Parser::parseExpressionNode() {
+  // The comma operator folds left-to-right; only the last value survives.
+  // Fdlibm uses it in for-headers like `for (ix = -1043, i = lx; ...)`.
+  ExprPtr E = parseAssignment();
+  while (E && peek().isPunct(",")) {
+    unsigned Line = advance().Line;
+    ExprPtr Rhs = parseAssignment();
+    if (!Rhs)
+      return nullptr;
+    auto Node = std::make_unique<BinaryExpr>();
+    Node->Line = Line;
+    Node->Op = BinaryOp::Comma;
+    Node->Lhs = std::move(E);
+    Node->Rhs = std::move(Rhs);
+    E = std::move(Node);
+  }
+  return E;
+}
+
+StmtPtr Parser::parseStatement() {
+  const Token &T = peek();
+  unsigned Line = T.Line;
+
+  if (T.isPunct("{"))
+    return parseBlock();
+
+  if (T.isPunct(";")) {
+    advance();
+    auto S = std::make_unique<EmptyStmt>();
+    S->Line = Line;
+    return S;
+  }
+
+  if (consumeKeyword("if")) {
+    auto S = std::make_unique<IfStmt>();
+    S->Line = Line;
+    expectPunct("(");
+    S->Cond = parseExpressionNode();
+    if (!S->Cond)
+      return nullptr;
+    expectPunct(")");
+    S->Then = parseStatement();
+    if (!S->Then)
+      return nullptr;
+    if (consumeKeyword("else")) {
+      S->Else = parseStatement();
+      if (!S->Else)
+        return nullptr;
+    }
+    return S;
+  }
+
+  if (consumeKeyword("while")) {
+    auto S = std::make_unique<WhileStmt>();
+    S->Line = Line;
+    expectPunct("(");
+    S->Cond = parseExpressionNode();
+    if (!S->Cond)
+      return nullptr;
+    expectPunct(")");
+    S->Body = parseStatement();
+    return S->Body ? std::move(S) : nullptr;
+  }
+
+  if (consumeKeyword("do")) {
+    auto S = std::make_unique<DoWhileStmt>();
+    S->Line = Line;
+    S->Body = parseStatement();
+    if (!S->Body)
+      return nullptr;
+    if (!consumeKeyword("while")) {
+      error("expected 'while' after do-body");
+      return nullptr;
+    }
+    expectPunct("(");
+    S->Cond = parseExpressionNode();
+    if (!S->Cond)
+      return nullptr;
+    expectPunct(")");
+    expectPunct(";");
+    return S;
+  }
+
+  if (consumeKeyword("for")) {
+    auto S = std::make_unique<ForStmt>();
+    S->Line = Line;
+    expectPunct("(");
+    if (!consumePunct(";")) {
+      if (startsDeclaration()) {
+        S->Init = parseDeclStmt();
+      } else {
+        auto Init = std::make_unique<ExprStmt>();
+        Init->Line = peek().Line;
+        Init->E = parseExpressionNode();
+        if (!Init->E)
+          return nullptr;
+        S->Init = std::move(Init);
+        expectPunct(";");
+      }
+    }
+    if (!peek().isPunct(";")) {
+      S->Cond = parseExpressionNode();
+      if (!S->Cond)
+        return nullptr;
+    }
+    expectPunct(";");
+    if (!peek().isPunct(")")) {
+      S->Step = parseExpressionNode();
+      if (!S->Step)
+        return nullptr;
+    }
+    expectPunct(")");
+    S->Body = parseStatement();
+    return S->Body ? std::move(S) : nullptr;
+  }
+
+  if (consumeKeyword("return")) {
+    auto S = std::make_unique<ReturnStmt>();
+    S->Line = Line;
+    if (!peek().isPunct(";")) {
+      S->Value = parseExpressionNode();
+      if (!S->Value)
+        return nullptr;
+    }
+    expectPunct(";");
+    return S;
+  }
+
+  if (consumeKeyword("break")) {
+    expectPunct(";");
+    auto S = std::make_unique<BreakStmt>();
+    S->Line = Line;
+    return S;
+  }
+
+  if (consumeKeyword("continue")) {
+    expectPunct(";");
+    auto S = std::make_unique<ContinueStmt>();
+    S->Line = Line;
+    return S;
+  }
+
+  if (startsDeclaration())
+    return parseDeclStmt();
+
+  auto S = std::make_unique<ExprStmt>();
+  S->Line = Line;
+  S->E = parseExpressionNode();
+  if (!S->E)
+    return nullptr;
+  expectPunct(";");
+  return S;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  auto Block = std::make_unique<BlockStmt>();
+  Block->Line = peek().Line;
+  if (!expectPunct("{"))
+    return Block;
+  while (!atEnd() && !peek().isPunct("}")) {
+    StmtPtr S = parseStatement();
+    if (!S) {
+      synchronize();
+      continue;
+    }
+    Block->Body.push_back(std::move(S));
+  }
+  expectPunct("}");
+  return Block;
+}
+
+std::unique_ptr<DeclStmt> Parser::parseDeclStmt() {
+  auto DS = std::make_unique<DeclStmt>();
+  DS->Line = peek().Line;
+  BaseType Base;
+  if (!parseDeclSpecifiers(Base)) {
+    error("expected type in declaration");
+    return nullptr;
+  }
+  do {
+    auto D = std::make_unique<VarDecl>();
+    D->Storage = StorageKind::Local;
+    if (!parseDeclarator(Base, *D))
+      return nullptr;
+    if (consumePunct("=")) {
+      if (peek().isPunct("{")) {
+        advance();
+        do {
+          ExprPtr Elem = parseAssignment();
+          if (!Elem)
+            return nullptr;
+          D->InitList.push_back(std::move(Elem));
+        } while (consumePunct(","));
+        expectPunct("}");
+      } else {
+        D->Init = parseAssignment();
+        if (!D->Init)
+          return nullptr;
+      }
+    }
+    DS->Decls.push_back(std::move(D));
+  } while (consumePunct(","));
+  expectPunct(";");
+  return DS;
+}
+
+void Parser::parseTopLevel(TranslationUnit &TU) {
+  BaseType Base;
+  unsigned Line = peek().Line;
+  if (!parseDeclSpecifiers(Base)) {
+    error("expected declaration at file scope, got '" + peek().Text + "'");
+    synchronize();
+    return;
+  }
+
+  auto First = std::make_unique<VarDecl>();
+  if (!parseDeclarator(Base, *First)) {
+    synchronize();
+    return;
+  }
+
+  if (peek().isPunct("(")) {
+    // Function definition.
+    auto Fn = std::make_unique<FunctionDecl>();
+    Fn->Line = Line;
+    Fn->Name = First->Name;
+    Fn->ReturnType = First->DeclType;
+    advance(); // '('
+    if (peek().isIdentifier("void") && peek(1).isPunct(")")) {
+      advance(); // `(void)` parameter list
+    } else if (!peek().isPunct(")")) {
+      do {
+        BaseType PBase;
+        if (!parseDeclSpecifiers(PBase)) {
+          error("expected parameter type");
+          synchronize();
+          return;
+        }
+        auto P = std::make_unique<VarDecl>();
+        P->Storage = StorageKind::Param;
+        if (!parseDeclarator(PBase, *P)) {
+          synchronize();
+          return;
+        }
+        Fn->Params.push_back(std::move(P));
+      } while (consumePunct(","));
+    }
+    if (!expectPunct(")")) {
+      synchronize();
+      return;
+    }
+    if (consumePunct(";"))
+      return; // forward declaration: body comes later (or is external)
+    Fn->Body = parseBlock();
+    TU.Functions.push_back(std::move(Fn));
+    return;
+  }
+
+  // Global variable declaration(s).
+  First->Storage = StorageKind::Global;
+  auto ParseInit = [&](VarDecl &D) -> bool {
+    if (!consumePunct("="))
+      return true;
+    if (peek().isPunct("{")) {
+      advance();
+      do {
+        ExprPtr Elem = parseAssignment();
+        if (!Elem)
+          return false;
+        D.InitList.push_back(std::move(Elem));
+      } while (consumePunct(","));
+      return expectPunct("}");
+    }
+    D.Init = parseAssignment();
+    return D.Init != nullptr;
+  };
+  if (!ParseInit(*First)) {
+    synchronize();
+    return;
+  }
+  TU.Globals.push_back(std::move(First));
+  while (consumePunct(",")) {
+    auto D = std::make_unique<VarDecl>();
+    D->Storage = StorageKind::Global;
+    if (!parseDeclarator(Base, *D) || !ParseInit(*D)) {
+      synchronize();
+      return;
+    }
+    TU.Globals.push_back(std::move(D));
+  }
+  expectPunct(";");
+}
+
+std::unique_ptr<TranslationUnit> Parser::parseUnit() {
+  auto TU = std::make_unique<TranslationUnit>();
+  while (!atEnd())
+    parseTopLevel(*TU);
+  return TU;
+}
+
+ExprPtr Parser::parseSingleExpression() {
+  ExprPtr E = parseExpressionNode();
+  if (E && !atEnd())
+    error("trailing tokens after expression");
+  return E;
+}
+
+} // namespace
+
+ParseResult lang::parseTranslationUnit(const std::string &Source) {
+  ParseResult Result;
+  Parser P(instrument::lex(Source), Result.Diags);
+  Result.TU = P.parseUnit();
+  return Result;
+}
+
+ExprPtr lang::parseExpression(const std::string &Source,
+                              std::vector<Diagnostic> &Diags) {
+  Parser P(instrument::lex(Source), Diags);
+  ExprPtr E = P.parseSingleExpression();
+  return Diags.empty() ? std::move(E) : nullptr;
+}

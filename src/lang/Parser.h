@@ -1,0 +1,58 @@
+//===- Parser.h - Recursive-descent parser for the mini-C subset ----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the C subset of Ast.h from source text. The parser is built on
+/// the same lossless tokenizer the source-to-source Instrumenter uses, so
+/// the two frontends agree byte-for-byte on what a token is. Parsing never
+/// throws: problems are reported as diagnostics and the parser resynchronizes
+/// at the next `;` or `}`, returning as much of the tree as it understood.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_PARSER_H
+#define COVERME_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+
+/// One parser or sema problem, attached to a source line.
+struct Diagnostic {
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// Renders "line N: message" for error reports.
+std::string formatDiagnostic(const Diagnostic &D);
+
+/// Outcome of parsing a translation unit. The tree is always non-null;
+/// check \c success() before trusting it.
+struct ParseResult {
+  std::unique_ptr<TranslationUnit> TU;
+  std::vector<Diagnostic> Diags;
+
+  bool success() const { return Diags.empty(); }
+};
+
+/// Parses \p Source. Preprocessor directives and comments are skipped by
+/// the lexer; everything else must be inside the subset.
+ParseResult parseTranslationUnit(const std::string &Source);
+
+/// Parses a single expression (used by tests and the const-expression
+/// folder). Returns null and fills \p Diags on failure.
+ExprPtr parseExpression(const std::string &Source,
+                        std::vector<Diagnostic> &Diags);
+
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_PARSER_H

@@ -1,0 +1,573 @@
+//===- Sema.cpp - Semantic analysis for the mini-C subset -----------------===//
+
+#include "lang/Sema.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+unsigned lang::builtinArity(const std::string &Name) {
+  static const std::map<std::string, unsigned> Builtins = {
+      {"fabs", 1},     {"sqrt", 1},   {"sin", 1},    {"cos", 1},
+      {"tan", 1},      {"asin", 1},   {"acos", 1},   {"atan", 1},
+      {"exp", 1},      {"log", 1},    {"log10", 1},  {"log1p", 1},
+      {"expm1", 1},    {"floor", 1},  {"ceil", 1},   {"rint", 1},
+      {"trunc", 1},    {"cbrt", 1},   {"sinh", 1},   {"cosh", 1},
+      {"tanh", 1},     {"j0", 1},     {"j1", 1},     {"y0", 1},
+      {"y1", 1},       {"pow", 2},    {"fmod", 2},   {"atan2", 2},
+      {"hypot", 2},    {"copysign", 2}, {"fmin", 2}, {"fmax", 2},
+      {"scalbn", 2},   {"ldexp", 2},
+  };
+  auto It = Builtins.find(Name);
+  return It == Builtins.end() ? 0 : It->second;
+}
+
+namespace {
+
+/// Usual arithmetic conversions over the three scalar types.
+Type usualArithmetic(Type L, Type R) {
+  if (L.Base == BaseType::Double || R.Base == BaseType::Double)
+    return Type(BaseType::Double);
+  if (L.Base == BaseType::UInt || R.Base == BaseType::UInt)
+    return Type(BaseType::UInt);
+  return Type(BaseType::Int);
+}
+
+/// Lexically scoped symbol table with frame-offset allocation.
+class ScopeStack {
+public:
+  void push() { Scopes.emplace_back(); }
+  void pop() { Scopes.pop_back(); }
+
+  void declare(VarDecl *D) { Scopes.back()[D->Name] = D; }
+
+  const VarDecl *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+private:
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+};
+
+/// The analysis pass. One instance per translation unit.
+class Sema {
+public:
+  Sema(TranslationUnit &TU, std::vector<Diagnostic> &Diags)
+      : TU(TU), Diags(Diags) {}
+
+  bool run();
+
+private:
+  TranslationUnit &TU;
+  std::vector<Diagnostic> &Diags;
+  ScopeStack Scopes;
+  unsigned FrameTop = 0;    ///< Next free frame byte in the current function.
+  unsigned NextSite = 0;    ///< Next conditional site id (unit-wide).
+  FunctionDecl *CurrentFn = nullptr;
+
+  void error(unsigned Line, const std::string &Message) {
+    Diags.push_back({Line, Message});
+  }
+
+  /// Allocates 8-aligned storage for \p D in the current frame.
+  void allocateLocal(VarDecl &D) {
+    FrameTop = (FrameTop + 7u) & ~7u;
+    D.ByteOffset = FrameTop;
+    FrameTop += std::max(8u, D.storageBytes());
+  }
+
+  bool isLvalue(const Expr &E) const {
+    if (E.Kind == ExprKind::VarRef)
+      return !exprCast<VarRefExpr>(E).Decl ||
+             !exprCast<VarRefExpr>(E).Decl->isArray();
+    if (E.Kind == ExprKind::Index)
+      return true;
+    if (E.Kind == ExprKind::Unary)
+      return exprCast<UnaryExpr>(E).Op == UnaryOp::Deref;
+    return false;
+  }
+
+  bool checkExpr(Expr &E);
+  bool checkStmt(Stmt &S);
+  bool checkCondition(ExprPtr &Cond, uint32_t &Site);
+  bool checkFunction(FunctionDecl &F);
+  bool checkGlobals();
+};
+
+bool Sema::checkExpr(Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLiteral: {
+    auto &Lit = static_cast<IntLiteralExpr &>(E);
+    E.Ty = Type(Lit.IsUnsigned ? BaseType::UInt : BaseType::Int);
+    return true;
+  }
+  case ExprKind::DoubleLiteral:
+    E.Ty = Type(BaseType::Double);
+    return true;
+
+  case ExprKind::VarRef: {
+    auto &Ref = static_cast<VarRefExpr &>(E);
+    Ref.Decl = Scopes.lookup(Ref.Name);
+    if (!Ref.Decl) {
+      error(E.Line, "use of undeclared identifier '" + Ref.Name + "'");
+      return false;
+    }
+    // Arrays decay to a pointer to their first element.
+    E.Ty = Ref.Decl->isArray() ? Ref.Decl->DeclType.pointerTo()
+                               : Ref.Decl->DeclType;
+    return true;
+  }
+
+  case ExprKind::Unary: {
+    auto &U = static_cast<UnaryExpr &>(E);
+    if (!checkExpr(*U.Operand))
+      return false;
+    Type OpTy = U.Operand->Ty;
+    switch (U.Op) {
+    case UnaryOp::Neg:
+      if (!OpTy.isArithmetic()) {
+        error(E.Line, "unary '-' requires an arithmetic operand");
+        return false;
+      }
+      E.Ty = OpTy;
+      return true;
+    case UnaryOp::LogNot:
+      E.Ty = Type(BaseType::Int);
+      return true;
+    case UnaryOp::BitNot:
+      if (!OpTy.isInteger()) {
+        error(E.Line, "'~' requires an integer operand");
+        return false;
+      }
+      E.Ty = OpTy;
+      return true;
+    case UnaryOp::Deref:
+      if (!OpTy.isPointer()) {
+        error(E.Line, "cannot dereference non-pointer type " +
+                          typeName(OpTy));
+        return false;
+      }
+      E.Ty = OpTy.pointee();
+      return true;
+    case UnaryOp::AddrOf:
+      if (!isLvalue(*U.Operand)) {
+        error(E.Line, "cannot take the address of an rvalue");
+        return false;
+      }
+      E.Ty = OpTy.pointerTo();
+      return true;
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+      if (!isLvalue(*U.Operand)) {
+        error(E.Line, "increment target must be an lvalue");
+        return false;
+      }
+      E.Ty = OpTy;
+      return true;
+    }
+    assert(false && "unknown UnaryOp");
+    return false;
+  }
+
+  case ExprKind::Postfix: {
+    auto &P = static_cast<PostfixExpr &>(E);
+    if (!checkExpr(*P.Operand))
+      return false;
+    if (!isLvalue(*P.Operand)) {
+      error(E.Line, "increment target must be an lvalue");
+      return false;
+    }
+    E.Ty = P.Operand->Ty;
+    return true;
+  }
+
+  case ExprKind::Cast: {
+    auto &C = static_cast<CastExpr &>(E);
+    if (!checkExpr(*C.Operand))
+      return false;
+    if (C.Target.isPointer() && C.Operand->Ty.isDouble()) {
+      error(E.Line, "cannot cast a double rvalue to a pointer");
+      return false;
+    }
+    E.Ty = C.Target;
+    return true;
+  }
+
+  case ExprKind::Binary: {
+    auto &B = static_cast<BinaryExpr &>(E);
+    if (!checkExpr(*B.Lhs) || !checkExpr(*B.Rhs))
+      return false;
+    Type L = B.Lhs->Ty, R = B.Rhs->Ty;
+    switch (B.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      // Pointer arithmetic: ptr +- int, and int + ptr.
+      if (L.isPointer() && R.isInteger()) {
+        E.Ty = L;
+        return true;
+      }
+      if (B.Op == BinaryOp::Add && L.isInteger() && R.isPointer()) {
+        E.Ty = R;
+        return true;
+      }
+      [[fallthrough]];
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      if (!L.isArithmetic() || !R.isArithmetic()) {
+        error(E.Line, "arithmetic operator on non-arithmetic operands");
+        return false;
+      }
+      E.Ty = usualArithmetic(L, R);
+      return true;
+    case BinaryOp::Rem:
+    case BinaryOp::BitAnd:
+    case BinaryOp::BitOr:
+    case BinaryOp::BitXor:
+      if (!L.isInteger() || !R.isInteger()) {
+        error(E.Line, "integer operator on non-integer operands");
+        return false;
+      }
+      E.Ty = usualArithmetic(L, R);
+      return true;
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+      if (!L.isInteger() || !R.isInteger()) {
+        error(E.Line, "shift on non-integer operands");
+        return false;
+      }
+      E.Ty = L; // shifts keep the left operand's type
+      return true;
+    case BinaryOp::LT:
+    case BinaryOp::LE:
+    case BinaryOp::GT:
+    case BinaryOp::GE:
+    case BinaryOp::EQ:
+    case BinaryOp::NE: {
+      // Pointer equality against an integer (the null-pointer-constant
+      // idiom `p != 0`) is allowed for ==/!= only.
+      bool NullCompare =
+          (B.Op == BinaryOp::EQ || B.Op == BinaryOp::NE) &&
+          ((L.isPointer() && R.isInteger()) ||
+           (L.isInteger() && R.isPointer()));
+      if (!(L.isArithmetic() && R.isArithmetic()) &&
+          !(L.isPointer() && R.isPointer()) && !NullCompare) {
+        error(E.Line, "invalid comparison operand types");
+        return false;
+      }
+      E.Ty = Type(BaseType::Int);
+      return true;
+    }
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      E.Ty = Type(BaseType::Int);
+      return true;
+    case BinaryOp::Comma:
+      E.Ty = R;
+      return true;
+    }
+    assert(false && "unknown BinaryOp");
+    return false;
+  }
+
+  case ExprKind::Ternary: {
+    auto &T = static_cast<TernaryExpr &>(E);
+    if (!checkExpr(*T.Cond) || !checkExpr(*T.TrueExpr) ||
+        !checkExpr(*T.FalseExpr))
+      return false;
+    Type L = T.TrueExpr->Ty, R = T.FalseExpr->Ty;
+    if (L.isArithmetic() && R.isArithmetic()) {
+      E.Ty = usualArithmetic(L, R);
+      return true;
+    }
+    if (L == R) {
+      E.Ty = L;
+      return true;
+    }
+    error(E.Line, "incompatible ternary branch types");
+    return false;
+  }
+
+  case ExprKind::Assign: {
+    auto &A = static_cast<AssignExpr &>(E);
+    if (!checkExpr(*A.Lhs) || !checkExpr(*A.Rhs))
+      return false;
+    if (!isLvalue(*A.Lhs)) {
+      error(E.Line, "assignment target must be an lvalue");
+      return false;
+    }
+    if (A.Op != AssignOp::Assign) {
+      bool IntOnly = A.Op == AssignOp::Rem || A.Op == AssignOp::Shl ||
+                     A.Op == AssignOp::Shr || A.Op == AssignOp::And ||
+                     A.Op == AssignOp::Or || A.Op == AssignOp::Xor;
+      if (IntOnly && !A.Lhs->Ty.isInteger()) {
+        error(E.Line, "integer compound assignment on non-integer lvalue");
+        return false;
+      }
+      if (!A.Lhs->Ty.isArithmetic()) {
+        error(E.Line, "compound assignment on non-arithmetic lvalue");
+        return false;
+      }
+    } else if (A.Lhs->Ty.isPointer() != A.Rhs->Ty.isPointer() &&
+               !A.Rhs->Ty.isArithmetic()) {
+      error(E.Line, "incompatible assignment types");
+      return false;
+    }
+    E.Ty = A.Lhs->Ty;
+    return true;
+  }
+
+  case ExprKind::Call: {
+    auto &Call = static_cast<CallExpr &>(E);
+    for (auto &Arg : Call.Args)
+      if (!checkExpr(*Arg))
+        return false;
+    Call.Callee = TU.findFunction(Call.Name);
+    if (Call.Callee) {
+      if (Call.Args.size() != Call.Callee->Params.size()) {
+        error(E.Line, "call to '" + Call.Name + "' with " +
+                          std::to_string(Call.Args.size()) +
+                          " arguments; expected " +
+                          std::to_string(Call.Callee->Params.size()));
+        return false;
+      }
+      E.Ty = Call.Callee->ReturnType;
+      return true;
+    }
+    unsigned Arity = builtinArity(Call.Name);
+    if (Arity == 0) {
+      error(E.Line, "call to unknown function '" + Call.Name + "'");
+      return false;
+    }
+    if (Call.Args.size() != Arity) {
+      error(E.Line, "builtin '" + Call.Name + "' takes " +
+                        std::to_string(Arity) + " arguments");
+      return false;
+    }
+    E.Ty = Type(BaseType::Double);
+    return true;
+  }
+
+  case ExprKind::Index: {
+    auto &Idx = static_cast<IndexExpr &>(E);
+    if (!checkExpr(*Idx.Base) || !checkExpr(*Idx.Index))
+      return false;
+    if (!Idx.Base->Ty.isPointer()) {
+      error(E.Line, "subscripted value is not a pointer or array");
+      return false;
+    }
+    if (!Idx.Index->Ty.isInteger()) {
+      error(E.Line, "array subscript must be an integer");
+      return false;
+    }
+    E.Ty = Idx.Base->Ty.pointee();
+    return true;
+  }
+  }
+  assert(false && "unknown ExprKind");
+  return false;
+}
+
+/// Conditions that are exactly one arithmetic comparison become sites.
+bool Sema::checkCondition(ExprPtr &Cond, uint32_t &Site) {
+  if (!checkExpr(*Cond))
+    return false;
+  Site = kNoSite;
+  if (Cond->Kind != ExprKind::Binary)
+    return true;
+  auto &B = static_cast<BinaryExpr &>(*Cond);
+  if (!isComparisonOp(B.Op))
+    return true;
+  if (!B.Lhs->Ty.isArithmetic() || !B.Rhs->Ty.isArithmetic())
+    return true; // pointer comparisons are left uninstrumented (Sect. 5.3)
+  Site = NextSite++;
+  CurrentFn->Sites.push_back(Site);
+  return true;
+}
+
+bool Sema::checkStmt(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    return checkExpr(*static_cast<ExprStmt &>(S).E);
+
+  case StmtKind::Decl: {
+    auto &DS = static_cast<DeclStmt &>(S);
+    for (auto &D : DS.Decls) {
+      if (D->DeclType.isVoid()) {
+        error(D->Line, "variable '" + D->Name + "' declared void");
+        return false;
+      }
+      if (D->Init && !checkExpr(*D->Init))
+        return false;
+      for (auto &Elem : D->InitList)
+        if (!checkExpr(*Elem))
+          return false;
+      if (!D->InitList.empty() && !D->isArray()) {
+        error(D->Line, "brace initializer on a scalar");
+        return false;
+      }
+      if (D->isArray() && D->InitList.size() > D->ArraySize) {
+        error(D->Line, "too many initializers for array '" + D->Name + "'");
+        return false;
+      }
+      allocateLocal(*D);
+      Scopes.declare(D.get());
+    }
+    return true;
+  }
+
+  case StmtKind::Block: {
+    auto &B = static_cast<BlockStmt &>(S);
+    Scopes.push();
+    bool Ok = true;
+    for (auto &Child : B.Body)
+      Ok &= checkStmt(*Child);
+    Scopes.pop();
+    return Ok;
+  }
+
+  case StmtKind::If: {
+    auto &If = static_cast<IfStmt &>(S);
+    if (!checkCondition(If.Cond, If.Site))
+      return false;
+    bool Ok = checkStmt(*If.Then);
+    if (If.Else)
+      Ok &= checkStmt(*If.Else);
+    return Ok;
+  }
+
+  case StmtKind::While: {
+    auto &W = static_cast<WhileStmt &>(S);
+    if (!checkCondition(W.Cond, W.Site))
+      return false;
+    return checkStmt(*W.Body);
+  }
+
+  case StmtKind::DoWhile: {
+    auto &D = static_cast<DoWhileStmt &>(S);
+    bool Ok = checkStmt(*D.Body);
+    return checkCondition(D.Cond, D.Site) && Ok;
+  }
+
+  case StmtKind::For: {
+    auto &F = static_cast<ForStmt &>(S);
+    Scopes.push(); // for-init declarations scope over the loop
+    bool Ok = true;
+    if (F.Init)
+      Ok &= checkStmt(*F.Init);
+    if (F.Cond)
+      Ok &= checkCondition(F.Cond, F.Site);
+    if (F.Step)
+      Ok &= checkExpr(*F.Step);
+    Ok &= checkStmt(*F.Body);
+    Scopes.pop();
+    return Ok;
+  }
+
+  case StmtKind::Return: {
+    auto &R = static_cast<ReturnStmt &>(S);
+    if (R.Value && !checkExpr(*R.Value))
+      return false;
+    if (R.Value && CurrentFn->ReturnType.isVoid()) {
+      error(S.Line, "void function returns a value");
+      return false;
+    }
+    if (!R.Value && !CurrentFn->ReturnType.isVoid()) {
+      error(S.Line, "non-void function returns no value");
+      return false;
+    }
+    return true;
+  }
+
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Empty:
+    return true;
+  }
+  assert(false && "unknown StmtKind");
+  return false;
+}
+
+bool Sema::checkFunction(FunctionDecl &F) {
+  CurrentFn = &F;
+  FrameTop = 0;
+  Scopes.push();
+  bool Ok = true;
+  for (auto &P : F.Params) {
+    if (P->DeclType.isVoid()) {
+      error(P->Line, "parameter '" + P->Name + "' declared void");
+      Ok = false;
+      continue;
+    }
+    allocateLocal(*P);
+    Scopes.declare(P.get());
+  }
+  if (Ok)
+    Ok = checkStmt(*F.Body);
+  Scopes.pop();
+  F.FrameBytes = (FrameTop + 7u) & ~7u;
+  CurrentFn = nullptr;
+  return Ok;
+}
+
+bool Sema::checkGlobals() {
+  unsigned Offset = 0;
+  bool Ok = true;
+  for (auto &G : TU.Globals) {
+    if (G->DeclType.isVoid()) {
+      error(G->Line, "global '" + G->Name + "' declared void");
+      Ok = false;
+      continue;
+    }
+    if (G->Init)
+      Ok &= checkExpr(*G->Init);
+    for (auto &Elem : G->InitList)
+      Ok &= checkExpr(*Elem);
+    if (!G->InitList.empty() && !G->isArray()) {
+      error(G->Line, "brace initializer on a scalar global");
+      Ok = false;
+    }
+    if (G->isArray() && G->InitList.size() > G->ArraySize) {
+      error(G->Line, "too many initializers for array '" + G->Name + "'");
+      Ok = false;
+    }
+    Offset = (Offset + 7u) & ~7u;
+    G->ByteOffset = Offset;
+    Offset += std::max(8u, G->storageBytes());
+    Scopes.declare(G.get());
+  }
+  TU.GlobalBytes = (Offset + 7u) & ~7u;
+  return Ok;
+}
+
+bool Sema::run() {
+  // Duplicate-definition checks first; later passes assume unique names.
+  bool Ok = true;
+  for (size_t I = 0; I < TU.Functions.size(); ++I)
+    for (size_t J = I + 1; J < TU.Functions.size(); ++J)
+      if (TU.Functions[I]->Name == TU.Functions[J]->Name) {
+        error(TU.Functions[J]->Line,
+              "redefinition of function '" + TU.Functions[J]->Name + "'");
+        Ok = false;
+      }
+
+  Scopes.push(); // file scope
+  Ok &= checkGlobals();
+  for (auto &F : TU.Functions)
+    Ok &= checkFunction(*F);
+  Scopes.pop();
+  TU.NumSites = NextSite;
+  return Ok;
+}
+
+} // namespace
+
+bool lang::analyze(TranslationUnit &TU, std::vector<Diagnostic> &Diags) {
+  return Sema(TU, Diags).run();
+}

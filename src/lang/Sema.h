@@ -1,0 +1,40 @@
+//===- Sema.h - Semantic analysis for the mini-C subset -------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis over the parser's tree: resolves names, computes and
+/// caches expression types (C's usual arithmetic conversions restricted to
+/// int / unsigned / double), lays out storage (byte offsets into the global
+/// and frame arenas the interpreter executes against), and numbers the
+/// conditional sites the runtime hooks report on. Site numbering follows
+/// the same policy as the source-to-source Instrumenter and the paper's
+/// LLVM pass: a condition that is exactly one arithmetic comparison
+/// `a op b` becomes a site (Def. 3.1(b)); compound and pointer conditions
+/// are left uninstrumented (Sect. 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_SEMA_H
+#define COVERME_LANG_SEMA_H
+
+#include "lang/Parser.h"
+
+namespace coverme {
+namespace lang {
+
+/// Names of the libm builtins calls may resolve to (fabs, sqrt, sin, ...).
+/// Returns the builtin's parameter count, or 0 when \p Name is unknown.
+unsigned builtinArity(const std::string &Name);
+
+/// Runs semantic analysis over \p TU in place. Appends problems to
+/// \p Diags; returns true when the unit is clean. A unit that fails sema
+/// must not be executed.
+bool analyze(TranslationUnit &TU, std::vector<Diagnostic> &Diags);
+
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_SEMA_H

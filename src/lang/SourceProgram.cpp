@@ -1,0 +1,113 @@
+//===- SourceProgram.cpp - C source text as a testable Program ------------===//
+
+#include "lang/SourceProgram.h"
+
+#include "lang/Sema.h"
+
+#include <algorithm>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+std::string SourceProgram::diagnosticsText() const {
+  std::string Text;
+  for (const Diagnostic &D : Diags) {
+    if (!Text.empty())
+      Text += '\n';
+    Text += formatDiagnostic(D);
+  }
+  return Text;
+}
+
+namespace {
+
+/// Counts the source lines a function's body statements span, as a stand-in
+/// for the Table-5 "#Lines" figure when the caller does not provide one.
+unsigned functionLineExtent(const FunctionDecl &F) {
+  unsigned MaxLine = F.Line;
+  // The deepest statement line is a good proxy for the closing brace.
+  struct Walker {
+    unsigned Max = 0;
+    void visit(const Stmt &S) {
+      Max = std::max(Max, S.Line);
+      switch (S.Kind) {
+      case StmtKind::Block:
+        for (const auto &Child : stmtCast<BlockStmt>(S).Body)
+          visit(*Child);
+        break;
+      case StmtKind::If: {
+        const auto &If = stmtCast<IfStmt>(S);
+        visit(*If.Then);
+        if (If.Else)
+          visit(*If.Else);
+        break;
+      }
+      case StmtKind::While:
+        visit(*stmtCast<WhileStmt>(S).Body);
+        break;
+      case StmtKind::DoWhile:
+        visit(*stmtCast<DoWhileStmt>(S).Body);
+        break;
+      case StmtKind::For:
+        visit(*stmtCast<ForStmt>(S).Body);
+        break;
+      default:
+        break;
+      }
+    }
+  } W;
+  W.visit(*F.Body);
+  MaxLine = std::max(MaxLine, W.Max);
+  return MaxLine >= F.Line ? MaxLine - F.Line + 1 : 1;
+}
+
+} // namespace
+
+SourceProgram lang::compileSourceProgram(const std::string &Source,
+                                         const std::string &EntryName,
+                                         const SourceProgramOptions &Opts) {
+  SourceProgram Result;
+
+  ParseResult Parsed = parseTranslationUnit(Source);
+  Result.Diags = std::move(Parsed.Diags);
+  Result.Unit = std::shared_ptr<TranslationUnit>(std::move(Parsed.TU));
+  if (!Result.Diags.empty())
+    return Result;
+
+  if (!analyze(*Result.Unit, Result.Diags))
+    return Result;
+
+  Result.Entry = Result.Unit->findFunction(EntryName);
+  if (!Result.Entry) {
+    Result.Diags.push_back(
+        {0, "entry function '" + EntryName + "' not defined"});
+    return Result;
+  }
+  if (Result.Entry->Params.empty()) {
+    Result.Diags.push_back(
+        {Result.Entry->Line,
+         "entry function '" + EntryName + "' takes no inputs"});
+    return Result;
+  }
+
+  Result.Interp =
+      std::make_shared<Interpreter>(*Result.Unit, Opts.Interp);
+  if (Result.Interp->trapped()) {
+    Result.Diags.push_back({0, Result.Interp->trapMessage()});
+    return Result;
+  }
+
+  Result.Prog.Name = EntryName;
+  Result.Prog.File = "<source>";
+  Result.Prog.Arity = static_cast<unsigned>(Result.Entry->Params.size());
+  Result.Prog.NumSites = Result.Unit->NumSites;
+  Result.Prog.TotalLines =
+      Opts.TotalLines ? Opts.TotalLines : functionLineExtent(*Result.Entry);
+  // The closure shares ownership of the unit and interpreter, so the
+  // Program outlives this SourceProgram if the caller copies it out.
+  Result.Prog.Body = [Unit = Result.Unit, Interp = Result.Interp,
+                      Entry = Result.Entry](const double *Args) {
+    return Interp->callEntry(*Entry, Args);
+  };
+  return Result;
+}

@@ -1,0 +1,73 @@
+//===- SourceProgram.h - C source text as a testable Program --------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the source pipeline: parse + analyze + wrap, turning a C
+/// translation unit into a coverme::Program whose body executes through the
+/// interpreter. This is the in-process equivalent of the paper's full
+/// frontend (Fig. 4): where CoverMe compiles FOO with Clang, injects pen
+/// with an LLVM pass, and loads libr.so, compileSourceProgram() parses FOO,
+/// numbers its conditional sites in Sema, and hands back a Program whose
+/// every execution reports to the same runtime hooks — ready for the
+/// CoverMe driver, the baseline testers, and the coverage recorder without
+/// any on-disk artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_SOURCEPROGRAM_H
+#define COVERME_LANG_SOURCEPROGRAM_H
+
+#include "lang/Interp.h"
+#include "lang/Parser.h"
+#include "runtime/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+
+/// A compiled-from-source program: the analyzed unit, its interpreter, and
+/// the Program handle the rest of the library consumes. Movable but not
+/// copyable; the Program's body closure keeps the unit alive via shared
+/// ownership, so the Program remains valid even after this struct is
+/// destroyed.
+struct SourceProgram {
+  std::shared_ptr<TranslationUnit> Unit;
+  std::shared_ptr<Interpreter> Interp;
+  const FunctionDecl *Entry = nullptr;
+  Program Prog;
+  std::vector<Diagnostic> Diags;
+
+  bool success() const { return Diags.empty(); }
+
+  /// All diagnostics joined with newlines, for error reporting.
+  std::string diagnosticsText() const;
+};
+
+/// Options for the source pipeline.
+struct SourceProgramOptions {
+  /// Interpreter limits for each body execution.
+  InterpOptions Interp;
+
+  /// Overrides the synthetic line count used by the Table-5 line model;
+  /// 0 derives it from the entry function's source extent.
+  unsigned TotalLines = 0;
+};
+
+/// Builds a Program executing \p EntryName from \p Source. On failure the
+/// result's Diags is non-empty and Prog must not be used. Entry parameters
+/// follow the paper's lowering: double passes through, double* becomes a
+/// seeded cell, int/unsigned truncate (Sect. 5.3 + the int extension).
+SourceProgram compileSourceProgram(const std::string &Source,
+                                   const std::string &EntryName,
+                                   const SourceProgramOptions &Opts = {});
+
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_SOURCEPROGRAM_H

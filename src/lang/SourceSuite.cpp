@@ -1,0 +1,705 @@
+//===- SourceSuite.cpp - Fdlibm 5.3 sources for the interpreter pipeline --===//
+
+#include "lang/SourceSuite.h"
+
+using namespace coverme;
+using namespace coverme::lang;
+
+namespace {
+
+/// s_tanh.c — the paper's Fig. 1 program.
+const char *TanhSource = R"(
+/* @(#)s_tanh.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double one = 1.0, two = 2.0, tiny = 1.0e-300;
+
+double tanh(double x)
+{
+    double t, z;
+    int jx, ix;
+
+    jx = *(1 + (int *)&x);              /* high word of x */
+    ix = jx & 0x7fffffff;
+
+    if (ix >= 0x7ff00000) {             /* x is INF or NaN */
+        if (jx >= 0)
+            return one / x + one;       /* tanh(+-inf)=+-1 */
+        else
+            return one / x - one;       /* tanh(NaN) = NaN */
+    }
+
+    if (ix < 0x40360000) {              /* |x| < 22 */
+        if (ix < 0x3c800000)            /* |x| < 2**-55 */
+            return x * (one + x);
+        if (ix >= 0x3ff00000) {         /* |x| >= 1 */
+            t = expm1(two * fabs(x));
+            z = one - two / (t + two);
+        } else {
+            t = expm1(-two * fabs(x));
+            z = -t / (t + two);
+        }
+    } else {                            /* |x| > 22: saturated */
+        z = one - tiny;
+    }
+    if (jx >= 0) return z;
+    else return -z;
+}
+)";
+
+/// s_cbrt.c — Kahan's cube root: rough estimate via exponent division,
+/// one rational refinement, one Newton step, all on raw words.
+const char *CbrtSource = R"(
+/* @(#)s_cbrt.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const unsigned B1 = 715094163, B2 = 696219795;
+static const double C =  5.42857142857142815906e-01,
+                    D = -7.05306122448979611050e-01,
+                    E =  1.41428571428571436819e+00,
+                    F =  1.60714285714285720630e+00,
+                    G =  3.57142857142857150787e-01;
+
+double cbrt(double x)
+{
+    int hx;
+    double r, s, t = 0.0, w;
+    unsigned sign;
+
+    hx = *(1 + (int *)&x);
+    sign = hx & 0x80000000;             /* sign = sign(x) */
+    hx = hx ^ sign;
+    if (hx >= 0x7ff00000) return x + x; /* cbrt(NaN,INF) is itself */
+    if ((hx | *(int *)&x) == 0)
+        return x;                       /* cbrt(0) is itself */
+
+    *(1 + (int *)&x) = hx;              /* x <- |x| */
+    /* rough cbrt to 5 bits */
+    if (hx < 0x00100000) {              /* subnormal number */
+        *(1 + (int *)&t) = 0x43500000;  /* set t = 2**54 */
+        t = t * x;
+        *(1 + (int *)&t) = *(1 + (int *)&t) / 3 + B2;
+    } else {
+        *(1 + (int *)&t) = hx / 3 + B1;
+    }
+
+    /* new cbrt to 23 bits, may be implemented in single precision */
+    r = t * t / x;
+    s = C + r * t;
+    t = t * (G + F / (s + E + D / s));
+
+    /* chop to 20 bits and make it larger than cbrt(x) */
+    *(int *)&t = 0;
+    *(1 + (int *)&t) = *(1 + (int *)&t) + 0x00000001;
+
+    /* one step newton iteration to 53 bits with error less than 0.667 ulps */
+    s = t * t;                          /* t*t is exact */
+    r = x / s;
+    w = t + t;
+    r = (r - t) / (w + r);              /* r-s is exact */
+    t = t + t * r;
+
+    /* retore the sign bit */
+    *(1 + (int *)&t) = *(1 + (int *)&t) | sign;
+    return t;
+}
+)";
+
+/// s_asinh.c.
+const char *AsinhSource = R"(
+/* @(#)s_asinh.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double one  = 1.00000000000000000000e+00,
+                    ln2  = 6.93147180559945286227e-01,
+                    huge = 1.00000000000000000000e+300;
+
+double asinh(double x)
+{
+    double t, w;
+    int hx, ix;
+    hx = *(1 + (int *)&x);
+    ix = hx & 0x7fffffff;
+    if (ix >= 0x7ff00000) return x + x; /* x is inf or NaN */
+    if (ix < 0x3e300000) {              /* |x| < 2**-28 */
+        if (huge + x > one) return x;   /* return x with inexact */
+    }
+    if (ix > 0x41b00000) {              /* |x| > 2**28 */
+        w = log(fabs(x)) + ln2;
+    } else if (ix > 0x40000000) {       /* 2**28 > |x| > 2.0 */
+        t = fabs(x);
+        w = log(2.0 * t + one / (sqrt(x * x + one) + t));
+    } else {                            /* 2.0 > |x| > 2**-28 */
+        t = x * x;
+        w = log1p(fabs(x) + t / (one + sqrt(one + t)));
+    }
+    if (hx > 0) return w;
+    else return -w;
+}
+)";
+
+/// e_acosh.c.
+const char *AcoshSource = R"(
+/* @(#)e_acosh.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double one = 1.0,
+                    ln2 = 6.93147180559945286227e-01;
+
+double acosh(double x)
+{
+    double t;
+    int hx;
+    hx = *(1 + (int *)&x);
+    if (hx < 0x3ff00000) {              /* x < 1 */
+        return (x - x) / (x - x);
+    } else if (hx >= 0x41b00000) {      /* x > 2**28 */
+        if (hx >= 0x7ff00000) {         /* x is inf of NaN */
+            return x + x;
+        } else
+            return log(x) + ln2;        /* acosh(huge)=log(2x) */
+    } else if (((hx - 0x3ff00000) | *(int *)&x) == 0) {
+        return 0.0;                     /* acosh(1) = 0 */
+    } else if (hx > 0x40000000) {       /* 2**28 > x > 2 */
+        t = x * x;
+        return log(2.0 * x - one / (x + sqrt(t - one)));
+    } else {                            /* 1 < x < 2 */
+        t = x - one;
+        return log1p(t + sqrt(2.0 * t + t * t));
+    }
+}
+)";
+
+/// e_atanh.c.
+const char *AtanhSource = R"(
+/* @(#)e_atanh.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double one = 1.0, huge = 1.0e+300;
+static const double zero = 0.0;
+
+double atanh(double x)
+{
+    double t;
+    int hx, ix;
+    unsigned lx;
+    hx = *(1 + (int *)&x);
+    lx = *(unsigned *)&x;
+    ix = hx & 0x7fffffff;
+    if ((ix | ((lx | (-lx)) >> 31)) > 0x3ff00000)
+        return (x - x) / (x - x);       /* |x| > 1 */
+    if (ix == 0x3ff00000)
+        return x / zero;                /* atanh(+-1) = +-inf */
+    if (ix < 0x3e300000 && (huge + x) > zero)
+        return x;                       /* x < 2**-28 */
+    *(1 + (int *)&x) = ix;              /* x <- |x| */
+    if (ix < 0x3fe00000) {              /* x < 0.5 */
+        t = x + x;
+        t = 0.5 * log1p(t + t * x / (one - x));
+    } else
+        t = 0.5 * log1p((x + x) / (one - x));
+    if (hx >= 0) return t;
+    else return -t;
+}
+)";
+
+/// e_cosh.c.
+const char *CoshSource = R"(
+/* @(#)e_cosh.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double one = 1.0, half = 0.5, huge = 1.0e300;
+
+double cosh(double x)
+{
+    double t, w;
+    int ix;
+    unsigned lx;
+
+    ix = *(1 + (int *)&x);
+    ix = ix & 0x7fffffff;
+
+    if (ix >= 0x7ff00000) return x * x; /* x is INF or NaN */
+
+    /* |x| in [0, 0.5*ln2]: cosh(x) = 1 + expm1(|x|)^2 / (2*exp(|x|)) */
+    if (ix < 0x3fd62e43) {
+        t = expm1(fabs(x));
+        w = one + t;
+        if (ix < 0x3c800000) return w;  /* cosh(tiny) = 1 */
+        return one + (t * t) / (w + w);
+    }
+
+    /* |x| in [0.5*ln2, 22]: cosh(x) = (exp(|x|) + 1/exp(|x|)) / 2 */
+    if (ix < 0x40360000) {
+        t = exp(fabs(x));
+        return half * t + half / t;
+    }
+
+    /* |x| in [22, log(maxdouble)]: cosh(x) = exp(|x|)/2 */
+    if (ix < 0x40862e42) return half * exp(fabs(x));
+
+    /* |x| in [log(maxdouble), overflowthresold] */
+    lx = *(unsigned *)&x;
+    if (ix < 0x408633ce ||
+        (ix == 0x408633ce && lx <= (unsigned)0x8fb9f87d)) {
+        w = exp(half * fabs(x));
+        t = half * w;
+        return t * w;
+    }
+
+    return huge * huge;                 /* overflow */
+}
+)";
+
+/// s_logb.c.
+const char *LogbSource = R"(
+/* @(#)s_logb.c 1.3 95/01/18 -- Fdlibm 5.3 */
+double logb(double x)
+{
+    int lx, ix;
+    ix = (*(1 + (int *)&x)) & 0x7fffffff;   /* high |x| */
+    lx = *(int *)&x;                        /* low x */
+    if ((ix | lx) == 0) return -1.0 / fabs(x);
+    if (ix >= 0x7ff00000) return x * x;
+    if ((ix >>= 20) == 0)                   /* IEEE 754 logb */
+        return -1022.0;
+    else
+        return (double)(ix - 1023);
+}
+)";
+
+/// s_ilogb.c — the subnormal bit-sliding loops.
+const char *IlogbSource = R"(
+/* @(#)s_ilogb.c 1.3 95/01/18 -- Fdlibm 5.3 */
+int ilogb(double x)
+{
+    int hx, lx, ix;
+
+    hx = (*(1 + (int *)&x)) & 0x7fffffff;   /* high word of x */
+    if (hx < 0x00100000) {
+        lx = *(int *)&x;
+        if ((hx | lx) == 0)
+            return 0x80000001;              /* ilogb(0) = 0x80000001 */
+        else if (hx == 0) {                 /* subnormal x */
+            for (ix = -1043; lx > 0; lx <<= 1) ix -= 1;
+        } else {
+            for (ix = -1022, hx <<= 11; hx > 0; hx <<= 1) ix -= 1;
+        }
+        return ix;
+    } else if (hx < 0x7ff00000)
+        return (hx >> 20) - 1023;
+    else
+        return 0x7fffffff;
+}
+)";
+
+/// s_modf.c — the double* output parameter exercises pointer lowering.
+const char *ModfSource = R"(
+/* @(#)s_modf.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double one = 1.0;
+
+double modf(double x, double *iptr)
+{
+    int i0, i1, j0;
+    unsigned i;
+    i0 = *(1 + (int *)&x);              /* high x */
+    i1 = *(int *)&x;                    /* low  x */
+    j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;  /* exponent of x */
+    if (j0 < 20) {                      /* integer part in high x */
+        if (j0 < 0) {                   /* |x| < 1 */
+            *(1 + (int *)iptr) = i0 & 0x80000000;
+            *(int *)iptr = 0;           /* *iptr = +-0 */
+            return x;
+        } else {
+            i = (0x000fffff) >> j0;
+            if (((i0 & i) | i1) == 0) { /* x is integral */
+                *iptr = x;
+                *(1 + (int *)&x) = i0 & 0x80000000;
+                *(int *)&x = 0;         /* return +-0 */
+                return x;
+            } else {
+                *(1 + (int *)iptr) = i0 & (~i);
+                *(int *)iptr = 0;
+                return x - *iptr;
+            }
+        }
+    } else if (j0 > 51) {               /* no fraction part */
+        *iptr = x * one;
+        *(1 + (int *)&x) = i0 & 0x80000000;
+        *(int *)&x = 0;                 /* return +-0 */
+        return x;
+    } else {                            /* fraction part in low x */
+        i = ((unsigned)(0xffffffff)) >> (j0 - 20);
+        if ((i1 & i) == 0) {            /* x is integral */
+            *iptr = x;
+            *(1 + (int *)&x) = i0 & 0x80000000;
+            *(int *)&x = 0;             /* return +-0 */
+            return x;
+        } else {
+            *(1 + (int *)iptr) = i0;
+            *(int *)iptr = i1 & (~i);
+            return x - *iptr;
+        }
+    }
+}
+)";
+
+/// s_rint.c — the TWO52 add-subtract rounding trick on raw words.
+const char *RintSource = R"(
+/* @(#)s_rint.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double TWO52[2] = {
+    4.50359962737049600000e+15,         /* 0x43300000, 0x00000000 */
+   -4.50359962737049600000e+15          /* 0xC3300000, 0x00000000 */
+};
+
+double rint(double x)
+{
+    int i0, j0, sx;
+    unsigned i, i1;
+    double w, t;
+    i0 = *(1 + (int *)&x);
+    sx = (i0 >> 31) & 1;
+    i1 = *(unsigned *)&x;
+    j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;
+    if (j0 < 20) {
+        if (j0 < 0) {
+            if (((i0 & 0x7fffffff) | i1) == 0) return x;
+            i1 = i1 | (i0 & 0x0fffff);
+            i0 = i0 & 0xfffe0000;
+            i0 = i0 | (((i1 | (-i1)) >> 12) & 0x80000);
+            *(1 + (int *)&x) = i0;
+            w = TWO52[sx] + x;
+            t = w - TWO52[sx];
+            i0 = *(1 + (int *)&t);
+            *(1 + (int *)&t) = (i0 & 0x7fffffff) | (sx << 31);
+            return t;
+        } else {
+            i = (0x000fffff) >> j0;
+            if (((i0 & i) | i1) == 0) return x; /* x is integral */
+            i >>= 1;
+            if (((i0 & i) | i1) != 0) {
+                if (j0 == 19) i1 = 0x40000000;
+                else i0 = (i0 & (~i)) | ((0x20000) >> j0);
+            }
+        }
+    } else if (j0 > 51) {
+        if (j0 == 0x400) return x + x;  /* inf or NaN */
+        else return x;                  /* x is integral */
+    } else {
+        i = ((unsigned)(0xffffffff)) >> (j0 - 20);
+        if ((i1 & i) == 0) return x;    /* x is integral */
+        i >>= 1;
+        if ((i1 & i) != 0)
+            i1 = (i1 & (~i)) | ((0x40000000) >> (j0 - 20));
+    }
+    *(1 + (int *)&x) = i0;
+    *(unsigned *)&x = i1;
+    w = TWO52[sx] + x;
+    return w - TWO52[sx];
+}
+)";
+
+
+/// s_floor.c — word-level round toward minus infinity.
+const char *FloorSource = R"(
+/* @(#)s_floor.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double huge = 1.0e300;
+
+double floor(double x)
+{
+    int i0, i1, j0;
+    unsigned i, j;
+    i0 = *(1 + (int *)&x);
+    i1 = *(int *)&x;
+    j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;
+    if (j0 < 20) {
+        if (j0 < 0) {                   /* raise inexact if x != 0 */
+            if (huge + x > 0.0) {       /* return 0*sign(x) if |x|<1 */
+                if (i0 >= 0) {
+                    i0 = i1 = 0;
+                } else if (((i0 & 0x7fffffff) | i1) != 0) {
+                    i0 = 0xbff00000;
+                    i1 = 0;
+                }
+            }
+        } else {
+            i = (0x000fffff) >> j0;
+            if (((i0 & i) | i1) == 0) return x; /* x is integral */
+            if (huge + x > 0.0) {       /* raise inexact flag */
+                if (i0 < 0) i0 += (0x00100000) >> j0;
+                i0 = i0 & (~i);
+                i1 = 0;
+            }
+        }
+    } else if (j0 > 51) {
+        if (j0 == 0x400) return x + x;  /* inf or NaN */
+        else return x;                  /* x is integral */
+    } else {
+        i = ((unsigned)(0xffffffff)) >> (j0 - 20);
+        if ((i1 & i) == 0) return x;    /* x is integral */
+        if (huge + x > 0.0) {           /* raise inexact flag */
+            if (i0 < 0) {
+                if (j0 == 20) i0 += 1;
+                else {
+                    j = i1 + (1 << (52 - j0));
+                    if (j < i1) i0 += 1; /* got a carry */
+                    i1 = j;
+                }
+            }
+            i1 = i1 & (~i);
+        }
+    }
+    *(1 + (int *)&x) = i0;
+    *(int *)&x = i1;
+    return x;
+}
+)";
+
+/// s_ceil.c — word-level round toward plus infinity.
+const char *CeilSource = R"(
+/* @(#)s_ceil.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double huge = 1.0e300;
+
+double ceil(double x)
+{
+    int i0, i1, j0;
+    unsigned i, j;
+    i0 = *(1 + (int *)&x);
+    i1 = *(int *)&x;
+    j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;
+    if (j0 < 20) {
+        if (j0 < 0) {                   /* raise inexact if x != 0 */
+            if (huge + x > 0.0) {       /* return 0*sign(x) if |x|<1 */
+                if (i0 < 0) {
+                    i0 = 0x80000000;
+                    i1 = 0;
+                } else if ((i0 | i1) != 0) {
+                    i0 = 0x3ff00000;
+                    i1 = 0;
+                }
+            }
+        } else {
+            i = (0x000fffff) >> j0;
+            if (((i0 & i) | i1) == 0) return x; /* x is integral */
+            if (huge + x > 0.0) {       /* raise inexact flag */
+                if (i0 > 0) i0 += (0x00100000) >> j0;
+                i0 = i0 & (~i);
+                i1 = 0;
+            }
+        }
+    } else if (j0 > 51) {
+        if (j0 == 0x400) return x + x;  /* inf or NaN */
+        else return x;                  /* x is integral */
+    } else {
+        i = ((unsigned)(0xffffffff)) >> (j0 - 20);
+        if ((i1 & i) == 0) return x;    /* x is integral */
+        if (huge + x > 0.0) {           /* raise inexact flag */
+            if (i0 > 0) {
+                if (j0 == 20) i0 += 1;
+                else {
+                    j = i1 + (1 << (52 - j0));
+                    if (j < i1) i0 += 1; /* got a carry */
+                    i1 = j;
+                }
+            }
+            i1 = i1 & (~i);
+        }
+    }
+    *(1 + (int *)&x) = i0;
+    *(int *)&x = i1;
+    return x;
+}
+)";
+
+/// e_sqrt.c — the restoring-shift bit-by-bit square root (correctly
+/// rounded; the deepest loop nest in the suite).
+const char *SqrtSource = R"(
+/* @(#)e_sqrt.c 1.3 95/01/18 -- Fdlibm 5.3 */
+static const double one = 1.0, tiny = 1.0e-300;
+
+double sqrt(double x)
+{
+    double z = 0.0;
+    int sign = (int)0x80000000;
+    unsigned r, t1, s1, ix1, q1;
+    int ix0, s0, q, m, t, i;
+
+    ix0 = *(1 + (int *)&x);             /* high word of x */
+    ix1 = *(unsigned *)&x;              /* low word of x */
+
+    /* take care of Inf and NaN */
+    if ((ix0 & 0x7ff00000) == 0x7ff00000) {
+        return x * x + x;               /* sqrt(NaN)=NaN, sqrt(+inf)=+inf
+                                           sqrt(-inf)=sNaN */
+    }
+    /* take care of zero */
+    if (ix0 <= 0) {
+        if (((ix0 & (~sign)) | ix1) == 0) return x; /* sqrt(+-0) = +-0 */
+        else if (ix0 < 0)
+            return (x - x) / (x - x);   /* sqrt(-ve) = sNaN */
+    }
+    /* normalize x */
+    m = (ix0 >> 20);
+    if (m == 0) {                       /* subnormal x */
+        while (ix0 == 0) {
+            m -= 21;
+            ix0 = ix0 | (ix1 >> 11);
+            ix1 <<= 21;
+        }
+        for (i = 0; (ix0 & 0x00100000) == 0; i++) ix0 <<= 1;
+        m -= i - 1;
+        ix0 = ix0 | (ix1 >> (32 - i));
+        ix1 = ix1 << i;
+    }
+    m -= 1023;                          /* unbias exponent */
+    ix0 = (ix0 & 0x000fffff) | 0x00100000;
+    if (m & 1) {                        /* odd m, double x to make it even */
+        ix0 += ix0 + ((ix1 & sign) >> 31);
+        ix1 += ix1;
+    }
+    m >>= 1;                            /* m = [m/2] */
+
+    /* generate sqrt(x) bit by bit */
+    ix0 += ix0 + ((ix1 & sign) >> 31);
+    ix1 += ix1;
+    q = q1 = s0 = s1 = 0;               /* [q,q1] = sqrt(x) */
+    r = 0x00200000;                     /* r = moving bit right to left */
+
+    while (r != 0) {
+        t = s0 + r;
+        if (t <= ix0) {
+            s0 = t + r;
+            ix0 -= t;
+            q += r;
+        }
+        ix0 += ix0 + ((ix1 & sign) >> 31);
+        ix1 += ix1;
+        r >>= 1;
+    }
+
+    r = sign;
+    while (r != 0) {
+        t1 = s1 + r;
+        t = s0;
+        if ((t < ix0) || ((t == ix0) && (t1 <= ix1))) {
+            s1 = t1 + r;
+            if (((t1 & sign) == sign) && (s1 & sign) == 0) s0 += 1;
+            ix0 -= t;
+            if (ix1 < t1) ix0 -= 1;
+            ix1 -= t1;
+            q1 += r;
+        }
+        ix0 += ix0 + ((ix1 & sign) >> 31);
+        ix1 += ix1;
+        r >>= 1;
+    }
+
+    /* use floating add to find out rounding direction */
+    if ((ix0 | ix1) != 0) {
+        z = one - tiny;                 /* trigger inexact flag */
+        if (z >= one) {
+            z = one + tiny;
+            if (q1 == (unsigned)0xffffffff) {
+                q1 = 0;
+                q += 1;
+            } else if (z > one) {
+                if (q1 == (unsigned)0xfffffffe) q += 1;
+                q1 += 2;
+            } else
+                q1 += (q1 & 1);
+        }
+    }
+    ix0 = (q >> 1) + 0x3fe00000;
+    ix1 = q1 >> 1;
+    if ((q & 1) == 1) ix1 = ix1 | sign;
+    ix0 += (m << 20);
+    *(1 + (int *)&z) = ix0;
+    *(unsigned *)&z = ix1;
+    return z;
+}
+)";
+
+/// s_nextafter.c — pure ulp stepping on the word pair.
+const char *NextafterSource = R"(
+/* @(#)s_nextafter.c 1.3 95/01/18 -- Fdlibm 5.3 */
+double nextafter(double x, double y)
+{
+    int hx, hy, ix, iy;
+    unsigned lx, ly;
+
+    hx = *(1 + (int *)&x);              /* high word of x */
+    lx = *(unsigned *)&x;               /* low  word of x */
+    hy = *(1 + (int *)&y);              /* high word of y */
+    ly = *(unsigned *)&y;               /* low  word of y */
+    ix = hx & 0x7fffffff;               /* |x| */
+    iy = hy & 0x7fffffff;               /* |y| */
+
+    if (((ix >= 0x7ff00000) && ((ix - 0x7ff00000) | lx) != 0) ||
+        ((iy >= 0x7ff00000) && ((iy - 0x7ff00000) | ly) != 0))
+        return x + y;                   /* x or y is nan */
+    if (x == y) return x;               /* x == y */
+    if ((ix | lx) == 0) {               /* x == 0 */
+        *(1 + (int *)&x) = hy & 0x80000000; /* return +-minsubnormal */
+        *(unsigned *)&x = 1;
+        y = x * x;
+        if (y == x) return y;
+        else return x;                  /* raise underflow flag */
+    }
+    if (hx >= 0) {                      /* x > 0 */
+        if (hx > hy || ((hx == hy) && (lx > ly))) { /* x > y: x -= ulp */
+            if (lx == 0) hx -= 1;
+            lx -= 1;
+        } else {                        /* x < y: x += ulp */
+            lx += 1;
+            if (lx == 0) hx += 1;
+        }
+    } else {                            /* x < 0 */
+        if (hy >= 0 || hx > hy || ((hx == hy) && (lx > ly))) {
+            if (lx == 0) hx -= 1;       /* x < y: x -= ulp */
+            lx -= 1;
+        } else {                        /* x > y: x += ulp */
+            lx += 1;
+            if (lx == 0) hx += 1;
+        }
+    }
+    hy = hx & 0x7ff00000;
+    if (hy >= 0x7ff00000) return x + x; /* overflow */
+    if (hy < 0x00100000) {              /* underflow */
+        y = x * x;
+        if (y != x) {                   /* raise underflow flag */
+            *(1 + (int *)&y) = hx;
+            *(unsigned *)&y = lx;
+            return y;
+        }
+    }
+    *(1 + (int *)&x) = hx;
+    *(unsigned *)&x = lx;
+    return x;
+}
+)";
+
+} // namespace
+
+const std::vector<SourceBenchmark> &lang::sourceSuite() {
+  static const std::vector<SourceBenchmark> Suite = {
+      {"tanh", "s_tanh.c", "tanh", 16, TanhSource},
+      {"cbrt", "s_cbrt.c", "cbrt", 24, CbrtSource},
+      {"asinh", "s_asinh.c", "asinh", 14, AsinhSource},
+      {"acosh", "e_acosh.c", "ieee754_acosh", 15, AcoshSource},
+      {"atanh", "e_atanh.c", "ieee754_atanh", 15, AtanhSource},
+      {"cosh", "e_cosh.c", "ieee754_cosh", 20, CoshSource},
+      {"logb", "s_logb.c", "logb", 8, LogbSource},
+      {"ilogb", "s_ilogb.c", "ilogb", 12, IlogbSource},
+      {"modf", "s_modf.c", "modf", 32, ModfSource},
+      {"rint", "s_rint.c", "rint", 34, RintSource},
+      {"floor", "s_floor.c", "floor", 30, FloorSource},
+      {"ceil", "s_ceil.c", "ceil", 29, CeilSource},
+      {"sqrt", "e_sqrt.c", "ieee754_sqrt", 68, SqrtSource},
+      {"nextafter", "s_nextafter.c", "nextafter", 36, NextafterSource},
+  };
+  return Suite;
+}
+
+const SourceBenchmark *lang::findSourceBenchmark(const std::string &Name) {
+  for (const SourceBenchmark &B : sourceSuite())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+SourceProgram lang::compileSourceBenchmark(const SourceBenchmark &B) {
+  SourceProgramOptions Opts;
+  Opts.TotalLines = B.PaperLines;
+  SourceProgram SP = compileSourceProgram(B.Source, B.Name, Opts);
+  if (SP.success())
+    SP.Prog.File = B.File;
+  return SP;
+}

@@ -1,0 +1,57 @@
+//===- SourceSuite.h - Fdlibm 5.3 sources for the interpreter pipeline ----===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ten benchmark functions from Fdlibm 5.3 embedded as C source text, for
+/// testing through the full source pipeline (parse -> Sema -> interpret ->
+/// Algorithm 1) exactly as the paper's tool consumes them (Sect. 5.1: "The
+/// program under test can be in any LLVM-supported language... tested on C
+/// code"). Where the native ports in src/fdlibm exercise the *compiled*
+/// path, this suite exercises the *frontend* path on the same programs —
+/// the two meet in differential tests.
+///
+/// The sources are Sun's, with two mechanical adaptations to the subset:
+/// the __HI/__LO word-access macros are expanded to their little-endian
+/// pointer-cast definitions (`*(1 + (int *)&x)` / `*(int *)&x`), and
+/// ternary returns are written as if/else (the frontend instruments only
+/// statement conditions, like the LLVM pass).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_SOURCESUITE_H
+#define COVERME_LANG_SOURCESUITE_H
+
+#include "lang/SourceProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+
+/// One embedded benchmark source.
+struct SourceBenchmark {
+  std::string Name;       ///< Entry function, e.g. "tanh".
+  std::string File;       ///< Originating Fdlibm file, e.g. "s_tanh.c".
+  std::string NativePort; ///< Name of the matching src/fdlibm port.
+  unsigned PaperLines;    ///< The paper's Table 5 "#Lines" figure.
+  const char *Source;     ///< Full C source text.
+};
+
+/// The embedded suite, in a fixed order.
+const std::vector<SourceBenchmark> &sourceSuite();
+
+/// Looks up a benchmark by entry name; null if absent.
+const SourceBenchmark *findSourceBenchmark(const std::string &Name);
+
+/// Compiles \p B through the source pipeline. The returned program carries
+/// the paper's line figure for the Table-5 line model.
+SourceProgram compileSourceBenchmark(const SourceBenchmark &B);
+
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_SOURCESUITE_H

@@ -1,0 +1,85 @@
+//===- Basinhopping.cpp - MCMC global minimization --------------------------===//
+
+#include "optim/Basinhopping.h"
+
+#include <cmath>
+
+using namespace coverme;
+
+MinimizeResult
+BasinhoppingMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
+                                Rng &Rng,
+                                const BasinhoppingCallback &Callback) const {
+  MinimizeResult Res;
+  if (Start.empty()) {
+    Res.X = std::move(Start);
+    return Res;
+  }
+
+  const size_t N = Start.size();
+  uint64_t EvalsUsed = 0;
+  auto RemainingBudget = [&]() {
+    return Opts.MaxEvaluations > EvalsUsed ? Opts.MaxEvaluations - EvalsUsed
+                                           : 0;
+  };
+
+  // Line 25: xL = LM(f, x).
+  MinimizeResult Local = LM.minimize(Fn, std::move(Start));
+  EvalsUsed += Local.NumEvals;
+  std::vector<double> XL = Local.X;
+  double FXL = Local.Fx;
+
+  // Track the best sample ever seen; MCMC may accept uphill moves.
+  Res.X = XL;
+  Res.Fx = FXL;
+
+  if (Callback && Callback(Res.X, Res.Fx)) {
+    Res.StoppedByCallback = true;
+    Res.NumEvals = EvalsUsed;
+    return Res;
+  }
+
+  for (unsigned K = 0; K < Opts.NIter && RemainingBudget() > 0; ++K) {
+    ++Res.Iterations;
+
+    // Lines 27-28: propose xTilde = LM(f, xL + delta). The perturbation
+    // mixes a relative Gaussian step with occasional exponent-uniform jumps
+    // so the chain can hop between basins separated by many binades.
+    std::vector<double> Proposal(N);
+    for (size_t I = 0; I < N; ++I) {
+      if (Rng.chance(Opts.JumpProbability))
+        Proposal[I] = Rng.wideDouble();
+      else
+        Proposal[I] =
+            XL[I] + Rng.gaussian(0.0, Opts.StepSigma * (1.0 + std::fabs(XL[I])));
+    }
+    MinimizeResult Trial = LM.minimize(Fn, std::move(Proposal));
+    EvalsUsed += Trial.NumEvals;
+
+    // Lines 29-33: Metropolis accept rule at temperature T.
+    bool Accept = Trial.Fx < FXL;
+    if (!Accept) {
+      double M = Rng.uniform01();
+      Accept = M < std::exp((FXL - Trial.Fx) / Opts.Temperature);
+    }
+    if (Accept) {
+      XL = std::move(Trial.X);
+      FXL = Trial.Fx;
+      if (FXL < Res.Fx) {
+        Res.X = XL;
+        Res.Fx = FXL;
+      }
+    }
+
+    if (Callback && Callback(Res.X, Res.Fx)) {
+      Res.StoppedByCallback = true;
+      break;
+    }
+    if (Res.Fx == 0.0)
+      break; // A global minimum of a representing function; no need to hop on.
+  }
+
+  Res.NumEvals = EvalsUsed;
+  Res.Converged = Res.Fx == 0.0;
+  return Res;
+}

@@ -1,0 +1,67 @@
+//===- Basinhopping.h - MCMC global minimization (Algo. 1, lines 24-34) ---===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Basinhopping algorithm [Leitner et al.; Li & Scheraga]: MCMC sampling
+/// over the space of local minimum points. Each iteration perturbs the
+/// current local minimum, re-minimizes locally, and applies the Metropolis
+/// accept rule with temperature T=1 — exactly the MCMC procedure of
+/// Algorithm 1 (lines 24-34). The paper's implementation calls SciPy's
+/// `basinhopping(f, sp, n_iter, callback)`; this is the from-scratch
+/// equivalent, including the client callback used for early termination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_BASINHOPPING_H
+#define COVERME_OPTIM_BASINHOPPING_H
+
+#include "optim/Minimizer.h"
+#include "support/Random.h"
+
+namespace coverme {
+
+/// Invoked after every Monte-Carlo iteration with the best point so far.
+/// Returning true stops the run (mirrors SciPy's callback protocol, which
+/// CoverMe uses to stop once all branches are saturated).
+using BasinhoppingCallback =
+    std::function<bool(const std::vector<double> &X, double Fx)>;
+
+/// Knobs for the global minimizer.
+struct BasinhoppingOptions {
+  unsigned NIter = 5;          ///< Monte-Carlo iterations (paper: n_iter=5).
+  double Temperature = 1.0;    ///< Metropolis temperature (Algo. 1 uses 1).
+  double StepSigma = 2.0;      ///< Gaussian perturbation scale.
+  double JumpProbability = 0.4; ///< Chance a coordinate takes an
+                                ///< exponent-uniform jump instead of a local
+                                ///< Gaussian step (lets the chain cross the
+                                ///< huge magnitude gaps Fdlibm thresholds
+                                ///< sit at; SciPy's take_step plays the same
+                                ///< role).
+  uint64_t MaxEvaluations = 50000; ///< Hard budget across all iterations.
+};
+
+/// MCMC/Basinhopping global minimizer over local minima of a LocalMinimizer.
+class BasinhoppingMinimizer {
+public:
+  BasinhoppingMinimizer(const LocalMinimizer &LM, BasinhoppingOptions Opts = {})
+      : LM(LM), Opts(Opts) {}
+
+  /// Runs MCMC from \p Start using \p Rng for perturbations and Metropolis
+  /// coin flips. \p Callback may be null.
+  MinimizeResult minimize(const Objective &Fn, std::vector<double> Start,
+                          Rng &Rng,
+                          const BasinhoppingCallback &Callback = nullptr) const;
+
+  const BasinhoppingOptions &options() const { return Opts; }
+
+private:
+  const LocalMinimizer &LM;
+  BasinhoppingOptions Opts;
+};
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_BASINHOPPING_H

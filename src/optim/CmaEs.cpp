@@ -1,0 +1,255 @@
+//===- CmaEs.cpp - Covariance Matrix Adaptation Evolution Strategy --------===//
+
+#include "optim/CmaEs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace coverme;
+
+namespace {
+
+/// Dense symmetric matrix of order N stored row-major.
+class SymMatrix {
+public:
+  explicit SymMatrix(unsigned N) : N(N), Data(N * N, 0.0) {}
+
+  double &at(unsigned I, unsigned J) { return Data[I * N + J]; }
+  double at(unsigned I, unsigned J) const { return Data[I * N + J]; }
+  unsigned order() const { return N; }
+
+  void setIdentity() {
+    std::fill(Data.begin(), Data.end(), 0.0);
+    for (unsigned I = 0; I < N; ++I)
+      at(I, I) = 1.0;
+  }
+
+private:
+  unsigned N;
+  std::vector<double> Data;
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix: A = B D B^T with
+/// eigenvalues in \p Eigenvalues and eigenvectors in \p B's columns. The
+/// matrices here are tiny (program arity), so a fixed sweep count suffices.
+void jacobiEigen(const SymMatrix &A, SymMatrix &B,
+                 std::vector<double> &Eigenvalues) {
+  const unsigned N = A.order();
+  SymMatrix D = A;
+  B.setIdentity();
+  for (unsigned Sweep = 0; Sweep < 32; ++Sweep) {
+    double Off = 0.0;
+    for (unsigned I = 0; I < N; ++I)
+      for (unsigned J = I + 1; J < N; ++J)
+        Off += D.at(I, J) * D.at(I, J);
+    if (Off < 1e-30)
+      break;
+    for (unsigned P = 0; P < N; ++P) {
+      for (unsigned Q = P + 1; Q < N; ++Q) {
+        if (std::fabs(D.at(P, Q)) < 1e-300)
+          continue;
+        double Theta = (D.at(Q, Q) - D.at(P, P)) / (2.0 * D.at(P, Q));
+        double T = (Theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
+        double C = 1.0 / std::sqrt(T * T + 1.0);
+        double S = T * C;
+        for (unsigned K = 0; K < N; ++K) {
+          double Dkp = D.at(K, P), Dkq = D.at(K, Q);
+          D.at(K, P) = C * Dkp - S * Dkq;
+          D.at(K, Q) = S * Dkp + C * Dkq;
+        }
+        for (unsigned K = 0; K < N; ++K) {
+          double Dpk = D.at(P, K), Dqk = D.at(Q, K);
+          D.at(P, K) = C * Dpk - S * Dqk;
+          D.at(Q, K) = S * Dpk + C * Dqk;
+        }
+        for (unsigned K = 0; K < N; ++K) {
+          double Bkp = B.at(K, P), Bkq = B.at(K, Q);
+          B.at(K, P) = C * Bkp - S * Bkq;
+          B.at(K, Q) = S * Bkp + C * Bkq;
+        }
+      }
+    }
+  }
+  Eigenvalues.resize(N);
+  for (unsigned I = 0; I < N; ++I)
+    Eigenvalues[I] = D.at(I, I);
+}
+
+} // namespace
+
+MinimizeResult
+CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
+                         Rng &Rng, const GenerationCallback &Callback) const {
+  MinimizeResult Result;
+  Result.X = Start;
+  const unsigned N = static_cast<unsigned>(Start.size());
+  if (N == 0)
+    return Result;
+
+  CountingObjective Counted(Fn);
+  // Guard the mean against non-finite coordinates (the campaign's wide
+  // sampler emits infinities); CMA-ES needs a finite anchor.
+  std::vector<double> Mean = Start;
+  for (double &M : Mean)
+    if (!std::isfinite(M))
+      M = 0.0;
+
+  // --- strategy parameters (Hansen's defaults) ---------------------------
+  const unsigned Lambda =
+      Opts.Lambda ? Opts.Lambda
+                  : 4 + static_cast<unsigned>(3.0 * std::log(N));
+  const unsigned Mu = Lambda / 2;
+  std::vector<double> Weights(Mu);
+  for (unsigned I = 0; I < Mu; ++I)
+    Weights[I] = std::log(Mu + 0.5) - std::log(I + 1.0);
+  double WeightSum = std::accumulate(Weights.begin(), Weights.end(), 0.0);
+  for (double &W : Weights)
+    W /= WeightSum;
+  double MuEff = 0.0;
+  for (double W : Weights)
+    MuEff += W * W;
+  MuEff = 1.0 / MuEff;
+
+  const double Cc = (4.0 + MuEff / N) / (N + 4.0 + 2.0 * MuEff / N);
+  const double Cs = (MuEff + 2.0) / (N + MuEff + 5.0);
+  const double C1 = 2.0 / ((N + 1.3) * (N + 1.3) + MuEff);
+  const double CMu = std::min(
+      1.0 - C1, 2.0 * (MuEff - 2.0 + 1.0 / MuEff) /
+                    ((N + 2.0) * (N + 2.0) + MuEff));
+  const double Damps =
+      1.0 + 2.0 * std::max(0.0, std::sqrt((MuEff - 1.0) / (N + 1.0)) - 1.0) +
+      Cs;
+  // E||N(0,I)||, Hansen's approximation.
+  const double ChiN =
+      std::sqrt(static_cast<double>(N)) *
+      (1.0 - 1.0 / (4.0 * N) + 1.0 / (21.0 * N * N));
+
+  double Sigma = Opts.InitialSigma;
+  SymMatrix C(N), B(N);
+  C.setIdentity();
+  B.setIdentity();
+  std::vector<double> DiagD(N, 1.0);
+  std::vector<double> Pc(N, 0.0), Ps(N, 0.0);
+
+  Result.Fx = Counted(Mean);
+  Result.X = Mean;
+
+  struct Candidate {
+    std::vector<double> X; ///< Sampled point.
+    std::vector<double> Z; ///< Its N(0,I) pre-image.
+    double Fx = 0.0;
+  };
+  std::vector<Candidate> Pop(Lambda);
+
+  for (unsigned Gen = 0; Gen < Opts.MaxGenerations; ++Gen) {
+    if (Counted.numEvals() + Lambda > Opts.MaxEvaluations)
+      break;
+    ++Result.Iterations;
+
+    // Sample lambda candidates x = m + sigma * B * diag(sqrt(d)) * z.
+    for (Candidate &Cand : Pop) {
+      Cand.Z.resize(N);
+      Cand.X.assign(Mean.begin(), Mean.end());
+      for (unsigned I = 0; I < N; ++I)
+        Cand.Z[I] = Rng.gaussian();
+      for (unsigned I = 0; I < N; ++I) {
+        double Step = 0.0;
+        for (unsigned J = 0; J < N; ++J)
+          Step += B.at(I, J) * std::sqrt(std::max(DiagD[J], 0.0)) * Cand.Z[J];
+        Cand.X[I] += Sigma * Step;
+      }
+      Cand.Fx = Counted(Cand.X);
+    }
+
+    std::sort(Pop.begin(), Pop.end(),
+              [](const Candidate &L, const Candidate &R) {
+                return L.Fx < R.Fx;
+              });
+    if (Pop.front().Fx < Result.Fx) {
+      Result.Fx = Pop.front().Fx;
+      Result.X = Pop.front().X;
+    }
+    if (Callback && Callback(Result.X, Result.Fx)) {
+      Result.StoppedByCallback = true;
+      break;
+    }
+
+    // Recombine: new mean and its pre-image.
+    std::vector<double> OldMean = Mean;
+    std::vector<double> MeanZ(N, 0.0);
+    for (unsigned I = 0; I < N; ++I) {
+      double M = 0.0;
+      for (unsigned K = 0; K < Mu; ++K)
+        M += Weights[K] * Pop[K].X[I];
+      Mean[I] = M;
+      double Z = 0.0;
+      for (unsigned K = 0; K < Mu; ++K)
+        Z += Weights[K] * Pop[K].Z[I];
+      MeanZ[I] = Z;
+    }
+
+    // Step-size path: ps <- (1-cs) ps + sqrt(cs(2-cs) mueff) B * meanZ.
+    double PsNorm = 0.0;
+    for (unsigned I = 0; I < N; ++I) {
+      double BZ = 0.0;
+      for (unsigned J = 0; J < N; ++J)
+        BZ += B.at(I, J) * MeanZ[J];
+      Ps[I] = (1.0 - Cs) * Ps[I] +
+              std::sqrt(Cs * (2.0 - Cs) * MuEff) * BZ;
+      PsNorm += Ps[I] * Ps[I];
+    }
+    PsNorm = std::sqrt(PsNorm);
+
+    // Covariance path: pc <- (1-cc) pc + h_sigma sqrt(cc(2-cc) mueff) y.
+    bool HSigma = PsNorm / std::sqrt(1.0 - std::pow(1.0 - Cs,
+                                                    2.0 * (Gen + 1))) /
+                      ChiN <
+                  1.4 + 2.0 / (N + 1.0);
+    for (unsigned I = 0; I < N; ++I) {
+      double Y = (Mean[I] - OldMean[I]) / Sigma;
+      Pc[I] = (1.0 - Cc) * Pc[I] +
+              (HSigma ? std::sqrt(Cc * (2.0 - Cc) * MuEff) * Y : 0.0);
+    }
+
+    // Covariance update: rank-one (pc pc^T) + rank-mu (weighted y y^T).
+    for (unsigned I = 0; I < N; ++I) {
+      for (unsigned J = 0; J < N; ++J) {
+        double RankMu = 0.0;
+        for (unsigned K = 0; K < Mu; ++K) {
+          double Yi = (Pop[K].X[I] - OldMean[I]) / Sigma;
+          double Yj = (Pop[K].X[J] - OldMean[J]) / Sigma;
+          RankMu += Weights[K] * Yi * Yj;
+        }
+        double Old = C.at(I, J);
+        C.at(I, J) = (1.0 - C1 - CMu) * Old + C1 * Pc[I] * Pc[J] +
+                     CMu * RankMu;
+      }
+    }
+
+    // Step size: log sigma += cs/damps (||ps||/chiN - 1).
+    Sigma *= std::exp((Cs / Damps) * (PsNorm / ChiN - 1.0));
+    if (!std::isfinite(Sigma) || Sigma > 1e12)
+      Sigma = Opts.InitialSigma;
+    if (Sigma < 1e-18)
+      break; // collapsed: converged in place
+
+    jacobiEigen(C, B, DiagD);
+    // Numerical floor: a degenerate axis stalls sampling entirely.
+    for (double &D : DiagD)
+      if (!(D > 1e-20))
+        D = 1e-20;
+
+    // Convergence: population spread below tolerance.
+    double Spread = Pop.back().Fx - Pop.front().Fx;
+    if (Spread >= 0.0 && Spread < Opts.FTol &&
+        std::fabs(Pop.front().Fx) < Opts.FTol) {
+      Result.Converged = true;
+      break;
+    }
+  }
+
+  Result.NumEvals = Counted.numEvals();
+  return Result;
+}

@@ -1,0 +1,79 @@
+//===- CoordinateDescent.cpp - Pattern search along axes -------------------===//
+
+#include "optim/CoordinateDescent.h"
+
+#include <cmath>
+
+using namespace coverme;
+
+MinimizeResult
+CoordinateDescentMinimizer::minimize(const Objective &RawFn,
+                                     std::vector<double> Start) const {
+  MinimizeResult Res;
+  Res.X = std::move(Start);
+  if (Res.X.empty())
+    return Res;
+
+  CountingObjective Fn(RawFn);
+  const size_t N = Res.X.size();
+  double FCur = Fn(Res.X);
+  double Step = Opts.InitialStep;
+
+  for (unsigned Iter = 0; Iter < Opts.MaxIterations * 8; ++Iter) {
+    ++Res.Iterations;
+    bool Improved = false;
+    for (size_t D = 0; D < N && Fn.numEvals() < Opts.MaxEvaluations; ++D) {
+      // Exploratory move: probe both signs.
+      for (double Sign : {+1.0, -1.0}) {
+        std::vector<double> Probe = Res.X;
+        // Scale the step to the coordinate's magnitude so the search can
+        // move across exponents, not just absolute distances.
+        double Scaled = Sign * Step * (1.0 + std::fabs(Probe[D]));
+        Probe[D] += Scaled;
+        double FProbe = Fn(Probe);
+        if (FProbe >= FCur)
+          continue;
+        // Pattern move: keep doubling while it pays off.
+        Res.X = Probe;
+        FCur = FProbe;
+        Improved = true;
+        double Leap = Scaled;
+        while (Fn.numEvals() < Opts.MaxEvaluations) {
+          Leap *= 2.0;
+          std::vector<double> Next = Res.X;
+          Next[D] += Leap;
+          double FNext = Fn(Next);
+          if (FNext >= FCur)
+            break;
+          Res.X = std::move(Next);
+          FCur = FNext;
+        }
+        break;
+      }
+    }
+    if (FCur == 0.0 || Fn.numEvals() >= Opts.MaxEvaluations)
+      break;
+    if (!Improved) {
+      Step *= 0.25;
+      if (Step < 1e-14) {
+        Res.Converged = true;
+        break;
+      }
+    }
+  }
+
+  Res.Fx = FCur;
+  Res.NumEvals = Fn.numEvals();
+  return Res;
+}
+
+MinimizeResult IdentityMinimizer::minimize(const Objective &RawFn,
+                                           std::vector<double> Start) const {
+  MinimizeResult Res;
+  Res.X = std::move(Start);
+  CountingObjective Fn(RawFn);
+  Res.Fx = Res.X.empty() ? 0.0 : Fn(Res.X);
+  Res.NumEvals = Fn.numEvals();
+  Res.Converged = true;
+  return Res;
+}

@@ -1,0 +1,49 @@
+//===- CoordinateDescent.h - Pattern search along axes --------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Hooke-Jeeves-style pattern search: probe +/- step on each coordinate,
+/// double the step while improving, halve on failure. Besides serving as an
+/// LM ablation, this is the same move structure Korel's Alternating Variable
+/// Method uses, which the Austin-lite baseline builds on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_COORDINATEDESCENT_H
+#define COVERME_OPTIM_COORDINATEDESCENT_H
+
+#include "optim/Minimizer.h"
+
+namespace coverme {
+
+/// Coordinate-wise pattern-search local minimizer.
+class CoordinateDescentMinimizer : public LocalMinimizer {
+public:
+  explicit CoordinateDescentMinimizer(LocalMinimizerOptions Opts = {})
+      : LocalMinimizer(Opts) {}
+
+  MinimizeResult minimize(const Objective &Fn,
+                          std::vector<double> Start) const override;
+
+  std::string name() const override { return "coordinate-descent"; }
+};
+
+/// Identity minimizer: returns the start point untouched. Selecting it turns
+/// Basinhopping into plain Metropolis MCMC sampling (the "no LM" ablation).
+class IdentityMinimizer : public LocalMinimizer {
+public:
+  explicit IdentityMinimizer(LocalMinimizerOptions Opts = {})
+      : LocalMinimizer(Opts) {}
+
+  MinimizeResult minimize(const Objective &Fn,
+                          std::vector<double> Start) const override;
+
+  std::string name() const override { return "none"; }
+};
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_COORDINATEDESCENT_H

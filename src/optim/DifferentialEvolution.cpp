@@ -1,0 +1,103 @@
+//===- DifferentialEvolution.cpp - DE/rand/1/bin global minimizer ---------===//
+
+#include "optim/DifferentialEvolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace coverme;
+
+MinimizeResult DifferentialEvolutionMinimizer::minimize(
+    const Objective &Fn, std::vector<double> Start, Rng &Rng,
+    const GenerationCallback &Callback) const {
+  MinimizeResult Result;
+  Result.X = Start;
+  const unsigned N = static_cast<unsigned>(Start.size());
+  if (N == 0)
+    return Result;
+
+  CountingObjective Counted(Fn);
+  const unsigned NP =
+      Opts.PopulationSize ? Opts.PopulationSize : std::max(12u, 8 * N);
+
+  // Seed the population: the starting point itself plus exponent-spread
+  // jitter around it (plus a few fully wide samples for global reach).
+  std::vector<std::vector<double>> Pop(NP);
+  std::vector<double> Fx(NP);
+  for (unsigned I = 0; I < NP; ++I) {
+    Pop[I] = Start;
+    for (double &Coord : Pop[I]) {
+      if (!std::isfinite(Coord))
+        Coord = 0.0;
+      if (I == 0)
+        continue; // keep the pristine starting point
+      if (I % 4 == 0)
+        Coord = Rng.wideDouble(); // global exploration member
+      else
+        Coord += Rng.gaussian() * std::max(1.0, std::fabs(Coord));
+    }
+    Fx[I] = Counted(Pop[I]);
+  }
+
+  unsigned BestIdx = static_cast<unsigned>(
+      std::min_element(Fx.begin(), Fx.end()) - Fx.begin());
+  Result.X = Pop[BestIdx];
+  Result.Fx = Fx[BestIdx];
+
+  std::vector<double> Trial(N);
+  for (unsigned Gen = 0; Gen < Opts.MaxGenerations; ++Gen) {
+    if (Counted.numEvals() + NP > Opts.MaxEvaluations)
+      break;
+    ++Result.Iterations;
+
+    for (unsigned I = 0; I < NP; ++I) {
+      // Pick three distinct members, all different from I.
+      unsigned A, B, C;
+      do
+        A = static_cast<unsigned>(Rng.below(NP));
+      while (A == I);
+      do
+        B = static_cast<unsigned>(Rng.below(NP));
+      while (B == I || B == A);
+      do
+        C = static_cast<unsigned>(Rng.below(NP));
+      while (C == I || C == A || C == B);
+
+      // Binomial crossover of the mutant a + F(b - c) with member I.
+      unsigned ForcedCoord = static_cast<unsigned>(Rng.below(N));
+      for (unsigned J = 0; J < N; ++J) {
+        bool Cross =
+            J == ForcedCoord || Rng.uniform01() < Opts.CrossoverRate;
+        Trial[J] = Cross ? Pop[A][J] + Opts.DifferentialWeight *
+                                           (Pop[B][J] - Pop[C][J])
+                         : Pop[I][J];
+        if (!std::isfinite(Trial[J]))
+          Trial[J] = Rng.wideDouble(); // repair non-finite mutants
+      }
+
+      double TrialFx = Counted(Trial);
+      if (TrialFx <= Fx[I]) {
+        Pop[I] = Trial;
+        Fx[I] = TrialFx;
+        if (TrialFx < Result.Fx) {
+          Result.Fx = TrialFx;
+          Result.X = Trial;
+        }
+      }
+    }
+
+    if (Callback && Callback(Result.X, Result.Fx)) {
+      Result.StoppedByCallback = true;
+      break;
+    }
+
+    double Worst = *std::max_element(Fx.begin(), Fx.end());
+    if (Worst - Result.Fx < Opts.FTol && std::fabs(Result.Fx) < Opts.FTol) {
+      Result.Converged = true;
+      break;
+    }
+  }
+
+  Result.NumEvals = Counted.numEvals();
+  return Result;
+}

@@ -1,0 +1,167 @@
+//===- LineSearch.cpp - One-dimensional minimization -----------------------===//
+
+#include "optim/LineSearch.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace coverme;
+
+static const double Golden = 1.618033988749895;
+static const double CGold = 0.3819660112501051; // 1 - 1/Golden.
+static const double TinyDenom = 1e-21;
+
+/// Evaluates G with NaN mapped to a huge penalty so orderings stay total.
+static double evalSafe(const ScalarObjective &G, double T, uint64_t &Evals) {
+  ++Evals;
+  double V = G(T);
+  return V != V ? 1e300 : V;
+}
+
+Bracket coverme::bracketMinimum(const ScalarObjective &G, double T0, double T1,
+                                uint64_t MaxEvals) {
+  Bracket Br;
+  uint64_t Evals = 0;
+  double A = T0, B = T1;
+  double FA = evalSafe(G, A, Evals);
+  double FB = evalSafe(G, B, Evals);
+  if (FB > FA) {
+    std::swap(A, B);
+    std::swap(FA, FB);
+  }
+  double C = B + Golden * (B - A);
+  double FC = evalSafe(G, C, Evals);
+
+  while (FB > FC && Evals < MaxEvals) {
+    // Parabolic extrapolation from (A,B,C), clamped to a maximum leap.
+    double R = (B - A) * (FB - FC);
+    double Q = (B - C) * (FB - FA);
+    double Denom = 2.0 * std::copysign(std::max(std::fabs(Q - R), TinyDenom),
+                                       Q - R);
+    double U = B - ((B - C) * Q - (B - A) * R) / Denom;
+    double ULim = B + 100.0 * (C - B);
+    double FU;
+    if ((B - U) * (U - C) > 0.0) {
+      // U between B and C.
+      FU = evalSafe(G, U, Evals);
+      if (FU < FC) {
+        A = B; FA = FB; B = U; FB = FU;
+        break;
+      }
+      if (FU > FB) {
+        C = U; FC = FU;
+        break;
+      }
+      U = C + Golden * (C - B);
+      FU = evalSafe(G, U, Evals);
+    } else if ((C - U) * (U - ULim) > 0.0) {
+      // U between C and the limit.
+      FU = evalSafe(G, U, Evals);
+      if (FU < FC) {
+        B = C; C = U; U = C + Golden * (C - B);
+        FB = FC; FC = FU; FU = evalSafe(G, U, Evals);
+      }
+    } else if ((U - ULim) * (ULim - C) >= 0.0) {
+      U = ULim;
+      FU = evalSafe(G, U, Evals);
+    } else {
+      U = C + Golden * (C - B);
+      FU = evalSafe(G, U, Evals);
+    }
+    A = B; B = C; C = U;
+    FA = FB; FB = FC; FC = FU;
+  }
+
+  Br.A = A; Br.B = B; Br.C = C;
+  Br.FA = FA; Br.FB = FB; Br.FC = FC;
+  Br.Valid = FB <= FA && FB <= FC && std::isfinite(B);
+  return Br;
+}
+
+LineSearchResult coverme::brentMinimize(const ScalarObjective &G,
+                                        const Bracket &Br, double Tol,
+                                        unsigned MaxIter) {
+  LineSearchResult Res;
+  if (!Br.Valid) {
+    Res.T = Br.B;
+    Res.F = Br.FB;
+    return Res;
+  }
+
+  uint64_t Evals = 0;
+  double A = std::min(Br.A, Br.C);
+  double B = std::max(Br.A, Br.C);
+  double X = Br.B, W = Br.B, V = Br.B;
+  double FX = Br.FB, FW = Br.FB, FV = Br.FB;
+  double D = 0.0, E = 0.0;
+
+  for (unsigned Iter = 0; Iter < MaxIter; ++Iter) {
+    double XM = 0.5 * (A + B);
+    double Tol1 = Tol * std::fabs(X) + 1e-300;
+    double Tol2 = 2.0 * Tol1;
+    if (std::fabs(X - XM) <= Tol2 - 0.5 * (B - A)) {
+      Res.Converged = true;
+      break;
+    }
+    bool UseGolden = true;
+    if (std::fabs(E) > Tol1) {
+      // Trial parabolic fit through X, V, W.
+      double R = (X - W) * (FX - FV);
+      double Q = (X - V) * (FX - FW);
+      double P = (X - V) * Q - (X - W) * R;
+      Q = 2.0 * (Q - R);
+      if (Q > 0.0)
+        P = -P;
+      Q = std::fabs(Q);
+      double ETmp = E;
+      E = D;
+      if (std::fabs(P) < std::fabs(0.5 * Q * ETmp) && P > Q * (A - X) &&
+          P < Q * (B - X)) {
+        D = P / Q;
+        double U = X + D;
+        if (U - A < Tol2 || B - U < Tol2)
+          D = std::copysign(Tol1, XM - X);
+        UseGolden = false;
+      }
+    }
+    if (UseGolden) {
+      E = (X >= XM) ? A - X : B - X;
+      D = CGold * E;
+    }
+    double U = (std::fabs(D) >= Tol1) ? X + D : X + std::copysign(Tol1, D);
+    double FU = evalSafe(G, U, Evals);
+    if (FU <= FX) {
+      if (U >= X)
+        A = X;
+      else
+        B = X;
+      V = W; W = X; X = U;
+      FV = FW; FW = FX; FX = FU;
+    } else {
+      if (U < X)
+        A = U;
+      else
+        B = U;
+      if (FU <= FW || W == X) {
+        V = W; W = U;
+        FV = FW; FW = FU;
+      } else if (FU <= FV || V == X || V == W) {
+        V = U;
+        FV = FU;
+      }
+    }
+  }
+
+  Res.T = X;
+  Res.F = FX;
+  Res.NumEvals = Evals;
+  return Res;
+}
+
+LineSearchResult coverme::lineMinimize(const ScalarObjective &G,
+                                       double InitialStep, double Tol) {
+  Bracket Br = bracketMinimum(G, 0.0, InitialStep);
+  LineSearchResult Res = brentMinimize(G, Br, Tol);
+  Res.NumEvals += 3; // Bracketing consumed at least the initial probes.
+  return Res;
+}

@@ -1,0 +1,58 @@
+//===- LineSearch.h - One-dimensional minimization ------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bracketing plus Brent's method for minimizing a univariate function.
+/// Powell's method reduces each of its direction sweeps to exactly this
+/// problem, so its quality determines how fast FOO_R's quadratic branch
+/// distances (Def. 4.1) are driven to zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_LINESEARCH_H
+#define COVERME_OPTIM_LINESEARCH_H
+
+#include <cstdint>
+#include <functional>
+
+namespace coverme {
+
+/// A univariate objective g(t).
+using ScalarObjective = std::function<double(double)>;
+
+/// A bracketing triple A < B < C (or C < B < A) with g(B) <= g(A), g(B) <= g(C).
+struct Bracket {
+  double A = 0.0, B = 0.0, C = 0.0;
+  double FA = 0.0, FB = 0.0, FC = 0.0;
+  bool Valid = false;
+};
+
+/// Result of a 1-D minimization.
+struct LineSearchResult {
+  double T = 0.0;        ///< Argmin found.
+  double F = 0.0;        ///< Value at T.
+  uint64_t NumEvals = 0; ///< Objective calls used.
+  bool Converged = false;
+};
+
+/// Expands downhill from (T0, T1) with golden-ratio steps until a minimum is
+/// bracketed or \p MaxEvals is exhausted (Numerical Recipes mnbrak).
+Bracket bracketMinimum(const ScalarObjective &G, double T0, double T1,
+                       uint64_t MaxEvals = 60);
+
+/// Brent's parabolic-interpolation/golden-section minimization inside the
+/// interval [min(A,C), max(A,C)] of \p Br.
+LineSearchResult brentMinimize(const ScalarObjective &G, const Bracket &Br,
+                               double Tol = 1e-10, unsigned MaxIter = 64);
+
+/// Convenience: bracket from (0, \p InitialStep), then Brent. Falls back to
+/// T=0 when no descent direction exists.
+LineSearchResult lineMinimize(const ScalarObjective &G, double InitialStep,
+                              double Tol = 1e-10);
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_LINESEARCH_H

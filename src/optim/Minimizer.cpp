@@ -1,0 +1,45 @@
+//===- Minimizer.cpp - Local minimizer factory ------------------------------===//
+
+#include "optim/Minimizer.h"
+
+#include "optim/CoordinateDescent.h"
+#include "optim/NelderMead.h"
+#include "optim/Powell.h"
+
+#include <cassert>
+
+using namespace coverme;
+
+LocalMinimizer::~LocalMinimizer() = default;
+
+const char *coverme::localMinimizerKindName(LocalMinimizerKind Kind) {
+  switch (Kind) {
+  case LocalMinimizerKind::Powell:
+    return "powell";
+  case LocalMinimizerKind::NelderMead:
+    return "nelder-mead";
+  case LocalMinimizerKind::CoordinateDescent:
+    return "coordinate-descent";
+  case LocalMinimizerKind::None:
+    return "none";
+  }
+  assert(false && "unknown LocalMinimizerKind");
+  return "unknown";
+}
+
+std::unique_ptr<LocalMinimizer>
+coverme::makeLocalMinimizer(LocalMinimizerKind Kind,
+                            LocalMinimizerOptions Opts) {
+  switch (Kind) {
+  case LocalMinimizerKind::Powell:
+    return std::make_unique<PowellMinimizer>(Opts);
+  case LocalMinimizerKind::NelderMead:
+    return std::make_unique<NelderMeadMinimizer>(Opts);
+  case LocalMinimizerKind::CoordinateDescent:
+    return std::make_unique<CoordinateDescentMinimizer>(Opts);
+  case LocalMinimizerKind::None:
+    return std::make_unique<IdentityMinimizer>(Opts);
+  }
+  assert(false && "unknown LocalMinimizerKind");
+  return nullptr;
+}

@@ -1,0 +1,80 @@
+//===- Minimizer.h - Local minimizer interface ----------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LM parameter of Algorithm 1: a local minimization routine used both
+/// standalone and inside Basinhopping's Monte-Carlo loop. The paper runs
+/// LM="powell"; this interface lets the driver swap local minimizers as a
+/// black box (the ablation benches exercise that freedom).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_MINIMIZER_H
+#define COVERME_OPTIM_MINIMIZER_H
+
+#include "optim/Objective.h"
+
+#include <memory>
+#include <string>
+
+namespace coverme {
+
+/// Outcome of one local or global minimization run.
+struct MinimizeResult {
+  std::vector<double> X;       ///< Best point found.
+  double Fx = 0.0;             ///< Objective value at X.
+  uint64_t NumEvals = 0;       ///< Objective evaluations consumed.
+  unsigned Iterations = 0;     ///< Outer iterations performed.
+  bool Converged = false;      ///< Tolerance met (vs. budget exhausted).
+  bool StoppedByCallback = false; ///< A client callback requested a stop.
+};
+
+/// Shared knobs for the local minimizers.
+struct LocalMinimizerOptions {
+  unsigned MaxIterations = 40;   ///< Outer sweeps (direction sets, simplex).
+  uint64_t MaxEvaluations = 4000; ///< Hard objective-call budget.
+  double FTol = 1e-12;           ///< Relative f-decrease convergence test.
+  double InitialStep = 1.0;      ///< Scale of the first probing step.
+};
+
+/// Abstract derivative-free local minimizer.
+class LocalMinimizer {
+public:
+  explicit LocalMinimizer(LocalMinimizerOptions Opts = {}) : Opts(Opts) {}
+  virtual ~LocalMinimizer();
+
+  /// Minimizes \p Fn starting from \p Start. Never throws; on a zero-sized
+  /// start it returns Start unchanged with Converged=false.
+  virtual MinimizeResult minimize(const Objective &Fn,
+                                  std::vector<double> Start) const = 0;
+
+  /// Human-readable algorithm name ("powell", "nelder-mead", ...).
+  virtual std::string name() const = 0;
+
+  const LocalMinimizerOptions &options() const { return Opts; }
+
+protected:
+  LocalMinimizerOptions Opts;
+};
+
+/// The local minimizers available to Algorithm 1's LM parameter.
+enum class LocalMinimizerKind {
+  Powell,            ///< Powell's conjugate-direction method (paper default).
+  NelderMead,        ///< Downhill simplex.
+  CoordinateDescent, ///< Pattern search along coordinate axes.
+  None,              ///< Identity "minimizer" (pure MCMC ablation).
+};
+
+/// Spelling used in option parsing and report headers.
+const char *localMinimizerKindName(LocalMinimizerKind Kind);
+
+/// Factory for the LM black box.
+std::unique_ptr<LocalMinimizer>
+makeLocalMinimizer(LocalMinimizerKind Kind, LocalMinimizerOptions Opts = {});
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_MINIMIZER_H

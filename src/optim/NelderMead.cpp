@@ -1,0 +1,121 @@
+//===- NelderMead.cpp - Downhill simplex method ----------------------------===//
+
+#include "optim/NelderMead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace coverme;
+
+MinimizeResult NelderMeadMinimizer::minimize(const Objective &RawFn,
+                                             std::vector<double> Start) const {
+  MinimizeResult Res;
+  Res.X = std::move(Start);
+  if (Res.X.empty())
+    return Res;
+
+  CountingObjective Fn(RawFn);
+  const size_t N = Res.X.size();
+
+  // Initial simplex: the start plus one vertex displaced per coordinate.
+  std::vector<std::vector<double>> Simplex;
+  Simplex.reserve(N + 1);
+  Simplex.push_back(Res.X);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<double> V = Res.X;
+    V[I] += (V[I] != 0.0) ? 0.05 * V[I] * Opts.InitialStep
+                          : 0.25 * Opts.InitialStep;
+    Simplex.push_back(std::move(V));
+  }
+  std::vector<double> FVals(N + 1);
+  for (size_t I = 0; I <= N; ++I)
+    FVals[I] = Fn(Simplex[I]);
+
+  std::vector<size_t> Order(N + 1);
+
+  auto Centroid = [&](size_t ExcludeIdx) {
+    std::vector<double> C(N, 0.0);
+    for (size_t I = 0; I <= N; ++I) {
+      if (I == ExcludeIdx)
+        continue;
+      for (size_t K = 0; K < N; ++K)
+        C[K] += Simplex[I][K];
+    }
+    for (double &V : C)
+      V /= static_cast<double>(N);
+    return C;
+  };
+
+  for (unsigned Iter = 0; Iter < Opts.MaxIterations * 4; ++Iter) {
+    ++Res.Iterations;
+    std::iota(Order.begin(), Order.end(), 0);
+    std::sort(Order.begin(), Order.end(),
+              [&](size_t A, size_t B) { return FVals[A] < FVals[B]; });
+    size_t Best = Order.front(), Worst = Order.back();
+    size_t SecondWorst = Order[N - 1];
+
+    if (FVals[Best] == 0.0 || Fn.numEvals() >= Opts.MaxEvaluations)
+      break;
+    if (std::fabs(FVals[Worst] - FVals[Best]) <=
+        Opts.FTol * (std::fabs(FVals[Worst]) + std::fabs(FVals[Best])) +
+            1e-300) {
+      Res.Converged = true;
+      break;
+    }
+
+    std::vector<double> C = Centroid(Worst);
+    auto Affine = [&](double T) {
+      std::vector<double> P(N);
+      for (size_t K = 0; K < N; ++K)
+        P[K] = C[K] + T * (Simplex[Worst][K] - C[K]);
+      return P;
+    };
+
+    std::vector<double> Reflected = Affine(-1.0);
+    double FReflected = Fn(Reflected);
+    if (FReflected < FVals[Best]) {
+      std::vector<double> Expanded = Affine(-2.0);
+      double FExpanded = Fn(Expanded);
+      if (FExpanded < FReflected) {
+        Simplex[Worst] = std::move(Expanded);
+        FVals[Worst] = FExpanded;
+      } else {
+        Simplex[Worst] = std::move(Reflected);
+        FVals[Worst] = FReflected;
+      }
+      continue;
+    }
+    if (FReflected < FVals[SecondWorst]) {
+      Simplex[Worst] = std::move(Reflected);
+      FVals[Worst] = FReflected;
+      continue;
+    }
+    // Contraction (outside if the reflection improved on the worst).
+    double ContractT = FReflected < FVals[Worst] ? -0.5 : 0.5;
+    std::vector<double> Contracted = Affine(ContractT);
+    double FContracted = Fn(Contracted);
+    if (FContracted < std::min(FReflected, FVals[Worst])) {
+      Simplex[Worst] = std::move(Contracted);
+      FVals[Worst] = FContracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (size_t I = 0; I <= N; ++I) {
+      if (I == Best)
+        continue;
+      for (size_t K = 0; K < N; ++K)
+        Simplex[I][K] = Simplex[Best][K] + 0.5 * (Simplex[I][K] - Simplex[Best][K]);
+      FVals[I] = Fn(Simplex[I]);
+    }
+  }
+
+  size_t BestIdx = 0;
+  for (size_t I = 1; I <= N; ++I)
+    if (FVals[I] < FVals[BestIdx])
+      BestIdx = I;
+  Res.X = Simplex[BestIdx];
+  Res.Fx = FVals[BestIdx];
+  Res.NumEvals = Fn.numEvals();
+  return Res;
+}

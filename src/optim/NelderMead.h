@@ -1,0 +1,35 @@
+//===- NelderMead.h - Downhill simplex method -----------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Nelder-Mead downhill simplex local minimizer — an alternative LM for
+/// Algorithm 1, exercised by the ablation bench (E8 in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_NELDERMEAD_H
+#define COVERME_OPTIM_NELDERMEAD_H
+
+#include "optim/Minimizer.h"
+
+namespace coverme {
+
+/// Nelder-Mead simplex local minimizer with standard reflection/expansion/
+/// contraction/shrink coefficients (1, 2, 0.5, 0.5).
+class NelderMeadMinimizer : public LocalMinimizer {
+public:
+  explicit NelderMeadMinimizer(LocalMinimizerOptions Opts = {})
+      : LocalMinimizer(Opts) {}
+
+  MinimizeResult minimize(const Objective &Fn,
+                          std::vector<double> Start) const override;
+
+  std::string name() const override { return "nelder-mead"; }
+};
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_NELDERMEAD_H

@@ -1,0 +1,52 @@
+//===- Objective.h - Black-box objective functions ------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unconstrained-programming problem of Sect. 2: given f : R^n -> R,
+/// find x* with f(x*) <= f(x) for all x. Everything in this library treats
+/// f as a black box, exactly as Algorithm 1 requires — the representing
+/// function FOO_R is just one such objective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_OBJECTIVE_H
+#define COVERME_OPTIM_OBJECTIVE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace coverme {
+
+/// A black-box objective over R^n.
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/// Large finite value substituted for NaN objective results so the
+/// minimizers' comparisons stay well ordered (NaN poisons every ordering).
+inline constexpr double NaNPenalty = 1e300;
+
+/// Wraps an objective so calls are counted and NaN results are replaced by
+/// NaNPenalty. Every minimizer routes its probes through one of these.
+class CountingObjective {
+public:
+  explicit CountingObjective(const Objective &Fn) : Fn(Fn) {}
+
+  double operator()(const std::vector<double> &X) {
+    ++NumEvals;
+    double V = Fn(X);
+    return V != V ? NaNPenalty : V;
+  }
+
+  uint64_t numEvals() const { return NumEvals; }
+
+private:
+  const Objective &Fn;
+  uint64_t NumEvals = 0;
+};
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_OBJECTIVE_H

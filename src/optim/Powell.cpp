@@ -1,0 +1,104 @@
+//===- Powell.cpp - Powell's conjugate-direction method --------------------===//
+
+#include "optim/Powell.h"
+
+#include "optim/LineSearch.h"
+
+#include <cmath>
+
+using namespace coverme;
+
+namespace {
+
+/// Line-minimizes Fn from Point along Dir, updating both in place.
+/// Returns the achieved value; accumulates evaluation counts into Evals.
+double minimizeAlong(CountingObjective &Fn, std::vector<double> &Point,
+                     const std::vector<double> &Dir, double InitialStep,
+                     double &FCur) {
+  std::vector<double> Probe = Point;
+  ScalarObjective G = [&](double T) {
+    for (size_t I = 0; I < Point.size(); ++I)
+      Probe[I] = Point[I] + T * Dir[I];
+    return Fn(Probe);
+  };
+  LineSearchResult LS = lineMinimize(G, InitialStep);
+  if (LS.F < FCur) {
+    for (size_t I = 0; I < Point.size(); ++I)
+      Point[I] += LS.T * Dir[I];
+    FCur = LS.F;
+  }
+  return FCur;
+}
+
+} // namespace
+
+MinimizeResult PowellMinimizer::minimize(const Objective &RawFn,
+                                         std::vector<double> Start) const {
+  MinimizeResult Res;
+  Res.X = std::move(Start);
+  if (Res.X.empty())
+    return Res;
+
+  CountingObjective Fn(RawFn);
+  const size_t N = Res.X.size();
+
+  // Direction set starts as the coordinate axes scaled by the initial step.
+  std::vector<std::vector<double>> Dirs(N, std::vector<double>(N, 0.0));
+  for (size_t I = 0; I < N; ++I)
+    Dirs[I][I] = Opts.InitialStep;
+
+  double FCur = Fn(Res.X);
+
+  for (unsigned Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    ++Res.Iterations;
+    double FStart = FCur;
+    std::vector<double> PStart = Res.X;
+    size_t BiggestDir = 0;
+    double BiggestDrop = 0.0;
+
+    for (size_t D = 0; D < N; ++D) {
+      double FBefore = FCur;
+      minimizeAlong(Fn, Res.X, Dirs[D], Opts.InitialStep, FCur);
+      double Drop = FBefore - FCur;
+      if (Drop > BiggestDrop) {
+        BiggestDrop = Drop;
+        BiggestDir = D;
+      }
+      if (Fn.numEvals() >= Opts.MaxEvaluations)
+        break;
+    }
+
+    if (FCur == 0.0 || Fn.numEvals() >= Opts.MaxEvaluations)
+      break;
+
+    // Relative decrease convergence test.
+    if (2.0 * (FStart - FCur) <=
+        Opts.FTol * (std::fabs(FStart) + std::fabs(FCur)) + 1e-300) {
+      Res.Converged = true;
+      break;
+    }
+
+    // Powell's direction update: try the overall displacement P - PStart.
+    std::vector<double> NewDir(N);
+    std::vector<double> Extrapolated(N);
+    for (size_t I = 0; I < N; ++I) {
+      NewDir[I] = Res.X[I] - PStart[I];
+      Extrapolated[I] = Res.X[I] + NewDir[I];
+    }
+    double FExtrapolated = Fn(Extrapolated);
+    if (FExtrapolated < FStart) {
+      double T = 2.0 * (FStart - 2.0 * FCur + FExtrapolated) *
+                     std::pow(FStart - FCur - BiggestDrop, 2) -
+                 BiggestDrop * std::pow(FStart - FExtrapolated, 2);
+      if (T < 0.0) {
+        minimizeAlong(Fn, Res.X, NewDir, 1.0, FCur);
+        Dirs[BiggestDir] = Dirs.back();
+        Dirs.back() = NewDir;
+      }
+    }
+  }
+
+  Res.Fx = FCur;
+  Res.NumEvals = Fn.numEvals();
+  return Res;
+}

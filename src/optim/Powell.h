@@ -1,0 +1,36 @@
+//===- Powell.h - Powell's conjugate-direction method ---------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Powell's derivative-free method (Numerical Recipes ch. 10.7): minimize
+/// along each direction of an evolving direction set, then replace the
+/// direction of largest decrease with the overall displacement. This is the
+/// LM="powell" setting the paper's evaluation uses (Sect. 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_POWELL_H
+#define COVERME_OPTIM_POWELL_H
+
+#include "optim/Minimizer.h"
+
+namespace coverme {
+
+/// Powell's conjugate-direction local minimizer.
+class PowellMinimizer : public LocalMinimizer {
+public:
+  explicit PowellMinimizer(LocalMinimizerOptions Opts = {})
+      : LocalMinimizer(Opts) {}
+
+  MinimizeResult minimize(const Objective &Fn,
+                          std::vector<double> Start) const override;
+
+  std::string name() const override { return "powell"; }
+};
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_POWELL_H

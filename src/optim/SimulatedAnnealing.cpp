@@ -1,0 +1,57 @@
+//===- SimulatedAnnealing.cpp - Annealed Metropolis sampling ----------------===//
+
+#include "optim/SimulatedAnnealing.h"
+
+#include <cmath>
+
+using namespace coverme;
+
+MinimizeResult SimulatedAnnealingMinimizer::minimize(const Objective &RawFn,
+                                                     std::vector<double> Start,
+                                                     Rng &Rng) const {
+  MinimizeResult Res;
+  Res.X = std::move(Start);
+  if (Res.X.empty())
+    return Res;
+
+  CountingObjective Fn(RawFn);
+  const size_t N = Res.X.size();
+  std::vector<double> Cur = Res.X;
+  double FCur = Fn(Cur);
+  Res.Fx = FCur;
+
+  // Geometric cooling from InitialTemp to FinalTemp over NumSteps.
+  double CoolRate = std::pow(Opts.FinalTemp / Opts.InitialTemp,
+                             1.0 / static_cast<double>(Opts.NumSteps));
+  double Temp = Opts.InitialTemp;
+
+  for (unsigned Step = 0; Step < Opts.NumSteps; ++Step) {
+    ++Res.Iterations;
+    std::vector<double> Proposal(N);
+    for (size_t I = 0; I < N; ++I) {
+      if (Rng.chance(Opts.JumpProbability))
+        Proposal[I] = Rng.exponentUniformDouble();
+      else
+        Proposal[I] = Cur[I] + Rng.gaussian(0.0, Opts.StepSigma *
+                                                     (1.0 + std::fabs(Cur[I])));
+    }
+    double FProposal = Fn(Proposal);
+    bool Accept = FProposal < FCur ||
+                  Rng.uniform01() < std::exp((FCur - FProposal) / Temp);
+    if (Accept) {
+      Cur = std::move(Proposal);
+      FCur = FProposal;
+      if (FCur < Res.Fx) {
+        Res.X = Cur;
+        Res.Fx = FCur;
+      }
+    }
+    if (Res.Fx == 0.0)
+      break;
+    Temp *= CoolRate;
+  }
+
+  Res.NumEvals = Fn.numEvals();
+  Res.Converged = Res.Fx == 0.0;
+  return Res;
+}

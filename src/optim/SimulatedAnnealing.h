@@ -1,0 +1,49 @@
+//===- SimulatedAnnealing.h - Annealed Metropolis sampling ----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic simulated annealing [Kirkpatrick et al. '83] over R^n. Sect. 4 of
+/// the paper notes Basinhopping's Metropolis rule is annealing with T=1;
+/// this standalone annealer provides the comparison point for the optimizer
+/// ablation bench and a second "any black box works" demonstration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_OPTIM_SIMULATEDANNEALING_H
+#define COVERME_OPTIM_SIMULATEDANNEALING_H
+
+#include "optim/Minimizer.h"
+#include "support/Random.h"
+
+namespace coverme {
+
+/// Knobs for simulated annealing.
+struct AnnealingOptions {
+  unsigned NumSteps = 2000;    ///< Metropolis steps.
+  double InitialTemp = 10.0;   ///< Starting temperature.
+  double FinalTemp = 1e-4;     ///< Temperature at the final step.
+  double StepSigma = 1.0;      ///< Gaussian proposal scale.
+  double JumpProbability = 0.2; ///< Exponent-uniform coordinate jumps.
+};
+
+/// Simulated-annealing global minimizer (no inner local minimizer).
+class SimulatedAnnealingMinimizer {
+public:
+  explicit SimulatedAnnealingMinimizer(AnnealingOptions Opts = {})
+      : Opts(Opts) {}
+
+  MinimizeResult minimize(const Objective &Fn, std::vector<double> Start,
+                          Rng &Rng) const;
+
+  const AnnealingOptions &options() const { return Opts; }
+
+private:
+  AnnealingOptions Opts;
+};
+
+} // namespace coverme
+
+#endif // COVERME_OPTIM_SIMULATEDANNEALING_H

@@ -1,0 +1,102 @@
+//===- BranchDistance.cpp - Branch distance (Def. 4.1) ---------------------===//
+
+#include "runtime/BranchDistance.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace coverme;
+
+CmpOp coverme::negateCmpOp(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return CmpOp::NE;
+  case CmpOp::NE:
+    return CmpOp::EQ;
+  case CmpOp::LT:
+    return CmpOp::GE;
+  case CmpOp::LE:
+    return CmpOp::GT;
+  case CmpOp::GT:
+    return CmpOp::LE;
+  case CmpOp::GE:
+    return CmpOp::LT;
+  }
+  assert(false && "unknown CmpOp");
+  return CmpOp::EQ;
+}
+
+const char *coverme::cmpOpSpelling(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return "==";
+  case CmpOp::NE:
+    return "!=";
+  case CmpOp::LT:
+    return "<";
+  case CmpOp::LE:
+    return "<=";
+  case CmpOp::GT:
+    return ">";
+  case CmpOp::GE:
+    return ">=";
+  }
+  assert(false && "unknown CmpOp");
+  return "?";
+}
+
+CmpOp coverme::parseCmpOp(const char *Spelling) {
+  if (std::strcmp(Spelling, "==") == 0)
+    return CmpOp::EQ;
+  if (std::strcmp(Spelling, "!=") == 0)
+    return CmpOp::NE;
+  if (std::strcmp(Spelling, "<") == 0)
+    return CmpOp::LT;
+  if (std::strcmp(Spelling, "<=") == 0)
+    return CmpOp::LE;
+  if (std::strcmp(Spelling, ">") == 0)
+    return CmpOp::GT;
+  if (std::strcmp(Spelling, ">=") == 0)
+    return CmpOp::GE;
+  assert(false && "unknown comparison spelling");
+  return CmpOp::EQ;
+}
+
+bool coverme::evalCmpOp(CmpOp Op, double A, double B) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return A == B;
+  case CmpOp::NE:
+    return A != B;
+  case CmpOp::LT:
+    return A < B;
+  case CmpOp::LE:
+    return A <= B;
+  case CmpOp::GT:
+    return A > B;
+  case CmpOp::GE:
+    return A >= B;
+  }
+  assert(false && "unknown CmpOp");
+  return false;
+}
+
+double coverme::branchDistance(CmpOp Op, double A, double B, double Epsilon) {
+  double Diff = A - B;
+  switch (Op) {
+  case CmpOp::EQ:
+    return Diff * Diff;
+  case CmpOp::NE:
+    return A != B ? 0.0 : Epsilon;
+  case CmpOp::LE:
+    return A <= B ? 0.0 : Diff * Diff;
+  case CmpOp::LT:
+    return A < B ? 0.0 : Diff * Diff + Epsilon;
+  case CmpOp::GE:
+    return branchDistance(CmpOp::LE, B, A, Epsilon);
+  case CmpOp::GT:
+    return branchDistance(CmpOp::LT, B, A, Epsilon);
+  }
+  assert(false && "unknown CmpOp");
+  return 0.0;
+}

@@ -1,0 +1,60 @@
+//===- BranchDistance.h - Comparison ops and branch distance (Def. 4.1) ---===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch-distance family d_eps(op, a, b) of Def. 4.1. The distance
+/// quantifies how far operands a, b are from satisfying `a op b`; it is the
+/// building block of the pen function and therefore of the representing
+/// function. The defining property (Eq. 8):
+///
+///   d(op, a, b) >= 0   and   d(op, a, b) == 0  <=>  a op b.
+///
+/// Strict inequalities carry a small epsilon so that, e.g., a < b is treated
+/// as a <= b - eps; eps defaults to machine epsilon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_RUNTIME_BRANCHDISTANCE_H
+#define COVERME_RUNTIME_BRANCHDISTANCE_H
+
+#include <cstdint>
+
+namespace coverme {
+
+/// The six arithmetic comparison operators of Def. 4.1.
+enum class CmpOp : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Default epsilon for strict comparisons: IEEE double machine epsilon.
+inline constexpr double DefaultEpsilon = 2.220446049250313e-16;
+
+/// The logical negation of \p Op (the "opposite op" of Algo. 1, line 21):
+/// EQ<->NE, LT<->GE, LE<->GT.
+CmpOp negateCmpOp(CmpOp Op);
+
+/// Source spelling of \p Op ("==", "!=", "<", "<=", ">", ">=").
+const char *cmpOpSpelling(CmpOp Op);
+
+/// Parses a spelling back to an operator; asserts on unknown text.
+CmpOp parseCmpOp(const char *Spelling);
+
+/// Evaluates `A op B` with IEEE comparison semantics (NaN makes every
+/// ordered comparison false and != true).
+bool evalCmpOp(CmpOp Op, double A, double B);
+
+/// Branch distance d_eps(op, a, b) per Def. 4.1:
+///   d(==, a, b) = (a-b)^2
+///   d(<=, a, b) = a <= b ? 0 : (a-b)^2
+///   d(<,  a, b) = a <  b ? 0 : (a-b)^2 + eps
+///   d(!=, a, b) = a != b ? 0 : eps
+///   d(>=, a, b) = d(<=, b, a),  d(>, a, b) = d(<, b, a)
+/// NaN operands yield NaN; callers route distances through objective
+/// sanitization (CountingObjective) before comparing.
+double branchDistance(CmpOp Op, double A, double B,
+                      double Epsilon = DefaultEpsilon);
+
+} // namespace coverme
+
+#endif // COVERME_RUNTIME_BRANCHDISTANCE_H

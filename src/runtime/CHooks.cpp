@@ -1,0 +1,17 @@
+//===- CHooks.cpp - C-linkage hook for instrumented sources -----------------===//
+
+#include "runtime/CHooks.h"
+
+#include "runtime/ExecutionContext.h"
+
+#include <cassert>
+
+using namespace coverme;
+
+int cvm_cond(int Site, int Op, double Lhs, double Rhs) {
+  assert(Op >= 0 && Op <= 5 && "operator constant out of range");
+  return rt::cond(static_cast<uint32_t>(Site), static_cast<CmpOp>(Op), Lhs,
+                  Rhs)
+             ? 1
+             : 0;
+}

@@ -1,0 +1,27 @@
+//===- CHooks.h - C-linkage hook for instrumented sources -----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C shim the source instrumenter targets. Instrumented C code calls
+/// `cvm_cond(site, op, lhs, rhs)`; the shim forwards to the current
+/// ExecutionContext exactly like the CVM_* macros do, so a rewritten
+/// translation unit compiled and linked against coverme_runtime behaves as
+/// FOO_I. Operator constants match the CmpOp enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_RUNTIME_CHOOKS_H
+#define COVERME_RUNTIME_CHOOKS_H
+
+extern "C" {
+
+/// Evaluates `lhs op rhs` at conditional \p Site, updating the current
+/// context's r via pen first. Returns the branch outcome (0/1).
+int cvm_cond(int Site, int Op, double Lhs, double Rhs);
+
+} // extern "C"
+
+#endif // COVERME_RUNTIME_CHOOKS_H

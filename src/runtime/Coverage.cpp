@@ -1,0 +1,65 @@
+//===- Coverage.cpp - Gcov-lite branch and line coverage --------------------===//
+
+#include "runtime/Coverage.h"
+
+using namespace coverme;
+
+void CoverageMap::reset(unsigned NumSites) {
+  TrueHits.assign(NumSites, 0);
+  FalseHits.assign(NumSites, 0);
+  TotalHits = 0;
+}
+
+void CoverageMap::recordHit(uint32_t Site, bool Outcome) {
+  assert(Site < TrueHits.size() && "site index out of range");
+  ++(Outcome ? TrueHits[Site] : FalseHits[Site]);
+  ++TotalHits;
+}
+
+unsigned CoverageMap::coveredArms() const {
+  unsigned Covered = 0;
+  for (size_t I = 0; I < TrueHits.size(); ++I) {
+    Covered += TrueHits[I] > 0;
+    Covered += FalseHits[I] > 0;
+  }
+  return Covered;
+}
+
+double CoverageMap::branchCoverage() const {
+  if (TrueHits.empty())
+    return 1.0;
+  return static_cast<double>(coveredArms()) /
+         static_cast<double>(2 * TrueHits.size());
+}
+
+double CoverageMap::lineCoverage(const Program &P) const {
+  if (P.TotalLines == 0)
+    return 1.0;
+  if (TotalHits == 0 && P.NumSites > 0)
+    return 0.0;
+  double Covered = P.straightLineCount() +
+                   P.armLineWeight() * static_cast<double>(coveredArms());
+  double Fraction = Covered / static_cast<double>(P.TotalLines);
+  return Fraction > 1.0 ? 1.0 : Fraction;
+}
+
+void CoverageMap::merge(const CoverageMap &Other) {
+  assert(Other.TrueHits.size() == TrueHits.size() &&
+         "merging coverage maps of different shapes");
+  for (size_t I = 0; I < TrueHits.size(); ++I) {
+    TrueHits[I] += Other.TrueHits[I];
+    FalseHits[I] += Other.FalseHits[I];
+  }
+  TotalHits += Other.TotalHits;
+}
+
+std::vector<BranchRef> CoverageMap::uncoveredArms() const {
+  std::vector<BranchRef> Out;
+  for (size_t I = 0; I < TrueHits.size(); ++I) {
+    if (TrueHits[I] == 0)
+      Out.push_back({static_cast<uint32_t>(I), true});
+    if (FalseHits[I] == 0)
+      Out.push_back({static_cast<uint32_t>(I), false});
+  }
+  return Out;
+}

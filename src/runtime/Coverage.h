@@ -1,0 +1,74 @@
+//===- Coverage.h - Gcov-lite branch and line coverage --------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coverage recorder standing in for Gcov/AFL-cov. It counts, per
+/// conditional site, how many times each arm was taken; branch coverage is
+/// the fraction of arms hit at least once (Gcov's "branches taken"), and
+/// line coverage is derived from the Program's line model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_RUNTIME_COVERAGE_H
+#define COVERME_RUNTIME_COVERAGE_H
+
+#include "runtime/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace coverme {
+
+/// Per-program branch-arm hit counters.
+class CoverageMap {
+public:
+  CoverageMap() = default;
+  explicit CoverageMap(unsigned NumSites) { reset(NumSites); }
+
+  /// Clears all counters and resizes to \p NumSites conditionals.
+  void reset(unsigned NumSites);
+
+  /// Records one execution of site \p Site taking arm \p Outcome.
+  void recordHit(uint32_t Site, bool Outcome);
+
+  unsigned numSites() const { return static_cast<unsigned>(TrueHits.size()); }
+
+  uint64_t hits(uint32_t Site, bool Outcome) const {
+    return Outcome ? TrueHits[Site] : FalseHits[Site];
+  }
+
+  bool isCovered(BranchRef Ref) const {
+    return hits(Ref.Site, Ref.Outcome) > 0;
+  }
+
+  /// Number of branch arms taken at least once (Gcov branch numerator).
+  unsigned coveredArms() const;
+
+  /// Covered arms / total arms; 1.0 for a branch-free program.
+  double branchCoverage() const;
+
+  /// Line coverage under \p P's synthetic line model. Requires at least one
+  /// recorded execution for the straight-line share to count.
+  double lineCoverage(const Program &P) const;
+
+  /// Total recorded executions of any site.
+  uint64_t totalHits() const { return TotalHits; }
+
+  /// Accumulates another map's counters (same shape).
+  void merge(const CoverageMap &Other);
+
+  /// Arms not yet covered, in site order (T arm before F arm).
+  std::vector<BranchRef> uncoveredArms() const;
+
+private:
+  std::vector<uint64_t> TrueHits;
+  std::vector<uint64_t> FalseHits;
+  uint64_t TotalHits = 0;
+};
+
+} // namespace coverme
+
+#endif // COVERME_RUNTIME_COVERAGE_H

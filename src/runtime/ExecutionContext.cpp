@@ -1,0 +1,83 @@
+//===- ExecutionContext.cpp - Instrumentation runtime state -----------------===//
+
+#include "runtime/ExecutionContext.h"
+
+using namespace coverme;
+
+static thread_local ExecutionContext *CurrentContext = nullptr;
+
+ExecutionContext::ExecutionContext(unsigned NumSites, double Epsilon)
+    : Epsilon(Epsilon), Saturation(NumSites) {}
+
+ExecutionContext::Scope::Scope(ExecutionContext &Ctx)
+    : Previous(CurrentContext) {
+  CurrentContext = &Ctx;
+}
+
+ExecutionContext::Scope::~Scope() { CurrentContext = Previous; }
+
+ExecutionContext *ExecutionContext::current() { return CurrentContext; }
+
+double ExecutionContext::pen(uint32_t Site, CmpOp Op, double A,
+                             double B) const {
+  assert(Site < Saturation.size() && "conditional site out of range");
+  const SiteSaturation &S = Saturation[Site];
+  // Def. 4.2(a): neither arm saturated — any input saturates a new branch.
+  if (S.neither())
+    return 0.0;
+  // Def. 4.2(b): distance to the one unsaturated arm.
+  if (!S.TrueArm && S.FalseArm)
+    return branchDistance(Op, A, B, Epsilon);
+  if (S.TrueArm && !S.FalseArm)
+    return branchDistance(negateCmpOp(Op), A, B, Epsilon);
+  // Def. 4.2(c): both saturated — keep the previous r.
+  return R;
+}
+
+bool ExecutionContext::evalCond(uint32_t Site, CmpOp Op, double A, double B) {
+  if (PenEnabled)
+    R = pen(Site, Op, A, B); // The injected `r = pen(li, op, a, b)`.
+  bool Outcome = evalCmpOp(Op, A, B);
+  if (Coverage)
+    Coverage->recordHit(Site, Outcome);
+  if (TraceEnabled) {
+    Trace.push_back({Site, Outcome});
+    if (RecordTraceOperands)
+      TraceOperands.push_back({true, Op, A, B});
+  }
+  if (RecordOperands) {
+    if (Observations.size() != Saturation.size())
+      Observations.resize(Saturation.size());
+    Observations[Site] = {true, Op, A, B};
+  }
+  return Outcome;
+}
+
+void ExecutionContext::beginRun() {
+  R = 1.0; // FOO_R initializes r to 1 (Algo. 1, line 5).
+  Trace.clear();
+  TraceOperands.clear();
+  if (RecordOperands)
+    Observations.assign(Saturation.size(), SiteObservation());
+}
+
+bool ExecutionContext::allSaturated() const {
+  for (const SiteSaturation &S : Saturation)
+    if (!S.both())
+      return false;
+  return true;
+}
+
+unsigned ExecutionContext::saturatedCount() const {
+  unsigned Count = 0;
+  for (const SiteSaturation &S : Saturation)
+    Count += S.TrueArm + S.FalseArm;
+  return Count;
+}
+
+bool coverme::rt::cond(uint32_t Site, CmpOp Op, double A, double B) {
+  ExecutionContext *Ctx = ExecutionContext::current();
+  if (!Ctx)
+    return evalCmpOp(Op, A, B);
+  return Ctx->evalCond(Site, Op, A, B);
+}

@@ -1,0 +1,159 @@
+//===- ExecutionContext.h - Instrumentation runtime state -----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime behind the injected hooks. In the paper, the LLVM pass
+/// injects `r = pen(i, op, a, b)` immediately before conditional l_i and a
+/// loader exposes the instrumented program as FOO_R. Here, each ported
+/// conditional calls ExecutionContext::evalCond via the CVM_COND macros;
+/// the context owns the paper's global r, the saturation table pen consults
+/// (Def. 4.2), the per-run branch trace (used by the infeasible-branch
+/// heuristic of Sect. 5.3), and an optional CoverageMap sink.
+///
+/// Context scoping mirrors the paper's process-global r: a thread-local
+/// "current context" pointer is installed for the duration of a run (see
+/// ExecutionContext::Scope). A program executed with no current context
+/// behaves as the plain, uninstrumented math function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_RUNTIME_EXECUTIONCONTEXT_H
+#define COVERME_RUNTIME_EXECUTIONCONTEXT_H
+
+#include "runtime/BranchDistance.h"
+#include "runtime/Coverage.h"
+#include "runtime/Program.h"
+
+#include <vector>
+
+namespace coverme {
+
+/// Saturation state of one conditional site's two arms (Def. 3.2 set,
+/// maintained operationally as covered-by-X plus deemed-infeasible).
+struct SiteSaturation {
+  bool TrueArm = false;
+  bool FalseArm = false;
+
+  bool &arm(bool Outcome) { return Outcome ? TrueArm : FalseArm; }
+  bool arm(bool Outcome) const { return Outcome ? TrueArm : FalseArm; }
+  bool both() const { return TrueArm && FalseArm; }
+  bool neither() const { return !TrueArm && !FalseArm; }
+};
+
+/// The comparison observed at one site during the last run. Search-based
+/// testers (Austin-lite) use this to compute a branch-distance fitness for
+/// an arbitrary target arm without re-instrumenting the program.
+struct SiteObservation {
+  bool Executed = false;
+  CmpOp Op = CmpOp::EQ;
+  double A = 0.0;
+  double B = 0.0;
+};
+
+/// Mutable state threaded through one testing campaign for one program.
+class ExecutionContext {
+public:
+  /// Creates a context for a program with \p NumSites conditionals.
+  explicit ExecutionContext(unsigned NumSites,
+                            double Epsilon = DefaultEpsilon);
+
+  /// Installs this context as the thread-current one for the lifetime of
+  /// the scope; restores the previous context on destruction.
+  class Scope {
+  public:
+    explicit Scope(ExecutionContext &Ctx);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    ExecutionContext *Previous;
+  };
+
+  /// The context installed on this thread, or null.
+  static ExecutionContext *current();
+
+  /// The hook the instrumented conditionals call: computes pen (Def. 4.2),
+  /// assigns it to r, records coverage and the trace, and returns the
+  /// branch outcome `A op B` so the caller can branch on it.
+  bool evalCond(uint32_t Site, CmpOp Op, double A, double B);
+
+  /// pen(l_i, op, a, b) per Def. 4.2, reading this context's saturation
+  /// table. Exposed for unit testing; evalCond is the normal entry point.
+  double pen(uint32_t Site, CmpOp Op, double A, double B) const;
+
+  /// Resets per-run state (r := 1, clears the trace). Called by
+  /// RepresentingFunction before each execution.
+  void beginRun();
+
+  /// Marks one branch arm saturated.
+  void saturate(BranchRef Ref) { Saturation[Ref.Site].arm(Ref.Outcome) = true; }
+
+  bool isSaturated(BranchRef Ref) const {
+    return Saturation[Ref.Site].arm(Ref.Outcome);
+  }
+
+  /// True when every arm of every site is saturated — the campaign's
+  /// termination condition (all covered or deemed infeasible).
+  bool allSaturated() const;
+
+  /// Number of saturated arms.
+  unsigned saturatedCount() const;
+
+  unsigned numSites() const {
+    return static_cast<unsigned>(Saturation.size());
+  }
+
+  /// Global r of the representing function (Algo. 1, line 1).
+  double R = 1.0;
+
+  /// When false the hooks skip pen and leave r alone; used when replaying
+  /// inputs purely for coverage measurement or for the baseline testers.
+  bool PenEnabled = true;
+
+  /// Optional coverage sink; when non-null every evalCond records its arm.
+  CoverageMap *Coverage = nullptr;
+
+  /// When true, evalCond appends each (site, outcome) to Trace.
+  bool TraceEnabled = true;
+
+  /// Branch outcomes of the current/last run, in execution order.
+  std::vector<BranchRef> Trace;
+
+  /// When true, evalCond records the latest operands per site into
+  /// Observations (sized numSites()); cleared by beginRun().
+  bool RecordOperands = false;
+
+  /// Last observed comparison per site for the current run.
+  std::vector<SiteObservation> Observations;
+
+  /// When true (and TraceEnabled), evalCond also appends the operands of
+  /// every executed comparison to TraceOperands, index-aligned with Trace.
+  /// Loop sites appear once per iteration — the concrete shadow of a
+  /// symbolic path condition, which the DSE baseline replays.
+  bool RecordTraceOperands = false;
+
+  /// Per-trace-position operands of the current/last run.
+  std::vector<SiteObservation> TraceOperands;
+
+  /// Epsilon used by the branch distances.
+  double Epsilon;
+
+private:
+  std::vector<SiteSaturation> Saturation;
+};
+
+namespace rt {
+
+/// Free-function hook the CVM_COND macros expand to. With no current
+/// context it simply evaluates the comparison.
+bool cond(uint32_t Site, CmpOp Op, double A, double B);
+
+} // namespace rt
+
+} // namespace coverme
+
+#endif // COVERME_RUNTIME_EXECUTIONCONTEXT_H

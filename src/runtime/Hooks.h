@@ -1,0 +1,45 @@
+//===- Hooks.h - Instrumentation macros for ported programs ---------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The macros a ported benchmark uses at every conditional. Each expands to
+/// exactly the code the paper's LLVM pass injects: an `r = pen(i, op, a, b)`
+/// assignment (inside rt::cond) followed by the original comparison. The
+/// operands are promoted to double, which also implements the paper's
+/// handling of integer comparisons (Sect. 5.3, "Handling Comparison between
+/// Non-floating-point Expressions"). 32-bit integers convert exactly.
+///
+/// Usage inside a Program body:
+/// \code
+///   if (CVM_GE(0, Ix, 0x7ff00000)) { ... }   // site 0: ix >= 0x7ff00000
+///   if (CVM_LT(1, X, 0.3)) { ... }           // site 1: x < 0.3
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_RUNTIME_HOOKS_H
+#define COVERME_RUNTIME_HOOKS_H
+
+#include "runtime/ExecutionContext.h"
+
+#define CVM_CMP(Site, Op, A, B)                                                \
+  ::coverme::rt::cond((Site), ::coverme::CmpOp::Op,                           \
+                      static_cast<double>(A), static_cast<double>(B))
+
+/// a == b at conditional site \p Site.
+#define CVM_EQ(Site, A, B) CVM_CMP(Site, EQ, A, B)
+/// a != b at conditional site \p Site.
+#define CVM_NE(Site, A, B) CVM_CMP(Site, NE, A, B)
+/// a < b at conditional site \p Site.
+#define CVM_LT(Site, A, B) CVM_CMP(Site, LT, A, B)
+/// a <= b at conditional site \p Site.
+#define CVM_LE(Site, A, B) CVM_CMP(Site, LE, A, B)
+/// a > b at conditional site \p Site.
+#define CVM_GT(Site, A, B) CVM_CMP(Site, GT, A, B)
+/// a >= b at conditional site \p Site.
+#define CVM_GE(Site, A, B) CVM_CMP(Site, GE, A, B)
+
+#endif // COVERME_RUNTIME_HOOKS_H

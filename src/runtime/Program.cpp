@@ -1,0 +1,18 @@
+//===- Program.cpp - Function-under-test metadata ---------------------------===//
+
+#include "runtime/Program.h"
+
+using namespace coverme;
+
+void ProgramRegistry::add(Program P) {
+  assert(P.Body && "program body must be non-null");
+  assert(!lookup(P.Name) && "duplicate program name");
+  Programs.push_back(std::move(P));
+}
+
+const Program *ProgramRegistry::lookup(const std::string &Name) const {
+  for (const Program &P : Programs)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,38 @@
+//===- RepresentingFunction.cpp - FOO_R (Algo. 1, line 5) -------------------===//
+
+#include "runtime/RepresentingFunction.h"
+
+using namespace coverme;
+
+RepresentingFunction::RepresentingFunction(const Program &P,
+                                           ExecutionContext &Ctx)
+    : Prog(P), Ctx(Ctx) {
+  assert(Ctx.numSites() == P.NumSites &&
+         "context shaped for a different program");
+}
+
+double RepresentingFunction::operator()(const std::vector<double> &X) const {
+  assert(X.size() == Prog.Arity && "input arity mismatch");
+  ExecutionContext::Scope Installed(Ctx);
+  Ctx.beginRun();
+  bool SavedPen = Ctx.PenEnabled;
+  Ctx.PenEnabled = true;
+  Prog.Body(X.data());
+  Ctx.PenEnabled = SavedPen;
+  return Ctx.R;
+}
+
+double RepresentingFunction::execute(const std::vector<double> &X) const {
+  assert(X.size() == Prog.Arity && "input arity mismatch");
+  ExecutionContext::Scope Installed(Ctx);
+  Ctx.beginRun();
+  bool SavedPen = Ctx.PenEnabled;
+  Ctx.PenEnabled = false;
+  double Result = Prog.Body(X.data());
+  Ctx.PenEnabled = SavedPen;
+  return Result;
+}
+
+Objective RepresentingFunction::asObjective() const {
+  return [this](const std::vector<double> &X) { return (*this)(X); };
+}

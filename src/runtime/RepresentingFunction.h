@@ -1,0 +1,58 @@
+//===- RepresentingFunction.h - FOO_R (Algo. 1, line 5) -------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The representing function FOO_R of Sect. 3.2:
+///
+/// \code
+///   double FOO_R(double x) { r = 1; FOO_I(x); return r; }
+/// \endcode
+///
+/// By construction it satisfies
+///   C1. FOO_R(x) >= 0 for all x, and
+///   C2. FOO_R(x) == 0 iff x saturates a branch not yet saturated
+/// (Thm. 4.3), which is what licenses handing it to any unconstrained-
+/// programming backend as a black-box objective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_RUNTIME_REPRESENTINGFUNCTION_H
+#define COVERME_RUNTIME_REPRESENTINGFUNCTION_H
+
+#include "optim/Objective.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/Program.h"
+
+namespace coverme {
+
+/// Callable wrapper evaluating FOO_R(x) for a given program and context.
+class RepresentingFunction {
+public:
+  RepresentingFunction(const Program &P, ExecutionContext &Ctx);
+
+  /// Evaluates FOO_R at \p X (size must equal the program's arity):
+  /// resets r to 1, installs the context, runs FOO_I, returns r.
+  double operator()(const std::vector<double> &X) const;
+
+  /// Runs the program at \p X purely for its side effects on the context's
+  /// trace/coverage with pen disabled — "just execute FOO(x)". Returns the
+  /// program's own return value.
+  double execute(const std::vector<double> &X) const;
+
+  /// Adapts this to the optimizer-facing Objective type.
+  Objective asObjective() const;
+
+  const Program &program() const { return Prog; }
+  ExecutionContext &context() const { return Ctx; }
+
+private:
+  const Program &Prog;
+  ExecutionContext &Ctx;
+};
+
+} // namespace coverme
+
+#endif // COVERME_RUNTIME_REPRESENTINGFUNCTION_H

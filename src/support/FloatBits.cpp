@@ -1,0 +1,51 @@
+//===- FloatBits.cpp - IEEE-754 double bit manipulation utilities --------===//
+
+#include "support/FloatBits.h"
+
+#include <cassert>
+
+namespace coverme {
+
+bool isSubnormal(double X) {
+  uint64_t Bits = doubleToBits(X) & 0x7fffffffffffffffull;
+  return Bits != 0 && (Bits >> 52) == 0;
+}
+
+bool isNaNBits(double X) {
+  uint64_t Abs = doubleToBits(X) & 0x7fffffffffffffffull;
+  return Abs > 0x7ff0000000000000ull;
+}
+
+bool isInfinity(double X) {
+  uint64_t Abs = doubleToBits(X) & 0x7fffffffffffffffull;
+  return Abs == 0x7ff0000000000000ull;
+}
+
+int unbiasedExponent(double X) {
+  uint64_t Abs = doubleToBits(X) & 0x7fffffffffffffffull;
+  unsigned Biased = static_cast<unsigned>(Abs >> 52);
+  assert(Biased != 0 && Biased != 0x7ff &&
+         "unbiasedExponent requires a normal, finite, nonzero double");
+  return static_cast<int>(Biased) - 1023;
+}
+
+/// Maps a double onto a monotone signed integer line so that ULP distance is
+/// plain integer subtraction. Negative doubles are reflected.
+static int64_t toOrderedInt(double X) {
+  int64_t Bits = static_cast<int64_t>(doubleToBits(X));
+  if (Bits < 0)
+    return static_cast<int64_t>(0x8000000000000000ull) - Bits;
+  return Bits;
+}
+
+uint64_t ulpDistance(double A, double B) {
+  if (isNaNBits(A) || isNaNBits(B))
+    return UINT64_MAX;
+  int64_t IA = toOrderedInt(A);
+  int64_t IB = toOrderedInt(B);
+  uint64_t Diff = IA > IB ? static_cast<uint64_t>(IA) - static_cast<uint64_t>(IB)
+                          : static_cast<uint64_t>(IB) - static_cast<uint64_t>(IA);
+  return Diff;
+}
+
+} // namespace coverme

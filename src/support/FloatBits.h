@@ -1,0 +1,82 @@
+//===- FloatBits.h - IEEE-754 double bit manipulation utilities ----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-level access to IEEE-754 doubles. Fdlibm-style code addresses a double
+/// as a pair of 32-bit words (the "high word" carries sign, exponent, and the
+/// top 20 mantissa bits); the ported benchmarks and the fuzzers both need
+/// exactly that view, so it lives here in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_FLOATBITS_H
+#define COVERME_SUPPORT_FLOATBITS_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace coverme {
+
+/// Reinterprets a double as its raw 64-bit pattern.
+inline uint64_t doubleToBits(double X) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &X, sizeof(Bits));
+  return Bits;
+}
+
+/// Reinterprets a 64-bit pattern as a double.
+inline double bitsToDouble(uint64_t Bits) {
+  double X;
+  std::memcpy(&X, &Bits, sizeof(X));
+  return X;
+}
+
+/// Returns the high 32-bit word of \p X (sign, exponent, top mantissa bits).
+/// Mirrors Fdlibm's __HI(x) macro on little-endian hosts.
+inline int32_t highWord(double X) {
+  return static_cast<int32_t>(doubleToBits(X) >> 32);
+}
+
+/// Returns the low 32-bit word of \p X (bottom mantissa bits). Fdlibm __LO.
+inline uint32_t lowWord(double X) {
+  return static_cast<uint32_t>(doubleToBits(X) & 0xffffffffu);
+}
+
+/// Rebuilds a double from its high and low words.
+inline double doubleFromWords(int32_t Hi, uint32_t Lo) {
+  return bitsToDouble((static_cast<uint64_t>(static_cast<uint32_t>(Hi)) << 32) |
+                      Lo);
+}
+
+/// Replaces the high word of \p X, keeping the low word.
+inline double setHighWord(double X, int32_t Hi) {
+  return doubleFromWords(Hi, lowWord(X));
+}
+
+/// Replaces the low word of \p X, keeping the high word.
+inline double setLowWord(double X, uint32_t Lo) {
+  return doubleFromWords(highWord(X), Lo);
+}
+
+/// True if \p X is an IEEE subnormal (nonzero with zero biased exponent).
+bool isSubnormal(double X);
+
+/// True if \p X is a NaN bit pattern.
+bool isNaNBits(double X);
+
+/// True if \p X is +/-infinity.
+bool isInfinity(double X);
+
+/// Unbiased exponent of a normal double; asserts on zero/subnormal/special.
+int unbiasedExponent(double X);
+
+/// Counts how many representable doubles separate \p A and \p B (saturating
+/// at UINT64_MAX). Used by tests to reason about nextafter-style code.
+uint64_t ulpDistance(double A, double B);
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_FLOATBITS_H

@@ -1,0 +1,131 @@
+//===- Random.cpp - Deterministic pseudo-random number generation --------===//
+
+#include "support/Random.h"
+
+#include "support/FloatBits.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace coverme;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform01() {
+  // 53 top bits -> [0,1) with full double resolution.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "uniform() bounds are inverted");
+  return Lo + (Hi - Lo) * uniform01();
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound > 0 && "below() requires a positive bound");
+  // Rejection sampling to remove modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Rng::gaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U, V, S;
+  do {
+    U = uniform(-1.0, 1.0);
+    V = uniform(-1.0, 1.0);
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Mul = std::sqrt(-2.0 * std::log(S) / S);
+  SpareGaussian = V * Mul;
+  HasSpareGaussian = true;
+  return U * Mul;
+}
+
+double Rng::gaussian(double Mean, double Sigma) {
+  return Mean + Sigma * gaussian();
+}
+
+double Rng::rawBitsDouble() { return bitsToDouble(next()); }
+
+double Rng::exponentUniformDouble() {
+  // Exponent uniform over the normal range [-1022, 1023], uniform mantissa,
+  // random sign. This is the distribution CoverMe's starting points use; it
+  // exercises magnitude-gated branches that uniform(lo,hi) never reaches.
+  int Exp = static_cast<int>(below(2046)) - 1022;
+  uint64_t Mantissa = next() & 0x000fffffffffffffull;
+  uint64_t Sign = (next() & 1) ? 0x8000000000000000ull : 0;
+  uint64_t Biased = static_cast<uint64_t>(Exp + 1023);
+  return bitsToDouble(Sign | (Biased << 52) | Mantissa);
+}
+
+double Rng::wideDouble() {
+  // With probability 1/8, draw one of the IEEE special values that gate
+  // Fdlibm's early-out branches. The paper's SciPy backend reaches these
+  // through unbounded line-search extrapolation (t overflows to inf) and
+  // NaN-producing arithmetic; an explicit table is the budgeted equivalent.
+  if ((next() & 7) == 0) {
+    static const double Specials[] = {
+        0.0,
+        -0.0,
+        bitsToDouble(0x7ff0000000000000ull),  // +inf
+        bitsToDouble(0xfff0000000000000ull),  // -inf
+        bitsToDouble(0x7ff8000000000000ull),  // quiet NaN
+        1.0,
+        -1.0,
+        bitsToDouble(0x0010000000000000ull),  // smallest normal
+        bitsToDouble(0x7fefffffffffffffull),  // largest finite
+        bitsToDouble(0xffefffffffffffffull),  // most negative finite
+    };
+    return Specials[below(sizeof(Specials) / sizeof(Specials[0]))];
+  }
+  uint64_t Biased = 1 + below(2046); // normal binades only (no subnormals)
+  uint64_t Sign = (next() & 1) ? 0x8000000000000000ull : 0;
+  uint64_t Mantissa = next() & 0x000fffffffffffffull;
+  return bitsToDouble(Sign | (Biased << 52) | Mantissa);
+}
+
+bool Rng::chance(double P) { return uniform01() < P; }
+
+std::vector<double> Rng::exponentUniformVector(unsigned N) {
+  std::vector<double> Out;
+  Out.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Out.push_back(exponentUniformDouble());
+  return Out;
+}

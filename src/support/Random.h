@@ -1,0 +1,84 @@
+//===- Random.h - Deterministic pseudo-random number generation ----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seedable xoshiro256++ generator plus the floating-point sampling
+/// distributions shared by the CoverMe driver (starting points, Monte-Carlo
+/// perturbations) and the baseline testers (Rand, AFL-lite, Austin-lite).
+/// Everything is deterministic under a fixed seed so experiments replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_RANDOM_H
+#define COVERME_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace coverme {
+
+/// xoshiro256++ 1.0 — a small, fast, high-quality 64-bit PRNG.
+///
+/// The generator is self-contained (no <random> engine state) so that the
+/// same seed produces the same stream on every platform, which the golden
+/// experiment logs rely on.
+class Rng {
+public:
+  /// Seeds the four 64-bit state words from \p Seed via splitmix64.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit output.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [\p Lo, \p Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Uniform integer in [0, \p Bound), \p Bound > 0.
+  uint64_t below(uint64_t Bound);
+
+  /// Standard normal deviate (Box-Muller).
+  double gaussian();
+
+  /// Normal deviate with the given \p Mean and \p Sigma.
+  double gaussian(double Mean, double Sigma);
+
+  /// A double whose 64 bits are uniform — covers NaNs, infinities,
+  /// subnormals, and the full exponent range. This is the sampler pure
+  /// random testing uses.
+  double rawBitsDouble();
+
+  /// A finite double with uniformly distributed sign and exponent and
+  /// uniform mantissa ("exponent-uniform"). Unlike uniform(lo,hi) this
+  /// reaches tiny and huge magnitudes with equal probability, which is what
+  /// floating-point branch conditions key on.
+  double exponentUniformDouble();
+
+  /// Like exponentUniformDouble() but over the *entire* IEEE-754 double
+  /// space except subnormals: uniformly random sign and biased exponent in
+  /// [0, 2047], so +-0, +-inf, and NaN all appear with the same frequency
+  /// as any binade. Subnormals are deliberately excluded — the paper's
+  /// optimization backend cannot produce them either (Sect. D), and the
+  /// e_fmod.c coverage gap depends on reproducing that.
+  double wideDouble();
+
+  /// True with probability \p P.
+  bool chance(double P);
+
+  /// Fills \p Out with \p N independent exponent-uniform doubles.
+  std::vector<double> exponentUniformVector(unsigned N);
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_RANDOM_H

@@ -1,0 +1,71 @@
+//===- Statistics.cpp - Descriptive statistics helpers -------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace coverme;
+
+void OnlineStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double OnlineStats::mean() const { return N == 0 ? 0.0 : Mean; }
+
+double OnlineStats::variance() const {
+  return N < 2 ? 0.0 : M2 / static_cast<double>(N - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return N == 0 ? 0.0 : Min; }
+
+double OnlineStats::max() const { return N == 0 ? 0.0 : Max; }
+
+double coverme::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double coverme::geometricMean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : Xs) {
+    if (X <= 0.0)
+      return 0.0;
+    LogSum += std::log(X);
+  }
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+double coverme::median(std::vector<double> Xs) { return percentile(std::move(Xs), 50.0); }
+
+double coverme::percentile(std::vector<double> Xs, double P) {
+  if (Xs.empty())
+    return 0.0;
+  assert(P >= 0.0 && P <= 100.0 && "percentile outside [0,100]");
+  std::sort(Xs.begin(), Xs.end());
+  if (Xs.size() == 1)
+    return Xs.front();
+  double Rank = P / 100.0 * static_cast<double>(Xs.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Xs.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Xs[Lo] + Frac * (Xs[Hi] - Xs[Lo]);
+}

@@ -1,0 +1,56 @@
+//===- Statistics.h - Descriptive statistics helpers ---------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small descriptive-statistics helpers used by the benchmark harness to
+/// compute the MEAN rows of Tables 2, 3, and 5 and the ablation summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_STATISTICS_H
+#define COVERME_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace coverme {
+
+/// Streaming accumulator for mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const;
+  /// Sample variance (unbiased, n-1). Zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Arithmetic mean of \p Xs; zero for an empty vector.
+double mean(const std::vector<double> &Xs);
+
+/// Geometric mean of strictly positive values; zero if any is non-positive.
+double geometricMean(const std::vector<double> &Xs);
+
+/// Median (average of middle two for even sizes); zero for empty input.
+double median(std::vector<double> Xs);
+
+/// Linear-interpolation percentile \p P in [0,100]; zero for empty input.
+double percentile(std::vector<double> Xs, double P);
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_STATISTICS_H

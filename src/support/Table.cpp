@@ -1,0 +1,96 @@
+//===- Table.cpp - ASCII table and CSV rendering --------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace coverme;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "a table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row width differs from header");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::cell(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::cell(int Value) { return std::to_string(Value); }
+
+std::string Table::cell(size_t Value) { return std::to_string(Value); }
+
+std::string Table::percentCell(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Fraction * 100.0);
+  return Buf;
+}
+
+std::string Table::toAscii() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C != 0)
+        Line += "  ";
+      Line += Cells[C];
+      Line.append(Widths[C] - Cells[C].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Headers);
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    RuleWidth += Widths[C] + (C == 0 ? 0 : 2);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+static std::string csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char Ch : Cell) {
+    if (Ch == '"')
+      Out += '"';
+    Out += Ch;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string Table::toCsv() const {
+  std::string Out;
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      Out += csvEscape(Cells[C]);
+    }
+    Out += '\n';
+  };
+  RenderRow(Headers);
+  for (const auto &Row : Rows)
+    RenderRow(Row);
+  return Out;
+}

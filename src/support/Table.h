@@ -1,0 +1,52 @@
+//===- Table.h - ASCII table and CSV rendering ----------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-oriented table builder. The benchmark harness uses it to
+/// print the paper's tables (Tab. 2, 3, 5) as aligned ASCII and as CSV so
+/// the numbers can be diffed or re-plotted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_TABLE_H
+#define COVERME_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace coverme {
+
+/// Column-aligned text table with a one-line header.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends a full row; must have exactly as many cells as headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience cell formatters.
+  static std::string cell(double Value, int Precision = 1);
+  static std::string cell(int Value);
+  static std::string cell(size_t Value);
+  static std::string percentCell(double Fraction, int Precision = 1);
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numColumns() const { return Headers.size(); }
+
+  /// Renders the table with space padding and a dashed header rule.
+  std::string toAscii() const;
+
+  /// Renders the table as RFC-4180-ish CSV (quotes cells with commas).
+  std::string toCsv() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_TABLE_H

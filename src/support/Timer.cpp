@@ -1,0 +1,5 @@
+//===- Timer.cpp - Wall-clock timing --------------------------------------===//
+
+#include "support/Timer.h"
+
+// Header-only; this file anchors the translation unit for the library.

@@ -1,0 +1,39 @@
+//===- Timer.h - Wall-clock timing ----------------------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer for the campaign time columns of Tables 2/3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_TIMER_H
+#define COVERME_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace coverme {
+
+/// Starts on construction; seconds() reads the elapsed wall time.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Elapsed seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Resets the origin to now.
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_TIMER_H

@@ -1,0 +1,212 @@
+//===- CoreTest.cpp - Unit tests for the CoverMe engine ----------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoverMe.h"
+#include "runtime/Hooks.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/FloatBits.h"
+
+#include <gtest/gtest.h>
+
+using namespace coverme;
+
+namespace {
+
+/// FOO from Fig. 3.
+double fooBody(const double *Args) {
+  double X = Args[0];
+  if (CVM_LE(0, X, 1.0))
+    X = X + 1.0;
+  double Y = X * X;
+  if (CVM_EQ(1, Y, 4.0))
+    return 1.0;
+  return 0.0;
+}
+
+Program fooProgram() {
+  Program P;
+  P.Name = "FOO";
+  P.File = "fig3.c";
+  P.Arity = 1;
+  P.NumSites = 2;
+  P.TotalLines = 6;
+  P.Body = fooBody;
+  return P;
+}
+
+/// The Sect. 5.3 infeasible-branch example:
+///   l0: if (x <= 1) x++;  y = square(x);  l1: if (y == -1) ...
+/// 1T is infeasible because y = x*x >= 0.
+double infeasibleBody(const double *Args) {
+  double X = Args[0];
+  if (CVM_LE(0, X, 1.0))
+    X = X + 1.0;
+  double Y = X * X;
+  if (CVM_EQ(1, Y, -1.0))
+    return 1.0;
+  return 0.0;
+}
+
+Program infeasibleProgram() {
+  Program P = fooProgram();
+  P.Name = "FOO_infeasible";
+  P.Body = infeasibleBody;
+  return P;
+}
+
+/// No conditionals at all.
+double straightBody(const double *Args) { return Args[0] * 2.0; }
+
+} // namespace
+
+TEST(CoverMeTest, SaturatesFooCompletely) {
+  CoverMeOptions Opts;
+  Opts.NStart = 50;
+  Opts.Seed = 42;
+  Program P = fooProgram();
+  CoverMe Engine(P, Opts);
+  CampaignResult Res = Engine.run();
+  EXPECT_TRUE(Res.AllSaturated);
+  EXPECT_EQ(Res.CoveredBranches, 4u);
+  EXPECT_DOUBLE_EQ(Res.BranchCoverage, 1.0);
+  EXPECT_TRUE(Res.InfeasibleMarked.empty());
+  // Thm. 4.3 corollary: each accepted round saturates at least one new
+  // branch, so at most 4 inputs are needed for 4 branches.
+  EXPECT_LE(Res.Inputs.size(), 4u);
+  EXPECT_GE(Res.Inputs.size(), 2u); // one path covers at most 2 arms
+}
+
+TEST(CoverMeTest, AcceptedRoundsStrictlyGrowSaturation) {
+  CoverMeOptions Opts;
+  Opts.NStart = 50;
+  Opts.Seed = 7;
+  Program P = fooProgram();
+  CoverMe Engine(P, Opts);
+  CampaignResult Res = Engine.run();
+  unsigned Prev = 0;
+  for (const RoundLog &Round : Res.Rounds) {
+    if (Round.Accepted) {
+      EXPECT_GT(Round.SaturatedArms, Prev)
+          << "accepted round " << Round.Round << " saturated nothing new";
+    }
+    Prev = Round.SaturatedArms;
+  }
+}
+
+TEST(CoverMeTest, DeterministicUnderSeed) {
+  CoverMeOptions Opts;
+  Opts.NStart = 30;
+  Opts.Seed = 5;
+  Program P = fooProgram();
+  CampaignResult A = CoverMe(P, Opts).run();
+  CampaignResult B = CoverMe(P, Opts).run();
+  ASSERT_EQ(A.Inputs.size(), B.Inputs.size());
+  for (size_t I = 0; I < A.Inputs.size(); ++I)
+    EXPECT_EQ(doubleToBits(A.Inputs[I][0]), doubleToBits(B.Inputs[I][0]));
+  EXPECT_EQ(A.Evaluations, B.Evaluations);
+}
+
+TEST(CoverMeTest, GeneratedSuiteCoversWhatItReports) {
+  // Re-execute X from scratch; coverage must reproduce the report.
+  CoverMeOptions Opts;
+  Opts.NStart = 50;
+  Opts.Seed = 11;
+  Program P = fooProgram();
+  CampaignResult Res = CoverMe(P, Opts).run();
+  ExecutionContext Ctx(P.NumSites);
+  Ctx.PenEnabled = false;
+  CoverageMap Replay(P.NumSites);
+  Ctx.Coverage = &Replay;
+  RepresentingFunction FR(P, Ctx);
+  for (const auto &X : Res.Inputs)
+    FR.execute(X);
+  EXPECT_EQ(Replay.coveredArms(), Res.CoveredBranches);
+}
+
+TEST(CoverMeTest, DetectsInfeasibleBranch) {
+  CoverMeOptions Opts;
+  Opts.NStart = 60;
+  Opts.Seed = 3;
+  Program P = infeasibleProgram();
+  CoverMe Engine(P, Opts);
+  CampaignResult Res = Engine.run();
+  // 1T (y == -1) is infeasible: coverage caps at 3/4 and the heuristic
+  // must mark exactly that arm.
+  EXPECT_EQ(Res.CoveredBranches, 3u);
+  EXPECT_TRUE(Res.AllSaturated);
+  ASSERT_EQ(Res.InfeasibleMarked.size(), 1u);
+  EXPECT_EQ(Res.InfeasibleMarked[0], (BranchRef{1, true}));
+}
+
+TEST(CoverMeTest, InfeasibleMarkingCanBeDisabled) {
+  CoverMeOptions Opts;
+  Opts.NStart = 20;
+  Opts.Seed = 3;
+  Opts.MarkInfeasible = false;
+  Program P = infeasibleProgram();
+  CampaignResult Res = CoverMe(P, Opts).run();
+  EXPECT_TRUE(Res.InfeasibleMarked.empty());
+  EXPECT_FALSE(Res.AllSaturated); // 1T can never saturate
+  EXPECT_EQ(Res.StartsUsed, 20u); // burns all starts
+}
+
+TEST(CoverMeTest, BranchFreeProgram) {
+  Program P;
+  P.Name = "straight";
+  P.File = "s.c";
+  P.Arity = 1;
+  P.NumSites = 0;
+  P.TotalLines = 2;
+  P.Body = straightBody;
+  CampaignResult Res = CoverMe(P).run();
+  EXPECT_TRUE(Res.AllSaturated);
+  EXPECT_DOUBLE_EQ(Res.BranchCoverage, 1.0);
+  EXPECT_EQ(Res.Inputs.size(), 1u);
+}
+
+TEST(CoverMeTest, RespectsEvaluationCap) {
+  CoverMeOptions Opts;
+  Opts.NStart = 1000;
+  Opts.MaxEvaluations = 2000;
+  Opts.MarkInfeasible = false; // keep it hunting the infeasible arm
+  Program P = infeasibleProgram();
+  CampaignResult Res = CoverMe(P, Opts).run();
+  // One in-flight round may overshoot, but not by more than a round.
+  EXPECT_LT(Res.Evaluations, 2000u + Opts.RoundMaxEvaluations);
+}
+
+TEST(CoverMeTest, EarlyExitUsesFewStartsOnEasyProgram) {
+  CoverMeOptions Opts;
+  Opts.NStart = 500;
+  Opts.Seed = 2;
+  Program P = fooProgram();
+  CampaignResult Res = CoverMe(P, Opts).run();
+  EXPECT_TRUE(Res.AllSaturated);
+  EXPECT_LT(Res.StartsUsed, 30u); // callback-style early termination
+}
+
+TEST(CoverMeTest, StopWhenAllSaturatedFalseKeepsGoing) {
+  CoverMeOptions Opts;
+  Opts.NStart = 25;
+  Opts.Seed = 2;
+  Opts.StopWhenAllSaturated = false;
+  Program P = fooProgram();
+  CampaignResult Res = CoverMe(P, Opts).run();
+  EXPECT_EQ(Res.StartsUsed, 25u);
+  EXPECT_TRUE(Res.AllSaturated);
+  // Post-saturation rounds must see FOO_R == 1 (the lambda x.1 row).
+  EXPECT_EQ(Res.Rounds.back().MinimumValue, 1.0);
+}
+
+TEST(CoverMeTest, RoundsLogMatchesStartsUsed) {
+  CoverMeOptions Opts;
+  Opts.NStart = 15;
+  Opts.Seed = 9;
+  Opts.StopWhenAllSaturated = false;
+  Program P = fooProgram();
+  CampaignResult Res = CoverMe(P, Opts).run();
+  EXPECT_EQ(Res.Rounds.size(), Res.StartsUsed);
+}

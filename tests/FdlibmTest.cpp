@@ -1,0 +1,354 @@
+//===- FdlibmTest.cpp - Tests for the Fdlibm benchmark ports -----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Two kinds of checks: registry/metadata integrity against the paper's
+// Table 2, and functional correctness of the ports against libm (the ports
+// reproduce the originals' control flow; values must be right wherever the
+// kernels are exact and close wherever they are truncated).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fdlibm/Fdlibm.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/FloatBits.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace coverme;
+
+namespace {
+
+double call1(const char *Name, double X) {
+  const Program *P = fdlibm::lookup(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  double Args[1] = {X};
+  return P->Body(Args);
+}
+
+double call2(const char *Name, double X, double Y) {
+  const Program *P = fdlibm::lookup(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  double Args[2] = {X, Y};
+  return P->Body(Args);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry integrity
+//===----------------------------------------------------------------------===//
+
+TEST(FdlibmRegistryTest, HasAllFortyBenchmarks) {
+  EXPECT_EQ(fdlibm::registry().size(), 40u);
+  EXPECT_EQ(fdlibm::paperRows().size(), 40u);
+}
+
+TEST(FdlibmRegistryTest, NamesAreUniqueAndLookupWorks) {
+  const ProgramRegistry &Reg = fdlibm::registry();
+  for (const Program &P : Reg.programs()) {
+    const Program *Found = fdlibm::lookup(P.Name);
+    ASSERT_NE(Found, nullptr);
+    EXPECT_EQ(Found, &P);
+  }
+  EXPECT_EQ(fdlibm::lookup("no_such_function"), nullptr);
+}
+
+TEST(FdlibmRegistryTest, BranchCountsMatchTable2) {
+  const ProgramRegistry &Reg = fdlibm::registry();
+  const auto &Paper = fdlibm::paperRows();
+  for (size_t I = 0; I < Reg.programs().size(); ++I) {
+    const Program &P = Reg.programs()[I];
+    EXPECT_EQ(P.Name, Paper[I].Function);
+    EXPECT_EQ(static_cast<int>(P.numBranches()), Paper[I].Branches)
+        << P.Name;
+  }
+}
+
+TEST(FdlibmRegistryTest, MetadataIsSane) {
+  for (const Program &P : fdlibm::registry().programs()) {
+    EXPECT_GE(P.Arity, 1u);
+    EXPECT_LE(P.Arity, 2u);
+    EXPECT_GT(P.NumSites, 0u);
+    EXPECT_GT(P.TotalLines, 0u);
+    EXPECT_NE(P.Body, nullptr);
+    EXPECT_FALSE(P.File.empty());
+  }
+}
+
+/// Every declared site must actually fire under a broad input sweep —
+/// catches numbering gaps between the ports and their NumSites metadata.
+TEST(FdlibmRegistryTest, AllSitesAreExercisedBySweep) {
+  Rng R(77);
+  for (const Program &P : fdlibm::registry().programs()) {
+    ExecutionContext Ctx(P.NumSites);
+    Ctx.PenEnabled = false;
+    CoverageMap Map(P.NumSites);
+    Ctx.Coverage = &Map;
+    RepresentingFunction FR(P, Ctx);
+    std::vector<double> X(P.Arity);
+    for (int I = 0; I < 20000; ++I) {
+      for (double &Coord : X)
+        Coord = R.wideDouble();
+      FR.execute(X);
+    }
+    unsigned SitesSeen = 0;
+    for (uint32_t S = 0; S < P.NumSites; ++S)
+      SitesSeen += Map.hits(S, true) + Map.hits(S, false) > 0;
+    // Subnormal-gated interiors (fmod, ilogb, sqrt, hypot, cbrt, pow) stay
+    // dark by design; everything else must light up.
+    EXPECT_GE(SitesSeen, P.NumSites * 3 / 5) << P.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Functional spot checks against libm
+//===----------------------------------------------------------------------===//
+
+TEST(FdlibmValueTest, TanhSpecialValues) {
+  EXPECT_EQ(call1("tanh", 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(call1("tanh", HUGE_VAL), 1.0);
+  EXPECT_DOUBLE_EQ(call1("tanh", -HUGE_VAL), -1.0);
+  EXPECT_TRUE(std::isnan(call1("tanh", std::nan(""))));
+  EXPECT_NEAR(call1("tanh", 1.0), std::tanh(1.0), 1e-12);
+  EXPECT_NEAR(call1("tanh", -0.3), std::tanh(-0.3), 1e-12);
+  EXPECT_DOUBLE_EQ(call1("tanh", 30.0), 1.0 - 1e-300); // saturation arm
+}
+
+TEST(FdlibmValueTest, SqrtIsBitExact) {
+  // The bit-by-bit algorithm must agree with hardware sqrt exactly.
+  Rng R(5);
+  for (int I = 0; I < 20000; ++I) {
+    double X = std::fabs(R.exponentUniformDouble());
+    double Ours = call1("ieee754_sqrt", X);
+    double Ref = std::sqrt(X);
+    EXPECT_EQ(doubleToBits(Ours), doubleToBits(Ref)) << "x=" << X;
+  }
+  EXPECT_EQ(call1("ieee754_sqrt", 0.0), 0.0);
+  EXPECT_TRUE(std::isnan(call1("ieee754_sqrt", -1.0)));
+  EXPECT_EQ(call1("ieee754_sqrt", HUGE_VAL), HUGE_VAL);
+}
+
+TEST(FdlibmValueTest, CeilFloorRintMatchLibm) {
+  Rng R(7);
+  for (int I = 0; I < 20000; ++I) {
+    double X = R.chance(0.5) ? R.uniform(-1e6, 1e6)
+                             : R.exponentUniformDouble();
+    EXPECT_EQ(doubleToBits(call1("ceil", X)), doubleToBits(std::ceil(X)))
+        << "ceil x=" << X;
+    EXPECT_EQ(doubleToBits(call1("floor", X)), doubleToBits(std::floor(X)))
+        << "floor x=" << X;
+    EXPECT_EQ(doubleToBits(call1("rint", X)), doubleToBits(std::rint(X)))
+        << "rint x=" << X;
+  }
+}
+
+TEST(FdlibmValueTest, FmodMatchesLibm) {
+  Rng R(9);
+  for (int I = 0; I < 20000; ++I) {
+    double X = R.exponentUniformDouble();
+    double Y = R.exponentUniformDouble();
+    double Ours = call2("ieee754_fmod", X, Y);
+    double Ref = std::fmod(X, Y);
+    EXPECT_EQ(doubleToBits(Ours), doubleToBits(Ref))
+        << "x=" << X << " y=" << Y;
+  }
+  EXPECT_TRUE(std::isnan(call2("ieee754_fmod", 1.0, 0.0)));
+  EXPECT_TRUE(std::isnan(call2("ieee754_fmod", HUGE_VAL, 2.0)));
+}
+
+TEST(FdlibmValueTest, NextafterMatchesLibm) {
+  Rng R(11);
+  for (int I = 0; I < 20000; ++I) {
+    double X = R.exponentUniformDouble();
+    double Y = R.exponentUniformDouble();
+    EXPECT_EQ(doubleToBits(call2("nextafter", X, Y)),
+              doubleToBits(std::nextafter(X, Y)))
+        << "x=" << X << " y=" << Y;
+  }
+  EXPECT_EQ(call2("nextafter", 1.0, 1.0), 1.0);
+}
+
+TEST(FdlibmValueTest, IlogbLogbMatchLibm) {
+  Rng R(13);
+  for (int I = 0; I < 20000; ++I) {
+    double X = R.exponentUniformDouble();
+    EXPECT_EQ(call1("ilogb", X), std::ilogb(X)) << "x=" << X;
+    EXPECT_EQ(call1("logb", X), std::logb(X)) << "x=" << X;
+  }
+  // Subnormal path of the ports' ilogb loops.
+  EXPECT_EQ(call1("ilogb", 5e-324), std::ilogb(5e-324));
+  EXPECT_EQ(call1("ilogb", 1e-310), std::ilogb(1e-310));
+}
+
+TEST(FdlibmValueTest, ModfSplitsCorrectly) {
+  Rng R(15);
+  for (int I = 0; I < 10000; ++I) {
+    double X = R.uniform(-1e9, 1e9);
+    double IPart;
+    double RefFrac = std::modf(X, &IPart);
+    EXPECT_DOUBLE_EQ(call2("modf", X, 0.0), RefFrac) << "x=" << X;
+  }
+}
+
+TEST(FdlibmValueTest, TranscendentalsTrackLibmLoosely) {
+  // The polynomial kernels are truncated; control flow is exact but values
+  // carry ~1e-5 relative error. That is all the testing campaign needs.
+  Rng R(17);
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.uniform(0.01, 30.0);
+    EXPECT_NEAR(call1("ieee754_exp", X), std::exp(X),
+                std::exp(X) * 1e-2 + 1e-12);
+    EXPECT_NEAR(call1("ieee754_log", X), std::log(X), 1e-2);
+    EXPECT_NEAR(call1("ieee754_cosh", X), std::cosh(X),
+                std::cosh(X) * 1e-2);
+    EXPECT_NEAR(call1("ieee754_sinh", X), std::sinh(X),
+                std::sinh(X) * 1e-2);
+  }
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.uniform(-0.99, 0.99);
+    EXPECT_NEAR(call1("ieee754_atanh", X), std::atanh(X),
+                std::fabs(std::atanh(X)) * 1e-2 + 1e-4);
+    EXPECT_NEAR(call1("ieee754_acos", X), std::acos(X), 5e-2);
+    EXPECT_NEAR(call1("ieee754_asin", X), std::asin(X), 5e-2);
+  }
+}
+
+TEST(FdlibmValueTest, ExpLogSpecialValues) {
+  EXPECT_EQ(call1("ieee754_exp", HUGE_VAL), HUGE_VAL);
+  EXPECT_EQ(call1("ieee754_exp", -HUGE_VAL), 0.0);
+  EXPECT_EQ(call1("ieee754_exp", 1000.0), HUGE_VAL);  // overflow
+  EXPECT_EQ(call1("ieee754_exp", -1000.0), 0.0);      // underflow
+  EXPECT_EQ(call1("ieee754_log", 0.0), -HUGE_VAL);
+  EXPECT_TRUE(std::isnan(call1("ieee754_log", -1.0)));
+  EXPECT_EQ(call1("ieee754_log", HUGE_VAL), HUGE_VAL);
+  EXPECT_EQ(call1("ieee754_log10", 0.0), -HUGE_VAL);
+  EXPECT_NEAR(call1("ieee754_log10", 1000.0), 3.0, 1e-9);
+  EXPECT_NEAR(call1("expm1", 0.0), 0.0, 1e-300);
+  EXPECT_EQ(call1("expm1", -HUGE_VAL), -1.0);
+  EXPECT_NEAR(call1("log1p", 0.0), 0.0, 1e-300);
+  EXPECT_TRUE(std::isnan(call1("log1p", -2.0)));
+}
+
+TEST(FdlibmValueTest, PowSpecialValueLattice) {
+  // The C99/fdlibm special-value table pow reproduces.
+  EXPECT_EQ(call2("ieee754_pow", 5.0, 0.0), 1.0);
+  EXPECT_EQ(call2("ieee754_pow", 0.0, 3.0), 0.0);
+  EXPECT_EQ(call2("ieee754_pow", 2.0, 1.0), 2.0);
+  EXPECT_EQ(call2("ieee754_pow", 3.0, 2.0), 9.0);
+  EXPECT_EQ(call2("ieee754_pow", 4.0, 0.5), 2.0);
+  EXPECT_EQ(call2("ieee754_pow", 2.0, -1.0), 0.5);
+  EXPECT_EQ(call2("ieee754_pow", -2.0, 2.0), 4.0);
+  EXPECT_EQ(call2("ieee754_pow", -2.0, 3.0), -8.0);
+  EXPECT_TRUE(std::isnan(call2("ieee754_pow", -2.0, 0.5)));
+  EXPECT_EQ(call2("ieee754_pow", HUGE_VAL, 2.0), HUGE_VAL);
+  EXPECT_EQ(call2("ieee754_pow", 2.0, HUGE_VAL), HUGE_VAL);
+  EXPECT_EQ(call2("ieee754_pow", 0.5, HUGE_VAL), 0.0);
+  EXPECT_EQ(call2("ieee754_pow", 2.0, -HUGE_VAL), 0.0);
+  // Fdlibm 5.3 (pre-C99): (+-1)^inf is NaN.
+  EXPECT_TRUE(std::isnan(call2("ieee754_pow", 1.0, HUGE_VAL)));
+  EXPECT_EQ(call2("ieee754_pow", 2.0, 2048.0), HUGE_VAL); // overflow
+  EXPECT_EQ(call2("ieee754_pow", 2.0, -2048.0), 0.0);     // underflow
+}
+
+TEST(FdlibmValueTest, PowTracksLibmOnNormalRange) {
+  Rng R(19);
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.uniform(0.1, 50.0);
+    double Y = R.uniform(-8.0, 8.0);
+    double Ref = std::pow(X, Y);
+    EXPECT_NEAR(call2("ieee754_pow", X, Y), Ref,
+                std::fabs(Ref) * 1e-2 + 1e-12)
+        << "x=" << X << " y=" << Y;
+  }
+}
+
+TEST(FdlibmValueTest, HypotRemainderScalbCbrt) {
+  Rng R(21);
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.uniform(-1e8, 1e8);
+    double Y = R.uniform(-1e8, 1e8);
+    double RefH = std::hypot(X, Y);
+    EXPECT_NEAR(call2("ieee754_hypot", X, Y), RefH, RefH * 1e-9 + 1e-12);
+    if (Y != 0.0) {
+      double RefR = std::remainder(X, Y);
+      EXPECT_NEAR(call2("ieee754_remainder", X, Y), RefR,
+                  std::fabs(Y) * 1e-9 + 1e-12);
+    }
+    double RefC = std::cbrt(X);
+    EXPECT_NEAR(call1("cbrt", X), RefC, std::fabs(RefC) * 1e-9 + 1e-12);
+  }
+  EXPECT_EQ(call2("ieee754_scalb", 3.0, 4.0), 48.0);
+  EXPECT_TRUE(std::isnan(call2("ieee754_scalb", 3.0, 0.5)));
+  EXPECT_EQ(call2("ieee754_scalb", 3.0, HUGE_VAL), HUGE_VAL);
+}
+
+TEST(FdlibmValueTest, TrigTracksLibm) {
+  Rng R(23);
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.uniform(-100.0, 100.0);
+    EXPECT_NEAR(call1("sin", X), std::sin(X), 1e-9) << "x=" << X;
+    EXPECT_NEAR(call1("cos", X), std::cos(X), 1e-9) << "x=" << X;
+    EXPECT_NEAR(call1("tan", X), std::tan(X),
+                (1.0 + std::fabs(std::tan(X))) * 1e-6)
+        << "x=" << X;
+  }
+  EXPECT_TRUE(std::isnan(call1("sin", HUGE_VAL)));
+  EXPECT_TRUE(std::isnan(call1("cos", HUGE_VAL)));
+}
+
+TEST(FdlibmValueTest, ErfTracksLibm) {
+  Rng R(25);
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.uniform(-0.8, 0.8); // exact-kernel region
+    EXPECT_NEAR(call1("erf", X), std::erf(X), 2e-2) << "x=" << X;
+  }
+  EXPECT_DOUBLE_EQ(call1("erf", HUGE_VAL), 1.0);
+  EXPECT_DOUBLE_EQ(call1("erf", -HUGE_VAL), -1.0);
+  EXPECT_NEAR(call1("erfc", 0.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(call1("erfc", HUGE_VAL), 0.0);
+  EXPECT_DOUBLE_EQ(call1("erfc", -HUGE_VAL), 2.0);
+  EXPECT_EQ(call1("erfc", 100.0), 1e-300 * 1e-300); // underflow arm
+}
+
+TEST(FdlibmValueTest, BesselSpecialValues) {
+  EXPECT_NEAR(call1("ieee754_j0", 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(call1("ieee754_j1", 0.0), 0.0, 1e-9);
+  EXPECT_EQ(call1("ieee754_j0", HUGE_VAL), 0.0);
+  EXPECT_EQ(call1("ieee754_y0", 0.0), -HUGE_VAL);
+  EXPECT_TRUE(std::isnan(call1("ieee754_y0", -1.0)));
+  EXPECT_EQ(call1("ieee754_y1", 0.0), -HUGE_VAL);
+  EXPECT_TRUE(std::isnan(call1("ieee754_y1", -2.0)));
+}
+
+TEST(FdlibmValueTest, RemPio2ReducesSmallArguments) {
+  // |x| <= pi/4 passes through: return y[0] + n with n = 0.
+  EXPECT_DOUBLE_EQ(call2("ieee754_rem_pio2", 0.5, 0.0), 0.5);
+  // pi/2 reduces to ~0 with n = 1.
+  double R = call2("ieee754_rem_pio2", 1.57079632679489655800e+00, 0.0);
+  EXPECT_NEAR(R, 1.0, 1e-9);
+}
+
+TEST(FdlibmValueTest, KernelCosMatchesCosOnReducedRange) {
+  Rng R(27);
+  for (int I = 0; I < 5000; ++I) {
+    double X = R.uniform(-0.785, 0.785);
+    EXPECT_NEAR(call2("kernel_cos", X, 0.0), std::cos(X), 1e-5) << X;
+  }
+}
+
+TEST(FdlibmValueTest, PortsNeverCrashOnHostileInputs) {
+  Rng R(29);
+  for (const Program &P : fdlibm::registry().programs()) {
+    std::vector<double> X(P.Arity);
+    for (int I = 0; I < 3000; ++I) {
+      for (double &Coord : X)
+        Coord = R.rawBitsDouble(); // includes NaNs, infs, subnormals
+      (void)P.Body(X.data());     // must not trap or hang
+    }
+  }
+  SUCCEED();
+}

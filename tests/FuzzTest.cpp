@@ -1,0 +1,213 @@
+//===- FuzzTest.cpp - Tests for the baseline testers --------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/AflFuzzer.h"
+#include "fuzz/AustinTester.h"
+#include "fuzz/RandomTester.h"
+#include "fdlibm/Fdlibm.h"
+#include "runtime/Hooks.h"
+
+#include <gtest/gtest.h>
+
+using namespace coverme;
+
+namespace {
+
+/// Simple two-site program where every arm is easy to hit.
+double easyBody(const double *Args) {
+  double X = Args[0];
+  if (CVM_LT(0, X, 0.0))
+    X = -X;
+  if (CVM_GT(1, X, 500000.0)) // ~half of the default [-1e6,1e6] domain
+    return X - 500000.0;
+  return X;
+}
+
+Program easyProgram() {
+  Program P;
+  P.Name = "easy";
+  P.File = "easy.c";
+  P.Arity = 1;
+  P.NumSites = 2;
+  P.TotalLines = 8;
+  P.Body = easyBody;
+  return P;
+}
+
+/// One arm requires an exact equality no conventional sampler will hit.
+double needleBody(const double *Args) {
+  if (CVM_EQ(0, Args[0], 1.2345678901234567e+42))
+    return 1.0;
+  return 0.0;
+}
+
+Program needleProgram() {
+  Program P;
+  P.Name = "needle";
+  P.File = "needle.c";
+  P.Arity = 1;
+  P.NumSites = 1;
+  P.TotalLines = 4;
+  P.Body = needleBody;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RandomTester
+//===----------------------------------------------------------------------===//
+
+TEST(RandomTesterTest, ExactExecutionCount) {
+  Program P = easyProgram();
+  RandomTester Rand(P);
+  TesterResult Res = Rand.run(1234);
+  EXPECT_EQ(Res.Executions, 1234u);
+  EXPECT_EQ(Res.CorpusSize, 1234u);
+}
+
+TEST(RandomTesterTest, CoversEasyProgram) {
+  Program P = easyProgram();
+  RandomTester Rand(P);
+  TesterResult Res = Rand.run(10000);
+  EXPECT_DOUBLE_EQ(Res.BranchCoverage, 1.0);
+}
+
+TEST(RandomTesterTest, MissesTheNeedle) {
+  Program P = needleProgram();
+  RandomTester Rand(P);
+  TesterResult Res = Rand.run(50000);
+  EXPECT_DOUBLE_EQ(Res.BranchCoverage, 0.5); // only the false arm
+}
+
+TEST(RandomTesterTest, DeterministicUnderSeed) {
+  RandomTesterOptions Opts;
+  Opts.Seed = 17;
+  Program P = easyProgram();
+  TesterResult A = RandomTester(P, Opts).run(5000);
+  TesterResult B = RandomTester(P, Opts).run(5000);
+  EXPECT_EQ(A.Coverage.totalHits(), B.Coverage.totalHits());
+  EXPECT_EQ(A.Coverage.coveredArms(), B.Coverage.coveredArms());
+}
+
+TEST(RandomTesterTest, RawBitsReachesSpecialArms) {
+  // Raw-bit sampling covers inf/NaN-gated arms RangeUniform cannot.
+  const Program *Tanh = fdlibm::lookup("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  RandomTesterOptions Narrow;
+  Narrow.Distribution = RandDistribution::RangeUniform;
+  RandomTesterOptions Wide;
+  Wide.Distribution = RandDistribution::RawBits;
+  TesterResult NarrowRes = RandomTester(*Tanh, Narrow).run(30000);
+  TesterResult WideRes = RandomTester(*Tanh, Wide).run(30000);
+  EXPECT_GT(WideRes.BranchCoverage, NarrowRes.BranchCoverage);
+}
+
+//===----------------------------------------------------------------------===//
+// AflFuzzer
+//===----------------------------------------------------------------------===//
+
+TEST(AflFuzzerTest, RespectsBudget) {
+  Program P = easyProgram();
+  AflFuzzer Afl(P);
+  TesterResult Res = Afl.run(5000);
+  EXPECT_LE(Res.Executions, 5000u);
+  EXPECT_GT(Res.Executions, 4000u); // should use nearly all of it
+}
+
+TEST(AflFuzzerTest, CoversEasyProgram) {
+  Program P = easyProgram();
+  AflFuzzer Afl(P);
+  TesterResult Res = Afl.run(20000);
+  EXPECT_DOUBLE_EQ(Res.BranchCoverage, 1.0);
+}
+
+TEST(AflFuzzerTest, QueueGrowsBeyondSeeds) {
+  const Program *Tanh = fdlibm::lookup("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  AflFuzzer Afl(*Tanh);
+  TesterResult Res = Afl.run(50000);
+  EXPECT_GT(Res.CorpusSize, 4u); // found novel inputs beyond the 4 seeds
+  EXPECT_GT(Res.BranchCoverage, 0.4);
+}
+
+TEST(AflFuzzerTest, DeterministicUnderSeed) {
+  AflOptions Opts;
+  Opts.Seed = 23;
+  const Program *Tanh = fdlibm::lookup("tanh");
+  TesterResult A = AflFuzzer(*Tanh, Opts).run(20000);
+  TesterResult B = AflFuzzer(*Tanh, Opts).run(20000);
+  EXPECT_EQ(A.CorpusSize, B.CorpusSize);
+  EXPECT_EQ(A.Coverage.coveredArms(), B.Coverage.coveredArms());
+}
+
+TEST(AflFuzzerTest, RawModeOutperformsTextOnBitTwiddling) {
+  // The appendix-B text harness is the published setup; raw byte mode sees
+  // the IEEE representation directly and should do at least as well.
+  const Program *Sqrt = fdlibm::lookup("ieee754_sqrt");
+  ASSERT_NE(Sqrt, nullptr);
+  AflOptions Text;
+  Text.TextHarness = true;
+  AflOptions Raw;
+  Raw.TextHarness = false;
+  TesterResult TextRes = AflFuzzer(*Sqrt, Text).run(60000);
+  TesterResult RawRes = AflFuzzer(*Sqrt, Raw).run(60000);
+  EXPECT_GE(RawRes.BranchCoverage + 1e-9, TextRes.BranchCoverage);
+}
+
+//===----------------------------------------------------------------------===//
+// AustinTester
+//===----------------------------------------------------------------------===//
+
+TEST(AustinTesterTest, CoversEasyProgram) {
+  Program P = easyProgram();
+  AustinTester Austin(P);
+  TesterResult Res = Austin.run(50000);
+  EXPECT_DOUBLE_EQ(Res.BranchCoverage, 1.0);
+}
+
+TEST(AustinTesterTest, RespectsBudget) {
+  Program P = needleProgram();
+  AustinTester Austin(P);
+  TesterResult Res = Austin.run(8000);
+  EXPECT_LE(Res.Executions, 8100u);
+}
+
+TEST(AustinTesterTest, BranchDistanceModeBeatsCoarseOnEquality) {
+  // With the distance oracle, AVM's pattern moves ride the gradient out to
+  // x > 1e12; the coarse reached/taken fitness sees a flat landscape and
+  // would need a lucky restart outside its [-1e6, 1e6] domain.
+  Program P;
+  P.Name = "far";
+  P.File = "far.c";
+  P.Arity = 1;
+  P.NumSites = 1;
+  P.TotalLines = 3;
+  P.Body = +[](const double *Args) -> double {
+    return CVM_GT(0, Args[0], 1e12) ? 1.0 : 0.0;
+  };
+
+  AustinOptions Coarse;
+  Coarse.UseBranchDistance = false;
+  Coarse.Seed = 3;
+  AustinOptions Oracle;
+  Oracle.UseBranchDistance = true;
+  Oracle.Seed = 3;
+  TesterResult CoarseRes = AustinTester(P, Coarse).run(60000);
+  TesterResult OracleRes = AustinTester(P, Oracle).run(60000);
+  EXPECT_DOUBLE_EQ(OracleRes.BranchCoverage, 1.0);
+  EXPECT_GE(OracleRes.BranchCoverage, CoarseRes.BranchCoverage);
+}
+
+TEST(AustinTesterTest, DeterministicUnderSeed) {
+  AustinOptions Opts;
+  Opts.Seed = 31;
+  const Program *Tanh = fdlibm::lookup("tanh");
+  TesterResult A = AustinTester(*Tanh, Opts).run(20000);
+  TesterResult B = AustinTester(*Tanh, Opts).run(20000);
+  EXPECT_EQ(A.Executions, B.Executions);
+  EXPECT_EQ(A.Coverage.coveredArms(), B.Coverage.coveredArms());
+}

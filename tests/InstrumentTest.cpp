@@ -1,0 +1,244 @@
+//===- InstrumentTest.cpp - Tests for the source instrumenter ----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Instrumenter.h"
+#include "instrument/Lexer.h"
+#include "runtime/CHooks.h"
+#include "runtime/ExecutionContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace coverme;
+using namespace coverme::instrument;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, BasicTokens) {
+  auto Tokens = lex("int foo = 0x7ff00000;");
+  ASSERT_EQ(Tokens.size(), 6u); // int foo = number ; EOF
+  EXPECT_TRUE(Tokens[0].isIdentifier("int"));
+  EXPECT_TRUE(Tokens[1].isIdentifier("foo"));
+  EXPECT_TRUE(Tokens[2].isPunct("="));
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Number);
+  EXPECT_EQ(Tokens[3].Text, "0x7ff00000");
+  EXPECT_TRUE(Tokens[4].isPunct(";"));
+}
+
+TEST(LexerTest, MaximalMunchPunctuation) {
+  auto Tokens = lex("a<=b<<c<d");
+  EXPECT_TRUE(Tokens[1].isPunct("<="));
+  EXPECT_TRUE(Tokens[3].isPunct("<<"));
+  EXPECT_TRUE(Tokens[5].isPunct("<"));
+}
+
+TEST(LexerTest, SkipsCommentsAndPreprocessor) {
+  auto Tokens = lex("#include <math.h>\n"
+                    "// line comment if (x < 1)\n"
+                    "/* block if (y > 2) */\n"
+                    "double z;\n");
+  ASSERT_EQ(Tokens.size(), 4u); // double z ; EOF
+  EXPECT_TRUE(Tokens[0].isIdentifier("double"));
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lex("1.5e-10 0x1p+4 .25 3.");
+  EXPECT_EQ(Tokens[0].Text, "1.5e-10");
+  EXPECT_EQ(Tokens[1].Text, "0x1p+4");
+  EXPECT_EQ(Tokens[2].Text, ".25");
+  EXPECT_EQ(Tokens[3].Text, "3.");
+}
+
+TEST(LexerTest, StringsAndCharsAreOpaque) {
+  auto Tokens = lex("s = \"if (a < b)\"; c = 'x';");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::String);
+  EXPECT_EQ(Tokens[2].Text, "\"if (a < b)\"");
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::Char);
+}
+
+TEST(LexerTest, TracksLines) {
+  auto Tokens = lex("a\nb\n\nc");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[2].Line, 4u);
+}
+
+TEST(LexerTest, OffsetsAreExact) {
+  std::string Src = "if (x <= 1)";
+  auto Tokens = lex(Src);
+  for (const Token &Tok : Tokens) {
+    if (Tok.Kind == TokenKind::EndOfFile)
+      continue;
+    EXPECT_EQ(Src.substr(Tok.Offset, Tok.Text.size()), Tok.Text);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumenter
+//===----------------------------------------------------------------------===//
+
+TEST(InstrumenterTest, RewritesSimpleIf) {
+  InstrumenterOptions Opts;
+  Opts.EmitPrologue = false;
+  InstrumentResult Res =
+      instrumentSource("void f(double x) { if (x <= 1.0) x = 2.0; }", Opts);
+  ASSERT_EQ(Res.Sites.size(), 1u);
+  EXPECT_EQ(Res.Sites[0].Op, CmpOp::LE);
+  EXPECT_EQ(Res.Sites[0].Lhs, "x");
+  EXPECT_EQ(Res.Sites[0].Rhs, "1.0");
+  EXPECT_NE(Res.Source.find(
+                "if (cvm_cond(0, CVM_OP_LE, (double)(x), (double)(1.0)))"),
+            std::string::npos)
+      << Res.Source;
+}
+
+TEST(InstrumenterTest, SequentialSiteIds) {
+  InstrumenterOptions Opts;
+  Opts.EmitPrologue = false;
+  InstrumentResult Res = instrumentSource(
+      "void f(double x) {\n"
+      "  if (x < 0.0) x = -x;\n"
+      "  while (x > 1.0) x = x / 2.0;\n"
+      "  for (int i = 0; i < 3; i++) x = x + 1.0;\n"
+      "}",
+      Opts);
+  ASSERT_EQ(Res.Sites.size(), 3u);
+  EXPECT_EQ(Res.Sites[0].Id, 0u);
+  EXPECT_EQ(Res.Sites[0].Statement, "if");
+  EXPECT_EQ(Res.Sites[1].Id, 1u);
+  EXPECT_EQ(Res.Sites[1].Statement, "while");
+  EXPECT_EQ(Res.Sites[2].Id, 2u);
+  EXPECT_EQ(Res.Sites[2].Statement, "for");
+  EXPECT_EQ(Res.Sites[2].Op, CmpOp::LT);
+  EXPECT_NE(Res.Source.find("cvm_cond(2, CVM_OP_LT, (double)(i), "
+                            "(double)(3))"),
+            std::string::npos)
+      << Res.Source;
+}
+
+TEST(InstrumenterTest, SkipsCompoundConditions) {
+  InstrumenterOptions Opts;
+  Opts.EmitPrologue = false;
+  InstrumentResult Res = instrumentSource(
+      "void f(double x, double y) {\n"
+      "  if (x < 1.0 && y > 2.0) x = y;\n" // && unsupported
+      "  if (x)            y = x;\n"        // no comparison
+      "  if (x < y)        y = 0.0;\n"      // supported
+      "}",
+      Opts);
+  EXPECT_EQ(Res.Sites.size(), 1u);
+  EXPECT_EQ(Res.SkippedConditionals, 2u);
+  EXPECT_EQ(Res.Sites[0].Lhs, "x");
+  EXPECT_EQ(Res.Sites[0].Rhs, "y");
+}
+
+TEST(InstrumenterTest, ShiftOperatorsAreNotComparisons) {
+  InstrumenterOptions Opts;
+  Opts.EmitPrologue = false;
+  InstrumentResult Res = instrumentSource(
+      "void f(int i) { if ((i << 1) > 4) i = 0; }", Opts);
+  ASSERT_EQ(Res.Sites.size(), 1u);
+  EXPECT_EQ(Res.Sites[0].Op, CmpOp::GT);
+  EXPECT_EQ(Res.Sites[0].Lhs, "(i << 1)");
+}
+
+TEST(InstrumenterTest, EntryFunctionScoping) {
+  InstrumenterOptions Opts;
+  Opts.EmitPrologue = false;
+  Opts.EntryFunction = "goo";
+  InstrumentResult Res = instrumentSource(
+      "void foo(double x) { if (x < 1.0) x = 0.0; }\n"
+      "void goo(double y) { if (y > 2.0) y = 0.0; }\n",
+      Opts);
+  // Only goo's conditional is instrumented (Sect. 5.3, entry-only).
+  ASSERT_EQ(Res.Sites.size(), 1u);
+  EXPECT_EQ(Res.Sites[0].Op, CmpOp::GT);
+  EXPECT_EQ(Res.Source.find("cvm_cond(0"),
+            Res.Source.find("goo") != std::string::npos
+                ? Res.Source.find("cvm_cond(0")
+                : std::string::npos);
+  EXPECT_NE(Res.Source.find("if (x < 1.0)"), std::string::npos);
+}
+
+TEST(InstrumenterTest, PromotesIntegerComparisons) {
+  // Sect. 5.3: int comparisons get (double) promotions.
+  InstrumenterOptions Opts;
+  Opts.EmitPrologue = false;
+  InstrumentResult Res = instrumentSource(
+      "void f(double x) { int ix = 5; if (ix >= 0x7ff00000) x = 0.0; }",
+      Opts);
+  ASSERT_EQ(Res.Sites.size(), 1u);
+  EXPECT_NE(Res.Source.find("(double)(ix)"), std::string::npos);
+  EXPECT_NE(Res.Source.find("(double)(0x7ff00000)"), std::string::npos);
+}
+
+TEST(InstrumenterTest, PrologueDeclaresHook) {
+  InstrumentResult Res =
+      instrumentSource("void f(double x) { if (x < 1.0) x = 0.0; }");
+  EXPECT_EQ(Res.Source.find("/* CoverMe instrumentation prologue"), 0u);
+  EXPECT_NE(Res.Source.find("extern int cvm_cond(int site, int op"),
+            std::string::npos);
+}
+
+TEST(InstrumenterTest, TanhLikeSourceEndToEnd) {
+  // The Fig. 1 program: all six conditionals are single comparisons after
+  // the word extraction, so every one must be instrumented.
+  const char *Tanh =
+      "double tanh(double x) {\n"
+      "  int jx, ix;\n"
+      "  jx = *(1 + (int *)&x);\n"
+      "  ix = jx & 0x7fffffff;\n"
+      "  if (ix >= 0x7ff00000) {\n"
+      "    if (jx >= 0) return one / x + one;\n"
+      "    else return one / x - one;\n"
+      "  }\n"
+      "  if (ix < 0x40360000) {\n"
+      "    if (ix < 0x3c800000) return x * (one + x);\n"
+      "    if (ix >= 0x3ff00000) { z = one - two / (t + two); }\n"
+      "    else { z = -t / (t + two); }\n"
+      "  } else {\n"
+      "    z = one - tiny;\n"
+      "  }\n"
+      "  return (jx >= 0) ? z : -z;\n"
+      "}\n";
+  InstrumenterOptions Opts;
+  Opts.EntryFunction = "tanh";
+  InstrumentResult Res = instrumentSource(Tanh, Opts);
+  // 5 if-conditionals; the ?: at the end is not a conditional statement.
+  EXPECT_EQ(Res.Sites.size(), 5u);
+  EXPECT_EQ(Res.SkippedConditionals, 0u);
+  EXPECT_EQ(Res.Sites[0].Op, CmpOp::GE);
+  EXPECT_EQ(Res.Sites[0].Lhs, "ix");
+  EXPECT_EQ(Res.Sites[0].Rhs, "0x7ff00000");
+  // The bit-twiddling lines pass through untouched.
+  EXPECT_NE(Res.Source.find("jx = *(1 + (int *)&x);"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// C hook shim: the link target of instrumented sources
+//===----------------------------------------------------------------------===//
+
+TEST(CHooksTest, ForwardsToCurrentContext) {
+  ExecutionContext Ctx(1);
+  Ctx.saturate({0, false}); // target the true arm
+  ExecutionContext::Scope S(Ctx);
+  Ctx.beginRun();
+  // cvm_cond(0, CVM_OP_LE=3, 5.0, 2.0): outcome false, pen = (5-2)^2.
+  EXPECT_EQ(cvm_cond(0, 3, 5.0, 2.0), 0);
+  EXPECT_DOUBLE_EQ(Ctx.R, 9.0);
+  EXPECT_EQ(cvm_cond(0, 3, 1.0, 2.0), 1);
+  EXPECT_EQ(Ctx.R, 0.0);
+}
+
+TEST(CHooksTest, OpConstantsMatchCmpOpEnumeration) {
+  EXPECT_EQ(cvm_cond(0, 0, 1.0, 1.0), 1); // EQ
+  EXPECT_EQ(cvm_cond(0, 1, 1.0, 1.0), 0); // NE
+  EXPECT_EQ(cvm_cond(0, 2, 1.0, 2.0), 1); // LT
+  EXPECT_EQ(cvm_cond(0, 3, 2.0, 2.0), 1); // LE
+  EXPECT_EQ(cvm_cond(0, 4, 1.0, 2.0), 0); // GT
+  EXPECT_EQ(cvm_cond(0, 5, 2.0, 2.0), 1); // GE
+}

@@ -1,0 +1,1027 @@
+//===- LangTest.cpp - Tests for the mini-C frontend (parser/sema/interp) --===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the source pipeline: parser shapes and diagnostics, Sema
+/// site numbering and type rules, interpreter semantics (C arithmetic,
+/// pointer-cast bit twiddling, control flow, builtins, resource traps), and
+/// the SourceProgram wrapper — culminating in bit-for-bit equivalence
+/// between the interpreted s_tanh.c and the natively compiled port, and a
+/// CoverMe campaign run end-to-end from source text (the paper's Fig. 1
+/// program through the paper's whole pipeline).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Interp.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "lang/SourceProgram.h"
+
+#include "core/CoverMe.h"
+#include "fdlibm/Fdlibm.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/FloatBits.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+namespace {
+
+/// Parses + analyzes \p Source, failing the test on any diagnostic.
+std::unique_ptr<TranslationUnit> mustCompile(const std::string &Source) {
+  ParseResult Parsed = parseTranslationUnit(Source);
+  EXPECT_TRUE(Parsed.success()) << (Parsed.Diags.empty()
+                                        ? ""
+                                        : formatDiagnostic(Parsed.Diags[0]));
+  std::vector<Diagnostic> Diags;
+  EXPECT_TRUE(analyze(*Parsed.TU, Diags))
+      << (Diags.empty() ? "" : formatDiagnostic(Diags[0]));
+  return std::move(Parsed.TU);
+}
+
+/// Compiles a one-function unit and calls it on \p Args.
+double runFunction(const std::string &Source, const std::string &Name,
+                   std::vector<double> Args) {
+  auto TU = mustCompile(Source);
+  Interpreter Interp(*TU);
+  const FunctionDecl *F = TU->findFunction(Name);
+  EXPECT_NE(F, nullptr) << "no function " << Name;
+  EXPECT_EQ(F->Params.size(), Args.size());
+  double Result = Interp.callEntry(*F, Args.data());
+  EXPECT_FALSE(Interp.trapped()) << Interp.trapMessage();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(LangParserTest, ParsesFunctionWithParams) {
+  auto TU = mustCompile("double f(double x, double y) { return x + y; }");
+  ASSERT_EQ(TU->Functions.size(), 1u);
+  const FunctionDecl &F = *TU->Functions[0];
+  EXPECT_EQ(F.Name, "f");
+  EXPECT_EQ(F.Params.size(), 2u);
+  EXPECT_TRUE(F.ReturnType.isDouble());
+}
+
+TEST(LangParserTest, ParsesVoidParameterList) {
+  auto TU = mustCompile("int f(void) { return 1; }");
+  EXPECT_TRUE(TU->Functions[0]->Params.empty());
+}
+
+TEST(LangParserTest, PrecedenceMulBeforeAdd) {
+  // 2 + 3 * 4 == 14, not 20.
+  EXPECT_EQ(runFunction("int f(void) { return 2 + 3 * 4; }", "f", {}), 14.0);
+}
+
+TEST(LangParserTest, PrecedenceShiftVsComparison) {
+  // `1 << 2 < 8` parses as `(1 << 2) < 8` == 1.
+  EXPECT_EQ(runFunction("int f(void) { return 1 << 2 < 8; }", "f", {}), 1.0);
+}
+
+TEST(LangParserTest, PrecedenceBitwiseChain) {
+  // C: ^ binds tighter than |, & tighter than ^.
+  EXPECT_EQ(
+      runFunction("int f(void) { return 1 | 2 ^ 3 & 5; }", "f", {}),
+      static_cast<double>(1 | (2 ^ (3 & 5))));
+}
+
+TEST(LangParserTest, RightAssociativeAssignment) {
+  EXPECT_EQ(runFunction(
+                "int f(void) { int a; int b; a = b = 7; return a + b; }",
+                "f", {}),
+            14.0);
+}
+
+TEST(LangParserTest, TernaryNestsRight) {
+  EXPECT_EQ(runFunction(
+                "int f(int x) { return x > 0 ? 1 : x < 0 ? -1 : 0; }", "f",
+                {-3.0}),
+            -1.0);
+}
+
+TEST(LangParserTest, CastVersusParenthesizedExpr) {
+  // `(x)` is not a cast; `(int)x` is.
+  EXPECT_EQ(runFunction("double f(double x) { return (x) + 1.0; }", "f",
+                        {2.5}),
+            3.5);
+  EXPECT_EQ(runFunction("int f(double x) { return (int)x; }", "f", {2.9}),
+            2.0);
+}
+
+TEST(LangParserTest, PointerCastChain) {
+  // The paper's Fig. 1 line 3 idiom parses and evaluates.
+  auto TU = mustCompile(
+      "int high(double x) { return *(1 + (int *)&x); }");
+  Interpreter Interp(*TU);
+  const FunctionDecl *F = TU->findFunction("high");
+  double X = 3.14159;
+  double Args[1] = {X};
+  EXPECT_EQ(Interp.callEntry(*F, Args), highWord(X));
+}
+
+TEST(LangParserTest, CommaOperatorInForHeader) {
+  // Fdlibm's `for (ix = -1043, i = lx; i > 0; i <<= 1) ix -= 1;` pattern.
+  const char *Source = "int f(int lx) {\n"
+                       "  int ix; int i;\n"
+                       "  for (ix = -1043, i = lx; i > 0; i <<= 1) ix -= 1;\n"
+                       "  return ix;\n"
+                       "}\n";
+  // lx = 1: one iteration per leading zero of a positive int, 31 total
+  // (1 << 31 becomes INT_MIN < 0, loop stops after 31 shifts).
+  EXPECT_EQ(runFunction(Source, "f", {1.0}), -1043.0 - 31.0);
+}
+
+TEST(LangParserTest, GlobalScalarAndArray) {
+  const char *Source =
+      "static const double one = 1.0, half = 0.5;\n"
+      "static const double T[3] = {1.0, 2.0, 4.0};\n"
+      "double f(int i) { return one + half + T[i]; }\n";
+  EXPECT_EQ(runFunction(Source, "f", {2.0}), 1.0 + 0.5 + 4.0);
+}
+
+TEST(LangParserTest, HexLiteralsKeepBits) {
+  EXPECT_EQ(runFunction("int f(void) { return 0x7fffffff; }", "f", {}),
+            2147483647.0);
+  // 0x80000000 types as unsigned, like C's 32-bit literal rules.
+  EXPECT_EQ(
+      runFunction("double f(void) { return 0x80000000 * 1.0; }", "f", {}),
+      2147483648.0);
+}
+
+TEST(LangParserTest, FloatLiteralsWithSuffixAndExponent) {
+  EXPECT_EQ(runFunction("double f(void) { return 1e-3; }", "f", {}), 1e-3);
+  EXPECT_EQ(runFunction("double f(void) { return 2.5F; }", "f", {}), 2.5);
+}
+
+TEST(LangParserTest, ReportsMissingSemicolon) {
+  ParseResult R = parseTranslationUnit("int f(void) { return 1 }");
+  EXPECT_FALSE(R.success());
+}
+
+TEST(LangParserTest, ReportsGarbageAtFileScope) {
+  ParseResult R = parseTranslationUnit("$$$");
+  EXPECT_FALSE(R.success());
+}
+
+TEST(LangParserTest, RecoversAfterBadStatement) {
+  // One bad statement must not hide the next function.
+  ParseResult R = parseTranslationUnit("int f(void) { @@; return 1; }\n"
+                                       "int g(void) { return 2; }\n");
+  EXPECT_FALSE(R.success());
+  EXPECT_NE(R.TU->findFunction("g"), nullptr);
+}
+
+TEST(LangParserTest, ForwardDeclarationIsAccepted) {
+  auto TU = mustCompile("double g(double x);\n"
+                        "double f(double x) { return x; }\n");
+  EXPECT_EQ(TU->Functions.size(), 1u);
+}
+
+TEST(LangParserTest, ParseExpressionHelper) {
+  std::vector<Diagnostic> Diags;
+  ExprPtr E = parseExpression("1 + 2 * 3", Diags);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Kind, ExprKind::Binary);
+  EXPECT_EQ(exprCast<BinaryExpr>(*E).Op, BinaryOp::Add);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(LangSemaTest, NumbersBareComparisonSites) {
+  auto TU = mustCompile("double f(double x) {\n"
+                        "  if (x <= 1.0) x = x + 1.0;\n"
+                        "  while (x > 2.0) x = x - 1.0;\n"
+                        "  return x;\n"
+                        "}\n");
+  EXPECT_EQ(TU->NumSites, 2u);
+  EXPECT_EQ(TU->Functions[0]->Sites.size(), 2u);
+}
+
+TEST(LangSemaTest, CompoundConditionsAreNotSites) {
+  // CoverMe leaves &&/|| conditions uninstrumented (Sect. 5.3).
+  auto TU = mustCompile("double f(double x) {\n"
+                        "  if (x > 0.0 && x < 1.0) return 1.0;\n"
+                        "  return 0.0;\n"
+                        "}\n");
+  EXPECT_EQ(TU->NumSites, 0u);
+}
+
+TEST(LangSemaTest, TruthinessConditionIsNotASite) {
+  auto TU = mustCompile("int f(int x) { if (x) return 1; return 0; }");
+  EXPECT_EQ(TU->NumSites, 0u);
+}
+
+TEST(LangSemaTest, SitesNumberedAcrossFunctions) {
+  // Entry + callee share one site space (Sect. 5.3, Handling Function
+  // Calls) — the paper's FOO/GOO example.
+  auto TU = mustCompile("double goo(double x) {\n"
+                        "  if (sin(x) <= 0.99) return 1.0;\n"
+                        "  return 0.0;\n"
+                        "}\n"
+                        "double foo(double x) { return goo(x); }\n");
+  EXPECT_EQ(TU->NumSites, 1u);
+  EXPECT_EQ(TU->Functions[0]->Sites.size(), 1u);
+  EXPECT_TRUE(TU->Functions[1]->Sites.empty());
+}
+
+TEST(LangSemaTest, RejectsUndeclaredIdentifier) {
+  ParseResult R = parseTranslationUnit("int f(void) { return missing; }");
+  ASSERT_TRUE(R.success());
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(analyze(*R.TU, Diags));
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Message.find("undeclared"), std::string::npos);
+}
+
+TEST(LangSemaTest, RejectsUnknownCall) {
+  ParseResult R = parseTranslationUnit("double f(double x) { return zap(x); }");
+  ASSERT_TRUE(R.success());
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(analyze(*R.TU, Diags));
+}
+
+TEST(LangSemaTest, RejectsWrongArityCall) {
+  ParseResult R =
+      parseTranslationUnit("double g(double x) { return x; }\n"
+                           "double f(double x) { return g(x, x); }\n");
+  ASSERT_TRUE(R.success());
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(analyze(*R.TU, Diags));
+}
+
+TEST(LangSemaTest, RejectsDerefOfNonPointer) {
+  ParseResult R = parseTranslationUnit("double f(double x) { return *x; }");
+  ASSERT_TRUE(R.success());
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(analyze(*R.TU, Diags));
+}
+
+TEST(LangSemaTest, RejectsAssignToRvalue) {
+  ParseResult R =
+      parseTranslationUnit("double f(double x) { x + 1.0 = 2.0; return x; }");
+  ASSERT_TRUE(R.success());
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(analyze(*R.TU, Diags));
+}
+
+TEST(LangSemaTest, RejectsDuplicateFunction) {
+  ParseResult R = parseTranslationUnit("int f(void) { return 1; }\n"
+                                       "int f(void) { return 2; }\n");
+  ASSERT_TRUE(R.success());
+  std::vector<Diagnostic> Diags;
+  EXPECT_FALSE(analyze(*R.TU, Diags));
+}
+
+TEST(LangSemaTest, BlockScopingShadowsOuter) {
+  const char *Source = "int f(void) {\n"
+                       "  int x = 1;\n"
+                       "  { int x = 2; }\n"
+                       "  return x;\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 1.0);
+}
+
+TEST(LangSemaTest, UsualArithmeticConversionTypes) {
+  std::vector<Diagnostic> Diags;
+  ParseResult R = parseTranslationUnit(
+      "double f(int i, unsigned u, double d) { return i + u + d; }");
+  ASSERT_TRUE(R.success());
+  ASSERT_TRUE(analyze(*R.TU, Diags));
+  const auto &Ret = stmtCast<ReturnStmt>(
+      *R.TU->Functions[0]->Body->Body.at(0));
+  // (i + u) types unsigned; adding d yields double.
+  const auto &Sum = exprCast<BinaryExpr>(*Ret.Value);
+  EXPECT_EQ(Sum.Ty.Base, BaseType::Double);
+  EXPECT_EQ(Sum.Lhs->Ty.Base, BaseType::UInt);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter semantics
+//===----------------------------------------------------------------------===//
+
+TEST(LangInterpTest, IntegerWrapOnOverflow) {
+  EXPECT_EQ(runFunction(
+                "int f(void) { int x = 0x7fffffff; return x + 1; }", "f", {}),
+            -2147483648.0);
+}
+
+TEST(LangInterpTest, UnsignedArithmeticWraps) {
+  EXPECT_EQ(runFunction("unsigned f(void) { unsigned x = 0u; return x - 1; }",
+                        "f", {}),
+            4294967295.0);
+}
+
+TEST(LangInterpTest, SignedShiftIsArithmetic) {
+  EXPECT_EQ(runFunction("int f(void) { int x = -8; return x >> 1; }", "f", {}),
+            -4.0);
+}
+
+TEST(LangInterpTest, UnsignedShiftIsLogical) {
+  EXPECT_EQ(runFunction(
+                "unsigned f(void) { unsigned x = 0x80000000u; return x >> 31; }",
+                "f", {}),
+            1.0);
+}
+
+TEST(LangInterpTest, UnsignedComparisonSemantics) {
+  // -1 compared against 1u converts to UINT_MAX: C says 1u < -1.
+  EXPECT_EQ(runFunction("int f(void) { unsigned u = 1u; return u < -1; }",
+                        "f", {}),
+            1.0);
+}
+
+TEST(LangInterpTest, IntegerDivisionTruncatesTowardZero) {
+  EXPECT_EQ(runFunction("int f(void) { return -7 / 2; }", "f", {}), -3.0);
+  EXPECT_EQ(runFunction("int f(void) { return -7 % 2; }", "f", {}), -1.0);
+}
+
+TEST(LangInterpTest, DivisionByZeroDoubleIsIEEE) {
+  EXPECT_TRUE(std::isinf(
+      runFunction("double f(double x) { return 1.0 / x; }", "f", {0.0})));
+}
+
+TEST(LangInterpTest, IntegerDivisionByZeroTraps) {
+  auto TU = mustCompile("int f(int x) { return 1 / x; }");
+  Interpreter Interp(*TU);
+  double Args[1] = {0.0};
+  double R = Interp.callEntry(*TU->findFunction("f"), Args);
+  EXPECT_TRUE(std::isnan(R));
+  EXPECT_TRUE(Interp.trapped());
+}
+
+TEST(LangInterpTest, HighWordMatchesFloatBits) {
+  auto TU = mustCompile("int high(double x) { return *(1 + (int *)&x); }\n"
+                        "int low(double x) { return *(int *)&x; }\n");
+  Interpreter Interp(*TU);
+  const FunctionDecl *High = TU->findFunction("high");
+  const FunctionDecl *Low = TU->findFunction("low");
+  Rng R(7);
+  for (int I = 0; I < 2000; ++I) {
+    double X = R.rawBitsDouble();
+    double Args[1] = {X};
+    EXPECT_EQ(Interp.callEntry(*High, Args), highWord(X));
+    EXPECT_EQ(Interp.callEntry(*Low, Args),
+              static_cast<int32_t>(lowWord(X)));
+  }
+}
+
+TEST(LangInterpTest, WritingHighWordRebuildsDouble) {
+  // setHighWord via the pointer idiom: the reverse direction of __HI.
+  const char *Source = "double f(double x, int hi) {\n"
+                       "  *(1 + (int *)&x) = hi;\n"
+                       "  return x;\n"
+                       "}\n";
+  auto TU = mustCompile(Source);
+  Interpreter Interp(*TU);
+  const FunctionDecl *F = TU->findFunction("f");
+  double Args[2] = {1.5, static_cast<double>(0x40090000)};
+  EXPECT_EQ(Interp.callEntry(*F, Args), setHighWord(1.5, 0x40090000));
+}
+
+TEST(LangInterpTest, PointerParameterLowering) {
+  // void FOO(double *p) {...} is tested as FOO(x) with *p == x
+  // (Sect. 5.3, Handling Pointers).
+  const char *Source = "double f(double *p) { *p = *p + 1.0; return *p; }";
+  auto TU = mustCompile(Source);
+  Interpreter Interp(*TU);
+  double Args[1] = {41.0};
+  EXPECT_EQ(Interp.callEntry(*TU->findFunction("f"), Args), 42.0);
+}
+
+TEST(LangInterpTest, IntParameterTruncates) {
+  EXPECT_EQ(runFunction("int f(int n) { return n; }", "f", {2.9}), 2.0);
+  EXPECT_EQ(runFunction("int f(int n) { return n; }", "f", {-2.9}), -2.0);
+}
+
+TEST(LangInterpTest, LocalArrayIndexing) {
+  const char *Source = "double f(int i) {\n"
+                       "  double t[4] = {1.0, 2.0, 4.0, 8.0};\n"
+                       "  t[0] = t[0] + 0.5;\n"
+                       "  return t[i];\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {0.0}), 1.5);
+  EXPECT_EQ(runFunction(Source, "f", {3.0}), 8.0);
+}
+
+TEST(LangInterpTest, ArrayOutOfBoundsTraps) {
+  auto TU = mustCompile("double f(int i) {\n"
+                        "  double t[2] = {1.0, 2.0};\n"
+                        "  return t[i];\n"
+                        "}\n");
+  Interpreter Interp(*TU);
+  double Args[1] = {1e9};
+  EXPECT_TRUE(std::isnan(Interp.callEntry(*TU->findFunction("f"), Args)));
+  EXPECT_TRUE(Interp.trapped());
+}
+
+TEST(LangInterpTest, PartialArrayInitializerZeroFills) {
+  const char *Source = "double f(void) {\n"
+                       "  double t[4] = {1.0};\n"
+                       "  return t[1] + t[2] + t[3];\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 0.0);
+}
+
+TEST(LangInterpTest, DoWhileRunsBodyFirst) {
+  const char *Source = "int f(void) {\n"
+                       "  int n = 0;\n"
+                       "  do n = n + 1; while (n < 0);\n"
+                       "  return n;\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 1.0);
+}
+
+TEST(LangInterpTest, BreakAndContinue) {
+  const char *Source = "int f(void) {\n"
+                       "  int sum = 0;\n"
+                       "  int i;\n"
+                       "  for (i = 0; i < 10; i++) {\n"
+                       "    if (i == 3) continue;\n"
+                       "    if (i == 6) break;\n"
+                       "    sum += i;\n"
+                       "  }\n"
+                       "  return sum;\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 0 + 1 + 2 + 4 + 5);
+}
+
+TEST(LangInterpTest, PreAndPostIncrementValues) {
+  const char *Source = "int f(void) {\n"
+                       "  int x = 5;\n"
+                       "  int a = x++;\n"
+                       "  int b = ++x;\n"
+                       "  return a * 100 + b * 10 + x;\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 5.0 * 100 + 7 * 10 + 7);
+}
+
+TEST(LangInterpTest, ShortCircuitSkipsSideEffects) {
+  const char *Source = "int f(void) {\n"
+                       "  int guard = 0;\n"
+                       "  int r = 0 && (guard = 1);\n"
+                       "  int s = 1 || (guard = 1);\n"
+                       "  return guard * 100 + r * 10 + s;\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 1.0);
+}
+
+TEST(LangInterpTest, RecursionWorks) {
+  const char *Source = "int fact(int n) {\n"
+                       "  if (n <= 1) return 1;\n"
+                       "  return n * fact(n - 1);\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "fact", {10.0}), 3628800.0);
+}
+
+TEST(LangInterpTest, RunawayRecursionTraps) {
+  auto TU = mustCompile("int f(int n) { return f(n + 1); }");
+  Interpreter Interp(*TU);
+  double Args[1] = {0.0};
+  EXPECT_TRUE(std::isnan(Interp.callEntry(*TU->findFunction("f"), Args)));
+  EXPECT_TRUE(Interp.trapped());
+  EXPECT_NE(Interp.trapMessage().find("depth"), std::string::npos);
+}
+
+TEST(LangInterpTest, InfiniteLoopHitsStepBudget) {
+  InterpOptions Opts;
+  Opts.MaxSteps = 10000;
+  auto TU = mustCompile("int f(int n) { while (n < 1) { } return n; }");
+  Interpreter Interp(*TU, Opts);
+  double Args[1] = {0.0};
+  EXPECT_TRUE(std::isnan(Interp.callEntry(*TU->findFunction("f"), Args)));
+  EXPECT_TRUE(Interp.trapped());
+  EXPECT_NE(Interp.trapMessage().find("budget"), std::string::npos);
+}
+
+TEST(LangInterpTest, BuiltinsMatchLibm) {
+  auto TU = mustCompile(
+      "double f(double x) { return sqrt(fabs(x)) + copysign(1.0, x); }");
+  Interpreter Interp(*TU);
+  const FunctionDecl *F = TU->findFunction("f");
+  Rng R(3);
+  for (int I = 0; I < 500; ++I) {
+    double X = R.wideDouble();
+    if (std::isnan(X))
+      continue;
+    double Args[1] = {X};
+    EXPECT_EQ(Interp.callEntry(*F, Args),
+              std::sqrt(std::fabs(X)) + std::copysign(1.0, X));
+  }
+}
+
+TEST(LangInterpTest, ScalbnBuiltinTakesIntExponent) {
+  EXPECT_EQ(runFunction("double f(double x) { return scalbn(x, 3); }", "f",
+                        {1.5}),
+            12.0);
+}
+
+TEST(LangInterpTest, TernaryConvertsToCommonType) {
+  EXPECT_EQ(runFunction(
+                "double f(int c) { return c ? 1 : 2.5; }", "f", {1.0}),
+            1.0);
+  EXPECT_EQ(runFunction(
+                "double f(int c) { return c ? 1 : 2.5; }", "f", {0.0}),
+            2.5);
+}
+
+TEST(LangInterpTest, NegationOfIntMinWraps) {
+  // -INT_MIN wraps back to INT_MIN (two's complement), not UB.
+  const char *Source =
+      "int f(void) { int x = -2147483647 - 1; return -x; }";
+  EXPECT_EQ(runFunction(Source, "f", {}), -2147483648.0);
+}
+
+TEST(LangInterpTest, CommaExpressionYieldsLast) {
+  EXPECT_EQ(runFunction(
+                "int f(void) { int a = 0; int b = (a = 3, a + 1); return b; }",
+                "f", {}),
+            4.0);
+}
+
+TEST(LangInterpTest, GlobalInitializersMayReferenceEarlierGlobals) {
+  const char *Source = "static const double base = 2.0;\n"
+                       "static const double twice = base * 2.0;\n"
+                       "double f(void) { return twice; }\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 4.0);
+}
+
+TEST(LangInterpTest, PointerComparisonAgainstNull) {
+  // `p != 0` on pointers evaluates (uninstrumented — Sect. 5.3 says such
+  // conditions are ignored); a seeded double* entry cell is non-null.
+  const char *Source = "int f(double *p) {\n"
+                       "  if (p != 0) return 1;\n"
+                       "  return 0;\n"
+                       "}\n";
+  auto TU = mustCompile(Source);
+  EXPECT_EQ(TU->NumSites, 0u); // pointer conditions make no site
+  Interpreter Interp(*TU);
+  double Args[1] = {0.0};
+  EXPECT_EQ(Interp.callEntry(*TU->findFunction("f"), Args), 1.0);
+}
+
+TEST(LangInterpTest, DoWhileConditionIsASite) {
+  auto TU = mustCompile("double f(double x) {\n"
+                        "  do x = x - 1.0; while (x > 0.0);\n"
+                        "  return x;\n"
+                        "}\n");
+  EXPECT_EQ(TU->NumSites, 1u);
+  Interpreter Interp(*TU);
+  ExecutionContext Ctx(TU->NumSites);
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  double Args[1] = {2.5};
+  Interp.callEntry(*TU->findFunction("f"), Args);
+  // Body first, then condition: 2.5 -> 1.5 (true), 0.5 (true), -0.5 (false).
+  ASSERT_EQ(Ctx.Trace.size(), 3u);
+  EXPECT_FALSE(Ctx.Trace.back().Outcome);
+}
+
+TEST(LangInterpTest, AssignmentThroughCastPointerToUnsigned) {
+  // `*(unsigned *)&x = v` writes the low word; round-trips with FloatBits.
+  const char *Source = "double f(double x) {\n"
+                       "  *(unsigned *)&x = 0xdeadbeefu;\n"
+                       "  return x;\n"
+                       "}\n";
+  auto TU = mustCompile(Source);
+  Interpreter Interp(*TU);
+  double Args[1] = {1.5};
+  EXPECT_EQ(Interp.callEntry(*TU->findFunction("f"), Args),
+            setLowWord(1.5, 0xdeadbeefu));
+}
+
+TEST(LangInterpTest, ChainedAssignmentAcrossTypes) {
+  // `q = q1 = s0 = s1 = 0` with mixed int/unsigned declarations — the
+  // e_sqrt.c idiom.
+  const char *Source = "int f(void) {\n"
+                       "  unsigned s1, q1;\n"
+                       "  int s0, q;\n"
+                       "  q = q1 = s0 = s1 = 0;\n"
+                       "  return q + (int)q1 + s0 + (int)s1;\n"
+                       "}\n";
+  EXPECT_EQ(runFunction(Source, "f", {}), 0.0);
+}
+
+TEST(LangInterpTest, ShiftCountsAreMasked) {
+  // C leaves shifts >= 32 undefined; the interpreter masks the count so
+  // hostile mutants stay total. (Real Fdlibm never shifts >= 32.)
+  EXPECT_EQ(runFunction("int f(void) { return 1 << 32; }", "f", {}), 1.0);
+  EXPECT_EQ(runFunction("unsigned f(void) { unsigned x = 8u;"
+                        " return x >> 33; }",
+                        "f", {}),
+            4.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Conditional-site hooks through the interpreter
+//===----------------------------------------------------------------------===//
+
+TEST(LangHookTest, SiteConditionsReportToExecutionContext) {
+  auto TU = mustCompile("double f(double x) {\n"
+                        "  if (x <= 1.0) return 0.0;\n"
+                        "  return 1.0;\n"
+                        "}\n");
+  ASSERT_EQ(TU->NumSites, 1u);
+  Interpreter Interp(*TU);
+  const FunctionDecl *F = TU->findFunction("f");
+
+  ExecutionContext Ctx(TU->NumSites);
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  double Args[1] = {0.5};
+  Interp.callEntry(*F, Args);
+  ASSERT_EQ(Ctx.Trace.size(), 1u);
+  EXPECT_EQ(Ctx.Trace[0].Site, 0u);
+  EXPECT_TRUE(Ctx.Trace[0].Outcome);
+
+  Ctx.beginRun();
+  Args[0] = 2.0;
+  Interp.callEntry(*F, Args);
+  ASSERT_EQ(Ctx.Trace.size(), 1u);
+  EXPECT_FALSE(Ctx.Trace[0].Outcome);
+}
+
+TEST(LangHookTest, LoopConditionFiresPerIteration) {
+  auto TU = mustCompile("double f(double x) {\n"
+                        "  while (x < 4.0) x = x + 1.0;\n"
+                        "  return x;\n"
+                        "}\n");
+  Interpreter Interp(*TU);
+  ExecutionContext Ctx(TU->NumSites);
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  double Args[1] = {1.0};
+  Interp.callEntry(*TU->findFunction("f"), Args);
+  // Three true evaluations (1, 2, 3) plus the final false at 4.
+  ASSERT_EQ(Ctx.Trace.size(), 4u);
+  EXPECT_TRUE(Ctx.Trace[0].Outcome);
+  EXPECT_FALSE(Ctx.Trace[3].Outcome);
+}
+
+TEST(LangHookTest, SitePromotionFollowsUsualConversions) {
+  // `unsigned j; int i1; if (j < i1)` compares both operands as unsigned
+  // in C. The site hook must promote AFTER that conversion: the signed
+  // value of i1 seen as a double would flip the branch (the fdlibm
+  // floor/ceil carry test is exactly this shape).
+  const char *Source = "int f(double x) {\n"
+                       "  unsigned j = 0x3d8c63b1u;\n"
+                       "  int i1 = *(int *)&x;\n"
+                       "  if (j < i1) return 1;\n"
+                       "  return 0;\n"
+                       "}\n";
+  auto TU = mustCompile(Source);
+  ASSERT_EQ(TU->NumSites, 1u);
+  Interpreter Interp(*TU);
+  ExecutionContext Ctx(TU->NumSites);
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  // Low word of this double is 0xfd8c63b1: negative as int, large as
+  // unsigned, so C says j < (unsigned)i1 holds.
+  double X = bitsToDouble(0xc15a486dfd8c63b1ull);
+  double Args[1] = {X};
+  EXPECT_EQ(Interp.callEntry(*TU->findFunction("f"), Args), 1.0);
+  ASSERT_EQ(Ctx.Trace.size(), 1u);
+  EXPECT_TRUE(Ctx.Trace[0].Outcome);
+}
+
+TEST(LangHookTest, PenDistanceVisibleThroughSource) {
+  // With the true arm saturated, pen at the site must equal the branch
+  // distance to the false arm (Def. 4.2(b)).
+  auto TU = mustCompile("double f(double x) {\n"
+                        "  if (x == 4.0) return 0.0;\n"
+                        "  return 1.0;\n"
+                        "}\n");
+  Interpreter Interp(*TU);
+  ExecutionContext Ctx(TU->NumSites);
+  Ctx.saturate({0, false}); // false arm saturated; target the true arm
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  double Args[1] = {1.0};
+  Interp.callEntry(*TU->findFunction("f"), Args);
+  EXPECT_EQ(Ctx.R, (1.0 - 4.0) * (1.0 - 4.0));
+}
+
+//===----------------------------------------------------------------------===//
+// SourceProgram pipeline
+//===----------------------------------------------------------------------===//
+
+/// s_tanh.c from Fdlibm 5.3 (the paper's Fig. 1), transliterated into the
+/// supported subset with the exact conditional structure of the native
+/// port in src/fdlibm/PortsHyperbolic.cpp (6 sites).
+const char *TanhSource =
+    "static const double one = 1.0, two = 2.0, tiny = 1.0e-300;\n"
+    "double tanh(double x) {\n"
+    "  double t, z;\n"
+    "  int jx, ix;\n"
+    "  jx = *(1 + (int *)&x);\n"
+    "  ix = jx & 0x7fffffff;\n"
+    "  if (ix >= 0x7ff00000) {\n"
+    "    if (jx >= 0) return one / x + one;\n"
+    "    else return one / x - one;\n"
+    "  }\n"
+    "  if (ix < 0x40360000) {\n"
+    "    if (ix < 0x3c800000)\n"
+    "      return x * (one + x);\n"
+    "    if (ix >= 0x3ff00000) {\n"
+    "      t = expm1(two * fabs(x));\n"
+    "      z = one - two / (t + two);\n"
+    "    } else {\n"
+    "      t = expm1(-two * fabs(x));\n"
+    "      z = -t / (t + two);\n"
+    "    }\n"
+    "  } else {\n"
+    "    z = one - tiny;\n"
+    "  }\n"
+    "  if (jx >= 0) return z;\n"
+    "  else return -z;\n"
+    "}\n";
+
+TEST(SourceProgramTest, CompilesTanhWithSixSites) {
+  SourceProgram SP = compileSourceProgram(TanhSource, "tanh");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  EXPECT_EQ(SP.Prog.NumSites, 6u);
+  EXPECT_EQ(SP.Prog.Arity, 1u);
+  EXPECT_EQ(SP.Prog.numBranches(), 12u); // the paper's Table 2 count
+}
+
+TEST(SourceProgramTest, InterpretedTanhBitIdenticalToNativePort) {
+  SourceProgram SP = compileSourceProgram(TanhSource, "tanh");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  const Program *Native = fdlibm::registry().lookup("tanh");
+  ASSERT_NE(Native, nullptr);
+
+  Rng R(5);
+  for (int I = 0; I < 4000; ++I) {
+    double X = R.rawBitsDouble();
+    double Args[1] = {X};
+    double Mine = SP.Prog.Body(Args);
+    double Theirs = Native->Body(Args);
+    EXPECT_EQ(doubleToBits(Mine), doubleToBits(Theirs))
+        << "x = " << X << " (bits " << doubleToBits(X) << ")";
+  }
+}
+
+TEST(SourceProgramTest, InterpretedTanhTracksLibm) {
+  SourceProgram SP = compileSourceProgram(TanhSource, "tanh");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  Rng R(17);
+  for (int I = 0; I < 2000; ++I) {
+    double X = R.uniform(-30.0, 30.0);
+    double Args[1] = {X};
+    EXPECT_NEAR(SP.Prog.Body(Args), std::tanh(X),
+                1e-12 + std::fabs(std::tanh(X)) * 1e-12);
+  }
+}
+
+TEST(SourceProgramTest, CoverMeFromSourceReachesFullCoverage) {
+  // The paper's headline demo: full branch coverage of Fig. 1's tanh from
+  // nothing but source text, in one campaign.
+  SourceProgram SP = compileSourceProgram(TanhSource, "tanh");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CoverMeOptions Opts;
+  Opts.NStart = 200;
+  Opts.Seed = 3;
+  CampaignResult Res = CoverMe(SP.Prog, Opts).run();
+  // Every arm is genuinely covered. (The infeasibility heuristic may blame
+  // an arm mid-campaign before a later accepted input covers it anyway;
+  // only the final coverage is contractual.)
+  EXPECT_EQ(Res.BranchCoverage, 1.0);
+  EXPECT_TRUE(Res.AllSaturated);
+}
+
+TEST(SourceProgramTest, CampaignMatchesNativePortCoverage) {
+  // Interpreted and native tanh give the same campaign outcome under the
+  // same seed: the pipeline change is transparent to Algorithm 1.
+  SourceProgram SP = compileSourceProgram(TanhSource, "tanh");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  const Program *Native = fdlibm::registry().lookup("tanh");
+  ASSERT_NE(Native, nullptr);
+  ASSERT_EQ(SP.Prog.NumSites, Native->NumSites);
+
+  CoverMeOptions Opts;
+  Opts.NStart = 200;
+  Opts.Seed = 4;
+  CampaignResult Mine = CoverMe(SP.Prog, Opts).run();
+  CampaignResult Theirs = CoverMe(*Native, Opts).run();
+  EXPECT_EQ(Mine.BranchCoverage, Theirs.BranchCoverage);
+}
+
+TEST(SourceProgramTest, PointerEntryParameterLowering) {
+  // modf-style signature: double modf(double x, double *iptr).
+  const char *Source = "double f(double x, double *iptr) {\n"
+                       "  double i = floor(x);\n"
+                       "  *iptr = i;\n"
+                       "  return x - i;\n"
+                       "}\n";
+  SourceProgram SP = compileSourceProgram(Source, "f");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  EXPECT_EQ(SP.Prog.Arity, 2u);
+  double Args[2] = {2.75, 0.0};
+  EXPECT_EQ(SP.Prog.Body(Args), 0.75);
+}
+
+TEST(SourceProgramTest, ReportsUnknownEntry) {
+  SourceProgram SP = compileSourceProgram("int f(void) { return 1; }", "g");
+  EXPECT_FALSE(SP.success());
+  EXPECT_NE(SP.diagnosticsText().find("not defined"), std::string::npos);
+}
+
+TEST(SourceProgramTest, ReportsParseErrors) {
+  SourceProgram SP = compileSourceProgram("double f(double x) {", "f");
+  EXPECT_FALSE(SP.success());
+}
+
+TEST(SourceProgramTest, ProgramOutlivesSourceProgramStruct) {
+  Program Copy;
+  {
+    SourceProgram SP = compileSourceProgram(TanhSource, "tanh");
+    ASSERT_TRUE(SP.success());
+    Copy = SP.Prog;
+  }
+  double Args[1] = {0.5};
+  EXPECT_NEAR(Copy.Body(Args), std::tanh(0.5), 1e-12);
+}
+
+TEST(SourceProgramTest, FooGooFunctionCallCampaign) {
+  // Sect. 5.3 "Handling Function Calls": FOO calls GOO; only GOO has a
+  // conditional, and instrumenting both (one shared site space) lets a
+  // campaign on FOO saturate GOO's branches.
+  const char *Source =
+      "double goo(double x) {\n"
+      "  if (sin(x) <= 0.99) return 1.0;\n"
+      "  return 0.0;\n"
+      "}\n"
+      "double foo(double x) { return goo(x); }\n";
+  SourceProgram SP = compileSourceProgram(Source, "foo");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  EXPECT_EQ(SP.Prog.NumSites, 1u);
+
+  CoverMeOptions Opts;
+  Opts.NStart = 100;
+  Opts.Seed = 7;
+  CampaignResult Res = CoverMe(SP.Prog, Opts).run();
+  EXPECT_EQ(Res.BranchCoverage, 1.0);
+}
+
+TEST(SourceProgramTest, InfeasibleBranchHeuristicFromSource) {
+  // Sect. 5.3's walkthrough: with y = square(x) >= 0, the branch
+  // `y == -1` is infeasible; the heuristic must deem exactly that arm
+  // infeasible while everything reachable is covered.
+  const char *Source =
+      "double square(double v) { return v * v; }\n"
+      "double foo(double x) {\n"
+      "  double y;\n"
+      "  if (x <= 1.0) x = x + 1.0;\n"
+      "  y = square(x);\n"
+      "  if (y == -1.0) return 1.0;\n"
+      "  return 0.0;\n"
+      "}\n";
+  SourceProgram SP = compileSourceProgram(Source, "foo");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  ASSERT_EQ(SP.Prog.NumSites, 2u);
+
+  CoverMeOptions Opts;
+  Opts.NStart = 120;
+  Opts.Seed = 5;
+  CampaignResult Res = CoverMe(SP.Prog, Opts).run();
+  // Three of four arms are reachable and must be covered.
+  EXPECT_TRUE(Res.Coverage.isCovered({0, true}));
+  EXPECT_TRUE(Res.Coverage.isCovered({0, false}));
+  EXPECT_TRUE(Res.Coverage.isCovered({1, false}));
+  EXPECT_FALSE(Res.Coverage.isCovered({1, true}));
+  // The campaign terminates via the heuristic writing off 1T.
+  EXPECT_TRUE(Res.AllSaturated);
+  bool Blamed1T = false;
+  for (BranchRef Ref : Res.InfeasibleMarked)
+    if (Ref.Site == 1 && Ref.Outcome)
+      Blamed1T = true;
+  EXPECT_TRUE(Blamed1T);
+}
+
+//===----------------------------------------------------------------------===//
+// Theorem 4.3 through the source pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(SourceProgramTest, Theorem43HoldsForInterpretedPrograms) {
+  // C1 plus the soundness half of C2 over *arbitrary* saturation states:
+  // FOO_R(x) >= 0 always, and FOO_R(x) == 0 implies executing x covers
+  // some unsaturated arm. (The full biconditional needs Def. 3.2's
+  // descendant-closed saturation — see
+  // RuntimeTest.Theorem43WithDef32Saturation; soundness is what makes
+  // accepted inputs always progress, and it must survive the interpreter
+  // substrate.)
+  SourceProgram SP = compileSourceProgram(TanhSource, "tanh");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+
+  Rng R(97);
+  ExecutionContext Ctx(SP.Prog.NumSites);
+  RepresentingFunction FR(SP.Prog, Ctx);
+
+  for (int Round = 0; Round < 300; ++Round) {
+    // Random saturation state.
+    for (uint32_t Site = 0; Site < SP.Prog.NumSites; ++Site) {
+      if (R.below(2))
+        Ctx.saturate({Site, true});
+      if (R.below(2))
+        Ctx.saturate({Site, false});
+    }
+    for (int Probe = 0; Probe < 20; ++Probe) {
+      double X = R.wideDouble();
+      std::vector<double> Input = {X};
+      double Value = FR(Input);
+      ASSERT_GE(Value, 0.0) << "C1 violated at x = " << X; // C1
+
+      // Ground truth: does x's path cover an unsaturated arm?
+      Ctx.TraceEnabled = true;
+      FR.execute(Input);
+      bool CoversNew = false;
+      for (BranchRef Ref : Ctx.Trace)
+        if (!Ctx.isSaturated(Ref))
+          CoversNew = true;
+      if (Value == 0.0)
+        EXPECT_TRUE(CoversNew)
+            << "C2 soundness violated at x = " << X;
+    }
+    // Fresh state for the next round.
+    Ctx = ExecutionContext(SP.Prog.NumSites);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: interpreted arithmetic equals compiled arithmetic
+//===----------------------------------------------------------------------===//
+
+struct ArithCase {
+  const char *Name;
+  const char *Source;
+  double (*Reference)(double, double);
+};
+
+double refAddMul(double A, double B) {
+  return A * B + (A - B);
+}
+double refBitMix(double A, double B) {
+  int32_t I = highWord(A);
+  int32_t J = highWord(B);
+  return static_cast<double>((I & J) | ((I ^ J) >> 3));
+}
+double refCompareChain(double A, double B) {
+  return (A < B ? 1.0 : 0.0) + (A == B ? 2.0 : 0.0) + (A >= B ? 4.0 : 0.0);
+}
+
+class LangEquivalenceTest : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(LangEquivalenceTest, MatchesCompiledSemantics) {
+  const ArithCase &C = GetParam();
+  SourceProgram SP = compileSourceProgram(C.Source, "f");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  Rng R(23);
+  for (int I = 0; I < 3000; ++I) {
+    double A = R.wideDouble();
+    double B = R.wideDouble();
+    if (std::isnan(A) || std::isnan(B))
+      continue;
+    double Args[2] = {A, B};
+    double Mine = SP.Prog.Body(Args);
+    double Ref = C.Reference(A, B);
+    EXPECT_EQ(doubleToBits(Mine), doubleToBits(Ref))
+        << C.Name << " a=" << A << " b=" << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LangEquivalenceTest,
+    ::testing::Values(
+        ArithCase{"add_mul",
+                  "double f(double a, double b) { return a * b + (a - b); }",
+                  refAddMul},
+        ArithCase{"bit_mix",
+                  "double f(double a, double b) {\n"
+                  "  int i = *(1 + (int *)&a);\n"
+                  "  int j = *(1 + (int *)&b);\n"
+                  "  return (i & j) | ((i ^ j) >> 3);\n"
+                  "}\n",
+                  refBitMix},
+        ArithCase{"compare_chain",
+                  "double f(double a, double b) {\n"
+                  "  return (a < b ? 1.0 : 0.0) + (a == b ? 2.0 : 0.0)\n"
+                  "       + (a >= b ? 4.0 : 0.0);\n"
+                  "}\n",
+                  refCompareChain}),
+    [](const ::testing::TestParamInfo<ArithCase> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- OptimTest.cpp - Unit tests for the unconstrained-programming library -===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "optim/Basinhopping.h"
+#include "optim/CoordinateDescent.h"
+#include "optim/LineSearch.h"
+#include "optim/NelderMead.h"
+#include "optim/Powell.h"
+#include "optim/SimulatedAnnealing.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace coverme;
+
+namespace {
+
+/// The paper's Sect. 2 example: f(x1,x2) = (x1-3)^2 + (x2-5)^2.
+Objective paperQuadratic() {
+  return [](const std::vector<double> &X) {
+    double A = X[0] - 3.0, B = X[1] - 5.0;
+    return A * A + B * B;
+  };
+}
+
+/// Fig. 2(a): x <= 1 ? 0 : (x-1)^2.
+Objective fig2a() {
+  return [](const std::vector<double> &X) {
+    return X[0] <= 1.0 ? 0.0 : (X[0] - 1.0) * (X[0] - 1.0);
+  };
+}
+
+/// Fig. 2(b): x <= 1 ? ((x+1)^2-4)^2 : (x^2-4)^2. Global minima -3, 1, 2.
+Objective fig2b() {
+  return [](const std::vector<double> &X) {
+    double V = X[0];
+    double T = V <= 1.0 ? (V + 1.0) * (V + 1.0) - 4.0 : V * V - 4.0;
+    return T * T;
+  };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Line search
+//===----------------------------------------------------------------------===//
+
+TEST(LineSearchTest, BracketsSimpleQuadratic) {
+  ScalarObjective G = [](double T) { return (T - 4.0) * (T - 4.0); };
+  Bracket Br = bracketMinimum(G, 0.0, 1.0);
+  ASSERT_TRUE(Br.Valid);
+  EXPECT_LE(std::min(Br.A, Br.C), 4.0);
+  EXPECT_GE(std::max(Br.A, Br.C), 4.0);
+  EXPECT_LE(Br.FB, Br.FA);
+  EXPECT_LE(Br.FB, Br.FC);
+}
+
+TEST(LineSearchTest, BrentFindsQuadraticMinimum) {
+  ScalarObjective G = [](double T) { return (T - 4.0) * (T - 4.0) + 2.5; };
+  LineSearchResult Res = lineMinimize(G, 1.0);
+  EXPECT_NEAR(Res.T, 4.0, 1e-6);
+  EXPECT_NEAR(Res.F, 2.5, 1e-9);
+}
+
+TEST(LineSearchTest, BrentHandlesAbsValueKink) {
+  ScalarObjective G = [](double T) { return std::fabs(T - 2.0); };
+  LineSearchResult Res = lineMinimize(G, 0.5);
+  EXPECT_NEAR(Res.T, 2.0, 1e-5);
+}
+
+TEST(LineSearchTest, DescendsInNegativeDirection) {
+  ScalarObjective G = [](double T) { return (T + 7.0) * (T + 7.0); };
+  LineSearchResult Res = lineMinimize(G, 1.0);
+  EXPECT_NEAR(Res.T, -7.0, 1e-5);
+}
+
+TEST(LineSearchTest, NaNObjectiveDoesNotPoisonSearch) {
+  ScalarObjective G = [](double T) {
+    if (T > 100.0)
+      return std::nan("");
+    return (T - 1.0) * (T - 1.0);
+  };
+  LineSearchResult Res = lineMinimize(G, 1.0);
+  EXPECT_NEAR(Res.T, 1.0, 1e-5);
+}
+
+//===----------------------------------------------------------------------===//
+// Local minimizers, parameterized across implementations
+//===----------------------------------------------------------------------===//
+
+class LocalMinimizerParamTest
+    : public ::testing::TestWithParam<LocalMinimizerKind> {};
+
+TEST_P(LocalMinimizerParamTest, SolvesPaperQuadratic) {
+  auto LM = makeLocalMinimizer(GetParam());
+  MinimizeResult Res = LM->minimize(paperQuadratic(), {20.0, -13.0});
+  EXPECT_NEAR(Res.X[0], 3.0, 1e-3);
+  EXPECT_NEAR(Res.X[1], 5.0, 1e-3);
+  EXPECT_LT(Res.Fx, 1e-5);
+}
+
+TEST_P(LocalMinimizerParamTest, ConvergesOntoFig2aPlateau) {
+  auto LM = makeLocalMinimizer(GetParam());
+  MinimizeResult Res = LM->minimize(fig2a(), {7.5});
+  EXPECT_EQ(Res.Fx, 0.0);
+  EXPECT_LE(Res.X[0], 1.0 + 1e-6);
+}
+
+TEST_P(LocalMinimizerParamTest, RespectsEvaluationBudget) {
+  LocalMinimizerOptions Opts;
+  Opts.MaxEvaluations = 50;
+  auto LM = makeLocalMinimizer(GetParam(), Opts);
+  uint64_t Calls = 0;
+  Objective F = [&](const std::vector<double> &X) {
+    ++Calls;
+    return X[0] * X[0] + X[1] * X[1] + X[2] * X[2];
+  };
+  LM->minimize(F, {100.0, -50.0, 25.0});
+  // Budget is approximate (a line search in flight may finish), but must
+  // stay the same order of magnitude.
+  EXPECT_LT(Calls, 200u);
+}
+
+TEST_P(LocalMinimizerParamTest, EmptyStartIsSafe) {
+  auto LM = makeLocalMinimizer(GetParam());
+  MinimizeResult Res = LM->minimize(paperQuadratic(), {});
+  EXPECT_TRUE(Res.X.empty());
+}
+
+TEST_P(LocalMinimizerParamTest, NeverIncreasesObjective) {
+  auto LM = makeLocalMinimizer(GetParam());
+  Objective F = paperQuadratic();
+  std::vector<double> Start = {42.0, 17.0};
+  double FStart = F(Start);
+  MinimizeResult Res = LM->minimize(F, Start);
+  EXPECT_LE(Res.Fx, FStart);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocalMinimizers, LocalMinimizerParamTest,
+                         ::testing::Values(LocalMinimizerKind::Powell,
+                                           LocalMinimizerKind::NelderMead,
+                                           LocalMinimizerKind::CoordinateDescent),
+                         [](const auto &Info) {
+                           std::string Name =
+                               localMinimizerKindName(Info.param);
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(IdentityMinimizerTest, ReturnsStartUnchanged) {
+  auto LM = makeLocalMinimizer(LocalMinimizerKind::None);
+  MinimizeResult Res = LM->minimize(paperQuadratic(), {9.0, 9.0});
+  EXPECT_EQ(Res.X[0], 9.0);
+  EXPECT_EQ(Res.X[1], 9.0);
+  EXPECT_EQ(Res.NumEvals, 1u);
+}
+
+TEST(MinimizerFactoryTest, NamesRoundTrip) {
+  for (LocalMinimizerKind Kind :
+       {LocalMinimizerKind::Powell, LocalMinimizerKind::NelderMead,
+        LocalMinimizerKind::CoordinateDescent, LocalMinimizerKind::None}) {
+    auto LM = makeLocalMinimizer(Kind);
+    EXPECT_EQ(LM->name(), localMinimizerKindName(Kind));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Basinhopping
+//===----------------------------------------------------------------------===//
+
+class BasinhoppingSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BasinhoppingSeedTest, EscapesLocalBasinOnFig2b) {
+  PowellMinimizer Powell;
+  BasinhoppingOptions Opts;
+  Opts.NIter = 30;
+  BasinhoppingMinimizer BH(Powell, Opts);
+  Rng Rng(GetParam());
+  MinimizeResult Res = BH.minimize(fig2b(), {6.0}, Rng);
+  EXPECT_LT(Res.Fx, 1e-8) << "stuck at x=" << Res.X[0];
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BasinhoppingSeedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(BasinhoppingTest, CallbackStopsEarly) {
+  PowellMinimizer Powell;
+  BasinhoppingOptions Opts;
+  Opts.NIter = 100;
+  BasinhoppingMinimizer BH(Powell, Opts);
+  Rng Rng(3);
+  unsigned Calls = 0;
+  BasinhoppingCallback StopImmediately =
+      [&](const std::vector<double> &, double) {
+        ++Calls;
+        return true;
+      };
+  MinimizeResult Res = BH.minimize(paperQuadratic(), {0.0, 0.0}, Rng,
+                                   StopImmediately);
+  EXPECT_TRUE(Res.StoppedByCallback);
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(BasinhoppingTest, TracksBestEverSample) {
+  // Even if MCMC accepts uphill moves, the reported result is the best.
+  PowellMinimizer Powell;
+  BasinhoppingOptions Opts;
+  Opts.NIter = 20;
+  BasinhoppingMinimizer BH(Powell, Opts);
+  Rng Rng(5);
+  Objective F = paperQuadratic();
+  MinimizeResult Res = BH.minimize(F, {100.0, 100.0}, Rng);
+  EXPECT_LE(Res.Fx, F({100.0, 100.0}));
+  EXPECT_DOUBLE_EQ(Res.Fx, F(Res.X));
+}
+
+TEST(BasinhoppingTest, RespectsEvaluationBudget) {
+  PowellMinimizer Powell;
+  BasinhoppingOptions Opts;
+  Opts.NIter = 1000;
+  Opts.MaxEvaluations = 500;
+  BasinhoppingMinimizer BH(Powell, Opts);
+  Rng Rng(7);
+  uint64_t Calls = 0;
+  Objective F = [&](const std::vector<double> &X) {
+    ++Calls;
+    return std::sin(X[0]) + 0.01 * X[0] * X[0] + 2.0;
+  };
+  BH.minimize(F, {50.0}, Rng);
+  EXPECT_LT(Calls, 2500u); // One local run may overshoot; order preserved.
+}
+
+TEST(BasinhoppingTest, EmptyStartIsSafe) {
+  PowellMinimizer Powell;
+  BasinhoppingMinimizer BH(Powell);
+  Rng Rng(1);
+  MinimizeResult Res = BH.minimize(paperQuadratic(), {}, Rng);
+  EXPECT_TRUE(Res.X.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Simulated annealing
+//===----------------------------------------------------------------------===//
+
+TEST(SimulatedAnnealingTest, SolvesFig2b) {
+  AnnealingOptions Opts;
+  Opts.NumSteps = 20000;
+  SimulatedAnnealingMinimizer SA(Opts);
+  Rng Rng(11);
+  MinimizeResult Res = SA.minimize(fig2b(), {6.0}, Rng);
+  EXPECT_LT(Res.Fx, 1e-3);
+}
+
+TEST(SimulatedAnnealingTest, StopsAtExactZero) {
+  SimulatedAnnealingMinimizer SA;
+  Rng Rng(13);
+  MinimizeResult Res = SA.minimize(fig2a(), {3.0}, Rng);
+  EXPECT_EQ(Res.Fx, 0.0);
+  EXPECT_TRUE(Res.Converged);
+}
+
+//===----------------------------------------------------------------------===//
+// CountingObjective
+//===----------------------------------------------------------------------===//
+
+TEST(CountingObjectiveTest, CountsAndSanitizesNaN) {
+  Objective F = [](const std::vector<double> &X) {
+    return X[0] == 0.0 ? std::nan("") : X[0];
+  };
+  CountingObjective Counted(F);
+  EXPECT_EQ(Counted({0.0}), NaNPenalty);
+  EXPECT_EQ(Counted({5.0}), 5.0);
+  EXPECT_EQ(Counted.numEvals(), 2u);
+}

@@ -1,0 +1,488 @@
+//===- RuntimeTest.cpp - Unit tests for the instrumentation runtime ---------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Exercises Def. 4.1 (branch distance, property Eq. 8), Def. 4.2 (pen),
+// the representing function's conditions C1/C2, and Thm. 4.3 on the
+// paper's FOO example.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BranchDistance.h"
+#include "runtime/Coverage.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/Hooks.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace coverme;
+
+//===----------------------------------------------------------------------===//
+// CmpOp
+//===----------------------------------------------------------------------===//
+
+TEST(CmpOpTest, NegationIsInvolutive) {
+  for (CmpOp Op : {CmpOp::EQ, CmpOp::NE, CmpOp::LT, CmpOp::LE, CmpOp::GT,
+                   CmpOp::GE})
+    EXPECT_EQ(negateCmpOp(negateCmpOp(Op)), Op);
+}
+
+TEST(CmpOpTest, NegationFlipsOutcome) {
+  Rng R(3);
+  for (int I = 0; I < 2000; ++I) {
+    double A = R.uniform(-10, 10), B = R.uniform(-10, 10);
+    for (CmpOp Op : {CmpOp::EQ, CmpOp::NE, CmpOp::LT, CmpOp::LE, CmpOp::GT,
+                     CmpOp::GE})
+      EXPECT_NE(evalCmpOp(Op, A, B), evalCmpOp(negateCmpOp(Op), A, B));
+  }
+}
+
+TEST(CmpOpTest, SpellingRoundTrip) {
+  for (CmpOp Op : {CmpOp::EQ, CmpOp::NE, CmpOp::LT, CmpOp::LE, CmpOp::GT,
+                   CmpOp::GE})
+    EXPECT_EQ(parseCmpOp(cmpOpSpelling(Op)), Op);
+}
+
+TEST(CmpOpTest, NaNComparisonSemantics) {
+  double NaN = std::nan("");
+  EXPECT_FALSE(evalCmpOp(CmpOp::EQ, NaN, NaN));
+  EXPECT_TRUE(evalCmpOp(CmpOp::NE, NaN, 1.0));
+  EXPECT_FALSE(evalCmpOp(CmpOp::LT, NaN, 1.0));
+  EXPECT_FALSE(evalCmpOp(CmpOp::GE, NaN, 1.0));
+}
+
+//===----------------------------------------------------------------------===//
+// Branch distance: the Eq. 8 property, swept over operators and operands
+//===----------------------------------------------------------------------===//
+
+class BranchDistancePropertyTest : public ::testing::TestWithParam<CmpOp> {};
+
+TEST_P(BranchDistancePropertyTest, NonNegativeAndZeroIffHolds) {
+  CmpOp Op = GetParam();
+  Rng R(17);
+  for (int I = 0; I < 5000; ++I) {
+    double A, B;
+    // Mix equal pairs in so EQ/LE/GE boundary cases are exercised. The
+    // magnitudes stay within 2^+-100 so the squared distance cannot
+    // underflow to zero for unequal operands — the floating-point caveat
+    // Remark 6.1 documents, tested separately below.
+    auto Moderate = [&R]() {
+      double Mantissa = R.uniform(1.0, 2.0);
+      int Exp = static_cast<int>(R.below(200)) - 100;
+      double Sign = R.chance(0.5) ? 1.0 : -1.0;
+      return Sign * std::ldexp(Mantissa, Exp);
+    };
+    if (I % 5 == 0) {
+      A = B = R.uniform(-100, 100);
+    } else {
+      A = Moderate();
+      B = Moderate();
+    }
+    double D = branchDistance(Op, A, B);
+    EXPECT_GE(D, 0.0) << cmpOpSpelling(Op) << " " << A << " " << B;
+    EXPECT_EQ(D == 0.0, evalCmpOp(Op, A, B))
+        << cmpOpSpelling(Op) << " " << A << " " << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, BranchDistancePropertyTest,
+                         ::testing::Values(CmpOp::EQ, CmpOp::NE, CmpOp::LT,
+                                           CmpOp::LE, CmpOp::GT, CmpOp::GE),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case CmpOp::EQ: return std::string("EQ");
+                           case CmpOp::NE: return std::string("NE");
+                           case CmpOp::LT: return std::string("LT");
+                           case CmpOp::LE: return std::string("LE");
+                           case CmpOp::GT: return std::string("GT");
+                           case CmpOp::GE: return std::string("GE");
+                           }
+                           return std::string("unknown");
+                         });
+
+TEST(BranchDistanceTest, MatchesDef41Formulas) {
+  // d(==,a,b) = (a-b)^2.
+  EXPECT_DOUBLE_EQ(branchDistance(CmpOp::EQ, 7.0, 3.0), 16.0);
+  // d(<=,a,b) = 0 when holds, (a-b)^2 otherwise.
+  EXPECT_EQ(branchDistance(CmpOp::LE, 1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(branchDistance(CmpOp::LE, 5.0, 2.0), 9.0);
+  // d(<,a,b) carries the epsilon when violated.
+  EXPECT_EQ(branchDistance(CmpOp::LT, 1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(branchDistance(CmpOp::LT, 2.0, 2.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(branchDistance(CmpOp::LT, 3.0, 2.0, 0.5), 1.5);
+  // d(!=,a,b) = eps when equal.
+  EXPECT_DOUBLE_EQ(branchDistance(CmpOp::NE, 4.0, 4.0, 0.25), 0.25);
+  EXPECT_EQ(branchDistance(CmpOp::NE, 4.0, 5.0), 0.0);
+  // Mirrored operators.
+  EXPECT_DOUBLE_EQ(branchDistance(CmpOp::GE, 2.0, 5.0),
+                   branchDistance(CmpOp::LE, 5.0, 2.0));
+  EXPECT_DOUBLE_EQ(branchDistance(CmpOp::GT, 2.0, 5.0, 0.5),
+                   branchDistance(CmpOp::LT, 5.0, 2.0, 0.5));
+}
+
+TEST(BranchDistanceTest, SquaredDistanceUnderflowCaveat) {
+  // Remark 6.1: FOO_R can evaluate to zero without the condition holding
+  // when (a-b)^2 underflows. Pin down that documented behaviour.
+  double A = 1.0e-200, B = 1.5e-200; // (a-b)^2 = 2.5e-401 -> 0
+  EXPECT_NE(A, B);
+  EXPECT_EQ(branchDistance(CmpOp::EQ, A, B), 0.0);
+}
+
+TEST(BranchDistanceTest, DistanceShrinksMonotonically) {
+  // Closer operands give smaller distance — what gradient descent uses.
+  double Prev = branchDistance(CmpOp::EQ, 10.0, 0.0);
+  for (double A = 9.0; A >= 0.0; A -= 1.0) {
+    double D = branchDistance(CmpOp::EQ, A, 0.0);
+    EXPECT_LT(D, Prev);
+    Prev = D;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// pen (Def. 4.2)
+//===----------------------------------------------------------------------===//
+
+TEST(PenTest, NeitherArmSaturatedReturnsZero) {
+  ExecutionContext Ctx(2);
+  EXPECT_EQ(Ctx.pen(0, CmpOp::LT, 100.0, 1.0), 0.0);
+}
+
+TEST(PenTest, TrueArmUnsaturatedTargetsTrueArm) {
+  ExecutionContext Ctx(2);
+  Ctx.saturate({0, false}); // F saturated, T not.
+  // pen = d(op, a, b): distance to making the condition true.
+  EXPECT_DOUBLE_EQ(Ctx.pen(0, CmpOp::LE, 5.0, 2.0), 9.0);
+  EXPECT_EQ(Ctx.pen(0, CmpOp::LE, 1.0, 2.0), 0.0);
+}
+
+TEST(PenTest, FalseArmUnsaturatedTargetsOppositeOp) {
+  ExecutionContext Ctx(2);
+  Ctx.saturate({0, true}); // T saturated, F not.
+  // pen = d(!op, a, b): distance to making the condition false.
+  EXPECT_EQ(Ctx.pen(0, CmpOp::LE, 5.0, 2.0), 0.0);
+  EXPECT_GT(Ctx.pen(0, CmpOp::LE, 1.0, 2.0), 0.0);
+}
+
+TEST(PenTest, BothSaturatedKeepsR) {
+  ExecutionContext Ctx(2);
+  Ctx.saturate({0, true});
+  Ctx.saturate({0, false});
+  Ctx.R = 42.0;
+  EXPECT_EQ(Ctx.pen(0, CmpOp::EQ, 1.0, 99.0), 42.0);
+}
+
+//===----------------------------------------------------------------------===//
+// ExecutionContext
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutionContextTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(ExecutionContext::current(), nullptr);
+  ExecutionContext Outer(1), Inner(1);
+  {
+    ExecutionContext::Scope S1(Outer);
+    EXPECT_EQ(ExecutionContext::current(), &Outer);
+    {
+      ExecutionContext::Scope S2(Inner);
+      EXPECT_EQ(ExecutionContext::current(), &Inner);
+    }
+    EXPECT_EQ(ExecutionContext::current(), &Outer);
+  }
+  EXPECT_EQ(ExecutionContext::current(), nullptr);
+}
+
+TEST(ExecutionContextTest, HookWithoutContextJustEvaluates) {
+  EXPECT_TRUE(rt::cond(0, CmpOp::LT, 1.0, 2.0));
+  EXPECT_FALSE(rt::cond(123456, CmpOp::GT, 1.0, 2.0)); // any site id is fine
+}
+
+TEST(ExecutionContextTest, EvalCondRecordsTraceAndCoverage) {
+  ExecutionContext Ctx(2);
+  CoverageMap Map(2);
+  Ctx.Coverage = &Map;
+  ExecutionContext::Scope S(Ctx);
+  Ctx.beginRun();
+  EXPECT_TRUE(rt::cond(0, CmpOp::LT, 1.0, 2.0));
+  EXPECT_FALSE(rt::cond(1, CmpOp::EQ, 1.0, 2.0));
+  ASSERT_EQ(Ctx.Trace.size(), 2u);
+  EXPECT_EQ(Ctx.Trace[0], (BranchRef{0, true}));
+  EXPECT_EQ(Ctx.Trace[1], (BranchRef{1, false}));
+  EXPECT_EQ(Map.hits(0, true), 1u);
+  EXPECT_EQ(Map.hits(1, false), 1u);
+  EXPECT_EQ(Map.hits(1, true), 0u);
+}
+
+TEST(ExecutionContextTest, SaturationBookkeeping) {
+  ExecutionContext Ctx(3);
+  EXPECT_FALSE(Ctx.allSaturated());
+  EXPECT_EQ(Ctx.saturatedCount(), 0u);
+  for (uint32_t S = 0; S < 3; ++S) {
+    Ctx.saturate({S, true});
+    Ctx.saturate({S, false});
+  }
+  EXPECT_TRUE(Ctx.allSaturated());
+  EXPECT_EQ(Ctx.saturatedCount(), 6u);
+}
+
+TEST(ExecutionContextTest, OperandRecording) {
+  ExecutionContext Ctx(2);
+  Ctx.RecordOperands = true;
+  ExecutionContext::Scope S(Ctx);
+  Ctx.beginRun();
+  rt::cond(1, CmpOp::GE, 9.0, 4.0);
+  ASSERT_EQ(Ctx.Observations.size(), 2u);
+  EXPECT_FALSE(Ctx.Observations[0].Executed);
+  EXPECT_TRUE(Ctx.Observations[1].Executed);
+  EXPECT_EQ(Ctx.Observations[1].Op, CmpOp::GE);
+  EXPECT_EQ(Ctx.Observations[1].A, 9.0);
+  EXPECT_EQ(Ctx.Observations[1].B, 4.0);
+}
+
+//===----------------------------------------------------------------------===//
+// CoverageMap
+//===----------------------------------------------------------------------===//
+
+TEST(CoverageMapTest, BranchCoverageCounts) {
+  CoverageMap Map(3);
+  EXPECT_EQ(Map.coveredArms(), 0u);
+  EXPECT_DOUBLE_EQ(Map.branchCoverage(), 0.0);
+  Map.recordHit(0, true);
+  Map.recordHit(0, true);
+  Map.recordHit(2, false);
+  EXPECT_EQ(Map.coveredArms(), 2u);
+  EXPECT_DOUBLE_EQ(Map.branchCoverage(), 2.0 / 6.0);
+  EXPECT_EQ(Map.totalHits(), 3u);
+}
+
+TEST(CoverageMapTest, BranchFreeProgramIsFullyCovered) {
+  CoverageMap Map(0);
+  EXPECT_DOUBLE_EQ(Map.branchCoverage(), 1.0);
+}
+
+TEST(CoverageMapTest, MergeAccumulates) {
+  CoverageMap A(2), B(2);
+  A.recordHit(0, true);
+  B.recordHit(1, false);
+  B.recordHit(0, true);
+  A.merge(B);
+  EXPECT_EQ(A.hits(0, true), 2u);
+  EXPECT_EQ(A.hits(1, false), 1u);
+  EXPECT_EQ(A.coveredArms(), 2u);
+}
+
+TEST(CoverageMapTest, UncoveredArmsEnumeration) {
+  CoverageMap Map(2);
+  Map.recordHit(0, true);
+  std::vector<BranchRef> Uncovered = Map.uncoveredArms();
+  ASSERT_EQ(Uncovered.size(), 3u);
+  EXPECT_EQ(Uncovered[0], (BranchRef{0, false}));
+  EXPECT_EQ(Uncovered[1], (BranchRef{1, true}));
+  EXPECT_EQ(Uncovered[2], (BranchRef{1, false}));
+}
+
+TEST(CoverageMapTest, LineModelMonotoneInArms) {
+  Program P;
+  P.NumSites = 4;
+  P.TotalLines = 40;
+  CoverageMap Map(4);
+  double Prev = Map.lineCoverage(P);
+  EXPECT_EQ(Prev, 0.0); // nothing executed yet
+  for (uint32_t S = 0; S < 4; ++S) {
+    Map.recordHit(S, true);
+    double Cur = Map.lineCoverage(P);
+    EXPECT_GT(Cur, Prev);
+    Prev = Cur;
+  }
+  for (uint32_t S = 0; S < 4; ++S)
+    Map.recordHit(S, false);
+  EXPECT_LE(Map.lineCoverage(P), 1.0);
+  EXPECT_GT(Map.lineCoverage(P), Prev);
+}
+
+//===----------------------------------------------------------------------===//
+// RepresentingFunction: C1, C2, and Thm. 4.3 on the paper's FOO
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double square(double V) { return V * V; }
+
+/// FOO from Fig. 3: l0: if (x <= 1) x++;  y = x*x;  l1: if (y == 4) ...
+double fooBody(const double *Args) {
+  double X = Args[0];
+  if (CVM_LE(0, X, 1.0))
+    X = X + 1.0;
+  double Y = square(X);
+  if (CVM_EQ(1, Y, 4.0))
+    return 1.0;
+  return 0.0;
+}
+
+Program fooProgram() {
+  Program P;
+  P.Name = "FOO";
+  P.File = "fig3.c";
+  P.Arity = 1;
+  P.NumSites = 2;
+  P.TotalLines = 6;
+  P.Body = fooBody;
+  return P;
+}
+
+} // namespace
+
+TEST(RepresentingFunctionTest, TableOneRowOne) {
+  // Nothing saturated: FOO_R = lambda x.0.
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  RepresentingFunction FR(P, Ctx);
+  for (double X : {-10.0, 0.7, 1.0, 2.0, 55.5})
+    EXPECT_EQ(FR({X}), 0.0);
+}
+
+TEST(RepresentingFunctionTest, TableOneRowTwo) {
+  // Saturate {1F}: FOO_R = x<=1 ? ((x+1)^2-4)^2 : (x^2-4)^2.
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  Ctx.saturate({1, false});
+  RepresentingFunction FR(P, Ctx);
+  EXPECT_DOUBLE_EQ(FR({0.0}), 9.0);   // ((0+1)^2-4)^2 = 9
+  EXPECT_EQ(FR({1.0}), 0.0);          // (2^2-4)^2 = 0
+  EXPECT_EQ(FR({2.0}), 0.0);          // (2^2-4)^2 = 0
+  EXPECT_EQ(FR({-3.0}), 0.0);         // ((-2)^2-4)^2 = 0
+  EXPECT_DOUBLE_EQ(FR({3.0}), 25.0);  // (9-4)^2
+}
+
+TEST(RepresentingFunctionTest, TableOneRowThree) {
+  // Saturate {0T, 1T, 1F}: FOO_R = x>1 ? 0 : (x-1)^2 + eps.
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  Ctx.saturate({0, true});
+  Ctx.saturate({1, true});
+  Ctx.saturate({1, false});
+  RepresentingFunction FR(P, Ctx);
+  EXPECT_EQ(FR({1.1}), 0.0);
+  EXPECT_EQ(FR({100.0}), 0.0);
+  EXPECT_GT(FR({1.0}), 0.0); // boundary: strict > fails, eps shows up
+  EXPECT_NEAR(FR({0.0}), 1.0, 1e-9);
+}
+
+TEST(RepresentingFunctionTest, TableOneRowFour) {
+  // Everything saturated: FOO_R = lambda x.1.
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  for (uint32_t S = 0; S < 2; ++S) {
+    Ctx.saturate({S, true});
+    Ctx.saturate({S, false});
+  }
+  RepresentingFunction FR(P, Ctx);
+  for (double X : {-5.2, 0.0, 1.0, 2.0, 1e10})
+    EXPECT_EQ(FR({X}), 1.0);
+}
+
+/// C1 plus the soundness half of Thm. 4.3 over *arbitrary* saturation
+/// states: a zero of FOO_R always covers some unsaturated arm. (The other
+/// direction needs descendant-closed states; see the next test.)
+TEST(RepresentingFunctionTest, ConditionC1AndZeroImpliesNewCoverage) {
+  Program P = fooProgram();
+  Rng R(99);
+  for (int Round = 0; Round < 1000; ++Round) {
+    ExecutionContext Ctx(P.NumSites);
+    for (uint32_t S = 0; S < P.NumSites; ++S) {
+      if (R.chance(0.5))
+        Ctx.saturate({S, true});
+      if (R.chance(0.5))
+        Ctx.saturate({S, false});
+    }
+    RepresentingFunction FR(P, Ctx);
+    double X = R.chance(0.3) ? R.uniform(-4, 4) : R.wideDouble();
+    if (X != X)
+      continue; // NaN operands void Thm. 4.3's real-arithmetic premise
+    double V = FR({X});
+    EXPECT_TRUE(V >= 0.0) << "C1 violated at x=" << X; // C1
+    if (V != 0.0)
+      continue;
+    Ctx.TraceEnabled = true;
+    FR.execute({X});
+    bool SaturatesNew = false;
+    for (BranchRef Ref : Ctx.Trace)
+      SaturatesNew |= !Ctx.isSaturated(Ref);
+    EXPECT_TRUE(SaturatesNew)
+        << "zero minimum without new coverage at x=" << X;
+  }
+}
+
+/// Full Thm. 4.3, both directions, with the genuine Def. 3.2 semantics.
+/// For FOO, l1 is reached from both arms of l0, so 0T/0F are *saturated*
+/// only once 1T and 1F are covered (the Table 1 subtlety: after round one,
+/// Saturate is {1F} although 0T is covered). The test enumerates every
+/// covered-set C, derives S = Saturate(C), installs S in the context, and
+/// checks: FOO_R(x) == 0  <=>  Saturate(C + cover(x)) != S.
+TEST(RepresentingFunctionTest, Theorem43WithDef32Saturation) {
+  Program P = fooProgram();
+  Rng R(101);
+
+  // Arm indexing: bit0 = 0T, bit1 = 0F, bit2 = 1T, bit3 = 1F.
+  auto ArmBit = [](BranchRef Ref) {
+    return 1u << (Ref.Site * 2 + (Ref.Outcome ? 0 : 1));
+  };
+  // Saturate(C) per Def. 3.2: l1's arms have no descendants; l0's arms
+  // have descendants {1T, 1F}.
+  auto SaturateOf = [](unsigned C) {
+    unsigned S = C & 0b1100;
+    if ((C & 0b1100) == 0b1100)
+      S |= C & 0b0011;
+    return S;
+  };
+
+  for (unsigned Covered = 0; Covered < 16; ++Covered) {
+    unsigned S = SaturateOf(Covered);
+    ExecutionContext Ctx(P.NumSites);
+    if (S & 0b0001)
+      Ctx.saturate({0, true});
+    if (S & 0b0010)
+      Ctx.saturate({0, false});
+    if (S & 0b0100)
+      Ctx.saturate({1, true});
+    if (S & 0b1000)
+      Ctx.saturate({1, false});
+    RepresentingFunction FR(P, Ctx);
+
+    for (int I = 0; I < 500; ++I) {
+      // Mix generic points with the interesting minima of Table 1.
+      double X = I % 7 == 0 ? 1.0 : (I % 7 == 1 ? -3.0 : R.uniform(-6, 6));
+      double V = FR({X});
+      Ctx.TraceEnabled = true;
+      FR.execute({X});
+      unsigned NewCovered = Covered;
+      for (BranchRef Ref : Ctx.Trace)
+        NewCovered |= ArmBit(Ref);
+      bool SaturatesNew = SaturateOf(NewCovered) != S;
+      EXPECT_EQ(V == 0.0, SaturatesNew)
+          << "Thm 4.3 violated at x=" << X << " value " << V << " covered "
+          << Covered;
+    }
+  }
+}
+
+TEST(RepresentingFunctionTest, ExecuteLeavesPenDisabled) {
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  RepresentingFunction FR(P, Ctx);
+  Ctx.R = 123.0;
+  EXPECT_EQ(FR.execute({5.0}), 0.0); // FOO's own return value
+  // execute() runs beginRun (r := 1) but pen never assigns to it.
+  EXPECT_EQ(Ctx.R, 1.0);
+}
+
+TEST(RepresentingFunctionTest, ObjectiveAdapterAgrees) {
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  Ctx.saturate({1, false});
+  RepresentingFunction FR(P, Ctx);
+  Objective Obj = FR.asObjective();
+  for (double X : {-2.0, 0.0, 1.5})
+    EXPECT_EQ(Obj({X}), FR({X}));
+}

@@ -1,0 +1,265 @@
+//===- SupportTest.cpp - Unit tests for the support library -----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FloatBits.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace coverme;
+
+//===----------------------------------------------------------------------===//
+// FloatBits
+//===----------------------------------------------------------------------===//
+
+TEST(FloatBitsTest, BitsRoundTrip) {
+  for (double V : {0.0, -0.0, 1.0, -1.0, 3.14159, 1e300, 5e-324}) {
+    EXPECT_EQ(doubleToBits(bitsToDouble(doubleToBits(V))), doubleToBits(V));
+  }
+}
+
+TEST(FloatBitsTest, HighWordMatchesFdlibmConstants) {
+  // The magic constants the ports compare against.
+  EXPECT_EQ(highWord(1.0), 0x3ff00000);
+  EXPECT_EQ(highWord(2.0), 0x40000000);
+  EXPECT_EQ(highWord(0.5), 0x3fe00000);
+  EXPECT_EQ(highWord(22.0), 0x40360000);
+  EXPECT_EQ(highWord(std::numeric_limits<double>::infinity()), 0x7ff00000);
+  EXPECT_EQ(highWord(-1.0), static_cast<int32_t>(0xbff00000u));
+}
+
+TEST(FloatBitsTest, WordsRoundTrip) {
+  double V = 123.456789;
+  EXPECT_EQ(doubleFromWords(highWord(V), lowWord(V)), V);
+  EXPECT_EQ(setHighWord(V, highWord(V)), V);
+  EXPECT_EQ(setLowWord(V, lowWord(V)), V);
+}
+
+TEST(FloatBitsTest, SetHighWordChangesMagnitudeOnly) {
+  double V = 1.75; // mantissa bits in high word only
+  double W = setHighWord(V, highWord(V) + (1 << 20)); // bump exponent
+  EXPECT_DOUBLE_EQ(W, 3.5);
+}
+
+TEST(FloatBitsTest, SubnormalDetection) {
+  EXPECT_TRUE(isSubnormal(5e-324));
+  EXPECT_TRUE(isSubnormal(-5e-324));
+  EXPECT_TRUE(isSubnormal(2.0e-308));
+  EXPECT_FALSE(isSubnormal(0.0));
+  EXPECT_FALSE(isSubnormal(2.3e-308));
+  EXPECT_FALSE(isSubnormal(1.0));
+  EXPECT_FALSE(isSubnormal(std::numeric_limits<double>::infinity()));
+}
+
+TEST(FloatBitsTest, NaNAndInfinityDetection) {
+  EXPECT_TRUE(isNaNBits(std::nan("")));
+  EXPECT_FALSE(isNaNBits(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(isInfinity(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(isInfinity(-std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(isInfinity(1e308));
+  EXPECT_FALSE(isNaNBits(0.0));
+}
+
+TEST(FloatBitsTest, UnbiasedExponent) {
+  EXPECT_EQ(unbiasedExponent(1.0), 0);
+  EXPECT_EQ(unbiasedExponent(2.0), 1);
+  EXPECT_EQ(unbiasedExponent(0.5), -1);
+  EXPECT_EQ(unbiasedExponent(-8.0), 3);
+}
+
+TEST(FloatBitsTest, UlpDistanceAdjacent) {
+  double V = 1.0;
+  double Next = std::nextafter(V, 2.0);
+  EXPECT_EQ(ulpDistance(V, Next), 1u);
+  EXPECT_EQ(ulpDistance(V, V), 0u);
+  // Across the sign boundary: +0 and -0 are one step apart on the ordered
+  // integer line used here... they map to 0 and 1 respectively.
+  EXPECT_LE(ulpDistance(0.0, -0.0), 1u);
+  EXPECT_EQ(ulpDistance(std::nan(""), 1.0), UINT64_MAX);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    double U = R.uniform01();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-3.5, 8.25);
+    EXPECT_GE(U, -3.5);
+    EXPECT_LT(U, 8.25);
+  }
+}
+
+TEST(RngTest, BelowIsBounded) {
+  Rng R(11);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int I = 0; I < 500; ++I)
+      EXPECT_LT(R.below(Bound), Bound);
+  }
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng R(13);
+  bool Seen[5] = {};
+  for (int I = 0; I < 1000; ++I)
+    Seen[R.below(5)] = true;
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(17);
+  OnlineStats Stats;
+  for (int I = 0; I < 50000; ++I)
+    Stats.add(R.gaussian());
+  EXPECT_NEAR(Stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(Stats.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentUniformNeverSubnormalOrSpecial) {
+  Rng R(19);
+  for (int I = 0; I < 20000; ++I) {
+    double V = R.exponentUniformDouble();
+    EXPECT_TRUE(std::isfinite(V));
+    EXPECT_FALSE(isSubnormal(V));
+    EXPECT_NE(V, 0.0);
+  }
+}
+
+TEST(RngTest, WideDoubleNeverSubnormal) {
+  // The Sect.-D reproduction depends on this invariant.
+  Rng R(23);
+  for (int I = 0; I < 50000; ++I)
+    EXPECT_FALSE(isSubnormal(R.wideDouble()));
+}
+
+TEST(RngTest, WideDoubleProducesSpecials) {
+  Rng R(29);
+  bool SawZero = false, SawInf = false, SawNaN = false, SawNegative = false;
+  for (int I = 0; I < 20000; ++I) {
+    double V = R.wideDouble();
+    SawZero |= V == 0.0;
+    SawInf |= std::isinf(V);
+    SawNaN |= V != V;
+    SawNegative |= V < 0.0;
+  }
+  EXPECT_TRUE(SawZero);
+  EXPECT_TRUE(SawInf);
+  EXPECT_TRUE(SawNaN);
+  EXPECT_TRUE(SawNegative);
+}
+
+TEST(RngTest, ExponentUniformVectorSize) {
+  Rng R(31);
+  EXPECT_EQ(R.exponentUniformVector(5).size(), 5u);
+  EXPECT_TRUE(R.exponentUniformVector(0).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, OnlineStatsKnownValues) {
+  OnlineStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12); // sample variance
+}
+
+TEST(StatisticsTest, OnlineStatsEmptyAndSingle) {
+  OnlineStats S;
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+  S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 3.5);
+  EXPECT_DOUBLE_EQ(S.max(), 3.5);
+}
+
+TEST(StatisticsTest, MeanAndGeometricMean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_NEAR(geometricMean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_EQ(geometricMean({1.0, -1.0}), 0.0);
+}
+
+TEST(StatisticsTest, MedianAndPercentile) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 50.0), 3.0);
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, AsciiAlignment) {
+  Table T({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22.5"});
+  std::string Out = T.toAscii();
+  EXPECT_NE(Out.find("name   value"), std::string::npos);
+  EXPECT_NE(Out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(Out.find("b      22.5"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table T({"a", "b"});
+  T.addRow({"plain", "has,comma"});
+  T.addRow({"has\"quote", "x"});
+  std::string Csv = T.toCsv();
+  EXPECT_NE(Csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CellFormatters) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(7), "7");
+  EXPECT_EQ(Table::percentCell(0.875), "87.5");
+}
+
+TEST(TableTest, RowAndColumnCounts) {
+  Table T({"x", "y", "z"});
+  EXPECT_EQ(T.numColumns(), 3u);
+  EXPECT_EQ(T.numRows(), 0u);
+  T.addRow({"1", "2", "3"});
+  EXPECT_EQ(T.numRows(), 1u);
+}
