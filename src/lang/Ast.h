@@ -95,6 +95,7 @@ struct Type {
   friend bool operator==(const Type &L, const Type &R) {
     return L.Base == R.Base && L.PtrDepth == R.PtrDepth;
   }
+  friend bool operator!=(const Type &L, const Type &R) { return !(L == R); }
 };
 
 /// Renders a type as C source, e.g. "int *" or "double".

@@ -810,7 +810,7 @@ Value Evaluator::evalExpr(const Expr &E) {
       Value Old = load(Addr, Ty);
       if (Trapped)
         return Value::makeVoid();
-      BinaryOp Op;
+      BinaryOp Op = BinaryOp::Add; // always overwritten; placates -Wmaybe-uninitialized
       switch (A.Op) {
       case AssignOp::Add:
         Op = BinaryOp::Add;

@@ -511,7 +511,7 @@ ExprPtr Parser::parseBinary(int MinPrecedence) {
   if (!Lhs)
     return nullptr;
   while (true) {
-    BinaryOp Op;
+    BinaryOp Op = BinaryOp::Add; // set by binaryPrecedence whenever Prec >= MinPrecedence
     int Prec = binaryPrecedence(peek(), Op);
     if (Prec < MinPrecedence)
       return Lhs;

@@ -950,9 +950,10 @@ TEST(SourceProgramTest, Theorem43HoldsForInterpretedPrograms) {
       for (BranchRef Ref : Ctx.Trace)
         if (!Ctx.isSaturated(Ref))
           CoversNew = true;
-      if (Value == 0.0)
+      if (Value == 0.0) {
         EXPECT_TRUE(CoversNew)
             << "C2 soundness violated at x = " << X;
+      }
     }
     // Fresh state for the next round.
     Ctx = ExecutionContext(SP.Prog.NumSites);
