@@ -2,7 +2,9 @@
 
 #include "bench/BenchCommon.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace coverme;
 using namespace coverme::bench;
@@ -46,9 +48,148 @@ RowResult coverme::bench::runRow(const Program &P, const Protocol &Proto) {
 
 Protocol coverme::bench::protocolFromArgs(int Argc, char **Argv) {
   Protocol Proto;
-  if (Argc > 1)
-    Proto.NStart = static_cast<unsigned>(std::atoi(Argv[1]));
-  if (Argc > 2)
-    Proto.Seed = static_cast<uint64_t>(std::atoll(Argv[2]));
+  int Positional = 0;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--threads=", 10) == 0) {
+      char *End = nullptr;
+      long Threads = std::strtol(Arg + 10, &End, 10);
+      if (End == Arg + 10 || *End != '\0' || Threads < 0 || Threads > 4096) {
+        std::fprintf(stderr,
+                     "%s: bad --threads value '%s' (want 0..4096, 0 = all "
+                     "cores)\n",
+                     Argv[0], Arg + 10);
+        std::exit(2);
+      }
+      Proto.Threads = static_cast<unsigned>(Threads);
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      Proto.Json = true;
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      Proto.Json = true;
+      Proto.JsonPath = Arg + 7;
+    } else if (std::strncmp(Arg, "--", 2) == 0) {
+      // A typoed flag must not fall through to atoi (it would silently
+      // become n_start=0 and run a zero-round sweep).
+      std::fprintf(stderr,
+                   "%s: unknown flag '%s'\n"
+                   "usage: %s [n_start] [seed] [--threads=N] [--json[=path]]\n",
+                   Argv[0], Arg, Argv[0]);
+      std::exit(2);
+    } else if (++Positional == 1) {
+      Proto.NStart = static_cast<unsigned>(std::atoi(Arg));
+    } else if (Positional == 2) {
+      Proto.Seed = static_cast<uint64_t>(std::atoll(Arg));
+    }
+  }
   return Proto;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (names here are identifiers and paths, but
+/// stay correct on principle).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void printTester(std::FILE *F, const char *Name, const TesterResult &T,
+                 const char *Sep) {
+  std::fprintf(F,
+               "      \"%s\": {\"branch_coverage\": %.6f, "
+               "\"line_coverage\": %.6f, \"executions\": %llu, "
+               "\"seconds\": %.6f, \"corpus\": %zu}%s\n",
+               Name, T.BranchCoverage, T.LineCoverage,
+               static_cast<unsigned long long>(T.Executions), T.Seconds,
+               T.CorpusSize, Sep);
+}
+
+} // namespace
+
+std::string coverme::bench::writeRowsJson(const Protocol &Proto,
+                                          const std::string &BenchName,
+                                          const std::vector<RowResult> &Rows,
+                                          double SweepWallSeconds) {
+  std::string Path =
+      Proto.JsonPath.empty() ? "BENCH_" + BenchName + ".json" : Proto.JsonPath;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "writeRowsJson: cannot open %s\n", Path.c_str());
+    return "";
+  }
+
+  double SumCm = 0, SumRand = 0, SumAfl = 0, SumAustin = 0, SumSeconds = 0;
+  std::fprintf(F,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"protocol\": {\"n_start\": %u, \"n_iter\": %u, "
+               "\"seed\": %llu, \"budget_multiplier\": %.1f, "
+               "\"threads\": %u},\n"
+               "  \"sweep_wall_seconds\": %.6f,\n"
+               "  \"rows\": [\n",
+               jsonEscape(BenchName).c_str(), Proto.NStart, Proto.NIter,
+               static_cast<unsigned long long>(Proto.Seed),
+               Proto.BudgetMultiplier, Proto.Threads, SweepWallSeconds);
+
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const RowResult &Row = Rows[I];
+    const CampaignResult &Cm = Row.CoverMe;
+    SumCm += Cm.BranchCoverage;
+    SumRand += Row.Rand.BranchCoverage;
+    SumAfl += Row.Afl.BranchCoverage;
+    SumAustin += Row.Austin.BranchCoverage;
+    SumSeconds += Cm.Seconds;
+    std::fprintf(F,
+                 "    {\"file\": \"%s\", \"function\": \"%s\", "
+                 "\"branches\": %u,\n"
+                 "      \"coverme\": {\"branch_coverage\": %.6f, "
+                 "\"line_coverage\": %.6f, \"covered\": %u, "
+                 "\"evaluations\": %llu, \"seconds\": %.6f, \"inputs\": %zu, "
+                 "\"starts_used\": %u, \"all_saturated\": %s, "
+                 "\"infeasible_marked\": %zu}%s\n",
+                 jsonEscape(Row.Prog ? Row.Prog->File : "").c_str(),
+                 jsonEscape(Row.Prog ? Row.Prog->Name : "").c_str(),
+                 Row.Prog ? Row.Prog->numBranches() : 0, Cm.BranchCoverage,
+                 Cm.LineCoverage, Cm.CoveredBranches,
+                 static_cast<unsigned long long>(Cm.Evaluations), Cm.Seconds,
+                 Cm.Inputs.size(), Cm.StartsUsed,
+                 Cm.AllSaturated ? "true" : "false",
+                 Cm.InfeasibleMarked.size(),
+                 (Proto.RunRand || Proto.RunAfl || Proto.RunAustin) ? ","
+                                                                    : "");
+    if (Proto.RunRand)
+      printTester(F, "rand", Row.Rand,
+                  (Proto.RunAfl || Proto.RunAustin) ? "," : "");
+    if (Proto.RunAfl)
+      printTester(F, "afl", Row.Afl, Proto.RunAustin ? "," : "");
+    if (Proto.RunAustin)
+      printTester(F, "austin", Row.Austin, "");
+    std::fprintf(F, "    }%s\n", I + 1 < Rows.size() ? "," : "");
+  }
+
+  double N = Rows.empty() ? 1.0 : static_cast<double>(Rows.size());
+  std::fprintf(F,
+               "  ],\n"
+               "  \"means\": {\"coverme_branch_coverage\": %.6f, "
+               "\"rand_branch_coverage\": %.6f, "
+               "\"afl_branch_coverage\": %.6f, "
+               "\"austin_branch_coverage\": %.6f, "
+               "\"coverme_seconds\": %.6f}\n"
+               "}\n",
+               SumCm / N, SumRand / N, SumAfl / N, SumAustin / N,
+               SumSeconds / N);
+  std::fclose(F);
+  return Path;
 }

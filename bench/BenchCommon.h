@@ -16,15 +16,25 @@
 /// * Austin receives the same 10x budget split per target branch; like the
 ///   real tool it stops when every target is covered or exhausted.
 ///
+/// The sweep drivers (bench_table2, bench_source_suite) shard whole rows
+/// across a CampaignRunner pool (`--threads=N`); every row is seeded
+/// independently, so results are identical for any thread count. With
+/// `--json[=path]` they additionally emit a machine-readable
+/// `BENCH_<name>.json` record for perf tracking.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COVERME_BENCH_BENCHCOMMON_H
 #define COVERME_BENCH_BENCHCOMMON_H
 
+#include "core/CampaignRunner.h"
 #include "core/CoverMe.h"
 #include "fuzz/AflFuzzer.h"
 #include "fuzz/AustinTester.h"
 #include "fuzz/RandomTester.h"
+
+#include <string>
+#include <vector>
 
 namespace coverme {
 namespace bench {
@@ -47,13 +57,26 @@ struct Protocol {
   bool RunRand = true;
   bool RunAfl = true;
   bool RunAustin = true;
+  unsigned Threads = 1;  ///< Row-shard workers for sweeps (0 = all cores).
+  bool Json = false;     ///< Emit the BENCH_*.json record.
+  std::string JsonPath;  ///< Override path; empty = "BENCH_<bench>.json".
 };
 
 /// Runs the full protocol on one program.
 RowResult runRow(const Program &P, const Protocol &Proto);
 
-/// Parses `[n_start] [seed]` style overrides shared by the bench mains.
+/// Parses `[n_start] [seed]` positional overrides plus `--threads=N` and
+/// `--json[=path]` flags shared by the bench mains.
 Protocol protocolFromArgs(int Argc, char **Argv);
+
+/// Writes the machine-readable sweep record: protocol, per-row coverage /
+/// evaluations / wall time for CoverMe and each enabled baseline, means,
+/// and the sweep wall time. Path defaults to "BENCH_<BenchName>.json"
+/// (overridden by Proto.JsonPath). Returns the path written, or empty on
+/// I/O failure (reported to stderr).
+std::string writeRowsJson(const Protocol &Proto, const std::string &BenchName,
+                          const std::vector<RowResult> &Rows,
+                          double SweepWallSeconds);
 
 } // namespace bench
 } // namespace coverme

@@ -10,7 +10,12 @@
 // overlaps the native-port campaign coverage is printed alongside: the
 // pipeline swap should not change who wins.
 //
-// Usage: bench_source_suite [n_start] [seed]
+// Each row compiles its own SourceProgram (one interpreter per row), so
+// whole rows shard safely across the CampaignRunner pool even though an
+// interpreted body is not reentrant. `--json[=path]` writes
+// BENCH_source_suite.json.
+//
+// Usage: bench_source_suite [n_start] [seed] [--threads=N] [--json[=path]]
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,50 +23,64 @@
 #include "fdlibm/Fdlibm.h"
 #include "lang/SourceSuite.h"
 #include "support/Table.h"
+#include "support/Timer.h"
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
 
 using namespace coverme;
 using namespace coverme::bench;
 using namespace coverme::lang;
 
+namespace {
+
+/// A sweep row plus the data the source table needs beyond RowResult.
+struct SourceRow {
+  RowResult Row;
+  /// Keeps the interpreted Program (whose body closure owns the
+  /// interpreter) alive for Row.Prog and the JSON writer.
+  std::shared_ptr<Program> Prog;
+  unsigned Branches = 0;
+  bool FrontendOk = false;
+  std::string NativeText = "-";
+};
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   Protocol Proto = protocolFromArgs(Argc, Argv);
   Proto.RunAustin = false;
 
+  CampaignRunner Runner({Proto.Threads, {}});
+  Proto.Threads = Runner.threads(); // resolve 0 for the report and the JSON
   std::printf(
       "Source-pipeline suite: CoverMe versus Rand and AFL over interpreted "
       "Fdlibm 5.3 sources\n"
       "protocol: n_start=%u, n_iter=%u, LM=powell, seed=%llu; "
-      "Rand/AFL budget = 10x CoverMe evaluations\n\n",
+      "Rand/AFL budget = 10x CoverMe evaluations; %u row threads\n\n",
       Proto.NStart, Proto.NIter,
-      static_cast<unsigned long long>(Proto.Seed));
+      static_cast<unsigned long long>(Proto.Seed), Runner.threads());
 
-  Table T({"file", "entry", "#br", "time(s)", "Rand", "AFL", "CoverMe",
-           "native CM", "CM-Rand", "CM-AFL"});
-  double SumRand = 0, SumAfl = 0, SumCm = 0;
   size_t N = sourceSuite().size();
-
-  for (size_t I = 0; I < N; ++I) {
+  WallTimer Sweep;
+  std::atomic<size_t> Done{0};
+  std::vector<SourceRow> Rows = Runner.map<SourceRow>(N, [&](size_t I) {
     const SourceBenchmark &B = sourceSuite()[I];
-    std::fprintf(stderr, "[%2zu/%zu] %s\n", I + 1, N, B.Name.c_str());
+    SourceRow Out;
     SourceProgram SP = compileSourceBenchmark(B);
     if (!SP.success()) {
-      std::fprintf(stderr, "  frontend failed:\n%s\n",
-                   SP.diagnosticsText().c_str());
-      continue;
+      std::fprintf(stderr, "[%zu] %s frontend failed:\n%s\n", I + 1,
+                   B.Name.c_str(), SP.diagnosticsText().c_str());
+      return Out;
     }
-    RowResult Row = runRow(SP.Prog, Proto);
-    double Cm = 100.0 * Row.CoverMe.BranchCoverage;
-    double Rd = 100.0 * Row.Rand.BranchCoverage;
-    double Af = 100.0 * Row.Afl.BranchCoverage;
-    SumRand += Rd;
-    SumAfl += Af;
-    SumCm += Cm;
+    Out.FrontendOk = true;
+    Out.Branches = SP.Prog.numBranches();
+    Out.Prog = std::make_shared<Program>(SP.Prog);
+    Out.Row = runRow(*Out.Prog, Proto);
 
     // Where a word-exact native port exists, run the identical campaign
     // over it so the pipeline effect is visible in one row.
-    std::string NativeText = "-";
     if (const Program *Port = fdlibm::registry().lookup(B.NativePort)) {
       if (Port->NumSites == SP.Prog.NumSites) {
         CoverMeOptions Opts;
@@ -69,25 +88,56 @@ int main(int Argc, char **Argv) {
         Opts.NIter = Proto.NIter;
         Opts.Seed = Proto.Seed;
         CampaignResult Native = CoverMe(*Port, Opts).run();
-        NativeText = Table::cell(100.0 * Native.BranchCoverage);
+        Out.NativeText = Table::cell(100.0 * Native.BranchCoverage);
       }
     }
+    std::fprintf(stderr, "[%2zu/%zu] %s\n", Done.fetch_add(1) + 1, N,
+                 B.Name.c_str());
+    return Out;
+  });
+  double Wall = Sweep.seconds();
 
-    T.addRow({B.File, B.Name, std::to_string(SP.Prog.numBranches()),
-              Table::cell(Row.CoverMe.Seconds, 2), Table::cell(Rd),
-              Table::cell(Af), Table::cell(Cm), NativeText,
+  Table T({"file", "entry", "#br", "time(s)", "Rand", "AFL", "CoverMe",
+           "native CM", "CM-Rand", "CM-AFL"});
+  double SumRand = 0, SumAfl = 0, SumCm = 0;
+  size_t Ok = 0;
+  std::vector<RowResult> JsonRows;
+  for (size_t I = 0; I < N; ++I) {
+    const SourceBenchmark &B = sourceSuite()[I];
+    const SourceRow &S = Rows[I];
+    if (!S.FrontendOk)
+      continue;
+    ++Ok;
+    double Cm = 100.0 * S.Row.CoverMe.BranchCoverage;
+    double Rd = 100.0 * S.Row.Rand.BranchCoverage;
+    double Af = 100.0 * S.Row.Afl.BranchCoverage;
+    SumRand += Rd;
+    SumAfl += Af;
+    SumCm += Cm;
+    T.addRow({B.File, B.Name, std::to_string(S.Branches),
+              Table::cell(S.Row.CoverMe.Seconds, 2), Table::cell(Rd),
+              Table::cell(Af), Table::cell(Cm), S.NativeText,
               Table::cell(Cm - Rd), Table::cell(Cm - Af)});
+    JsonRows.push_back(S.Row);
   }
 
-  T.addRow({"MEAN", "", "", "", Table::cell(SumRand / N),
-            Table::cell(SumAfl / N), Table::cell(SumCm / N), "",
-            Table::cell((SumCm - SumRand) / N),
-            Table::cell((SumCm - SumAfl) / N)});
+  double DN = Ok ? static_cast<double>(Ok) : 1.0;
+  T.addRow({"MEAN", "", "", "", Table::cell(SumRand / DN),
+            Table::cell(SumAfl / DN), Table::cell(SumCm / DN), "",
+            Table::cell((SumCm - SumRand) / DN),
+            Table::cell((SumCm - SumAfl) / DN)});
   std::fputs(T.toAscii().c_str(), stdout);
 
   std::printf("\nexpected shape: same orderings as the compiled Table 2 — "
               "CoverMe >= Rand everywhere, CoverMe above AFL on the mean; "
               "where the interpreted source and the native port share a "
               "site structure the campaigns agree\n");
+  std::printf("sweep wall time: %.1fs on %u threads\n", Wall,
+              Runner.threads());
+  if (Proto.Json) {
+    std::string Path = writeRowsJson(Proto, "source_suite", JsonRows, Wall);
+    if (!Path.empty())
+      std::printf("wrote %s\n", Path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,275 @@
+//===- CampaignEngine.cpp - Parallel round loop of Algorithm 1 --------------===//
+
+#include "core/CampaignEngine.h"
+
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace coverme;
+
+namespace {
+
+/// Replays \p X through the program with pen disabled, recording the branch
+/// trace (and coverage when \p Sink is non-null). Returns the trace.
+const std::vector<BranchRef> &replay(const RepresentingFunction &FR,
+                                     ExecutionContext &Ctx,
+                                     const std::vector<double> &X,
+                                     CoverageMap *Sink) {
+  CoverageMap *SavedSink = Ctx.Coverage;
+  bool SavedTrace = Ctx.TraceEnabled;
+  Ctx.Coverage = Sink;
+  Ctx.TraceEnabled = true;
+  FR.execute(X);
+  Ctx.Coverage = SavedSink;
+  Ctx.TraceEnabled = SavedTrace;
+  return Ctx.Trace;
+}
+
+} // namespace
+
+/// Per-worker state: a scratch context bound to the shared table, the
+/// representing function over it, and this worker's own backend instances
+/// (the minimizers are stateless across minimize() calls, but per-worker
+/// copies keep the hot path free of sharing questions).
+struct CampaignEngine::Worker {
+  ExecutionContext Ctx;
+  RepresentingFunction FR;
+  Objective FooR;
+  std::unique_ptr<LocalMinimizer> LM;
+  BasinhoppingMinimizer BH;
+  SimulatedAnnealingMinimizer SA;
+  CmaEsMinimizer CMA;
+  DifferentialEvolutionMinimizer DE;
+
+  static BasinhoppingOptions bhOptions(const CoverMeOptions &Opts) {
+    BasinhoppingOptions BHOpts;
+    BHOpts.NIter = Opts.NIter;
+    BHOpts.MaxEvaluations = Opts.RoundMaxEvaluations;
+    return BHOpts;
+  }
+  static AnnealingOptions saOptions(const CoverMeOptions &Opts) {
+    AnnealingOptions SAOpts;
+    SAOpts.NumSteps = static_cast<unsigned>(
+        std::min<uint64_t>(Opts.RoundMaxEvaluations, 100000));
+    return SAOpts;
+  }
+  static CmaEsOptions cmaOptions(const CoverMeOptions &Opts) {
+    CmaEsOptions CMAOpts;
+    CMAOpts.MaxEvaluations = Opts.RoundMaxEvaluations;
+    return CMAOpts;
+  }
+  static DifferentialEvolutionOptions deOptions(const CoverMeOptions &Opts) {
+    DifferentialEvolutionOptions DEOpts;
+    DEOpts.MaxEvaluations = Opts.RoundMaxEvaluations;
+    return DEOpts;
+  }
+
+  Worker(const Program &P, SaturationTable &Table, const CoverMeOptions &Opts)
+      : Ctx(Table, Opts.Epsilon), FR(P, Ctx), FooR(FR.asObjective()),
+        LM(makeLocalMinimizer(Opts.LM, Opts.LMOptions)),
+        BH(*LM, bhOptions(Opts)), SA(saOptions(Opts)), CMA(cmaOptions(Opts)),
+        DE(deOptions(Opts)) {
+    // Minimization probes run without tracing or coverage recording; only
+    // accepted inputs (members of X) count toward the reported coverage,
+    // mirroring how Gcov measures the generated test suite in the paper.
+    Ctx.TraceEnabled = false;
+  }
+};
+
+/// Outcome of one speculated round, pending its commit slot.
+struct CampaignEngine::RoundWork {
+  unsigned Round = 0;
+  uint64_t SnapshotVersion = 0;
+  MinimizeResult Min;
+  bool Ran = false; ///< False when speculation was skipped (soft stop).
+};
+
+CampaignEngine::CampaignEngine(const Program &P, CoverMeOptions Opts)
+    : Prog(P), Opts(Opts), Table(P.NumSites), SuiteCoverage(P.NumSites) {
+  assert(P.Body && "program has no body");
+}
+
+unsigned CampaignEngine::effectiveThreads() const {
+  unsigned Threads = Opts.Threads ? Opts.Threads : ThreadPool::hardwareThreads();
+  if (!Prog.ThreadSafeBody)
+    Threads = 1; // the body shares state (e.g. one lang::Interpreter)
+  return Threads;
+}
+
+MinimizeResult CampaignEngine::minimizeRound(unsigned Round, Worker &W) {
+  // Deterministic seed split: round K's generator depends only on
+  // (Options.Seed, K) — the Rng constructor runs splitmix64 over the value,
+  // which is designed exactly for decorrelating sequential seeds. Any
+  // schedule that runs round K against the same saturation state gets the
+  // same result.
+  Rng RoundRng(Opts.Seed + 0x9e3779b97f4a7c15ull * Round);
+  std::vector<double> Start(Prog.Arity);
+  for (double &Coord : Start)
+    Coord = RoundRng.wideDouble();
+  // The paper's SciPy callback: stop hopping once a global minimum (a
+  // zero of FOO_R) is in hand.
+  BasinhoppingCallback StopAtZero =
+      [](const std::vector<double> &, double Fx) { return Fx == 0.0; };
+  switch (Opts.Backend) {
+  case GlobalBackendKind::Basinhopping:
+    return W.BH.minimize(W.FooR, std::move(Start), RoundRng, StopAtZero);
+  case GlobalBackendKind::SimulatedAnnealing:
+    return W.SA.minimize(W.FooR, std::move(Start), RoundRng);
+  case GlobalBackendKind::RandomRestart:
+    return W.LM->minimize(W.FooR, std::move(Start));
+  case GlobalBackendKind::CmaEs:
+    return W.CMA.minimize(W.FooR, std::move(Start), RoundRng, StopAtZero);
+  case GlobalBackendKind::DifferentialEvolution:
+    return W.DE.minimize(W.FooR, std::move(Start), RoundRng, StopAtZero);
+  }
+  assert(false && "unknown GlobalBackendKind");
+  return MinimizeResult();
+}
+
+bool CampaignEngine::commitLocked(RoundWork &Work, Worker &W) {
+  // Algo. 1 loop guards, evaluated in round order over committed state.
+  if (Res.Evaluations >= Opts.MaxEvaluations)
+    return false;
+  if (Opts.StopWhenAllSaturated && Table.allSaturated())
+    return false;
+
+  // Validate the speculation: version unchanged means the objective read
+  // exactly the committed-prefix saturation state (arms never unsaturate,
+  // so equal versions imply equal flags). Stale or skipped rounds re-run
+  // here, where no other commit can interleave.
+  if (!Work.Ran || Work.SnapshotVersion != Table.version())
+    Work.Min = minimizeRound(Work.Round, W);
+
+  ++Res.StartsUsed;
+  Res.Evaluations += Work.Min.NumEvals;
+  CommittedEvals.store(Res.Evaluations, std::memory_order_relaxed);
+
+  RoundLog Log;
+  Log.Round = Work.Round;
+  Log.MinimumValue = Work.Min.Fx;
+
+  if (Work.Min.Fx == 0.0) {
+    // Thm. 4.3: x* saturates a new branch. Add to X, then mark every arm
+    // on its path as covered/saturated (Algo. 1, lines 11-12).
+    Res.Inputs.push_back(Work.Min.X);
+    CoverageMap RunCoverage(Prog.NumSites);
+    const std::vector<BranchRef> &Trace =
+        replay(W.FR, W.Ctx, Work.Min.X, &RunCoverage);
+    SuiteCoverage.merge(RunCoverage);
+    for (BranchRef Ref : Trace)
+      Table.saturate(Ref);
+    Log.Accepted = true;
+    // Progress was made; give every blamed arm a fresh chance before the
+    // infeasibility heuristic may write it off.
+    Table.resetStreaks();
+  } else if (Opts.MarkInfeasible) {
+    // Sect. 5.3 heuristic: the minimum is positive, so the unvisited arm
+    // of the last conditional on the minimum point's path is blamed; once
+    // the same arm is blamed InfeasibleThreshold rounds in a row it is
+    // deemed infeasible and treated as saturated from then on.
+    const std::vector<BranchRef> &Trace =
+        replay(W.FR, W.Ctx, Work.Min.X, nullptr);
+    for (auto It = Trace.rbegin(); It != Trace.rend(); ++It) {
+      BranchRef Opposite{It->Site, !It->Outcome};
+      if (Table.isSaturated(Opposite))
+        continue;
+      if (Table.bumpStreak(Opposite) >= Opts.InfeasibleThreshold) {
+        Table.saturate(Opposite);
+        Res.InfeasibleMarked.push_back(Opposite);
+        Log.MarkedInfeasible = true;
+      }
+      break;
+    }
+  }
+
+  Log.SaturatedArms = Table.saturatedCount();
+  Res.Rounds.push_back(Log);
+  return true;
+}
+
+void CampaignEngine::workerLoop() {
+  Worker W(Prog, Table, Opts);
+  for (;;) {
+    unsigned K = NextLaunch.fetch_add(1, std::memory_order_relaxed);
+    if (K > Opts.NStart)
+      return;
+
+    RoundWork Work;
+    Work.Round = K;
+    // Soft gate: don't burn CPU speculating past a stop condition that is
+    // already visible. Both conditions are monotone, so if one holds here
+    // it still holds at the commit slot, where the authoritative check
+    // stops the campaign.
+    bool SoftStop =
+        Stopped.load(std::memory_order_relaxed) ||
+        CommittedEvals.load(std::memory_order_relaxed) >= Opts.MaxEvaluations ||
+        (Opts.StopWhenAllSaturated && Table.allSaturated());
+    if (!SoftStop) {
+      Work.SnapshotVersion = Table.version();
+      Work.Min = minimizeRound(K, W);
+      Work.Ran = true;
+    }
+
+    std::unique_lock<std::mutex> Lock(CommitMutex);
+    CommitCv.wait(Lock, [&] {
+      return NextCommit == K || Stopped.load(std::memory_order_relaxed);
+    });
+    if (Stopped.load(std::memory_order_relaxed))
+      return; // an earlier round stopped the campaign; discard this one
+    if (!commitLocked(Work, W)) {
+      Stopped.store(true, std::memory_order_relaxed);
+      CommitCv.notify_all();
+      return;
+    }
+    ++NextCommit;
+    CommitCv.notify_all();
+  }
+}
+
+CampaignResult CampaignEngine::run() {
+  WallTimer Timer;
+  Res.TotalBranches = Prog.numBranches();
+
+  // A branch-free program needs a single input to cover everything.
+  if (Prog.NumSites == 0) {
+    std::vector<double> X(Prog.Arity, 1.0);
+    Res.Inputs.push_back(X);
+    Res.Coverage = SuiteCoverage;
+    Res.BranchCoverage = SuiteCoverage.branchCoverage(); // 1.0: no arms
+    Res.LineCoverage = SuiteCoverage.lineCoverage(Prog);
+    Res.AllSaturated = true;
+    Res.Seconds = Timer.seconds();
+    return Res;
+  }
+
+  unsigned Threads = effectiveThreads();
+  if (Threads <= 1) {
+    // Sequential reference path: same commit body, no speculation to
+    // invalidate, so the parallel path is bit-identical to this one.
+    Worker W(Prog, Table, Opts);
+    for (unsigned K = 1; K <= Opts.NStart; ++K) {
+      RoundWork Work;
+      Work.Round = K;
+      std::lock_guard<std::mutex> Lock(CommitMutex);
+      if (!commitLocked(Work, W))
+        break;
+    }
+  } else {
+    ThreadPool Pool(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.submit([this] { workerLoop(); });
+    Pool.wait();
+  }
+
+  Res.AllSaturated = Table.allSaturated();
+  Res.Coverage = SuiteCoverage;
+  Res.CoveredBranches = SuiteCoverage.coveredArms();
+  Res.BranchCoverage = SuiteCoverage.branchCoverage();
+  Res.LineCoverage = SuiteCoverage.lineCoverage(Prog);
+  Res.Seconds = Timer.seconds();
+  return Res;
+}

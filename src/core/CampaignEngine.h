@@ -1,0 +1,97 @@
+//===- CampaignEngine.h - Parallel round loop of Algorithm 1 --------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The round loop of Algorithm 1 (lines 6-13), extracted from the CoverMe
+/// facade and generalized to N worker threads. Each Basinhopping start is
+/// an independent minimization of FOO_R, so rounds parallelize — what does
+/// *not* parallelize naively is the campaign state the objective reads
+/// (the saturation table) and the in-order bookkeeping (accepted inputs,
+/// evaluation budget, the infeasible heuristic's blame streaks).
+///
+/// The engine resolves that with deterministic speculation:
+///
+///  * Every round K draws its RNG from `Options.Seed + round` (split via
+///    the generator's splitmix64 seeding), so a round's work is a pure
+///    function of (seed, K, saturation state).
+///  * Workers claim rounds from an atomic counter and run them against the
+///    live shared SaturationTable, recording the table version they
+///    started from.
+///  * Commits happen strictly in round order. A round is committed only if
+///    the table version is unchanged since it ran — i.e. its objective saw
+///    exactly the state the sequential schedule would have produced.
+///    Otherwise the round re-runs inside its commit slot, where the table
+///    is stable. Stop conditions (budget, full saturation) are evaluated
+///    at commit time with committed state only.
+///
+/// Consequence: for a fixed seed, every thread count — including the
+/// sequential Threads=1 path, which funnels through the same commit body —
+/// produces bit-identical results (accepted inputs, round log, evaluation
+/// counts, infeasible marks). Threads only change wall time. Rounds
+/// speculated past a stop condition are discarded, never committed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_CORE_CAMPAIGNENGINE_H
+#define COVERME_CORE_CAMPAIGNENGINE_H
+
+#include "core/CoverMe.h"
+#include "runtime/SaturationTable.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace coverme {
+
+/// Runs one campaign over one program, on `Options.Threads` workers.
+/// Single-shot: construct, call run() once, read the result.
+class CampaignEngine {
+public:
+  CampaignEngine(const Program &P, CoverMeOptions Opts);
+
+  /// Runs the campaign and returns the result. Call at most once.
+  CampaignResult run();
+
+  /// The worker count run() will use after clamping: `Threads` option
+  /// resolved (0 = hardware cores) and forced to 1 when the program's body
+  /// is not reentrant (Program::ThreadSafeBody).
+  unsigned effectiveThreads() const;
+
+private:
+  struct Worker;
+  struct RoundWork;
+
+  /// One Basinhopping (or selected backend) round: per-round RNG, random
+  /// start, minimize FOO_R through the worker's context.
+  MinimizeResult minimizeRound(unsigned Round, Worker &W);
+
+  /// The sequential commit body (Algo. 1 lines 8-12 plus bookkeeping).
+  /// Caller holds CommitMutex. Returns false when the campaign stops at
+  /// this round (the round is then not counted). Re-runs the round when
+  /// its speculation was invalidated.
+  bool commitLocked(RoundWork &Work, Worker &W);
+
+  /// Claim-speculate-commit loop each pool worker runs.
+  void workerLoop();
+
+  const Program &Prog;
+  CoverMeOptions Opts;
+  SaturationTable Table;
+  CoverageMap SuiteCoverage;
+  CampaignResult Res;
+
+  std::atomic<unsigned> NextLaunch{1};      ///< Next round index to claim.
+  std::atomic<uint64_t> CommittedEvals{0};  ///< Mirror of Res.Evaluations.
+  std::atomic<bool> Stopped{false};         ///< Set under CommitMutex.
+  std::mutex CommitMutex;
+  std::condition_variable CommitCv;
+  unsigned NextCommit = 1; ///< Round whose commit slot is open.
+};
+
+} // namespace coverme
+
+#endif // COVERME_CORE_CAMPAIGNENGINE_H

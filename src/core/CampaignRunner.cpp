@@ -1,0 +1,31 @@
+//===- CampaignRunner.cpp - Multi-program campaign sharding -----------------===//
+
+#include "core/CampaignRunner.h"
+
+using namespace coverme;
+
+CampaignRunner::CampaignRunner(CampaignRunnerOptions Opts)
+    : Opts(Opts), Pool(Opts.Threads) {}
+
+std::vector<CampaignResult>
+CampaignRunner::run(const std::vector<const Program *> &Subjects,
+                    const SubjectProgressFn &Progress) {
+  return map<CampaignResult>(Subjects.size(), [&](size_t I) {
+    CampaignResult R = CoverMe(*Subjects[I], Opts.Campaign).run();
+    if (Progress) {
+      std::lock_guard<std::mutex> Lock(ProgressMutex);
+      Progress(I, *Subjects[I], R);
+    }
+    return R;
+  });
+}
+
+std::vector<CampaignResult>
+CampaignRunner::run(const ProgramRegistry &Registry,
+                    const SubjectProgressFn &Progress) {
+  std::vector<const Program *> Subjects;
+  Subjects.reserve(Registry.size());
+  for (const Program &P : Registry.programs())
+    Subjects.push_back(&P);
+  return run(Subjects, Progress);
+}

@@ -2,9 +2,9 @@
 
 #include "core/CoverMe.h"
 
+#include "core/CampaignEngine.h"
 #include "runtime/ExecutionContext.h"
 #include "runtime/RepresentingFunction.h"
-#include "support/Timer.h"
 
 #include <algorithm>
 
@@ -15,156 +15,10 @@ CoverMe::CoverMe(const Program &P, CoverMeOptions Opts)
   assert(P.Body && "program has no body");
 }
 
-namespace {
-
-/// Replays \p X through the program with pen disabled, recording the branch
-/// trace (and coverage when \p Sink is non-null). Returns the trace.
-const std::vector<BranchRef> &replay(const RepresentingFunction &FR,
-                                     ExecutionContext &Ctx,
-                                     const std::vector<double> &X,
-                                     CoverageMap *Sink) {
-  CoverageMap *SavedSink = Ctx.Coverage;
-  bool SavedTrace = Ctx.TraceEnabled;
-  Ctx.Coverage = Sink;
-  Ctx.TraceEnabled = true;
-  FR.execute(X);
-  Ctx.Coverage = SavedSink;
-  Ctx.TraceEnabled = SavedTrace;
-  return Ctx.Trace;
-}
-
-} // namespace
-
 CampaignResult CoverMe::run() {
-  WallTimer Timer;
-  CampaignResult Res;
-  Res.TotalBranches = Prog.numBranches();
-
-  ExecutionContext Ctx(Prog.NumSites, Opts.Epsilon);
-  RepresentingFunction FR(Prog, Ctx);
-  CoverageMap SuiteCoverage(Prog.NumSites);
-
-  // A branch-free program needs a single input to cover everything.
-  if (Prog.NumSites == 0) {
-    std::vector<double> X(Prog.Arity, 1.0);
-    Res.Inputs.push_back(X);
-    Res.Coverage = SuiteCoverage;
-    Res.AllSaturated = true;
-    Res.Seconds = Timer.seconds();
-    return Res;
-  }
-
-  Rng Rng(Opts.Seed);
-  // Minimization probes run without tracing or coverage recording; only
-  // accepted inputs (members of X) count toward the reported coverage,
-  // mirroring how Gcov measures the generated test suite in the paper.
-  Ctx.TraceEnabled = false;
-  Objective FooR = FR.asObjective();
-
-  std::unique_ptr<LocalMinimizer> LM =
-      makeLocalMinimizer(Opts.LM, Opts.LMOptions);
-  BasinhoppingOptions BHOpts;
-  BHOpts.NIter = Opts.NIter;
-  BHOpts.MaxEvaluations = Opts.RoundMaxEvaluations;
-  BasinhoppingMinimizer BH(*LM, BHOpts);
-  AnnealingOptions SAOpts;
-  SAOpts.NumSteps = static_cast<unsigned>(
-      std::min<uint64_t>(Opts.RoundMaxEvaluations, 100000));
-  SimulatedAnnealingMinimizer SA(SAOpts);
-  CmaEsOptions CMAOpts;
-  CMAOpts.MaxEvaluations = Opts.RoundMaxEvaluations;
-  CmaEsMinimizer CMA(CMAOpts);
-  DifferentialEvolutionOptions DEOpts;
-  DEOpts.MaxEvaluations = Opts.RoundMaxEvaluations;
-  DifferentialEvolutionMinimizer DE(DEOpts);
-
-  // One round of the selected global backend (the Step-3 black box).
-  auto MinimizeRound = [&](std::vector<double> Start,
-                           const BasinhoppingCallback &Callback) {
-    switch (Opts.Backend) {
-    case GlobalBackendKind::Basinhopping:
-      return BH.minimize(FooR, std::move(Start), Rng, Callback);
-    case GlobalBackendKind::SimulatedAnnealing:
-      return SA.minimize(FooR, std::move(Start), Rng);
-    case GlobalBackendKind::RandomRestart:
-      return LM->minimize(FooR, std::move(Start));
-    case GlobalBackendKind::CmaEs:
-      return CMA.minimize(FooR, std::move(Start), Rng, Callback);
-    case GlobalBackendKind::DifferentialEvolution:
-      return DE.minimize(FooR, std::move(Start), Rng, Callback);
-    }
-    assert(false && "unknown GlobalBackendKind");
-    return MinimizeResult();
-  };
-
-  // Consecutive-failure count per arm, for the infeasibility heuristic.
-  std::vector<unsigned> FailureStreak(2 * Prog.NumSites, 0);
-
-  // Algo. 1, lines 8-12: launch MCMC from random starting points.
-  for (unsigned K = 1; K <= Opts.NStart; ++K) {
-    if (Res.Evaluations >= Opts.MaxEvaluations)
-      break;
-    if (Opts.StopWhenAllSaturated && Ctx.allSaturated())
-      break;
-    ++Res.StartsUsed;
-
-    std::vector<double> Start(Prog.Arity);
-    for (double &Coord : Start)
-      Coord = Rng.wideDouble();
-    // The paper's SciPy callback: stop hopping once a global minimum (a
-    // zero of FOO_R) is in hand.
-    BasinhoppingCallback StopAtZero =
-        [](const std::vector<double> &, double Fx) { return Fx == 0.0; };
-    MinimizeResult Min = MinimizeRound(std::move(Start), StopAtZero);
-    Res.Evaluations += Min.NumEvals;
-
-    RoundLog Log;
-    Log.Round = K;
-    Log.MinimumValue = Min.Fx;
-
-    if (Min.Fx == 0.0) {
-      // Thm. 4.3: x* saturates a new branch. Add to X, then mark every arm
-      // on its path as covered/saturated (Algo. 1, lines 11-12).
-      Res.Inputs.push_back(Min.X);
-      const std::vector<BranchRef> &Trace =
-          replay(FR, Ctx, Min.X, &SuiteCoverage);
-      for (BranchRef Ref : Trace)
-        Ctx.saturate(Ref);
-      Log.Accepted = true;
-      // Progress was made; give every blamed arm a fresh chance before the
-      // infeasibility heuristic may write it off.
-      std::fill(FailureStreak.begin(), FailureStreak.end(), 0u);
-    } else if (Opts.MarkInfeasible) {
-      // Sect. 5.3 heuristic: the minimum is positive, so the unvisited arm
-      // of the last conditional on the minimum point's path is blamed; once
-      // the same arm is blamed InfeasibleThreshold rounds in a row it is
-      // deemed infeasible and treated as saturated from then on.
-      const std::vector<BranchRef> &Trace = replay(FR, Ctx, Min.X, nullptr);
-      for (auto It = Trace.rbegin(); It != Trace.rend(); ++It) {
-        BranchRef Opposite{It->Site, !It->Outcome};
-        if (Ctx.isSaturated(Opposite))
-          continue;
-        unsigned &Blames = FailureStreak[Opposite.Site * 2 + Opposite.Outcome];
-        if (++Blames >= Opts.InfeasibleThreshold) {
-          Ctx.saturate(Opposite);
-          Res.InfeasibleMarked.push_back(Opposite);
-          Log.MarkedInfeasible = true;
-        }
-        break;
-      }
-    }
-
-    Log.SaturatedArms = Ctx.saturatedCount();
-    Res.Rounds.push_back(Log);
-  }
-
-  Res.AllSaturated = Ctx.allSaturated();
-  Res.Coverage = SuiteCoverage;
-  Res.CoveredBranches = SuiteCoverage.coveredArms();
-  Res.BranchCoverage = SuiteCoverage.branchCoverage();
-  Res.LineCoverage = SuiteCoverage.lineCoverage(Prog);
-  Res.Seconds = Timer.seconds();
-  return Res;
+  // The round loop (Algo. 1, lines 6-13) lives in the campaign engine,
+  // which runs it on Opts.Threads workers with deterministic commits.
+  return CampaignEngine(Prog, Opts).run();
 }
 
 const char *coverme::globalBackendKindName(GlobalBackendKind Kind) {

@@ -80,6 +80,15 @@ struct CoverMeOptions {
 
   /// Stop as soon as all branches are saturated (paper's callback).
   bool StopWhenAllSaturated = true;
+
+  /// Worker threads for the campaign's round loop (0 = one per hardware
+  /// core). Rounds are dispatched speculatively and committed in round
+  /// order with per-round RNGs split from Seed + round, so every thread
+  /// count — including the sequential Threads=1 reference path — produces
+  /// the bit-identical accepted-input set; threads only change wall time.
+  /// Clamped to 1 when the program's body is not reentrant
+  /// (Program::ThreadSafeBody), e.g. interpreted source programs.
+  unsigned Threads = 1;
 };
 
 /// One Basinhopping round of the campaign, for reporting and examples.
@@ -97,8 +106,11 @@ struct CampaignResult {
   CoverageMap Coverage;      ///< Branch coverage achieved by executing X.
   unsigned TotalBranches = 0;
   unsigned CoveredBranches = 0;
-  double BranchCoverage = 1.0; ///< CoveredBranches / TotalBranches.
-  double LineCoverage = 1.0;   ///< Under the program's line model.
+  /// CoveredBranches / TotalBranches. Defaults to 0.0 — a result that never
+  /// ran a campaign claims nothing; the engine sets 1.0 for branch-free
+  /// programs via CoverageMap's guarded division.
+  double BranchCoverage = 0.0;
+  double LineCoverage = 0.0; ///< Under the program's line model; same rule.
   uint64_t Evaluations = 0;    ///< FOO_R evaluations consumed.
   double Seconds = 0.0;        ///< Wall time of the campaign.
   unsigned StartsUsed = 0;     ///< Basinhopping rounds launched.
@@ -107,7 +119,9 @@ struct CampaignResult {
   std::vector<RoundLog> Rounds;            ///< Per-round trace.
 };
 
-/// The CoverMe testing engine for a single program.
+/// The CoverMe testing facade for a single program. The round loop itself
+/// lives in core/CampaignEngine, which runs it on Options.Threads workers;
+/// this class is the stable single-campaign entry point.
 class CoverMe {
 public:
   explicit CoverMe(const Program &P, CoverMeOptions Opts = {});

@@ -103,6 +103,9 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
   Result.Prog.NumSites = Result.Unit->NumSites;
   Result.Prog.TotalLines =
       Opts.TotalLines ? Opts.TotalLines : functionLineExtent(*Result.Entry);
+  // The closure below routes every call through one shared Interpreter,
+  // which is thread-compatible but not thread-safe (see lang/Interp.h).
+  Result.Prog.ThreadSafeBody = false;
   // The closure shares ownership of the unit and interpreter, so the
   // Program outlives this SourceProgram if the caller copies it out.
   Result.Prog.Body = [Unit = Result.Unit, Interp = Result.Interp,

@@ -4,6 +4,23 @@
 
 using namespace coverme;
 
+CoverageMap::CoverageMap(const CoverageMap &Other) {
+  std::lock_guard<std::mutex> Lock(Other.Mutex);
+  TrueHits = Other.TrueHits;
+  FalseHits = Other.FalseHits;
+  TotalHits = Other.TotalHits;
+}
+
+CoverageMap &CoverageMap::operator=(const CoverageMap &Other) {
+  if (this == &Other)
+    return *this;
+  std::scoped_lock Lock(Mutex, Other.Mutex);
+  TrueHits = Other.TrueHits;
+  FalseHits = Other.FalseHits;
+  TotalHits = Other.TotalHits;
+  return *this;
+}
+
 void CoverageMap::reset(unsigned NumSites) {
   TrueHits.assign(NumSites, 0);
   FalseHits.assign(NumSites, 0);
@@ -44,6 +61,17 @@ double CoverageMap::lineCoverage(const Program &P) const {
 }
 
 void CoverageMap::merge(const CoverageMap &Other) {
+  if (this == &Other) {
+    // Self-merge doubles every counter; lock once.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t I = 0; I < TrueHits.size(); ++I) {
+      TrueHits[I] *= 2;
+      FalseHits[I] *= 2;
+    }
+    TotalHits *= 2;
+    return;
+  }
+  std::scoped_lock Lock(Mutex, Other.Mutex);
   assert(Other.TrueHits.size() == TrueHits.size() &&
          "merging coverage maps of different shapes");
   for (size_t I = 0; I < TrueHits.size(); ++I) {

@@ -18,15 +18,24 @@
 #include "runtime/Program.h"
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace coverme {
 
 /// Per-program branch-arm hit counters.
+///
+/// Thread-safety: recordHit and the readers are single-writer — each run
+/// records into a map owned by one thread. merge() (and copying) are safe
+/// against concurrent merge()/copy on the same maps, which is what the
+/// parallel campaign layers need: workers count hits privately, then fold
+/// their maps into a shared suite map.
 class CoverageMap {
 public:
   CoverageMap() = default;
   explicit CoverageMap(unsigned NumSites) { reset(NumSites); }
+  CoverageMap(const CoverageMap &Other);
+  CoverageMap &operator=(const CoverageMap &Other);
 
   /// Clears all counters and resizes to \p NumSites conditionals.
   void reset(unsigned NumSites);
@@ -57,13 +66,15 @@ public:
   /// Total recorded executions of any site.
   uint64_t totalHits() const { return TotalHits; }
 
-  /// Accumulates another map's counters (same shape).
+  /// Accumulates another map's counters (same shape). Safe to call from
+  /// several threads merging into the same target concurrently.
   void merge(const CoverageMap &Other);
 
   /// Arms not yet covered, in site order (T arm before F arm).
   std::vector<BranchRef> uncoveredArms() const;
 
 private:
+  mutable std::mutex Mutex; ///< Guards merge/copy; recordHit stays lock-free.
   std::vector<uint64_t> TrueHits;
   std::vector<uint64_t> FalseHits;
   uint64_t TotalHits = 0;

@@ -7,7 +7,11 @@ using namespace coverme;
 static thread_local ExecutionContext *CurrentContext = nullptr;
 
 ExecutionContext::ExecutionContext(unsigned NumSites, double Epsilon)
-    : Epsilon(Epsilon), Saturation(NumSites) {}
+    : Epsilon(Epsilon), OwnedTable(new SaturationTable(NumSites)),
+      Table(OwnedTable.get()) {}
+
+ExecutionContext::ExecutionContext(SaturationTable &Shared, double Epsilon)
+    : Epsilon(Epsilon), Table(&Shared) {}
 
 ExecutionContext::Scope::Scope(ExecutionContext &Ctx)
     : Previous(CurrentContext) {
@@ -20,15 +24,16 @@ ExecutionContext *ExecutionContext::current() { return CurrentContext; }
 
 double ExecutionContext::pen(uint32_t Site, CmpOp Op, double A,
                              double B) const {
-  assert(Site < Saturation.size() && "conditional site out of range");
-  const SiteSaturation &S = Saturation[Site];
+  assert(Site < Table->numSites() && "conditional site out of range");
+  bool TrueArm = Table->isSaturated({Site, true});
+  bool FalseArm = Table->isSaturated({Site, false});
   // Def. 4.2(a): neither arm saturated — any input saturates a new branch.
-  if (S.neither())
+  if (!TrueArm && !FalseArm)
     return 0.0;
   // Def. 4.2(b): distance to the one unsaturated arm.
-  if (!S.TrueArm && S.FalseArm)
+  if (!TrueArm)
     return branchDistance(Op, A, B, Epsilon);
-  if (S.TrueArm && !S.FalseArm)
+  if (!FalseArm)
     return branchDistance(negateCmpOp(Op), A, B, Epsilon);
   // Def. 4.2(c): both saturated — keep the previous r.
   return R;
@@ -46,8 +51,8 @@ bool ExecutionContext::evalCond(uint32_t Site, CmpOp Op, double A, double B) {
       TraceOperands.push_back({true, Op, A, B});
   }
   if (RecordOperands) {
-    if (Observations.size() != Saturation.size())
-      Observations.resize(Saturation.size());
+    if (Observations.size() != Table->numSites())
+      Observations.resize(Table->numSites());
     Observations[Site] = {true, Op, A, B};
   }
   return Outcome;
@@ -58,21 +63,7 @@ void ExecutionContext::beginRun() {
   Trace.clear();
   TraceOperands.clear();
   if (RecordOperands)
-    Observations.assign(Saturation.size(), SiteObservation());
-}
-
-bool ExecutionContext::allSaturated() const {
-  for (const SiteSaturation &S : Saturation)
-    if (!S.both())
-      return false;
-  return true;
-}
-
-unsigned ExecutionContext::saturatedCount() const {
-  unsigned Count = 0;
-  for (const SiteSaturation &S : Saturation)
-    Count += S.TrueArm + S.FalseArm;
-  return Count;
+    Observations.assign(Table->numSites(), SiteObservation());
 }
 
 bool coverme::rt::cond(uint32_t Site, CmpOp Op, double A, double B) {

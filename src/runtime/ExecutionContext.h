@@ -8,10 +8,17 @@
 /// The runtime behind the injected hooks. In the paper, the LLVM pass
 /// injects `r = pen(i, op, a, b)` immediately before conditional l_i and a
 /// loader exposes the instrumented program as FOO_R. Here, each ported
-/// conditional calls ExecutionContext::evalCond via the CVM_COND macros;
-/// the context owns the paper's global r, the saturation table pen consults
-/// (Def. 4.2), the per-run branch trace (used by the infeasible-branch
-/// heuristic of Sect. 5.3), and an optional CoverageMap sink.
+/// conditional calls ExecutionContext::evalCond via the CVM_COND macros.
+///
+/// The state splits in two. The context itself is *per-run scratch* — the
+/// paper's global r, the branch trace (used by the infeasible-branch
+/// heuristic of Sect. 5.3), per-site operand observations, and an optional
+/// CoverageMap sink — cheap enough that every campaign worker thread owns
+/// one. The saturation flags pen consults (Def. 4.2) live in a
+/// SaturationTable that contexts either own privately (the classic
+/// single-campaign shape) or share: the parallel CampaignEngine binds all
+/// of its workers' contexts to one table so every round sees the campaign-
+/// wide saturation state.
 ///
 /// Context scoping mirrors the paper's process-global r: a thread-local
 /// "current context" pointer is installed for the duration of a run (see
@@ -26,22 +33,12 @@
 #include "runtime/BranchDistance.h"
 #include "runtime/Coverage.h"
 #include "runtime/Program.h"
+#include "runtime/SaturationTable.h"
 
+#include <memory>
 #include <vector>
 
 namespace coverme {
-
-/// Saturation state of one conditional site's two arms (Def. 3.2 set,
-/// maintained operationally as covered-by-X plus deemed-infeasible).
-struct SiteSaturation {
-  bool TrueArm = false;
-  bool FalseArm = false;
-
-  bool &arm(bool Outcome) { return Outcome ? TrueArm : FalseArm; }
-  bool arm(bool Outcome) const { return Outcome ? TrueArm : FalseArm; }
-  bool both() const { return TrueArm && FalseArm; }
-  bool neither() const { return !TrueArm && !FalseArm; }
-};
 
 /// The comparison observed at one site during the last run. Search-based
 /// testers (Austin-lite) use this to compute a branch-distance fitness for
@@ -53,11 +50,18 @@ struct SiteObservation {
   double B = 0.0;
 };
 
-/// Mutable state threaded through one testing campaign for one program.
+/// Per-run mutable state behind the hooks, bound to a (owned or shared)
+/// SaturationTable.
 class ExecutionContext {
 public:
-  /// Creates a context for a program with \p NumSites conditionals.
+  /// Creates a context owning a private table for a program with
+  /// \p NumSites conditionals — the single-campaign shape.
   explicit ExecutionContext(unsigned NumSites,
+                            double Epsilon = DefaultEpsilon);
+
+  /// Creates a context bound to \p Shared, which must outlive it. Several
+  /// contexts (one per worker thread) may share one table.
+  explicit ExecutionContext(SaturationTable &Shared,
                             double Epsilon = DefaultEpsilon);
 
   /// Installs this context as the thread-current one for the lifetime of
@@ -90,22 +94,22 @@ public:
   void beginRun();
 
   /// Marks one branch arm saturated.
-  void saturate(BranchRef Ref) { Saturation[Ref.Site].arm(Ref.Outcome) = true; }
+  void saturate(BranchRef Ref) { Table->saturate(Ref); }
 
-  bool isSaturated(BranchRef Ref) const {
-    return Saturation[Ref.Site].arm(Ref.Outcome);
-  }
+  bool isSaturated(BranchRef Ref) const { return Table->isSaturated(Ref); }
 
   /// True when every arm of every site is saturated — the campaign's
   /// termination condition (all covered or deemed infeasible).
-  bool allSaturated() const;
+  bool allSaturated() const { return Table->allSaturated(); }
 
   /// Number of saturated arms.
-  unsigned saturatedCount() const;
+  unsigned saturatedCount() const { return Table->saturatedCount(); }
 
-  unsigned numSites() const {
-    return static_cast<unsigned>(Saturation.size());
-  }
+  unsigned numSites() const { return Table->numSites(); }
+
+  /// The bound table (owned or shared).
+  SaturationTable &saturation() { return *Table; }
+  const SaturationTable &saturation() const { return *Table; }
 
   /// Global r of the representing function (Algo. 1, line 1).
   double R = 1.0;
@@ -143,7 +147,8 @@ public:
   double Epsilon;
 
 private:
-  std::vector<SiteSaturation> Saturation;
+  std::unique_ptr<SaturationTable> OwnedTable; ///< Null when sharing.
+  SaturationTable *Table;                      ///< Never null.
 };
 
 namespace rt {

@@ -1,0 +1,53 @@
+//===- SaturationTable.cpp - Shared campaign saturation state ---------------===//
+
+#include "runtime/SaturationTable.h"
+
+using namespace coverme;
+
+SaturationTable::SaturationTable(unsigned NumSites)
+    : Sites(NumSites),
+      Arms(new std::atomic<uint8_t>[2 * static_cast<size_t>(NumSites)]),
+      Streaks(new std::atomic<uint32_t>[2 * static_cast<size_t>(NumSites)]) {
+  for (size_t I = 0; I < 2 * static_cast<size_t>(Sites); ++I) {
+    Arms[I].store(0, std::memory_order_relaxed);
+    Streaks[I].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool SaturationTable::saturate(BranchRef Ref) {
+  assert(Ref.Site < Sites && "conditional site out of range");
+  if (Arms[index(Ref)].exchange(1, std::memory_order_acq_rel) != 0)
+    return false;
+  Version.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool SaturationTable::allSaturated() const {
+  for (size_t I = 0; I < 2 * static_cast<size_t>(Sites); ++I)
+    if (Arms[I].load(std::memory_order_relaxed) == 0)
+      return false;
+  return true;
+}
+
+unsigned SaturationTable::saturatedCount() const {
+  unsigned Count = 0;
+  for (size_t I = 0; I < 2 * static_cast<size_t>(Sites); ++I)
+    Count += Arms[I].load(std::memory_order_relaxed) != 0;
+  return Count;
+}
+
+std::vector<BranchRef> SaturationTable::saturatedArms() const {
+  std::vector<BranchRef> Out;
+  for (uint32_t S = 0; S < Sites; ++S) {
+    if (isSaturated({S, true}))
+      Out.push_back({S, true});
+    if (isSaturated({S, false}))
+      Out.push_back({S, false});
+  }
+  return Out;
+}
+
+void SaturationTable::resetStreaks() {
+  for (size_t I = 0; I < 2 * static_cast<size_t>(Sites); ++I)
+    Streaks[I].store(0, std::memory_order_relaxed);
+}

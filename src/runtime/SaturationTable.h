@@ -1,0 +1,94 @@
+//===- SaturationTable.h - Shared campaign saturation state ---------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign-global half of the runtime state: which branch arms are
+/// saturated (covered by a generated input or deemed infeasible, the Def.
+/// 3.2 set `pen` consults) plus the consecutive-failure streak counters of
+/// the Sect. 5.3 infeasible-branch heuristic. Splitting this out of
+/// ExecutionContext makes the context pure per-run scratch (r, trace,
+/// observations) — cheap to give every worker thread its own — while all
+/// workers consult one shared table.
+///
+/// Thread-safety contract: every operation is safe to call concurrently
+/// (flags and streaks are atomics). The table additionally maintains a
+/// monotone \c version(), bumped each time an arm becomes newly saturated.
+/// The parallel CampaignEngine uses it for deterministic speculation: a
+/// round that ran against version V is only committed if the table is
+/// still at V; otherwise the round re-runs against the settled table, so
+/// any thread count replays the sequential schedule exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_RUNTIME_SATURATIONTABLE_H
+#define COVERME_RUNTIME_SATURATIONTABLE_H
+
+#include "runtime/Program.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace coverme {
+
+/// Atomic per-arm saturation flags and infeasible-streak counters for one
+/// program's conditional sites.
+class SaturationTable {
+public:
+  explicit SaturationTable(unsigned NumSites);
+
+  unsigned numSites() const { return Sites; }
+
+  /// Marks \p Ref saturated. Returns true (and bumps the version) when the
+  /// arm was not saturated before.
+  bool saturate(BranchRef Ref);
+
+  bool isSaturated(BranchRef Ref) const {
+    return Arms[index(Ref)].load(std::memory_order_relaxed) != 0;
+  }
+
+  /// True when every arm of every site is saturated — the campaign's
+  /// termination condition (all covered or deemed infeasible).
+  bool allSaturated() const;
+
+  /// Number of saturated arms.
+  unsigned saturatedCount() const;
+
+  /// All saturated arms, in site order (T arm before F arm).
+  std::vector<BranchRef> saturatedArms() const;
+
+  /// Monotone change counter: increments once per newly saturated arm.
+  /// Equal versions imply identical flag states (arms never unsaturate).
+  uint64_t version() const { return Version.load(std::memory_order_acquire); }
+
+  /// Increments the consecutive-failure streak of \p Ref (the Sect. 5.3
+  /// blame counter) and returns the new value.
+  unsigned bumpStreak(BranchRef Ref) {
+    return Streaks[index(Ref)].fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  unsigned streak(BranchRef Ref) const {
+    return Streaks[index(Ref)].load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every streak — called when a round makes progress, giving all
+  /// blamed arms a fresh chance before being written off.
+  void resetStreaks();
+
+private:
+  static size_t index(BranchRef Ref) {
+    return static_cast<size_t>(Ref.Site) * 2 + (Ref.Outcome ? 1 : 0);
+  }
+
+  unsigned Sites;
+  std::unique_ptr<std::atomic<uint8_t>[]> Arms;     ///< 2 per site.
+  std::unique_ptr<std::atomic<uint32_t>[]> Streaks; ///< 2 per site.
+  std::atomic<uint64_t> Version{0};
+};
+
+} // namespace coverme
+
+#endif // COVERME_RUNTIME_SATURATIONTABLE_H

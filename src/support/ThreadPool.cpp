@@ -1,0 +1,94 @@
+//===- ThreadPool.cpp - Worker-thread pool for campaign parallelism ---------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <memory>
+
+using namespace coverme;
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = hardwareThreads();
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::workerMain() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkCv.wait(Lock, [this] { return !Queue.empty() || ShuttingDown; });
+      if (Queue.empty())
+        return; // shutting down with nothing left to run
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Queue.empty() && ActiveTasks == 0)
+        IdleCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Work) {
+  if (N == 0)
+    return;
+  // One claim-loop task per worker (no more than N); the shared atomic
+  // index hands each I to exactly one of them. The completion latch is
+  // local so concurrent parallelFor calls from different threads compose.
+  struct Latch {
+    std::atomic<size_t> NextIndex{0};
+    std::mutex Mutex;
+    std::condition_variable Cv;
+    size_t Remaining;
+  };
+  auto L = std::make_shared<Latch>();
+  size_t Tasks = std::min<size_t>(size(), N);
+  L->Remaining = Tasks;
+  for (size_t T = 0; T < Tasks; ++T) {
+    submit([L, &Work, N] {
+      for (size_t I; (I = L->NextIndex.fetch_add(1)) < N;)
+        Work(I);
+      std::lock_guard<std::mutex> Lock(L->Mutex);
+      if (--L->Remaining == 0)
+        L->Cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> Lock(L->Mutex);
+  L->Cv.wait(Lock, [&L] { return L->Remaining == 0; });
+}

@@ -1,0 +1,81 @@
+//===- ThreadPool.h - Worker-thread pool for campaign parallelism ---------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool. The paper's Algorithm 1 is a sequence of
+/// *independent* Basinhopping rounds, and a Table-2 sweep is a sequence of
+/// independent subjects; both parallelize naturally once the runtime state
+/// is shareable (see runtime/SaturationTable). This pool is the substrate:
+/// the CampaignEngine dispatches round workers onto it and the
+/// CampaignRunner shards whole subjects across it.
+///
+/// The pool is deliberately minimal: FIFO task queue, `submit` + `wait`,
+/// and a blocking `parallelFor` convenience for index sharding. Tasks must
+/// not throw (a throwing task terminates, as with a raw std::thread), and
+/// `wait`/`parallelFor` must not be called from inside a pool task — the
+/// pool does not run nested work on the waiting thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_THREADPOOL_H
+#define COVERME_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coverme {
+
+/// Fixed-size FIFO worker pool.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 means one per hardware core.
+  explicit ThreadPool(unsigned Threads = 0);
+
+  /// Joins all workers. Pending tasks still in the queue are completed
+  /// first (destruction implies wait()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait();
+
+  /// Evaluates Work(I) for every I in [0, N), sharded across the workers,
+  /// and blocks until all indices are done. Index-claim order is a shared
+  /// atomic counter, so each index runs exactly once; with a single worker
+  /// the indices run in ascending order.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Work);
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareThreads();
+
+private:
+  void workerMain();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkCv; ///< Signals workers: task queued / shutdown.
+  std::condition_variable IdleCv; ///< Signals waiters: pool drained.
+  size_t ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_THREADPOOL_H

@@ -4,12 +4,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/CampaignEngine.h"
 #include "core/CoverMe.h"
+#include "fdlibm/Fdlibm.h"
 #include "runtime/Hooks.h"
 #include "runtime/RepresentingFunction.h"
 #include "support/FloatBits.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace coverme;
 
@@ -209,4 +213,97 @@ TEST(CoverMeTest, RoundsLogMatchesStartsUsed) {
   Program P = fooProgram();
   CampaignResult Res = CoverMe(P, Opts).run();
   EXPECT_EQ(Res.Rounds.size(), Res.StartsUsed);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel campaign engine: thread-count invariance
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The full saturated-arm set a campaign ended with: arms covered by the
+/// generated suite plus arms the Sect. 5.3 heuristic marked infeasible.
+std::vector<BranchRef> saturatedArms(const CampaignResult &Res) {
+  std::vector<BranchRef> Arms;
+  for (uint32_t S = 0; S * 2 < Res.TotalBranches; ++S)
+    for (bool Outcome : {true, false})
+      if (Res.Coverage.hits(S, Outcome) > 0)
+        Arms.push_back({S, Outcome});
+  Arms.insert(Arms.end(), Res.InfeasibleMarked.begin(),
+              Res.InfeasibleMarked.end());
+  std::sort(Arms.begin(), Arms.end(), [](BranchRef A, BranchRef B) {
+    return A.Site != B.Site ? A.Site < B.Site : A.Outcome < B.Outcome;
+  });
+  return Arms;
+}
+
+/// Asserts every observable outcome of two campaigns is bit-identical:
+/// accepted inputs, evaluation counts, round log, saturated arms, coverage.
+void expectIdenticalCampaigns(const CampaignResult &A,
+                              const CampaignResult &B) {
+  ASSERT_EQ(A.Inputs.size(), B.Inputs.size());
+  for (size_t I = 0; I < A.Inputs.size(); ++I) {
+    ASSERT_EQ(A.Inputs[I].size(), B.Inputs[I].size());
+    for (size_t J = 0; J < A.Inputs[I].size(); ++J)
+      EXPECT_EQ(doubleToBits(A.Inputs[I][J]), doubleToBits(B.Inputs[I][J]));
+  }
+  EXPECT_EQ(A.Evaluations, B.Evaluations);
+  EXPECT_EQ(A.StartsUsed, B.StartsUsed);
+  EXPECT_EQ(saturatedArms(A), saturatedArms(B));
+  EXPECT_EQ(A.CoveredBranches, B.CoveredBranches);
+  EXPECT_EQ(A.BranchCoverage, B.BranchCoverage);
+  EXPECT_EQ(A.InfeasibleMarked, B.InfeasibleMarked);
+  ASSERT_EQ(A.Rounds.size(), B.Rounds.size());
+  for (size_t I = 0; I < A.Rounds.size(); ++I) {
+    EXPECT_EQ(A.Rounds[I].Round, B.Rounds[I].Round);
+    EXPECT_EQ(A.Rounds[I].Accepted, B.Rounds[I].Accepted);
+    EXPECT_EQ(A.Rounds[I].MarkedInfeasible, B.Rounds[I].MarkedInfeasible);
+    EXPECT_EQ(A.Rounds[I].SaturatedArms, B.Rounds[I].SaturatedArms);
+    EXPECT_EQ(doubleToBits(A.Rounds[I].MinimumValue),
+              doubleToBits(B.Rounds[I].MinimumValue));
+  }
+}
+
+/// Runs the same campaign under Threads=1 (the sequential reference path)
+/// and Threads=4 (speculative parallel commits) and demands bit-identical
+/// results — the engine's core determinism contract.
+void expectThreadCountInvariance(const Program &P, uint64_t Seed) {
+  CoverMeOptions Opts;
+  Opts.NStart = 80;
+  Opts.Seed = Seed;
+  Opts.Threads = 1;
+  CampaignResult Seq = CoverMe(P, Opts).run();
+  Opts.Threads = 4;
+  CampaignResult Par = CoverMe(P, Opts).run();
+  expectIdenticalCampaigns(Seq, Par);
+}
+
+} // namespace
+
+TEST(CampaignEngineTest, ThreadCountInvarianceOnFdlibmSin) {
+  const Program *P = fdlibm::lookup("sin");
+  ASSERT_NE(P, nullptr);
+  expectThreadCountInvariance(*P, 1);
+}
+
+TEST(CampaignEngineTest, ThreadCountInvarianceOnFdlibmNextafter) {
+  // nextafter has 44 branch arms, several infeasible under the heuristic —
+  // this exercises the streak counters and infeasible marks across the
+  // speculative commit path, not just accepted inputs.
+  const Program *P = fdlibm::lookup("nextafter");
+  ASSERT_NE(P, nullptr);
+  expectThreadCountInvariance(*P, 3);
+}
+
+TEST(CampaignEngineTest, NonReentrantBodyClampsToOneThread) {
+  // Interpreted source programs set ThreadSafeBody = false; the engine
+  // must fall back to the sequential path rather than race the shared
+  // interpreter.
+  Program P = fooProgram();
+  P.ThreadSafeBody = false;
+  CoverMeOptions Opts;
+  Opts.Threads = 4;
+  EXPECT_EQ(CampaignEngine(P, Opts).effectiveThreads(), 1u);
+  P.ThreadSafeBody = true;
+  EXPECT_EQ(CampaignEngine(P, Opts).effectiveThreads(), 4u);
 }

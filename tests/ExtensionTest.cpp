@@ -61,6 +61,31 @@ Program fooIneqProgram() {
   return P;
 }
 
+/// Equality variant whose target 5.0625 is reachable only by converging
+/// onto an exact dyadic root (2.25, or -3.25 through the X+1 path; both
+/// squares are exact in double). FOO's own y == 4 has roots 1.0 and 2.0 —
+/// 1.0 sits in the wide sampler's specials table, so a lucky starting
+/// point could saturate that equality with no search at all. No value of
+/// the specials table is a root here. (A non-dyadic target like 5.0 would
+/// overshoot the other way: NO double squares to it exactly, making the
+/// arm unreachable and the test vacuous.)
+double fooEq5625Body(const double *Args) {
+  double X = Args[0];
+  if (CVM_LE(0, X, 1.0))
+    X = X + 1.0;
+  double Y = X * X;
+  if (CVM_EQ(1, Y, 5.0625))
+    return 1.0;
+  return 0.0;
+}
+
+Program fooEq5625Program() {
+  Program P = fooProgram();
+  P.Name = "FOO_eq5625";
+  P.Body = fooEq5625Body;
+  return P;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -82,16 +107,23 @@ TEST_P(BackendParamTest, SaturatesInequalityFooWithAnyBlackBox) {
 }
 
 TEST(BackendTest, EqualityArmsNeedLocalMinimization) {
-  // The equality-gated FOO (y == 4) separates the backends: Basinhopping's
+  // An equality-gated program separates the backends: Basinhopping's
   // Powell step converges onto the exact root, while annealing's random
   // walk almost surely never lands on it — the practical argument for
-  // MCMC-over-local-minima the paper makes in Sect. 2.
-  Program P = fooProgram();
+  // MCMC-over-local-minima the paper makes in Sect. 2. The y == 5.0625
+  // variant keeps the premise true for every RNG stream (no specials-table
+  // value is a root; see fooEq5625Program). MarkInfeasible is off so full
+  // saturation is reachable only by actually covering the equality arm —
+  // the heuristic must not be able to write it off and pass vacuously.
+  Program P = fooEq5625Program();
   CoverMeOptions BH;
   BH.NStart = 120;
   BH.Seed = 7;
   BH.Backend = GlobalBackendKind::Basinhopping;
-  EXPECT_TRUE(CoverMe(P, BH).run().AllSaturated);
+  BH.MarkInfeasible = false;
+  CampaignResult BHRes = CoverMe(P, BH).run();
+  EXPECT_TRUE(BHRes.AllSaturated);
+  EXPECT_DOUBLE_EQ(BHRes.BranchCoverage, 1.0);
   CoverMeOptions SA = BH;
   SA.Backend = GlobalBackendKind::SimulatedAnnealing;
   SA.MarkInfeasible = false;

@@ -13,10 +13,12 @@
 #include "runtime/ExecutionContext.h"
 #include "runtime/Hooks.h"
 #include "runtime/RepresentingFunction.h"
+#include "runtime/SaturationTable.h"
 #include "support/Random.h"
 
 #include <cmath>
 #include <gtest/gtest.h>
+#include <thread>
 
 using namespace coverme;
 
@@ -244,6 +246,82 @@ TEST(ExecutionContextTest, OperandRecording) {
 // CoverageMap
 //===----------------------------------------------------------------------===//
 
+TEST(SaturationTableTest, SaturateIsIdempotentAndVersioned) {
+  SaturationTable Table(2);
+  EXPECT_EQ(Table.version(), 0u);
+  EXPECT_TRUE(Table.saturate({0, true}));
+  EXPECT_EQ(Table.version(), 1u);
+  EXPECT_FALSE(Table.saturate({0, true})); // already saturated: no bump
+  EXPECT_EQ(Table.version(), 1u);
+  EXPECT_TRUE(Table.isSaturated({0, true}));
+  EXPECT_FALSE(Table.isSaturated({0, false}));
+  EXPECT_EQ(Table.saturatedCount(), 1u);
+  EXPECT_FALSE(Table.allSaturated());
+  for (uint32_t S = 0; S < 2; ++S)
+    for (bool Outcome : {true, false})
+      Table.saturate({S, Outcome});
+  EXPECT_TRUE(Table.allSaturated());
+  EXPECT_EQ(Table.version(), 4u);
+  EXPECT_EQ(Table.saturatedArms().size(), 4u);
+}
+
+TEST(SaturationTableTest, StreaksBumpAndReset) {
+  SaturationTable Table(1);
+  EXPECT_EQ(Table.streak({0, false}), 0u);
+  EXPECT_EQ(Table.bumpStreak({0, false}), 1u);
+  EXPECT_EQ(Table.bumpStreak({0, false}), 2u);
+  EXPECT_EQ(Table.streak({0, false}), 2u);
+  EXPECT_EQ(Table.streak({0, true}), 0u); // arms are independent
+  Table.resetStreaks();
+  EXPECT_EQ(Table.streak({0, false}), 0u);
+}
+
+TEST(SaturationTableTest, ContextsShareOneTable) {
+  // The parallel engine binds every worker's context to one table: what
+  // one context saturates, all others must observe (and pen consults).
+  SaturationTable Table(2);
+  ExecutionContext A(Table), B(Table);
+  A.saturate({1, true});
+  EXPECT_TRUE(B.isSaturated({1, true}));
+  EXPECT_EQ(B.saturatedCount(), 1u);
+  EXPECT_EQ(&A.saturation(), &B.saturation());
+  // The owning constructor still gives each context a private table.
+  ExecutionContext C(2u), D(2u);
+  C.saturate({0, true});
+  EXPECT_FALSE(D.isSaturated({0, true}));
+}
+
+TEST(SaturationTableTest, ConcurrentSaturateCountsEveryArmOnce) {
+  // Stress the engine's invariant that version() counts newly saturated
+  // arms exactly once: 8 threads race to saturate overlapping arm sets
+  // and to bump streaks; the table must converge to one version bump per
+  // distinct arm and one streak increment per bump, with no lost updates.
+  const unsigned NumSites = 64;
+  const unsigned NumThreads = 8;
+  const unsigned Rounds = 50;
+  SaturationTable Table(NumSites);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Table, T] {
+      for (unsigned R = 0; R < Rounds; ++R)
+        for (uint32_t S = 0; S < NumSites; ++S) {
+          // Every thread touches every site; arm choice varies by thread.
+          Table.saturate({S, (S + T) % 2 == 0});
+          Table.bumpStreak({S, true});
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Each site had both arms saturated by some thread (threads differ in
+  // parity), so all 2 * NumSites arms are saturated exactly once each.
+  EXPECT_TRUE(Table.allSaturated());
+  EXPECT_EQ(Table.saturatedCount(), 2 * NumSites);
+  EXPECT_EQ(Table.version(), 2 * NumSites);
+  EXPECT_EQ(Table.saturatedArms().size(), size_t(2) * NumSites);
+  for (uint32_t S = 0; S < NumSites; ++S)
+    EXPECT_EQ(Table.streak({S, true}), NumThreads * Rounds);
+}
+
 TEST(CoverageMapTest, BranchCoverageCounts) {
   CoverageMap Map(3);
   EXPECT_EQ(Map.coveredArms(), 0u);
@@ -270,6 +348,43 @@ TEST(CoverageMapTest, MergeAccumulates) {
   EXPECT_EQ(A.hits(0, true), 2u);
   EXPECT_EQ(A.hits(1, false), 1u);
   EXPECT_EQ(A.coveredArms(), 2u);
+}
+
+TEST(CoverageMapTest, MergeSelfDoublesCounters) {
+  CoverageMap A(2);
+  A.recordHit(0, true);
+  A.recordHit(1, false);
+  A.recordHit(1, false);
+  A.merge(A);
+  EXPECT_EQ(A.hits(0, true), 2u);
+  EXPECT_EQ(A.hits(1, false), 4u);
+  EXPECT_EQ(A.totalHits(), 6u);
+}
+
+TEST(CoverageMapTest, ConcurrentMergeIntoSharedTarget) {
+  // The parallel campaign layers fold per-worker maps into one suite map;
+  // merges into the same target from several threads must not lose hits.
+  const unsigned NumThreads = 8;
+  const unsigned MergesPerThread = 200;
+  CoverageMap Suite(4);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Suite, T] {
+      CoverageMap Local(4);
+      Local.recordHit(T % 4, true);
+      Local.recordHit((T + 1) % 4, false);
+      for (unsigned I = 0; I < MergesPerThread; ++I)
+        Suite.merge(Local);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Suite.totalHits(), uint64_t(NumThreads) * MergesPerThread * 2);
+  for (uint32_t S = 0; S < 4; ++S) {
+    // 8 threads over 4 sites: each site's T arm and F arm each hit by
+    // exactly two threads.
+    EXPECT_EQ(Suite.hits(S, true), 2u * MergesPerThread);
+    EXPECT_EQ(Suite.hits(S, false), 2u * MergesPerThread);
+  }
 }
 
 TEST(CoverageMapTest, UncoveredArmsEnumeration) {

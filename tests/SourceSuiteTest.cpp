@@ -72,6 +72,11 @@ double expectedCoverageFloor(const std::string &Name) {
                 // blame heuristic burns rounds on them (paper Sect. D)
   if (Name == "logb")
     return 0.6; // the (ix|lx)==0 equality arm is a hard equality target
+  if (Name == "cbrt")
+    return 0.6; // the zero and NaN/inf gates are reachable only through the
+                // wide sampler's specials table; whether those land before
+                // the blame heuristic writes one off after the (genuinely
+                // unreachable) subnormal arm is stream luck
   return 0.7;
 }
 

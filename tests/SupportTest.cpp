@@ -8,9 +8,12 @@
 #include "support/Random.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <cmath>
 #include <gtest/gtest.h>
+#include <numeric>
 
 using namespace coverme;
 
@@ -262,4 +265,52 @@ TEST(TableTest, RowAndColumnCounts) {
   EXPECT_EQ(T.numRows(), 0u);
   T.addRow({"1", "2", "3"});
   EXPECT_EQ(T.numRows(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEachIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Visits(1000);
+  Pool.parallelFor(Visits.size(), [&](size_t I) { Visits[I].fetch_add(1); });
+  for (const std::atomic<int> &V : Visits)
+    EXPECT_EQ(V.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsIndicesInOrder) {
+  // The documented contract the sequential reference paths rely on.
+  ThreadPool Pool(1);
+  std::vector<size_t> Order;
+  Pool.parallelFor(50, [&Order](size_t I) { Order.push_back(I); });
+  std::vector<size_t> Expected(50);
+  std::iota(Expected.begin(), Expected.end(), size_t(0));
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 64; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+  } // ~ThreadPool implies wait()
+  EXPECT_EQ(Count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareThreads) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.size(), ThreadPool::hardwareThreads());
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
 }
