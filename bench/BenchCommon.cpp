@@ -2,12 +2,35 @@
 
 #include "bench/BenchCommon.h"
 
+#include "support/Timer.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 using namespace coverme;
 using namespace coverme::bench;
+
+namespace {
+volatile double EvalSink = 0.0; ///< Defeats dead-code elimination.
+} // namespace
+
+double coverme::bench::nsPerBodyEval(const Program &P, unsigned Evals) {
+  std::vector<double> X(P.Arity, 0.75);
+  double Best = 1e300;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    WallTimer T;
+    for (unsigned I = 0; I < Evals; ++I) {
+      X[0] = 0.75 + 1e-9 * static_cast<double>(I % 1024);
+      EvalSink = P.Body(X.data());
+    }
+    double S = T.seconds();
+    if (S < Best)
+      Best = S;
+  }
+  return Best * 1e9 / Evals;
+}
 
 RowResult coverme::bench::runRow(const Program &P, const Protocol &Proto) {
   RowResult Row;

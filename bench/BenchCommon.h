@@ -65,6 +65,12 @@ struct Protocol {
 /// Runs the full protocol on one program.
 RowResult runRow(const Program &P, const Protocol &Proto);
 
+/// Best-of-3 wall measurement of one plain body evaluation, in ns, over a
+/// deterministic input sweep. Shared by bench_interp and
+/// bench_source_suite so the CI-gated VM speedup and the per-row VMx
+/// columns use one methodology.
+double nsPerBodyEval(const Program &P, unsigned Evals);
+
 /// Parses `[n_start] [seed]` positional overrides plus `--threads=N` and
 /// `--json[=path]` flags shared by the bench mains.
 Protocol protocolFromArgs(int Argc, char **Argv);

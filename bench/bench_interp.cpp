@@ -1,26 +1,43 @@
-//===- bench_interp.cpp - Source-pipeline benchmarks (google-benchmark) -----===//
+//===- bench_interp.cpp - Execution-tier benchmarks -------------------------===//
 //
 // Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
 //
 // Quantifies what the from-source pipeline costs relative to the natively
-// compiled ports: frontend throughput (parse + sema per compile), one
-// interpreted FOO_R evaluation vs one native evaluation on the same
-// function (s_tanh.c, the paper's Fig. 1), and a whole interpreted
-// campaign. The paper's implementation pays a similar toll in its Python
-// optimizer loop and .so round-trips; the interpreter trades constant
-// factors for zero build steps.
+// compiled ports, and what the bytecode VM buys over the tree-walker on
+// the hottest path of the whole system: one FOO_R evaluation (Sect. 5.1
+// runs it millions of times per campaign). Measured on s_tanh.c, the
+// paper's Fig. 1 program:
+//
+//   * frontend throughput (parse + Sema per compile) and bytecode
+//     compile throughput (AST -> instruction stream),
+//   * one plain body evaluation: native port vs tree-walker vs VM,
+//   * one FOO_R evaluation (hooks firing, pen updating r) on both tiers,
+//   * an entire campaign (Algorithm 1 end to end) on both tiers.
+//
+// `--json[=path]` writes BENCH_interp.json with the measured rates and the
+// derived `vm_speedup` (tree-walker ns / VM ns per plain evaluation),
+// which CI gates at >= 2x.
+//
+// Usage: bench_interp [--json[=path]] [--evals=N]
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchCommon.h"
 #include "core/CoverMe.h"
 #include "fdlibm/Fdlibm.h"
+#include "lang/Sema.h"
 #include "lang/SourceProgram.h"
 #include "runtime/ExecutionContext.h"
 #include "runtime/RepresentingFunction.h"
+#include "support/Timer.h"
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 using namespace coverme;
+using namespace coverme::lang;
 
 namespace {
 
@@ -54,83 +71,161 @@ const char *TanhSource =
     "  else return -z;\n"
     "}\n";
 
-const lang::SourceProgram &tanhFromSource() {
-  static lang::SourceProgram SP =
-      lang::compileSourceProgram(TanhSource, "tanh");
-  return SP;
+volatile double Sink = 0.0; ///< Defeats dead-code elimination.
+
+/// Best-of-3 wall time for \p Count runs of \p Fn, in seconds.
+template <typename F> double bestOf3(unsigned Count, F &&Fn) {
+  double Best = 1e300;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    WallTimer T;
+    for (unsigned I = 0; I < Count; ++I)
+      Fn(I);
+    double S = T.seconds();
+    if (S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+/// ns per FOO_R evaluation (context installed, pen live).
+double nsPerRepresentingEval(const Program &P, unsigned Evals) {
+  ExecutionContext Ctx(P.NumSites);
+  RepresentingFunction FR(P, Ctx);
+  std::vector<double> X(P.Arity, 0.75);
+  double Secs = bestOf3(Evals, [&](unsigned I) {
+    X[0] = 0.75 + 1e-9 * static_cast<double>(I % 1024);
+    Sink = FR(X);
+  });
+  return Secs * 1e9 / Evals;
+}
+
+/// Wall milliseconds for one full campaign (Algorithm 1, NStart=100).
+double campaignMs(const Program &P) {
+  WallTimer T;
+  CoverMeOptions Opts;
+  Opts.NStart = 100;
+  Opts.Seed = 1;
+  CampaignResult Res = CoverMe(P, Opts).run();
+  Sink = static_cast<double>(Res.CoveredBranches);
+  return T.seconds() * 1e3;
 }
 
 } // namespace
 
-/// Frontend cost: parse + analyze + wrap, per call.
-static void BM_CompileSourceProgram(benchmark::State &State) {
-  for (auto _ : State) {
-    lang::SourceProgram SP = lang::compileSourceProgram(TanhSource, "tanh");
-    benchmark::DoNotOptimize(SP.Prog.NumSites);
+int main(int Argc, char **Argv) {
+  bool Json = false;
+  std::string JsonPath = "BENCH_interp.json";
+  unsigned Evals = 100000;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--json") == 0) {
+      Json = true;
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      Json = true;
+      JsonPath = Arg + 7;
+    } else if (std::strncmp(Arg, "--evals=", 8) == 0) {
+      Evals = static_cast<unsigned>(std::atoi(Arg + 8));
+      if (Evals == 0)
+        Evals = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json[=path]] [--evals=N]\n", Argv[0]);
+      return 2;
+    }
   }
-}
-BENCHMARK(BM_CompileSourceProgram);
 
-/// One interpreted execution, no instrumentation context installed.
-static void BM_InterpretedExecution(benchmark::State &State) {
-  const lang::SourceProgram &SP = tanhFromSource();
-  std::vector<double> X = {0.75};
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(SP.Prog.Body(X.data()));
-    X[0] += 1e-9;
+  // Frontend throughput: parse + Sema per compile.
+  unsigned Compiles = 300;
+  double FrontendSecs = bestOf3(Compiles, [&](unsigned) {
+    ParseResult R = parseTranslationUnit(TanhSource);
+    std::vector<Diagnostic> Diags;
+    analyze(*R.TU, Diags);
+    Sink = static_cast<double>(R.TU->NumSites);
+  });
+  double FrontendUs = FrontendSecs * 1e6 / Compiles;
+
+  // Bytecode compile throughput over an already-analyzed unit.
+  ParseResult Parsed = parseTranslationUnit(TanhSource);
+  std::vector<Diagnostic> Diags;
+  if (!Parsed.success() || !analyze(*Parsed.TU, Diags)) {
+    std::fprintf(stderr, "tanh source failed the frontend\n");
+    return 1;
   }
-}
-BENCHMARK(BM_InterpretedExecution);
+  double CompileSecs = bestOf3(Compiles, [&](unsigned) {
+    bc::CompileResult R = bc::compileUnit(*Parsed.TU);
+    Sink = static_cast<double>(R.Unit ? R.Unit->Code.size() : 0);
+  });
+  double BytecodeUs = CompileSecs * 1e6 / Compiles;
 
-/// One native-port execution for the same function — the speed ratio with
-/// the benchmark above is the interpreter's constant factor.
-static void BM_NativeExecution(benchmark::State &State) {
-  const Program *P = fdlibm::lookup("tanh");
-  std::vector<double> X = {0.75};
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(P->Body(X.data()));
-    X[0] += 1e-9;
+  // The three bodies: native port, tree-walker, VM.
+  SourceProgramOptions TreeOpts;
+  TreeOpts.Tier = ExecutionTier::TreeWalker;
+  SourceProgram TreeSP = compileSourceProgram(TanhSource, "tanh", TreeOpts);
+  SourceProgram VmSP = compileSourceProgram(TanhSource, "tanh");
+  const Program *Native = fdlibm::lookup("tanh");
+  if (!TreeSP.success() || !VmSP.success() || !Native) {
+    std::fprintf(stderr, "tier setup failed:\n%s\n%s\n",
+                 TreeSP.diagnosticsText().c_str(),
+                 VmSP.diagnosticsText().c_str());
+    return 1;
   }
-}
-BENCHMARK(BM_NativeExecution);
 
-/// One interpreted FOO_R evaluation (hooks firing, pen updating r).
-static void BM_InterpretedRepresentingFunction(benchmark::State &State) {
-  const lang::SourceProgram &SP = tanhFromSource();
-  ExecutionContext Ctx(SP.Prog.NumSites);
-  RepresentingFunction FR(SP.Prog, Ctx);
-  std::vector<double> X = {0.75};
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(FR(X));
-    X[0] += 1e-9;
+  double NativeNs = bench::nsPerBodyEval(*Native, Evals * 4);
+  double InterpNs = bench::nsPerBodyEval(TreeSP.Prog, Evals);
+  double VmNs = bench::nsPerBodyEval(VmSP.Prog, Evals * 4);
+  double VmSpeedup = InterpNs / VmNs;
+
+  double InterpRNs = nsPerRepresentingEval(TreeSP.Prog, Evals);
+  double VmRNs = nsPerRepresentingEval(VmSP.Prog, Evals * 4);
+  double VmRSpeedup = InterpRNs / VmRNs;
+
+  double InterpCampaign = campaignMs(TreeSP.Prog);
+  double VmCampaign = campaignMs(VmSP.Prog);
+
+  std::printf("Execution-tier benchmarks on s_tanh.c (Fig. 1)\n\n");
+  std::printf("frontend (parse + Sema)        %10.1f us/compile\n",
+              FrontendUs);
+  std::printf("bytecode compile               %10.1f us/compile\n\n",
+              BytecodeUs);
+  std::printf("plain evaluation               native %8.1f ns | "
+              "tree-walker %8.1f ns | VM %8.1f ns\n",
+              NativeNs, InterpNs, VmNs);
+  std::printf("  VM speedup over tree-walker  %10.2fx (CI gate: >= 2x)\n",
+              VmSpeedup);
+  std::printf("FOO_R evaluation (pen live)    tree-walker %8.1f ns | "
+              "VM %8.1f ns  (%.2fx)\n",
+              InterpRNs, VmRNs, VmRSpeedup);
+  std::printf("campaign, n_start=100          tree-walker %8.1f ms | "
+              "VM %8.1f ms\n",
+              InterpCampaign, VmCampaign);
+
+  if (Json) {
+    std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(
+        F,
+        "{\n"
+        "  \"bench\": \"interp\",\n"
+        "  \"evals\": %u,\n"
+        "  \"frontend_us_per_compile\": %.3f,\n"
+        "  \"bytecode_compile_us_per_compile\": %.3f,\n"
+        "  \"native_ns_per_eval\": %.3f,\n"
+        "  \"interp_ns_per_eval\": %.3f,\n"
+        "  \"vm_ns_per_eval\": %.3f,\n"
+        "  \"vm_speedup\": %.3f,\n"
+        "  \"interp_foo_r_ns_per_eval\": %.3f,\n"
+        "  \"vm_foo_r_ns_per_eval\": %.3f,\n"
+        "  \"vm_foo_r_speedup\": %.3f,\n"
+        "  \"interp_campaign_ms\": %.3f,\n"
+        "  \"vm_campaign_ms\": %.3f\n"
+        "}\n",
+        Evals, FrontendUs, BytecodeUs, NativeNs, InterpNs, VmNs, VmSpeedup,
+        InterpRNs, VmRNs, VmRSpeedup, InterpCampaign, VmCampaign);
+    std::fclose(F);
+    std::printf("\nwrote %s\n", JsonPath.c_str());
   }
+  return 0;
 }
-BENCHMARK(BM_InterpretedRepresentingFunction);
-
-/// An entire campaign over the interpreted tanh (Algorithm 1 end to end).
-static void BM_InterpretedCampaign(benchmark::State &State) {
-  const lang::SourceProgram &SP = tanhFromSource();
-  for (auto _ : State) {
-    CoverMeOptions Opts;
-    Opts.NStart = 100;
-    Opts.Seed = 1;
-    CampaignResult Res = CoverMe(SP.Prog, Opts).run();
-    benchmark::DoNotOptimize(Res.CoveredBranches);
-  }
-}
-BENCHMARK(BM_InterpretedCampaign)->Unit(benchmark::kMillisecond);
-
-/// The same campaign over the native port, for the end-to-end ratio.
-static void BM_NativeCampaign(benchmark::State &State) {
-  const Program *P = fdlibm::lookup("tanh");
-  for (auto _ : State) {
-    CoverMeOptions Opts;
-    Opts.NStart = 100;
-    Opts.Seed = 1;
-    CampaignResult Res = CoverMe(*P, Opts).run();
-    benchmark::DoNotOptimize(Res.CoveredBranches);
-  }
-}
-BENCHMARK(BM_NativeCampaign)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();

@@ -3,19 +3,22 @@
 // Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
 //
 // The Table-2 protocol (CoverMe vs Rand vs AFL, baselines on 10x CoverMe's
-// executions) run over the ten embedded Fdlibm 5.3 sources, with every
-// program executing through the mini-C interpreter instead of a compiled
-// port — the paper's own deployment model (Fig. 4: the tool consumes
-// source, not hand-instrumented binaries). For the five word-exact
-// overlaps the native-port campaign coverage is printed alongside: the
-// pipeline swap should not change who wins.
+// executions) run over the embedded Fdlibm 5.3 sources, with every program
+// executing through the mini-C frontend instead of a compiled port — the
+// paper's own deployment model (Fig. 4: the tool consumes source, not
+// hand-instrumented binaries). For the word-exact overlaps the native-port
+// campaign coverage is printed alongside: the pipeline swap should not
+// change who wins.
 //
-// Each row compiles its own SourceProgram (one interpreter per row), so
-// whole rows shard safely across the CampaignRunner pool even though an
-// interpreted body is not reentrant. `--json[=path]` writes
-// BENCH_source_suite.json.
+// Campaign bodies run on the bytecode VM by default (`--tier=interp`
+// falls back to the tree-walker); each row also measures both tiers'
+// plain-evaluation throughput, so the sweep doubles as a per-subject
+// VM-vs-interpreter speedup report. Bytecode bodies are reentrant, and
+// whole rows additionally shard across the CampaignRunner pool.
+// `--json[=path]` writes BENCH_source_suite.json.
 //
 // Usage: bench_source_suite [n_start] [seed] [--threads=N] [--json[=path]]
+//                           [--tier=vm|interp]
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +30,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 using namespace coverme;
 using namespace coverme::bench;
@@ -38,45 +43,92 @@ namespace {
 /// A sweep row plus the data the source table needs beyond RowResult.
 struct SourceRow {
   RowResult Row;
-  /// Keeps the interpreted Program (whose body closure owns the
-  /// interpreter) alive for Row.Prog and the JSON writer.
+  /// Keeps the campaign-tier Program (whose body closure owns its
+  /// executor) alive for Row.Prog and the JSON writer.
   std::shared_ptr<Program> Prog;
   unsigned Branches = 0;
   bool FrontendOk = false;
   std::string NativeText = "-";
+  double InterpNs = 0.0; ///< Tree-walker plain-eval throughput.
+  double VmNs = 0.0;     ///< Bytecode-VM plain-eval throughput.
 };
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  Protocol Proto = protocolFromArgs(Argc, Argv);
+  // Peel the bench-local --tier flag before the shared protocol parser
+  // (which rejects unknown flags) sees the argument list.
+  ExecutionTier Tier = ExecutionTier::Bytecode;
+  std::vector<char *> Rest;
+  Rest.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--tier=vm") == 0) {
+      Tier = ExecutionTier::Bytecode;
+    } else if (std::strcmp(Argv[I], "--tier=interp") == 0) {
+      Tier = ExecutionTier::TreeWalker;
+    } else if (std::strncmp(Argv[I], "--tier=", 7) == 0) {
+      std::fprintf(stderr, "%s: bad --tier value '%s' (want vm|interp)\n",
+                   Argv[0], Argv[I] + 7);
+      return 2;
+    } else {
+      Rest.push_back(Argv[I]);
+    }
+  }
+  Protocol Proto =
+      protocolFromArgs(static_cast<int>(Rest.size()), Rest.data());
   Proto.RunAustin = false;
 
   CampaignRunner Runner({Proto.Threads, {}});
   Proto.Threads = Runner.threads(); // resolve 0 for the report and the JSON
   std::printf(
-      "Source-pipeline suite: CoverMe versus Rand and AFL over interpreted "
-      "Fdlibm 5.3 sources\n"
+      "Source-pipeline suite: CoverMe versus Rand and AFL over Fdlibm 5.3 "
+      "sources on the %s tier\n"
       "protocol: n_start=%u, n_iter=%u, LM=powell, seed=%llu; "
       "Rand/AFL budget = 10x CoverMe evaluations; %u row threads\n\n",
+      Tier == ExecutionTier::Bytecode ? "bytecode-VM" : "tree-walker",
       Proto.NStart, Proto.NIter,
       static_cast<unsigned long long>(Proto.Seed), Runner.threads());
 
+  // Per-row execution-tier throughput, measured sequentially before the
+  // sweep so the numbers are not skewed by row-shard contention.
   size_t N = sourceSuite().size();
+  std::vector<double> TwNs(N, 0.0), VmNs(N, 0.0);
+  for (size_t I = 0; I < N; ++I) {
+    const SourceBenchmark &B = sourceSuite()[I];
+    SourceProgramOptions VmOpts;
+    VmOpts.TotalLines = B.PaperLines;
+    SourceProgramOptions TwOpts = VmOpts;
+    VmOpts.Tier = ExecutionTier::Bytecode;
+    TwOpts.Tier = ExecutionTier::TreeWalker;
+    SourceProgram VmSP = compileSourceProgram(B.Source, B.Name, VmOpts);
+    SourceProgram TwSP = compileSourceProgram(B.Source, B.Name, TwOpts);
+    if (VmSP.success() && TwSP.success()) {
+      VmNs[I] = nsPerBodyEval(VmSP.Prog, 20000);
+      TwNs[I] = nsPerBodyEval(TwSP.Prog, 5000);
+    }
+  }
+
   WallTimer Sweep;
   std::atomic<size_t> Done{0};
   std::vector<SourceRow> Rows = Runner.map<SourceRow>(N, [&](size_t I) {
     const SourceBenchmark &B = sourceSuite()[I];
     SourceRow Out;
-    SourceProgram SP = compileSourceBenchmark(B);
+    SourceProgramOptions SPOpts;
+    SPOpts.TotalLines = B.PaperLines;
+    SPOpts.Tier = Tier;
+    SourceProgram SP = compileSourceProgram(B.Source, B.Name, SPOpts);
     if (!SP.success()) {
       std::fprintf(stderr, "[%zu] %s frontend failed:\n%s\n", I + 1,
                    B.Name.c_str(), SP.diagnosticsText().c_str());
       return Out;
     }
+    SP.Prog.File = B.File;
     Out.FrontendOk = true;
     Out.Branches = SP.Prog.numBranches();
     Out.Prog = std::make_shared<Program>(SP.Prog);
+    Out.InterpNs = TwNs[I];
+    Out.VmNs = VmNs[I];
+
     Out.Row = runRow(*Out.Prog, Proto);
 
     // Where a word-exact native port exists, run the identical campaign
@@ -98,9 +150,9 @@ int main(int Argc, char **Argv) {
   double Wall = Sweep.seconds();
 
   Table T({"file", "entry", "#br", "time(s)", "Rand", "AFL", "CoverMe",
-           "native CM", "CM-Rand", "CM-AFL"});
-  double SumRand = 0, SumAfl = 0, SumCm = 0;
-  size_t Ok = 0;
+           "native CM", "CM-Rand", "CM-AFL", "tw ns/ev", "vm ns/ev", "VMx"});
+  double SumRand = 0, SumAfl = 0, SumCm = 0, SumSpeedup = 0;
+  size_t Ok = 0, SpeedupRows = 0;
   std::vector<RowResult> JsonRows;
   for (size_t I = 0; I < N; ++I) {
     const SourceBenchmark &B = sourceSuite()[I];
@@ -114,24 +166,34 @@ int main(int Argc, char **Argv) {
     SumRand += Rd;
     SumAfl += Af;
     SumCm += Cm;
+    double Speedup = S.VmNs > 0.0 ? S.InterpNs / S.VmNs : 0.0;
+    if (Speedup > 0.0) {
+      SumSpeedup += Speedup;
+      ++SpeedupRows;
+    }
     T.addRow({B.File, B.Name, std::to_string(S.Branches),
               Table::cell(S.Row.CoverMe.Seconds, 2), Table::cell(Rd),
               Table::cell(Af), Table::cell(Cm), S.NativeText,
-              Table::cell(Cm - Rd), Table::cell(Cm - Af)});
+              Table::cell(Cm - Rd), Table::cell(Cm - Af),
+              Table::cell(S.InterpNs, 0), Table::cell(S.VmNs, 0),
+              Table::cell(Speedup, 2)});
     JsonRows.push_back(S.Row);
   }
 
   double DN = Ok ? static_cast<double>(Ok) : 1.0;
+  double DS = SpeedupRows ? static_cast<double>(SpeedupRows) : 1.0;
   T.addRow({"MEAN", "", "", "", Table::cell(SumRand / DN),
             Table::cell(SumAfl / DN), Table::cell(SumCm / DN), "",
             Table::cell((SumCm - SumRand) / DN),
-            Table::cell((SumCm - SumAfl) / DN)});
+            Table::cell((SumCm - SumAfl) / DN), "", "",
+            Table::cell(SumSpeedup / DS, 2)});
   std::fputs(T.toAscii().c_str(), stdout);
 
   std::printf("\nexpected shape: same orderings as the compiled Table 2 — "
               "CoverMe >= Rand everywhere, CoverMe above AFL on the mean; "
-              "where the interpreted source and the native port share a "
-              "site structure the campaigns agree\n");
+              "where the source program and the native port share a site "
+              "structure the campaigns agree; VMx (tree-walker ns / VM ns) "
+              "stays above 2 on every row\n");
   std::printf("sweep wall time: %.1fs on %u threads\n", Wall,
               Runner.threads());
   if (Proto.Json) {

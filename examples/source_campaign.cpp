@@ -9,20 +9,29 @@
 // No compiler, no LLVM pass, no shared object — the source text is the
 // program under test.
 //
+// The body executes on the bytecode VM (compile once, run per thread), so
+// `--threads=N` shards the campaign's rounds; `--tier=interp` falls back
+// to the tree-walking interpreter, which clamps the engine to one thread.
+//
 // Usage:
-//   source_campaign                 # run the built-in Fig. 1 tanh demo
-//   source_campaign foo.c entry     # campaign over entry() in foo.c
+//   source_campaign [flags]              # built-in Fig. 1 tanh demo
+//   source_campaign [flags] foo.c entry  # campaign over entry() in foo.c
+//   flags: --tier=vm|interp  --threads=N
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/CampaignEngine.h"
 #include "core/CoverMe.h"
 #include "lang/SourceProgram.h"
 #include "runtime/Coverage.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace coverme;
 
@@ -81,15 +90,36 @@ bool readFile(const char *Path, std::string &Out) {
 } // namespace
 
 int main(int argc, char **argv) {
+  lang::SourceProgramOptions SPOpts;
+  unsigned Threads = 1;
+  std::vector<const char *> Positional;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--tier=vm") == 0) {
+      SPOpts.Tier = lang::ExecutionTier::Bytecode;
+    } else if (std::strcmp(argv[I], "--tier=interp") == 0) {
+      SPOpts.Tier = lang::ExecutionTier::TreeWalker;
+    } else if (std::strncmp(argv[I], "--threads=", 10) == 0) {
+      Threads = static_cast<unsigned>(std::atoi(argv[I] + 10));
+    } else if (std::strncmp(argv[I], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--tier=vm|interp] [--threads=N] "
+                   "[foo.c entry]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      Positional.push_back(argv[I]);
+    }
+  }
+
   std::string Source;
   std::string Entry;
-  if (argc >= 3) {
-    if (!readFile(argv[1], Source)) {
-      std::fprintf(stderr, "error: cannot read '%s'\n", argv[1]);
+  if (Positional.size() >= 2) {
+    if (!readFile(Positional[0], Source)) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", Positional[0]);
       return 1;
     }
-    Entry = argv[2];
-    std::printf("== CoverMe from source: %s, entry %s ==\n\n", argv[1],
+    Entry = Positional[1];
+    std::printf("== CoverMe from source: %s, entry %s ==\n\n", Positional[0],
                 Entry.c_str());
   } else {
     Source = TanhSource;
@@ -98,7 +128,7 @@ int main(int argc, char **argv) {
                 "entry tanh ==\n\n");
   }
 
-  lang::SourceProgram SP = lang::compileSourceProgram(Source, Entry);
+  lang::SourceProgram SP = lang::compileSourceProgram(Source, Entry, SPOpts);
   if (!SP.success()) {
     std::fprintf(stderr, "frontend errors:\n%s\n",
                  SP.diagnosticsText().c_str());
@@ -112,6 +142,13 @@ int main(int argc, char **argv) {
   Opts.NStart = 500;
   Opts.NIter = 5;
   Opts.Seed = 1;
+  Opts.Threads = Threads;
+  std::printf("executor: %s tier, %u engine thread(s)%s\n",
+              SP.Prog.ThreadSafeBody ? "bytecode-VM" : "tree-walker",
+              CampaignEngine(SP.Prog, Opts).effectiveThreads(),
+              !SP.Prog.ThreadSafeBody && Threads > 1
+                  ? " (non-reentrant body clamps to 1)"
+                  : "");
   CampaignResult Res = CoverMe(SP.Prog, Opts).run();
 
   std::printf("campaign:  %u/%u branches covered (%.1f%%) in %.2fs, "

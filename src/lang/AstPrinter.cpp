@@ -115,6 +115,27 @@ std::string indentBy(unsigned Levels) {
   return std::string(2 * static_cast<size_t>(Levels), ' ');
 }
 
+/// One declarator with optional initializer, shared by the DeclStmt
+/// renderer and renderUnit's globals (they must agree for the whole-unit
+/// round-trip property to hold).
+std::string renderDeclarator(const VarDecl &D) {
+  std::string Text = typeName(D.DeclType) + " " + D.Name;
+  if (D.isArray())
+    Text += "[" + std::to_string(D.ArraySize) + "]";
+  if (D.Init)
+    Text += " = " + renderExpr(*D.Init);
+  if (!D.InitList.empty()) {
+    Text += " = {";
+    for (size_t I = 0; I < D.InitList.size(); ++I) {
+      if (I)
+        Text += ", ";
+      Text += renderExpr(*D.InitList[I]);
+    }
+    Text += "}";
+  }
+  return Text;
+}
+
 } // namespace
 
 std::string lang::renderExpr(const Expr &E) {
@@ -186,23 +207,8 @@ std::string lang::renderStmt(const Stmt &S, unsigned Indent) {
   case StmtKind::Decl: {
     const auto &DS = stmtCast<DeclStmt>(S);
     std::string Text;
-    for (const auto &D : DS.Decls) {
-      Text += Pad + typeName(D->DeclType) + " " + D->Name;
-      if (D->isArray())
-        Text += "[" + std::to_string(D->ArraySize) + "]";
-      if (D->Init)
-        Text += " = " + renderExpr(*D->Init);
-      if (!D->InitList.empty()) {
-        Text += " = {";
-        for (size_t I = 0; I < D->InitList.size(); ++I) {
-          if (I)
-            Text += ", ";
-          Text += renderExpr(*D->InitList[I]);
-        }
-        Text += "}";
-      }
-      Text += ";\n";
-    }
+    for (const auto &D : DS.Decls)
+      Text += Pad + renderDeclarator(*D) + ";\n";
     return Text;
   }
   case StmtKind::Block: {
@@ -260,6 +266,24 @@ std::string lang::renderStmt(const Stmt &S, unsigned Indent) {
   }
   assert(false && "unknown StmtKind");
   return "";
+}
+
+std::string lang::renderUnit(const TranslationUnit &TU) {
+  std::string Text;
+  for (const auto &G : TU.Globals)
+    Text += renderDeclarator(*G) + ";\n";
+  for (const auto &F : TU.Functions) {
+    if (!Text.empty())
+      Text += "\n";
+    Text += typeName(F->ReturnType) + " " + F->Name + "(";
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      if (I)
+        Text += ", ";
+      Text += typeName(F->Params[I]->DeclType) + " " + F->Params[I]->Name;
+    }
+    Text += ")\n" + renderStmt(*F->Body, 0);
+  }
+  return Text;
 }
 
 namespace {

@@ -42,6 +42,13 @@ std::string renderExpr(const Expr &E);
 /// \p Indent levels of two spaces.
 std::string renderStmt(const Stmt &S, unsigned Indent = 0);
 
+/// Renders a whole translation unit as parseable C source: file-scope
+/// declarations, then each function definition. The output is a fixed
+/// point of print -> parse -> print (the AstPrinterTest round-trip
+/// property), which is what pins printer/parser agreement for every
+/// consumer that re-parses rendered source.
+std::string renderUnit(const TranslationUnit &TU);
+
 /// Structural dump of a whole translation unit: globals, functions,
 /// statements and expressions one per line with kind, type (after Sema)
 /// and conditional site ids.

@@ -1,0 +1,293 @@
+//===- Bytecode.h - Compiled form of the mini-C subset --------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled execution tier's program representation: a flat, immutable
+/// instruction stream plus a double constant pool, produced once per
+/// analyzed TranslationUnit by lang/Compiler and executed by any number of
+/// per-thread lang/Vm instances concurrently.
+///
+/// Design constraints, in order:
+///
+/// 1. *Observational equivalence with the tree-walker.* A VM run of FOO
+///    must produce the bit-identical return value, fire the same rt::cond
+///    hooks in the same order with the same operands, and trap (to NaN) in
+///    the same situations as lang/Interp — the differential suite in
+///    tests/VmDifferentialTest.cpp holds both tiers to this.
+/// 2. *Shared code, private state.* A CompiledUnit is never written after
+///    compileUnit returns; all mutable state (operand stack, frame arena,
+///    global arena copy, step budget) lives in the Vm, so VM-backed
+///    Programs set ThreadSafeBody and the CampaignEngine shards them.
+/// 3. *Speed.* The mini-C subset is statically typed, so every instruction
+///    is typed at compile time and the VM's value slots are untagged 8-byte
+///    unions — no runtime type dispatch, no per-node allocation, and fused
+///    unchecked frame/global accesses for the Sema-laid-out variables that
+///    dominate Fdlibm code.
+///
+/// Pointers use the same encoding as the interpreter's arenas: an address
+/// space tag in the top byte (0 null, 1 global, 2 frame) over a 32-bit
+/// byte offset, so word-twiddling like `*(1 + (int *)&x)` resolves to the
+/// identical bytes in both tiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_BYTECODE_H
+#define COVERME_LANG_BYTECODE_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+namespace bc {
+
+/// One untagged VM value slot. The executing instruction knows which field
+/// is live: canonical int32 values are sign-extended into I, canonical
+/// uint32 values zero-extended into U, doubles live in D, and pointers are
+/// space/offset-encoded in U (see encodePtr below).
+union Slot {
+  double D;
+  int64_t I;
+  uint64_t U;
+};
+
+/// Address spaces of encoded pointers; numerically identical to the
+/// interpreter's arenas so both tiers trap on the same accesses.
+enum class Space : uint8_t {
+  Null = 0,
+  Global = 1,
+  Frame = 2,
+};
+
+inline uint64_t encodePtr(Space S, uint32_t Offset) {
+  return (static_cast<uint64_t>(S) << 56) | Offset;
+}
+inline Space ptrSpace(uint64_t Bits) {
+  return static_cast<Space>(Bits >> 56);
+}
+inline uint32_t ptrOffset(uint64_t Bits) { return static_cast<uint32_t>(Bits); }
+
+/// Instruction opcodes. Suffix convention: D double, I canonical int32,
+/// U canonical uint32, P encoded pointer, 32 "both integer types" (the
+/// result is re-canonicalized by a following U2I when the static result
+/// type is int).
+enum class Op : uint8_t {
+  // ---- constants ----------------------------------------------------------
+  ConstD, ///< push DoublePool[A]
+  ConstI, ///< push int32(A), sign-extended
+  ConstU, ///< push uint32(A), zero-extended
+  // ---- operand-stack shuffling -------------------------------------------
+  Pop,
+  Dup,  ///< [x] -> [x x]
+  Swap, ///< [x y] -> [y x]
+  Rot,  ///< [x y z] -> [y z x] (bottom of the top three to the top)
+  // ---- addresses ----------------------------------------------------------
+  AddrG, ///< push global pointer at byte offset A
+  AddrF, ///< push frame pointer at FrameBase + A
+  // ---- checked accesses through a pointer on the stack -------------------
+  LoadI, ///< pop ptr, push sign-extended int32 at ptr
+  LoadU,
+  LoadD,
+  LoadP,
+  StoreI, ///< pop value, pop ptr, store; B != 0: push the value back
+  StoreU,
+  StoreD,
+  StoreP,
+  // ---- fused unchecked accesses (Sema-laid-out variables) ----------------
+  LdFI, ///< push frame var at offset A (always within FrameBytes)
+  LdFU,
+  LdFD,
+  LdFP,
+  LdGI, ///< push global var at offset A (always within GlobalBytes)
+  LdGU,
+  LdGD,
+  LdGP,
+  StFI, ///< pop value, store to frame offset A; B != 0: push it back
+  StFU,
+  StFD,
+  StFP,
+  StGI,
+  StGU,
+  StGD,
+  StGP,
+  ZeroF, ///< zero frame bytes [A, A+B) — local array bring-up
+  ZeroG, ///< zero global bytes [A, A+B)
+  // ---- double arithmetic --------------------------------------------------
+  AddD,
+  SubD,
+  MulD,
+  DivD, ///< IEEE: x/0 yields inf/NaN, never traps
+  NegD,
+  // ---- int32 arithmetic (wrapping; division traps on zero) ---------------
+  AddI,
+  SubI,
+  MulI,
+  DivI, ///< INT_MIN / -1 wraps rather than UB, as the interpreter does
+  RemI,
+  NegI,
+  AddU,
+  SubU,
+  MulU,
+  DivU,
+  RemU,
+  NegU,
+  ShlI, ///< pop uint32 amount (masked & 31), pop int32, shift
+  ShrI, ///< arithmetic shift, as Fdlibm assumes
+  ShlU,
+  ShrU,
+  And32, ///< pop two, push zero-extended (a & b) over the low 32 bits
+  Or32,
+  Xor32,
+  NotI, ///< bitwise complement, canonical int
+  NotU,
+  // ---- truthiness ---------------------------------------------------------
+  BoolI, ///< [v] -> [v != 0] as int 0/1
+  BoolD,
+  BoolP, ///< non-null test on the space tag, matching Interp's truthy()
+  LogNotI,
+  LogNotD,
+  LogNotP,
+  // ---- conversions (slot renormalization) --------------------------------
+  I2D,
+  U2D,
+  D2I, ///< saturating truncation, NaN -> 0 (Interp's truncToInt32)
+  D2U,
+  I2U,
+  U2I,
+  I2P, ///< 0 becomes the null pointer; anything else traps
+  // ---- comparisons: A = CmpOp; pop R, pop L, push int 0/1 ----------------
+  CmpD,
+  CmpI,
+  CmpU,
+  CmpP,     ///< full encoded-pointer compare, identical to Interp
+  PNullCmp, ///< pop ptr; push (A != 0 ? ptr is null : ptr is non-null)
+  // ---- pointer arithmetic -------------------------------------------------
+  PtrAdd, ///< pop int32 index, pop ptr; offset += index * A (B != 0: -=)
+  // ---- control flow: A = absolute instruction index ----------------------
+  Jump,
+  JfI, ///< pop, jump when falsy
+  JfD,
+  JfP,
+  JtI, ///< pop, jump when truthy
+  JtD,
+  JtP,
+  // ---- instrumentation ----------------------------------------------------
+  /// The compiled form of the paper's pen injection: pop b, pop a (both
+  /// already promoted to double per Sect. 5.3), push
+  /// rt::cond(A, CmpOp(B), a, b) as int 0/1. Sites fire in the same order
+  /// with the same ids as the tree-walker because both read the numbering
+  /// Sema stamped on the statement nodes.
+  CondSite,
+  // ---- calls --------------------------------------------------------------
+  Call,  ///< A = function index; converted args on the operand stack
+  CallB, ///< A = BuiltinId, B = arity; double args (int for scalbn's 2nd)
+  RetV,  ///< return from a void function
+  Ret,   ///< pop the (already converted) return slot, return it
+  TrapOp, ///< unconditional trap; A = index into TrapMessages
+  Halt,   ///< entry-thunk sentinel; stops the dispatch loop
+};
+
+/// libm builtins, resolved at compile time from Sema-validated call names.
+/// Mirrors Interp's callBuiltin table exactly (ldexp aliases scalbn).
+enum class BuiltinId : uint32_t {
+  Fabs,
+  Sqrt,
+  Sin,
+  Cos,
+  Tan,
+  Asin,
+  Acos,
+  Atan,
+  Exp,
+  Log,
+  Log10,
+  Log1p,
+  Expm1,
+  Floor,
+  Ceil,
+  Rint,
+  Trunc,
+  Cbrt,
+  Sinh,
+  Cosh,
+  Tanh,
+  J0,
+  J1,
+  Y0,
+  Y1,
+  Pow,
+  Fmod,
+  Atan2,
+  Hypot,
+  Copysign,
+  Fmin,
+  Fmax,
+  Scalbn,
+};
+
+/// One instruction: opcode plus two immediate operands (jump targets are
+/// absolute indices into CompiledUnit::Code).
+struct Insn {
+  Op Code;
+  uint32_t A = 0;
+  uint32_t B = 0;
+};
+
+/// Everything the VM needs to call one compiled function.
+struct FunctionInfo {
+  std::string Name;
+  Type ReturnType;
+  uint32_t Entry = 0;      ///< First instruction of the body.
+  uint32_t Thunk = 0;      ///< Two-instruction `Call; Halt` entry stub.
+  uint32_t FrameBytes = 0; ///< Sema's frame layout (params + locals).
+  /// Operand slots this function's own code may stack up (excluding
+  /// callees, which reserve their own at their Call site).
+  uint32_t MaxOperandDepth = 0;
+  std::vector<Type> ParamTypes;
+  std::vector<uint32_t> ParamOffsets; ///< Frame byte offsets, from Sema.
+};
+
+/// The immutable compiled unit. Safe to share across threads; every Vm
+/// holds a shared_ptr so the code outlives any Program body closure.
+struct CompiledUnit {
+  std::vector<Insn> Code;
+  std::vector<double> DoublePool;
+  std::vector<FunctionInfo> Functions;
+  std::vector<std::string> TrapMessages;
+  /// Global arena contents after running every file-scope initializer in
+  /// declaration order (computed once at compile time); each Vm starts
+  /// from a copy, mirroring the interpreter's per-instance global arena.
+  std::vector<uint8_t> GlobalImage;
+  uint32_t GlobalBytes = 0; ///< Sema's global arena size (= image size).
+  unsigned NumSites = 0;
+  uint32_t GlobalInitEntry = 0; ///< Init routine (ends in Halt).
+  uint32_t GlobalInitMaxDepth = 0;
+
+  /// True when some function body may write global storage — directly, or
+  /// by letting a global's address escape (see Compiler::noteGlobalEscape).
+  /// Each Vm holds a *private copy* of the global arena, so such programs
+  /// are not thread-count invariant under campaign sharding; SourceProgram
+  /// clears ThreadSafeBody for them and the engine clamps to one thread.
+  /// Read-only global access (the whole Fdlibm suite) does not set this.
+  bool WritesGlobals = false;
+
+  /// Index of the function named \p Name, or -1.
+  int functionIndex(const std::string &Name) const {
+    for (size_t I = 0; I < Functions.size(); ++I)
+      if (Functions[I].Name == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+};
+
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_BYTECODE_H

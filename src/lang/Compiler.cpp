@@ -1,0 +1,1331 @@
+//===- Compiler.cpp - AST to bytecode lowering ----------------------------===//
+//
+// The lowering mirrors the tree-walker's evaluation order statement by
+// statement so that hook firings, trap points, and every floating-point
+// operation sequence are observably identical between the two tiers (the
+// contract tests/VmDifferentialTest.cpp enforces). Where the interpreter
+// decides an operation by the *runtime* types of its operands, the
+// compiler decides by the Sema-cached static types — in this subset the
+// two always agree, which is what makes an untagged VM sound.
+//
+// One documented deviation: argument conversions for calls are emitted
+// inline after each argument instead of after all arguments. Conversions
+// are pure, so this can only reorder *which trap fires first* when a
+// later argument traps and an earlier argument's conversion would also
+// trap (both runs still trap to NaN).
+
+#include "lang/Compiler.h"
+
+#include "lang/Vm.h"
+
+#include <map>
+#include <unordered_map>
+
+using namespace coverme;
+using namespace coverme::lang;
+using namespace coverme::lang::bc;
+
+namespace {
+
+/// Static type classes the opcode selection keys on.
+enum class TC : uint8_t { I, U, D, P, V };
+
+TC tc(Type T) {
+  if (T.isPointer())
+    return TC::P;
+  switch (T.Base) {
+  case BaseType::Int:
+    return TC::I;
+  case BaseType::UInt:
+    return TC::U;
+  case BaseType::Double:
+    return TC::D;
+  case BaseType::Void:
+    return TC::V;
+  }
+  assert(false && "unknown BaseType");
+  return TC::V;
+}
+
+struct BuiltinEntry {
+  const char *Name;
+  BuiltinId Id;
+  unsigned Arity;
+};
+
+const BuiltinEntry *findBuiltin(const std::string &Name) {
+  static const BuiltinEntry Table[] = {
+      {"fabs", BuiltinId::Fabs, 1},     {"sqrt", BuiltinId::Sqrt, 1},
+      {"sin", BuiltinId::Sin, 1},       {"cos", BuiltinId::Cos, 1},
+      {"tan", BuiltinId::Tan, 1},       {"asin", BuiltinId::Asin, 1},
+      {"acos", BuiltinId::Acos, 1},     {"atan", BuiltinId::Atan, 1},
+      {"exp", BuiltinId::Exp, 1},       {"log", BuiltinId::Log, 1},
+      {"log10", BuiltinId::Log10, 1},   {"log1p", BuiltinId::Log1p, 1},
+      {"expm1", BuiltinId::Expm1, 1},   {"floor", BuiltinId::Floor, 1},
+      {"ceil", BuiltinId::Ceil, 1},     {"rint", BuiltinId::Rint, 1},
+      {"trunc", BuiltinId::Trunc, 1},   {"cbrt", BuiltinId::Cbrt, 1},
+      {"sinh", BuiltinId::Sinh, 1},     {"cosh", BuiltinId::Cosh, 1},
+      {"tanh", BuiltinId::Tanh, 1},     {"j0", BuiltinId::J0, 1},
+      {"j1", BuiltinId::J1, 1},         {"y0", BuiltinId::Y0, 1},
+      {"y1", BuiltinId::Y1, 1},         {"pow", BuiltinId::Pow, 2},
+      {"fmod", BuiltinId::Fmod, 2},     {"atan2", BuiltinId::Atan2, 2},
+      {"hypot", BuiltinId::Hypot, 2},   {"copysign", BuiltinId::Copysign, 2},
+      {"fmin", BuiltinId::Fmin, 2},     {"fmax", BuiltinId::Fmax, 2},
+      {"scalbn", BuiltinId::Scalbn, 2}, {"ldexp", BuiltinId::Scalbn, 2},
+  };
+  for (const BuiltinEntry &E : Table)
+    if (Name == E.Name)
+      return &E;
+  return nullptr;
+}
+
+/// Usual arithmetic conversions, same ladder as Sema and the interpreter.
+Type usualArithmetic(Type L, Type R) {
+  if (L.Base == BaseType::Double || R.Base == BaseType::Double)
+    return Type(BaseType::Double);
+  if (L.Base == BaseType::UInt || R.Base == BaseType::UInt)
+    return Type(BaseType::UInt);
+  return Type(BaseType::Int);
+}
+
+/// The syntax-directed lowering pass; one instance per translation unit.
+class Compiler {
+public:
+  Compiler(const TranslationUnit &TU, CompiledUnit &U) : TU(TU), U(U) {}
+
+  bool run();
+
+  std::string Error;
+
+private:
+  const TranslationUnit &TU;
+  CompiledUnit &U;
+  const FunctionDecl *CurFn = nullptr;
+  int CurDepth = 0;
+  int MaxDepth = 0;
+
+  struct LoopCtx {
+    std::vector<uint32_t> Breaks;    ///< Jump indices to patch to loop end.
+    std::vector<uint32_t> Continues; ///< ... to the continue target.
+  };
+  std::vector<LoopCtx> Loops;
+  /// break/continue outside any loop unwind to the function epilogue,
+  /// exactly as the interpreter's Flow propagation does.
+  std::vector<uint32_t> EpiloguePatches;
+
+  std::map<uint64_t, uint32_t> DPool; ///< Double bits -> pool index.
+  std::map<std::string, uint32_t> Traps;
+  std::unordered_map<const FunctionDecl *, uint32_t> FnIndex;
+
+  // ----- emission ----------------------------------------------------------
+
+  uint32_t here() const { return static_cast<uint32_t>(U.Code.size()); }
+
+  uint32_t emit(Op O, uint32_t A = 0, uint32_t B = 0, int Delta = 0) {
+    U.Code.push_back({O, A, B});
+    adj(Delta);
+    return static_cast<uint32_t>(U.Code.size() - 1);
+  }
+
+  void adj(int Delta) {
+    CurDepth += Delta;
+    assert(CurDepth >= 0 && "operand stack underflow at compile time");
+    if (CurDepth > MaxDepth)
+      MaxDepth = CurDepth;
+  }
+
+  void patch(uint32_t Idx) { U.Code[Idx].A = here(); }
+  void patchTo(uint32_t Idx, uint32_t Target) { U.Code[Idx].A = Target; }
+
+  uint32_t dconst(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V), "IEEE binary64 expected");
+    __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    auto It = DPool.find(Bits);
+    if (It != DPool.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(U.DoublePool.size());
+    U.DoublePool.push_back(V);
+    DPool.emplace(Bits, Idx);
+    return Idx;
+  }
+
+  uint32_t trapMsg(const std::string &Why) {
+    auto It = Traps.find(Why);
+    if (It != Traps.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(U.TrapMessages.size());
+    U.TrapMessages.push_back(Why);
+    Traps.emplace(Why, Idx);
+    return Idx;
+  }
+
+  bool fail(const std::string &Why) {
+    if (Error.empty())
+      Error = Why;
+    return false;
+  }
+
+  // ----- helpers -----------------------------------------------------------
+
+  /// Emits the conversion of the top slot from \p From to \p To, following
+  /// Interpreter::convert (including its traps for pointer misuse).
+  bool genConvert(Type From, Type To);
+
+  /// Emits a typed checked load/store through a pointer on the stack.
+  bool genLoad(Type Ty);
+  bool genStore(Type Ty, bool Keep);
+
+  /// Pushes the address of \p D (fused frame/global addressing).
+  void genVarAddr(const VarDecl &D) {
+    if (D.Storage == StorageKind::Global)
+      emit(Op::AddrG, D.ByteOffset, 0, +1);
+    else
+      emit(Op::AddrF, D.ByteOffset, 0, +1);
+  }
+
+  /// Emits the fused load of scalar variable \p D.
+  bool genVarLoad(const VarDecl &D);
+  /// Emits the fused store to scalar variable \p D.
+  bool genVarStore(const VarDecl &D, bool Keep);
+
+  /// Truthiness of the top slot (typed); \p Ty may be void (always false).
+  void genBool(Type Ty);
+
+  /// Emits a conditional jump consuming the top slot; returns the index
+  /// to patch. \p Ty selects the typed test; \p WhenTrue picks Jt vs Jf.
+  uint32_t genTypedJump(Type Ty, bool WhenTrue);
+
+  /// Records that a function body may write global storage. Each Vm runs
+  /// over a private copy of the global arena, so a unit with writable
+  /// globals is not safe to shard across campaign threads; SourceProgram
+  /// reads CompiledUnit::WritesGlobals and clears ThreadSafeBody.
+  ///
+  /// Soundness: every global-space pointer originates at an AddrG
+  /// emission. Those happen in exactly three places — a direct fused
+  /// store (genVarStore, flagged), an array-decay/address-of in a general
+  /// rvalue position (flagged as an escape: the address may be stored
+  /// through later, here or in a callee), and the direct base of an
+  /// indexed access (suppressed for reads, flagged for stores) — so
+  /// read-only global use, the whole Fdlibm suite included, stays
+  /// unflagged while every potential write path is covered.
+  void noteGlobalEscape(const VarDecl &D) {
+    if (D.Storage == StorageKind::Global)
+      U.WritesGlobals = true;
+  }
+
+  bool genExpr(const Expr &E);
+  bool genExprForEffect(const Expr &E);
+  bool genLvalueAddr(const Expr &E, bool ForStore);
+  bool genBinary(const BinaryExpr &B);
+  bool genNumericOp(BinaryOp Op, Type C);
+  bool genIncDec(const Expr &Lvalue, bool IsPre, bool IsInc, unsigned Line);
+  bool genAssign(const AssignExpr &A, bool NeedValue);
+  bool genCall(const CallExpr &Call);
+
+  /// Compiles a statement condition (site or plain) and emits one jump,
+  /// taken when the outcome equals \p JumpWhenTrue. Returns false on
+  /// error; \p Patch receives the jump's index.
+  bool genCondJump(const Expr &Cond, uint32_t Site, bool JumpWhenTrue,
+                   uint32_t &Patch);
+
+  bool genVarInit(const VarDecl &D, bool Global);
+  bool genStmt(const Stmt &S);
+  bool genFunction(const FunctionDecl &F, FunctionInfo &Info);
+};
+
+bool Compiler::genConvert(Type From, Type To) {
+  if (To == From)
+    return true;
+  if (To.isPointer()) {
+    if (From.isPointer() || From.isVoid())
+      return true; // retype only; the encoded bits carry over
+    if (From.isInteger()) {
+      emit(Op::I2P);
+      return true;
+    }
+    emit(Op::TrapOp, trapMsg("invalid conversion to pointer type"));
+    return true;
+  }
+  switch (To.Base) {
+  case BaseType::Double:
+    switch (tc(From)) {
+    case TC::D:
+      return true;
+    case TC::I:
+      emit(Op::I2D);
+      return true;
+    case TC::U:
+      emit(Op::U2D);
+      return true;
+    case TC::P:
+    case TC::V:
+      emit(Op::TrapOp, trapMsg("pointer used as a number"));
+      return true;
+    }
+    break;
+  case BaseType::Int:
+    switch (tc(From)) {
+    case TC::I:
+      return true;
+    case TC::D:
+      emit(Op::D2I);
+      return true;
+    case TC::U:
+      emit(Op::U2I);
+      return true;
+    case TC::P:
+    case TC::V:
+      emit(Op::TrapOp, trapMsg("pointer used as an integer"));
+      return true;
+    }
+    break;
+  case BaseType::UInt:
+    switch (tc(From)) {
+    case TC::U:
+      return true;
+    case TC::D:
+      emit(Op::D2U);
+      return true;
+    case TC::I:
+      emit(Op::I2U);
+      return true;
+    case TC::P:
+    case TC::V:
+      emit(Op::TrapOp, trapMsg("pointer used as an integer"));
+      return true;
+    }
+    break;
+  case BaseType::Void:
+    return true; // value discarded by the caller
+  }
+  return fail("unsupported conversion");
+}
+
+bool Compiler::genLoad(Type Ty) {
+  switch (tc(Ty)) {
+  case TC::I:
+    emit(Op::LoadI);
+    return true;
+  case TC::U:
+    emit(Op::LoadU);
+    return true;
+  case TC::D:
+    emit(Op::LoadD);
+    return true;
+  case TC::P:
+    emit(Op::LoadP);
+    return true;
+  case TC::V:
+    emit(Op::TrapOp, trapMsg("load of unsupported type"));
+    return true;
+  }
+  return fail("unsupported load type");
+}
+
+bool Compiler::genStore(Type Ty, bool Keep) {
+  int Delta = Keep ? -1 : -2;
+  switch (tc(Ty)) {
+  case TC::I:
+    emit(Op::StoreI, 0, Keep, Delta);
+    return true;
+  case TC::U:
+    emit(Op::StoreU, 0, Keep, Delta);
+    return true;
+  case TC::D:
+    emit(Op::StoreD, 0, Keep, Delta);
+    return true;
+  case TC::P:
+    emit(Op::StoreP, 0, Keep, Delta);
+    return true;
+  case TC::V:
+    emit(Op::TrapOp, trapMsg("store of unsupported type"), 0, Delta);
+    return true;
+  }
+  return fail("unsupported store type");
+}
+
+bool Compiler::genVarLoad(const VarDecl &D) {
+  bool Global = D.Storage == StorageKind::Global;
+  switch (tc(D.DeclType)) {
+  case TC::I:
+    emit(Global ? Op::LdGI : Op::LdFI, D.ByteOffset, 0, +1);
+    return true;
+  case TC::U:
+    emit(Global ? Op::LdGU : Op::LdFU, D.ByteOffset, 0, +1);
+    return true;
+  case TC::D:
+    emit(Global ? Op::LdGD : Op::LdFD, D.ByteOffset, 0, +1);
+    return true;
+  case TC::P:
+    emit(Global ? Op::LdGP : Op::LdFP, D.ByteOffset, 0, +1);
+    return true;
+  case TC::V:
+    break;
+  }
+  return fail("load of a void variable");
+}
+
+bool Compiler::genVarStore(const VarDecl &D, bool Keep) {
+  bool Global = D.Storage == StorageKind::Global;
+  if (Global)
+    U.WritesGlobals = true; // direct global write in a function body
+  int Delta = Keep ? 0 : -1;
+  switch (tc(D.DeclType)) {
+  case TC::I:
+    emit(Global ? Op::StGI : Op::StFI, D.ByteOffset, Keep, Delta);
+    return true;
+  case TC::U:
+    emit(Global ? Op::StGU : Op::StFU, D.ByteOffset, Keep, Delta);
+    return true;
+  case TC::D:
+    emit(Global ? Op::StGD : Op::StFD, D.ByteOffset, Keep, Delta);
+    return true;
+  case TC::P:
+    emit(Global ? Op::StGP : Op::StFP, D.ByteOffset, Keep, Delta);
+    return true;
+  case TC::V:
+    break;
+  }
+  return fail("store to a void variable");
+}
+
+void Compiler::genBool(Type Ty) {
+  switch (tc(Ty)) {
+  case TC::I:
+  case TC::U:
+    emit(Op::BoolI);
+    return;
+  case TC::D:
+    emit(Op::BoolD);
+    return;
+  case TC::P:
+    emit(Op::BoolP);
+    return;
+  case TC::V:
+    // A void value is never truthy (Interp reads its zeroed I field).
+    emit(Op::ConstI, 0, 0, +1);
+    return;
+  }
+}
+
+uint32_t Compiler::genTypedJump(Type Ty, bool WhenTrue) {
+  switch (tc(Ty)) {
+  case TC::I:
+  case TC::U:
+    return emit(WhenTrue ? Op::JtI : Op::JfI, 0, 0, -1);
+  case TC::D:
+    return emit(WhenTrue ? Op::JtD : Op::JfD, 0, 0, -1);
+  case TC::P:
+    return emit(WhenTrue ? Op::JtP : Op::JfP, 0, 0, -1);
+  case TC::V:
+    emit(Op::ConstI, 0, 0, +1); // void is falsy
+    return emit(WhenTrue ? Op::JtI : Op::JfI, 0, 0, -1);
+  }
+  assert(false && "unknown type class");
+  return emit(Op::JfI, 0, 0, -1);
+}
+
+bool Compiler::genLvalueAddr(const Expr &E, bool ForStore) {
+  switch (E.Kind) {
+  case ExprKind::VarRef: {
+    // Reached via AddrOf only (direct variable stores use the fused
+    // path): the address escapes, so a global target may be written
+    // through it anywhere downstream.
+    const auto &Ref = exprCast<VarRefExpr>(E);
+    assert(Ref.Decl && "unresolved variable reference");
+    genVarAddr(*Ref.Decl);
+    noteGlobalEscape(*Ref.Decl);
+    return true;
+  }
+  case ExprKind::Unary: {
+    const auto &Un = exprCast<UnaryExpr>(E);
+    assert(Un.Op == UnaryOp::Deref && "not an lvalue unary");
+    // A store through an arbitrary pointer needs no flag of its own:
+    // if the pointer can reach global space, the AddrG that created it
+    // already flagged the escape.
+    return genExpr(*Un.Operand); // leaves the pointer
+  }
+  case ExprKind::Index: {
+    const auto &Idx = exprCast<IndexExpr>(E);
+    const Expr &Base = *Idx.Base;
+    if (Base.Kind == ExprKind::VarRef &&
+        exprCast<VarRefExpr>(Base).Decl->isArray()) {
+      // Direct indexed access to a named array: the address is consumed
+      // immediately, so a *read* of a global table (rint's TWO52[sx])
+      // does not count as an escape; a *store* is a global write.
+      const VarDecl &D = *exprCast<VarRefExpr>(Base).Decl;
+      genVarAddr(D);
+      if (ForStore)
+        noteGlobalEscape(D);
+    } else if (!genExpr(Base)) { // nested decay flags its own escape
+      return false;
+    }
+    if (!genExpr(*Idx.Index))
+      return false;
+    if (!genConvert(Idx.Index->Ty, Type(BaseType::Int)))
+      return false;
+    unsigned Elem = Idx.Base->Ty.pointee().sizeInBytes();
+    emit(Op::PtrAdd, Elem, 0, -1);
+    return true;
+  }
+  default:
+    return fail("expression is not an lvalue");
+  }
+}
+
+/// Arithmetic / remainder over the already-converted common type \p C,
+/// with both operands on the stack ([L, R], R on top).
+bool Compiler::genNumericOp(BinaryOp Op2, Type C) {
+  TC Cls = tc(C);
+  switch (Op2) {
+  case BinaryOp::Add:
+    emit(Cls == TC::D ? Op::AddD : Cls == TC::U ? Op::AddU : Op::AddI, 0, 0,
+         -1);
+    return true;
+  case BinaryOp::Sub:
+    emit(Cls == TC::D ? Op::SubD : Cls == TC::U ? Op::SubU : Op::SubI, 0, 0,
+         -1);
+    return true;
+  case BinaryOp::Mul:
+    emit(Cls == TC::D ? Op::MulD : Cls == TC::U ? Op::MulU : Op::MulI, 0, 0,
+         -1);
+    return true;
+  case BinaryOp::Div:
+    emit(Cls == TC::D ? Op::DivD : Cls == TC::U ? Op::DivU : Op::DivI, 0, 0,
+         -1);
+    return true;
+  case BinaryOp::Rem:
+    emit(Cls == TC::U ? Op::RemU : Op::RemI, 0, 0, -1);
+    return true;
+  default:
+    return fail("genNumericOp on a non-arithmetic operator");
+  }
+}
+
+bool Compiler::genBinary(const BinaryExpr &B) {
+  Type Lt = B.Lhs->Ty, Rt = B.Rhs->Ty;
+
+  // Sequencing operators control operand evaluation themselves.
+  if (B.Op == BinaryOp::LogAnd || B.Op == BinaryOp::LogOr) {
+    if (!genExpr(*B.Lhs))
+      return false;
+    bool IsAnd = B.Op == BinaryOp::LogAnd;
+    uint32_t Short = genTypedJump(Lt, /*WhenTrue=*/!IsAnd);
+    int Base = CurDepth;
+    if (!genExpr(*B.Rhs))
+      return false;
+    genBool(Rt);
+    uint32_t End = emit(Op::Jump);
+    patch(Short);
+    CurDepth = Base;
+    emit(Op::ConstI, IsAnd ? 0u : 1u, 0, +1);
+    patch(End);
+    return true;
+  }
+  if (B.Op == BinaryOp::Comma) {
+    if (!genExpr(*B.Lhs))
+      return false;
+    if (!Lt.isVoid())
+      emit(Op::Pop, 0, 0, -1);
+    return genExpr(*B.Rhs);
+  }
+
+  if (isComparisonOp(B.Op)) {
+    // Null-pointer-constant comparison (==/!= only, per Sema): the
+    // integer side is evaluated and discarded, only nullness matters.
+    if (Lt.isPointer() != Rt.isPointer()) {
+      if (!genExpr(*B.Lhs) || !genExpr(*B.Rhs))
+        return false;
+      if (Lt.isPointer()) {
+        emit(Op::Pop, 0, 0, -1); // drop the integer on top
+      } else {
+        emit(Op::Swap);
+        emit(Op::Pop, 0, 0, -1);
+      }
+      emit(Op::PNullCmp, B.Op == BinaryOp::EQ ? 1u : 0u);
+      return true;
+    }
+    uint32_t Cmp = static_cast<uint32_t>(toCmpOp(B.Op));
+    if (Lt.isPointer() && Rt.isPointer()) {
+      if (!genExpr(*B.Lhs) || !genExpr(*B.Rhs))
+        return false;
+      emit(Op::CmpP, Cmp, 0, -1);
+      return true;
+    }
+    Type C = usualArithmetic(Lt, Rt);
+    if (!genExpr(*B.Lhs) || !genConvert(Lt, C))
+      return false;
+    if (!genExpr(*B.Rhs) || !genConvert(Rt, C))
+      return false;
+    emit(tc(C) == TC::D ? Op::CmpD : tc(C) == TC::U ? Op::CmpU : Op::CmpI,
+         Cmp, 0, -1);
+    return true;
+  }
+
+  // Pointer arithmetic: ptr +- int and int + ptr.
+  if ((B.Op == BinaryOp::Add || B.Op == BinaryOp::Sub) &&
+      (Lt.isPointer() || Rt.isPointer())) {
+    if (Lt.isPointer()) {
+      if (!genExpr(*B.Lhs) || !genExpr(*B.Rhs))
+        return false;
+      if (!genConvert(Rt, Type(BaseType::Int)))
+        return false;
+      emit(Op::PtrAdd, Lt.pointee().sizeInBytes(),
+           B.Op == BinaryOp::Sub ? 1u : 0u, -1);
+    } else { // int + ptr (Sema rejects int - ptr)
+      if (!genExpr(*B.Lhs) || !genConvert(Lt, Type(BaseType::Int)))
+        return false;
+      if (!genExpr(*B.Rhs))
+        return false;
+      emit(Op::Swap);
+      emit(Op::PtrAdd, Rt.pointee().sizeInBytes(), 0, -1);
+    }
+    return true;
+  }
+
+  switch (B.Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem: {
+    Type C = usualArithmetic(Lt, Rt);
+    if (!genExpr(*B.Lhs) || !genConvert(Lt, C))
+      return false;
+    if (!genExpr(*B.Rhs) || !genConvert(Rt, C))
+      return false;
+    return genNumericOp(B.Op, C);
+  }
+
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    if (!genExpr(*B.Lhs)) // shifts keep the left operand's type
+      return false;
+    if (!genExpr(*B.Rhs) || !genConvert(Rt, Type(BaseType::UInt)))
+      return false;
+    bool UnsignedL = Lt.Base == BaseType::UInt;
+    emit(B.Op == BinaryOp::Shl ? (UnsignedL ? Op::ShlU : Op::ShlI)
+                               : (UnsignedL ? Op::ShrU : Op::ShrI),
+         0, 0, -1);
+    return true;
+  }
+
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor: {
+    // Canonical slots carry exact low-32 bits for both integer types, so
+    // the bit operation needs no pre-conversion; re-canonicalize as int
+    // when the usual-arithmetic result type is int.
+    if (!genExpr(*B.Lhs) || !genExpr(*B.Rhs))
+      return false;
+    emit(B.Op == BinaryOp::BitAnd  ? Op::And32
+         : B.Op == BinaryOp::BitOr ? Op::Or32
+                                   : Op::Xor32,
+         0, 0, -1);
+    if (usualArithmetic(Lt, Rt).Base == BaseType::Int)
+      emit(Op::U2I);
+    return true;
+  }
+
+  default:
+    break;
+  }
+  return fail("unsupported binary operator");
+}
+
+/// Pre/postfix increment and decrement over any lvalue shape.
+bool Compiler::genIncDec(const Expr &Lvalue, bool IsPre, bool IsInc,
+                         unsigned Line) {
+  (void)Line;
+  Type Ty = Lvalue.Ty;
+  auto GenStep = [&]() -> bool {
+    switch (tc(Ty)) {
+    case TC::D:
+      emit(Op::ConstD, dconst(1.0), 0, +1);
+      emit(IsInc ? Op::AddD : Op::SubD, 0, 0, -1);
+      return true;
+    case TC::U:
+      // The interpreter's `one` is int 1; uint OP int runs as uint.
+      emit(Op::ConstU, 1, 0, +1);
+      emit(IsInc ? Op::AddU : Op::SubU, 0, 0, -1);
+      return true;
+    case TC::I:
+      emit(Op::ConstI, 1, 0, +1);
+      emit(IsInc ? Op::AddI : Op::SubI, 0, 0, -1);
+      return true;
+    case TC::P:
+      emit(Op::ConstI, 1, 0, +1);
+      emit(Op::PtrAdd, Ty.pointee().sizeInBytes(), IsInc ? 0u : 1u, -1);
+      return true;
+    case TC::V:
+      return fail("increment of a void value");
+    }
+    return false;
+  };
+
+  if (Lvalue.Kind == ExprKind::VarRef) {
+    const VarDecl &D = *exprCast<VarRefExpr>(Lvalue).Decl;
+    if (!genVarLoad(D))
+      return false;
+    if (IsPre) {
+      if (!GenStep())
+        return false;
+      return genVarStore(D, /*Keep=*/true);
+    }
+    emit(Op::Dup, 0, 0, +1);
+    if (!GenStep())
+      return false;
+    return genVarStore(D, /*Keep=*/false); // the old value stays on top
+  }
+
+  if (!genLvalueAddr(Lvalue, /*ForStore=*/true))
+    return false;
+  emit(Op::Dup, 0, 0, +1);
+  if (!genLoad(Ty))
+    return false;
+  if (IsPre) {
+    if (!GenStep())
+      return false;
+    return genStore(Ty, /*Keep=*/true);
+  }
+  emit(Op::Dup, 0, 0, +1);
+  if (!GenStep())
+    return false;
+  emit(Op::Rot);  // [addr old new] -> [old new addr]
+  emit(Op::Swap); // -> [old addr new]
+  return genStore(Ty, /*Keep=*/false);
+}
+
+bool Compiler::genAssign(const AssignExpr &A, bool NeedValue) {
+  Type Ty = A.Lhs->Ty;
+  Type Rt = A.Rhs->Ty;
+  bool Fused = A.Lhs->Kind == ExprKind::VarRef;
+  const VarDecl *D =
+      Fused ? exprCast<VarRefExpr>(*A.Lhs).Decl : nullptr;
+
+  if (A.Op == AssignOp::Assign) {
+    if (!Fused && !genLvalueAddr(*A.Lhs, /*ForStore=*/true))
+      return false;
+    if (!genExpr(*A.Rhs) || !genConvert(Rt, Ty))
+      return false;
+    return Fused ? genVarStore(*D, NeedValue) : genStore(Ty, NeedValue);
+  }
+
+  BinaryOp Op2 = BinaryOp::Add; // always overwritten; placates
+                                // -Wmaybe-uninitialized
+  switch (A.Op) {
+  case AssignOp::Add:
+    Op2 = BinaryOp::Add;
+    break;
+  case AssignOp::Sub:
+    Op2 = BinaryOp::Sub;
+    break;
+  case AssignOp::Mul:
+    Op2 = BinaryOp::Mul;
+    break;
+  case AssignOp::Div:
+    Op2 = BinaryOp::Div;
+    break;
+  case AssignOp::Rem:
+    Op2 = BinaryOp::Rem;
+    break;
+  case AssignOp::Shl:
+    Op2 = BinaryOp::Shl;
+    break;
+  case AssignOp::Shr:
+    Op2 = BinaryOp::Shr;
+    break;
+  case AssignOp::And:
+    Op2 = BinaryOp::BitAnd;
+    break;
+  case AssignOp::Or:
+    Op2 = BinaryOp::BitOr;
+    break;
+  case AssignOp::Xor:
+    Op2 = BinaryOp::BitXor;
+    break;
+  case AssignOp::Assign:
+    return fail("plain assignment reached compound lowering");
+  }
+
+  // Evaluation order mirrors the interpreter exactly: lvalue address,
+  // then the RHS, then the old value — so `g += f()` sees f's write to g.
+  bool Shift = Op2 == BinaryOp::Shl || Op2 == BinaryOp::Shr;
+  bool Bitwise = Op2 == BinaryOp::BitAnd || Op2 == BinaryOp::BitOr ||
+                 Op2 == BinaryOp::BitXor;
+
+  if (!Fused) {
+    if (!genLvalueAddr(*A.Lhs, /*ForStore=*/true))
+      return false;
+    emit(Op::Dup, 0, 0, +1); // [a a]
+  }
+  if (!genExpr(*A.Rhs)) // [.. rhs]
+    return false;
+  if (Shift && !genConvert(Rt, Type(BaseType::UInt)))
+    return false;
+  if (!Fused) {
+    emit(Op::Swap); // [a rhs a]
+    if (!genLoad(Ty))
+      return false; // [a rhs old]
+  } else {
+    if (!genVarLoad(*D)) // [rhs old]
+      return false;
+  }
+
+  if (Shift) {
+    emit(Op::Swap); // [.. old rhsU]
+    bool UnsignedL = Ty.Base == BaseType::UInt;
+    emit(Op2 == BinaryOp::Shl ? (UnsignedL ? Op::ShlU : Op::ShlI)
+                              : (UnsignedL ? Op::ShrU : Op::ShrI),
+         0, 0, -1);
+    // Shifts keep the lvalue's type: no re-conversion needed.
+  } else if (Bitwise) {
+    // Commutative over raw bits; [rhs old] needs no swap.
+    emit(Op2 == BinaryOp::BitAnd  ? Op::And32
+         : Op2 == BinaryOp::BitOr ? Op::Or32
+                                  : Op::Xor32,
+         0, 0, -1);
+    Type C = usualArithmetic(Ty, Rt);
+    if (C.Base == BaseType::Int)
+      emit(Op::U2I);
+    if (!genConvert(C, Ty))
+      return false;
+  } else {
+    Type C = usualArithmetic(Ty, Rt);
+    if (!genConvert(Ty, C)) // the old value is on top
+      return false;
+    emit(Op::Swap); // [.. oldC rhs]
+    if (!genConvert(Rt, C))
+      return false;
+    if (!genNumericOp(Op2, C))
+      return false;
+    if (!genConvert(C, Ty))
+      return false;
+  }
+  return Fused ? genVarStore(*D, NeedValue) : genStore(Ty, NeedValue);
+}
+
+bool Compiler::genCall(const CallExpr &Call) {
+  if (!Call.Callee) {
+    const BuiltinEntry *B = findBuiltin(Call.Name);
+    if (!B)
+      return fail("call to unknown builtin '" + Call.Name + "'");
+    for (size_t I = 0; I < Call.Args.size(); ++I) {
+      if (!genExpr(*Call.Args[I]))
+        return false;
+      Type To = (B->Id == BuiltinId::Scalbn && I == 1)
+                    ? Type(BaseType::Int)
+                    : Type(BaseType::Double);
+      if (!genConvert(Call.Args[I]->Ty, To))
+        return false;
+    }
+    emit(Op::CallB, static_cast<uint32_t>(B->Id), B->Arity,
+         1 - static_cast<int>(B->Arity));
+    return true;
+  }
+
+  auto It = FnIndex.find(Call.Callee);
+  if (It == FnIndex.end())
+    return fail("call to unknown function '" + Call.Name + "'");
+  const FunctionDecl &F = *Call.Callee;
+  for (size_t I = 0; I < Call.Args.size(); ++I) {
+    if (!genExpr(*Call.Args[I]))
+      return false;
+    if (!genConvert(Call.Args[I]->Ty, F.Params[I]->DeclType))
+      return false;
+  }
+  int Pushed = F.ReturnType.isVoid() ? 0 : 1;
+  emit(Op::Call, It->second, 0,
+       Pushed - static_cast<int>(Call.Args.size()));
+  return true;
+}
+
+bool Compiler::genExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLiteral: {
+    const auto &Lit = exprCast<IntLiteralExpr>(E);
+    emit(Lit.IsUnsigned ? Op::ConstU : Op::ConstI,
+         static_cast<uint32_t>(Lit.Value), 0, +1);
+    return true;
+  }
+  case ExprKind::DoubleLiteral:
+    emit(Op::ConstD, dconst(exprCast<DoubleLiteralExpr>(E).Value), 0, +1);
+    return true;
+
+  case ExprKind::VarRef: {
+    const auto &Ref = exprCast<VarRefExpr>(E);
+    assert(Ref.Decl && "unresolved variable reference");
+    if (Ref.Decl->isArray()) { // arrays decay to &elem[0]
+      genVarAddr(*Ref.Decl);
+      noteGlobalEscape(*Ref.Decl); // the decayed address may be stored through
+      return true;
+    }
+    return genVarLoad(*Ref.Decl);
+  }
+
+  case ExprKind::Unary: {
+    const auto &Un = exprCast<UnaryExpr>(E);
+    switch (Un.Op) {
+    case UnaryOp::Neg: {
+      if (!genExpr(*Un.Operand))
+        return false;
+      switch (tc(Un.Operand->Ty)) {
+      case TC::D:
+        emit(Op::NegD);
+        return true;
+      case TC::U:
+        emit(Op::NegU);
+        return true;
+      default:
+        emit(Op::NegI);
+        return true;
+      }
+    }
+    case UnaryOp::LogNot: {
+      if (!genExpr(*Un.Operand))
+        return false;
+      switch (tc(Un.Operand->Ty)) {
+      case TC::D:
+        emit(Op::LogNotD);
+        return true;
+      case TC::P:
+        emit(Op::LogNotP);
+        return true;
+      case TC::V:
+        emit(Op::ConstI, 1, 0, +1); // !void is true (void is falsy)
+        return true;
+      default:
+        emit(Op::LogNotI);
+        return true;
+      }
+    }
+    case UnaryOp::BitNot:
+      if (!genExpr(*Un.Operand))
+        return false;
+      emit(Un.Operand->Ty.Base == BaseType::UInt ? Op::NotU : Op::NotI);
+      return true;
+    case UnaryOp::Deref:
+      if (!genExpr(*Un.Operand))
+        return false;
+      return genLoad(E.Ty);
+    case UnaryOp::AddrOf:
+      // The address escapes; a global target may be written through it.
+      return genLvalueAddr(*Un.Operand, /*ForStore=*/true);
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+      return genIncDec(*Un.Operand, /*IsPre=*/true,
+                       Un.Op == UnaryOp::PreInc, E.Line);
+    }
+    return fail("unsupported unary operator");
+  }
+
+  case ExprKind::Postfix: {
+    const auto &P = exprCast<PostfixExpr>(E);
+    return genIncDec(*P.Operand, /*IsPre=*/false, P.IsIncrement, E.Line);
+  }
+
+  case ExprKind::Cast: {
+    const auto &C = exprCast<CastExpr>(E);
+    if (!genExpr(*C.Operand))
+      return false;
+    // `(int *)&x` style casts retype without touching the encoded bits.
+    if (C.Target.isPointer() && C.Operand->Ty.isPointer())
+      return true;
+    if (C.Target.isVoid()) {
+      if (!C.Operand->Ty.isVoid())
+        emit(Op::Pop, 0, 0, -1);
+      return true;
+    }
+    return genConvert(C.Operand->Ty, C.Target);
+  }
+
+  case ExprKind::Binary:
+    return genBinary(exprCast<BinaryExpr>(E));
+
+  case ExprKind::Ternary: {
+    const auto &T = exprCast<TernaryExpr>(E);
+    if (!genExpr(*T.Cond))
+      return false;
+    uint32_t Else = genTypedJump(T.Cond->Ty, /*WhenTrue=*/false);
+    int Base = CurDepth;
+    if (!genExpr(*T.TrueExpr))
+      return false;
+    if (E.Ty.isArithmetic() && !genConvert(T.TrueExpr->Ty, E.Ty))
+      return false;
+    uint32_t End = emit(Op::Jump);
+    patch(Else);
+    CurDepth = Base;
+    if (!genExpr(*T.FalseExpr))
+      return false;
+    if (E.Ty.isArithmetic() && !genConvert(T.FalseExpr->Ty, E.Ty))
+      return false;
+    patch(End);
+    return true;
+  }
+
+  case ExprKind::Assign:
+    return genAssign(exprCast<AssignExpr>(E), /*NeedValue=*/true);
+
+  case ExprKind::Call:
+    return genCall(exprCast<CallExpr>(E));
+
+  case ExprKind::Index:
+    if (!genLvalueAddr(E, /*ForStore=*/false))
+      return false;
+    return genLoad(E.Ty);
+  }
+  return fail("unsupported expression kind");
+}
+
+bool Compiler::genExprForEffect(const Expr &E) {
+  if (E.Kind == ExprKind::Assign)
+    return genAssign(exprCast<AssignExpr>(E), /*NeedValue=*/false);
+  if (!genExpr(E))
+    return false;
+  if (!E.Ty.isVoid())
+    emit(Op::Pop, 0, 0, -1);
+  return true;
+}
+
+bool Compiler::genCondJump(const Expr &Cond, uint32_t Site, bool JumpWhenTrue,
+                           uint32_t &Patch) {
+  if (Site != kNoSite) {
+    // The instrumented shape (Def. 3.1(b)): exactly `a op b`. Operands are
+    // promoted to double AFTER the usual arithmetic conversions, exactly
+    // like Interpreter::evalCondition (see the floor/ceil carry-test note
+    // there), then CondSite routes through rt::cond.
+    const auto &B = exprCast<BinaryExpr>(Cond);
+    Type Lt = B.Lhs->Ty, Rt = B.Rhs->Ty;
+    bool AnyDouble = Lt.Base == BaseType::Double || Rt.Base == BaseType::Double;
+    bool AnyUnsigned = Lt.Base == BaseType::UInt || Rt.Base == BaseType::UInt;
+    auto Promote = [&](Type T) -> bool {
+      if (AnyDouble)
+        return genConvert(T, Type(BaseType::Double));
+      if (AnyUnsigned) {
+        if (!genConvert(T, Type(BaseType::UInt)))
+          return false;
+        emit(Op::U2D);
+        return true;
+      }
+      if (!genConvert(T, Type(BaseType::Int)))
+        return false;
+      emit(Op::I2D);
+      return true;
+    };
+    if (!genExpr(*B.Lhs) || !Promote(Lt))
+      return false;
+    if (!genExpr(*B.Rhs) || !Promote(Rt))
+      return false;
+    emit(Op::CondSite, Site, static_cast<uint32_t>(toCmpOp(B.Op)), -1);
+    Patch = emit(JumpWhenTrue ? Op::JtI : Op::JfI, 0, 0, -1);
+    return true;
+  }
+  if (!genExpr(Cond))
+    return false;
+  Patch = genTypedJump(Cond.Ty, JumpWhenTrue);
+  return true;
+}
+
+bool Compiler::genVarInit(const VarDecl &D, bool Global) {
+  auto StoreAt = [&](uint32_t Offset) -> bool {
+    int Delta = -1;
+    switch (tc(D.DeclType)) {
+    case TC::I:
+      emit(Global ? Op::StGI : Op::StFI, Offset, 0, Delta);
+      return true;
+    case TC::U:
+      emit(Global ? Op::StGU : Op::StFU, Offset, 0, Delta);
+      return true;
+    case TC::D:
+      emit(Global ? Op::StGD : Op::StFD, Offset, 0, Delta);
+      return true;
+    case TC::P:
+      emit(Global ? Op::StGP : Op::StFP, Offset, 0, Delta);
+      return true;
+    case TC::V:
+      break;
+    }
+    return fail("initializer for a void variable");
+  };
+
+  if (D.isArray()) {
+    emit(Global ? Op::ZeroG : Op::ZeroF, D.ByteOffset, D.storageBytes());
+    for (size_t I = 0; I < D.InitList.size(); ++I) {
+      if (!genExpr(*D.InitList[I]) ||
+          !genConvert(D.InitList[I]->Ty, D.DeclType))
+        return false;
+      if (!StoreAt(D.ByteOffset +
+                   static_cast<uint32_t>(I * D.DeclType.sizeInBytes())))
+        return false;
+    }
+    return true;
+  }
+
+  if (D.Init) {
+    if (!genExpr(*D.Init) || !genConvert(D.Init->Ty, D.DeclType))
+      return false;
+  } else {
+    // Default initialization: the interpreter converts int 0.
+    switch (tc(D.DeclType)) {
+    case TC::D:
+      emit(Op::ConstD, dconst(0.0), 0, +1);
+      break;
+    case TC::U:
+      emit(Op::ConstU, 0, 0, +1);
+      break;
+    case TC::P:
+      emit(Op::ConstU, 0, 0, +1); // the null pointer encodes as 0
+      break;
+    default:
+      emit(Op::ConstI, 0, 0, +1);
+      break;
+    }
+  }
+  return StoreAt(D.ByteOffset);
+}
+
+bool Compiler::genStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    return genExprForEffect(*stmtCast<ExprStmt>(S).E);
+
+  case StmtKind::Decl:
+    for (const auto &D : stmtCast<DeclStmt>(S).Decls)
+      if (!genVarInit(*D, /*Global=*/false))
+        return false;
+    return true;
+
+  case StmtKind::Block:
+    for (const auto &Child : stmtCast<BlockStmt>(S).Body)
+      if (!genStmt(*Child))
+        return false;
+    return true;
+
+  case StmtKind::If: {
+    const auto &If = stmtCast<IfStmt>(S);
+    uint32_t ElseJump;
+    if (!genCondJump(*If.Cond, If.Site, /*JumpWhenTrue=*/false, ElseJump))
+      return false;
+    if (!genStmt(*If.Then))
+      return false;
+    if (If.Else) {
+      uint32_t EndJump = emit(Op::Jump);
+      patch(ElseJump);
+      if (!genStmt(*If.Else))
+        return false;
+      patch(EndJump);
+    } else {
+      patch(ElseJump);
+    }
+    return true;
+  }
+
+  case StmtKind::While: {
+    const auto &W = stmtCast<WhileStmt>(S);
+    uint32_t Head = here();
+    uint32_t ExitJump;
+    if (!genCondJump(*W.Cond, W.Site, /*JumpWhenTrue=*/false, ExitJump))
+      return false;
+    Loops.emplace_back();
+    bool Ok = genStmt(*W.Body);
+    LoopCtx Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    if (!Ok)
+      return false;
+    emit(Op::Jump, Head);
+    patch(ExitJump);
+    for (uint32_t J : Ctx.Breaks)
+      patch(J);
+    for (uint32_t J : Ctx.Continues)
+      patchTo(J, Head);
+    return true;
+  }
+
+  case StmtKind::DoWhile: {
+    const auto &D = stmtCast<DoWhileStmt>(S);
+    uint32_t Head = here();
+    Loops.emplace_back();
+    bool Ok = genStmt(*D.Body);
+    LoopCtx Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    if (!Ok)
+      return false;
+    uint32_t CondStart = here();
+    uint32_t BackJump;
+    if (!genCondJump(*D.Cond, D.Site, /*JumpWhenTrue=*/true, BackJump))
+      return false;
+    patchTo(BackJump, Head);
+    for (uint32_t J : Ctx.Breaks)
+      patch(J);
+    for (uint32_t J : Ctx.Continues)
+      patchTo(J, CondStart);
+    return true;
+  }
+
+  case StmtKind::For: {
+    const auto &F = stmtCast<ForStmt>(S);
+    if (F.Init && !genStmt(*F.Init))
+      return false;
+    uint32_t Head = here();
+    uint32_t ExitJump = 0;
+    bool HasCond = F.Cond != nullptr;
+    if (HasCond &&
+        !genCondJump(*F.Cond, F.Site, /*JumpWhenTrue=*/false, ExitJump))
+      return false;
+    Loops.emplace_back();
+    bool Ok = genStmt(*F.Body);
+    LoopCtx Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    if (!Ok)
+      return false;
+    uint32_t StepStart = here();
+    if (F.Step && !genExprForEffect(*F.Step))
+      return false;
+    emit(Op::Jump, Head);
+    if (HasCond)
+      patch(ExitJump);
+    for (uint32_t J : Ctx.Breaks)
+      patch(J);
+    for (uint32_t J : Ctx.Continues)
+      patchTo(J, StepStart);
+    return true;
+  }
+
+  case StmtKind::Return: {
+    const auto &R = stmtCast<ReturnStmt>(S);
+    if (R.Value) {
+      if (!genExpr(*R.Value) ||
+          !genConvert(R.Value->Ty, CurFn->ReturnType))
+        return false;
+      emit(Op::Ret, 0, 0, -1);
+    } else {
+      emit(Op::RetV);
+    }
+    return true;
+  }
+
+  case StmtKind::Break: {
+    uint32_t J = emit(Op::Jump);
+    if (Loops.empty())
+      EpiloguePatches.push_back(J); // unwind to the function end
+    else
+      Loops.back().Breaks.push_back(J);
+    return true;
+  }
+  case StmtKind::Continue: {
+    uint32_t J = emit(Op::Jump);
+    if (Loops.empty())
+      EpiloguePatches.push_back(J);
+    else
+      Loops.back().Continues.push_back(J);
+    return true;
+  }
+  case StmtKind::Empty:
+    return true;
+  }
+  return fail("unsupported statement kind");
+}
+
+bool Compiler::genFunction(const FunctionDecl &F, FunctionInfo &Info) {
+  CurFn = &F;
+  CurDepth = 0;
+  MaxDepth = 0;
+  Loops.clear();
+  EpiloguePatches.clear();
+
+  Info.Entry = here();
+  if (!genStmt(*F.Body))
+    return false;
+  assert(CurDepth == 0 && "statements must leave the operand stack empty");
+
+  // Fall-through epilogue: the interpreter converts a void return value to
+  // the declared return type, which traps for arithmetic returns and
+  // yields a null pointer for pointer returns.
+  for (uint32_t J : EpiloguePatches)
+    patch(J);
+  if (F.ReturnType.isVoid()) {
+    emit(Op::RetV);
+  } else if (F.ReturnType.isPointer()) {
+    emit(Op::ConstU, 0, 0, +1);
+    emit(Op::Ret, 0, 0, -1);
+  } else if (F.ReturnType.isDouble()) {
+    emit(Op::TrapOp, trapMsg("pointer used as a number"));
+  } else {
+    emit(Op::TrapOp, trapMsg("pointer used as an integer"));
+  }
+
+  Info.MaxOperandDepth = static_cast<uint32_t>(MaxDepth);
+  CurFn = nullptr;
+  return true;
+}
+
+bool Compiler::run() {
+  U.GlobalBytes = TU.GlobalBytes;
+  U.NumSites = TU.NumSites;
+
+  // Pre-register every function so calls resolve regardless of definition
+  // order (Sema already bound Callee pointers).
+  U.Functions.reserve(TU.Functions.size());
+  for (size_t I = 0; I < TU.Functions.size(); ++I) {
+    const FunctionDecl &F = *TU.Functions[I];
+    FunctionInfo Info;
+    Info.Name = F.Name;
+    Info.ReturnType = F.ReturnType;
+    Info.FrameBytes = F.FrameBytes;
+    for (const auto &P : F.Params) {
+      Info.ParamTypes.push_back(P->DeclType);
+      Info.ParamOffsets.push_back(P->ByteOffset);
+    }
+    U.Functions.push_back(std::move(Info));
+    FnIndex.emplace(&F, static_cast<uint32_t>(I));
+  }
+
+  for (size_t I = 0; I < TU.Functions.size(); ++I) {
+    if (!genFunction(*TU.Functions[I], U.Functions[I]))
+      return false;
+    // Entry thunk: lets callEntry reuse the Call instruction's frame and
+    // argument handling, stopping cleanly at the sentinel.
+    U.Functions[I].Thunk = here();
+    emit(Op::Call, static_cast<uint32_t>(I), 0, 0);
+    emit(Op::Halt);
+    CurDepth = 0;
+  }
+
+  // File-scope initializers run in declaration order against the zeroed
+  // global arena, once, at compile time (see compileUnit).
+  CurDepth = 0;
+  MaxDepth = 0;
+  U.GlobalInitEntry = here();
+  for (const auto &G : TU.Globals)
+    if (!genVarInit(*G, /*Global=*/true))
+      return false;
+  emit(Op::Halt);
+  U.GlobalInitMaxDepth = static_cast<uint32_t>(MaxDepth);
+  return Error.empty();
+}
+
+} // namespace
+
+CompileResult bc::compileUnit(const TranslationUnit &TU,
+                              const InterpOptions &GlobalInitOpts) {
+  auto Unit = std::make_shared<CompiledUnit>();
+  Compiler C(TU, *Unit);
+  CompileResult Result;
+  if (!C.run()) {
+    Result.Error = C.Error.empty() ? "bytecode compilation failed" : C.Error;
+    return Result;
+  }
+
+  // Bake the global image by running the init routine once on a scratch
+  // Vm. The image is written before the unit is published anywhere else.
+  std::shared_ptr<const CompiledUnit> View = Unit;
+  Vm Init(View, GlobalInitOpts);
+  if (!Init.runGlobalInit()) {
+    Result.Error = "global initializer: " + Init.trapMessage();
+    return Result;
+  }
+  Unit->GlobalImage = Init.globalMemory();
+  Result.Unit = std::move(View);
+  return Result;
+}

@@ -1,0 +1,55 @@
+//===- Compiler.h - AST to bytecode lowering ------------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an analyzed TranslationUnit to the bytecode of lang/Bytecode.h.
+/// The lowering is a direct syntax-directed walk that reuses everything
+/// Sema computed — expression types drive opcode selection, VarDecl byte
+/// offsets become fused frame/global accesses, and the conditional-site
+/// ids stamped on statements become CondSite instructions — so the VM
+/// fires the same rt::cond hooks in the same order as the tree-walker.
+///
+/// File-scope initializers are compiled into a one-shot init routine and
+/// executed once, at compile time, on a scratch Vm; the resulting global
+/// arena bytes ship inside the CompiledUnit and every per-thread Vm starts
+/// from a copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_COMPILER_H
+#define COVERME_LANG_COMPILER_H
+
+#include "lang/Bytecode.h"
+#include "lang/Interp.h"
+
+#include <memory>
+#include <string>
+
+namespace coverme {
+namespace lang {
+namespace bc {
+
+/// Outcome of compiling a translation unit.
+struct CompileResult {
+  /// Null when compilation (or global initialization) failed.
+  std::shared_ptr<const CompiledUnit> Unit;
+  std::string Error;
+
+  bool success() const { return Unit != nullptr; }
+};
+
+/// Compiles \p TU (which must have passed Sema::analyze) to bytecode and
+/// runs its file-scope initializers once to bake the global image.
+/// \p GlobalInitOpts bounds that one-off init run exactly as InterpOptions
+/// bounds the interpreter's.
+CompileResult compileUnit(const TranslationUnit &TU,
+                          const InterpOptions &GlobalInitOpts = {});
+
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_COMPILER_H

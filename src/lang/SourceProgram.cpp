@@ -3,6 +3,7 @@
 #include "lang/SourceProgram.h"
 
 #include "lang/Sema.h"
+#include "lang/Vm.h"
 
 #include <algorithm>
 
@@ -103,11 +104,37 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
   Result.Prog.NumSites = Result.Unit->NumSites;
   Result.Prog.TotalLines =
       Opts.TotalLines ? Opts.TotalLines : functionLineExtent(*Result.Entry);
-  // The closure below routes every call through one shared Interpreter,
-  // which is thread-compatible but not thread-safe (see lang/Interp.h).
+
+  if (Opts.Tier == ExecutionTier::Bytecode) {
+    bc::CompileResult Compiled = bc::compileUnit(*Result.Unit, Opts.Interp);
+    if (!Compiled.success()) {
+      Result.Diags.push_back({0, Compiled.Error});
+      return Result;
+    }
+    Result.Code = Compiled.Unit;
+    int EntryIdx = Result.Code->functionIndex(EntryName);
+    assert(EntryIdx >= 0 && "entry function survived Sema but not compile");
+    // Shared immutable code, per-thread Vm state: the body is reentrant,
+    // so campaign rounds shard across the ThreadPool (compile once, run
+    // per thread). The exception is a program that writes global storage:
+    // each Vm holds a private global-arena copy, so concurrent workers
+    // would see diverging globals and break thread-count invariance —
+    // the compiler flags those and the engine clamps them to one thread.
+    // The closure shares ownership of the unit and code, so the Program
+    // outlives this SourceProgram if the caller copies it out.
+    Result.Prog.ThreadSafeBody = !Result.Code->WritesGlobals;
+    Result.Prog.Body = [Unit = Result.Unit, Code = Result.Code,
+                        EntryIdx = static_cast<unsigned>(EntryIdx),
+                        InterpOpts = Opts.Interp](const double *Args) {
+      return bc::threadLocalVm(Code, InterpOpts).callEntry(EntryIdx, Args);
+    };
+    return Result;
+  }
+
+  // Tree-walker tier: the closure routes every call through one shared
+  // Interpreter, which is thread-compatible but not thread-safe (see
+  // lang/Interp.h) — the campaign engine clamps such bodies to one thread.
   Result.Prog.ThreadSafeBody = false;
-  // The closure shares ownership of the unit and interpreter, so the
-  // Program outlives this SourceProgram if the caller copies it out.
   Result.Prog.Body = [Unit = Result.Unit, Interp = Result.Interp,
                       Entry = Result.Entry](const double *Args) {
     return Interp->callEntry(*Entry, Args);

@@ -20,6 +20,7 @@
 #ifndef COVERME_LANG_SOURCEPROGRAM_H
 #define COVERME_LANG_SOURCEPROGRAM_H
 
+#include "lang/Compiler.h"
 #include "lang/Interp.h"
 #include "lang/Parser.h"
 #include "runtime/Program.h"
@@ -31,14 +32,30 @@
 namespace coverme {
 namespace lang {
 
-/// A compiled-from-source program: the analyzed unit, its interpreter, and
+/// Which executor backs the Program's body.
+enum class ExecutionTier : uint8_t {
+  /// Compile once to lang/Bytecode, run on a per-thread lang/Vm. The
+  /// body is reentrant (Program::ThreadSafeBody), so campaigns shard
+  /// rounds across threads. This is the default.
+  Bytecode,
+  /// The PR-1 tree-walking lang/Interp: one shared interpreter, body not
+  /// reentrant. Kept as the semantic reference — the differential suite
+  /// holds the two tiers bit-identical — and as an escape hatch.
+  TreeWalker,
+};
+
+/// A compiled-from-source program: the analyzed unit, its executors, and
 /// the Program handle the rest of the library consumes. Movable but not
 /// copyable; the Program's body closure keeps the unit alive via shared
 /// ownership, so the Program remains valid even after this struct is
 /// destroyed.
 struct SourceProgram {
   std::shared_ptr<TranslationUnit> Unit;
+  /// The tree-walker over Unit; always built (it doubles as the semantic
+  /// reference for differential tests, whichever tier backs Prog).
   std::shared_ptr<Interpreter> Interp;
+  /// The bytecode form; non-null when the Bytecode tier was requested.
+  std::shared_ptr<const bc::CompiledUnit> Code;
   const FunctionDecl *Entry = nullptr;
   Program Prog;
   std::vector<Diagnostic> Diags;
@@ -51,12 +68,16 @@ struct SourceProgram {
 
 /// Options for the source pipeline.
 struct SourceProgramOptions {
-  /// Interpreter limits for each body execution.
+  /// Execution limits for each body execution (both tiers share the same
+  /// budget semantics: exhausting MaxSteps traps to NaN, never hangs).
   InterpOptions Interp;
 
   /// Overrides the synthetic line count used by the Table-5 line model;
   /// 0 derives it from the entry function's source extent.
   unsigned TotalLines = 0;
+
+  /// Which executor backs Prog.Body.
+  ExecutionTier Tier = ExecutionTier::Bytecode;
 };
 
 /// Builds a Program executing \p EntryName from \p Source. On failure the

@@ -1,0 +1,113 @@
+//===- Vm.h - Stack VM for the compiled mini-C tier -----------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes lang/Bytecode.h programs. One Vm is one thread's execution
+/// state — operand stack, frame arena, private copy of the global arena,
+/// step budget — over a shared immutable CompiledUnit, which is what lets
+/// VM-backed Programs declare ThreadSafeBody and shard across the
+/// CampaignEngine's workers (compile once, run per thread).
+///
+/// Semantics match lang/Interp observably: entry-parameter lowering
+/// (Sect. 5.3), the arena memory model with identical pointer encoding,
+/// rt::cond hooks at the same Sema-numbered sites in the same order, and
+/// total execution — every trap (OOB, null deref, division by zero,
+/// budget exhaustion) abandons the call and surfaces as NaN. The
+/// InterpOptions budgets carry the same meaning on both tiers: MaxSteps
+/// bounds units of work (AST nodes there, instructions here), so a loop
+/// that exhausts the budget yields NaN rather than hanging either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_VM_H
+#define COVERME_LANG_VM_H
+
+#include "lang/Bytecode.h"
+#include "lang/Interp.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+namespace bc {
+
+/// Per-thread executor over a shared CompiledUnit.
+///
+/// Thread-compatible, not thread-safe: one Vm per thread (use
+/// threadLocalVm for the Program-body hot path). The unit is kept alive
+/// via shared ownership.
+class Vm {
+public:
+  explicit Vm(std::shared_ptr<const CompiledUnit> Unit,
+              InterpOptions Opts = {});
+
+  /// Calls function \p FnIndex with entry-parameter lowering (Sect. 5.3):
+  /// `double` binds directly, `double *` binds a fresh cell seeded with
+  /// the argument, `int` / `unsigned` truncate. \p Args must hold one
+  /// double per parameter. Returns the result as double, or NaN on a trap.
+  double callEntry(unsigned FnIndex, const double *Args);
+
+  /// Name-resolving overload; traps (NaN) on an unknown function.
+  double callEntry(const std::string &Name, const double *Args);
+
+  /// True when the last callEntry trapped; trapMessage() says why.
+  bool trapped() const { return Trapped; }
+  const std::string &trapMessage() const { return Message; }
+
+  const CompiledUnit &unit() const { return *Unit; }
+  const InterpOptions &options() const { return Opts; }
+
+  /// Runs the file-scope init routine against a zeroed global arena;
+  /// used by the compiler to bake CompiledUnit::GlobalImage. Returns
+  /// false on a trap.
+  bool runGlobalInit();
+  const std::vector<uint8_t> &globalMemory() const { return GlobalMem; }
+
+  /// Reference count of the shared unit (approximate under concurrency);
+  /// threadLocalVm uses it to evict cache entries it is the last owner of.
+  long unitUseCount() const { return Unit.use_count(); }
+
+private:
+  struct CallFrame {
+    uint32_t Base = 0;  ///< Frame arena base of the callee.
+    uint32_t RetPC = 0; ///< Caller instruction to resume (or the Halt).
+  };
+
+  std::shared_ptr<const CompiledUnit> Unit;
+  InterpOptions Opts;
+  std::vector<uint8_t> GlobalMem; ///< Private copy of GlobalImage.
+  std::vector<uint8_t> FrameMem;  ///< Frame arena; grows like Interp's.
+  std::vector<Slot> OpStack;      ///< Fixed capacity; never reallocates.
+  std::vector<CallFrame> Frames;
+  uint32_t FrameTop = 0;
+  uint64_t StepsLeft = 0;
+  bool Trapped = false;
+  std::string Message;
+
+  void trap(const char *Why);
+
+  /// Resolves a checked pointer access; null on trap.
+  uint8_t *resolve(uint64_t Ptr, unsigned Size);
+
+  /// Dispatch loop from \p StartPC until Halt or trap. \p SP0 is the
+  /// operand-stack depth on entry; returns the depth on exit.
+  size_t exec(uint32_t StartPC, size_t SP0);
+};
+
+/// The per-thread Vm for \p Unit, created on first use. This is what
+/// Program bodies call: the cache makes the body reentrant (each campaign
+/// worker gets its own Vm) without per-evaluation construction cost.
+/// \p Opts is honored on first use per (thread, unit).
+Vm &threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,
+                  const InterpOptions &Opts);
+
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_VM_H

@@ -56,9 +56,11 @@ struct Program {
 
   /// True when Body may run concurrently on several threads, each under its
   /// own ExecutionContext. The native Fdlibm ports are pure functions and
-  /// qualify; interpreted source programs share one lang::Interpreter and
-  /// do not (the campaign engine falls back to its sequential path for
-  /// them — whole-subject sharding via CampaignRunner still applies).
+  /// qualify, as do bytecode-compiled source programs (shared immutable
+  /// code, per-thread lang::Vm state). Tree-walked source programs share
+  /// one lang::Interpreter and do not — the campaign engine falls back to
+  /// its sequential path for them; whole-subject sharding via
+  /// CampaignRunner still applies.
   bool ThreadSafeBody = true;
 
   /// Branch count as Gcov reports it: two arms per conditional site.

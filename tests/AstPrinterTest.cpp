@@ -157,6 +157,77 @@ TEST(AstPrinterTest, DumpsTheWholeSourceSuite) {
   }
 }
 
+TEST(AstPrinterTest, UnitRoundTripFixedPointOverTheSuite) {
+  // Whole-unit property: print -> parse -> Sema -> print is a fixed point
+  // for every embedded Fdlibm source, and the reparsed unit carries the
+  // same conditional-site numbering. This pins printer/parser agreement
+  // end to end — drift here is exactly what the bytecode Compiler (which
+  // trusts Sema's annotations) would silently inherit.
+  for (const SourceBenchmark &B : sourceSuite()) {
+    ParseResult First = parseTranslationUnit(B.Source);
+    ASSERT_TRUE(First.success()) << B.Name;
+    std::vector<Diagnostic> Diags;
+    ASSERT_TRUE(analyze(*First.TU, Diags)) << B.Name;
+
+    std::string P1 = renderUnit(*First.TU);
+    ParseResult Second = parseTranslationUnit(P1);
+    ASSERT_TRUE(Second.success())
+        << B.Name << ": rendered source failed to reparse\n"
+        << (Second.Diags.empty() ? "" : formatDiagnostic(Second.Diags[0]))
+        << "\n"
+        << P1;
+    std::vector<Diagnostic> Diags2;
+    ASSERT_TRUE(analyze(*Second.TU, Diags2)) << B.Name << "\n" << P1;
+
+    EXPECT_EQ(Second.TU->NumSites, First.TU->NumSites) << B.Name;
+    EXPECT_EQ(Second.TU->Functions.size(), First.TU->Functions.size())
+        << B.Name;
+    EXPECT_EQ(Second.TU->Globals.size(), First.TU->Globals.size()) << B.Name;
+
+    std::string P2 = renderUnit(*Second.TU);
+    EXPECT_EQ(P1, P2) << B.Name;
+  }
+}
+
+TEST(AstPrinterTest, UnitRoundTripCoversSubsetCorners) {
+  // Constructs the Fdlibm sources do not reach: unsigned globals, array
+  // initializer lists, pointer parameters, for-loops with declarations,
+  // break/continue, comma and ternary expressions, compound assignments.
+  const char *Source =
+      "static const unsigned M = 2147483648u;\n"
+      "static const double T[3] = {1.0, 0.5, 0.25};\n"
+      "double helper(double *p, int n) {\n"
+      "  *p += (double)n;\n"
+      "  return *p;\n"
+      "}\n"
+      "double f(double x, double y) {\n"
+      "  double acc = 0.0;\n"
+      "  int i;\n"
+      "  for (i = 0; i < 3; i++) {\n"
+      "    if (i == 1) continue;\n"
+      "    acc += T[i] * (x > y ? x : y);\n"
+      "    if (acc > 100.0) break;\n"
+      "  }\n"
+      "  acc = (i++, acc - 1.0);\n"
+      "  return helper(&acc, (int)(M >> 24)) + acc;\n"
+      "}\n";
+  ParseResult First = parseTranslationUnit(Source);
+  ASSERT_TRUE(First.success());
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(analyze(*First.TU, Diags));
+
+  std::string P1 = renderUnit(*First.TU);
+  ParseResult Second = parseTranslationUnit(P1);
+  ASSERT_TRUE(Second.success())
+      << (Second.Diags.empty() ? "" : formatDiagnostic(Second.Diags[0]))
+      << "\n"
+      << P1;
+  std::vector<Diagnostic> Diags2;
+  ASSERT_TRUE(analyze(*Second.TU, Diags2)) << P1;
+  EXPECT_EQ(Second.TU->NumSites, First.TU->NumSites);
+  EXPECT_EQ(renderUnit(*Second.TU), P1);
+}
+
 //===----------------------------------------------------------------------===//
 // Parser robustness
 //===----------------------------------------------------------------------===//

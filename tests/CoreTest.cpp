@@ -7,6 +7,7 @@
 #include "core/CampaignEngine.h"
 #include "core/CoverMe.h"
 #include "fdlibm/Fdlibm.h"
+#include "lang/SourceSuite.h"
 #include "runtime/Hooks.h"
 #include "runtime/RepresentingFunction.h"
 #include "support/FloatBits.h"
@@ -296,7 +297,7 @@ TEST(CampaignEngineTest, ThreadCountInvarianceOnFdlibmNextafter) {
 }
 
 TEST(CampaignEngineTest, NonReentrantBodyClampsToOneThread) {
-  // Interpreted source programs set ThreadSafeBody = false; the engine
+  // Tree-walked source programs set ThreadSafeBody = false; the engine
   // must fall back to the sequential path rather than race the shared
   // interpreter.
   Program P = fooProgram();
@@ -306,4 +307,49 @@ TEST(CampaignEngineTest, NonReentrantBodyClampsToOneThread) {
   EXPECT_EQ(CampaignEngine(P, Opts).effectiveThreads(), 1u);
   P.ThreadSafeBody = true;
   EXPECT_EQ(CampaignEngine(P, Opts).effectiveThreads(), 4u);
+}
+
+TEST(CampaignEngineTest, VmSourceSubjectRunsUnclampedAndThreadInvariant) {
+  // The point of the bytecode tier: a *source* subject (not just the
+  // native fdlibm ports) is reentrant, so Threads=4 runs unclamped and
+  // must reproduce the sequential reference bit-for-bit.
+  const lang::SourceBenchmark *B = lang::findSourceBenchmark("tanh");
+  ASSERT_NE(B, nullptr);
+  lang::SourceProgram SP = lang::compileSourceBenchmark(*B);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  ASSERT_TRUE(SP.Prog.ThreadSafeBody);
+
+  CoverMeOptions Opts;
+  Opts.Threads = 4;
+  EXPECT_EQ(CampaignEngine(SP.Prog, Opts).effectiveThreads(), 4u);
+
+  expectThreadCountInvariance(SP.Prog, 5);
+}
+
+TEST(CampaignEngineTest, VmSourceSubjectWithLoopsThreadInvariant) {
+  // e_sqrt.c: the deepest loop nest in the suite plus infeasible arms,
+  // so the speculative commit path re-runs rounds against streak state.
+  const lang::SourceBenchmark *B = lang::findSourceBenchmark("sqrt");
+  ASSERT_NE(B, nullptr);
+  lang::SourceProgram SP = lang::compileSourceBenchmark(*B);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  ASSERT_TRUE(SP.Prog.ThreadSafeBody);
+  expectThreadCountInvariance(SP.Prog, 7);
+}
+
+TEST(CampaignEngineTest, TreeWalkerTierStillClampsToOneThread) {
+  // The fallback tier keeps the PR-2 behavior: shared interpreter, body
+  // not reentrant, engine clamps.
+  const lang::SourceBenchmark *B = lang::findSourceBenchmark("tanh");
+  ASSERT_NE(B, nullptr);
+  lang::SourceProgramOptions SPOpts;
+  SPOpts.TotalLines = B->PaperLines;
+  SPOpts.Tier = lang::ExecutionTier::TreeWalker;
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(B->Source, B->Name, SPOpts);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  EXPECT_FALSE(SP.Prog.ThreadSafeBody);
+  CoverMeOptions Opts;
+  Opts.Threads = 4;
+  EXPECT_EQ(CampaignEngine(SP.Prog, Opts).effectiveThreads(), 1u);
 }

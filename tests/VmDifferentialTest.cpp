@@ -1,0 +1,490 @@
+//===- VmDifferentialTest.cpp - Tree-walker vs bytecode VM equivalence ------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// The contract that licenses the compiled tier: for every program in the
+// subset, the bytecode VM and the tree-walking interpreter must agree
+// bit-for-bit — return values, the rt::cond branch trace (site ids,
+// outcomes, order), and trap behavior (every trap surfaces as NaN on both
+// tiers; neither may hang). The methodology follows the cross-checking
+// appeal of differential backend validation (see PAPERS.md): a new
+// execution backend is trusted only against the reference one on shared
+// deterministic inputs — boundary values plus splitmix64-seeded random
+// bit patterns, NaN/Inf included.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compiler.h"
+#include "lang/Sema.h"
+#include "lang/SourceSuite.h"
+#include "lang/Vm.h"
+#include "runtime/ExecutionContext.h"
+#include "support/FloatBits.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+namespace {
+
+/// Everything observable about one execution of one tier.
+struct TierRun {
+  uint64_t ResultBits = 0;
+  bool Trapped = false;
+  std::vector<BranchRef> Trace;
+};
+
+TierRun runTreeWalker(Interpreter &Interp, const FunctionDecl &F,
+                      const std::vector<double> &X) {
+  TierRun Run;
+  ExecutionContext Ctx(Interp.unit().NumSites);
+  Ctx.TraceEnabled = true;
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  Run.ResultBits = doubleToBits(Interp.callEntry(F, X.data()));
+  Run.Trapped = Interp.trapped();
+  Run.Trace = Ctx.Trace;
+  return Run;
+}
+
+TierRun runVm(bc::Vm &Vm, unsigned FnIndex, const std::vector<double> &X) {
+  TierRun Run;
+  ExecutionContext Ctx(Vm.unit().NumSites);
+  Ctx.TraceEnabled = true;
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  Run.ResultBits = doubleToBits(Vm.callEntry(FnIndex, X.data()));
+  Run.Trapped = Vm.trapped();
+  Run.Trace = Ctx.Trace;
+  return Run;
+}
+
+/// Deterministic input battery for an \p Arity-parameter entry: IEEE
+/// boundary values in every slot plus splitmix64-seeded raw 64-bit
+/// patterns (which reach NaNs, infinities, and subnormals by construction)
+/// and exponent-uniform finite doubles.
+std::vector<std::vector<double>> inputBattery(unsigned Arity, uint64_t Seed,
+                                              unsigned RandomCount) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> Boundary = {
+      0.0,
+      -0.0,
+      5e-324, // min subnormal
+      -5e-324,
+      std::numeric_limits<double>::min(),
+      -std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      1.0,
+      -1.0,
+      2.0,
+      -2.0,
+      0.5,
+      -0.5,
+      0.75,
+      22.0, // tanh saturation knee
+      -22.0,
+      1e-30,
+      1e300,
+      -1e300,
+      3.725290298461914e-09, // 2^-28, the asinh/atanh tiny-x knee
+      268435456.0,           // 2^28
+      4503599627370496.0,    // 2^52, the rint/floor integrality knee
+      Inf,
+      -Inf,
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+
+  std::vector<std::vector<double>> Inputs;
+  for (double B : Boundary) {
+    std::vector<double> X(Arity, B);
+    Inputs.push_back(X);
+    if (Arity > 1) {
+      // Mixed-slot variants so two-parameter subjects (nextafter's
+      // direction argument, modf's output cell) see asymmetric pairs.
+      std::vector<double> Y(Arity, 1.5);
+      Y[0] = B;
+      Inputs.push_back(Y);
+      std::vector<double> Z(Arity, B);
+      Z[Arity - 1] = -0.25;
+      Inputs.push_back(Z);
+    }
+  }
+  Rng R(Seed);
+  for (unsigned I = 0; I < RandomCount; ++I) {
+    std::vector<double> X(Arity);
+    for (double &V : X)
+      V = R.rawBitsDouble();
+    Inputs.push_back(X);
+    for (double &V : X)
+      V = R.exponentUniformDouble();
+    Inputs.push_back(std::move(X));
+  }
+  return Inputs;
+}
+
+/// Runs the full battery through both tiers of \p SP and asserts
+/// bit-identical observables.
+void expectTiersAgree(const SourceProgram &SP, uint64_t Seed,
+                      unsigned RandomCount = 200) {
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  ASSERT_NE(SP.Code, nullptr) << "bytecode tier missing";
+  ASSERT_TRUE(SP.Prog.ThreadSafeBody);
+
+  bc::Vm Vm(SP.Code);
+  int FnIndex = SP.Code->functionIndex(SP.Entry->Name);
+  ASSERT_GE(FnIndex, 0);
+
+  unsigned Arity = SP.Prog.Arity;
+  for (const auto &X : inputBattery(Arity, Seed, RandomCount)) {
+    TierRun A = runTreeWalker(*SP.Interp, *SP.Entry, X);
+    TierRun B = runVm(Vm, static_cast<unsigned>(FnIndex), X);
+
+    std::string At = SP.Entry->Name + "(";
+    for (unsigned I = 0; I < Arity; ++I)
+      At += (I ? ", " : "") + std::to_string(X[I]);
+    At += ")";
+
+    EXPECT_EQ(A.ResultBits, B.ResultBits) << At;
+    EXPECT_EQ(A.Trapped, B.Trapped)
+        << At << " interp: " << SP.Interp->trapMessage()
+        << " vm: " << Vm.trapMessage();
+    ASSERT_EQ(A.Trace.size(), B.Trace.size()) << At;
+    for (size_t I = 0; I < A.Trace.size(); ++I) {
+      EXPECT_EQ(A.Trace[I].Site, B.Trace[I].Site) << At << " @" << I;
+      EXPECT_EQ(A.Trace[I].Outcome, B.Trace[I].Outcome) << At << " @" << I;
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Every embedded Fdlibm 5.3 source, through both tiers
+//===----------------------------------------------------------------------===//
+
+class SuiteDifferentialTest
+    : public ::testing::TestWithParam<SourceBenchmark> {};
+
+TEST_P(SuiteDifferentialTest, TiersBitIdentical) {
+  SourceProgram SP = compileSourceBenchmark(GetParam());
+  expectTiersAgree(SP, /*Seed=*/0x5eed0000 + GetParam().PaperLines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fdlibm, SuiteDifferentialTest, ::testing::ValuesIn(sourceSuite()),
+    [](const ::testing::TestParamInfo<SourceBenchmark> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Synthetic programs covering subset corners Fdlibm does not reach
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compiles \p Source (default options: bytecode tier + reference
+/// interpreter side by side) and runs the differential battery.
+void expectSourceAgrees(const char *Source, const char *Entry,
+                        uint64_t Seed) {
+  SourceProgram SP = compileSourceProgram(Source, Entry);
+  expectTiersAgree(SP, Seed, /*RandomCount=*/100);
+}
+
+} // namespace
+
+TEST(VmDifferentialTest, LoopsBreakContinueCompoundAssign) {
+  expectSourceAgrees(R"(
+    double f(double x) {
+      double acc = 0.0;
+      int i;
+      for (i = 0; i < 8; i++) {
+        if (i == 5) continue;
+        acc += x / (i + 1);
+        acc *= 1.0000001;
+        if (acc > 1.0e300) break;
+      }
+      do { acc -= 1.0; } while (acc > 100.0 && acc < 200.0);
+      while (acc < -3.0 && acc > -200.0) { acc /= 2.0; }
+      return acc;
+    }
+  )",
+                     "f", 11);
+}
+
+TEST(VmDifferentialTest, TernaryCommaLogicalPostfix) {
+  expectSourceAgrees(R"(
+    double f(double x) {
+      int i = 0, j = 3;
+      double t;
+      t = (x > 0.0) ? x : -x;
+      t = (i++, j--, t + i + j);
+      if (i < j && t > 1.0) t = t * 2.0;
+      if (i > j || !(t < 4.0)) t = t + 0.5;
+      t = t + (j >> 1) + (j << 2) + (j & 5) + (j | 2) + (j ^ 3);
+      return (t >= 0.0) ? t : 0.0 - t;
+    }
+  )",
+                     "f", 12);
+}
+
+TEST(VmDifferentialTest, ArraysPointersAndWordAccess) {
+  expectSourceAgrees(R"(
+    static const double T[4] = {1.0, 0.5, 0.25, 0.125};
+    double f(double x) {
+      double local[3] = {x, 2.0 * x};
+      int hi, idx;
+      double *p;
+      hi = *(1 + (int *)&x);
+      idx = (hi >> 29) & 3;
+      p = &local[1];
+      *p = *p + T[idx];
+      ++local[2];
+      local[0]--;
+      return local[0] + local[1] + local[2] + T[3 - idx];
+    }
+  )",
+                     "f", 13);
+}
+
+TEST(VmDifferentialTest, IntegerEdgesAndUnsignedArithmetic) {
+  expectSourceAgrees(R"(
+    double f(double x) {
+      int i = -2147483647 - 1;
+      unsigned u = 4294967295u;
+      int k;
+      k = (int)x;
+      if (k == 0) k = 1;
+      i = i / k;       /* INT_MIN / -1 must wrap, not trap UB */
+      i = i % k;
+      u = u + (unsigned)k;
+      u = u * 3u;
+      u = u >> 3;
+      u = u / 7u;
+      u = u % 11u;
+      return (double)i + (double)u + (double)(-k) + (double)(~k);
+    }
+  )",
+                     "f", 14);
+}
+
+TEST(VmDifferentialTest, NestedCallsShareOneSiteSpace) {
+  // Callees' conditional sites live in the caller's unit-wide numbering
+  // (Sect. 5.3 "Handling Function Calls"); the trace comparison pins the
+  // compiled tier to the same ids in the same order.
+  expectSourceAgrees(R"(
+    double square(double y) {
+      if (y < 0.0) y = -y;
+      return y * y;
+    }
+    double f(double x) {
+      double s = square(x - 1.0);
+      if (s >= 4.0) return square(s) - s;
+      return s + square(x + 1.0);
+    }
+  )",
+                     "f", 15);
+}
+
+TEST(VmDifferentialTest, DivisionByZeroTrapsToNaNOnBothTiers) {
+  const char *Source = R"(
+    double f(double x) {
+      int d;
+      d = (int)x;
+      return (double)(7 / d);
+    }
+  )";
+  SourceProgram SP = compileSourceProgram(Source, "f");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  bc::Vm Vm(SP.Code);
+  std::vector<double> X = {0.25}; // (int)x == 0
+  TierRun A = runTreeWalker(*SP.Interp, *SP.Entry, X);
+  TierRun B = runVm(Vm, 0, X);
+  EXPECT_TRUE(A.Trapped);
+  EXPECT_TRUE(B.Trapped);
+  EXPECT_TRUE(std::isnan(bitsToDouble(A.ResultBits)));
+  EXPECT_TRUE(std::isnan(bitsToDouble(B.ResultBits)));
+  EXPECT_EQ(SP.Interp->trapMessage(), Vm.trapMessage());
+}
+
+TEST(VmDifferentialTest, OutOfBoundsAccessTrapsToNaNOnBothTiers) {
+  const char *Source = R"(
+    double f(double x) {
+      double a[2];
+      int i;
+      a[0] = x;
+      a[1] = x + 1.0;
+      i = 3000;
+      return a[i];
+    }
+  )";
+  SourceProgram SP = compileSourceProgram(Source, "f");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  bc::Vm Vm(SP.Code);
+  std::vector<double> X = {1.0};
+  TierRun A = runTreeWalker(*SP.Interp, *SP.Entry, X);
+  TierRun B = runVm(Vm, 0, X);
+  EXPECT_TRUE(A.Trapped);
+  EXPECT_TRUE(B.Trapped);
+  EXPECT_TRUE(std::isnan(bitsToDouble(A.ResultBits)));
+  EXPECT_TRUE(std::isnan(bitsToDouble(B.ResultBits)));
+  EXPECT_EQ(SP.Interp->trapMessage(), Vm.trapMessage());
+  EXPECT_EQ(Vm.trapMessage(), "out-of-bounds memory access");
+}
+
+//===----------------------------------------------------------------------===//
+// Shared InterpOptions budget semantics (the MaxSteps regression)
+//===----------------------------------------------------------------------===//
+
+TEST(VmDifferentialTest, StepBudgetExhaustionYieldsNaNOnBothTiers) {
+  // A loop no input can exit: with a small MaxSteps both tiers must trap
+  // to NaN — the budget means "bounded work" on each tier, never a hang.
+  const char *Source = R"(
+    double f(double x) {
+      double y = 0.0;
+      while (y < 1.0e308) { y = y - 0.0; x = x + y; }
+      return x;
+    }
+  )";
+  ParseResult Parsed = parseTranslationUnit(Source);
+  ASSERT_TRUE(Parsed.success());
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(analyze(*Parsed.TU, Diags));
+
+  InterpOptions Tight;
+  Tight.MaxSteps = 20000;
+
+  Interpreter Interp(*Parsed.TU, Tight);
+  std::vector<double> X = {1.0};
+  double RInterp = Interp.callEntry(*Parsed.TU->findFunction("f"), X.data());
+  EXPECT_TRUE(std::isnan(RInterp));
+  EXPECT_TRUE(Interp.trapped());
+  EXPECT_EQ(Interp.trapMessage(), "step budget exhausted");
+
+  bc::CompileResult Compiled = bc::compileUnit(*Parsed.TU, Tight);
+  ASSERT_TRUE(Compiled.success()) << Compiled.Error;
+  bc::Vm Vm(Compiled.Unit, Tight);
+  double RVm = Vm.callEntry("f", X.data());
+  EXPECT_TRUE(std::isnan(RVm));
+  EXPECT_TRUE(Vm.trapped());
+  EXPECT_EQ(Vm.trapMessage(), "step budget exhausted");
+}
+
+TEST(VmDifferentialTest, BudgetedProgramRecoversOnNextCall) {
+  // Trapping must not poison the Vm: the next call starts with a fresh
+  // budget and fresh arenas, exactly like a fresh Evaluator.
+  const char *Source = R"(
+    double f(double x) {
+      int i;
+      for (i = 0; (double)i < x; i++) { }
+      return (double)i;
+    }
+  )";
+  ParseResult Parsed = parseTranslationUnit(Source);
+  ASSERT_TRUE(Parsed.success());
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(analyze(*Parsed.TU, Diags));
+
+  InterpOptions Tight;
+  Tight.MaxSteps = 5000;
+  bc::CompileResult Compiled = bc::compileUnit(*Parsed.TU, Tight);
+  ASSERT_TRUE(Compiled.success()) << Compiled.Error;
+  bc::Vm Vm(Compiled.Unit, Tight);
+
+  double Huge[] = {1.0e18};
+  EXPECT_TRUE(std::isnan(Vm.callEntry("f", Huge)));
+  EXPECT_TRUE(Vm.trapped());
+
+  double Small[] = {10.0};
+  EXPECT_EQ(Vm.callEntry("f", Small), 10.0);
+  EXPECT_FALSE(Vm.trapped());
+}
+
+//===----------------------------------------------------------------------===//
+// Reentrancy: one CompiledUnit, many threads
+//===----------------------------------------------------------------------===//
+
+TEST(VmDifferentialTest, GlobalWritingProgramsAreNotMarkedReentrant) {
+  // Each Vm holds a private copy of the global arena, so a program that
+  // writes globals would diverge across campaign workers. The compiler
+  // must flag it and SourceProgram must clear ThreadSafeBody so the
+  // engine clamps to one thread.
+  SourceProgram Direct = compileSourceProgram(
+      "double g = 0.0;\n"
+      "double f(double x) { g = g + x; return g; }\n",
+      "f");
+  ASSERT_TRUE(Direct.success()) << Direct.diagnosticsText();
+  EXPECT_TRUE(Direct.Code->WritesGlobals);
+  EXPECT_FALSE(Direct.Prog.ThreadSafeBody);
+
+  // A write through an escaped global address must be caught too.
+  SourceProgram ViaPointer = compileSourceProgram(
+      "double g = 1.0;\n"
+      "double f(double x) { double *p; p = &g; *p = x; return g; }\n",
+      "f");
+  ASSERT_TRUE(ViaPointer.success()) << ViaPointer.diagnosticsText();
+  EXPECT_FALSE(ViaPointer.Prog.ThreadSafeBody);
+
+  // Indexed stores into a global table as well.
+  SourceProgram ViaIndex = compileSourceProgram(
+      "double t[2] = {0.0, 0.0};\n"
+      "double f(double x) { t[0] = x; return t[0] + t[1]; }\n",
+      "f");
+  ASSERT_TRUE(ViaIndex.success()) << ViaIndex.diagnosticsText();
+  EXPECT_FALSE(ViaIndex.Prog.ThreadSafeBody);
+
+  // Read-only global use — every suite subject — must stay reentrant.
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SourceProgram SP = compileSourceBenchmark(B);
+    ASSERT_TRUE(SP.success()) << B.Name;
+    EXPECT_FALSE(SP.Code->WritesGlobals) << B.Name;
+    EXPECT_TRUE(SP.Prog.ThreadSafeBody) << B.Name;
+  }
+}
+
+TEST(VmDifferentialTest, SharedCodeRunsRaceFreeAcrossThreads) {
+  // Four threads hammer the same Program body (thread-local Vms over one
+  // CompiledUnit) and must reproduce the single-thread reference bits.
+  // CoreTest's campaign-level invariance builds on this; under TSan this
+  // is the direct data-race probe for the shared-code design.
+  const SourceBenchmark *B = findSourceBenchmark("tanh");
+  ASSERT_NE(B, nullptr);
+  SourceProgram SP = compileSourceBenchmark(*B);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+
+  constexpr unsigned N = 2000;
+  std::vector<double> Points(N);
+  Rng R(99);
+  for (double &P : Points)
+    P = R.exponentUniformDouble();
+
+  std::vector<uint64_t> Reference(N);
+  for (unsigned I = 0; I < N; ++I)
+    Reference[I] = doubleToBits(SP.Prog.Body(&Points[I]));
+
+  constexpr unsigned Threads = 4;
+  std::vector<std::vector<uint64_t>> Got(Threads,
+                                         std::vector<uint64_t>(N));
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      ExecutionContext Ctx(SP.Prog.NumSites);
+      ExecutionContext::Scope Scope(Ctx);
+      for (unsigned I = 0; I < N; ++I) {
+        Ctx.beginRun();
+        Got[T][I] = doubleToBits(SP.Prog.Body(&Points[I]));
+      }
+    });
+  for (auto &Th : Pool)
+    Th.join();
+
+  for (unsigned T = 0; T < Threads; ++T)
+    EXPECT_EQ(Got[T], Reference) << "thread " << T;
+}
