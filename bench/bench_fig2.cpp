@@ -26,7 +26,7 @@ using namespace coverme;
 
 int main() {
   // Panel (a): local optimization.
-  Objective FA = [](const std::vector<double> &X) {
+  auto FA = [](const double *X, size_t) {
     return X[0] <= 1.0 ? 0.0 : (X[0] - 1.0) * (X[0] - 1.0);
   };
   PowellMinimizer Powell;
@@ -40,7 +40,7 @@ int main() {
               LocalRes.X[0] <= 1.0 + 1e-6 ? "yes" : "no");
 
   // Panel (b): MCMC over the two-basin curve.
-  Objective FB = [](const std::vector<double> &X) {
+  auto FB = [](const double *X, size_t) {
     double V = X[0];
     if (V <= 1.0) {
       double T = (V + 1.0) * (V + 1.0) - 4.0;

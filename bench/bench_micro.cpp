@@ -72,7 +72,7 @@ static void BM_RepresentingFunctionPow(benchmark::State &State) {
 BENCHMARK(BM_RepresentingFunctionPow);
 
 static void BM_PowellQuadratic(benchmark::State &State) {
-  Objective F = [](const std::vector<double> &X) {
+  auto F = [](const double *X, size_t) {
     double A = X[0] - 3.0, B = X[1] - 5.0;
     return A * A + B * B;
   };
@@ -83,7 +83,7 @@ static void BM_PowellQuadratic(benchmark::State &State) {
 BENCHMARK(BM_PowellQuadratic);
 
 static void BM_NelderMeadQuadratic(benchmark::State &State) {
-  Objective F = [](const std::vector<double> &X) {
+  auto F = [](const double *X, size_t) {
     double A = X[0] - 3.0, B = X[1] - 5.0;
     return A * A + B * B;
   };

@@ -38,7 +38,6 @@ const std::vector<BranchRef> &replay(const RepresentingFunction &FR,
 struct CampaignEngine::Worker {
   ExecutionContext Ctx;
   RepresentingFunction FR;
-  Objective FooR;
   std::unique_ptr<LocalMinimizer> LM;
   BasinhoppingMinimizer BH;
   SimulatedAnnealingMinimizer SA;
@@ -69,7 +68,7 @@ struct CampaignEngine::Worker {
   }
 
   Worker(const Program &P, SaturationTable &Table, const CoverMeOptions &Opts)
-      : Ctx(Table, Opts.Epsilon), FR(P, Ctx), FooR(FR.asObjective()),
+      : Ctx(Table, Opts.Epsilon), FR(P, Ctx),
         LM(makeLocalMinimizer(Opts.LM, Opts.LMOptions)),
         BH(*LM, bhOptions(Opts)), SA(saOptions(Opts)), CMA(cmaOptions(Opts)),
         DE(deOptions(Opts)) {
@@ -110,21 +109,26 @@ MinimizeResult CampaignEngine::minimizeRound(unsigned Round, Worker &W) {
   std::vector<double> Start(Prog.Arity);
   for (double &Coord : Start)
     Coord = RoundRng.wideDouble();
+  // Bind FOO_R for the whole round: the context scope, pen flag, and
+  // per-thread body resolution happen here once; every probe the backend
+  // makes below is beginRun + one raw body call.
+  RepresentingFunction::BoundRun Run(W.FR);
+  ObjectiveFn FooR(Run);
   // The paper's SciPy callback: stop hopping once a global minimum (a
   // zero of FOO_R) is in hand.
   BasinhoppingCallback StopAtZero =
       [](const std::vector<double> &, double Fx) { return Fx == 0.0; };
   switch (Opts.Backend) {
   case GlobalBackendKind::Basinhopping:
-    return W.BH.minimize(W.FooR, std::move(Start), RoundRng, StopAtZero);
+    return W.BH.minimize(FooR, std::move(Start), RoundRng, StopAtZero);
   case GlobalBackendKind::SimulatedAnnealing:
-    return W.SA.minimize(W.FooR, std::move(Start), RoundRng);
+    return W.SA.minimize(FooR, std::move(Start), RoundRng);
   case GlobalBackendKind::RandomRestart:
-    return W.LM->minimize(W.FooR, std::move(Start));
+    return W.LM->minimize(FooR, std::move(Start));
   case GlobalBackendKind::CmaEs:
-    return W.CMA.minimize(W.FooR, std::move(Start), RoundRng, StopAtZero);
+    return W.CMA.minimize(FooR, std::move(Start), RoundRng, StopAtZero);
   case GlobalBackendKind::DifferentialEvolution:
-    return W.DE.minimize(W.FooR, std::move(Start), RoundRng, StopAtZero);
+    return W.DE.minimize(FooR, std::move(Start), RoundRng, StopAtZero);
   }
   assert(false && "unknown GlobalBackendKind");
   return MinimizeResult();

@@ -136,9 +136,9 @@ DseResult DseExplorer::run() {
       if (SolveBudget == 0)
         break;
       bool Landed = false;
-      Objective Phi = [&](const std::vector<double> &X) {
+      auto Phi = [&](const double *X, size_t) -> double {
         Ctx.beginRun();
-        Prog.Body(X.data());
+        Prog.Body(X);
         ++Res.Executions;
         // Compare against the target prefix.
         unsigned Matched = 0;

@@ -24,10 +24,13 @@ namespace coverme {
 namespace fdlibm {
 namespace detail {
 
-/// Builds a Program row with the given metadata.
+/// Builds a Program row with the given metadata. The ports' bodies are
+/// stateless free functions, so each is registered both as the type-erased
+/// Body and as the RawBody fast path Program::bind() hands to the
+/// evaluation pipeline.
 inline Program makeProgram(const char *Name, const char *File, unsigned Arity,
                            unsigned NumSites, unsigned TotalLines,
-                           Program::BodyFn Body) {
+                           Program::RawBodyFn Body) {
   Program P;
   P.Name = Name;
   P.File = File;
@@ -35,6 +38,7 @@ inline Program makeProgram(const char *Name, const char *File, unsigned Arity,
   P.NumSites = NumSites;
   P.TotalLines = TotalLines;
   P.Body = Body;
+  P.RawBody = Body;
   return P;
 }
 

@@ -128,6 +128,24 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
                         InterpOpts = Opts.Interp](const double *Args) {
       return bc::threadLocalVm(Code, InterpOpts).callEntry(EntryIdx, Args);
     };
+    // Per-run fast path: resolve the calling thread's Vm once, then every
+    // probe is a direct callEntry — the per-call thread-local cache lookup
+    // and shared_ptr traffic drop out of the minimization hot loop. Same
+    // Vm as the per-call path on the same thread, so results are
+    // bit-identical.
+    Result.Prog.Binder = [Code = Result.Code,
+                          EntryIdx = static_cast<unsigned>(EntryIdx),
+                          InterpOpts = Opts.Interp]() {
+      bc::Vm &V = bc::threadLocalVm(Code, InterpOpts);
+      Program::BoundBody B;
+      B.Invoke = [](void *State, uint64_t Imm, const double *Args) {
+        return static_cast<bc::Vm *>(State)->callEntry(
+            static_cast<unsigned>(Imm), Args);
+      };
+      B.State = &V;
+      B.Imm = EntryIdx;
+      return B;
+    };
     return Result;
   }
 

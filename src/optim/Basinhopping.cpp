@@ -7,7 +7,7 @@
 using namespace coverme;
 
 MinimizeResult
-BasinhoppingMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
+BasinhoppingMinimizer::minimize(ObjectiveFn Fn, std::vector<double> Start,
                                 Rng &Rng,
                                 const BasinhoppingCallback &Callback) const {
   MinimizeResult Res;
@@ -45,6 +45,9 @@ BasinhoppingMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
     // Lines 27-28: propose xTilde = LM(f, xL + delta). The perturbation
     // mixes a relative Gaussian step with occasional exponent-uniform jumps
     // so the chain can hop between basins separated by many binades.
+    // (One vector per Monte-Carlo iteration, i.e. per inner LM *run* —
+    // the zero-allocation contract is per probe, and the probes all run
+    // inside LM.minimize on its workspace.)
     std::vector<double> Proposal(N);
     for (size_t I = 0; I < N; ++I) {
       if (Rng.chance(Opts.JumpProbability))

@@ -21,6 +21,8 @@
 #include "optim/Minimizer.h"
 #include "support/Random.h"
 
+#include <functional>
+
 namespace coverme {
 
 /// Invoked after every Monte-Carlo iteration with the best point so far.
@@ -51,7 +53,7 @@ public:
 
   /// Runs MCMC from \p Start using \p Rng for perturbations and Metropolis
   /// coin flips. \p Callback may be null.
-  MinimizeResult minimize(const Objective &Fn, std::vector<double> Start,
+  MinimizeResult minimize(ObjectiveFn Fn, std::vector<double> Start,
                           Rng &Rng,
                           const BasinhoppingCallback &Callback = nullptr) const;
 

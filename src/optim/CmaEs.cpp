@@ -10,78 +10,66 @@ using namespace coverme;
 
 namespace {
 
-/// Dense symmetric matrix of order N stored row-major.
-class SymMatrix {
-public:
-  explicit SymMatrix(unsigned N) : N(N), Data(N * N, 0.0) {}
-
-  double &at(unsigned I, unsigned J) { return Data[I * N + J]; }
-  double at(unsigned I, unsigned J) const { return Data[I * N + J]; }
-  unsigned order() const { return N; }
-
-  void setIdentity() {
-    std::fill(Data.begin(), Data.end(), 0.0);
-    for (unsigned I = 0; I < N; ++I)
-      at(I, I) = 1.0;
-  }
-
-private:
-  unsigned N;
-  std::vector<double> Data;
-};
-
-/// Cyclic Jacobi eigendecomposition of a symmetric matrix: A = B D B^T with
-/// eigenvalues in \p Eigenvalues and eigenvectors in \p B's columns. The
-/// matrices here are tiny (program arity), so a fixed sweep count suffices.
-void jacobiEigen(const SymMatrix &A, SymMatrix &B,
-                 std::vector<double> &Eigenvalues) {
-  const unsigned N = A.order();
-  SymMatrix D = A;
-  B.setIdentity();
+/// Cyclic Jacobi eigendecomposition of the symmetric order-N matrix \p A
+/// (row-major): A = B D B^T with eigenvalues in \p Eigenvalues and
+/// eigenvectors in \p B's columns. \p Scratch holds the working copy of A.
+/// The matrices here are tiny (program arity), so a fixed sweep count
+/// suffices.
+void jacobiEigen(const std::vector<double> &A, unsigned N,
+                 std::vector<double> &B, std::vector<double> &Eigenvalues,
+                 std::vector<double> &Scratch) {
+  Scratch = A;
+  std::vector<double> &D = Scratch;
+  auto At = [N](std::vector<double> &M, unsigned I, unsigned J) -> double & {
+    return M[I * N + J];
+  };
+  std::fill(B.begin(), B.end(), 0.0);
+  for (unsigned I = 0; I < N; ++I)
+    At(B, I, I) = 1.0;
   for (unsigned Sweep = 0; Sweep < 32; ++Sweep) {
     double Off = 0.0;
     for (unsigned I = 0; I < N; ++I)
       for (unsigned J = I + 1; J < N; ++J)
-        Off += D.at(I, J) * D.at(I, J);
+        Off += At(D, I, J) * At(D, I, J);
     if (Off < 1e-30)
       break;
     for (unsigned P = 0; P < N; ++P) {
       for (unsigned Q = P + 1; Q < N; ++Q) {
-        if (std::fabs(D.at(P, Q)) < 1e-300)
+        if (std::fabs(At(D, P, Q)) < 1e-300)
           continue;
-        double Theta = (D.at(Q, Q) - D.at(P, P)) / (2.0 * D.at(P, Q));
+        double Theta = (At(D, Q, Q) - At(D, P, P)) / (2.0 * At(D, P, Q));
         double T = (Theta >= 0 ? 1.0 : -1.0) /
                    (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
         double C = 1.0 / std::sqrt(T * T + 1.0);
         double S = T * C;
         for (unsigned K = 0; K < N; ++K) {
-          double Dkp = D.at(K, P), Dkq = D.at(K, Q);
-          D.at(K, P) = C * Dkp - S * Dkq;
-          D.at(K, Q) = S * Dkp + C * Dkq;
+          double Dkp = At(D, K, P), Dkq = At(D, K, Q);
+          At(D, K, P) = C * Dkp - S * Dkq;
+          At(D, K, Q) = S * Dkp + C * Dkq;
         }
         for (unsigned K = 0; K < N; ++K) {
-          double Dpk = D.at(P, K), Dqk = D.at(Q, K);
-          D.at(P, K) = C * Dpk - S * Dqk;
-          D.at(Q, K) = S * Dpk + C * Dqk;
+          double Dpk = At(D, P, K), Dqk = At(D, Q, K);
+          At(D, P, K) = C * Dpk - S * Dqk;
+          At(D, Q, K) = S * Dpk + C * Dqk;
         }
         for (unsigned K = 0; K < N; ++K) {
-          double Bkp = B.at(K, P), Bkq = B.at(K, Q);
-          B.at(K, P) = C * Bkp - S * Bkq;
-          B.at(K, Q) = S * Bkp + C * Bkq;
+          double Bkp = At(B, K, P), Bkq = At(B, K, Q);
+          At(B, K, P) = C * Bkp - S * Bkq;
+          At(B, K, Q) = S * Bkp + C * Bkq;
         }
       }
     }
   }
   Eigenvalues.resize(N);
   for (unsigned I = 0; I < N; ++I)
-    Eigenvalues[I] = D.at(I, I);
+    Eigenvalues[I] = D[I * N + I];
 }
 
 } // namespace
 
 MinimizeResult
-CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
-                         Rng &Rng, const GenerationCallback &Callback) const {
+CmaEsMinimizer::minimize(ObjectiveFn Fn, std::vector<double> Start, Rng &Rng,
+                         const GenerationCallback &Callback) const {
   MinimizeResult Result;
   Result.X = Start;
   const unsigned N = static_cast<unsigned>(Start.size());
@@ -91,7 +79,8 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
   CountingObjective Counted(Fn);
   // Guard the mean against non-finite coordinates (the campaign's wide
   // sampler emits infinities); CMA-ES needs a finite anchor.
-  std::vector<double> Mean = Start;
+  WS.Mean = Start;
+  std::vector<double> &Mean = WS.Mean;
   for (double &M : Mean)
     if (!std::isfinite(M))
       M = 0.0;
@@ -101,7 +90,8 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
       Opts.Lambda ? Opts.Lambda
                   : 4 + static_cast<unsigned>(3.0 * std::log(N));
   const unsigned Mu = Lambda / 2;
-  std::vector<double> Weights(Mu);
+  WS.Weights.resize(Mu);
+  std::vector<double> &Weights = WS.Weights;
   for (unsigned I = 0; I < Mu; ++I)
     Weights[I] = std::log(Mu + 0.5) - std::log(I + 1.0);
   double WeightSum = std::accumulate(Weights.begin(), Weights.end(), 0.0);
@@ -127,49 +117,62 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
       (1.0 - 1.0 / (4.0 * N) + 1.0 / (21.0 * N * N));
 
   double Sigma = Opts.InitialSigma;
-  SymMatrix C(N), B(N);
-  C.setIdentity();
-  B.setIdentity();
-  std::vector<double> DiagD(N, 1.0);
-  std::vector<double> Pc(N, 0.0), Ps(N, 0.0);
+  WS.C.assign(static_cast<size_t>(N) * N, 0.0);
+  WS.B.assign(static_cast<size_t>(N) * N, 0.0);
+  for (unsigned I = 0; I < N; ++I) {
+    WS.C[I * N + I] = 1.0;
+    WS.B[I * N + I] = 1.0;
+  }
+  WS.DiagD.assign(N, 1.0);
+  WS.Pc.assign(N, 0.0);
+  WS.Ps.assign(N, 0.0);
+  WS.OldMean.resize(N);
+  WS.MeanZ.resize(N);
+  WS.PopX.resize(static_cast<size_t>(Lambda) * N);
+  WS.PopZ.resize(static_cast<size_t>(Lambda) * N);
+  WS.PopFx.resize(Lambda);
+  WS.Order.resize(Lambda);
 
-  Result.Fx = Counted(Mean);
+  Result.Fx = Counted.eval(Mean.data(), N);
   Result.X = Mean;
-
-  struct Candidate {
-    std::vector<double> X; ///< Sampled point.
-    std::vector<double> Z; ///< Its N(0,I) pre-image.
-    double Fx = 0.0;
-  };
-  std::vector<Candidate> Pop(Lambda);
 
   for (unsigned Gen = 0; Gen < Opts.MaxGenerations; ++Gen) {
     if (Counted.numEvals() + Lambda > Opts.MaxEvaluations)
       break;
     ++Result.Iterations;
 
-    // Sample lambda candidates x = m + sigma * B * diag(sqrt(d)) * z.
-    for (Candidate &Cand : Pop) {
-      Cand.Z.resize(N);
-      Cand.X.assign(Mean.begin(), Mean.end());
+    // Sample lambda candidates x = m + sigma * B * diag(sqrt(d)) * z into
+    // the flat population matrix, then evaluate the whole generation in
+    // one batch (row order matches per-candidate evaluation).
+    for (unsigned K = 0; K < Lambda; ++K) {
+      double *X = &WS.PopX[static_cast<size_t>(K) * N];
+      double *Z = &WS.PopZ[static_cast<size_t>(K) * N];
       for (unsigned I = 0; I < N; ++I)
-        Cand.Z[I] = Rng.gaussian();
+        Z[I] = Rng.gaussian();
       for (unsigned I = 0; I < N; ++I) {
         double Step = 0.0;
         for (unsigned J = 0; J < N; ++J)
-          Step += B.at(I, J) * std::sqrt(std::max(DiagD[J], 0.0)) * Cand.Z[J];
-        Cand.X[I] += Sigma * Step;
+          Step += WS.B[I * N + J] * std::sqrt(std::max(WS.DiagD[J], 0.0)) *
+                  Z[J];
+        X[I] = Mean[I] + Sigma * Step;
       }
-      Cand.Fx = Counted(Cand.X);
     }
+    Counted.evalBatch(WS.PopX.data(), Lambda, N, WS.PopFx.data());
 
-    std::sort(Pop.begin(), Pop.end(),
-              [](const Candidate &L, const Candidate &R) {
-                return L.Fx < R.Fx;
-              });
-    if (Pop.front().Fx < Result.Fx) {
-      Result.Fx = Pop.front().Fx;
-      Result.X = Pop.front().X;
+    std::iota(WS.Order.begin(), WS.Order.end(), 0u);
+    std::sort(WS.Order.begin(), WS.Order.end(), [&](unsigned L, unsigned R) {
+      return WS.PopFx[L] < WS.PopFx[R];
+    });
+    auto CandX = [&](unsigned SortedK) {
+      return &WS.PopX[static_cast<size_t>(WS.Order[SortedK]) * N];
+    };
+    auto CandZ = [&](unsigned SortedK) {
+      return &WS.PopZ[static_cast<size_t>(WS.Order[SortedK]) * N];
+    };
+    double BestFx = WS.PopFx[WS.Order[0]];
+    if (BestFx < Result.Fx) {
+      Result.Fx = BestFx;
+      Result.X.assign(CandX(0), CandX(0) + N);
     }
     if (Callback && Callback(Result.X, Result.Fx)) {
       Result.StoppedByCallback = true;
@@ -177,17 +180,17 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
     }
 
     // Recombine: new mean and its pre-image.
-    std::vector<double> OldMean = Mean;
-    std::vector<double> MeanZ(N, 0.0);
+    WS.OldMean = Mean;
+    std::vector<double> &OldMean = WS.OldMean;
     for (unsigned I = 0; I < N; ++I) {
       double M = 0.0;
       for (unsigned K = 0; K < Mu; ++K)
-        M += Weights[K] * Pop[K].X[I];
+        M += Weights[K] * CandX(K)[I];
       Mean[I] = M;
       double Z = 0.0;
       for (unsigned K = 0; K < Mu; ++K)
-        Z += Weights[K] * Pop[K].Z[I];
-      MeanZ[I] = Z;
+        Z += Weights[K] * CandZ(K)[I];
+      WS.MeanZ[I] = Z;
     }
 
     // Step-size path: ps <- (1-cs) ps + sqrt(cs(2-cs) mueff) B * meanZ.
@@ -195,10 +198,10 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
     for (unsigned I = 0; I < N; ++I) {
       double BZ = 0.0;
       for (unsigned J = 0; J < N; ++J)
-        BZ += B.at(I, J) * MeanZ[J];
-      Ps[I] = (1.0 - Cs) * Ps[I] +
-              std::sqrt(Cs * (2.0 - Cs) * MuEff) * BZ;
-      PsNorm += Ps[I] * Ps[I];
+        BZ += WS.B[I * N + J] * WS.MeanZ[J];
+      WS.Ps[I] = (1.0 - Cs) * WS.Ps[I] +
+                 std::sqrt(Cs * (2.0 - Cs) * MuEff) * BZ;
+      PsNorm += WS.Ps[I] * WS.Ps[I];
     }
     PsNorm = std::sqrt(PsNorm);
 
@@ -209,8 +212,8 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
                   1.4 + 2.0 / (N + 1.0);
     for (unsigned I = 0; I < N; ++I) {
       double Y = (Mean[I] - OldMean[I]) / Sigma;
-      Pc[I] = (1.0 - Cc) * Pc[I] +
-              (HSigma ? std::sqrt(Cc * (2.0 - Cc) * MuEff) * Y : 0.0);
+      WS.Pc[I] = (1.0 - Cc) * WS.Pc[I] +
+                 (HSigma ? std::sqrt(Cc * (2.0 - Cc) * MuEff) * Y : 0.0);
     }
 
     // Covariance update: rank-one (pc pc^T) + rank-mu (weighted y y^T).
@@ -218,13 +221,13 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
       for (unsigned J = 0; J < N; ++J) {
         double RankMu = 0.0;
         for (unsigned K = 0; K < Mu; ++K) {
-          double Yi = (Pop[K].X[I] - OldMean[I]) / Sigma;
-          double Yj = (Pop[K].X[J] - OldMean[J]) / Sigma;
+          double Yi = (CandX(K)[I] - OldMean[I]) / Sigma;
+          double Yj = (CandX(K)[J] - OldMean[J]) / Sigma;
           RankMu += Weights[K] * Yi * Yj;
         }
-        double Old = C.at(I, J);
-        C.at(I, J) = (1.0 - C1 - CMu) * Old + C1 * Pc[I] * Pc[J] +
-                     CMu * RankMu;
+        double Old = WS.C[I * N + J];
+        WS.C[I * N + J] = (1.0 - C1 - CMu) * Old +
+                          C1 * WS.Pc[I] * WS.Pc[J] + CMu * RankMu;
       }
     }
 
@@ -235,16 +238,16 @@ CmaEsMinimizer::minimize(const Objective &Fn, std::vector<double> Start,
     if (Sigma < 1e-18)
       break; // collapsed: converged in place
 
-    jacobiEigen(C, B, DiagD);
+    jacobiEigen(WS.C, N, WS.B, WS.DiagD, WS.EigenScratch);
     // Numerical floor: a degenerate axis stalls sampling entirely.
-    for (double &D : DiagD)
+    for (double &D : WS.DiagD)
       if (!(D > 1e-20))
         D = 1e-20;
 
     // Convergence: population spread below tolerance.
-    double Spread = Pop.back().Fx - Pop.front().Fx;
+    double Spread = WS.PopFx[WS.Order[Lambda - 1]] - WS.PopFx[WS.Order[0]];
     if (Spread >= 0.0 && Spread < Opts.FTol &&
-        std::fabs(Pop.front().Fx) < Opts.FTol) {
+        std::fabs(WS.PopFx[WS.Order[0]]) < Opts.FTol) {
       Result.Converged = true;
       break;
     }

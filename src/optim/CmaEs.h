@@ -42,13 +42,16 @@ struct CmaEsOptions {
   uint64_t MaxEvaluations = 50000; ///< Hard objective-call budget.
 };
 
-/// Covariance Matrix Adaptation Evolution Strategy.
+/// Covariance Matrix Adaptation Evolution Strategy. Each generation's
+/// lambda candidates are sampled into a flat row-major population matrix
+/// and evaluated through the objective's batch path; the per-instance
+/// workspace is reused across runs (thread-compatible, not thread-safe).
 class CmaEsMinimizer {
 public:
   explicit CmaEsMinimizer(CmaEsOptions Opts = {}) : Opts(Opts) {}
 
   /// Minimizes \p Fn from mean \p Start. \p Callback may be null.
-  MinimizeResult minimize(const Objective &Fn, std::vector<double> Start,
+  MinimizeResult minimize(ObjectiveFn Fn, std::vector<double> Start,
                           Rng &Rng,
                           const GenerationCallback &Callback = nullptr) const;
 
@@ -56,6 +59,18 @@ public:
 
 private:
   CmaEsOptions Opts;
+  /// Flat per-instance arena: strategy state plus the lambda x N
+  /// population/pre-image matrices. Sized per run; the generation loop
+  /// never allocates.
+  struct Workspace {
+    std::vector<double> Weights, Mean, OldMean, MeanZ, DiagD, Pc, Ps;
+    std::vector<double> C, B;       ///< N x N symmetric matrices, row-major.
+    std::vector<double> PopX, PopZ; ///< Lambda x N, row-major.
+    std::vector<double> PopFx;      ///< Lambda values.
+    std::vector<unsigned> Order;    ///< Fitness-sorted candidate indices.
+    std::vector<double> EigenScratch; ///< Jacobi working copy of C.
+  };
+  mutable Workspace WS;
 };
 
 } // namespace coverme

@@ -7,7 +7,7 @@
 using namespace coverme;
 
 MinimizeResult
-CoordinateDescentMinimizer::minimize(const Objective &RawFn,
+CoordinateDescentMinimizer::minimize(ObjectiveFn RawFn,
                                      std::vector<double> Start) const {
   MinimizeResult Res;
   Res.X = std::move(Start);
@@ -16,7 +16,9 @@ CoordinateDescentMinimizer::minimize(const Objective &RawFn,
 
   CountingObjective Fn(RawFn);
   const size_t N = Res.X.size();
-  double FCur = Fn(Res.X);
+  WS.Probe.resize(N);
+  WS.Next.resize(N);
+  double FCur = Fn.eval(Res.X.data(), N);
   double Step = Opts.InitialStep;
 
   for (unsigned Iter = 0; Iter < Opts.MaxIterations * 8; ++Iter) {
@@ -25,27 +27,27 @@ CoordinateDescentMinimizer::minimize(const Objective &RawFn,
     for (size_t D = 0; D < N && Fn.numEvals() < Opts.MaxEvaluations; ++D) {
       // Exploratory move: probe both signs.
       for (double Sign : {+1.0, -1.0}) {
-        std::vector<double> Probe = Res.X;
+        WS.Probe = Res.X;
         // Scale the step to the coordinate's magnitude so the search can
         // move across exponents, not just absolute distances.
-        double Scaled = Sign * Step * (1.0 + std::fabs(Probe[D]));
-        Probe[D] += Scaled;
-        double FProbe = Fn(Probe);
+        double Scaled = Sign * Step * (1.0 + std::fabs(WS.Probe[D]));
+        WS.Probe[D] += Scaled;
+        double FProbe = Fn.eval(WS.Probe.data(), N);
         if (FProbe >= FCur)
           continue;
         // Pattern move: keep doubling while it pays off.
-        Res.X = Probe;
+        Res.X.swap(WS.Probe);
         FCur = FProbe;
         Improved = true;
         double Leap = Scaled;
         while (Fn.numEvals() < Opts.MaxEvaluations) {
           Leap *= 2.0;
-          std::vector<double> Next = Res.X;
-          Next[D] += Leap;
-          double FNext = Fn(Next);
+          WS.Next = Res.X;
+          WS.Next[D] += Leap;
+          double FNext = Fn.eval(WS.Next.data(), N);
           if (FNext >= FCur)
             break;
-          Res.X = std::move(Next);
+          Res.X.swap(WS.Next);
           FCur = FNext;
         }
         break;
@@ -67,12 +69,12 @@ CoordinateDescentMinimizer::minimize(const Objective &RawFn,
   return Res;
 }
 
-MinimizeResult IdentityMinimizer::minimize(const Objective &RawFn,
+MinimizeResult IdentityMinimizer::minimize(ObjectiveFn RawFn,
                                            std::vector<double> Start) const {
   MinimizeResult Res;
   Res.X = std::move(Start);
   CountingObjective Fn(RawFn);
-  Res.Fx = Res.X.empty() ? 0.0 : Fn(Res.X);
+  Res.Fx = Res.X.empty() ? 0.0 : Fn.eval(Res.X.data(), Res.X.size());
   Res.NumEvals = Fn.numEvals();
   Res.Converged = true;
   return Res;

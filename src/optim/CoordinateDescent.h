@@ -25,10 +25,19 @@ public:
   explicit CoordinateDescentMinimizer(LocalMinimizerOptions Opts = {})
       : LocalMinimizer(Opts) {}
 
-  MinimizeResult minimize(const Objective &Fn,
+  MinimizeResult minimize(ObjectiveFn Fn,
                           std::vector<double> Start) const override;
 
   std::string name() const override { return "coordinate-descent"; }
+
+private:
+  /// Probe buffers reused across runs; the exploratory/pattern loop never
+  /// allocates.
+  struct Workspace {
+    std::vector<double> Probe;
+    std::vector<double> Next;
+  };
+  mutable Workspace WS;
 };
 
 /// Identity minimizer: returns the start point untouched. Selecting it turns
@@ -38,7 +47,7 @@ public:
   explicit IdentityMinimizer(LocalMinimizerOptions Opts = {})
       : LocalMinimizer(Opts) {}
 
-  MinimizeResult minimize(const Objective &Fn,
+  MinimizeResult minimize(ObjectiveFn Fn,
                           std::vector<double> Start) const override;
 
   std::string name() const override { return "none"; }

@@ -8,7 +8,7 @@
 using namespace coverme;
 
 MinimizeResult DifferentialEvolutionMinimizer::minimize(
-    const Objective &Fn, std::vector<double> Start, Rng &Rng,
+    ObjectiveFn Fn, std::vector<double> Start, Rng &Rng,
     const GenerationCallback &Callback) const {
   MinimizeResult Result;
   Result.X = Start;
@@ -21,12 +21,20 @@ MinimizeResult DifferentialEvolutionMinimizer::minimize(
       Opts.PopulationSize ? Opts.PopulationSize : std::max(12u, 8 * N);
 
   // Seed the population: the starting point itself plus exponent-spread
-  // jitter around it (plus a few fully wide samples for global reach).
-  std::vector<std::vector<double>> Pop(NP);
-  std::vector<double> Fx(NP);
+  // jitter around it (plus a few fully wide samples for global reach),
+  // then evaluate all NP members in one batch.
+  WS.Pop.resize(static_cast<size_t>(NP) * N);
+  WS.Fx.resize(NP);
+  WS.Trial.resize(N);
+  std::vector<double> &Fx = WS.Fx;
+  auto Member = [&](unsigned I) {
+    return &WS.Pop[static_cast<size_t>(I) * N];
+  };
   for (unsigned I = 0; I < NP; ++I) {
-    Pop[I] = Start;
-    for (double &Coord : Pop[I]) {
+    double *M = Member(I);
+    std::copy(Start.begin(), Start.end(), M);
+    for (unsigned J = 0; J < N; ++J) {
+      double &Coord = M[J];
       if (!std::isfinite(Coord))
         Coord = 0.0;
       if (I == 0)
@@ -36,15 +44,15 @@ MinimizeResult DifferentialEvolutionMinimizer::minimize(
       else
         Coord += Rng.gaussian() * std::max(1.0, std::fabs(Coord));
     }
-    Fx[I] = Counted(Pop[I]);
   }
+  Counted.evalBatch(WS.Pop.data(), NP, N, Fx.data());
 
   unsigned BestIdx = static_cast<unsigned>(
       std::min_element(Fx.begin(), Fx.end()) - Fx.begin());
-  Result.X = Pop[BestIdx];
+  Result.X.assign(Member(BestIdx), Member(BestIdx) + N);
   Result.Fx = Fx[BestIdx];
 
-  std::vector<double> Trial(N);
+  double *Trial = WS.Trial.data();
   for (unsigned Gen = 0; Gen < Opts.MaxGenerations; ++Gen) {
     if (Counted.numEvals() + NP > Opts.MaxEvaluations)
       break;
@@ -68,20 +76,20 @@ MinimizeResult DifferentialEvolutionMinimizer::minimize(
       for (unsigned J = 0; J < N; ++J) {
         bool Cross =
             J == ForcedCoord || Rng.uniform01() < Opts.CrossoverRate;
-        Trial[J] = Cross ? Pop[A][J] + Opts.DifferentialWeight *
-                                           (Pop[B][J] - Pop[C][J])
-                         : Pop[I][J];
+        Trial[J] = Cross ? Member(A)[J] + Opts.DifferentialWeight *
+                                              (Member(B)[J] - Member(C)[J])
+                         : Member(I)[J];
         if (!std::isfinite(Trial[J]))
           Trial[J] = Rng.wideDouble(); // repair non-finite mutants
       }
 
-      double TrialFx = Counted(Trial);
+      double TrialFx = Counted.eval(Trial, N);
       if (TrialFx <= Fx[I]) {
-        Pop[I] = Trial;
+        std::copy(Trial, Trial + N, Member(I));
         Fx[I] = TrialFx;
         if (TrialFx < Result.Fx) {
           Result.Fx = TrialFx;
-          Result.X = Trial;
+          Result.X.assign(Trial, Trial + N);
         }
       }
     }

@@ -37,7 +37,11 @@ struct DifferentialEvolutionOptions {
   double FTol = 1e-14;             ///< Spread-based convergence test.
 };
 
-/// DE/rand/1/bin minimizer.
+/// DE/rand/1/bin minimizer. The population lives in a flat row-major
+/// arena reused across runs; the initial seeding evaluates through the
+/// objective's batch path. (The generation loop stays sequential by
+/// construction: each member's selection feeds the next member's
+/// mutation.) Thread-compatible, not thread-safe.
 class DifferentialEvolutionMinimizer {
 public:
   explicit DifferentialEvolutionMinimizer(
@@ -46,7 +50,7 @@ public:
 
   /// Minimizes \p Fn with a population seeded around \p Start.
   /// \p Callback may be null; returning true from it stops the run.
-  MinimizeResult minimize(const Objective &Fn, std::vector<double> Start,
+  MinimizeResult minimize(ObjectiveFn Fn, std::vector<double> Start,
                           Rng &Rng,
                           const GenerationCallback &Callback = nullptr) const;
 
@@ -54,6 +58,12 @@ public:
 
 private:
   DifferentialEvolutionOptions Opts;
+  struct Workspace {
+    std::vector<double> Pop; ///< NP x N members, row-major.
+    std::vector<double> Fx;  ///< NP member values.
+    std::vector<double> Trial;
+  };
+  mutable Workspace WS;
 };
 
 } // namespace coverme

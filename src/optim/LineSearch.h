@@ -10,11 +10,19 @@
 /// problem, so its quality determines how fast FOO_R's quadratic branch
 /// distances (Def. 4.1) are driven to zero.
 ///
+/// The entry points are templates over the scalar objective so the caller's
+/// probe lambda inlines into the search loop — Powell's per-probe path is
+/// "fill the probe span, one indirect call into the objective", with no
+/// type-erased dispatch in between. The ScalarObjective alias remains for
+/// callers that prefer to spell the callable type.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COVERME_OPTIM_LINESEARCH_H
 #define COVERME_OPTIM_LINESEARCH_H
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 
@@ -38,20 +46,180 @@ struct LineSearchResult {
   bool Converged = false;
 };
 
+namespace detail {
+
+inline constexpr double LineSearchGolden = 1.618033988749895;
+inline constexpr double LineSearchCGold = 0.3819660112501051; // 1 - 1/Golden.
+inline constexpr double LineSearchTinyDenom = 1e-21;
+
+/// Evaluates G with NaN mapped to a huge penalty so orderings stay total.
+template <typename GFn>
+double lineSearchEvalSafe(GFn &G, double T, uint64_t &Evals) {
+  ++Evals;
+  double V = G(T);
+  return V != V ? 1e300 : V;
+}
+
+} // namespace detail
+
 /// Expands downhill from (T0, T1) with golden-ratio steps until a minimum is
 /// bracketed or \p MaxEvals is exhausted (Numerical Recipes mnbrak).
-Bracket bracketMinimum(const ScalarObjective &G, double T0, double T1,
-                       uint64_t MaxEvals = 60);
+template <typename GFn>
+Bracket bracketMinimum(GFn &&G, double T0, double T1,
+                       uint64_t MaxEvals = 60) {
+  const double Golden = detail::LineSearchGolden;
+  Bracket Br;
+  uint64_t Evals = 0;
+  double A = T0, B = T1;
+  double FA = detail::lineSearchEvalSafe(G, A, Evals);
+  double FB = detail::lineSearchEvalSafe(G, B, Evals);
+  if (FB > FA) {
+    std::swap(A, B);
+    std::swap(FA, FB);
+  }
+  double C = B + Golden * (B - A);
+  double FC = detail::lineSearchEvalSafe(G, C, Evals);
+
+  while (FB > FC && Evals < MaxEvals) {
+    // Parabolic extrapolation from (A,B,C), clamped to a maximum leap.
+    double R = (B - A) * (FB - FC);
+    double Q = (B - C) * (FB - FA);
+    double Denom = 2.0 * std::copysign(
+                             std::max(std::fabs(Q - R),
+                                      detail::LineSearchTinyDenom),
+                             Q - R);
+    double U = B - ((B - C) * Q - (B - A) * R) / Denom;
+    double ULim = B + 100.0 * (C - B);
+    double FU;
+    if ((B - U) * (U - C) > 0.0) {
+      // U between B and C.
+      FU = detail::lineSearchEvalSafe(G, U, Evals);
+      if (FU < FC) {
+        A = B; FA = FB; B = U; FB = FU;
+        break;
+      }
+      if (FU > FB) {
+        C = U; FC = FU;
+        break;
+      }
+      U = C + Golden * (C - B);
+      FU = detail::lineSearchEvalSafe(G, U, Evals);
+    } else if ((C - U) * (U - ULim) > 0.0) {
+      // U between C and the limit.
+      FU = detail::lineSearchEvalSafe(G, U, Evals);
+      if (FU < FC) {
+        B = C; C = U; U = C + Golden * (C - B);
+        FB = FC; FC = FU; FU = detail::lineSearchEvalSafe(G, U, Evals);
+      }
+    } else if ((U - ULim) * (ULim - C) >= 0.0) {
+      U = ULim;
+      FU = detail::lineSearchEvalSafe(G, U, Evals);
+    } else {
+      U = C + Golden * (C - B);
+      FU = detail::lineSearchEvalSafe(G, U, Evals);
+    }
+    A = B; B = C; C = U;
+    FA = FB; FB = FC; FC = FU;
+  }
+
+  Br.A = A; Br.B = B; Br.C = C;
+  Br.FA = FA; Br.FB = FB; Br.FC = FC;
+  Br.Valid = FB <= FA && FB <= FC && std::isfinite(B);
+  return Br;
+}
 
 /// Brent's parabolic-interpolation/golden-section minimization inside the
 /// interval [min(A,C), max(A,C)] of \p Br.
-LineSearchResult brentMinimize(const ScalarObjective &G, const Bracket &Br,
-                               double Tol = 1e-10, unsigned MaxIter = 64);
+template <typename GFn>
+LineSearchResult brentMinimize(GFn &&G, const Bracket &Br, double Tol = 1e-10,
+                               unsigned MaxIter = 64) {
+  LineSearchResult Res;
+  if (!Br.Valid) {
+    Res.T = Br.B;
+    Res.F = Br.FB;
+    return Res;
+  }
+
+  uint64_t Evals = 0;
+  double A = std::min(Br.A, Br.C);
+  double B = std::max(Br.A, Br.C);
+  double X = Br.B, W = Br.B, V = Br.B;
+  double FX = Br.FB, FW = Br.FB, FV = Br.FB;
+  double D = 0.0, E = 0.0;
+
+  for (unsigned Iter = 0; Iter < MaxIter; ++Iter) {
+    double XM = 0.5 * (A + B);
+    double Tol1 = Tol * std::fabs(X) + 1e-300;
+    double Tol2 = 2.0 * Tol1;
+    if (std::fabs(X - XM) <= Tol2 - 0.5 * (B - A)) {
+      Res.Converged = true;
+      break;
+    }
+    bool UseGolden = true;
+    if (std::fabs(E) > Tol1) {
+      // Trial parabolic fit through X, V, W.
+      double R = (X - W) * (FX - FV);
+      double Q = (X - V) * (FX - FW);
+      double P = (X - V) * Q - (X - W) * R;
+      Q = 2.0 * (Q - R);
+      if (Q > 0.0)
+        P = -P;
+      Q = std::fabs(Q);
+      double ETmp = E;
+      E = D;
+      if (std::fabs(P) < std::fabs(0.5 * Q * ETmp) && P > Q * (A - X) &&
+          P < Q * (B - X)) {
+        D = P / Q;
+        double U = X + D;
+        if (U - A < Tol2 || B - U < Tol2)
+          D = std::copysign(Tol1, XM - X);
+        UseGolden = false;
+      }
+    }
+    if (UseGolden) {
+      E = (X >= XM) ? A - X : B - X;
+      D = detail::LineSearchCGold * E;
+    }
+    double U = (std::fabs(D) >= Tol1) ? X + D : X + std::copysign(Tol1, D);
+    double FU = detail::lineSearchEvalSafe(G, U, Evals);
+    if (FU <= FX) {
+      if (U >= X)
+        A = X;
+      else
+        B = X;
+      V = W; W = X; X = U;
+      FV = FW; FW = FX; FX = FU;
+    } else {
+      if (U < X)
+        A = U;
+      else
+        B = U;
+      if (FU <= FW || W == X) {
+        V = W; W = U;
+        FV = FW; FW = FU;
+      } else if (FU <= FV || V == X || V == W) {
+        V = U;
+        FV = FU;
+      }
+    }
+  }
+
+  Res.T = X;
+  Res.F = FX;
+  Res.NumEvals = Evals;
+  return Res;
+}
 
 /// Convenience: bracket from (0, \p InitialStep), then Brent. Falls back to
 /// T=0 when no descent direction exists.
-LineSearchResult lineMinimize(const ScalarObjective &G, double InitialStep,
-                              double Tol = 1e-10);
+template <typename GFn>
+LineSearchResult lineMinimize(GFn &&G, double InitialStep,
+                              double Tol = 1e-10) {
+  Bracket Br = bracketMinimum(G, 0.0, InitialStep);
+  LineSearchResult Res = brentMinimize(G, Br, Tol);
+  Res.NumEvals += 3; // Bracketing consumed at least the initial probes.
+  return Res;
+}
 
 } // namespace coverme
 

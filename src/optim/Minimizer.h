@@ -10,6 +10,13 @@
 /// LM="powell"; this interface lets the driver swap local minimizers as a
 /// black box (the ablation benches exercise that freedom).
 ///
+/// Concrete minimizers keep a per-instance workspace (direction sets,
+/// simplex, probe buffers) that is sized on first use and reused across
+/// minimize() calls, so the steady-state probe loop performs no heap
+/// allocations. The consequence is that a minimizer instance is
+/// *thread-compatible, not thread-safe*: give each worker thread its own
+/// instance (the campaign engine already does).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COVERME_OPTIM_MINIMIZER_H
@@ -19,6 +26,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace coverme {
 
@@ -47,8 +55,9 @@ public:
   virtual ~LocalMinimizer();
 
   /// Minimizes \p Fn starting from \p Start. Never throws; on a zero-sized
-  /// start it returns Start unchanged with Converged=false.
-  virtual MinimizeResult minimize(const Objective &Fn,
+  /// start it returns Start unchanged with Converged=false. The callee
+  /// behind \p Fn must stay alive for the duration of the call.
+  virtual MinimizeResult minimize(ObjectiveFn Fn,
                                   std::vector<double> Start) const = 0;
 
   /// Human-readable algorithm name ("powell", "nelder-mead", ...).

@@ -8,7 +8,7 @@
 
 using namespace coverme;
 
-MinimizeResult NelderMeadMinimizer::minimize(const Objective &RawFn,
+MinimizeResult NelderMeadMinimizer::minimize(ObjectiveFn RawFn,
                                              std::vector<double> Start) const {
   MinimizeResult Res;
   Res.X = std::move(Start);
@@ -18,42 +18,34 @@ MinimizeResult NelderMeadMinimizer::minimize(const Objective &RawFn,
   CountingObjective Fn(RawFn);
   const size_t N = Res.X.size();
 
-  // Initial simplex: the start plus one vertex displaced per coordinate.
-  std::vector<std::vector<double>> Simplex;
-  Simplex.reserve(N + 1);
-  Simplex.push_back(Res.X);
+  WS.Simplex.resize((N + 1) * N);
+  WS.FVals.resize(N + 1);
+  WS.Order.resize(N + 1);
+  WS.Centroid.resize(N);
+  WS.Reflected.resize(N);
+  WS.Expanded.resize(N);
+  double *Simplex = WS.Simplex.data();
+  auto Vertex = [&](size_t I) { return Simplex + I * N; };
+
+  // Initial simplex: the start plus one vertex displaced per coordinate,
+  // evaluated in one batch (row order matches a plain loop).
+  std::copy(Res.X.begin(), Res.X.end(), Vertex(0));
   for (size_t I = 0; I < N; ++I) {
-    std::vector<double> V = Res.X;
+    double *V = Vertex(I + 1);
+    std::copy(Res.X.begin(), Res.X.end(), V);
     V[I] += (V[I] != 0.0) ? 0.05 * V[I] * Opts.InitialStep
                           : 0.25 * Opts.InitialStep;
-    Simplex.push_back(std::move(V));
   }
-  std::vector<double> FVals(N + 1);
-  for (size_t I = 0; I <= N; ++I)
-    FVals[I] = Fn(Simplex[I]);
-
-  std::vector<size_t> Order(N + 1);
-
-  auto Centroid = [&](size_t ExcludeIdx) {
-    std::vector<double> C(N, 0.0);
-    for (size_t I = 0; I <= N; ++I) {
-      if (I == ExcludeIdx)
-        continue;
-      for (size_t K = 0; K < N; ++K)
-        C[K] += Simplex[I][K];
-    }
-    for (double &V : C)
-      V /= static_cast<double>(N);
-    return C;
-  };
+  Fn.evalBatch(Simplex, N + 1, N, WS.FVals.data());
+  std::vector<double> &FVals = WS.FVals;
 
   for (unsigned Iter = 0; Iter < Opts.MaxIterations * 4; ++Iter) {
     ++Res.Iterations;
-    std::iota(Order.begin(), Order.end(), 0);
-    std::sort(Order.begin(), Order.end(),
+    std::iota(WS.Order.begin(), WS.Order.end(), 0);
+    std::sort(WS.Order.begin(), WS.Order.end(),
               [&](size_t A, size_t B) { return FVals[A] < FVals[B]; });
-    size_t Best = Order.front(), Worst = Order.back();
-    size_t SecondWorst = Order[N - 1];
+    size_t Best = WS.Order.front(), Worst = WS.Order.back();
+    size_t SecondWorst = WS.Order[N - 1];
 
     if (FVals[Best] == 0.0 || Fn.numEvals() >= Opts.MaxEvaluations)
       break;
@@ -64,49 +56,62 @@ MinimizeResult NelderMeadMinimizer::minimize(const Objective &RawFn,
       break;
     }
 
-    std::vector<double> C = Centroid(Worst);
-    auto Affine = [&](double T) {
-      std::vector<double> P(N);
+    double *C = WS.Centroid.data();
+    std::fill(WS.Centroid.begin(), WS.Centroid.end(), 0.0);
+    for (size_t I = 0; I <= N; ++I) {
+      if (I == Worst)
+        continue;
+      const double *V = Vertex(I);
       for (size_t K = 0; K < N; ++K)
-        P[K] = C[K] + T * (Simplex[Worst][K] - C[K]);
-      return P;
+        C[K] += V[K];
+    }
+    for (size_t K = 0; K < N; ++K)
+      C[K] /= static_cast<double>(N);
+
+    const double *WorstV = Vertex(Worst);
+    auto Affine = [&](double T, double *Out) {
+      for (size_t K = 0; K < N; ++K)
+        Out[K] = C[K] + T * (WorstV[K] - C[K]);
     };
 
-    std::vector<double> Reflected = Affine(-1.0);
-    double FReflected = Fn(Reflected);
+    Affine(-1.0, WS.Reflected.data());
+    double FReflected = Fn.eval(WS.Reflected.data(), N);
     if (FReflected < FVals[Best]) {
-      std::vector<double> Expanded = Affine(-2.0);
-      double FExpanded = Fn(Expanded);
+      Affine(-2.0, WS.Expanded.data());
+      double FExpanded = Fn.eval(WS.Expanded.data(), N);
       if (FExpanded < FReflected) {
-        Simplex[Worst] = std::move(Expanded);
+        std::copy(WS.Expanded.begin(), WS.Expanded.end(), Vertex(Worst));
         FVals[Worst] = FExpanded;
       } else {
-        Simplex[Worst] = std::move(Reflected);
+        std::copy(WS.Reflected.begin(), WS.Reflected.end(), Vertex(Worst));
         FVals[Worst] = FReflected;
       }
       continue;
     }
     if (FReflected < FVals[SecondWorst]) {
-      Simplex[Worst] = std::move(Reflected);
+      std::copy(WS.Reflected.begin(), WS.Reflected.end(), Vertex(Worst));
       FVals[Worst] = FReflected;
       continue;
     }
-    // Contraction (outside if the reflection improved on the worst).
+    // Contraction (outside if the reflection improved on the worst);
+    // reuses the expansion buffer, which is dead on this path.
     double ContractT = FReflected < FVals[Worst] ? -0.5 : 0.5;
-    std::vector<double> Contracted = Affine(ContractT);
-    double FContracted = Fn(Contracted);
+    Affine(ContractT, WS.Expanded.data());
+    double FContracted = Fn.eval(WS.Expanded.data(), N);
     if (FContracted < std::min(FReflected, FVals[Worst])) {
-      Simplex[Worst] = std::move(Contracted);
+      std::copy(WS.Expanded.begin(), WS.Expanded.end(), Vertex(Worst));
       FVals[Worst] = FContracted;
       continue;
     }
     // Shrink toward the best vertex.
+    const double *BestV = Vertex(Best);
     for (size_t I = 0; I <= N; ++I) {
       if (I == Best)
         continue;
+      double *V = Vertex(I);
       for (size_t K = 0; K < N; ++K)
-        Simplex[I][K] = Simplex[Best][K] + 0.5 * (Simplex[I][K] - Simplex[Best][K]);
-      FVals[I] = Fn(Simplex[I]);
+        V[K] = BestV[K] + 0.5 * (V[K] - BestV[K]);
+      FVals[I] = Fn.eval(V, N);
     }
   }
 
@@ -114,7 +119,7 @@ MinimizeResult NelderMeadMinimizer::minimize(const Objective &RawFn,
   for (size_t I = 1; I <= N; ++I)
     if (FVals[I] < FVals[BestIdx])
       BestIdx = I;
-  Res.X = Simplex[BestIdx];
+  Res.X.assign(Vertex(BestIdx), Vertex(BestIdx) + N);
   Res.Fx = FVals[BestIdx];
   Res.NumEvals = Fn.numEvals();
   return Res;

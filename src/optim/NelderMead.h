@@ -24,10 +24,24 @@ public:
   explicit NelderMeadMinimizer(LocalMinimizerOptions Opts = {})
       : LocalMinimizer(Opts) {}
 
-  MinimizeResult minimize(const Objective &Fn,
+  MinimizeResult minimize(ObjectiveFn Fn,
                           std::vector<double> Start) const override;
 
   std::string name() const override { return "nelder-mead"; }
+
+private:
+  /// Flat per-instance arena: the (N+1) x N simplex plus iteration
+  /// scratch. The initial simplex evaluates through the objective's batch
+  /// path; the reflect/expand/contract loop never allocates.
+  struct Workspace {
+    std::vector<double> Simplex; ///< (N+1) x N vertices, row-major.
+    std::vector<double> FVals;   ///< N+1 vertex values.
+    std::vector<size_t> Order;
+    std::vector<double> Centroid;
+    std::vector<double> Reflected;
+    std::vector<double> Expanded;
+  };
+  mutable Workspace WS;
 };
 
 } // namespace coverme

@@ -10,40 +10,183 @@
 /// f as a black box, exactly as Algorithm 1 requires — the representing
 /// function FOO_R is just one such objective.
 ///
+/// The interface is built for the hot loop. ObjectiveFn is a non-owning,
+/// trivially copyable view (a state pointer plus two raw function
+/// pointers): evaluating a probe costs one indirect call on a span
+/// argument — no std::function double-dispatch, no vector allocation.
+/// Population backends evaluate whole candidate matrices through
+/// evalBatch(), which objectives may override (one member function named
+/// `evalBatch`) to amortize per-call setup; the default loops over eval in
+/// row order, so batching never changes results, only cost.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COVERME_OPTIM_OBJECTIVE_H
 #define COVERME_OPTIM_OBJECTIVE_H
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <vector>
+#include <type_traits>
 
 namespace coverme {
-
-/// A black-box objective over R^n.
-using Objective = std::function<double(const std::vector<double> &)>;
 
 /// Large finite value substituted for NaN objective results so the
 /// minimizers' comparisons stay well ordered (NaN poisons every ordering).
 inline constexpr double NaNPenalty = 1e300;
 
+namespace detail {
+
+/// Overload-ranking tags: prefer a dedicated member over the fallback.
+struct ObjRank0 {};
+struct ObjRank1 : ObjRank0 {};
+
+/// Calls Fn.eval(X, N) when the callee provides it...
+template <typename C>
+auto objectiveEval(C &Fn, const double *X, size_t N, ObjRank1)
+    -> decltype(static_cast<double>(Fn.eval(X, N))) {
+  return Fn.eval(X, N);
+}
+
+/// ...otherwise Fn(X, N).
+template <typename C>
+double objectiveEval(C &Fn, const double *X, size_t N, ObjRank0) {
+  return Fn(X, N);
+}
+
+/// Forwards to Fn.evalBatch when the callee provides one...
+template <typename C>
+auto objectiveBatch(C &Fn, const double *Xs, size_t Count, size_t N,
+                    double *Out, ObjRank1)
+    -> decltype(Fn.evalBatch(Xs, Count, N, Out)) {
+  return Fn.evalBatch(Xs, Count, N, Out);
+}
+
+/// ...otherwise evaluates the Count points row by row (the loop-over-eval
+/// default; identical results to any correct override).
+template <typename C>
+void objectiveBatch(C &Fn, const double *Xs, size_t Count, size_t N,
+                    double *Out, ObjRank0) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = objectiveEval(Fn, Xs + I * N, N, ObjRank1());
+}
+
+} // namespace detail
+
+/// A black-box objective over R^n: a non-owning view of a callee that
+/// evaluates points given as (const double *, size_t) spans.
+///
+/// The callee provides either `double eval(const double *X, size_t N)` or
+/// `double operator()(const double *X, size_t N)` (eval wins when both
+/// exist), and may provide
+/// `void evalBatch(const double *Xs, size_t Count, size_t N, double *Out)`
+/// to evaluate Count contiguous rows at once; absent that, evalBatch loops
+/// over eval.
+///
+/// ObjectiveFn deliberately binds *lvalues only*: a temporary callee would
+/// dangle the moment the full-expression ends (the CountingObjective bug
+/// this design replaced bound `FR.asObjective()` — a dead temporary — by
+/// reference), so passing an rvalue does not compile.
+class ObjectiveFn {
+public:
+  /// Binds a callable object. The callee must outlive this view; every
+  /// minimizer only uses the view for the duration of one minimize() call.
+  template <typename C,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_const_t<C>, ObjectiveFn> &&
+                !std::is_function_v<C>>>
+  ObjectiveFn(C &Callee)
+      : State(const_cast<void *>(static_cast<const void *>(&Callee))),
+        Eval(&evalThunk<C>), Batch(&batchThunk<C>) {}
+
+  /// Closes the const-temporary loophole: without this, a const rvalue
+  /// would deduce C = const T and bind through `const T &` — the very
+  /// dangling-callee bug this class exists to rule out.
+  template <typename C> ObjectiveFn(const C &&) = delete;
+
+  /// Plain-function objectives bind directly (test fixtures mostly).
+  using PlainFn = double(const double *X, size_t N);
+  ObjectiveFn(PlainFn &Fn)
+      : State(reinterpret_cast<void *>(&Fn)), Eval(&plainEvalThunk),
+        Batch(&plainBatchThunk) {}
+
+  /// Evaluates f at the span [X, X + N).
+  double operator()(const double *X, size_t N) const {
+    return Eval(State, X, N);
+  }
+  double eval(const double *X, size_t N) const { return Eval(State, X, N); }
+
+  /// Evaluates Count points stored row-major in [Xs, Xs + Count * N) into
+  /// Out[0..Count). Row order matches the loop-over-eval default.
+  void evalBatch(const double *Xs, size_t Count, size_t N,
+                 double *Out) const {
+    Batch(State, Xs, Count, N, Out);
+  }
+
+private:
+  using EvalFn = double (*)(void *State, const double *X, size_t N);
+  using BatchFn = void (*)(void *State, const double *Xs, size_t Count,
+                           size_t N, double *Out);
+
+  template <typename C>
+  static double evalThunk(void *State, const double *X, size_t N) {
+    return detail::objectiveEval(*static_cast<C *>(State), X, N,
+                                 detail::ObjRank1());
+  }
+
+  template <typename C>
+  static void batchThunk(void *State, const double *Xs, size_t Count,
+                         size_t N, double *Out) {
+    detail::objectiveBatch(*static_cast<C *>(State), Xs, Count, N, Out,
+                           detail::ObjRank1());
+  }
+
+  static double plainEvalThunk(void *State, const double *X, size_t N) {
+    return reinterpret_cast<PlainFn *>(State)(X, N);
+  }
+
+  static void plainBatchThunk(void *State, const double *Xs, size_t Count,
+                              size_t N, double *Out) {
+    auto *Fn = reinterpret_cast<PlainFn *>(State);
+    for (size_t I = 0; I < Count; ++I)
+      Out[I] = Fn(Xs + I * N, N);
+  }
+
+  void *State;
+  EvalFn Eval;
+  BatchFn Batch;
+};
+
 /// Wraps an objective so calls are counted and NaN results are replaced by
 /// NaNPenalty. Every minimizer routes its probes through one of these.
+/// Holds the ObjectiveFn view by value — the view is two pointers, and the
+/// callee it refers to is the minimize() argument, alive for the whole
+/// run; there is no temporary to dangle on.
 class CountingObjective {
 public:
-  explicit CountingObjective(const Objective &Fn) : Fn(Fn) {}
+  explicit CountingObjective(ObjectiveFn Fn) : Fn(Fn) {}
 
-  double operator()(const std::vector<double> &X) {
+  double eval(const double *X, size_t N) {
     ++NumEvals;
-    double V = Fn(X);
+    double V = Fn(X, N);
     return V != V ? NaNPenalty : V;
+  }
+
+  double operator()(const double *X, size_t N) { return eval(X, N); }
+
+  /// Batched probes: forwards to the callee's batch path, then applies the
+  /// same count-and-sanitize accounting per row.
+  void evalBatch(const double *Xs, size_t Count, size_t N, double *Out) {
+    Fn.evalBatch(Xs, Count, N, Out);
+    NumEvals += Count;
+    for (size_t I = 0; I < Count; ++I)
+      if (Out[I] != Out[I])
+        Out[I] = NaNPenalty;
   }
 
   uint64_t numEvals() const { return NumEvals; }
 
 private:
-  const Objective &Fn;
+  ObjectiveFn Fn;
   uint64_t NumEvals = 0;
 };
 

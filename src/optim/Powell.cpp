@@ -4,35 +4,12 @@
 
 #include "optim/LineSearch.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace coverme;
 
-namespace {
-
-/// Line-minimizes Fn from Point along Dir, updating both in place.
-/// Returns the achieved value; accumulates evaluation counts into Evals.
-double minimizeAlong(CountingObjective &Fn, std::vector<double> &Point,
-                     const std::vector<double> &Dir, double InitialStep,
-                     double &FCur) {
-  std::vector<double> Probe = Point;
-  ScalarObjective G = [&](double T) {
-    for (size_t I = 0; I < Point.size(); ++I)
-      Probe[I] = Point[I] + T * Dir[I];
-    return Fn(Probe);
-  };
-  LineSearchResult LS = lineMinimize(G, InitialStep);
-  if (LS.F < FCur) {
-    for (size_t I = 0; I < Point.size(); ++I)
-      Point[I] += LS.T * Dir[I];
-    FCur = LS.F;
-  }
-  return FCur;
-}
-
-} // namespace
-
-MinimizeResult PowellMinimizer::minimize(const Objective &RawFn,
+MinimizeResult PowellMinimizer::minimize(ObjectiveFn RawFn,
                                          std::vector<double> Start) const {
   MinimizeResult Res;
   Res.X = std::move(Start);
@@ -42,23 +19,47 @@ MinimizeResult PowellMinimizer::minimize(const Objective &RawFn,
   CountingObjective Fn(RawFn);
   const size_t N = Res.X.size();
 
-  // Direction set starts as the coordinate axes scaled by the initial step.
-  std::vector<std::vector<double>> Dirs(N, std::vector<double>(N, 0.0));
-  for (size_t I = 0; I < N; ++I)
-    Dirs[I][I] = Opts.InitialStep;
+  WS.Dirs.resize(N * N);
+  WS.PStart.resize(N);
+  WS.NewDir.resize(N);
+  WS.Extrapolated.resize(N);
+  WS.Probe.resize(N);
 
-  double FCur = Fn(Res.X);
+  // Direction set starts as the coordinate axes scaled by the initial step.
+  std::fill(WS.Dirs.begin(), WS.Dirs.end(), 0.0);
+  for (size_t I = 0; I < N; ++I)
+    WS.Dirs[I * N + I] = Opts.InitialStep;
+
+  double FCur = Fn.eval(Res.X.data(), N);
+
+  // Line-minimizes from Res.X along Dir, updating Res.X and FCur in place.
+  // The probe lambda writes into the workspace span, so each probe is one
+  // indirect call into the objective and nothing else.
+  auto MinimizeAlong = [&](const double *Dir, double InitialStep) {
+    double *Point = Res.X.data();
+    auto G = [&](double T) {
+      for (size_t I = 0; I < N; ++I)
+        WS.Probe[I] = Point[I] + T * Dir[I];
+      return Fn.eval(WS.Probe.data(), N);
+    };
+    LineSearchResult LS = lineMinimize(G, InitialStep);
+    if (LS.F < FCur) {
+      for (size_t I = 0; I < N; ++I)
+        Point[I] += LS.T * Dir[I];
+      FCur = LS.F;
+    }
+  };
 
   for (unsigned Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
     ++Res.Iterations;
     double FStart = FCur;
-    std::vector<double> PStart = Res.X;
+    std::copy(Res.X.begin(), Res.X.end(), WS.PStart.begin());
     size_t BiggestDir = 0;
     double BiggestDrop = 0.0;
 
     for (size_t D = 0; D < N; ++D) {
       double FBefore = FCur;
-      minimizeAlong(Fn, Res.X, Dirs[D], Opts.InitialStep, FCur);
+      MinimizeAlong(&WS.Dirs[D * N], Opts.InitialStep);
       double Drop = FBefore - FCur;
       if (Drop > BiggestDrop) {
         BiggestDrop = Drop;
@@ -79,21 +80,21 @@ MinimizeResult PowellMinimizer::minimize(const Objective &RawFn,
     }
 
     // Powell's direction update: try the overall displacement P - PStart.
-    std::vector<double> NewDir(N);
-    std::vector<double> Extrapolated(N);
     for (size_t I = 0; I < N; ++I) {
-      NewDir[I] = Res.X[I] - PStart[I];
-      Extrapolated[I] = Res.X[I] + NewDir[I];
+      WS.NewDir[I] = Res.X[I] - WS.PStart[I];
+      WS.Extrapolated[I] = Res.X[I] + WS.NewDir[I];
     }
-    double FExtrapolated = Fn(Extrapolated);
+    double FExtrapolated = Fn.eval(WS.Extrapolated.data(), N);
     if (FExtrapolated < FStart) {
       double T = 2.0 * (FStart - 2.0 * FCur + FExtrapolated) *
                      std::pow(FStart - FCur - BiggestDrop, 2) -
                  BiggestDrop * std::pow(FStart - FExtrapolated, 2);
       if (T < 0.0) {
-        minimizeAlong(Fn, Res.X, NewDir, 1.0, FCur);
-        Dirs[BiggestDir] = Dirs.back();
-        Dirs.back() = NewDir;
+        MinimizeAlong(WS.NewDir.data(), 1.0);
+        if (BiggestDir != N - 1)
+          std::copy(&WS.Dirs[(N - 1) * N], &WS.Dirs[(N - 1) * N] + N,
+                    &WS.Dirs[BiggestDir * N]);
+        std::copy(WS.NewDir.begin(), WS.NewDir.end(), &WS.Dirs[(N - 1) * N]);
       }
     }
   }

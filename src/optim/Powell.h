@@ -25,10 +25,23 @@ public:
   explicit PowellMinimizer(LocalMinimizerOptions Opts = {})
       : LocalMinimizer(Opts) {}
 
-  MinimizeResult minimize(const Objective &Fn,
+  MinimizeResult minimize(ObjectiveFn Fn,
                           std::vector<double> Start) const override;
 
   std::string name() const override { return "powell"; }
+
+private:
+  /// Flat per-instance arena reused across runs: the N x N direction set
+  /// plus the iteration-scratch vectors. Sized (one allocation each) the
+  /// first time a given arity is seen; the probe loop never allocates.
+  struct Workspace {
+    std::vector<double> Dirs; ///< N x N direction set, row-major.
+    std::vector<double> PStart;
+    std::vector<double> NewDir;
+    std::vector<double> Extrapolated;
+    std::vector<double> Probe;
+  };
+  mutable Workspace WS;
 };
 
 } // namespace coverme

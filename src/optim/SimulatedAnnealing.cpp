@@ -6,7 +6,7 @@
 
 using namespace coverme;
 
-MinimizeResult SimulatedAnnealingMinimizer::minimize(const Objective &RawFn,
+MinimizeResult SimulatedAnnealingMinimizer::minimize(ObjectiveFn RawFn,
                                                      std::vector<double> Start,
                                                      Rng &Rng) const {
   MinimizeResult Res;
@@ -16,8 +16,9 @@ MinimizeResult SimulatedAnnealingMinimizer::minimize(const Objective &RawFn,
 
   CountingObjective Fn(RawFn);
   const size_t N = Res.X.size();
-  std::vector<double> Cur = Res.X;
-  double FCur = Fn(Cur);
+  WS.Cur = Res.X;
+  WS.Proposal.resize(N);
+  double FCur = Fn.eval(WS.Cur.data(), N);
   Res.Fx = FCur;
 
   // Geometric cooling from InitialTemp to FinalTemp over NumSteps.
@@ -27,22 +28,22 @@ MinimizeResult SimulatedAnnealingMinimizer::minimize(const Objective &RawFn,
 
   for (unsigned Step = 0; Step < Opts.NumSteps; ++Step) {
     ++Res.Iterations;
-    std::vector<double> Proposal(N);
     for (size_t I = 0; I < N; ++I) {
       if (Rng.chance(Opts.JumpProbability))
-        Proposal[I] = Rng.exponentUniformDouble();
+        WS.Proposal[I] = Rng.exponentUniformDouble();
       else
-        Proposal[I] = Cur[I] + Rng.gaussian(0.0, Opts.StepSigma *
-                                                     (1.0 + std::fabs(Cur[I])));
+        WS.Proposal[I] =
+            WS.Cur[I] +
+            Rng.gaussian(0.0, Opts.StepSigma * (1.0 + std::fabs(WS.Cur[I])));
     }
-    double FProposal = Fn(Proposal);
+    double FProposal = Fn.eval(WS.Proposal.data(), N);
     bool Accept = FProposal < FCur ||
                   Rng.uniform01() < std::exp((FCur - FProposal) / Temp);
     if (Accept) {
-      Cur = std::move(Proposal);
+      WS.Cur.swap(WS.Proposal);
       FCur = FProposal;
       if (FCur < Res.Fx) {
-        Res.X = Cur;
+        Res.X = WS.Cur;
         Res.Fx = FCur;
       }
     }

@@ -30,18 +30,25 @@ struct AnnealingOptions {
 };
 
 /// Simulated-annealing global minimizer (no inner local minimizer).
+/// Thread-compatible like the local minimizers: the proposal buffers are
+/// per-instance and reused across runs, so each step is allocation-free.
 class SimulatedAnnealingMinimizer {
 public:
   explicit SimulatedAnnealingMinimizer(AnnealingOptions Opts = {})
       : Opts(Opts) {}
 
-  MinimizeResult minimize(const Objective &Fn, std::vector<double> Start,
+  MinimizeResult minimize(ObjectiveFn Fn, std::vector<double> Start,
                           Rng &Rng) const;
 
   const AnnealingOptions &options() const { return Opts; }
 
 private:
   AnnealingOptions Opts;
+  struct Workspace {
+    std::vector<double> Cur;
+    std::vector<double> Proposal;
+  };
+  mutable Workspace WS;
 };
 
 } // namespace coverme

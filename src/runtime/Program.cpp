@@ -4,6 +4,22 @@
 
 using namespace coverme;
 
+Program::BoundBody Program::bind() const {
+  if (Binder)
+    return Binder();
+  BoundBody B;
+  if (RawBody) {
+    B.Raw = RawBody;
+    return B;
+  }
+  assert(Body && "program has no body");
+  B.Invoke = [](void *State, uint64_t, const double *Args) {
+    return (*static_cast<const BodyFn *>(State))(Args);
+  };
+  B.State = const_cast<void *>(static_cast<const void *>(&Body));
+  return B;
+}
+
 void ProgramRegistry::add(Program P) {
   assert(P.Body && "program body must be non-null");
   assert(!lookup(P.Name) && "duplicate program name");

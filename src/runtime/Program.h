@@ -44,11 +44,46 @@ struct Program {
   /// registered alongside the natively compiled Fdlibm ports.
   using BodyFn = std::function<double(const double *Args)>;
 
+  /// Stateless body as a plain function pointer — the natively compiled
+  /// ports. When set, it must compute exactly what Body computes; bind()
+  /// then skips the std::function dispatch entirely.
+  using RawBodyFn = double (*)(const double *Args);
+
+  /// A body resolved for one minimization run on one thread: per-probe
+  /// invocation is a raw call with no type-erased dispatch and no
+  /// per-call state lookup. Produced by bind(); valid only on the thread
+  /// that called bind() and only while the Program (and, for VM-backed
+  /// bodies, the thread) lives.
+  struct BoundBody {
+    RawBodyFn Raw = nullptr; ///< Direct native body, when available.
+    double (*Invoke)(void *State, uint64_t Imm,
+                     const double *Args) = nullptr; ///< Else: one trampoline.
+    void *State = nullptr;
+    uint64_t Imm = 0;
+
+    double call(const double *Args) const {
+      return Raw ? Raw(Args) : Invoke(State, Imm, Args);
+    }
+  };
+
+  /// Per-run binder: resolves thread-local executor state (e.g. the
+  /// bytecode VM) once so the probe loop doesn't. Null when Body needs no
+  /// per-thread resolution; bind() then falls back to RawBody or to the
+  /// type-erased Body.
+  using BinderFn = std::function<BoundBody()>;
+
   std::string Name;    ///< Entry function, e.g. "ieee754_acos".
   std::string File;    ///< Originating file, e.g. "e_acos.c".
   unsigned Arity = 1;  ///< Number of double inputs (pointer params lowered).
   unsigned NumSites = 0; ///< Conditional statements l_0..l_{NumSites-1}.
   BodyFn Body = nullptr;
+  RawBodyFn RawBody = nullptr;
+  BinderFn Binder = nullptr;
+
+  /// Resolves the fastest per-probe entry available for this body on the
+  /// calling thread: Binder > RawBody > the std::function Body. Bit-
+  /// identical to calling Body — only the dispatch cost differs.
+  BoundBody bind() const;
 
   /// Total source lines of the function (Table 5's "#Lines" column); drives
   /// the synthetic line-coverage model below.

@@ -11,15 +11,22 @@ RepresentingFunction::RepresentingFunction(const Program &P,
          "context shaped for a different program");
 }
 
-double RepresentingFunction::operator()(const std::vector<double> &X) const {
-  assert(X.size() == Prog.Arity && "input arity mismatch");
+double RepresentingFunction::eval(const double *X, size_t N) const {
+  (void)N;
+  assert(N == Prog.Arity && "input arity mismatch");
   ExecutionContext::Scope Installed(Ctx);
   Ctx.beginRun();
   bool SavedPen = Ctx.PenEnabled;
   Ctx.PenEnabled = true;
-  Prog.Body(X.data());
+  Prog.Body(X);
   Ctx.PenEnabled = SavedPen;
   return Ctx.R;
+}
+
+void RepresentingFunction::evalBatch(const double *Xs, size_t Count, size_t N,
+                                     double *Out) const {
+  BoundRun Run(*this);
+  Run.evalBatch(Xs, Count, N, Out);
 }
 
 double RepresentingFunction::execute(const std::vector<double> &X) const {
@@ -33,6 +40,10 @@ double RepresentingFunction::execute(const std::vector<double> &X) const {
   return Result;
 }
 
-Objective RepresentingFunction::asObjective() const {
-  return [this](const std::vector<double> &X) { return (*this)(X); };
+RepresentingFunction::BoundRun::BoundRun(const RepresentingFunction &FR)
+    : Ctx(FR.Ctx), Installed(Ctx), Body(FR.Prog.bind()),
+      SavedPen(Ctx.PenEnabled), Arity(FR.Prog.Arity) {
+  Ctx.PenEnabled = true;
 }
+
+RepresentingFunction::BoundRun::~BoundRun() { Ctx.PenEnabled = SavedPen; }

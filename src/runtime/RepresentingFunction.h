@@ -17,6 +17,14 @@
 /// (Thm. 4.3), which is what licenses handing it to any unconstrained-
 /// programming backend as a black-box objective.
 ///
+/// Two evaluation paths exist. The plain call operators install the
+/// context scope per call — correct anywhere, and what one-off callers
+/// use. The hot loop of Algorithm 1 instead opens a BoundRun per
+/// minimization run: the scope install, pen toggle, and per-thread body
+/// resolution (Program::bind — for VM-backed bodies, the thread-local VM
+/// lookup) all happen once, and each probe is beginRun + one raw body
+/// call. Both paths compute bit-identical FOO_R values.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COVERME_RUNTIME_REPRESENTINGFUNCTION_H
@@ -26,24 +34,70 @@
 #include "runtime/ExecutionContext.h"
 #include "runtime/Program.h"
 
+#include <vector>
+
 namespace coverme {
 
 /// Callable wrapper evaluating FOO_R(x) for a given program and context.
+/// Satisfies the ObjectiveFn callee protocol (span eval + evalBatch), so
+/// it can be handed to any minimizer directly; prefer a BoundRun for
+/// sustained minimization loops.
 class RepresentingFunction {
 public:
   RepresentingFunction(const Program &P, ExecutionContext &Ctx);
 
-  /// Evaluates FOO_R at \p X (size must equal the program's arity):
-  /// resets r to 1, installs the context, runs FOO_I, returns r.
-  double operator()(const std::vector<double> &X) const;
+  /// Evaluates FOO_R at the span [X, X + N); N must equal the program's
+  /// arity. Resets r to 1, installs the context, runs FOO_I, returns r.
+  double eval(const double *X, size_t N) const;
+
+  /// Vector convenience overload.
+  double operator()(const std::vector<double> &X) const {
+    return eval(X.data(), X.size());
+  }
+
+  /// Evaluates Count points (rows of \p Xs) into \p Out with the context
+  /// installed once around the whole batch.
+  void evalBatch(const double *Xs, size_t Count, size_t N,
+                 double *Out) const;
 
   /// Runs the program at \p X purely for its side effects on the context's
   /// trace/coverage with pen disabled — "just execute FOO(x)". Returns the
   /// program's own return value.
   double execute(const std::vector<double> &X) const;
 
-  /// Adapts this to the optimizer-facing Objective type.
-  Objective asObjective() const;
+  /// RAII binding for one minimization run on one thread: installs the
+  /// context scope, enables pen, and resolves the body (for VM tiers, the
+  /// thread-local VM) once. eval() is then the whole per-probe cost:
+  /// beginRun + one raw body call — no allocation, no type-erased
+  /// dispatch, no thread-local traffic. Satisfies the ObjectiveFn callee
+  /// protocol. Not movable; must be destroyed on the constructing thread.
+  class BoundRun {
+  public:
+    explicit BoundRun(const RepresentingFunction &FR);
+    ~BoundRun();
+    BoundRun(const BoundRun &) = delete;
+    BoundRun &operator=(const BoundRun &) = delete;
+
+    double eval(const double *X, size_t N) {
+      (void)N;
+      assert(N == Arity && "input arity mismatch");
+      Ctx.beginRun();
+      Body.call(X);
+      return Ctx.R;
+    }
+
+    void evalBatch(const double *Xs, size_t Count, size_t N, double *Out) {
+      for (size_t I = 0; I < Count; ++I)
+        Out[I] = eval(Xs + I * N, N);
+    }
+
+  private:
+    ExecutionContext &Ctx;
+    ExecutionContext::Scope Installed;
+    Program::BoundBody Body;
+    bool SavedPen;
+    unsigned Arity;
+  };
 
   const Program &program() const { return Prog; }
   ExecutionContext &context() const { return Ctx; }

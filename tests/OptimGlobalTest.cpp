@@ -28,12 +28,12 @@ using namespace coverme;
 namespace {
 
 /// The paper's Sect. 2 example: f(x1,x2) = (x1-3)^2 + (x2-5)^2.
-double paperQuadratic(const std::vector<double> &X) {
+double paperQuadratic(const double *X, size_t) {
   return (X[0] - 3.0) * (X[0] - 3.0) + (X[1] - 5.0) * (X[1] - 5.0);
 }
 
 /// The paper's Fig. 2(b) double-well representing function.
-double figure2b(const std::vector<double> &X) {
+double figure2b(const double *X, size_t) {
   double V = X[0];
   if (V <= 1.0) {
     double T = (V + 1.0) * (V + 1.0) - 4.0;
@@ -44,7 +44,7 @@ double figure2b(const std::vector<double> &X) {
 }
 
 /// Rosenbrock's banana, the classic ill-conditioned valley.
-double rosenbrock(const std::vector<double> &X) {
+double rosenbrock(const double *X, size_t) {
   double A = 1.0 - X[0];
   double B = X[1] - X[0] * X[0];
   return A * A + 100.0 * B * B;
@@ -138,9 +138,9 @@ TEST(CmaEsTest, EmptyStartIsANoop) {
 
 TEST(CmaEsTest, HigherDimensionStillConverges) {
   // 6-dimensional sphere: exercises the Jacobi eigensolver beyond arity 2.
-  auto Sphere = [](const std::vector<double> &X) {
+  auto Sphere = [](const double *X, size_t N) {
     double S = 0.0;
-    for (size_t I = 0; I < X.size(); ++I) {
+    for (size_t I = 0; I < N; ++I) {
       double D = X[I] - static_cast<double>(I);
       S += D * D;
     }

@@ -19,27 +19,21 @@ using namespace coverme;
 namespace {
 
 /// The paper's Sect. 2 example: f(x1,x2) = (x1-3)^2 + (x2-5)^2.
-Objective paperQuadratic() {
-  return [](const std::vector<double> &X) {
-    double A = X[0] - 3.0, B = X[1] - 5.0;
-    return A * A + B * B;
-  };
+double paperQuadratic(const double *X, size_t) {
+  double A = X[0] - 3.0, B = X[1] - 5.0;
+  return A * A + B * B;
 }
 
 /// Fig. 2(a): x <= 1 ? 0 : (x-1)^2.
-Objective fig2a() {
-  return [](const std::vector<double> &X) {
-    return X[0] <= 1.0 ? 0.0 : (X[0] - 1.0) * (X[0] - 1.0);
-  };
+double fig2a(const double *X, size_t) {
+  return X[0] <= 1.0 ? 0.0 : (X[0] - 1.0) * (X[0] - 1.0);
 }
 
 /// Fig. 2(b): x <= 1 ? ((x+1)^2-4)^2 : (x^2-4)^2. Global minima -3, 1, 2.
-Objective fig2b() {
-  return [](const std::vector<double> &X) {
-    double V = X[0];
-    double T = V <= 1.0 ? (V + 1.0) * (V + 1.0) - 4.0 : V * V - 4.0;
-    return T * T;
-  };
+double fig2b(const double *X, size_t) {
+  double V = X[0];
+  double T = V <= 1.0 ? (V + 1.0) * (V + 1.0) - 4.0 : V * V - 4.0;
+  return T * T;
 }
 
 } // namespace
@@ -49,7 +43,7 @@ Objective fig2b() {
 //===----------------------------------------------------------------------===//
 
 TEST(LineSearchTest, BracketsSimpleQuadratic) {
-  ScalarObjective G = [](double T) { return (T - 4.0) * (T - 4.0); };
+  auto G = [](double T) { return (T - 4.0) * (T - 4.0); };
   Bracket Br = bracketMinimum(G, 0.0, 1.0);
   ASSERT_TRUE(Br.Valid);
   EXPECT_LE(std::min(Br.A, Br.C), 4.0);
@@ -59,32 +53,40 @@ TEST(LineSearchTest, BracketsSimpleQuadratic) {
 }
 
 TEST(LineSearchTest, BrentFindsQuadraticMinimum) {
-  ScalarObjective G = [](double T) { return (T - 4.0) * (T - 4.0) + 2.5; };
+  auto G = [](double T) { return (T - 4.0) * (T - 4.0) + 2.5; };
   LineSearchResult Res = lineMinimize(G, 1.0);
   EXPECT_NEAR(Res.T, 4.0, 1e-6);
   EXPECT_NEAR(Res.F, 2.5, 1e-9);
 }
 
 TEST(LineSearchTest, BrentHandlesAbsValueKink) {
-  ScalarObjective G = [](double T) { return std::fabs(T - 2.0); };
+  auto G = [](double T) { return std::fabs(T - 2.0); };
   LineSearchResult Res = lineMinimize(G, 0.5);
   EXPECT_NEAR(Res.T, 2.0, 1e-5);
 }
 
 TEST(LineSearchTest, DescendsInNegativeDirection) {
-  ScalarObjective G = [](double T) { return (T + 7.0) * (T + 7.0); };
+  auto G = [](double T) { return (T + 7.0) * (T + 7.0); };
   LineSearchResult Res = lineMinimize(G, 1.0);
   EXPECT_NEAR(Res.T, -7.0, 1e-5);
 }
 
 TEST(LineSearchTest, NaNObjectiveDoesNotPoisonSearch) {
-  ScalarObjective G = [](double T) {
+  auto G = [](double T) {
     if (T > 100.0)
       return std::nan("");
     return (T - 1.0) * (T - 1.0);
   };
   LineSearchResult Res = lineMinimize(G, 1.0);
   EXPECT_NEAR(Res.T, 1.0, 1e-5);
+}
+
+TEST(LineSearchTest, ScalarObjectiveAliasStillBinds) {
+  // Type-erased scalar callables remain accepted by the template entry
+  // points (the alias survives for callers that spell the type).
+  ScalarObjective G = [](double T) { return (T - 4.0) * (T - 4.0); };
+  LineSearchResult Res = lineMinimize(G, 1.0);
+  EXPECT_NEAR(Res.T, 4.0, 1e-6);
 }
 
 //===----------------------------------------------------------------------===//
@@ -96,7 +98,7 @@ class LocalMinimizerParamTest
 
 TEST_P(LocalMinimizerParamTest, SolvesPaperQuadratic) {
   auto LM = makeLocalMinimizer(GetParam());
-  MinimizeResult Res = LM->minimize(paperQuadratic(), {20.0, -13.0});
+  MinimizeResult Res = LM->minimize(paperQuadratic, {20.0, -13.0});
   EXPECT_NEAR(Res.X[0], 3.0, 1e-3);
   EXPECT_NEAR(Res.X[1], 5.0, 1e-3);
   EXPECT_LT(Res.Fx, 1e-5);
@@ -104,7 +106,7 @@ TEST_P(LocalMinimizerParamTest, SolvesPaperQuadratic) {
 
 TEST_P(LocalMinimizerParamTest, ConvergesOntoFig2aPlateau) {
   auto LM = makeLocalMinimizer(GetParam());
-  MinimizeResult Res = LM->minimize(fig2a(), {7.5});
+  MinimizeResult Res = LM->minimize(fig2a, {7.5});
   EXPECT_EQ(Res.Fx, 0.0);
   EXPECT_LE(Res.X[0], 1.0 + 1e-6);
 }
@@ -114,7 +116,7 @@ TEST_P(LocalMinimizerParamTest, RespectsEvaluationBudget) {
   Opts.MaxEvaluations = 50;
   auto LM = makeLocalMinimizer(GetParam(), Opts);
   uint64_t Calls = 0;
-  Objective F = [&](const std::vector<double> &X) {
+  auto F = [&](const double *X, size_t) {
     ++Calls;
     return X[0] * X[0] + X[1] * X[1] + X[2] * X[2];
   };
@@ -126,17 +128,35 @@ TEST_P(LocalMinimizerParamTest, RespectsEvaluationBudget) {
 
 TEST_P(LocalMinimizerParamTest, EmptyStartIsSafe) {
   auto LM = makeLocalMinimizer(GetParam());
-  MinimizeResult Res = LM->minimize(paperQuadratic(), {});
+  MinimizeResult Res = LM->minimize(paperQuadratic, {});
   EXPECT_TRUE(Res.X.empty());
 }
 
 TEST_P(LocalMinimizerParamTest, NeverIncreasesObjective) {
   auto LM = makeLocalMinimizer(GetParam());
-  Objective F = paperQuadratic();
   std::vector<double> Start = {42.0, 17.0};
-  double FStart = F(Start);
-  MinimizeResult Res = LM->minimize(F, Start);
+  double FStart = paperQuadratic(Start.data(), Start.size());
+  MinimizeResult Res = LM->minimize(paperQuadratic, Start);
   EXPECT_LE(Res.Fx, FStart);
+}
+
+TEST_P(LocalMinimizerParamTest, ReusedInstanceRepeatsExactly) {
+  // The per-instance workspace must not leak state between runs: the same
+  // minimizer object run twice from the same start produces bit-identical
+  // trajectories.
+  auto LM = makeLocalMinimizer(GetParam());
+  MinimizeResult First = LM->minimize(paperQuadratic, {20.0, -13.0});
+  MinimizeResult Second = LM->minimize(paperQuadratic, {20.0, -13.0});
+  ASSERT_EQ(First.X.size(), Second.X.size());
+  for (size_t I = 0; I < First.X.size(); ++I)
+    EXPECT_EQ(First.X[I], Second.X[I]);
+  EXPECT_EQ(First.Fx, Second.Fx);
+  EXPECT_EQ(First.NumEvals, Second.NumEvals);
+  // And a run at a different arity in between must not disturb that.
+  LM->minimize(fig2a, {7.5});
+  MinimizeResult Third = LM->minimize(paperQuadratic, {20.0, -13.0});
+  EXPECT_EQ(First.Fx, Third.Fx);
+  EXPECT_EQ(First.NumEvals, Third.NumEvals);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllLocalMinimizers, LocalMinimizerParamTest,
@@ -154,7 +174,7 @@ INSTANTIATE_TEST_SUITE_P(AllLocalMinimizers, LocalMinimizerParamTest,
 
 TEST(IdentityMinimizerTest, ReturnsStartUnchanged) {
   auto LM = makeLocalMinimizer(LocalMinimizerKind::None);
-  MinimizeResult Res = LM->minimize(paperQuadratic(), {9.0, 9.0});
+  MinimizeResult Res = LM->minimize(paperQuadratic, {9.0, 9.0});
   EXPECT_EQ(Res.X[0], 9.0);
   EXPECT_EQ(Res.X[1], 9.0);
   EXPECT_EQ(Res.NumEvals, 1u);
@@ -181,7 +201,7 @@ TEST_P(BasinhoppingSeedTest, EscapesLocalBasinOnFig2b) {
   Opts.NIter = 30;
   BasinhoppingMinimizer BH(Powell, Opts);
   Rng Rng(GetParam());
-  MinimizeResult Res = BH.minimize(fig2b(), {6.0}, Rng);
+  MinimizeResult Res = BH.minimize(fig2b, {6.0}, Rng);
   EXPECT_LT(Res.Fx, 1e-8) << "stuck at x=" << Res.X[0];
 }
 
@@ -200,7 +220,7 @@ TEST(BasinhoppingTest, CallbackStopsEarly) {
         ++Calls;
         return true;
       };
-  MinimizeResult Res = BH.minimize(paperQuadratic(), {0.0, 0.0}, Rng,
+  MinimizeResult Res = BH.minimize(paperQuadratic, {0.0, 0.0}, Rng,
                                    StopImmediately);
   EXPECT_TRUE(Res.StoppedByCallback);
   EXPECT_EQ(Calls, 1u);
@@ -213,10 +233,10 @@ TEST(BasinhoppingTest, TracksBestEverSample) {
   Opts.NIter = 20;
   BasinhoppingMinimizer BH(Powell, Opts);
   Rng Rng(5);
-  Objective F = paperQuadratic();
-  MinimizeResult Res = BH.minimize(F, {100.0, 100.0}, Rng);
-  EXPECT_LE(Res.Fx, F({100.0, 100.0}));
-  EXPECT_DOUBLE_EQ(Res.Fx, F(Res.X));
+  std::vector<double> Start = {100.0, 100.0};
+  MinimizeResult Res = BH.minimize(paperQuadratic, Start, Rng);
+  EXPECT_LE(Res.Fx, paperQuadratic(Start.data(), Start.size()));
+  EXPECT_DOUBLE_EQ(Res.Fx, paperQuadratic(Res.X.data(), Res.X.size()));
 }
 
 TEST(BasinhoppingTest, RespectsEvaluationBudget) {
@@ -227,7 +247,7 @@ TEST(BasinhoppingTest, RespectsEvaluationBudget) {
   BasinhoppingMinimizer BH(Powell, Opts);
   Rng Rng(7);
   uint64_t Calls = 0;
-  Objective F = [&](const std::vector<double> &X) {
+  auto F = [&](const double *X, size_t) {
     ++Calls;
     return std::sin(X[0]) + 0.01 * X[0] * X[0] + 2.0;
   };
@@ -239,7 +259,7 @@ TEST(BasinhoppingTest, EmptyStartIsSafe) {
   PowellMinimizer Powell;
   BasinhoppingMinimizer BH(Powell);
   Rng Rng(1);
-  MinimizeResult Res = BH.minimize(paperQuadratic(), {}, Rng);
+  MinimizeResult Res = BH.minimize(paperQuadratic, {}, Rng);
   EXPECT_TRUE(Res.X.empty());
 }
 
@@ -252,28 +272,109 @@ TEST(SimulatedAnnealingTest, SolvesFig2b) {
   Opts.NumSteps = 20000;
   SimulatedAnnealingMinimizer SA(Opts);
   Rng Rng(11);
-  MinimizeResult Res = SA.minimize(fig2b(), {6.0}, Rng);
+  MinimizeResult Res = SA.minimize(fig2b, {6.0}, Rng);
   EXPECT_LT(Res.Fx, 1e-3);
 }
 
 TEST(SimulatedAnnealingTest, StopsAtExactZero) {
   SimulatedAnnealingMinimizer SA;
   Rng Rng(13);
-  MinimizeResult Res = SA.minimize(fig2a(), {3.0}, Rng);
+  MinimizeResult Res = SA.minimize(fig2a, {3.0}, Rng);
   EXPECT_EQ(Res.Fx, 0.0);
   EXPECT_TRUE(Res.Converged);
 }
 
 //===----------------------------------------------------------------------===//
-// CountingObjective
+// ObjectiveFn and CountingObjective
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// A span callable used by the binding tests below.
+struct SpanCallee {
+  double operator()(const double *X, size_t) { return X[0] * 2.0; }
+};
+
+/// A callee with a dedicated batch path, to verify evalBatch dispatch.
+struct BatchCallee {
+  unsigned BatchCalls = 0;
+  double eval(const double *X, size_t) { return X[0] + 1.0; }
+  void evalBatch(const double *Xs, size_t Count, size_t N, double *Out) {
+    ++BatchCalls;
+    for (size_t I = 0; I < Count; ++I)
+      Out[I] = eval(Xs + I * N, N);
+  }
+};
+
+} // namespace
+
+TEST(ObjectiveFnTest, BindsCallablesAndPlainFunctions) {
+  SpanCallee Callee;
+  ObjectiveFn FromObject(Callee);
+  double X = 21.0;
+  EXPECT_EQ(FromObject(&X, 1), 42.0);
+
+  ObjectiveFn FromFunction(fig2a);
+  double Y = 0.5;
+  EXPECT_EQ(FromFunction(&Y, 1), 0.0);
+}
+
+TEST(ObjectiveFnTest, RejectsTemporaryCallees) {
+  // The CountingObjective regression this interface exists for: the old
+  // `CountingObjective C(FR.asObjective())` bound a dead temporary by
+  // reference. ObjectiveFn only binds lvalues, so the same mistake now
+  // fails to compile instead of dangling.
+  static_assert(!std::is_constructible_v<ObjectiveFn, SpanCallee &&>,
+                "ObjectiveFn must not bind rvalue callees");
+  static_assert(!std::is_constructible_v<ObjectiveFn, const SpanCallee &&>,
+                "ObjectiveFn must not bind const rvalue callees either");
+  static_assert(std::is_constructible_v<ObjectiveFn, SpanCallee &>,
+                "ObjectiveFn must bind lvalue callees");
+}
+
+TEST(ObjectiveFnTest, DefaultBatchLoopsOverEval) {
+  SpanCallee Callee;
+  ObjectiveFn Fn(Callee);
+  double Xs[3] = {1.0, 2.0, 3.0};
+  double Out[3] = {};
+  Fn.evalBatch(Xs, 3, 1, Out);
+  EXPECT_EQ(Out[0], 2.0);
+  EXPECT_EQ(Out[1], 4.0);
+  EXPECT_EQ(Out[2], 6.0);
+}
+
+TEST(ObjectiveFnTest, ForwardsToCalleeBatchPath) {
+  BatchCallee Callee;
+  ObjectiveFn Fn(Callee);
+  double Xs[4] = {1.0, 2.0, 3.0, 4.0};
+  double Out[2] = {};
+  Fn.evalBatch(Xs, 2, 2, Out); // two rows of arity 2
+  EXPECT_EQ(Callee.BatchCalls, 1u);
+  EXPECT_EQ(Out[0], 2.0);
+  EXPECT_EQ(Out[1], 4.0);
+}
+
 TEST(CountingObjectiveTest, CountsAndSanitizesNaN) {
-  Objective F = [](const std::vector<double> &X) {
+  auto F = [](const double *X, size_t) {
     return X[0] == 0.0 ? std::nan("") : X[0];
   };
-  CountingObjective Counted(F);
-  EXPECT_EQ(Counted({0.0}), NaNPenalty);
-  EXPECT_EQ(Counted({5.0}), 5.0);
+  CountingObjective Counted{ObjectiveFn(F)};
+  double Zero = 0.0, Five = 5.0;
+  EXPECT_EQ(Counted.eval(&Zero, 1), NaNPenalty);
+  EXPECT_EQ(Counted.eval(&Five, 1), 5.0);
   EXPECT_EQ(Counted.numEvals(), 2u);
+}
+
+TEST(CountingObjectiveTest, BatchCountsAndSanitizesPerRow) {
+  auto F = [](const double *X, size_t) {
+    return X[0] == 0.0 ? std::nan("") : X[0];
+  };
+  CountingObjective Counted{ObjectiveFn(F)};
+  double Xs[3] = {4.0, 0.0, -2.0};
+  double Out[3] = {};
+  Counted.evalBatch(Xs, 3, 1, Out);
+  EXPECT_EQ(Out[0], 4.0);
+  EXPECT_EQ(Out[1], NaNPenalty);
+  EXPECT_EQ(Out[2], -2.0);
+  EXPECT_EQ(Counted.numEvals(), 3u);
 }

@@ -592,12 +592,50 @@ TEST(RepresentingFunctionTest, ExecuteLeavesPenDisabled) {
   EXPECT_EQ(Ctx.R, 1.0);
 }
 
-TEST(RepresentingFunctionTest, ObjectiveAdapterAgrees) {
+TEST(RepresentingFunctionTest, ObjectiveFnBindingAgrees) {
   Program P = fooProgram();
   ExecutionContext Ctx(P.NumSites);
   Ctx.saturate({1, false});
   RepresentingFunction FR(P, Ctx);
-  Objective Obj = FR.asObjective();
+  ObjectiveFn Obj(FR);
   for (double X : {-2.0, 0.0, 1.5})
-    EXPECT_EQ(Obj({X}), FR({X}));
+    EXPECT_EQ(Obj(&X, 1), FR({X}));
+}
+
+TEST(RepresentingFunctionTest, BoundRunMatchesPerCallPath) {
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  Ctx.saturate({1, false});
+  RepresentingFunction FR(P, Ctx);
+  // Per-call values, through the scope-per-call path.
+  const double Points[] = {-2.0, -0.5, 0.0, 1.0, 1.5, 7.25};
+  double PerCall[6];
+  for (int I = 0; I < 6; ++I)
+    PerCall[I] = FR({Points[I]});
+  // The bound fast path: one scope install for the whole run, raw body
+  // calls per probe, and a batched variant. All must agree bit-for-bit.
+  {
+    RepresentingFunction::BoundRun Run(FR);
+    for (int I = 0; I < 6; ++I)
+      EXPECT_EQ(Run.eval(&Points[I], 1), PerCall[I]) << "at " << Points[I];
+  }
+  double Batched[6];
+  FR.evalBatch(Points, 6, 1, Batched);
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(Batched[I], PerCall[I]) << "at " << Points[I];
+}
+
+TEST(RepresentingFunctionTest, BoundRunRestoresPenAndScope) {
+  Program P = fooProgram();
+  ExecutionContext Ctx(P.NumSites);
+  RepresentingFunction FR(P, Ctx);
+  Ctx.PenEnabled = false;
+  EXPECT_EQ(ExecutionContext::current(), nullptr);
+  {
+    RepresentingFunction::BoundRun Run(FR);
+    EXPECT_TRUE(Ctx.PenEnabled);
+    EXPECT_EQ(ExecutionContext::current(), &Ctx);
+  }
+  EXPECT_FALSE(Ctx.PenEnabled);
+  EXPECT_EQ(ExecutionContext::current(), nullptr);
 }
