@@ -10,13 +10,18 @@
 //
 //   * frontend throughput (parse + Sema per compile) and bytecode
 //     compile throughput (AST -> instruction stream),
-//   * one plain body evaluation: native port vs tree-walker vs VM,
+//   * one plain body evaluation: native port vs tree-walker vs VM — the
+//     VM in its default shape (computed-goto dispatch where compiled in,
+//     superinstruction fusion on) plus ablation lanes for switch dispatch
+//     and the unfused stream,
 //   * one FOO_R evaluation (hooks firing, pen updating r) on both tiers,
+//     scalar and through the batched probe entry (Vm::runBatch),
 //   * an entire campaign (Algorithm 1 end to end) on both tiers.
 //
-// `--json[=path]` writes BENCH_interp.json with the measured rates and the
-// derived `vm_speedup` (tree-walker ns / VM ns per plain evaluation),
-// which CI gates at >= 2x.
+// `--json[=path]` writes BENCH_interp.json with the measured rates, the
+// resolved dispatch mode, the fusion-pass stats of the compiled unit, and
+// the derived `vm_speedup` (tree-walker ns / VM ns per plain evaluation),
+// which CI gates at >= 4x.
 //
 // Usage: bench_interp [--json[=path]] [--evals=N]
 //
@@ -27,6 +32,7 @@
 #include "fdlibm/Fdlibm.h"
 #include "lang/Sema.h"
 #include "lang/SourceProgram.h"
+#include "lang/Vm.h"
 #include "runtime/ExecutionContext.h"
 #include "runtime/RepresentingFunction.h"
 #include "support/Timer.h"
@@ -99,6 +105,25 @@ double nsPerRepresentingEval(const Program &P, unsigned Evals) {
   return Secs * 1e9 / Evals;
 }
 
+/// ns per FOO_R probe through the batched entry: whole generations go
+/// down in one evalBatch call, the shape CMA-ES/DE produce.
+double nsPerBatchedRepresentingEval(const Program &P, unsigned Evals) {
+  ExecutionContext Ctx(P.NumSites);
+  RepresentingFunction FR(P, Ctx);
+  constexpr unsigned Rows = 256; // one CMA-ES-sized generation
+  std::vector<double> Xs(static_cast<size_t>(Rows) * P.Arity, 0.75);
+  for (unsigned R = 0; R < Rows; ++R)
+    Xs[static_cast<size_t>(R) * P.Arity] =
+        0.75 + 1e-9 * static_cast<double>(R);
+  std::vector<double> Out(Rows);
+  unsigned Batches = Evals / Rows ? Evals / Rows : 1;
+  double Secs = bestOf3(Batches, [&](unsigned) {
+    FR.evalBatch(Xs.data(), Rows, P.Arity, Out.data());
+    Sink = Out[Rows - 1];
+  });
+  return Secs * 1e9 / (static_cast<double>(Batches) * Rows);
+}
+
 /// Wall milliseconds for one full campaign (Algorithm 1, NStart=100).
 double campaignMs(const Program &P) {
   WallTimer T;
@@ -157,32 +182,53 @@ int main(int Argc, char **Argv) {
   });
   double BytecodeUs = CompileSecs * 1e6 / Compiles;
 
-  // The three bodies: native port, tree-walker, VM.
+  // The bodies: native port, tree-walker, and the VM in its default
+  // shape plus the two ablation configurations (switch dispatch with
+  // fusion; default dispatch over the unfused stream).
   SourceProgramOptions TreeOpts;
   TreeOpts.Tier = ExecutionTier::TreeWalker;
   SourceProgram TreeSP = compileSourceProgram(TanhSource, "tanh", TreeOpts);
   SourceProgram VmSP = compileSourceProgram(TanhSource, "tanh");
+  SourceProgramOptions SwitchOpts;
+  SwitchOpts.Interp.Dispatch = lang::VmDispatch::Switch;
+  SourceProgram VmSwitchSP =
+      compileSourceProgram(TanhSource, "tanh", SwitchOpts);
+  SourceProgramOptions UnfusedOpts;
+  UnfusedOpts.Fuse = false;
+  SourceProgram VmUnfusedSP =
+      compileSourceProgram(TanhSource, "tanh", UnfusedOpts);
   const Program *Native = fdlibm::lookup("tanh");
-  if (!TreeSP.success() || !VmSP.success() || !Native) {
+  if (!TreeSP.success() || !VmSP.success() || !VmSwitchSP.success() ||
+      !VmUnfusedSP.success() || !Native) {
     std::fprintf(stderr, "tier setup failed:\n%s\n%s\n",
                  TreeSP.diagnosticsText().c_str(),
                  VmSP.diagnosticsText().c_str());
     return 1;
   }
+  const bc::OptStats &Fusion = VmSP.Code->Stats;
+  const char *DispatchMode =
+      bc::Vm::cgotoAvailable() ? "cgoto" : "switch";
 
   double NativeNs = bench::nsPerBodyEval(*Native, Evals * 4);
   double InterpNs = bench::nsPerBodyEval(TreeSP.Prog, Evals);
   double VmNs = bench::nsPerBodyEval(VmSP.Prog, Evals * 4);
+  double VmSwitchNs = bench::nsPerBodyEval(VmSwitchSP.Prog, Evals * 4);
+  double VmUnfusedNs = bench::nsPerBodyEval(VmUnfusedSP.Prog, Evals * 4);
   double VmSpeedup = InterpNs / VmNs;
 
   double InterpRNs = nsPerRepresentingEval(TreeSP.Prog, Evals);
   double VmRNs = nsPerRepresentingEval(VmSP.Prog, Evals * 4);
+  double VmBatchRNs = nsPerBatchedRepresentingEval(VmSP.Prog, Evals * 4);
   double VmRSpeedup = InterpRNs / VmRNs;
 
   double InterpCampaign = campaignMs(TreeSP.Prog);
   double VmCampaign = campaignMs(VmSP.Prog);
 
   std::printf("Execution-tier benchmarks on s_tanh.c (Fig. 1)\n\n");
+  std::printf("dispatch %s, fusion on: %u superinsns (%u -> %u insns), "
+              "pool %u slots\n\n",
+              DispatchMode, Fusion.Superinsns, Fusion.InsnsBeforeFusion,
+              Fusion.InsnsAfterFusion, Fusion.PoolSize);
   std::printf("frontend (parse + Sema)        %10.1f us/compile\n",
               FrontendUs);
   std::printf("bytecode compile               %10.1f us/compile\n\n",
@@ -190,11 +236,14 @@ int main(int Argc, char **Argv) {
   std::printf("plain evaluation               native %8.1f ns | "
               "tree-walker %8.1f ns | VM %8.1f ns\n",
               NativeNs, InterpNs, VmNs);
-  std::printf("  VM speedup over tree-walker  %10.2fx (CI gate: >= 2x)\n",
+  std::printf("  VM ablations                 switch-dispatch %8.1f ns | "
+              "unfused %8.1f ns\n",
+              VmSwitchNs, VmUnfusedNs);
+  std::printf("  VM speedup over tree-walker  %10.2fx (CI gate: >= 4x)\n",
               VmSpeedup);
   std::printf("FOO_R evaluation (pen live)    tree-walker %8.1f ns | "
-              "VM %8.1f ns  (%.2fx)\n",
-              InterpRNs, VmRNs, VmRSpeedup);
+              "VM %8.1f ns  (%.2fx) | VM batched %8.1f ns\n",
+              InterpRNs, VmRNs, VmRSpeedup, VmBatchRNs);
   std::printf("campaign, n_start=100          tree-walker %8.1f ms | "
               "VM %8.1f ms\n",
               InterpCampaign, VmCampaign);
@@ -210,20 +259,31 @@ int main(int Argc, char **Argv) {
         "{\n"
         "  \"bench\": \"interp\",\n"
         "  \"evals\": %u,\n"
+        "  \"dispatch_mode\": \"%s\",\n"
+        "  \"fusion\": {\"enabled\": %s, \"superinsns\": %u, "
+        "\"insns_before\": %u, \"insns_after\": %u, \"pool_slots\": %u, "
+        "\"pool_requests\": %u},\n"
         "  \"frontend_us_per_compile\": %.3f,\n"
         "  \"bytecode_compile_us_per_compile\": %.3f,\n"
         "  \"native_ns_per_eval\": %.3f,\n"
         "  \"interp_ns_per_eval\": %.3f,\n"
         "  \"vm_ns_per_eval\": %.3f,\n"
+        "  \"vm_switch_ns_per_eval\": %.3f,\n"
+        "  \"vm_unfused_ns_per_eval\": %.3f,\n"
         "  \"vm_speedup\": %.3f,\n"
         "  \"interp_foo_r_ns_per_eval\": %.3f,\n"
         "  \"vm_foo_r_ns_per_eval\": %.3f,\n"
+        "  \"vm_foo_r_batch_ns_per_eval\": %.3f,\n"
         "  \"vm_foo_r_speedup\": %.3f,\n"
         "  \"interp_campaign_ms\": %.3f,\n"
         "  \"vm_campaign_ms\": %.3f\n"
         "}\n",
-        Evals, FrontendUs, BytecodeUs, NativeNs, InterpNs, VmNs, VmSpeedup,
-        InterpRNs, VmRNs, VmRSpeedup, InterpCampaign, VmCampaign);
+        Evals, DispatchMode, Fusion.FusionEnabled ? "true" : "false",
+        Fusion.Superinsns, Fusion.InsnsBeforeFusion,
+        Fusion.InsnsAfterFusion, Fusion.PoolSize, Fusion.PoolRequests,
+        FrontendUs, BytecodeUs, NativeNs, InterpNs, VmNs, VmSwitchNs,
+        VmUnfusedNs, VmSpeedup, InterpRNs, VmRNs, VmBatchRNs, VmRSpeedup,
+        InterpCampaign, VmCampaign);
     std::fclose(F);
     std::printf("\nwrote %s\n", JsonPath.c_str());
   }

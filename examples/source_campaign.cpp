@@ -17,11 +17,15 @@
 //   source_campaign [flags]              # built-in Fig. 1 tanh demo
 //   source_campaign [flags] foo.c entry  # campaign over entry() in foo.c
 //   flags: --tier=vm|interp  --threads=N
+//          --disasm     print the compiled unit's bytecode (with the
+//                       peephole pass's superinstructions) and exit
+//          --no-fuse    compile without the superinstruction pass
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/CampaignEngine.h"
 #include "core/CoverMe.h"
+#include "lang/Disasm.h"
 #include "lang/SourceProgram.h"
 #include "runtime/Coverage.h"
 
@@ -92,18 +96,23 @@ bool readFile(const char *Path, std::string &Out) {
 int main(int argc, char **argv) {
   lang::SourceProgramOptions SPOpts;
   unsigned Threads = 1;
+  bool Disasm = false;
   std::vector<const char *> Positional;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--tier=vm") == 0) {
       SPOpts.Tier = lang::ExecutionTier::Bytecode;
     } else if (std::strcmp(argv[I], "--tier=interp") == 0) {
       SPOpts.Tier = lang::ExecutionTier::TreeWalker;
+    } else if (std::strcmp(argv[I], "--disasm") == 0) {
+      Disasm = true;
+    } else if (std::strcmp(argv[I], "--no-fuse") == 0) {
+      SPOpts.Fuse = false;
     } else if (std::strncmp(argv[I], "--threads=", 10) == 0) {
       Threads = static_cast<unsigned>(std::atoi(argv[I] + 10));
     } else if (std::strncmp(argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--tier=vm|interp] [--threads=N] "
-                   "[foo.c entry]\n",
+                   "usage: %s [--tier=vm|interp] [--threads=N] [--disasm] "
+                   "[--no-fuse] [foo.c entry]\n",
                    argv[0]);
       return 2;
     } else {
@@ -133,6 +142,16 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "frontend errors:\n%s\n",
                  SP.diagnosticsText().c_str());
     return 1;
+  }
+
+  if (Disasm) {
+    if (!SP.Code) {
+      std::fprintf(stderr,
+                   "--disasm requires the bytecode tier (drop --tier=interp)\n");
+      return 2;
+    }
+    std::fputs(lang::bc::disassemble(*SP.Code).c_str(), stdout);
+    return 0;
   }
 
   std::printf("frontend: %u conditional sites -> %u branches, arity %u\n",

@@ -16,7 +16,8 @@
 ///    must produce the bit-identical return value, fire the same rt::cond
 ///    hooks in the same order with the same operands, and trap (to NaN) in
 ///    the same situations as lang/Interp — the differential suite in
-///    tests/VmDifferentialTest.cpp holds both tiers to this.
+///    tests/VmDifferentialTest.cpp holds both tiers to this, across every
+///    dispatch mode and with the superinstruction pass on or off.
 /// 2. *Shared code, private state.* A CompiledUnit is never written after
 ///    compileUnit returns; all mutable state (operand stack, frame arena,
 ///    global arena copy, step budget) lives in the Vm, so VM-backed
@@ -25,12 +26,25 @@
 ///    is typed at compile time and the VM's value slots are untagged 8-byte
 ///    unions — no runtime type dispatch, no per-node allocation, and fused
 ///    unchecked frame/global accesses for the Sema-laid-out variables that
-///    dominate Fdlibm code.
+///    dominate Fdlibm code. On top of that, the compiler's peephole pass
+///    (Compiler.cpp) collapses the measured-hot instruction pairs/triples
+///    into superinstructions, and the VM dispatches with computed-goto
+///    direct threading where the toolchain supports it.
 ///
 /// Pointers use the same encoding as the interpreter's arenas: an address
 /// space tag in the top byte (0 null, 1 global, 2 frame) over a 32-bit
 /// byte offset, so word-twiddling like `*(1 + (int *)&x)` resolves to the
 /// identical bytes in both tiers.
+///
+/// Step budgeting is block-granular: every instruction carries the step
+/// cost of the original (unfused) sequence it stands for, and
+/// CompiledUnit::BlockCost[PC] pre-sums the costs of the straight-line run
+/// from PC through its terminating control transfer. The VM charges the
+/// budget once per basic block (at entry, jumps, calls and returns) rather
+/// than once per instruction; because fused instructions carry their
+/// original cost, the budget trajectory — and therefore the exhaustion
+/// point — is identical across fused/unfused streams and both dispatch
+/// modes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,125 +87,197 @@ inline Space ptrSpace(uint64_t Bits) {
 }
 inline uint32_t ptrOffset(uint64_t Bits) { return static_cast<uint32_t>(Bits); }
 
-/// Instruction opcodes. Suffix convention: D double, I canonical int32,
-/// U canonical uint32, P encoded pointer, 32 "both integer types" (the
-/// result is re-canonicalized by a following U2I when the static result
-/// type is int).
+/// The full opcode list as an X-macro, so the Op enum, the computed-goto
+/// label table in Vm.cpp, and the disassembler's name table are generated
+/// from one source and can never drift out of sync. Suffix convention:
+/// D double, I canonical int32, U canonical uint32, P encoded pointer,
+/// 32 "both integer types". The block after Halt holds the peephole pass's
+/// superinstructions (see Compiler.cpp for the patterns they replace).
+#define COVERME_VM_OPCODES(X)                                                  \
+  /* constants */                                                              \
+  X(ConstD) /* push DoublePool[A] */                                           \
+  X(ConstI) /* push int32(A), sign-extended */                                 \
+  X(ConstU) /* push uint32(A), zero-extended */                                \
+  /* operand-stack shuffling */                                                \
+  X(Pop)                                                                       \
+  X(Dup)  /* [x] -> [x x] */                                                   \
+  X(Swap) /* [x y] -> [y x] */                                                 \
+  X(Rot)  /* [x y z] -> [y z x] */                                             \
+  /* addresses */                                                              \
+  X(AddrG) /* push global pointer at byte offset A */                          \
+  X(AddrF) /* push frame pointer at FrameBase + A */                           \
+  /* checked accesses through a pointer on the stack */                        \
+  X(LoadI) /* pop ptr, push sign-extended int32 at ptr */                      \
+  X(LoadU)                                                                     \
+  X(LoadD)                                                                     \
+  X(LoadP)                                                                     \
+  X(StoreI) /* pop value, pop ptr, store; B != 0: push the value back */       \
+  X(StoreU)                                                                    \
+  X(StoreD)                                                                    \
+  X(StoreP)                                                                    \
+  /* fused unchecked accesses (Sema-laid-out variables) */                     \
+  X(LdFI) /* push frame var at offset A (always within FrameBytes) */          \
+  X(LdFU)                                                                      \
+  X(LdFD)                                                                      \
+  X(LdFP)                                                                      \
+  X(LdGI) /* push global var at offset A (always within GlobalBytes) */        \
+  X(LdGU)                                                                      \
+  X(LdGD)                                                                      \
+  X(LdGP)                                                                      \
+  X(StFI) /* pop value, store to frame offset A; B != 0: push it back */       \
+  X(StFU)                                                                      \
+  X(StFD)                                                                      \
+  X(StFP)                                                                      \
+  X(StGI)                                                                      \
+  X(StGU)                                                                      \
+  X(StGD)                                                                      \
+  X(StGP)                                                                      \
+  X(ZeroF) /* zero frame bytes [A, A+B) — local array bring-up */              \
+  X(ZeroG) /* zero global bytes [A, A+B) */                                    \
+  /* double arithmetic */                                                      \
+  X(AddD)                                                                      \
+  X(SubD)                                                                      \
+  X(MulD)                                                                      \
+  X(DivD) /* IEEE: x/0 yields inf/NaN, never traps */                          \
+  X(NegD)                                                                      \
+  /* int32 arithmetic (wrapping; division traps on zero) */                    \
+  X(AddI)                                                                      \
+  X(SubI)                                                                      \
+  X(MulI)                                                                      \
+  X(DivI) /* INT_MIN / -1 wraps rather than UB, as the interpreter does */     \
+  X(RemI)                                                                      \
+  X(NegI)                                                                      \
+  X(AddU)                                                                      \
+  X(SubU)                                                                      \
+  X(MulU)                                                                      \
+  X(DivU)                                                                      \
+  X(RemU)                                                                      \
+  X(NegU)                                                                      \
+  X(ShlI) /* pop uint32 amount (masked & 31), pop int32, shift */              \
+  X(ShrI) /* arithmetic shift, as Fdlibm assumes */                            \
+  X(ShlU)                                                                      \
+  X(ShrU)                                                                      \
+  X(And32) /* pop two, push zero-extended (a & b) over the low 32 bits */      \
+  X(Or32)                                                                      \
+  X(Xor32)                                                                     \
+  X(NotI) /* bitwise complement, canonical int */                              \
+  X(NotU)                                                                      \
+  /* truthiness */                                                             \
+  X(BoolI) /* [v] -> [v != 0] as int 0/1 */                                    \
+  X(BoolD)                                                                     \
+  X(BoolP) /* non-null test on the space tag, matching Interp's truthy() */    \
+  X(LogNotI)                                                                   \
+  X(LogNotD)                                                                   \
+  X(LogNotP)                                                                   \
+  /* conversions (slot renormalization) */                                     \
+  X(I2D)                                                                       \
+  X(U2D)                                                                       \
+  X(D2I) /* saturating truncation, NaN -> 0 (Interp's truncToInt32) */         \
+  X(D2U)                                                                       \
+  X(I2U)                                                                       \
+  X(U2I)                                                                       \
+  X(I2P) /* 0 becomes the null pointer; anything else traps */                 \
+  /* comparisons: A = CmpOp; pop R, pop L, push int 0/1 */                     \
+  X(CmpD)                                                                      \
+  X(CmpI)                                                                      \
+  X(CmpU)                                                                      \
+  X(CmpP)     /* full encoded-pointer compare, identical to Interp */          \
+  X(PNullCmp) /* pop ptr; push (A != 0 ? ptr is null : ptr is non-null) */     \
+  /* pointer arithmetic */                                                     \
+  X(PtrAdd) /* pop int32 index, pop ptr; offset += index * A (B: -=) */        \
+  /* control flow: A = absolute instruction index */                           \
+  X(Jump)                                                                      \
+  X(JfI) /* pop, jump when falsy */                                            \
+  X(JfD)                                                                       \
+  X(JfP)                                                                       \
+  X(JtI) /* pop, jump when truthy */                                           \
+  X(JtD)                                                                       \
+  X(JtP)                                                                       \
+  /* instrumentation: pop b, pop a (doubles per Sect. 5.3), push              \
+     rt::cond(A, CmpOp(B), a, b) as int 0/1 */                                 \
+  X(CondSite)                                                                  \
+  /* calls */                                                                  \
+  X(Call)  /* A = function index; converted args on the operand stack */       \
+  X(CallB) /* A = BuiltinId, B = arity; double args (int for scalbn) */        \
+  X(RetV)  /* return from a void function */                                   \
+  X(Ret)   /* pop the (already converted) return slot, return it */            \
+  X(TrapOp) /* unconditional trap; A = index into TrapMessages */              \
+  X(Halt)   /* entry-thunk sentinel; stops the dispatch loop */                \
+  /* ---- superinstructions (Compiler.cpp peephole pass) ------------------ */ \
+  /* two frame loads + double arithmetic: push F[A] op F[B] */                 \
+  X(LdF2AddD)                                                                  \
+  X(LdF2SubD)                                                                  \
+  X(LdF2MulD)                                                                  \
+  X(LdF2DivD)                                                                  \
+  /* frame-load RHS + double arithmetic: top = top op F[A] */                  \
+  X(LdFAddD)                                                                   \
+  X(LdFSubD)                                                                   \
+  X(LdFMulD)                                                                   \
+  X(LdFDivD)                                                                   \
+  /* global-load RHS + double arithmetic: top = top op G[A] */                 \
+  X(LdGAddD)                                                                   \
+  X(LdGSubD)                                                                   \
+  X(LdGMulD)                                                                   \
+  X(LdGDivD)                                                                   \
+  /* constant RHS + double arithmetic: top = top op DoublePool[A] */           \
+  X(ConstAddD)                                                                 \
+  X(ConstSubD)                                                                 \
+  X(ConstMulD)                                                                 \
+  X(ConstDivD)                                                                 \
+  /* integer frame load widened to double (instrumented compares) */           \
+  X(LdFI2D) /* push (double)(int32)F[A] */                                     \
+  X(LdFU2D) /* push (double)(uint32)F[A] */                                    \
+  /* instrumented compare-then-branch: pop b, pop a, fire                     \
+     rt::cond(B >> 3, CmpOp(B & 7), a, b), jump to A on false/true */          \
+  X(CondSiteJf)                                                                \
+  X(CondSiteJt)                                                                \
+  /* plain double compare-then-branch: pop b, pop a, jump to A when           \
+     (a CmpOp(B) b) is false/true */                                           \
+  X(CmpDJf)                                                                    \
+  X(CmpDJt)
+
+/// Instruction opcodes, generated from COVERME_VM_OPCODES.
 enum class Op : uint8_t {
-  // ---- constants ----------------------------------------------------------
-  ConstD, ///< push DoublePool[A]
-  ConstI, ///< push int32(A), sign-extended
-  ConstU, ///< push uint32(A), zero-extended
-  // ---- operand-stack shuffling -------------------------------------------
-  Pop,
-  Dup,  ///< [x] -> [x x]
-  Swap, ///< [x y] -> [y x]
-  Rot,  ///< [x y z] -> [y z x] (bottom of the top three to the top)
-  // ---- addresses ----------------------------------------------------------
-  AddrG, ///< push global pointer at byte offset A
-  AddrF, ///< push frame pointer at FrameBase + A
-  // ---- checked accesses through a pointer on the stack -------------------
-  LoadI, ///< pop ptr, push sign-extended int32 at ptr
-  LoadU,
-  LoadD,
-  LoadP,
-  StoreI, ///< pop value, pop ptr, store; B != 0: push the value back
-  StoreU,
-  StoreD,
-  StoreP,
-  // ---- fused unchecked accesses (Sema-laid-out variables) ----------------
-  LdFI, ///< push frame var at offset A (always within FrameBytes)
-  LdFU,
-  LdFD,
-  LdFP,
-  LdGI, ///< push global var at offset A (always within GlobalBytes)
-  LdGU,
-  LdGD,
-  LdGP,
-  StFI, ///< pop value, store to frame offset A; B != 0: push it back
-  StFU,
-  StFD,
-  StFP,
-  StGI,
-  StGU,
-  StGD,
-  StGP,
-  ZeroF, ///< zero frame bytes [A, A+B) — local array bring-up
-  ZeroG, ///< zero global bytes [A, A+B)
-  // ---- double arithmetic --------------------------------------------------
-  AddD,
-  SubD,
-  MulD,
-  DivD, ///< IEEE: x/0 yields inf/NaN, never traps
-  NegD,
-  // ---- int32 arithmetic (wrapping; division traps on zero) ---------------
-  AddI,
-  SubI,
-  MulI,
-  DivI, ///< INT_MIN / -1 wraps rather than UB, as the interpreter does
-  RemI,
-  NegI,
-  AddU,
-  SubU,
-  MulU,
-  DivU,
-  RemU,
-  NegU,
-  ShlI, ///< pop uint32 amount (masked & 31), pop int32, shift
-  ShrI, ///< arithmetic shift, as Fdlibm assumes
-  ShlU,
-  ShrU,
-  And32, ///< pop two, push zero-extended (a & b) over the low 32 bits
-  Or32,
-  Xor32,
-  NotI, ///< bitwise complement, canonical int
-  NotU,
-  // ---- truthiness ---------------------------------------------------------
-  BoolI, ///< [v] -> [v != 0] as int 0/1
-  BoolD,
-  BoolP, ///< non-null test on the space tag, matching Interp's truthy()
-  LogNotI,
-  LogNotD,
-  LogNotP,
-  // ---- conversions (slot renormalization) --------------------------------
-  I2D,
-  U2D,
-  D2I, ///< saturating truncation, NaN -> 0 (Interp's truncToInt32)
-  D2U,
-  I2U,
-  U2I,
-  I2P, ///< 0 becomes the null pointer; anything else traps
-  // ---- comparisons: A = CmpOp; pop R, pop L, push int 0/1 ----------------
-  CmpD,
-  CmpI,
-  CmpU,
-  CmpP,     ///< full encoded-pointer compare, identical to Interp
-  PNullCmp, ///< pop ptr; push (A != 0 ? ptr is null : ptr is non-null)
-  // ---- pointer arithmetic -------------------------------------------------
-  PtrAdd, ///< pop int32 index, pop ptr; offset += index * A (B != 0: -=)
-  // ---- control flow: A = absolute instruction index ----------------------
-  Jump,
-  JfI, ///< pop, jump when falsy
-  JfD,
-  JfP,
-  JtI, ///< pop, jump when truthy
-  JtD,
-  JtP,
-  // ---- instrumentation ----------------------------------------------------
-  /// The compiled form of the paper's pen injection: pop b, pop a (both
-  /// already promoted to double per Sect. 5.3), push
-  /// rt::cond(A, CmpOp(B), a, b) as int 0/1. Sites fire in the same order
-  /// with the same ids as the tree-walker because both read the numbering
-  /// Sema stamped on the statement nodes.
-  CondSite,
-  // ---- calls --------------------------------------------------------------
-  Call,  ///< A = function index; converted args on the operand stack
-  CallB, ///< A = BuiltinId, B = arity; double args (int for scalbn's 2nd)
-  RetV,  ///< return from a void function
-  Ret,   ///< pop the (already converted) return slot, return it
-  TrapOp, ///< unconditional trap; A = index into TrapMessages
-  Halt,   ///< entry-thunk sentinel; stops the dispatch loop
+#define COVERME_VM_OP_ENUM(Name) Name,
+  COVERME_VM_OPCODES(COVERME_VM_OP_ENUM)
+#undef COVERME_VM_OP_ENUM
 };
+
+/// Number of opcodes (the computed-goto label table must cover them all).
+inline constexpr size_t NumOpcodes = 0
+#define COVERME_VM_OP_COUNT(Name) +1
+    COVERME_VM_OPCODES(COVERME_VM_OP_COUNT)
+#undef COVERME_VM_OP_COUNT
+    ;
+
+/// Mnemonic of \p O, for the disassembler and diagnostics.
+const char *opName(Op O);
+
+/// True when \p O ends a basic block: the VM's block-granular budget
+/// accounting charges the next block at the transfer these perform.
+inline bool isBlockTerminator(Op O) {
+  switch (O) {
+  case Op::Jump:
+  case Op::JfI:
+  case Op::JfD:
+  case Op::JfP:
+  case Op::JtI:
+  case Op::JtD:
+  case Op::JtP:
+  case Op::CondSiteJf:
+  case Op::CondSiteJt:
+  case Op::CmpDJf:
+  case Op::CmpDJt:
+  case Op::Call:
+  case Op::Ret:
+  case Op::RetV:
+  case Op::TrapOp:
+  case Op::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
 
 /// libm builtins, resolved at compile time from Sema-validated call names.
 /// Mirrors Interp's callBuiltin table exactly (ldexp aliases scalbn).
@@ -231,10 +317,16 @@ enum class BuiltinId : uint32_t {
   Scalbn,
 };
 
-/// One instruction: opcode plus two immediate operands (jump targets are
-/// absolute indices into CompiledUnit::Code).
+/// One instruction: opcode, its step cost, and two immediate operands
+/// (jump targets are absolute indices into CompiledUnit::Code).
+///
+/// Cost is the number of budget units the instruction accounts for — 1
+/// for every compiler-emitted instruction, the size of the replaced
+/// sequence for a peephole superinstruction — so fused and unfused
+/// streams drain MaxSteps identically.
 struct Insn {
   Op Code;
+  uint8_t Cost = 1;
   uint32_t A = 0;
   uint32_t B = 0;
 };
@@ -253,6 +345,19 @@ struct FunctionInfo {
   std::vector<uint32_t> ParamOffsets; ///< Frame byte offsets, from Sema.
 };
 
+/// What the compiler's optimization passes did to this unit; surfaced by
+/// bench_interp --json and the disassembler header.
+struct OptStats {
+  bool FusionEnabled = false;
+  uint32_t InsnsBeforeFusion = 0; ///< Stream length before the peephole pass.
+  uint32_t InsnsAfterFusion = 0;  ///< ... and after (equal when disabled).
+  uint32_t Superinsns = 0;        ///< Fused instructions emitted.
+  uint32_t PoolRequests = 0;      ///< dconst calls (literal occurrences).
+  /// Final DoublePool slots: bit-pattern-deduplicated literals, plus any
+  /// constants the fusion pass folded (ConstI;I2D promotions).
+  uint32_t PoolSize = 0;
+};
+
 /// The immutable compiled unit. Safe to share across threads; every Vm
 /// holds a shared_ptr so the code outlives any Program body closure.
 struct CompiledUnit {
@@ -260,6 +365,11 @@ struct CompiledUnit {
   std::vector<double> DoublePool;
   std::vector<FunctionInfo> Functions;
   std::vector<std::string> TrapMessages;
+  /// BlockCost[PC] = sum of Insn::Cost from PC through the first block
+  /// terminator at or after PC (inclusive). The VM charges the step
+  /// budget against this once per basic block; meaningful at block heads,
+  /// defined for every PC. Rebuilt by Compiler after the peephole pass.
+  std::vector<uint32_t> BlockCost;
   /// Global arena contents after running every file-scope initializer in
   /// declaration order (computed once at compile time); each Vm starts
   /// from a copy, mirroring the interpreter's per-instance global arena.
@@ -268,6 +378,7 @@ struct CompiledUnit {
   unsigned NumSites = 0;
   uint32_t GlobalInitEntry = 0; ///< Init routine (ends in Halt).
   uint32_t GlobalInitMaxDepth = 0;
+  OptStats Stats;
 
   /// True when some function body may write global storage — directly, or
   /// by letting a global's address escape (see Compiler::noteGlobalEscape).

@@ -122,7 +122,7 @@ private:
   uint32_t here() const { return static_cast<uint32_t>(U.Code.size()); }
 
   uint32_t emit(Op O, uint32_t A = 0, uint32_t B = 0, int Delta = 0) {
-    U.Code.push_back({O, A, B});
+    U.Code.push_back({O, /*Cost=*/1, A, B});
     adj(Delta);
     return static_cast<uint32_t>(U.Code.size() - 1);
   }
@@ -141,6 +141,11 @@ private:
     uint64_t Bits;
     static_assert(sizeof(Bits) == sizeof(V), "IEEE binary64 expected");
     __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    // Deduplicate by bit pattern (0.0 and -0.0 stay distinct slots): every
+    // repeated literal — Fdlibm sources repeat `one`, `0.5`, `2**52`-style
+    // constants heavily — reuses its pool index. OptStats records the
+    // request/slot ratio so LangTest can pin the dedup.
+    ++U.Stats.PoolRequests;
     auto It = DPool.find(Bits);
     if (It != DPool.end())
       return It->second;
@@ -1305,10 +1310,253 @@ bool Compiler::run() {
   return Error.empty();
 }
 
+//===----------------------------------------------------------------------===//
+// Peephole / superinstruction fusion
+//===----------------------------------------------------------------------===//
+
+// fusedArithD below indexes each fused family by (opcode - AddVariant);
+// pin the Add, Sub, Mul, Div layout the X-macro promises.
+#define COVERME_ASSERT_FAMILY(Base)                                            \
+  static_assert(static_cast<uint8_t>(Op::Base##SubD) ==                        \
+                        static_cast<uint8_t>(Op::Base##AddD) + 1 &&            \
+                    static_cast<uint8_t>(Op::Base##MulD) ==                    \
+                        static_cast<uint8_t>(Op::Base##AddD) + 2 &&            \
+                    static_cast<uint8_t>(Op::Base##DivD) ==                    \
+                        static_cast<uint8_t>(Op::Base##AddD) + 3,              \
+                "fused " #Base " family must be laid out Add,Sub,Mul,Div")
+COVERME_ASSERT_FAMILY(LdF2);
+COVERME_ASSERT_FAMILY(LdF);
+COVERME_ASSERT_FAMILY(LdG);
+COVERME_ASSERT_FAMILY(Const);
+#undef COVERME_ASSERT_FAMILY
+
+/// Maps a double arithmetic opcode to its fused variant in a family laid
+/// out Add, Sub, Mul, Div (the COVERME_VM_OPCODES ordering); returns false
+/// when \p O is not one of the four.
+bool fusedArithD(Op O, Op AddVariant, Op &Out) {
+  switch (O) {
+  case Op::AddD:
+    Out = AddVariant;
+    return true;
+  case Op::SubD:
+    Out = static_cast<Op>(static_cast<uint8_t>(AddVariant) + 1);
+    return true;
+  case Op::MulD:
+    Out = static_cast<Op>(static_cast<uint8_t>(AddVariant) + 2);
+    return true;
+  case Op::DivD:
+    Out = static_cast<Op>(static_cast<uint8_t>(AddVariant) + 3);
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// The peephole pass: collapses the measured-hot straight-line sequences
+/// into superinstructions. Fusion is purely a dispatch-count optimization:
+/// each fused instruction performs the exact operation sequence it
+/// replaces (CondSite fusion fires the same rt::cond hook with the same
+/// operands before branching) and carries the replaced sequence's step
+/// cost, so traces, traps, and budget exhaustion points are bit-identical
+/// to the unfused stream.
+///
+/// A fusion window must not swallow a control-flow join: any instruction
+/// that a jump, a call return, or a function/thunk entry can land on stays
+/// an instruction head. Heads may *start* a window (the jumper then runs
+/// the fused form of exactly the sequence it expected).
+void fuseUnit(CompiledUnit &U) {
+  const size_t N = U.Code.size();
+  std::vector<uint8_t> Barrier(N + 1, 0);
+  for (const Insn &In : U.Code) {
+    switch (In.Code) {
+    case Op::Jump:
+    case Op::JfI:
+    case Op::JfD:
+    case Op::JfP:
+    case Op::JtI:
+    case Op::JtD:
+    case Op::JtP:
+      Barrier[In.A] = 1;
+      break;
+    default:
+      break;
+    }
+  }
+  for (size_t PC = 0; PC < N; ++PC)
+    if (U.Code[PC].Code == Op::Call && PC + 1 < N)
+      Barrier[PC + 1] = 1; // dynamic return address
+  for (const FunctionInfo &F : U.Functions) {
+    Barrier[F.Entry] = 1;
+    Barrier[F.Thunk] = 1;
+  }
+  Barrier[U.GlobalInitEntry] = 1;
+
+  constexpr uint32_t NoIndex = 0xffffffffu;
+  std::vector<uint32_t> OldToNew(N + 1, NoIndex);
+  std::vector<Insn> NewCode;
+  NewCode.reserve(N);
+
+  // Pool lookup for constants folded during fusion (ConstI;I2D becomes a
+  // ConstD of the promoted value), deduplicating against the existing
+  // slots by bit pattern exactly as Compiler::dconst does.
+  std::map<uint64_t, uint32_t> PoolIndex;
+  for (size_t I = 0; I < U.DoublePool.size(); ++I) {
+    uint64_t Bits;
+    __builtin_memcpy(&Bits, &U.DoublePool[I], sizeof(Bits));
+    PoolIndex.emplace(Bits, static_cast<uint32_t>(I));
+  }
+  auto foldedConst = [&](double V) {
+    uint64_t Bits;
+    __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    auto It = PoolIndex.find(Bits);
+    if (It != PoolIndex.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(U.DoublePool.size());
+    U.DoublePool.push_back(V);
+    PoolIndex.emplace(Bits, Idx);
+    return Idx;
+  };
+
+  /// True when the window [PC+1, PC+Len) stays inside this straight line.
+  auto windowFree = [&](size_t PC, size_t Len) {
+    if (PC + Len > N)
+      return false;
+    for (size_t I = PC + 1; I < PC + Len; ++I)
+      if (Barrier[I])
+        return false;
+    return true;
+  };
+
+  size_t PC = 0;
+  while (PC < N) {
+    OldToNew[PC] = static_cast<uint32_t>(NewCode.size());
+    const Insn &In = U.Code[PC];
+    Insn Fused{In.Code, 1, 0, 0};
+    size_t Len = 0;
+
+    if (In.Code == Op::LdFD && windowFree(PC, 3) &&
+        U.Code[PC + 1].Code == Op::LdFD &&
+        fusedArithD(U.Code[PC + 2].Code, Op::LdF2AddD, Fused.Code)) {
+      Fused.A = In.A;
+      Fused.B = U.Code[PC + 1].A;
+      Len = 3;
+    } else if (In.Code == Op::LdFD && windowFree(PC, 2) &&
+               fusedArithD(U.Code[PC + 1].Code, Op::LdFAddD, Fused.Code)) {
+      Fused.A = In.A;
+      Len = 2;
+    } else if (In.Code == Op::LdGD && windowFree(PC, 2) &&
+               fusedArithD(U.Code[PC + 1].Code, Op::LdGAddD, Fused.Code)) {
+      Fused.A = In.A;
+      Len = 2;
+    } else if (In.Code == Op::ConstD && windowFree(PC, 2) &&
+               fusedArithD(U.Code[PC + 1].Code, Op::ConstAddD, Fused.Code)) {
+      Fused.A = In.A;
+      Len = 2;
+    } else if (In.Code == Op::LdFI && windowFree(PC, 2) &&
+               U.Code[PC + 1].Code == Op::I2D) {
+      Fused.Code = Op::LdFI2D;
+      Fused.A = In.A;
+      Len = 2;
+    } else if (In.Code == Op::LdFU && windowFree(PC, 2) &&
+               U.Code[PC + 1].Code == Op::U2D) {
+      Fused.Code = Op::LdFU2D;
+      Fused.A = In.A;
+      Len = 2;
+    } else if (In.Code == Op::ConstI && windowFree(PC, 2) &&
+               U.Code[PC + 1].Code == Op::I2D) {
+      // Constant folding, not just pairing: the promoted value is known
+      // at compile time (int32 -> double is exact), so the pair becomes a
+      // pool load carrying both steps' cost.
+      Fused.Code = Op::ConstD;
+      Fused.A = foldedConst(static_cast<double>(static_cast<int32_t>(In.A)));
+      Len = 2;
+    } else if (In.Code == Op::ConstU && windowFree(PC, 2) &&
+               U.Code[PC + 1].Code == Op::U2D) {
+      Fused.Code = Op::ConstD;
+      Fused.A = foldedConst(static_cast<double>(In.A));
+      Len = 2;
+    } else if (In.Code == Op::CondSite && windowFree(PC, 2) &&
+               (U.Code[PC + 1].Code == Op::JfI ||
+                U.Code[PC + 1].Code == Op::JtI) &&
+               In.A < (1u << 29)) {
+      Fused.Code =
+          U.Code[PC + 1].Code == Op::JfI ? Op::CondSiteJf : Op::CondSiteJt;
+      Fused.A = U.Code[PC + 1].A; // branch target (remapped below)
+      Fused.B = (In.A << 3) | In.B;
+      Len = 2;
+    } else if (In.Code == Op::CmpD && windowFree(PC, 2) &&
+               (U.Code[PC + 1].Code == Op::JfI ||
+                U.Code[PC + 1].Code == Op::JtI)) {
+      Fused.Code = U.Code[PC + 1].Code == Op::JfI ? Op::CmpDJf : Op::CmpDJt;
+      Fused.A = U.Code[PC + 1].A;
+      Fused.B = In.A; // CmpOp
+      Len = 2;
+    }
+
+    if (Len == 0) {
+      NewCode.push_back(In);
+      ++PC;
+      continue;
+    }
+    Fused.Cost = static_cast<uint8_t>(Len); // every replaced insn cost 1
+    NewCode.push_back(Fused);
+    ++U.Stats.Superinsns;
+    PC += Len;
+  }
+  OldToNew[N] = static_cast<uint32_t>(NewCode.size());
+
+  // Remap every control-transfer target; targets are barriers, and every
+  // barrier stayed an instruction head.
+  for (Insn &In : NewCode) {
+    switch (In.Code) {
+    case Op::Jump:
+    case Op::JfI:
+    case Op::JfD:
+    case Op::JfP:
+    case Op::JtI:
+    case Op::JtD:
+    case Op::JtP:
+    case Op::CondSiteJf:
+    case Op::CondSiteJt:
+    case Op::CmpDJf:
+    case Op::CmpDJt:
+      assert(OldToNew[In.A] != NoIndex && "jump target fused away");
+      In.A = OldToNew[In.A];
+      break;
+    default:
+      break;
+    }
+  }
+  for (FunctionInfo &F : U.Functions) {
+    F.Entry = OldToNew[F.Entry];
+    F.Thunk = OldToNew[F.Thunk];
+  }
+  U.GlobalInitEntry = OldToNew[U.GlobalInitEntry];
+  U.Code = std::move(NewCode);
+}
+
+/// Builds CompiledUnit::BlockCost: for every PC, the summed step cost of
+/// the straight-line run from PC through its terminating control transfer
+/// (inclusive). Computed back to front; the stream always ends in a
+/// terminator (the global-init Halt), so the recurrence is total.
+void computeBlockCosts(CompiledUnit &U) {
+  const size_t N = U.Code.size();
+  U.BlockCost.assign(N, 0);
+  for (size_t PC = N; PC-- > 0;) {
+    uint32_t Cost = U.Code[PC].Cost;
+    if (!isBlockTerminator(U.Code[PC].Code)) {
+      assert(PC + 1 < N && "stream must end in a block terminator");
+      Cost += U.BlockCost[PC + 1];
+    }
+    U.BlockCost[PC] = Cost;
+  }
+}
+
 } // namespace
 
 CompileResult bc::compileUnit(const TranslationUnit &TU,
-                              const InterpOptions &GlobalInitOpts) {
+                              const InterpOptions &GlobalInitOpts,
+                              bool Fuse) {
   auto Unit = std::make_shared<CompiledUnit>();
   Compiler C(TU, *Unit);
   CompileResult Result;
@@ -1316,6 +1564,14 @@ CompileResult bc::compileUnit(const TranslationUnit &TU,
     Result.Error = C.Error.empty() ? "bytecode compilation failed" : C.Error;
     return Result;
   }
+
+  Unit->Stats.FusionEnabled = Fuse;
+  Unit->Stats.InsnsBeforeFusion = static_cast<uint32_t>(Unit->Code.size());
+  if (Fuse)
+    fuseUnit(*Unit);
+  Unit->Stats.InsnsAfterFusion = static_cast<uint32_t>(Unit->Code.size());
+  Unit->Stats.PoolSize = static_cast<uint32_t>(Unit->DoublePool.size());
+  computeBlockCosts(*Unit);
 
   // Bake the global image by running the init routine once on a scratch
   // Vm. The image is written before the unit is published anywhere else.

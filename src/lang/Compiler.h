@@ -45,8 +45,20 @@ struct CompileResult {
 /// runs its file-scope initializers once to bake the global image.
 /// \p GlobalInitOpts bounds that one-off init run exactly as InterpOptions
 /// bounds the interpreter's.
+///
+/// When \p Fuse is set (the default) the peephole pass rewrites the
+/// stream with superinstructions for the measured-hot sequences — fused
+/// loads-and-arithmetic, constant-operand arithmetic, widened integer
+/// loads, and compare-then-branch (instrumented CondSites included: the
+/// fused form fires the same rt::cond hooks in the same order). Every
+/// superinstruction carries the step cost of the sequence it replaces, so
+/// fused and unfused execution drain InterpOptions::MaxSteps identically
+/// and trap at the same points; the differential suite holds both streams
+/// bit-identical. Either way the unit ships with the BlockCost table the
+/// VM's block-granular budget accounting reads.
 CompileResult compileUnit(const TranslationUnit &TU,
-                          const InterpOptions &GlobalInitOpts = {});
+                          const InterpOptions &GlobalInitOpts = {},
+                          bool Fuse = true);
 
 } // namespace bc
 } // namespace lang

@@ -1,0 +1,230 @@
+//===- Disasm.cpp - Bytecode disassembler ---------------------------------===//
+
+#include "lang/Disasm.h"
+
+#include "runtime/BranchDistance.h" // cmpOpSpelling
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace coverme;
+using namespace coverme::lang;
+using namespace coverme::lang::bc;
+
+const char *bc::opName(Op O) {
+  static const char *const Names[] = {
+#define COVERME_VM_OP_NAME(Name) #Name,
+      COVERME_VM_OPCODES(COVERME_VM_OP_NAME)
+#undef COVERME_VM_OP_NAME
+  };
+  return Names[static_cast<size_t>(O)];
+}
+
+namespace {
+
+/// Mirrors the Vm's builtin table; indexed by BuiltinId.
+const char *builtinName(BuiltinId Id) {
+  static const char *const Names[] = {
+      "fabs",  "sqrt",  "sin",   "cos",   "tan",   "asin",     "acos",
+      "atan",  "exp",   "log",   "log10", "log1p", "expm1",    "floor",
+      "ceil",  "rint",  "trunc", "cbrt",  "sinh",  "cosh",     "tanh",
+      "j0",    "j1",    "y0",    "y1",    "pow",   "fmod",     "atan2",
+      "hypot", "copysign", "fmin", "fmax", "scalbn",
+  };
+  return Names[static_cast<size_t>(Id)];
+}
+
+#if defined(__GNUC__)
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+#endif
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  Out += Buf;
+}
+
+/// Operand rendering classes shared by several opcodes.
+void renderPool(const CompiledUnit &U, uint32_t Idx, std::string &Out) {
+  appendf(Out, "pool[%" PRIu32 "]=%.17g", Idx, U.DoublePool[Idx]);
+}
+
+} // namespace
+
+std::string bc::renderInsn(const CompiledUnit &U, uint32_t PC) {
+  const Insn &In = U.Code[PC];
+  std::string Out;
+  appendf(Out, "%-11s", opName(In.Code));
+  switch (In.Code) {
+  case Op::ConstD:
+  case Op::ConstAddD:
+  case Op::ConstSubD:
+  case Op::ConstMulD:
+  case Op::ConstDivD:
+    Out += ' ';
+    renderPool(U, In.A, Out);
+    break;
+  case Op::ConstI:
+    appendf(Out, " %" PRId32, static_cast<int32_t>(In.A));
+    break;
+  case Op::ConstU:
+    appendf(Out, " %" PRIu32 "u", In.A);
+    break;
+  case Op::AddrF:
+  case Op::LdFI:
+  case Op::LdFU:
+  case Op::LdFD:
+  case Op::LdFP:
+  case Op::LdFI2D:
+  case Op::LdFU2D:
+  case Op::LdFAddD:
+  case Op::LdFSubD:
+  case Op::LdFMulD:
+  case Op::LdFDivD:
+    appendf(Out, " f+%" PRIu32, In.A);
+    break;
+  case Op::LdF2AddD:
+  case Op::LdF2SubD:
+  case Op::LdF2MulD:
+  case Op::LdF2DivD:
+    appendf(Out, " f+%" PRIu32 ", f+%" PRIu32, In.A, In.B);
+    break;
+  case Op::StFI:
+  case Op::StFU:
+  case Op::StFD:
+  case Op::StFP:
+    appendf(Out, " f+%" PRIu32 "%s", In.A, In.B ? ", keep" : "");
+    break;
+  case Op::AddrG:
+  case Op::LdGI:
+  case Op::LdGU:
+  case Op::LdGD:
+  case Op::LdGP:
+  case Op::LdGAddD:
+  case Op::LdGSubD:
+  case Op::LdGMulD:
+  case Op::LdGDivD:
+    appendf(Out, " g+%" PRIu32, In.A);
+    break;
+  case Op::StGI:
+  case Op::StGU:
+  case Op::StGD:
+  case Op::StGP:
+    appendf(Out, " g+%" PRIu32 "%s", In.A, In.B ? ", keep" : "");
+    break;
+  case Op::StoreI:
+  case Op::StoreU:
+  case Op::StoreD:
+  case Op::StoreP:
+    if (In.B)
+      Out += " keep";
+    break;
+  case Op::ZeroF:
+    appendf(Out, " f+%" PRIu32 ", %" PRIu32 " bytes", In.A, In.B);
+    break;
+  case Op::ZeroG:
+    appendf(Out, " g+%" PRIu32 ", %" PRIu32 " bytes", In.A, In.B);
+    break;
+  case Op::CmpD:
+  case Op::CmpI:
+  case Op::CmpU:
+  case Op::CmpP:
+    appendf(Out, " %s", cmpOpSpelling(static_cast<CmpOp>(In.A)));
+    break;
+  case Op::PNullCmp:
+    appendf(Out, " %s", In.A ? "==null" : "!=null");
+    break;
+  case Op::PtrAdd:
+    appendf(Out, " %s%" PRIu32 " bytes/elem", In.B ? "-" : "+", In.A);
+    break;
+  case Op::Jump:
+  case Op::JfI:
+  case Op::JfD:
+  case Op::JfP:
+  case Op::JtI:
+  case Op::JtD:
+  case Op::JtP:
+    appendf(Out, " -> %" PRIu32, In.A);
+    break;
+  case Op::CondSite:
+    appendf(Out, " site %" PRIu32 " %s", In.A,
+            cmpOpSpelling(static_cast<CmpOp>(In.B)));
+    break;
+  case Op::CondSiteJf:
+  case Op::CondSiteJt:
+    appendf(Out, " site %" PRIu32 " %s -> %" PRIu32, In.B >> 3,
+            cmpOpSpelling(static_cast<CmpOp>(In.B & 7u)), In.A);
+    break;
+  case Op::CmpDJf:
+  case Op::CmpDJt:
+    appendf(Out, " %s -> %" PRIu32, cmpOpSpelling(static_cast<CmpOp>(In.B)),
+            In.A);
+    break;
+  case Op::Call:
+    appendf(Out, " %s", U.Functions[In.A].Name.c_str());
+    break;
+  case Op::CallB:
+    appendf(Out, " %s/%" PRIu32, builtinName(static_cast<BuiltinId>(In.A)),
+            In.B);
+    break;
+  case Op::TrapOp:
+    appendf(Out, " \"%s\"", U.TrapMessages[In.A].c_str());
+    break;
+  default:
+    break; // pure stack operators carry no operands
+  }
+  if (In.Cost != 1)
+    appendf(Out, "  ; cost %u", In.Cost);
+  // Trim the padding of operand-less mnemonics.
+  while (!Out.empty() && Out.back() == ' ')
+    Out.pop_back();
+  return Out;
+}
+
+std::string bc::disassembleFunction(const CompiledUnit &U, unsigned FnIndex) {
+  const FunctionInfo &F = U.Functions[FnIndex];
+  std::string Out;
+  appendf(Out, "%s(%zu params): frame %" PRIu32 " bytes, entry %" PRIu32
+               ", thunk %" PRIu32 "\n",
+          F.Name.c_str(), F.ParamTypes.size(), F.FrameBytes, F.Entry,
+          F.Thunk);
+  for (uint32_t PC = F.Entry; PC < F.Thunk + 2 && PC < U.Code.size(); ++PC) {
+    appendf(Out, "%5" PRIu32 "  ", PC);
+    Out += renderInsn(U, PC);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string bc::disassemble(const CompiledUnit &U) {
+  std::string Out;
+  appendf(Out,
+          "unit: %zu insns, %zu functions, pool %" PRIu32 " slots (%" PRIu32
+          " literal requests), %" PRIu32 " sites\n",
+          U.Code.size(), U.Functions.size(), U.Stats.PoolSize,
+          U.Stats.PoolRequests, static_cast<uint32_t>(U.NumSites));
+  if (U.Stats.FusionEnabled)
+    appendf(Out,
+            "fusion: on, %" PRIu32 " superinsns (%" PRIu32 " -> %" PRIu32
+            " insns)\n",
+            U.Stats.Superinsns, U.Stats.InsnsBeforeFusion,
+            U.Stats.InsnsAfterFusion);
+  else
+    Out += "fusion: off\n";
+  for (unsigned I = 0; I < U.Functions.size(); ++I) {
+    Out += '\n';
+    Out += disassembleFunction(U, I);
+  }
+  Out += "\nglobal-init:\n";
+  for (uint32_t PC = U.GlobalInitEntry; PC < U.Code.size(); ++PC) {
+    appendf(Out, "%5" PRIu32 "  ", PC);
+    Out += renderInsn(U, PC);
+    Out += '\n';
+  }
+  return Out;
+}

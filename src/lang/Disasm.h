@@ -1,0 +1,51 @@
+//===- Disasm.h - Bytecode disassembler -----------------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a CompiledUnit back into a readable instruction listing, so
+/// the streams the peephole pass produces — superinstructions, remapped
+/// branch targets, per-instruction step costs — are inspectable:
+/// `examples/source_campaign --disasm` prints it for any source program,
+/// and the golden-disassembly tests pin the fusion pass's exact output on
+/// representative SourceSuite subjects.
+///
+/// The rendering is deterministic (fixed formatting, %.17g for pool
+/// constants) and complete: every instruction of every function plus the
+/// entry thunks and the file-scope init routine, with operands decoded
+/// per opcode (frame/global byte offsets, pool values, branch targets,
+/// site ids with comparison spellings, builtin names) and a `cost N`
+/// annotation wherever a superinstruction stands for N original steps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_DISASM_H
+#define COVERME_LANG_DISASM_H
+
+#include "lang/Bytecode.h"
+
+#include <string>
+
+namespace coverme {
+namespace lang {
+namespace bc {
+
+/// One instruction as text (mnemonic plus decoded operands), without the
+/// address prefix. Exposed for tests asserting on specific encodings.
+std::string renderInsn(const CompiledUnit &U, uint32_t PC);
+
+/// The body of function \p FnIndex (its entry thunk included) as an
+/// addressed listing, one instruction per line.
+std::string disassembleFunction(const CompiledUnit &U, unsigned FnIndex);
+
+/// The whole unit: a stats header (instruction/pool counts and what the
+/// peephole pass did), every function, and the global-init routine.
+std::string disassemble(const CompiledUnit &U);
+
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_DISASM_H

@@ -36,13 +36,28 @@ namespace lang {
 
 class Evaluator;
 
+/// How the bytecode VM's dispatch loop is driven. Purely an execution-
+/// speed knob: both loops run the same handlers over the same stream, and
+/// the differential suite holds them bit-identical.
+enum class VmDispatch : uint8_t {
+  /// Computed-goto when the build compiled it in, else the switch loop.
+  Auto,
+  /// The portable switch-dispatch loop.
+  Switch,
+  /// GNU computed-goto direct threading (falls back to Switch in builds
+  /// configured with COVERME_VM_CGOTO=OFF or on non-GNU toolchains).
+  ComputedGoto,
+};
+
 /// Interpreter resource limits. The step budget bounds hostile inputs
 /// that drive loops astronomically long (the interpreter equivalent of a
-/// test harness timeout).
+/// test harness timeout). Both execution tiers share the budget
+/// semantics; Dispatch is read by the bytecode VM only.
 struct InterpOptions {
   uint64_t MaxSteps = 4000000; ///< Expression/statement evaluations per call.
   unsigned MaxCallDepth = 64;  ///< Nested interpreted calls.
   unsigned MaxStackBytes = 1u << 20; ///< Frame arena cap.
+  VmDispatch Dispatch = VmDispatch::Auto; ///< VM dispatch loop selection.
 };
 
 /// Tree-walking evaluator over one analyzed TranslationUnit.

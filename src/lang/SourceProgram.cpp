@@ -106,7 +106,8 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
       Opts.TotalLines ? Opts.TotalLines : functionLineExtent(*Result.Entry);
 
   if (Opts.Tier == ExecutionTier::Bytecode) {
-    bc::CompileResult Compiled = bc::compileUnit(*Result.Unit, Opts.Interp);
+    bc::CompileResult Compiled =
+        bc::compileUnit(*Result.Unit, Opts.Interp, Opts.Fuse);
     if (!Compiled.success()) {
       Result.Diags.push_back({0, Compiled.Error});
       return Result;
@@ -128,19 +129,29 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
                         InterpOpts = Opts.Interp](const double *Args) {
       return bc::threadLocalVm(Code, InterpOpts).callEntry(EntryIdx, Args);
     };
-    // Per-run fast path: resolve the calling thread's Vm once, then every
-    // probe is a direct callEntry — the per-call thread-local cache lookup
-    // and shared_ptr traffic drop out of the minimization hot loop. Same
-    // Vm as the per-call path on the same thread, so results are
-    // bit-identical.
+    // Per-run fast path: resolve the calling thread's Vm once and bind
+    // the entry (cell layout, result conversion) once, then every probe
+    // is a direct bound call — the per-call thread-local cache lookup,
+    // shared_ptr traffic, and per-call entry setup drop out of the
+    // minimization hot loop. Same Vm as the per-call path on the same
+    // thread, so results are bit-identical. The batch trampoline is the
+    // genuinely wide backend behind RepresentingFunction::evalBatch:
+    // CMA-ES generations and DE/NM seeding land in Vm::runBatch, which
+    // hoists the per-probe entry bookkeeping out of the generation loop.
     Result.Prog.Binder = [Code = Result.Code,
                           EntryIdx = static_cast<unsigned>(EntryIdx),
                           InterpOpts = Opts.Interp]() {
       bc::Vm &V = bc::threadLocalVm(Code, InterpOpts);
+      V.bindEntry(EntryIdx);
       Program::BoundBody B;
       B.Invoke = [](void *State, uint64_t Imm, const double *Args) {
         return static_cast<bc::Vm *>(State)->callEntry(
             static_cast<unsigned>(Imm), Args);
+      };
+      B.InvokeBatch = [](void *State, uint64_t Imm, const double *Xs,
+                         size_t Count, size_t N, double *Out) {
+        static_cast<bc::Vm *>(State)->runBatch(static_cast<unsigned>(Imm),
+                                               Xs, Count, N, Out);
       };
       B.State = &V;
       B.Imm = EntryIdx;

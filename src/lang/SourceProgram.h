@@ -78,6 +78,13 @@ struct SourceProgramOptions {
 
   /// Which executor backs Prog.Body.
   ExecutionTier Tier = ExecutionTier::Bytecode;
+
+  /// Run the bytecode compiler's superinstruction (peephole) pass.
+  /// Fused and unfused streams are observably identical — same results,
+  /// hook order, traps, and step-budget exhaustion points — so this knob
+  /// exists for differential testing and dispatch-cost measurement, not
+  /// for semantics. Ignored by the tree-walker tier.
+  bool Fuse = true;
 };
 
 /// Builds a Program executing \p EntryName from \p Source. On failure the

@@ -1,4 +1,10 @@
 //===- Vm.cpp - Stack VM for the compiled mini-C tier ---------------------===//
+//
+// The dispatch loops live in VmExecBody.inc, included twice below: once as
+// the portable switch loop, once as GNU computed-goto direct threading
+// (compiled in when the build sets COVERME_VM_CGOTO on a GNU-compatible
+// toolchain; InterpOptions::Dispatch picks per Vm). Both loops execute the
+// same handler text, so they cannot diverge semantically.
 
 #include "lang/Vm.h"
 
@@ -12,6 +18,14 @@
 using namespace coverme;
 using namespace coverme::lang;
 using namespace coverme::lang::bc;
+
+// The computed-goto loop needs GNU labels-as-values; MSVC and other
+// non-GNU toolchains always get the switch loop.
+#if defined(COVERME_VM_CGOTO) && (defined(__GNUC__) || defined(__clang__))
+#define COVERME_VM_CGOTO_ENABLED 1
+#else
+#define COVERME_VM_CGOTO_ENABLED 0
+#endif
 
 namespace {
 
@@ -156,8 +170,19 @@ double runBuiltin(BuiltinId Id, double A, double B, int32_t N) {
 
 } // namespace
 
+bool Vm::cgotoAvailable() { return COVERME_VM_CGOTO_ENABLED != 0; }
+
 Vm::Vm(std::shared_ptr<const CompiledUnit> Unit, InterpOptions Opts)
     : Unit(std::move(Unit)), Opts(Opts) {
+  switch (Opts.Dispatch) {
+  case VmDispatch::Switch:
+    CGoto = false;
+    break;
+  case VmDispatch::Auto:
+  case VmDispatch::ComputedGoto:
+    CGoto = cgotoAvailable();
+    break;
+  }
   OpStack.resize(kOpStackSlots);
   GlobalMem = this->Unit->GlobalImage;
   // Pre-bake scratch Vms start before the image exists.
@@ -201,631 +226,30 @@ uint8_t *Vm::resolve(uint64_t Ptr, unsigned Size) {
 }
 
 size_t Vm::exec(uint32_t StartPC, size_t SP0) {
-  const Insn *Code = Unit->Code.data();
-  const double *Pool = Unit->DoublePool.data();
-  const FunctionInfo *Fns = Unit->Functions.data();
-  Slot *Stack = OpStack.data();
-  Slot *SP = Stack + SP0;
-  uint8_t *FMem = FrameMem.data();
-  uint8_t *GMem = GlobalMem.data();
-  uint32_t CurBase = Frames.empty() ? 0 : Frames.back().Base;
-  uint32_t PC = StartPC;
-
-  for (;;) {
-    if (StepsLeft == 0) {
-      trap("step budget exhausted");
-      return SP - Stack;
-    }
-    --StepsLeft;
-    const Insn &In = Code[PC];
-    switch (In.Code) {
-    // ---- constants --------------------------------------------------------
-    case Op::ConstD:
-      (SP++)->D = Pool[In.A];
-      break;
-    case Op::ConstI:
-      (SP++)->I = static_cast<int32_t>(In.A);
-      break;
-    case Op::ConstU:
-      (SP++)->U = In.A;
-      break;
-
-    // ---- stack shuffling --------------------------------------------------
-    case Op::Pop:
-      --SP;
-      break;
-    case Op::Dup:
-      SP[0] = SP[-1];
-      ++SP;
-      break;
-    case Op::Swap: {
-      Slot T = SP[-1];
-      SP[-1] = SP[-2];
-      SP[-2] = T;
-      break;
-    }
-    case Op::Rot: {
-      Slot X = SP[-3];
-      SP[-3] = SP[-2];
-      SP[-2] = SP[-1];
-      SP[-1] = X;
-      break;
-    }
-
-    // ---- addresses --------------------------------------------------------
-    case Op::AddrG:
-      (SP++)->U = encodePtr(Space::Global, In.A);
-      break;
-    case Op::AddrF:
-      (SP++)->U = encodePtr(Space::Frame, CurBase + In.A);
-      break;
-
-    // ---- checked accesses -------------------------------------------------
-    case Op::LoadI: {
-      uint8_t *M = resolve(SP[-1].U, 4);
-      if (!M)
-        return SP - Stack;
-      int32_t V;
-      std::memcpy(&V, M, 4);
-      SP[-1].I = V;
-      break;
-    }
-    case Op::LoadU: {
-      uint8_t *M = resolve(SP[-1].U, 4);
-      if (!M)
-        return SP - Stack;
-      uint32_t V;
-      std::memcpy(&V, M, 4);
-      SP[-1].U = V;
-      break;
-    }
-    case Op::LoadD: {
-      uint8_t *M = resolve(SP[-1].U, 8);
-      if (!M)
-        return SP - Stack;
-      std::memcpy(&SP[-1].D, M, 8);
-      break;
-    }
-    case Op::LoadP: {
-      uint8_t *M = resolve(SP[-1].U, 8);
-      if (!M)
-        return SP - Stack;
-      std::memcpy(&SP[-1].U, M, 8);
-      break;
-    }
-    case Op::StoreI: {
-      uint8_t *M = resolve(SP[-2].U, 4);
-      if (!M)
-        return SP - Stack;
-      int32_t V = static_cast<int32_t>(SP[-1].I);
-      std::memcpy(M, &V, 4);
-      Slot Val = SP[-1];
-      SP -= 2;
-      if (In.B)
-        *SP++ = Val;
-      break;
-    }
-    case Op::StoreU: {
-      uint8_t *M = resolve(SP[-2].U, 4);
-      if (!M)
-        return SP - Stack;
-      uint32_t V = static_cast<uint32_t>(SP[-1].U);
-      std::memcpy(M, &V, 4);
-      Slot Val = SP[-1];
-      SP -= 2;
-      if (In.B)
-        *SP++ = Val;
-      break;
-    }
-    case Op::StoreD: {
-      uint8_t *M = resolve(SP[-2].U, 8);
-      if (!M)
-        return SP - Stack;
-      std::memcpy(M, &SP[-1].D, 8);
-      Slot Val = SP[-1];
-      SP -= 2;
-      if (In.B)
-        *SP++ = Val;
-      break;
-    }
-    case Op::StoreP: {
-      uint8_t *M = resolve(SP[-2].U, 8);
-      if (!M)
-        return SP - Stack;
-      std::memcpy(M, &SP[-1].U, 8);
-      Slot Val = SP[-1];
-      SP -= 2;
-      if (In.B)
-        *SP++ = Val;
-      break;
-    }
-
-    // ---- fused unchecked accesses ----------------------------------------
-    case Op::LdFI: {
-      int32_t V;
-      std::memcpy(&V, FMem + CurBase + In.A, 4);
-      (SP++)->I = V;
-      break;
-    }
-    case Op::LdFU: {
-      uint32_t V;
-      std::memcpy(&V, FMem + CurBase + In.A, 4);
-      (SP++)->U = V;
-      break;
-    }
-    case Op::LdFD:
-      std::memcpy(&(SP++)->D, FMem + CurBase + In.A, 8);
-      break;
-    case Op::LdFP:
-      std::memcpy(&(SP++)->U, FMem + CurBase + In.A, 8);
-      break;
-    case Op::LdGI: {
-      int32_t V;
-      std::memcpy(&V, GMem + In.A, 4);
-      (SP++)->I = V;
-      break;
-    }
-    case Op::LdGU: {
-      uint32_t V;
-      std::memcpy(&V, GMem + In.A, 4);
-      (SP++)->U = V;
-      break;
-    }
-    case Op::LdGD:
-      std::memcpy(&(SP++)->D, GMem + In.A, 8);
-      break;
-    case Op::LdGP:
-      std::memcpy(&(SP++)->U, GMem + In.A, 8);
-      break;
-    case Op::StFI: {
-      int32_t V = static_cast<int32_t>(SP[-1].I);
-      std::memcpy(FMem + CurBase + In.A, &V, 4);
-      if (!In.B)
-        --SP;
-      break;
-    }
-    case Op::StFU: {
-      uint32_t V = static_cast<uint32_t>(SP[-1].U);
-      std::memcpy(FMem + CurBase + In.A, &V, 4);
-      if (!In.B)
-        --SP;
-      break;
-    }
-    case Op::StFD:
-      std::memcpy(FMem + CurBase + In.A, &SP[-1].D, 8);
-      if (!In.B)
-        --SP;
-      break;
-    case Op::StFP:
-      std::memcpy(FMem + CurBase + In.A, &SP[-1].U, 8);
-      if (!In.B)
-        --SP;
-      break;
-    case Op::StGI: {
-      int32_t V = static_cast<int32_t>(SP[-1].I);
-      std::memcpy(GMem + In.A, &V, 4);
-      if (!In.B)
-        --SP;
-      break;
-    }
-    case Op::StGU: {
-      uint32_t V = static_cast<uint32_t>(SP[-1].U);
-      std::memcpy(GMem + In.A, &V, 4);
-      if (!In.B)
-        --SP;
-      break;
-    }
-    case Op::StGD:
-      std::memcpy(GMem + In.A, &SP[-1].D, 8);
-      if (!In.B)
-        --SP;
-      break;
-    case Op::StGP:
-      std::memcpy(GMem + In.A, &SP[-1].U, 8);
-      if (!In.B)
-        --SP;
-      break;
-    case Op::ZeroF:
-      std::memset(FMem + CurBase + In.A, 0, In.B);
-      break;
-    case Op::ZeroG:
-      std::memset(GMem + In.A, 0, In.B);
-      break;
-
-    // ---- double arithmetic ------------------------------------------------
-    case Op::AddD:
-      SP[-2].D += SP[-1].D;
-      --SP;
-      break;
-    case Op::SubD:
-      SP[-2].D -= SP[-1].D;
-      --SP;
-      break;
-    case Op::MulD:
-      SP[-2].D *= SP[-1].D;
-      --SP;
-      break;
-    case Op::DivD:
-      SP[-2].D /= SP[-1].D; // IEEE: /0 yields inf/NaN
-      --SP;
-      break;
-    case Op::NegD:
-      SP[-1].D = -SP[-1].D;
-      break;
-
-    // ---- integer arithmetic -----------------------------------------------
-    case Op::AddI:
-      SP[-2].I = static_cast<int32_t>(static_cast<uint32_t>(SP[-2].I) +
-                                      static_cast<uint32_t>(SP[-1].I));
-      --SP;
-      break;
-    case Op::SubI:
-      SP[-2].I = static_cast<int32_t>(static_cast<uint32_t>(SP[-2].I) -
-                                      static_cast<uint32_t>(SP[-1].I));
-      --SP;
-      break;
-    case Op::MulI:
-      SP[-2].I = static_cast<int32_t>(static_cast<uint32_t>(SP[-2].I) *
-                                      static_cast<uint32_t>(SP[-1].I));
-      --SP;
-      break;
-    case Op::DivI: {
-      int32_t L = static_cast<int32_t>(SP[-2].I);
-      int32_t R = static_cast<int32_t>(SP[-1].I);
-      if (R == 0) {
-        trap("integer division by zero");
-        return SP - Stack;
-      }
-      if (L == std::numeric_limits<int32_t>::min() && R == -1)
-        SP[-2].I = L; // wrap rather than UB
-      else
-        SP[-2].I = L / R;
-      --SP;
-      break;
-    }
-    case Op::RemI: {
-      int32_t L = static_cast<int32_t>(SP[-2].I);
-      int32_t R = static_cast<int32_t>(SP[-1].I);
-      if (R == 0) {
-        trap("integer remainder by zero");
-        return SP - Stack;
-      }
-      if (L == std::numeric_limits<int32_t>::min() && R == -1)
-        SP[-2].I = 0;
-      else
-        SP[-2].I = L % R;
-      --SP;
-      break;
-    }
-    case Op::NegI:
-      SP[-1].I = static_cast<int32_t>(0u - static_cast<uint32_t>(SP[-1].I));
-      break;
-    case Op::AddU:
-      SP[-2].U = static_cast<uint32_t>(static_cast<uint32_t>(SP[-2].U) +
-                                       static_cast<uint32_t>(SP[-1].U));
-      --SP;
-      break;
-    case Op::SubU:
-      SP[-2].U = static_cast<uint32_t>(static_cast<uint32_t>(SP[-2].U) -
-                                       static_cast<uint32_t>(SP[-1].U));
-      --SP;
-      break;
-    case Op::MulU:
-      SP[-2].U = static_cast<uint32_t>(static_cast<uint32_t>(SP[-2].U) *
-                                       static_cast<uint32_t>(SP[-1].U));
-      --SP;
-      break;
-    case Op::DivU: {
-      uint32_t R = static_cast<uint32_t>(SP[-1].U);
-      if (R == 0) {
-        trap("integer division by zero");
-        return SP - Stack;
-      }
-      SP[-2].U = static_cast<uint32_t>(SP[-2].U) / R;
-      --SP;
-      break;
-    }
-    case Op::RemU: {
-      uint32_t R = static_cast<uint32_t>(SP[-1].U);
-      if (R == 0) {
-        trap("integer remainder by zero");
-        return SP - Stack;
-      }
-      SP[-2].U = static_cast<uint32_t>(SP[-2].U) % R;
-      --SP;
-      break;
-    }
-    case Op::NegU:
-      SP[-1].U = 0u - static_cast<uint32_t>(SP[-1].U);
-      break;
-    case Op::ShlI: {
-      uint32_t Amount = static_cast<uint32_t>(SP[-1].U) & 31u;
-      SP[-2].I = static_cast<int32_t>(static_cast<uint32_t>(SP[-2].I)
-                                      << Amount);
-      --SP;
-      break;
-    }
-    case Op::ShrI: {
-      uint32_t Amount = static_cast<uint32_t>(SP[-1].U) & 31u;
-      SP[-2].I = static_cast<int32_t>(SP[-2].I) >> Amount; // arithmetic
-      --SP;
-      break;
-    }
-    case Op::ShlU: {
-      uint32_t Amount = static_cast<uint32_t>(SP[-1].U) & 31u;
-      SP[-2].U = static_cast<uint32_t>(SP[-2].U) << Amount;
-      --SP;
-      break;
-    }
-    case Op::ShrU: {
-      uint32_t Amount = static_cast<uint32_t>(SP[-1].U) & 31u;
-      SP[-2].U = static_cast<uint32_t>(SP[-2].U) >> Amount;
-      --SP;
-      break;
-    }
-    case Op::And32:
-      SP[-2].U = static_cast<uint32_t>(SP[-2].U) &
-                 static_cast<uint32_t>(SP[-1].U);
-      --SP;
-      break;
-    case Op::Or32:
-      SP[-2].U = static_cast<uint32_t>(SP[-2].U) |
-                 static_cast<uint32_t>(SP[-1].U);
-      --SP;
-      break;
-    case Op::Xor32:
-      SP[-2].U = static_cast<uint32_t>(SP[-2].U) ^
-                 static_cast<uint32_t>(SP[-1].U);
-      --SP;
-      break;
-    case Op::NotI:
-      SP[-1].I = ~static_cast<int32_t>(SP[-1].I);
-      break;
-    case Op::NotU:
-      SP[-1].U = ~static_cast<uint32_t>(SP[-1].U);
-      break;
-
-    // ---- truthiness -------------------------------------------------------
-    case Op::BoolI:
-      SP[-1].I = SP[-1].I != 0 ? 1 : 0;
-      break;
-    case Op::BoolD:
-      SP[-1].I = SP[-1].D != 0.0 ? 1 : 0;
-      break;
-    case Op::BoolP:
-      SP[-1].I = ptrSpace(SP[-1].U) != Space::Null ? 1 : 0;
-      break;
-    case Op::LogNotI:
-      SP[-1].I = SP[-1].I != 0 ? 0 : 1;
-      break;
-    case Op::LogNotD:
-      SP[-1].I = SP[-1].D != 0.0 ? 0 : 1;
-      break;
-    case Op::LogNotP:
-      SP[-1].I = ptrSpace(SP[-1].U) != Space::Null ? 0 : 1;
-      break;
-
-    // ---- conversions ------------------------------------------------------
-    case Op::I2D:
-      SP[-1].D = static_cast<double>(SP[-1].I);
-      break;
-    case Op::U2D:
-      SP[-1].D = static_cast<double>(static_cast<uint32_t>(SP[-1].U));
-      break;
-    case Op::D2I:
-      SP[-1].I = truncToInt32(SP[-1].D);
-      break;
-    case Op::D2U:
-      SP[-1].U = truncToUInt32(SP[-1].D);
-      break;
-    case Op::I2U:
-      SP[-1].U = static_cast<uint32_t>(SP[-1].I);
-      break;
-    case Op::U2I:
-      SP[-1].I = static_cast<int32_t>(static_cast<uint32_t>(SP[-1].U));
-      break;
-    case Op::I2P:
-      if (SP[-1].I != 0) {
-        trap("invalid conversion to pointer type");
-        return SP - Stack;
-      }
-      SP[-1].U = 0; // the literal null pointer
-      break;
-
-    // ---- comparisons ------------------------------------------------------
-    case Op::CmpD: {
-      bool R = evalCmp(static_cast<CmpOp>(In.A), SP[-2].D, SP[-1].D);
-      --SP;
-      SP[-1].I = R ? 1 : 0;
-      break;
-    }
-    case Op::CmpI: {
-      bool R = evalCmpInt<int64_t>(static_cast<CmpOp>(In.A), SP[-2].I,
-                                   SP[-1].I);
-      --SP;
-      SP[-1].I = R ? 1 : 0;
-      break;
-    }
-    case Op::CmpU: {
-      bool R = evalCmpInt<uint64_t>(static_cast<CmpOp>(In.A), SP[-2].U,
-                                    SP[-1].U);
-      --SP;
-      SP[-1].I = R ? 1 : 0;
-      break;
-    }
-    case Op::CmpP: {
-      bool R = evalCmpInt<uint64_t>(static_cast<CmpOp>(In.A), SP[-2].U,
-                                    SP[-1].U);
-      --SP;
-      SP[-1].I = R ? 1 : 0;
-      break;
-    }
-    case Op::PNullCmp: {
-      bool IsNull = ptrSpace(SP[-1].U) == Space::Null;
-      SP[-1].I = ((In.A != 0) == IsNull) ? 1 : 0;
-      break;
-    }
-
-    // ---- pointer arithmetic -----------------------------------------------
-    case Op::PtrAdd: {
-      int64_t Delta = static_cast<int64_t>(static_cast<int32_t>(SP[-1].I)) *
-                      static_cast<int64_t>(In.A);
-      if (In.B)
-        Delta = -Delta;
-      uint64_t Ptr = SP[-2].U;
-      uint32_t Off = static_cast<uint32_t>(ptrOffset(Ptr) + Delta);
-      SP[-2].U = (Ptr & 0xff00000000000000ull) | Off;
-      --SP;
-      break;
-    }
-
-    // ---- control flow -----------------------------------------------------
-    case Op::Jump:
-      PC = In.A;
-      continue;
-    case Op::JfI:
-      if ((--SP)->I == 0) {
-        PC = In.A;
-        continue;
-      }
-      break;
-    case Op::JfD:
-      if ((--SP)->D == 0.0) {
-        PC = In.A;
-        continue;
-      }
-      break;
-    case Op::JfP:
-      if (ptrSpace((--SP)->U) == Space::Null) {
-        PC = In.A;
-        continue;
-      }
-      break;
-    case Op::JtI:
-      if ((--SP)->I != 0) {
-        PC = In.A;
-        continue;
-      }
-      break;
-    case Op::JtD:
-      if ((--SP)->D != 0.0) {
-        PC = In.A;
-        continue;
-      }
-      break;
-    case Op::JtP:
-      if (ptrSpace((--SP)->U) != Space::Null) {
-        PC = In.A;
-        continue;
-      }
-      break;
-
-    // ---- instrumentation --------------------------------------------------
-    case Op::CondSite: {
-      double B = (--SP)->D;
-      double A = (--SP)->D;
-      bool Out = rt::cond(In.A, static_cast<CmpOp>(In.B), A, B);
-      (SP++)->I = Out ? 1 : 0;
-      break;
-    }
-
-    // ---- calls ------------------------------------------------------------
-    case Op::Call: {
-      const FunctionInfo &F = Fns[In.A];
-      if (Frames.size() >= Opts.MaxCallDepth) {
-        trap("call depth limit exceeded");
-        return SP - Stack;
-      }
-      uint32_t Base = FrameTop;
-      uint64_t Needed = static_cast<uint64_t>(Base) + F.FrameBytes;
-      if (Needed > Opts.MaxStackBytes) {
-        trap("interpreter stack overflow");
-        return SP - Stack;
-      }
-      size_t NArgs = F.ParamTypes.size();
-      if ((SP - Stack) - NArgs + F.MaxOperandDepth > kOpStackSlots) {
-        trap("operand stack overflow");
-        return SP - Stack;
-      }
-      if (FrameMem.size() < Needed) {
-        FrameMem.resize(Needed, 0);
-        FMem = FrameMem.data();
-      }
-      FrameTop = static_cast<uint32_t>(Needed);
-      for (size_t P = NArgs; P-- > 0;) {
-        Slot V = *--SP;
-        uint8_t *M = FMem + Base + F.ParamOffsets[P];
-        if (F.ParamTypes[P].isPointer()) {
-          std::memcpy(M, &V.U, 8);
-          continue;
-        }
-        switch (F.ParamTypes[P].Base) {
-        case BaseType::Int: {
-          int32_t W = static_cast<int32_t>(V.I);
-          std::memcpy(M, &W, 4);
-          break;
-        }
-        case BaseType::UInt: {
-          uint32_t W = static_cast<uint32_t>(V.U);
-          std::memcpy(M, &W, 4);
-          break;
-        }
-        case BaseType::Double:
-          std::memcpy(M, &V.D, 8);
-          break;
-        case BaseType::Void:
-          break;
-        }
-      }
-      Frames.push_back({Base, PC + 1});
-      CurBase = Base;
-      PC = F.Entry;
-      continue;
-    }
-    case Op::CallB: {
-      BuiltinId Id = static_cast<BuiltinId>(In.A);
-      if (Id == BuiltinId::Scalbn) {
-        int32_t N = static_cast<int32_t>(SP[-1].I);
-        double A = SP[-2].D;
-        --SP;
-        SP[-1].D = runBuiltin(Id, A, 0.0, N);
-      } else if (In.B == 2) {
-        double B = SP[-1].D;
-        double A = SP[-2].D;
-        --SP;
-        SP[-1].D = runBuiltin(Id, A, B, 0);
-      } else {
-        SP[-1].D = runBuiltin(Id, SP[-1].D, 0.0, 0);
-      }
-      break;
-    }
-    case Op::Ret: {
-      Slot R = *--SP;
-      CallFrame Fr = Frames.back();
-      Frames.pop_back();
-      FrameTop = Fr.Base;
-      CurBase = Frames.empty() ? 0 : Frames.back().Base;
-      PC = Fr.RetPC;
-      *SP++ = R;
-      continue;
-    }
-    case Op::RetV: {
-      CallFrame Fr = Frames.back();
-      Frames.pop_back();
-      FrameTop = Fr.Base;
-      CurBase = Frames.empty() ? 0 : Frames.back().Base;
-      PC = Fr.RetPC;
-      continue;
-    }
-    case Op::TrapOp:
-      trap(Unit->TrapMessages[In.A].c_str());
-      return SP - Stack;
-    case Op::Halt:
-      return SP - Stack;
-    }
-    ++PC;
-  }
+#if COVERME_VM_CGOTO_ENABLED
+  if (CGoto)
+    return execCGoto(StartPC, SP0);
+#endif
+  return execSwitch(StartPC, SP0);
 }
+
+size_t Vm::execSwitch(uint32_t StartPC, size_t SP0) {
+#define VM_USE_CGOTO 0
+#include "lang/VmExecBody.inc"
+#undef VM_USE_CGOTO
+}
+
+#if COVERME_VM_CGOTO_ENABLED
+size_t Vm::execCGoto(uint32_t StartPC, size_t SP0) {
+#define VM_USE_CGOTO 1
+#include "lang/VmExecBody.inc"
+#undef VM_USE_CGOTO
+}
+#else
+size_t Vm::execCGoto(uint32_t StartPC, size_t SP0) {
+  return execSwitch(StartPC, SP0); // this build has no computed-goto loop
+}
+#endif
 
 bool Vm::runGlobalInit() {
   Trapped = false;
@@ -843,24 +267,54 @@ bool Vm::runGlobalInit() {
   return !Trapped;
 }
 
-double Vm::callEntry(unsigned FnIndex, const double *Args) {
-  constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
-  Trapped = false;
-  Message.clear();
+void Vm::bindEntry(unsigned FnIndex) {
   assert(FnIndex < Unit->Functions.size() && "bad function index");
   const FunctionInfo &F = Unit->Functions[FnIndex];
+  Bound.Fn = &F;
+  Bound.Index = FnIndex;
+  Bound.CellBytes = 0;
+  Bound.Valid = true;
+  Bound.InvalidMessage.clear();
+  for (const Type &T : F.ParamTypes) {
+    if (T.isPointer()) {
+      // Only double* entry parameters lower per Sect. 5.3; the first
+      // offending parameter's message matches the unbound path's trap.
+      if (Bound.Valid && T.pointee() != Type(BaseType::Double)) {
+        Bound.Valid = false;
+        Bound.InvalidMessage = "unsupported entry parameter type " +
+                               typeName(T);
+      }
+      Bound.CellBytes += 8;
+    } else if (Bound.Valid && T.Base == BaseType::Void) {
+      Bound.Valid = false;
+      Bound.InvalidMessage = "void entry parameter";
+    }
+  }
+}
+
+double Vm::boundProbe(const double *Args) {
+  constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
+  const FunctionInfo &F = *Bound.Fn;
+  Trapped = false;
+  if (!Message.empty())
+    Message.clear();
+  if (!Bound.Valid) {
+    Trapped = true;
+    Message = Bound.InvalidMessage;
+    return NaN;
+  }
   StepsLeft = Opts.MaxSteps;
   Frames.clear();
 
   // Entry lowering (Sect. 5.3): pointer-parameter cells live at the
   // bottom of the frame arena, below the first frame, exactly like the
-  // interpreter's.
-  uint32_t CellBytes = 0;
-  for (const Type &T : F.ParamTypes)
-    if (T.isPointer())
-      CellBytes += 8;
-  FrameMem.assign(CellBytes, 0);
-  FrameTop = CellBytes;
+  // interpreter's. Shrinking (rather than zero-filling) the arena to the
+  // cell prefix reproduces the per-call arena trajectory bit-exactly:
+  // every cell byte is overwritten by the marshaling loop, and later
+  // frame growth value-initializes, so stale bytes from a previous probe
+  // are never observable.
+  FrameMem.resize(Bound.CellBytes);
+  FrameTop = Bound.CellBytes;
 
   size_t SP = 0;
   uint32_t NextCell = 0;
@@ -868,11 +322,6 @@ double Vm::callEntry(unsigned FnIndex, const double *Args) {
     const Type T = F.ParamTypes[P];
     Slot S{}; // zero-initialized; silences -Wmaybe-uninitialized
     if (T.isPointer()) {
-      if (T.pointee() != Type(BaseType::Double)) {
-        Trapped = true;
-        Message = "unsupported entry parameter type " + typeName(T);
-        return NaN;
-      }
       std::memcpy(FrameMem.data() + NextCell, &Args[P], 8);
       S.U = encodePtr(Space::Frame, NextCell);
       NextCell += 8;
@@ -888,9 +337,7 @@ double Vm::callEntry(unsigned FnIndex, const double *Args) {
         S.U = truncToUInt32(Args[P]);
         break;
       case BaseType::Void:
-        Trapped = true;
-        Message = "void entry parameter";
-        return NaN;
+        break; // unreachable: bindEntry flagged void parameters
       }
     }
     OpStack[SP++] = S;
@@ -920,6 +367,12 @@ double Vm::callEntry(unsigned FnIndex, const double *Args) {
   return 0.0;
 }
 
+double Vm::callEntry(unsigned FnIndex, const double *Args) {
+  if (Bound.Index != FnIndex)
+    bindEntry(FnIndex);
+  return boundProbe(Args);
+}
+
 double Vm::callEntry(const std::string &Name, const double *Args) {
   int Idx = Unit->functionIndex(Name);
   if (Idx < 0) {
@@ -928,6 +381,26 @@ double Vm::callEntry(const std::string &Name, const double *Args) {
     return std::numeric_limits<double>::quiet_NaN();
   }
   return callEntry(static_cast<unsigned>(Idx), Args);
+}
+
+void Vm::runBatch(unsigned FnIndex, const double *Xs, size_t Count, size_t N,
+                  double *Out) {
+  if (Bound.Index != FnIndex)
+    bindEntry(FnIndex);
+  // With a context installed this is the batched FOO_R entry: each row is
+  // the exact BoundRun::eval sequence (beginRun, body, read r), with the
+  // binding and per-batch bookkeeping above this loop instead of inside
+  // it. Without one it degenerates to a loop of plain body calls.
+  if (ExecutionContext *Ctx = ExecutionContext::current()) {
+    for (size_t I = 0; I < Count; ++I) {
+      Ctx->beginRun();
+      boundProbe(Xs + I * N);
+      Out[I] = Ctx->R;
+    }
+    return;
+  }
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = boundProbe(Xs + I * N);
 }
 
 Vm &bc::threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,

@@ -17,8 +17,24 @@
 /// total execution — every trap (OOB, null deref, division by zero,
 /// budget exhaustion) abandons the call and surfaces as NaN. The
 /// InterpOptions budgets carry the same meaning on both tiers: MaxSteps
-/// bounds units of work (AST nodes there, instructions here), so a loop
-/// that exhausts the budget yields NaN rather than hanging either way.
+/// bounds units of work (AST nodes there, instruction step costs here),
+/// so a loop that exhausts the budget yields NaN rather than hanging
+/// either way.
+///
+/// Two dispatch loops drive the same handlers (src/lang/VmExecBody.inc):
+/// a portable switch loop and, when the build enables COVERME_VM_CGOTO on
+/// a GNU-compatible toolchain, a computed-goto direct-threaded loop.
+/// InterpOptions::Dispatch selects per Vm; results are bit-identical.
+///
+/// The step budget is charged per basic block, not per instruction: at
+/// exec entry and at every control transfer the VM charges the upcoming
+/// straight-line run's pre-summed cost (CompiledUnit::BlockCost) and then
+/// executes it check-free. A block whose cost exceeds the remaining
+/// budget traps *before* executing — a deterministic exhaustion point
+/// that is identical across both dispatch modes and across fused/unfused
+/// streams (fused instructions carry their original costs), and a run
+/// completes under a given budget iff it completes under the classic
+/// per-instruction accounting (total drain is equal).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,12 +71,42 @@ public:
   /// Name-resolving overload; traps (NaN) on an unknown function.
   double callEntry(const std::string &Name, const double *Args);
 
+  /// The batched probe entry: runs function \p FnIndex over the \p Count
+  /// rows of the row-major matrix \p Xs (each row \p N doubles, N = the
+  /// function's parameter count) with entry binding — index resolution,
+  /// parameter-cell layout, validation, result-conversion metadata —
+  /// done once instead of per probe (per-row state resets remain; they
+  /// are what make each row bit-identical to a callEntry of it).
+  ///
+  /// When an ExecutionContext is installed on this thread, each row is
+  /// evaluated as one representing-function probe: the context's
+  /// beginRun() fires before the body and Out[I] receives the context's r
+  /// afterwards — exactly the RepresentingFunction::BoundRun::eval
+  /// sequence, which is what Program::BoundBody::InvokeBatch routes here.
+  /// With no context installed, Out[I] is the body's own return value
+  /// (NaN on traps), matching a loop of callEntry.
+  void runBatch(unsigned FnIndex, const double *Xs, size_t Count, size_t N,
+                double *Out);
+
+  /// Resolves \p FnIndex's entry metadata (parameter cell layout, result
+  /// conversion) once so repeated probes skip the per-call setup; called
+  /// by Program binders before a minimization run. callEntry/runBatch
+  /// rebind transparently when asked for a different function.
+  void bindEntry(unsigned FnIndex);
+
   /// True when the last callEntry trapped; trapMessage() says why.
   bool trapped() const { return Trapped; }
   const std::string &trapMessage() const { return Message; }
 
   const CompiledUnit &unit() const { return *Unit; }
   const InterpOptions &options() const { return Opts; }
+
+  /// True when this build compiled the computed-goto dispatch loop in
+  /// (COVERME_VM_CGOTO on a GNU-compatible toolchain).
+  static bool cgotoAvailable();
+
+  /// The dispatch loop this Vm resolved to: "cgoto" or "switch".
+  const char *dispatchName() const { return CGoto ? "cgoto" : "switch"; }
 
   /// Runs the file-scope init routine against a zeroed global arena;
   /// used by the compiler to bake CompiledUnit::GlobalImage. Returns
@@ -78,12 +124,23 @@ private:
     uint32_t RetPC = 0; ///< Caller instruction to resume (or the Halt).
   };
 
+  /// Entry metadata bindEntry caches for the probe fast path.
+  struct BoundEntry {
+    const FunctionInfo *Fn = nullptr;
+    unsigned Index = ~0u;
+    uint32_t CellBytes = 0; ///< Pointer-parameter cell bytes below frame 0.
+    bool Valid = false;     ///< False: probing traps with InvalidMessage.
+    std::string InvalidMessage;
+  };
+
   std::shared_ptr<const CompiledUnit> Unit;
   InterpOptions Opts;
+  bool CGoto = false;             ///< Resolved dispatch mode.
   std::vector<uint8_t> GlobalMem; ///< Private copy of GlobalImage.
   std::vector<uint8_t> FrameMem;  ///< Frame arena; grows like Interp's.
   std::vector<Slot> OpStack;      ///< Fixed capacity; never reallocates.
   std::vector<CallFrame> Frames;
+  BoundEntry Bound;
   uint32_t FrameTop = 0;
   uint64_t StepsLeft = 0;
   bool Trapped = false;
@@ -91,12 +148,19 @@ private:
 
   void trap(const char *Why);
 
+  /// One probe of the bound entry: the per-call tail of callEntry with
+  /// the binding work already done.
+  double boundProbe(const double *Args);
+
   /// Resolves a checked pointer access; null on trap.
   uint8_t *resolve(uint64_t Ptr, unsigned Size);
 
-  /// Dispatch loop from \p StartPC until Halt or trap. \p SP0 is the
-  /// operand-stack depth on entry; returns the depth on exit.
+  /// Dispatch from \p StartPC until Halt or trap. \p SP0 is the operand-
+  /// stack depth on entry; returns the depth on exit. Routes to the
+  /// resolved dispatch loop; both loops share their handler bodies.
   size_t exec(uint32_t StartPC, size_t SP0);
+  size_t execSwitch(uint32_t StartPC, size_t SP0);
+  size_t execCGoto(uint32_t StartPC, size_t SP0);
 };
 
 /// The per-thread Vm for \p Unit, created on first use. This is what

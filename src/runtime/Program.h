@@ -18,6 +18,7 @@
 #define COVERME_RUNTIME_PROGRAM_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -58,6 +59,15 @@ struct Program {
     RawBodyFn Raw = nullptr; ///< Direct native body, when available.
     double (*Invoke)(void *State, uint64_t Imm,
                      const double *Args) = nullptr; ///< Else: one trampoline.
+    /// Optional wide representing-function entry (the VM tier's batched
+    /// probe path). Contract: the caller has an ExecutionContext installed
+    /// and pen configured for the run; for each of the Count rows of the
+    /// row-major matrix Xs the callee performs exactly the BoundRun::eval
+    /// sequence — context beginRun(), one body execution, Out[I] = the
+    /// context's r — with the per-probe entry bookkeeping hoisted out of
+    /// the loop. Bit-identical to looping eval; only the setup cost moves.
+    void (*InvokeBatch)(void *State, uint64_t Imm, const double *Xs,
+                        size_t Count, size_t N, double *Out) = nullptr;
     void *State = nullptr;
     uint64_t Imm = 0;
 

@@ -86,7 +86,17 @@ public:
       return Ctx.R;
     }
 
+    /// Batched probes. When the bound body exposes a wide entry (the
+    /// bytecode VM's runBatch), the whole generation goes down in one
+    /// call — per-batch setup once, per-probe cost just beginRun + body;
+    /// otherwise falls back to the row-by-row loop. Both paths are
+    /// bit-identical to looping eval().
     void evalBatch(const double *Xs, size_t Count, size_t N, double *Out) {
+      assert(N == Arity && "input arity mismatch");
+      if (Body.InvokeBatch) {
+        Body.InvokeBatch(Body.State, Body.Imm, Xs, Count, N, Out);
+        return;
+      }
       for (size_t I = 0; I < Count; ++I)
         Out[I] = eval(Xs + I * N, N);
     }

@@ -1,0 +1,305 @@
+//===- DisasmTest.cpp - Golden disassembly of the peephole pass output ----===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Pins the exact bytecode the compiler + fusion pass produce for
+// representative SourceSuite subjects. The superinstruction pass is a
+// correctness-critical rewrite (traces, traps, and budgets must stay
+// bit-identical), so its output is pinned verbatim: any change to the
+// lowering, the fusion patterns, the constant pool layout, or the
+// disassembler's rendering shows up here as a readable diff and must be
+// reviewed deliberately rather than slip in silently. Structural
+// properties (fusion shrinks streams, costs conserve step budgets,
+// unfused streams contain no superinstructions) are asserted across the
+// whole suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Disasm.h"
+#include "lang/SourceProgram.h"
+#include "lang/SourceSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+namespace {
+
+SourceProgram compileSuite(const char *Name, bool Fuse) {
+  const SourceBenchmark *B = findSourceBenchmark(Name);
+  EXPECT_NE(B, nullptr) << Name;
+  SourceProgramOptions Opts;
+  Opts.Fuse = Fuse;
+  SourceProgram SP = compileSourceProgram(B->Source, B->Name, Opts);
+  EXPECT_TRUE(SP.success()) << SP.diagnosticsText();
+  return SP;
+}
+
+/// Total step cost of a stream = what a full straight-line execution of
+/// every instruction would charge; fused and unfused streams of one
+/// program must conserve it (superinstructions carry their originals'
+/// cost).
+uint64_t totalCost(const bc::CompiledUnit &U) {
+  uint64_t Sum = 0;
+  for (const bc::Insn &In : U.Code)
+    Sum += In.Cost;
+  return Sum;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Golden listings: the paper's Fig. 1 subject and a small integer-heavy one
+//===----------------------------------------------------------------------===//
+
+TEST(DisasmGoldenTest, TanhFusedStream) {
+  SourceProgram SP = compileSuite("tanh", /*Fuse=*/true);
+  EXPECT_EQ(bc::disassemble(*SP.Code), R"disasm(unit: 98 insns, 1 functions, pool 8 slots (5 literal requests), 6 sites
+fusion: on, 26 superinsns (124 -> 98 insns)
+
+tanh(1 params): frame 40 bytes, entry 0, thunk 89
+    0  ConstD      pool[0]=0
+    1  StFD        f+8
+    2  ConstD      pool[0]=0
+    3  StFD        f+16
+    4  ConstI      0
+    5  StFI        f+24
+    6  ConstI      0
+    7  StFI        f+32
+    8  ConstI      1
+    9  AddrF       f+0
+   10  Swap
+   11  PtrAdd      +4 bytes/elem
+   12  LoadI
+   13  StFI        f+24
+   14  LdFI        f+24
+   15  ConstI      2147483647
+   16  And32
+   17  U2I
+   18  StFI        f+32
+   19  LdFI2D      f+32  ; cost 2
+   20  ConstD      pool[4]=2146435072  ; cost 2
+   21  CondSiteJf  site 0 >= -> 34  ; cost 2
+   22  LdFI2D      f+24  ; cost 2
+   23  ConstD      pool[0]=0  ; cost 2
+   24  CondSiteJf  site 1 >= -> 30  ; cost 2
+   25  LdGD        g+0
+   26  LdFDivD     f+0  ; cost 2
+   27  LdGAddD     g+0  ; cost 2
+   28  Ret
+   29  Jump        -> 34
+   30  LdGD        g+0
+   31  LdFDivD     f+0  ; cost 2
+   32  LdGSubD     g+0  ; cost 2
+   33  Ret
+   34  LdFI2D      f+32  ; cost 2
+   35  ConstD      pool[5]=1077280768  ; cost 2
+   36  CondSiteJf  site 2 < -> 76  ; cost 2
+   37  LdFI2D      f+32  ; cost 2
+   38  ConstD      pool[6]=1015021568  ; cost 2
+   39  CondSiteJf  site 3 < -> 45  ; cost 2
+   40  LdFD        f+0
+   41  LdGD        g+0
+   42  LdFAddD     f+0  ; cost 2
+   43  MulD
+   44  Ret
+   45  LdFI2D      f+32  ; cost 2
+   46  ConstD      pool[7]=1072693248  ; cost 2
+   47  CondSiteJf  site 4 >= -> 62  ; cost 2
+   48  LdGD        g+8
+   49  LdFD        f+0
+   50  CallB       fabs/1
+   51  MulD
+   52  CallB       expm1/1
+   53  StFD        f+8
+   54  LdGD        g+0
+   55  LdGD        g+8
+   56  LdFD        f+8
+   57  LdGAddD     g+8  ; cost 2
+   58  DivD
+   59  SubD
+   60  StFD        f+16
+   61  Jump        -> 75
+   62  LdGD        g+8
+   63  NegD
+   64  LdFD        f+0
+   65  CallB       fabs/1
+   66  MulD
+   67  CallB       expm1/1
+   68  StFD        f+8
+   69  LdFD        f+8
+   70  NegD
+   71  LdFD        f+8
+   72  LdGAddD     g+8  ; cost 2
+   73  DivD
+   74  StFD        f+16
+   75  Jump        -> 79
+   76  LdGD        g+0
+   77  LdGSubD     g+16  ; cost 2
+   78  StFD        f+16
+   79  LdFI2D      f+24  ; cost 2
+   80  ConstD      pool[0]=0  ; cost 2
+   81  CondSiteJf  site 5 >= -> 85  ; cost 2
+   82  LdFD        f+16
+   83  Ret
+   84  Jump        -> 88
+   85  LdFD        f+16
+   86  NegD
+   87  Ret
+   88  TrapOp      "pointer used as a number"
+   89  Call        tanh
+   90  Halt
+
+global-init:
+   91  ConstD      pool[1]=1
+   92  StGD        g+0
+   93  ConstD      pool[2]=2
+   94  StGD        g+8
+   95  ConstD      pool[3]=1e-300
+   96  StGD        g+16
+   97  Halt
+)disasm");
+}
+
+TEST(DisasmGoldenTest, LogbFusedStream) {
+  SourceProgram SP = compileSuite("logb", /*Fuse=*/true);
+  EXPECT_EQ(bc::disassemble(*SP.Code), R"disasm(unit: 56 insns, 1 functions, pool 4 slots (2 literal requests), 3 sites
+fusion: on, 8 superinsns (65 -> 56 insns)
+
+logb(1 params): frame 24 bytes, entry 0, thunk 53
+    0  ConstI      0
+    1  StFI        f+8
+    2  ConstI      0
+    3  StFI        f+16
+    4  ConstI      1
+    5  AddrF       f+0
+    6  Swap
+    7  PtrAdd      +4 bytes/elem
+    8  LoadI
+    9  ConstI      2147483647
+   10  And32
+   11  U2I
+   12  StFI        f+16
+   13  AddrF       f+0
+   14  LoadI
+   15  StFI        f+8
+   16  LdFI        f+16
+   17  LdFI        f+8
+   18  Or32
+   19  U2I
+   20  I2D
+   21  ConstD      pool[2]=0  ; cost 2
+   22  CondSiteJf  site 0 == -> 29  ; cost 2
+   23  ConstD      pool[0]=1
+   24  NegD
+   25  LdFD        f+0
+   26  CallB       fabs/1
+   27  DivD
+   28  Ret
+   29  LdFI2D      f+16  ; cost 2
+   30  ConstD      pool[3]=2146435072  ; cost 2
+   31  CondSiteJf  site 1 >= -> 34  ; cost 2
+   32  LdF2MulD    f+0, f+0  ; cost 3
+   33  Ret
+   34  ConstI      20
+   35  I2U
+   36  LdFI        f+16
+   37  Swap
+   38  ShrI
+   39  StFI        f+16, keep
+   40  I2D
+   41  ConstD      pool[2]=0  ; cost 2
+   42  CondSiteJf  site 2 == -> 47  ; cost 2
+   43  ConstD      pool[1]=1022
+   44  NegD
+   45  Ret
+   46  Jump        -> 52
+   47  LdFI        f+16
+   48  ConstI      1023
+   49  SubI
+   50  I2D
+   51  Ret
+   52  TrapOp      "pointer used as a number"
+   53  Call        logb
+   54  Halt
+
+global-init:
+   55  Halt
+)disasm");
+}
+
+//===----------------------------------------------------------------------===//
+// Structural properties across the whole suite
+//===----------------------------------------------------------------------===//
+
+TEST(DisasmTest, FusionShrinksStreamsAndConservesStepCost) {
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SourceProgram Fused = compileSuite(B.Name.c_str(), /*Fuse=*/true);
+    SourceProgram Plain = compileSuite(B.Name.c_str(), /*Fuse=*/false);
+    const bc::OptStats &FS = Fused.Code->Stats;
+    const bc::OptStats &PS = Plain.Code->Stats;
+
+    EXPECT_TRUE(FS.FusionEnabled) << B.Name;
+    EXPECT_FALSE(PS.FusionEnabled) << B.Name;
+    EXPECT_EQ(PS.Superinsns, 0u) << B.Name;
+    EXPECT_EQ(PS.InsnsBeforeFusion, PS.InsnsAfterFusion) << B.Name;
+    EXPECT_EQ(FS.InsnsBeforeFusion, PS.InsnsBeforeFusion) << B.Name;
+    EXPECT_EQ(FS.InsnsAfterFusion, Fused.Code->Code.size()) << B.Name;
+    EXPECT_GT(FS.Superinsns, 0u) << B.Name; // every subject has sites
+    EXPECT_LT(FS.InsnsAfterFusion, FS.InsnsBeforeFusion) << B.Name;
+
+    // Budget conservation: ConstI;I2D folds may grow the pool but never
+    // change the summed step cost of the stream.
+    EXPECT_EQ(totalCost(*Fused.Code), totalCost(*Plain.Code)) << B.Name;
+  }
+}
+
+TEST(DisasmTest, UnfusedStreamsContainNoSuperinstructions) {
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SourceProgram Plain = compileSuite(B.Name.c_str(), /*Fuse=*/false);
+    for (const bc::Insn &In : Plain.Code->Code) {
+      EXPECT_EQ(In.Cost, 1u) << B.Name;
+      EXPECT_LT(static_cast<uint8_t>(In.Code),
+                static_cast<uint8_t>(bc::Op::LdF2AddD))
+          << B.Name << ": unfused stream holds " << bc::opName(In.Code);
+    }
+  }
+}
+
+TEST(DisasmTest, EverySiteBranchFusesIntoCondSiteJump) {
+  // genCondJump always emits CondSite directly followed by its branch, so
+  // with fusion on no bare CondSite (or site-less CmpD+branch pair at a
+  // site) should survive in suite subjects.
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SourceProgram Fused = compileSuite(B.Name.c_str(), /*Fuse=*/true);
+    unsigned SiteJumps = 0;
+    for (const bc::Insn &In : Fused.Code->Code) {
+      EXPECT_NE(In.Code, bc::Op::CondSite)
+          << B.Name << ": unfused CondSite survived";
+      if (In.Code == bc::Op::CondSiteJf || In.Code == bc::Op::CondSiteJt)
+        ++SiteJumps;
+    }
+    EXPECT_GT(SiteJumps, 0u) << B.Name;
+  }
+}
+
+TEST(DisasmTest, BlockCostsCoverEveryInstruction) {
+  // BlockCost[PC] spans PC through its block terminator; spot-check the
+  // invariants the VM's charging relies on: defined everywhere, >= the
+  // instruction's own cost, and exactly the instruction cost on
+  // terminators.
+  for (bool Fuse : {true, false}) {
+    SourceProgram SP = compileSuite("tanh", Fuse);
+    const bc::CompiledUnit &U = *SP.Code;
+    ASSERT_EQ(U.BlockCost.size(), U.Code.size());
+    for (size_t PC = 0; PC < U.Code.size(); ++PC) {
+      EXPECT_GE(U.BlockCost[PC], U.Code[PC].Cost) << PC;
+      if (bc::isBlockTerminator(U.Code[PC].Code))
+        EXPECT_EQ(U.BlockCost[PC], U.Code[PC].Cost) << PC;
+      else
+        EXPECT_EQ(U.BlockCost[PC], U.Code[PC].Cost + U.BlockCost[PC + 1])
+            << PC;
+    }
+  }
+}

@@ -19,6 +19,7 @@
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "lang/SourceProgram.h"
+#include "lang/SourceSuite.h"
 
 #include "core/CoverMe.h"
 #include "fdlibm/Fdlibm.h"
@@ -1024,5 +1025,67 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ArithCase> &Info) {
       return Info.param.Name;
     });
+
+//===----------------------------------------------------------------------===//
+// Bytecode compiler: DoublePool deduplication
+//===----------------------------------------------------------------------===//
+
+TEST(LangBytecodeTest, DoublePoolDeduplicatesRepeatedLiterals) {
+  // Eight literal occurrences, three distinct bit patterns. Fusion off so
+  // PoolSize counts only literal slots (the peephole pass may fold
+  // promoted integer constants into extra ones).
+  const char *Source =
+      "double f(double x) {\n"
+      "  double a = 0.5, b = 0.5, c = 0.5;\n"
+      "  double d = 1.0e300, e = 1.0e300;\n"
+      "  double z = 0.0;\n"
+      "  double w = -0.0;\n" /* negation of the 0.0 literal, not a slot */
+      "  return (x + 0.5) * (a + b + c + d + e + z + w);\n"
+      "}\n";
+  SourceProgramOptions Opts;
+  Opts.Fuse = false;
+  SourceProgram SP = compileSourceProgram(Source, "f", Opts);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  const bc::OptStats &Stats = SP.Code->Stats;
+  EXPECT_EQ(Stats.PoolRequests, 8u);
+  EXPECT_EQ(Stats.PoolSize, 3u); // 0.5, 1e300, 0.0
+  EXPECT_LT(Stats.PoolSize, Stats.PoolRequests);
+  EXPECT_EQ(SP.Code->DoublePool.size(), 3u);
+}
+
+TEST(LangBytecodeTest, DoublePoolKeepsSignedZerosDistinct) {
+  // Dedup is by bit pattern: an explicit -0.0-valued constant must not
+  // collapse onto +0.0 (their division behavior differs).
+  const char *Source =
+      "double f(double x) { return 1.0 / (x + 0.0) + 1.0 / (x - 0.0); }\n";
+  SourceProgramOptions Opts;
+  Opts.Fuse = false;
+  SourceProgram SP = compileSourceProgram(Source, "f", Opts);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  // 1.0 deduplicates (two requests, one slot); 0.0 is one slot.
+  EXPECT_EQ(SP.Code->Stats.PoolRequests, 4u);
+  EXPECT_EQ(SP.Code->Stats.PoolSize, 2u);
+}
+
+TEST(LangBytecodeTest, SuiteSubjectsDeduplicateTheirPools) {
+  // Every embedded Fdlibm source repeats literals (one, two, huge, ...):
+  // the dedup must make the pool strictly smaller than the request count
+  // on at least the known-repetitive subjects, and never larger.
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SourceProgramOptions Opts;
+    Opts.Fuse = false;
+    SourceProgram SP = compileSourceProgram(B.Source, B.Name, Opts);
+    ASSERT_TRUE(SP.success()) << B.Name;
+    const bc::OptStats &Stats = SP.Code->Stats;
+    EXPECT_LE(Stats.PoolSize, Stats.PoolRequests) << B.Name;
+  }
+  const SourceBenchmark *Tanh = findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  SourceProgramOptions Opts;
+  Opts.Fuse = false;
+  SourceProgram SP = compileSourceProgram(Tanh->Source, "tanh", Opts);
+  ASSERT_TRUE(SP.success());
+  EXPECT_LT(SP.Code->Stats.PoolSize, SP.Code->Stats.PoolRequests);
+}
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "lang/SourceSuite.h"
 #include "lang/Vm.h"
 #include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
 #include "support/FloatBits.h"
 #include "support/Random.h"
 
@@ -26,6 +27,7 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -180,6 +182,99 @@ TEST_P(SuiteDifferentialTest, TiersBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     Fdlibm, SuiteDifferentialTest, ::testing::ValuesIn(sourceSuite()),
+    [](const ::testing::TestParamInfo<SourceBenchmark> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// The four VM configurations: {switch, computed-goto} x {fused, unfused}
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct VmConfig {
+  bool Fuse;
+  VmDispatch Dispatch;
+  const char *Name;
+};
+
+/// Every dispatch/fusion combination this build can execute. Builds
+/// configured with COVERME_VM_CGOTO=OFF still differential-test fused vs
+/// unfused under switch dispatch.
+std::vector<VmConfig> vmConfigs() {
+  std::vector<VmConfig> Configs = {
+      {true, VmDispatch::Switch, "switch/fused"},
+      {false, VmDispatch::Switch, "switch/unfused"},
+  };
+  if (bc::Vm::cgotoAvailable()) {
+    Configs.push_back({true, VmDispatch::ComputedGoto, "cgoto/fused"});
+    Configs.push_back({false, VmDispatch::ComputedGoto, "cgoto/unfused"});
+  }
+  return Configs;
+}
+
+/// Runs the battery through the tree-walker and every VM configuration,
+/// asserting all five observably identical (results, traps, traces).
+void expectConfigsAgree(const std::string &Source, const std::string &Entry,
+                        uint64_t Seed, unsigned RandomCount) {
+  SourceProgramOptions FusedOpts;
+  SourceProgram Fused = compileSourceProgram(Source, Entry, FusedOpts);
+  ASSERT_TRUE(Fused.success()) << Fused.diagnosticsText();
+  SourceProgramOptions PlainOpts;
+  PlainOpts.Fuse = false;
+  SourceProgram Plain = compileSourceProgram(Source, Entry, PlainOpts);
+  ASSERT_TRUE(Plain.success()) << Plain.diagnosticsText();
+
+  std::vector<VmConfig> Configs = vmConfigs();
+  std::vector<std::unique_ptr<bc::Vm>> Vms;
+  for (const VmConfig &C : Configs) {
+    InterpOptions Opts;
+    Opts.Dispatch = C.Dispatch;
+    Vms.push_back(std::make_unique<bc::Vm>(
+        C.Fuse ? Fused.Code : Plain.Code, Opts));
+    if (C.Dispatch == VmDispatch::ComputedGoto)
+      ASSERT_STREQ(Vms.back()->dispatchName(), "cgoto");
+    else
+      ASSERT_STREQ(Vms.back()->dispatchName(), "switch");
+  }
+  int FnIndex = Fused.Code->functionIndex(Entry);
+  ASSERT_GE(FnIndex, 0);
+  ASSERT_EQ(Plain.Code->functionIndex(Entry), FnIndex);
+
+  unsigned Arity = Fused.Prog.Arity;
+  for (const auto &X : inputBattery(Arity, Seed, RandomCount)) {
+    TierRun Ref = runTreeWalker(*Fused.Interp, *Fused.Entry, X);
+    for (size_t C = 0; C < Configs.size(); ++C) {
+      TierRun Got = runVm(*Vms[C], static_cast<unsigned>(FnIndex), X);
+      std::string At = Entry + "(";
+      for (unsigned I = 0; I < Arity; ++I)
+        At += (I ? ", " : "") + std::to_string(X[I]);
+      At += ") [" + std::string(Configs[C].Name) + "]";
+      EXPECT_EQ(Ref.ResultBits, Got.ResultBits) << At;
+      EXPECT_EQ(Ref.Trapped, Got.Trapped) << At;
+      ASSERT_EQ(Ref.Trace.size(), Got.Trace.size()) << At;
+      for (size_t I = 0; I < Ref.Trace.size(); ++I) {
+        EXPECT_EQ(Ref.Trace[I].Site, Got.Trace[I].Site) << At << " @" << I;
+        EXPECT_EQ(Ref.Trace[I].Outcome, Got.Trace[I].Outcome)
+            << At << " @" << I;
+      }
+    }
+  }
+}
+
+} // namespace
+
+class SuiteFourConfigTest : public ::testing::TestWithParam<SourceBenchmark> {
+};
+
+TEST_P(SuiteFourConfigTest, DispatchAndFusionBitIdentical) {
+  expectConfigsAgree(GetParam().Source, GetParam().Name,
+                     /*Seed=*/0xf0c0 + GetParam().PaperLines,
+                     /*RandomCount=*/60);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fdlibm, SuiteFourConfigTest, ::testing::ValuesIn(sourceSuite()),
     [](const ::testing::TestParamInfo<SourceBenchmark> &Info) {
       return Info.param.Name;
     });
@@ -405,6 +500,180 @@ TEST(VmDifferentialTest, BudgetedProgramRecoversOnNextCall) {
   double Small[] = {10.0};
   EXPECT_EQ(Vm.callEntry("f", Small), 10.0);
   EXPECT_FALSE(Vm.trapped());
+}
+
+TEST(VmDifferentialTest, ExhaustionPointsIdenticalAcrossConfigs) {
+  // The block-granular accounting contract: for EVERY budget value, all
+  // four VM configurations trap (or complete) with bit-identical results
+  // and the same trace prefix — i.e. the exhaustion point, measured in
+  // everything observable, is independent of dispatch mode and fusion.
+  // The sweep crosses the whole interesting region: budget 0 up through
+  // the first value that lets the run complete.
+  const char *Source = R"(
+    double f(double x) {
+      double acc = 0.0;
+      int i;
+      for (i = 0; i < 40; i++) {
+        if (acc < 1.0e300) acc = acc + x * (double)i;
+        else acc = acc - x;
+      }
+      return acc;
+    }
+  )";
+  ParseResult Parsed = parseTranslationUnit(Source);
+  ASSERT_TRUE(Parsed.success());
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(analyze(*Parsed.TU, Diags));
+
+  bc::CompileResult Fused = bc::compileUnit(*Parsed.TU, {}, /*Fuse=*/true);
+  ASSERT_TRUE(Fused.success()) << Fused.Error;
+  bc::CompileResult Plain = bc::compileUnit(*Parsed.TU, {}, /*Fuse=*/false);
+  ASSERT_TRUE(Plain.success()) << Plain.Error;
+  ASSERT_GT(Fused.Unit->Stats.Superinsns, 0u);
+
+  std::vector<double> X = {1.5};
+  std::vector<VmConfig> Configs = vmConfigs();
+  bool SawPartialTrace = false;
+  uint64_t FirstCompleting = 0;
+  for (uint64_t Budget = 0;; ++Budget) {
+    TierRun Ref;
+    std::string RefMessage;
+    bool RefSet = false;
+    for (const VmConfig &C : Configs) {
+      InterpOptions Opts;
+      Opts.MaxSteps = Budget;
+      Opts.Dispatch = C.Dispatch;
+      bc::Vm Vm(C.Fuse ? Fused.Unit : Plain.Unit, Opts);
+      TierRun Got = runVm(Vm, 0, X);
+      if (!RefSet) {
+        Ref = Got;
+        RefMessage = Vm.trapMessage();
+        RefSet = true;
+        continue;
+      }
+      std::string At = "budget " + std::to_string(Budget) + " [" +
+                       C.Name + "]";
+      EXPECT_EQ(Ref.ResultBits, Got.ResultBits) << At;
+      EXPECT_EQ(Ref.Trapped, Got.Trapped) << At;
+      EXPECT_EQ(RefMessage, Vm.trapMessage()) << At;
+      ASSERT_EQ(Ref.Trace.size(), Got.Trace.size()) << At;
+      for (size_t I = 0; I < Ref.Trace.size(); ++I) {
+        EXPECT_EQ(Ref.Trace[I].Site, Got.Trace[I].Site) << At << " @" << I;
+        EXPECT_EQ(Ref.Trace[I].Outcome, Got.Trace[I].Outcome)
+            << At << " @" << I;
+      }
+    }
+    if (Ref.Trapped && !Ref.Trace.empty())
+      SawPartialTrace = true; // exhausted mid-run with sites already fired
+    if (!Ref.Trapped) {
+      FirstCompleting = Budget;
+      break;
+    }
+    ASSERT_LT(Budget, 4000u) << "sweep failed to reach completion";
+  }
+  // The sweep must have crossed genuinely partial executions, and the
+  // minimal completing budget must match the unfused stream's total work.
+  EXPECT_TRUE(SawPartialTrace);
+  EXPECT_GT(FirstCompleting, 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// The batched probe entry (Vm::runBatch via Program::BoundBody)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FOO_R probes, scalar vs batched, must agree bit-for-bit — including
+/// rows that trap after firing hooks.
+void expectBatchMatchesScalar(const SourceProgram &SP, uint64_t Seed) {
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  ASSERT_NE(SP.Prog.bind().InvokeBatch, nullptr)
+      << "VM tier must expose the wide probe entry";
+
+  unsigned N = SP.Prog.Arity;
+  constexpr size_t Count = 300;
+  std::vector<double> Xs(Count * N);
+  Rng R(Seed);
+  for (size_t I = 0; I < Xs.size(); ++I)
+    Xs[I] = (I % 3) ? R.rawBitsDouble() : R.exponentUniformDouble();
+  // A few rows that hit integer-trap paths when the subject has them.
+  for (size_t I = 0; I < 6 * N && I < Xs.size(); ++I)
+    Xs[I] = 0.25;
+
+  ExecutionContext Ctx(SP.Prog.NumSites);
+  RepresentingFunction FR(SP.Prog, Ctx);
+
+  std::vector<uint64_t> Ref(Count);
+  {
+    RepresentingFunction::BoundRun Run(FR);
+    for (size_t I = 0; I < Count; ++I)
+      Ref[I] = doubleToBits(Run.eval(Xs.data() + I * N, N));
+  }
+  std::vector<double> Got(Count, -1.0);
+  {
+    RepresentingFunction::BoundRun Run(FR);
+    Run.evalBatch(Xs.data(), Count, N, Got.data());
+  }
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Ref[I], doubleToBits(Got[I])) << "row " << I;
+
+  // The unbound convenience entry takes the same wide path.
+  std::vector<double> Got2(Count, -1.0);
+  FR.evalBatch(Xs.data(), Count, N, Got2.data());
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Ref[I], doubleToBits(Got2[I])) << "row " << I;
+}
+
+} // namespace
+
+TEST(VmDifferentialTest, BatchedProbesMatchScalarProbes) {
+  const SourceBenchmark *Tanh = findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  expectBatchMatchesScalar(compileSourceBenchmark(*Tanh), 0xbeef1);
+
+  // Two-parameter subject: row stride N = 2.
+  const SourceBenchmark *Next = findSourceBenchmark("nextafter");
+  ASSERT_NE(Next, nullptr);
+  expectBatchMatchesScalar(compileSourceBenchmark(*Next), 0xbeef2);
+}
+
+TEST(VmDifferentialTest, BatchedProbesMatchScalarWhenRowsTrap) {
+  // A site fires, then the row traps on integer division by zero: the
+  // batched entry must surface the identical post-hook r per row.
+  SourceProgram SP = compileSourceProgram(R"(
+    double f(double x) {
+      int d;
+      d = (int)x;
+      if (x < 8.0) x = x + 1.0;
+      return (double)(7 / d) + x;
+    }
+  )",
+                                          "f");
+  expectBatchMatchesScalar(SP, 0xbeef3);
+}
+
+TEST(VmDifferentialTest, RunBatchWithoutContextMatchesCallEntry) {
+  const SourceBenchmark *Tanh = findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  SourceProgram SP = compileSourceBenchmark(*Tanh);
+  ASSERT_TRUE(SP.success());
+  bc::Vm Vm(SP.Code);
+  int FnIndex = SP.Code->functionIndex("tanh");
+  ASSERT_GE(FnIndex, 0);
+
+  constexpr size_t Count = 64;
+  std::vector<double> Xs(Count);
+  Rng R(7);
+  for (double &V : Xs)
+    V = R.exponentUniformDouble();
+  std::vector<double> Out(Count);
+  Vm.runBatch(static_cast<unsigned>(FnIndex), Xs.data(), Count, 1,
+              Out.data());
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(doubleToBits(Out[I]),
+              doubleToBits(Vm.callEntry(static_cast<unsigned>(FnIndex),
+                                        &Xs[I])))
+        << "row " << I;
 }
 
 //===----------------------------------------------------------------------===//
