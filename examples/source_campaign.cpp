@@ -10,13 +10,16 @@
 // program under test.
 //
 // The body executes on the bytecode VM (compile once, run per thread), so
-// `--threads=N` shards the campaign's rounds; `--tier=interp` falls back
-// to the tree-walking interpreter, which clamps the engine to one thread.
+// `--threads=N` shards the campaign's rounds; `--tier=jit` attaches the
+// x86-64 template JIT on top of the VM (identical results, faster bodies;
+// falls back to the plain VM in a COVERME_JIT=OFF build), and
+// `--tier=interp` falls back to the tree-walking interpreter, which
+// clamps the engine to one thread.
 //
 // Usage:
 //   source_campaign [flags]              # built-in Fig. 1 tanh demo
 //   source_campaign [flags] foo.c entry  # campaign over entry() in foo.c
-//   flags: --tier=vm|interp  --threads=N
+//   flags: --tier=vm|jit|interp  --threads=N
 //          --disasm     print the compiled unit's bytecode (with the
 //                       peephole pass's superinstructions) and exit
 //          --no-fuse    compile without the superinstruction pass
@@ -101,6 +104,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--tier=vm") == 0) {
       SPOpts.Tier = lang::ExecutionTier::Bytecode;
+    } else if (std::strcmp(argv[I], "--tier=jit") == 0) {
+      SPOpts.Tier = lang::ExecutionTier::Jit;
     } else if (std::strcmp(argv[I], "--tier=interp") == 0) {
       SPOpts.Tier = lang::ExecutionTier::TreeWalker;
     } else if (std::strcmp(argv[I], "--disasm") == 0) {
@@ -111,7 +116,7 @@ int main(int argc, char **argv) {
       Threads = static_cast<unsigned>(std::atoi(argv[I] + 10));
     } else if (std::strncmp(argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
-                   "usage: %s [--tier=vm|interp] [--threads=N] [--disasm] "
+                   "usage: %s [--tier=vm|jit|interp] [--threads=N] [--disasm] "
                    "[--no-fuse] [foo.c entry]\n",
                    argv[0]);
       return 2;
@@ -163,7 +168,9 @@ int main(int argc, char **argv) {
   Opts.Seed = 1;
   Opts.Threads = Threads;
   std::printf("executor: %s tier, %u engine thread(s)%s\n",
-              SP.Prog.ThreadSafeBody ? "bytecode-VM" : "tree-walker",
+              SP.Jit ? "bytecode-VM + x86-64 JIT"
+                     : (SP.Prog.ThreadSafeBody ? "bytecode-VM"
+                                               : "tree-walker"),
               CampaignEngine(SP.Prog, Opts).effectiveThreads(),
               !SP.Prog.ThreadSafeBody && Threads > 1
                   ? " (non-reentrant body clamps to 1)"

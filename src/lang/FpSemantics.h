@@ -1,0 +1,83 @@
+//===- FpSemantics.h - Pinned IEEE binary-op semantics --------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one definition of double +, -, *, / that every execution tier
+/// shares. Plain C++ `A + B` is not bit-deterministic across translation
+/// units when an operand is NaN: the operation is commutative for values,
+/// so the compiler freely swaps operands, and the hardware resolves
+/// two-NaN inputs by returning the *first* source operand — which NaN
+/// payload survives depends on register allocation. The tree-walker, the
+/// VM and the JIT are compiled separately (the JIT emits addsd/mulsd
+/// directly), so "bit-identical across tiers" requires pinning the
+/// selection rule in source, not hoping three compilations agree.
+///
+/// The rule pinned here is exactly x86-64 SSE's (addsd/subsd/mulsd/divsd):
+/// if the first operand is NaN, the result is that NaN quieted; else if
+/// the second is NaN, that NaN quieted; else the IEEE result (whose NaN
+/// cases — inf-inf, 0*inf, 0/0 — are order-independent defaults). The JIT
+/// therefore implements this header by construction, and the two
+/// interpreters implement it by calling it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_FPSEMANTICS_H
+#define COVERME_LANG_FPSEMANTICS_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace coverme {
+namespace lang {
+namespace fp {
+
+/// A NaN as SSE propagates it: quiet bit set, sign and payload kept.
+inline double quietNaN(double A) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &A, 8);
+  Bits |= 1ull << 51;
+  std::memcpy(&A, &Bits, 8);
+  return A;
+}
+
+inline double addD(double A, double B) {
+  if (std::isnan(A))
+    return quietNaN(A);
+  if (std::isnan(B))
+    return quietNaN(B);
+  return A + B;
+}
+
+inline double subD(double A, double B) {
+  if (std::isnan(A))
+    return quietNaN(A);
+  if (std::isnan(B))
+    return quietNaN(B);
+  return A - B;
+}
+
+inline double mulD(double A, double B) {
+  if (std::isnan(A))
+    return quietNaN(A);
+  if (std::isnan(B))
+    return quietNaN(B);
+  return A * B;
+}
+
+inline double divD(double A, double B) {
+  if (std::isnan(A))
+    return quietNaN(A);
+  if (std::isnan(B))
+    return quietNaN(B);
+  return A / B; // IEEE: /0 yields inf/NaN
+}
+
+} // namespace fp
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_FPSEMANTICS_H

@@ -2,6 +2,7 @@
 
 #include "lang/Interp.h"
 
+#include "lang/FpSemantics.h"
 #include "runtime/ExecutionContext.h"
 
 #include <cmath>
@@ -393,16 +394,17 @@ Value Evaluator::applyBinary(BinaryOp Op, const Value &L, const Value &R,
   case BinaryOp::Mul:
   case BinaryOp::Div: {
     if (L.Ty.isDouble() || R.Ty.isDouble()) {
+      // Through fp:: so NaN-operand selection is pinned across tiers.
       double A = asDouble(L), B = asDouble(R);
       switch (Op) {
       case BinaryOp::Add:
-        return Value::makeDouble(A + B);
+        return Value::makeDouble(fp::addD(A, B));
       case BinaryOp::Sub:
-        return Value::makeDouble(A - B);
+        return Value::makeDouble(fp::subD(A, B));
       case BinaryOp::Mul:
-        return Value::makeDouble(A * B);
+        return Value::makeDouble(fp::mulD(A, B));
       default:
-        return Value::makeDouble(A / B); // IEEE: /0 yields inf/NaN
+        return Value::makeDouble(fp::divD(A, B)); // IEEE: /0 yields inf/NaN
       }
     }
     if (L.Ty.Base == BaseType::UInt || R.Ty.Base == BaseType::UInt) {

@@ -1,0 +1,1664 @@
+//===- Jit.cpp - x86-64 template JIT over the bytecode tier ---------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// A copy-and-patch style template JIT: every bytecode instruction lowers to
+// a fixed native fragment stitched in stream order, with operand-stack
+// slots pinned to [rsp + depth*8] at the statically known depth of each PC.
+// There is no register allocator and no IR — the price of that simplicity
+// is paid back by the complete absence of dispatch overhead, which is where
+// the VM spends most of its time on Fdlibm-shaped code.
+//
+// Bit-identity with the interpreter tiers is the design constraint that
+// decides every choice below:
+//  * Step budgeting replays the VM's block-granular schedule exactly: the
+//    pre-summed CompiledUnit::BlockCost of the target block is charged on
+//    the same control-flow edges (fragment entry, every jump edge, the
+//    return-to-thunk edge), trapping *before* the block runs.
+//  * libm builtins and the saturating double->int conversions call the very
+//    routines Vm.cpp compiles (bc::detail::*), so no libm or rounding drift
+//    is possible between tiers.
+//  * rt::cond fires through a C bridge at the same sites in the same order
+//    with the same operands.
+//  * Double compares use ucomisd predicate combinations that reproduce C
+//    comparison semantics including NaN (unordered) in every branch.
+//  * Traps exit natively through JitFrame::TrapCode; Vm::jitProbe maps the
+//    codes back to the identical trap strings.
+//
+// Functions the emitter cannot prove safe — anything containing Op::Call
+// or Op::Halt, inconsistent operand depths at a join, an out-of-range jump
+// target — are rejected (CanJit=false) and transparently run on the VM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Jit.h"
+
+#include "runtime/ExecutionContext.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+using namespace coverme;
+using namespace coverme::lang;
+using namespace coverme::lang::bc;
+
+// The emitter needs an x86-64 POSIX target; everything else keeps the API
+// with available() == false.
+#if defined(COVERME_JIT) && defined(__x86_64__) &&                             \
+    (defined(__unix__) || defined(__APPLE__))
+#define COVERME_JIT_ENABLED 1
+#else
+#define COVERME_JIT_ENABLED 0
+#endif
+
+namespace coverme {
+namespace lang {
+namespace bc {
+namespace detail {
+// Defined in Vm.cpp; shared verbatim so the tiers cannot drift.
+int32_t truncToInt32(double V);
+uint32_t truncToUInt32(double V);
+double runBuiltin(BuiltinId Id, double A, double B, int32_t N);
+} // namespace detail
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#if COVERME_JIT_ENABLED
+
+//===----------------------------------------------------------------------===//
+// C bridges the fragments call (SysV ABI, addresses baked as imm64)
+//===----------------------------------------------------------------------===//
+
+extern "C" {
+
+uint64_t covermeJitCond(uint32_t Site, uint32_t Op, double A, double B) {
+  return rt::cond(Site, static_cast<CmpOp>(Op), A, B) ? 1u : 0u;
+}
+
+double covermeJitBuiltin(uint32_t Id, double A, double B) {
+  return detail::runBuiltin(static_cast<BuiltinId>(Id), A, B, 0);
+}
+
+double covermeJitScalbn(double A, int32_t N) {
+  return detail::runBuiltin(BuiltinId::Scalbn, A, 0.0, N);
+}
+
+uint64_t covermeJitD2I(double V) {
+  return static_cast<uint64_t>(static_cast<int64_t>(detail::truncToInt32(V)));
+}
+
+uint64_t covermeJitD2U(double V) { return detail::truncToUInt32(V); }
+
+void covermeJitZero(uint8_t *P, uint64_t N) { std::memset(P, 0, N); }
+
+} // extern "C"
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal x86-64 assembler
+//===----------------------------------------------------------------------===//
+
+// GP register numbers.
+enum : unsigned {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+// Condition codes (jcc = 0F 80+cc, setcc = 0F 90+cc).
+enum : unsigned {
+  CC_B = 0x2,  // below (CF=1)
+  CC_AE = 0x3, // above-equal (CF=0)
+  CC_E = 0x4,  // equal (ZF=1)
+  CC_NE = 0x5, // not equal
+  CC_BE = 0x6, // below-equal (CF=1 or ZF=1)
+  CC_A = 0x7,  // above (CF=0 and ZF=0)
+  CC_P = 0xA,  // parity (unordered)
+  CC_NP = 0xB, // no parity
+  CC_L = 0xC,  // signed less
+  CC_GE = 0xD,
+  CC_LE = 0xE,
+  CC_G = 0xF,
+};
+
+class Asm {
+public:
+  std::vector<uint8_t> Buf;
+
+  size_t pos() const { return Buf.size(); }
+  void byte(uint8_t B) { Buf.push_back(B); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      byte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  // REX prefix; emitted only when a bit is set (all uses below are
+  // register codes < 8 unless extension bits are wanted).
+  void rex(bool W, unsigned R, unsigned X, unsigned B) {
+    uint8_t P = 0x40 | (static_cast<uint8_t>(W) << 3) | (((R >> 3) & 1) << 2) |
+                (((X >> 3) & 1) << 1) | ((B >> 3) & 1);
+    if (P != 0x40)
+      byte(P);
+  }
+  void rexW(unsigned R, unsigned B) {
+    byte(0x48 | (((R >> 3) & 1) << 2) | ((B >> 3) & 1));
+  }
+
+  void modrmReg(unsigned Reg, unsigned Rm) {
+    byte(0xC0 | ((Reg & 7) << 3) | (Rm & 7));
+  }
+  // [Base + disp32], always mod=10 (uniform; avoids the rbp/r13 and
+  // rsp/r12 special cases biting).
+  void modrmMem(unsigned Reg, unsigned Base, int32_t Disp) {
+    byte(0x80 | ((Reg & 7) << 3) | (Base & 7));
+    if ((Base & 7) == RSP)
+      byte(0x24); // SIB: no index
+    u32(static_cast<uint32_t>(Disp));
+  }
+
+  // ---- 64-bit moves -----------------------------------------------------
+  void movRR64(unsigned Dst, unsigned Src) {
+    rexW(Src, Dst);
+    byte(0x89);
+    modrmReg(Src, Dst);
+  }
+  void movRM64(unsigned Dst, unsigned Base, int32_t Disp) {
+    rexW(Dst, Base);
+    byte(0x8B);
+    modrmMem(Dst, Base, Disp);
+  }
+  void movMR64(unsigned Base, int32_t Disp, unsigned Src) {
+    rexW(Src, Base);
+    byte(0x89);
+    modrmMem(Src, Base, Disp);
+  }
+  void movRI64(unsigned Dst, uint64_t Imm) {
+    rexW(0, Dst);
+    byte(0xB8 + (Dst & 7));
+    u64(Imm);
+  }
+
+  // ---- 32-bit moves (results zero-extend to 64) -------------------------
+  void movRR32(unsigned Dst, unsigned Src) {
+    rex(false, Src, 0, Dst);
+    byte(0x89);
+    modrmReg(Src, Dst);
+  }
+  void movRM32(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x8B);
+    modrmMem(Dst, Base, Disp);
+  }
+  void movMR32(unsigned Base, int32_t Disp, unsigned Src) {
+    rex(false, Src, 0, Base);
+    byte(0x89);
+    modrmMem(Src, Base, Disp);
+  }
+  void movRI32(unsigned Dst, uint32_t Imm) {
+    rex(false, 0, 0, Dst);
+    byte(0xB8 + (Dst & 7));
+    u32(Imm);
+  }
+  // Store imm32 as a dword.
+  void movMI32(unsigned Base, int32_t Disp, uint32_t Imm) {
+    rex(false, 0, 0, Base);
+    byte(0xC7);
+    modrmMem(0, Base, Disp);
+    u32(Imm);
+  }
+  // Store sign-extended imm32 as a qword.
+  void movMI64s(unsigned Base, int32_t Disp, int32_t Imm) {
+    rexW(0, Base);
+    byte(0xC7);
+    modrmMem(0, Base, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+
+  // ---- sign extension ---------------------------------------------------
+  void movsxdRM(unsigned Dst, unsigned Base, int32_t Disp) {
+    rexW(Dst, Base);
+    byte(0x63);
+    modrmMem(Dst, Base, Disp);
+  }
+  void movsxdRR(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    byte(0x63);
+    modrmReg(Dst, Src);
+  }
+
+  // ---- ALU --------------------------------------------------------------
+  // "r/m, r" forms: add=01 sub=29 and=21 or=09 xor=31 cmp=39 test=85.
+  void aluRR64(uint8_t Opc, unsigned Dst, unsigned Src) {
+    rexW(Src, Dst);
+    byte(Opc);
+    modrmReg(Src, Dst);
+  }
+  void aluRR32(uint8_t Opc, unsigned Dst, unsigned Src) {
+    rex(false, Src, 0, Dst);
+    byte(Opc);
+    modrmReg(Src, Dst);
+  }
+  // "r, r/m" memory forms: add=03 sub=2B and=23 or=0B xor=33 cmp=3B.
+  void aluRM32(uint8_t Opc, unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(Opc);
+    modrmMem(Dst, Base, Disp);
+  }
+  void imulRM32(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x0F);
+    byte(0xAF);
+    modrmMem(Dst, Base, Disp);
+  }
+  void imulRR64(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    byte(0x0F);
+    byte(0xAF);
+    modrmReg(Dst, Src);
+  }
+  // 81 /ext forms.
+  void aluRI32(uint8_t Ext, unsigned Reg, uint32_t Imm) {
+    rex(false, 0, 0, Reg);
+    byte(0x81);
+    modrmReg(Ext, Reg);
+    u32(Imm);
+  }
+  void aluRI64(uint8_t Ext, unsigned Reg, uint32_t Imm) {
+    rexW(0, Reg);
+    byte(0x81);
+    modrmReg(Ext, Reg);
+    u32(Imm);
+  }
+  void cmpRI32(unsigned Reg, uint32_t Imm) { aluRI32(7, Reg, Imm); }
+  void cmpRI64(unsigned Reg, uint32_t Imm) { aluRI64(7, Reg, Imm); }
+  void subRI64(unsigned Reg, uint32_t Imm) { aluRI64(5, Reg, Imm); }
+  void addRI64(unsigned Reg, uint32_t Imm) { aluRI64(0, Reg, Imm); }
+
+  void testRR64(unsigned A, unsigned B) { aluRR64(0x85, A, B); }
+  void testRR32(unsigned A, unsigned B) { aluRR32(0x85, A, B); }
+
+  // F7 group.
+  void grp3R32(uint8_t Ext, unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xF7);
+    modrmReg(Ext, Reg);
+  }
+  void negR32(unsigned Reg) { grp3R32(3, Reg); }
+  void notR32(unsigned Reg) { grp3R32(2, Reg); }
+  void divR32(unsigned Reg) { grp3R32(6, Reg); }
+  void idivR32(unsigned Reg) { grp3R32(7, Reg); }
+  void negR64(unsigned Reg) {
+    rexW(0, Reg);
+    byte(0xF7);
+    modrmReg(3, Reg);
+  }
+  void cdq() { byte(0x99); }
+
+  // Shifts by cl (hardware masks the count & 31 in 32-bit forms, exactly
+  // the VM's mask).
+  void shlCl32(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xD3);
+    modrmReg(4, Reg);
+  }
+  void shrCl32(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xD3);
+    modrmReg(5, Reg);
+  }
+  void sarCl32(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xD3);
+    modrmReg(7, Reg);
+  }
+  void shrRI64(unsigned Reg, uint8_t Imm) {
+    rexW(0, Reg);
+    byte(0xC1);
+    modrmReg(5, Reg);
+    byte(Imm);
+  }
+
+  // setcc r8 (low registers only: al/cl).
+  void setcc(unsigned CC, unsigned Reg) {
+    byte(0x0F);
+    byte(0x90 + CC);
+    byte(0xC0 | (Reg & 7));
+  }
+  void movzxR32R8(unsigned Dst, unsigned Src) {
+    rex(false, Dst, 0, Src);
+    byte(0x0F);
+    byte(0xB6);
+    modrmReg(Dst, Src);
+  }
+  void and8RR(unsigned Dst, unsigned Src) {
+    byte(0x20);
+    modrmReg(Src, Dst);
+  }
+  void or8RR(unsigned Dst, unsigned Src) {
+    byte(0x08);
+    modrmReg(Src, Dst);
+  }
+
+  void leaRM(unsigned Dst, unsigned Base, int32_t Disp) {
+    rexW(Dst, Base);
+    byte(0x8D);
+    modrmMem(Dst, Base, Disp);
+  }
+  void callR(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xFF);
+    modrmReg(2, Reg);
+  }
+  void push(unsigned Reg) {
+    if (Reg >= 8)
+      byte(0x41);
+    byte(0x50 + (Reg & 7));
+  }
+  void pop(unsigned Reg) {
+    if (Reg >= 8)
+      byte(0x41);
+    byte(0x58 + (Reg & 7));
+  }
+  void ret() { byte(0xC3); }
+
+  // ---- SSE scalar double ------------------------------------------------
+  void movsdXM(unsigned X, unsigned Base, int32_t Disp) {
+    byte(0xF2);
+    rex(false, X, 0, Base);
+    byte(0x0F);
+    byte(0x10);
+    modrmMem(X, Base, Disp);
+  }
+  void movsdMX(unsigned Base, int32_t Disp, unsigned X) {
+    byte(0xF2);
+    rex(false, X, 0, Base);
+    byte(0x0F);
+    byte(0x11);
+    modrmMem(X, Base, Disp);
+  }
+  // addsd=58 mulsd=59 subsd=5C divsd=5E, xmm <- [mem].
+  void sseXM(uint8_t Opc, unsigned X, unsigned Base, int32_t Disp) {
+    byte(0xF2);
+    rex(false, X, 0, Base);
+    byte(0x0F);
+    byte(Opc);
+    modrmMem(X, Base, Disp);
+  }
+  void ucomisdXR(unsigned A, unsigned B) {
+    byte(0x66);
+    rex(false, A, 0, B);
+    byte(0x0F);
+    byte(0x2E);
+    modrmReg(A, B);
+  }
+  void xorpdXR(unsigned Dst, unsigned Src) {
+    byte(0x66);
+    rex(false, Dst, 0, Src);
+    byte(0x0F);
+    byte(0x57);
+    modrmReg(Dst, Src);
+  }
+  void cvtsi2sdXR64(unsigned X, unsigned Reg) {
+    byte(0xF2);
+    rexW(X, Reg);
+    byte(0x0F);
+    byte(0x2A);
+    modrmReg(X, Reg);
+  }
+  void cvtsi2sdXM64(unsigned X, unsigned Base, int32_t Disp) {
+    byte(0xF2);
+    rexW(X, Base);
+    byte(0x0F);
+    byte(0x2A);
+    modrmMem(X, Base, Disp);
+  }
+
+  // ---- control flow (rel32, patched later) ------------------------------
+  size_t jmp32() {
+    byte(0xE9);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  size_t jcc32(unsigned CC) {
+    byte(0x0F);
+    byte(0x80 + CC);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  void patch32(size_t Pos, size_t Target) {
+    int64_t Rel = static_cast<int64_t>(Target) - static_cast<int64_t>(Pos + 4);
+    uint32_t V = static_cast<uint32_t>(static_cast<int32_t>(Rel));
+    for (int I = 0; I < 4; ++I)
+      Buf[Pos + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+  void bindLocal(size_t Pos) { patch32(Pos, pos()); }
+};
+
+//===----------------------------------------------------------------------===//
+// Per-function emitter
+//===----------------------------------------------------------------------===//
+//
+// Fragment ABI (JitFrame offsets are hard-coded; see Jit.h):
+//   rdi on entry = JitFrame*        rbp = JitFrame* (saved)
+//   rbx = FMem base                 r13 = GMem base
+//   r15 = DoublePool base           r14 = StepsLeft
+//   operand slot i lives at [rsp + i*8]; the depth at every PC is static.
+// Scratch: rax rcx rdx rsi rdi r8-r11, xmm0-xmm5 — all caller-saved, so
+// bridge calls need no spills (no operand value is ever live in a scratch
+// register across an instruction boundary).
+
+class FnEmitter {
+public:
+  FnEmitter(const CompiledUnit &U, const FunctionInfo &F, Asm &A)
+      : U(U), F(F), A(A) {}
+
+  /// Analyzes and emits; false leaves the caller to roll the buffer back.
+  bool run() { return analyze() && emit(); }
+
+private:
+  const CompiledUnit &U;
+  const FunctionInfo &F;
+  Asm &A;
+
+  std::vector<int> Depth;       ///< Operand depth before each PC; -1 dead.
+  int MaxDepth = 0;
+  uint32_t CellBytes = 0;       ///< Entry pointer-parameter cells below frame.
+  uint32_t FrameDisp = 0;       ///< CurBase for an entry call (= CellBytes).
+  uint64_t FrameLimit = 0;      ///< FrameMem.size() during the fragment.
+  uint64_t GlobalLimit = 0;     ///< GlobalMem.size() during the fragment.
+  uint32_t StackAdj = 0;        ///< Prologue rsp adjustment (16-aligned).
+
+  std::vector<size_t> CodeOff;  ///< Buffer offset of each emitted PC.
+  struct Fixup {
+    size_t Pos;
+    uint32_t TargetPC;
+  };
+  std::vector<Fixup> JumpFix;   ///< rel32 -> CodeOff[TargetPC]
+  std::vector<Fixup> CondStubs; ///< taken-edge stubs: charge + jump
+  std::vector<size_t> TrapFix[8]; ///< per-JitTrap jcc/jmp sites
+  std::vector<size_t> ExitFix;  ///< jumps to the epilogue
+
+  static int32_t slot(int D) { return D * 8; }
+
+  bool effect(const Insn &I, int &Pop, int &Push, bool &Terminal) {
+    Terminal = false;
+    switch (I.Code) {
+    case Op::ConstD:
+    case Op::ConstI:
+    case Op::ConstU:
+    case Op::AddrG:
+    case Op::AddrF:
+    case Op::LdFI:
+    case Op::LdFU:
+    case Op::LdFD:
+    case Op::LdFP:
+    case Op::LdGI:
+    case Op::LdGU:
+    case Op::LdGD:
+    case Op::LdGP:
+    case Op::LdF2AddD:
+    case Op::LdF2SubD:
+    case Op::LdF2MulD:
+    case Op::LdF2DivD:
+    case Op::LdFI2D:
+    case Op::LdFU2D:
+      Pop = 0;
+      Push = 1;
+      return true;
+    case Op::Pop:
+      Pop = 1;
+      Push = 0;
+      return true;
+    case Op::Dup:
+      Pop = 1;
+      Push = 2;
+      return true;
+    case Op::Swap:
+      Pop = 2;
+      Push = 2;
+      return true;
+    case Op::Rot:
+      Pop = 3;
+      Push = 3;
+      return true;
+    case Op::LoadI:
+    case Op::LoadU:
+    case Op::LoadD:
+    case Op::LoadP:
+    case Op::NegD:
+    case Op::NegI:
+    case Op::NegU:
+    case Op::NotI:
+    case Op::NotU:
+    case Op::BoolI:
+    case Op::BoolD:
+    case Op::BoolP:
+    case Op::LogNotI:
+    case Op::LogNotD:
+    case Op::LogNotP:
+    case Op::I2D:
+    case Op::U2D:
+    case Op::D2I:
+    case Op::D2U:
+    case Op::I2U:
+    case Op::U2I:
+    case Op::I2P:
+    case Op::PNullCmp:
+    case Op::LdFAddD:
+    case Op::LdFSubD:
+    case Op::LdFMulD:
+    case Op::LdFDivD:
+    case Op::LdGAddD:
+    case Op::LdGSubD:
+    case Op::LdGMulD:
+    case Op::LdGDivD:
+    case Op::ConstAddD:
+    case Op::ConstSubD:
+    case Op::ConstMulD:
+    case Op::ConstDivD:
+      Pop = 1;
+      Push = 1;
+      return true;
+    case Op::StoreI:
+    case Op::StoreU:
+    case Op::StoreD:
+    case Op::StoreP:
+      Pop = 2;
+      Push = I.B ? 1 : 0;
+      return true;
+    case Op::StFI:
+    case Op::StFU:
+    case Op::StFD:
+    case Op::StFP:
+    case Op::StGI:
+    case Op::StGU:
+    case Op::StGD:
+    case Op::StGP:
+      Pop = 1;
+      Push = I.B ? 1 : 0;
+      return true;
+    case Op::ZeroF:
+    case Op::ZeroG:
+      Pop = 0;
+      Push = 0;
+      return true;
+    case Op::AddD:
+    case Op::SubD:
+    case Op::MulD:
+    case Op::DivD:
+    case Op::AddI:
+    case Op::SubI:
+    case Op::MulI:
+    case Op::DivI:
+    case Op::RemI:
+    case Op::AddU:
+    case Op::SubU:
+    case Op::MulU:
+    case Op::DivU:
+    case Op::RemU:
+    case Op::ShlI:
+    case Op::ShrI:
+    case Op::ShlU:
+    case Op::ShrU:
+    case Op::And32:
+    case Op::Or32:
+    case Op::Xor32:
+    case Op::CmpD:
+    case Op::CmpI:
+    case Op::CmpU:
+    case Op::CmpP:
+    case Op::PtrAdd:
+    case Op::CondSite:
+      Pop = 2;
+      Push = 1;
+      return true;
+    case Op::Jump:
+      Pop = 0;
+      Push = 0;
+      return true;
+    case Op::JfI:
+    case Op::JfD:
+    case Op::JfP:
+    case Op::JtI:
+    case Op::JtD:
+    case Op::JtP:
+      Pop = 1;
+      Push = 0;
+      return true;
+    case Op::CondSiteJf:
+    case Op::CondSiteJt:
+    case Op::CmpDJf:
+    case Op::CmpDJt:
+      Pop = 2;
+      Push = 0;
+      return true;
+    case Op::CallB:
+      if (static_cast<BuiltinId>(I.A) == BuiltinId::Scalbn || I.B == 2) {
+        Pop = 2;
+        Push = 1;
+      } else {
+        Pop = 1;
+        Push = 1;
+      }
+      return true;
+    case Op::Ret:
+      Pop = 1;
+      Push = 0;
+      Terminal = true;
+      return true;
+    case Op::RetV:
+    case Op::TrapOp:
+      Pop = 0;
+      Push = 0;
+      Terminal = true;
+      return true;
+    case Op::Call:
+    case Op::Halt:
+    default:
+      return false; // not JIT-able: fall back to the VM
+    }
+  }
+
+  // Worklist reachability + static operand-depth check from F.Entry.
+  // Rejection (false) means CanJit=false for this function.
+  bool analyze() {
+    size_t N = U.Code.size();
+    if (F.Entry >= N)
+      return false;
+    Depth.assign(N, -1);
+    std::vector<uint32_t> Work;
+    auto visit = [&](uint32_t PC, int D) -> bool {
+      if (PC >= N)
+        return false;
+      if (Depth[PC] < 0) {
+        Depth[PC] = D;
+        Work.push_back(PC);
+        return true;
+      }
+      return Depth[PC] == D; // join depths must agree
+    };
+    if (!visit(F.Entry, 0))
+      return false;
+    while (!Work.empty()) {
+      uint32_t PC = Work.back();
+      Work.pop_back();
+      int D = Depth[PC];
+      const Insn &I = U.Code[PC];
+      int Pop, Push;
+      bool Terminal;
+      if (!effect(I, Pop, Push, Terminal))
+        return false;
+      if (D < Pop)
+        return false;
+      int ND = D - Pop + Push;
+      MaxDepth = std::max(MaxDepth, std::max(D, ND));
+      if (Terminal)
+        continue;
+      switch (I.Code) {
+      case Op::Jump:
+        if (!visit(I.A, ND))
+          return false;
+        break;
+      case Op::JfI:
+      case Op::JfD:
+      case Op::JfP:
+      case Op::JtI:
+      case Op::JtD:
+      case Op::JtP:
+      case Op::CondSiteJf:
+      case Op::CondSiteJt:
+      case Op::CmpDJf:
+      case Op::CmpDJt:
+        if (!visit(I.A, ND) || !visit(PC + 1, ND))
+          return false;
+        break;
+      default:
+        if (!visit(PC + 1, ND))
+          return false;
+        break;
+      }
+    }
+    // Block costs must fit the sign-extended imm32 the charges use.
+    for (uint32_t C : U.BlockCost)
+      if (C > 0x7fffffffu)
+        return false;
+    // Entry-call frame geometry: pointer-parameter cells sit below the
+    // frame, so CurBase == CellBytes for the whole fragment.
+    for (const Type &T : F.ParamTypes)
+      if (T.isPointer())
+        CellBytes += 8;
+    FrameDisp = CellBytes;
+    FrameLimit = static_cast<uint64_t>(CellBytes) + F.FrameBytes;
+    GlobalLimit = std::max<uint64_t>(U.GlobalImage.size(), U.GlobalBytes);
+    uint64_t Slots = static_cast<uint64_t>(MaxDepth) * 8;
+    if (Slots > 0x7fffff00ull)
+      return false;
+    StackAdj = static_cast<uint32_t>((Slots + 15) & ~15ull);
+    return true;
+  }
+
+  // ---- emission helpers -------------------------------------------------
+
+  void jccTrap(unsigned CC, JitTrap T) {
+    TrapFix[static_cast<size_t>(T)].push_back(A.jcc32(CC));
+  }
+  void jmpTrap(JitTrap T) {
+    TrapFix[static_cast<size_t>(T)].push_back(A.jmp32());
+  }
+
+  // The VM's VM_CHARGE against BlockCost[TargetPC]: trap *before* running
+  // a block that does not fit the remaining budget. r14 = StepsLeft.
+  void charge(uint32_t TargetPC) {
+    uint32_t C = U.BlockCost[TargetPC];
+    if (C == 0)
+      return;
+    A.cmpRI64(R14, C);
+    jccTrap(CC_B, JitTrap::Budget);
+    A.subRI64(R14, C);
+  }
+
+  void jmpTo(uint32_t TargetPC) { JumpFix.push_back({A.jmp32(), TargetPC}); }
+
+  // Conditional edge to TargetPC: the jcc lands on an out-of-line stub
+  // that charges BlockCost[TargetPC] and jumps to its code, mirroring the
+  // VM's charge-on-every-edge schedule.
+  void jccTo(unsigned CC, uint32_t TargetPC) {
+    CondStubs.push_back({A.jcc32(CC), TargetPC});
+  }
+
+  void callBridge(const void *Fn) {
+    A.movRI64(RAX, reinterpret_cast<uint64_t>(Fn));
+    A.callR(RAX);
+  }
+
+  // Vm::resolve: decodes the space-tagged pointer in rax into an address
+  // in rdx, trapping exactly like the VM (null deref; OOB on bad offsets
+  // and on reinterpreted non-pointer bytes). Clobbers rcx.
+  void emitResolve(unsigned Size) {
+    A.movRR64(RCX, RAX);
+    A.shrRI64(RCX, 56);
+    A.cmpRI32(RCX, 1);
+    size_t JGlobal = A.jcc32(CC_E);
+    A.cmpRI32(RCX, 2);
+    size_t JFrame = A.jcc32(CC_E);
+    A.testRR32(RCX, RCX);
+    jccTrap(CC_E, JitTrap::NullDeref);
+    jmpTrap(JitTrap::OutOfBounds);
+    A.bindLocal(JGlobal);
+    A.movRR32(RDX, RAX); // zero-extended 32-bit offset
+    if (GlobalLimit >= Size) {
+      A.cmpRI32(RDX, static_cast<uint32_t>(GlobalLimit - Size));
+      jccTrap(CC_A, JitTrap::OutOfBounds);
+      A.aluRR64(0x01, RDX, R13); // rdx += GMem
+    } else {
+      jmpTrap(JitTrap::OutOfBounds);
+    }
+    size_t JDone = A.jmp32();
+    A.bindLocal(JFrame);
+    A.movRR32(RDX, RAX);
+    if (FrameLimit >= Size) {
+      A.cmpRI32(RDX, static_cast<uint32_t>(FrameLimit - Size));
+      jccTrap(CC_A, JitTrap::OutOfBounds);
+      A.aluRR64(0x01, RDX, RBX); // rdx += FMem
+    } else {
+      jmpTrap(JitTrap::OutOfBounds);
+    }
+    A.bindLocal(JDone);
+  }
+
+  // Branch to TargetPC on evalCmp(Cmp, xmm0, xmm1) == WhenTrue, NaN
+  // semantics included: unordered makes every ordered compare false (the
+  // WhenTrue=false forms jump, the WhenTrue=true forms fall through) —
+  // except NE, which NaN satisfies.
+  void emitCmpDBranch(CmpOp Cmp, bool WhenTrue, uint32_t TargetPC) {
+    switch (Cmp) {
+    case CmpOp::EQ:
+    case CmpOp::NE: {
+      A.ucomisdXR(0, 1);
+      bool JumpOnEqual = (Cmp == CmpOp::EQ) == WhenTrue;
+      if (JumpOnEqual) {
+        size_t JFall = A.jcc32(CC_P);
+        jccTo(CC_E, TargetPC);
+        A.bindLocal(JFall);
+      } else {
+        jccTo(CC_P, TargetPC);
+        jccTo(CC_NE, TargetPC);
+      }
+      break;
+    }
+    case CmpOp::LT:
+      A.ucomisdXR(1, 0);
+      jccTo(WhenTrue ? CC_A : CC_BE, TargetPC);
+      break;
+    case CmpOp::LE:
+      A.ucomisdXR(1, 0);
+      jccTo(WhenTrue ? CC_AE : CC_B, TargetPC);
+      break;
+    case CmpOp::GT:
+      A.ucomisdXR(0, 1);
+      jccTo(WhenTrue ? CC_A : CC_BE, TargetPC);
+      break;
+    case CmpOp::GE:
+      A.ucomisdXR(0, 1);
+      jccTo(WhenTrue ? CC_AE : CC_B, TargetPC);
+      break;
+    }
+  }
+
+  // rt::cond(Site, Cmp, [d-2], [d-1]) -> rax (0/1). When JitFrame::
+  // CondFast says no context is installed for this probe, the hook is a
+  // pure evalCmp: evaluate it inline and skip the bridge call.
+  void emitCondValue(uint32_t Site, uint32_t Cmp, int D) {
+    A.movsdXM(0, RSP, slot(D - 2));
+    A.movsdXM(1, RSP, slot(D - 1));
+    A.movRM64(RAX, RBP, 48); // JitFrame::CondFast
+    A.testRR64(RAX, RAX);
+    size_t JInline = A.jcc32(CC_NE);
+    A.movRI32(RDI, Site);
+    A.movRI32(RSI, Cmp);
+    callBridge(reinterpret_cast<const void *>(&covermeJitCond));
+    size_t JDone = A.jmp32();
+    A.bindLocal(JInline);
+    emitCmpDFlag(static_cast<CmpOp>(Cmp));
+    A.bindLocal(JDone);
+  }
+
+  // evalCmp(Op, xmm0, xmm1) -> al, reproducing C comparison semantics for
+  // NaN through ucomisd's unordered flags (ZF=PF=CF=1).
+  void emitCmpDFlag(CmpOp Op) {
+    switch (Op) {
+    case CmpOp::EQ:
+      A.ucomisdXR(0, 1);
+      A.setcc(CC_E, RAX);
+      A.setcc(CC_NP, RCX);
+      A.and8RR(RAX, RCX);
+      break;
+    case CmpOp::NE:
+      A.ucomisdXR(0, 1);
+      A.setcc(CC_NE, RAX);
+      A.setcc(CC_P, RCX);
+      A.or8RR(RAX, RCX);
+      break;
+    case CmpOp::LT: // a < b  ==  b ? a above
+      A.ucomisdXR(1, 0);
+      A.setcc(CC_A, RAX);
+      break;
+    case CmpOp::LE:
+      A.ucomisdXR(1, 0);
+      A.setcc(CC_AE, RAX);
+      break;
+    case CmpOp::GT:
+      A.ucomisdXR(0, 1);
+      A.setcc(CC_A, RAX);
+      break;
+    case CmpOp::GE:
+      A.ucomisdXR(0, 1);
+      A.setcc(CC_AE, RAX);
+      break;
+    }
+    A.movzxR32R8(RAX, RAX);
+  }
+
+  // Integer/pointer compare of the full 64-bit slots at [d-2], [d-1],
+  // canonical 0/1 int result stored at [d-2]. Signed for CmpI, unsigned
+  // for CmpU/CmpP — exactly evalCmpInt<int64_t>/<uint64_t>.
+  void emitCmpInt(CmpOp Op, int D, bool Signed) {
+    static const unsigned SignedCC[6] = {CC_E, CC_NE, CC_L, CC_LE, CC_G, CC_GE};
+    static const unsigned UnsignedCC[6] = {CC_E,  CC_NE, CC_B,
+                                           CC_BE, CC_A,  CC_AE};
+    A.movRM64(RAX, RSP, slot(D - 2));
+    A.movRM64(RCX, RSP, slot(D - 1));
+    A.aluRR64(0x39, RAX, RCX); // cmp rax, rcx
+    unsigned CC = (Signed ? SignedCC : UnsignedCC)[static_cast<size_t>(Op)];
+    A.setcc(CC, RAX);
+    A.movzxR32R8(RAX, RAX);
+    A.movMR64(RSP, slot(D - 2), RAX);
+  }
+
+  // Canonical-int store: sign-extend eax and store the slot.
+  void storeCanonI(int D) {
+    A.movsxdRR(RAX, RAX);
+    A.movMR64(RSP, slot(D), RAX);
+  }
+
+  bool emit() {
+    size_t N = U.Code.size();
+    CodeOff.assign(N, SIZE_MAX);
+    // Prologue: 5 pushes leave rsp 16-aligned (entry rsp % 16 == 8), and
+    // StackAdj is a multiple of 16, so every bridge call site is aligned.
+    A.push(RBP);
+    A.push(RBX);
+    A.push(R13);
+    A.push(R14);
+    A.push(R15);
+    A.movRR64(RBP, RDI);
+    if (StackAdj)
+      A.subRI64(RSP, StackAdj);
+    A.movRM64(RBX, RBP, 0);  // FMem
+    A.movRM64(R13, RBP, 8);  // GMem
+    A.movRM64(R15, RBP, 16); // Pool
+    A.movRM64(R14, RBP, 24); // StepsLeft
+    charge(F.Entry); // the VM's VM_JUMP(F.Entry) edge at the entry Call
+    // Reachable PCs in ascending order: a non-terminator's successor PC+1
+    // is always the next emitted PC, so straight-line code falls through.
+    for (uint32_t PC = 0; PC < N; ++PC) {
+      if (Depth[PC] < 0)
+        continue;
+      CodeOff[PC] = A.pos();
+      if (!emitInsn(PC))
+        return false;
+    }
+    // Taken-edge stubs: charge the target block, then jump to it.
+    for (const Fixup &S : CondStubs) {
+      A.patch32(S.Pos, A.pos());
+      charge(S.TargetPC);
+      jmpTo(S.TargetPC);
+    }
+    // Trap stubs (Budget..BadPtrConv); TrapOp writes its code inline.
+    for (uint32_t T = 1; T <= 6; ++T) {
+      if (TrapFix[T].empty())
+        continue;
+      size_t Here = A.pos();
+      for (size_t P : TrapFix[T])
+        A.patch32(P, Here);
+      A.movMI32(RBP, 40, T); // JitFrame::TrapCode
+      ExitFix.push_back(A.jmp32());
+    }
+    // Epilogue: write StepsLeft back, restore, return.
+    size_t Exit = A.pos();
+    for (size_t P : ExitFix)
+      A.patch32(P, Exit);
+    A.movMR64(RBP, 24, R14);
+    if (StackAdj)
+      A.addRI64(RSP, StackAdj);
+    A.pop(R15);
+    A.pop(R14);
+    A.pop(R13);
+    A.pop(RBX);
+    A.pop(RBP);
+    A.ret();
+    // Branch targets are reachable by construction, so they were emitted.
+    for (const Fixup &J : JumpFix) {
+      if (J.TargetPC >= N || CodeOff[J.TargetPC] == SIZE_MAX)
+        return false;
+      A.patch32(J.Pos, CodeOff[J.TargetPC]);
+    }
+    return true;
+  }
+
+  bool emitInsn(uint32_t PC) {
+    const Insn &I = U.Code[PC];
+    int D = Depth[PC];
+    switch (I.Code) {
+    // ---- constants ------------------------------------------------------
+    case Op::ConstD:
+      A.movRM64(RAX, R15, static_cast<int32_t>(I.A * 8));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::ConstI:
+      A.movRI64(RAX, static_cast<uint64_t>(
+                         static_cast<int64_t>(static_cast<int32_t>(I.A))));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::ConstU:
+      A.movRI32(RAX, I.A);
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+
+    // ---- stack shuffling ------------------------------------------------
+    case Op::Pop:
+      return true;
+    case Op::Dup:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::Swap:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.movRM64(RCX, RSP, slot(D - 2));
+      A.movMR64(RSP, slot(D - 1), RCX);
+      A.movMR64(RSP, slot(D - 2), RAX);
+      return true;
+    case Op::Rot:
+      A.movRM64(RAX, RSP, slot(D - 3));
+      A.movRM64(RCX, RSP, slot(D - 2));
+      A.movMR64(RSP, slot(D - 3), RCX);
+      A.movRM64(RCX, RSP, slot(D - 1));
+      A.movMR64(RSP, slot(D - 2), RCX);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+
+    // ---- addresses ------------------------------------------------------
+    case Op::AddrG:
+      A.movRI64(RAX, encodePtr(Space::Global, I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::AddrF:
+      A.movRI64(RAX, encodePtr(Space::Frame, FrameDisp + I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+
+    // ---- checked accesses -----------------------------------------------
+    case Op::LoadI:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      emitResolve(4);
+      A.movsxdRM(RAX, RDX, 0);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::LoadU:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      emitResolve(4);
+      A.movRM32(RAX, RDX, 0);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::LoadD:
+    case Op::LoadP:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      emitResolve(8);
+      A.movRM64(RAX, RDX, 0);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::StoreI:
+    case Op::StoreU:
+      A.movRM64(RAX, RSP, slot(D - 2));
+      emitResolve(4);
+      A.movRM64(RCX, RSP, slot(D - 1));
+      A.movMR32(RDX, 0, RCX); // low 32 bits of the slot
+      if (I.B) {
+        A.movRM64(RAX, RSP, slot(D - 1));
+        A.movMR64(RSP, slot(D - 2), RAX); // push the full slot back
+      }
+      return true;
+    case Op::StoreD:
+    case Op::StoreP:
+      A.movRM64(RAX, RSP, slot(D - 2));
+      emitResolve(8);
+      A.movRM64(RCX, RSP, slot(D - 1));
+      A.movMR64(RDX, 0, RCX);
+      if (I.B) {
+        A.movMR64(RSP, slot(D - 2), RCX);
+      }
+      return true;
+
+    // ---- fused unchecked accesses ---------------------------------------
+    case Op::LdFI:
+      A.movsxdRM(RAX, RBX, static_cast<int32_t>(FrameDisp + I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::LdFU:
+      A.movRM32(RAX, RBX, static_cast<int32_t>(FrameDisp + I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::LdFD:
+    case Op::LdFP:
+      A.movRM64(RAX, RBX, static_cast<int32_t>(FrameDisp + I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::LdGI:
+      A.movsxdRM(RAX, R13, static_cast<int32_t>(I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::LdGU:
+      A.movRM32(RAX, R13, static_cast<int32_t>(I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::LdGD:
+    case Op::LdGP:
+      A.movRM64(RAX, R13, static_cast<int32_t>(I.A));
+      A.movMR64(RSP, slot(D), RAX);
+      return true;
+    case Op::StFI:
+    case Op::StFU:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.movMR32(RBX, static_cast<int32_t>(FrameDisp + I.A), RAX);
+      return true; // B: the slot simply stays
+    case Op::StFD:
+    case Op::StFP:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.movMR64(RBX, static_cast<int32_t>(FrameDisp + I.A), RAX);
+      return true;
+    case Op::StGI:
+    case Op::StGU:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.movMR32(R13, static_cast<int32_t>(I.A), RAX);
+      return true;
+    case Op::StGD:
+    case Op::StGP:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.movMR64(R13, static_cast<int32_t>(I.A), RAX);
+      return true;
+    case Op::ZeroF:
+      emitZero(RBX, static_cast<int32_t>(FrameDisp + I.A), I.B);
+      return true;
+    case Op::ZeroG:
+      emitZero(R13, static_cast<int32_t>(I.A), I.B);
+      return true;
+
+    // ---- double arithmetic ----------------------------------------------
+    case Op::AddD:
+    case Op::SubD:
+    case Op::MulD:
+    case Op::DivD: {
+      uint8_t Opc = I.Code == Op::AddD   ? 0x58
+                    : I.Code == Op::SubD ? 0x5C
+                    : I.Code == Op::MulD ? 0x59
+                                         : 0x5E;
+      A.movsdXM(0, RSP, slot(D - 2));
+      A.sseXM(Opc, 0, RSP, slot(D - 1));
+      A.movsdMX(RSP, slot(D - 2), 0);
+      return true;
+    }
+    case Op::NegD:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.movRI64(RCX, 0x8000000000000000ull);
+      A.aluRR64(0x31, RAX, RCX); // xor: flip the sign bit, NaN included
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+
+    // ---- integer arithmetic ---------------------------------------------
+    case Op::AddI:
+    case Op::SubI:
+    case Op::MulI: {
+      A.movRM32(RAX, RSP, slot(D - 2));
+      if (I.Code == Op::MulI)
+        A.imulRM32(RAX, RSP, slot(D - 1));
+      else
+        A.aluRM32(I.Code == Op::AddI ? 0x03 : 0x2B, RAX, RSP, slot(D - 1));
+      storeCanonI(D - 2);
+      return true;
+    }
+    case Op::AddU:
+    case Op::SubU:
+    case Op::MulU: {
+      A.movRM32(RAX, RSP, slot(D - 2));
+      if (I.Code == Op::MulU)
+        A.imulRM32(RAX, RSP, slot(D - 1));
+      else
+        A.aluRM32(I.Code == Op::AddU ? 0x03 : 0x2B, RAX, RSP, slot(D - 1));
+      A.movMR64(RSP, slot(D - 2), RAX); // 32-bit op zero-extended rax
+      return true;
+    }
+    case Op::DivI:
+    case Op::RemI: {
+      bool Rem = I.Code == Op::RemI;
+      A.movRM32(RAX, RSP, slot(D - 2));
+      A.movRM32(RCX, RSP, slot(D - 1));
+      A.testRR32(RCX, RCX);
+      jccTrap(CC_E, Rem ? JitTrap::RemZero : JitTrap::DivZero);
+      // INT_MIN / -1 wraps (quotient INT_MIN, remainder 0) instead of #DE.
+      A.cmpRI32(RAX, 0x80000000u);
+      size_t JDo1 = A.jcc32(CC_NE);
+      A.cmpRI32(RCX, 0xffffffffu);
+      size_t JDo2 = A.jcc32(CC_NE);
+      if (Rem)
+        A.aluRR32(0x31, RAX, RAX); // remainder 0
+      size_t JStore = A.jmp32();
+      A.bindLocal(JDo1);
+      A.bindLocal(JDo2);
+      A.cdq();
+      A.idivR32(RCX);
+      if (Rem)
+        A.movRR32(RAX, RDX);
+      A.bindLocal(JStore);
+      storeCanonI(D - 2);
+      return true;
+    }
+    case Op::DivU:
+    case Op::RemU: {
+      bool Rem = I.Code == Op::RemU;
+      A.movRM32(RAX, RSP, slot(D - 2));
+      A.movRM32(RCX, RSP, slot(D - 1));
+      A.testRR32(RCX, RCX);
+      jccTrap(CC_E, Rem ? JitTrap::RemZero : JitTrap::DivZero);
+      A.aluRR32(0x31, RDX, RDX);
+      A.divR32(RCX);
+      A.movMR64(RSP, slot(D - 2), Rem ? RDX : RAX);
+      return true;
+    }
+    case Op::NegI:
+      A.movRM32(RAX, RSP, slot(D - 1));
+      A.negR32(RAX);
+      storeCanonI(D - 1);
+      return true;
+    case Op::NegU:
+      A.movRM32(RAX, RSP, slot(D - 1));
+      A.negR32(RAX);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::ShlI:
+    case Op::ShrI: {
+      A.movRM32(RCX, RSP, slot(D - 1));
+      A.movRM32(RAX, RSP, slot(D - 2));
+      if (I.Code == Op::ShlI)
+        A.shlCl32(RAX);
+      else
+        A.sarCl32(RAX); // arithmetic, as Fdlibm assumes
+      storeCanonI(D - 2);
+      return true;
+    }
+    case Op::ShlU:
+    case Op::ShrU: {
+      A.movRM32(RCX, RSP, slot(D - 1));
+      A.movRM32(RAX, RSP, slot(D - 2));
+      if (I.Code == Op::ShlU)
+        A.shlCl32(RAX);
+      else
+        A.shrCl32(RAX);
+      A.movMR64(RSP, slot(D - 2), RAX);
+      return true;
+    }
+    case Op::And32:
+    case Op::Or32:
+    case Op::Xor32: {
+      uint8_t Opc = I.Code == Op::And32  ? 0x23
+                    : I.Code == Op::Or32 ? 0x0B
+                                         : 0x33;
+      A.movRM32(RAX, RSP, slot(D - 2));
+      A.aluRM32(Opc, RAX, RSP, slot(D - 1));
+      A.movMR64(RSP, slot(D - 2), RAX);
+      return true;
+    }
+    case Op::NotI:
+      A.movRM32(RAX, RSP, slot(D - 1));
+      A.notR32(RAX);
+      storeCanonI(D - 1);
+      return true;
+    case Op::NotU:
+      A.movRM32(RAX, RSP, slot(D - 1));
+      A.notR32(RAX);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+
+    // ---- truthiness -----------------------------------------------------
+    case Op::BoolI:
+    case Op::LogNotI:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.testRR64(RAX, RAX);
+      A.setcc(I.Code == Op::BoolI ? CC_NE : CC_E, RAX);
+      A.movzxR32R8(RAX, RAX);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::BoolD:
+      A.movsdXM(0, RSP, slot(D - 1));
+      A.xorpdXR(1, 1);
+      emitCmpDFlag(CmpOp::NE); // D != 0.0 (NaN: true)
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::LogNotD:
+      A.movsdXM(0, RSP, slot(D - 1));
+      A.xorpdXR(1, 1);
+      emitCmpDFlag(CmpOp::EQ); // D == 0.0 (NaN: false)
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::BoolP:
+    case Op::LogNotP:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.shrRI64(RAX, 56);
+      A.testRR32(RAX, RAX);
+      A.setcc(I.Code == Op::BoolP ? CC_NE : CC_E, RAX);
+      A.movzxR32R8(RAX, RAX);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+
+    // ---- conversions ----------------------------------------------------
+    case Op::I2D:
+      A.cvtsi2sdXM64(0, RSP, slot(D - 1)); // full int64, as the VM converts
+      A.movsdMX(RSP, slot(D - 1), 0);
+      return true;
+    case Op::U2D:
+      A.movRM32(RAX, RSP, slot(D - 1)); // zero-extend the canonical uint32
+      A.cvtsi2sdXR64(0, RAX);
+      A.movsdMX(RSP, slot(D - 1), 0);
+      return true;
+    case Op::D2I:
+      A.movsdXM(0, RSP, slot(D - 1));
+      callBridge(reinterpret_cast<const void *>(&covermeJitD2I));
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::D2U:
+      A.movsdXM(0, RSP, slot(D - 1));
+      callBridge(reinterpret_cast<const void *>(&covermeJitD2U));
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::I2U:
+      A.movRM32(RAX, RSP, slot(D - 1)); // low 32, zero-extended
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::U2I:
+      A.movsxdRM(RAX, RSP, slot(D - 1));
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+    case Op::I2P:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.testRR64(RAX, RAX);
+      jccTrap(CC_NE, JitTrap::BadPtrConv);
+      A.movMR64(RSP, slot(D - 1), RAX); // rax == 0: the null pointer
+      return true;
+
+    // ---- comparisons ----------------------------------------------------
+    case Op::CmpD:
+      A.movsdXM(0, RSP, slot(D - 2));
+      A.movsdXM(1, RSP, slot(D - 1));
+      emitCmpDFlag(static_cast<CmpOp>(I.A));
+      A.movMR64(RSP, slot(D - 2), RAX);
+      return true;
+    case Op::CmpI:
+      emitCmpInt(static_cast<CmpOp>(I.A), D, /*Signed=*/true);
+      return true;
+    case Op::CmpU:
+    case Op::CmpP:
+      emitCmpInt(static_cast<CmpOp>(I.A), D, /*Signed=*/false);
+      return true;
+    case Op::PNullCmp:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.shrRI64(RAX, 56);
+      A.testRR32(RAX, RAX);
+      A.setcc(I.A != 0 ? CC_E : CC_NE, RAX);
+      A.movzxR32R8(RAX, RAX);
+      A.movMR64(RSP, slot(D - 1), RAX);
+      return true;
+
+    // ---- pointer arithmetic ---------------------------------------------
+    case Op::PtrAdd:
+      A.movsxdRM(RAX, RSP, slot(D - 1)); // int64(int32 index)
+      A.movRI64(RCX, I.A);
+      A.imulRR64(RAX, RCX);
+      if (I.B)
+        A.negR64(RAX);
+      A.movRM64(RDX, RSP, slot(D - 2));
+      A.movRR32(RCX, RDX);       // old 32-bit offset, zero-extended
+      A.aluRR32(0x01, RCX, RAX); // 32-bit add: uint32 wrap, as the VM
+      A.movRI64(RSI, 0xff00000000000000ull);
+      A.aluRR64(0x21, RDX, RSI); // keep the space tag
+      A.aluRR64(0x09, RDX, RCX); // or in the new offset
+      A.movMR64(RSP, slot(D - 2), RDX);
+      return true;
+
+    // ---- control flow ---------------------------------------------------
+    case Op::Jump:
+      charge(I.A);
+      jmpTo(I.A);
+      return true;
+    case Op::JfI:
+    case Op::JtI:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.testRR64(RAX, RAX);
+      jccTo(I.Code == Op::JfI ? CC_E : CC_NE, I.A);
+      charge(PC + 1);
+      return true;
+    case Op::JfP:
+    case Op::JtP:
+      A.movRM64(RAX, RSP, slot(D - 1));
+      A.shrRI64(RAX, 56);
+      A.testRR32(RAX, RAX);
+      jccTo(I.Code == Op::JfP ? CC_E : CC_NE, I.A);
+      charge(PC + 1);
+      return true;
+    case Op::JfD: {
+      A.movsdXM(0, RSP, slot(D - 1));
+      A.xorpdXR(1, 1);
+      A.ucomisdXR(0, 1);
+      size_t JFall = A.jcc32(CC_P); // NaN != 0.0: not taken
+      jccTo(CC_E, I.A);
+      A.bindLocal(JFall);
+      charge(PC + 1);
+      return true;
+    }
+    case Op::JtD:
+      A.movsdXM(0, RSP, slot(D - 1));
+      A.xorpdXR(1, 1);
+      A.ucomisdXR(0, 1);
+      jccTo(CC_P, I.A); // NaN != 0.0: taken
+      jccTo(CC_NE, I.A);
+      charge(PC + 1);
+      return true;
+
+    // ---- instrumentation ------------------------------------------------
+    case Op::CondSite:
+      emitCondValue(I.A, I.B, D);
+      A.movMR64(RSP, slot(D - 2), RAX);
+      return true;
+    case Op::CondSiteJf:
+    case Op::CondSiteJt: {
+      bool WhenTrue = I.Code == Op::CondSiteJt;
+      CmpOp Cmp = static_cast<CmpOp>(I.B & 7u);
+      A.movsdXM(0, RSP, slot(D - 2));
+      A.movsdXM(1, RSP, slot(D - 1));
+      A.movRM64(RAX, RBP, 48); // JitFrame::CondFast
+      A.testRR64(RAX, RAX);
+      size_t JInline = A.jcc32(CC_NE);
+      A.movRI32(RDI, I.B >> 3);
+      A.movRI32(RSI, I.B & 7u);
+      callBridge(reinterpret_cast<const void *>(&covermeJitCond));
+      A.testRR32(RAX, RAX);
+      jccTo(WhenTrue ? CC_NE : CC_E, I.A);
+      size_t JDone = A.jmp32();
+      A.bindLocal(JInline);
+      emitCmpDBranch(Cmp, WhenTrue, I.A);
+      A.bindLocal(JDone);
+      charge(PC + 1);
+      return true;
+    }
+    case Op::CmpDJf:
+    case Op::CmpDJt:
+      A.movsdXM(0, RSP, slot(D - 2));
+      A.movsdXM(1, RSP, slot(D - 1));
+      emitCmpDBranch(static_cast<CmpOp>(I.B), I.Code == Op::CmpDJt, I.A);
+      charge(PC + 1);
+      return true;
+
+    // ---- builtin calls --------------------------------------------------
+    case Op::CallB: {
+      BuiltinId Id = static_cast<BuiltinId>(I.A);
+      if (Id == BuiltinId::Fabs) {
+        // runBuiltin's std::fabs is a pure sign-bit clear (payload and
+        // quietness untouched), so the inline AND is bit-identical and
+        // the bridge call can be skipped on this hot builtin.
+        A.movRM64(RAX, RSP, slot(D - 1));
+        A.movRI64(RCX, 0x7fffffffffffffffull);
+        A.aluRR64(0x21, RAX, RCX);
+        A.movMR64(RSP, slot(D - 1), RAX);
+      } else if (Id == BuiltinId::Scalbn) {
+        A.movRM32(RDI, RSP, slot(D - 1)); // int32 exponent
+        A.movsdXM(0, RSP, slot(D - 2));
+        callBridge(reinterpret_cast<const void *>(&covermeJitScalbn));
+        A.movsdMX(RSP, slot(D - 2), 0);
+      } else if (I.B == 2) {
+        A.movRI32(RDI, I.A);
+        A.movsdXM(0, RSP, slot(D - 2));
+        A.movsdXM(1, RSP, slot(D - 1));
+        callBridge(reinterpret_cast<const void *>(&covermeJitBuiltin));
+        A.movsdMX(RSP, slot(D - 2), 0);
+      } else {
+        A.movRI32(RDI, I.A);
+        A.movsdXM(0, RSP, slot(D - 1));
+        A.xorpdXR(1, 1);
+        callBridge(reinterpret_cast<const void *>(&covermeJitBuiltin));
+        A.movsdMX(RSP, slot(D - 1), 0);
+      }
+      return true;
+    }
+
+    // ---- returns and traps ----------------------------------------------
+    case Op::Ret:
+    case Op::RetV: {
+      // The VM returns to the entry thunk's Halt: VM_JUMP(Thunk+1)
+      // charges that block, then Halt exits. Replay the charge here.
+      uint32_t HaltPC = F.Thunk + 1;
+      if (HaltPC >= U.BlockCost.size())
+        return false;
+      charge(HaltPC);
+      if (I.Code == Op::Ret) {
+        A.movRM64(RAX, RSP, slot(D - 1));
+        A.movMR64(RBP, 32, RAX); // JitFrame::ResultBits
+      }
+      ExitFix.push_back(A.jmp32());
+      return true;
+    }
+    case Op::TrapOp:
+      A.movMI32(RBP, 40, static_cast<uint32_t>(JitTrap::Message));
+      A.movMI32(RBP, 44, I.A); // TrapMessages index
+      ExitFix.push_back(A.jmp32());
+      return true;
+
+    // ---- superinstructions ----------------------------------------------
+    case Op::LdF2AddD:
+    case Op::LdF2SubD:
+    case Op::LdF2MulD:
+    case Op::LdF2DivD: {
+      uint8_t Opc = I.Code == Op::LdF2AddD   ? 0x58
+                    : I.Code == Op::LdF2SubD ? 0x5C
+                    : I.Code == Op::LdF2MulD ? 0x59
+                                             : 0x5E;
+      A.movsdXM(0, RBX, static_cast<int32_t>(FrameDisp + I.A));
+      A.sseXM(Opc, 0, RBX, static_cast<int32_t>(FrameDisp + I.B));
+      A.movsdMX(RSP, slot(D), 0);
+      return true;
+    }
+    case Op::LdFAddD:
+    case Op::LdFSubD:
+    case Op::LdFMulD:
+    case Op::LdFDivD: {
+      uint8_t Opc = I.Code == Op::LdFAddD   ? 0x58
+                    : I.Code == Op::LdFSubD ? 0x5C
+                    : I.Code == Op::LdFMulD ? 0x59
+                                            : 0x5E;
+      A.movsdXM(0, RSP, slot(D - 1));
+      A.sseXM(Opc, 0, RBX, static_cast<int32_t>(FrameDisp + I.A));
+      A.movsdMX(RSP, slot(D - 1), 0);
+      return true;
+    }
+    case Op::LdGAddD:
+    case Op::LdGSubD:
+    case Op::LdGMulD:
+    case Op::LdGDivD: {
+      uint8_t Opc = I.Code == Op::LdGAddD   ? 0x58
+                    : I.Code == Op::LdGSubD ? 0x5C
+                    : I.Code == Op::LdGMulD ? 0x59
+                                            : 0x5E;
+      A.movsdXM(0, RSP, slot(D - 1));
+      A.sseXM(Opc, 0, R13, static_cast<int32_t>(I.A));
+      A.movsdMX(RSP, slot(D - 1), 0);
+      return true;
+    }
+    case Op::ConstAddD:
+    case Op::ConstSubD:
+    case Op::ConstMulD:
+    case Op::ConstDivD: {
+      uint8_t Opc = I.Code == Op::ConstAddD   ? 0x58
+                    : I.Code == Op::ConstSubD ? 0x5C
+                    : I.Code == Op::ConstMulD ? 0x59
+                                              : 0x5E;
+      A.movsdXM(0, RSP, slot(D - 1));
+      A.sseXM(Opc, 0, R15, static_cast<int32_t>(I.A * 8));
+      A.movsdMX(RSP, slot(D - 1), 0);
+      return true;
+    }
+    case Op::LdFI2D:
+      A.movsxdRM(RAX, RBX, static_cast<int32_t>(FrameDisp + I.A));
+      A.cvtsi2sdXR64(0, RAX);
+      A.movsdMX(RSP, slot(D), 0);
+      return true;
+    case Op::LdFU2D:
+      A.movRM32(RAX, RBX, static_cast<int32_t>(FrameDisp + I.A));
+      A.cvtsi2sdXR64(0, RAX);
+      A.movsdMX(RSP, slot(D), 0);
+      return true;
+
+    default:
+      return false;
+    }
+  }
+
+  // memset(base+disp, 0, Len): unrolled qword/dword stores for the small
+  // local arrays Fdlibm code declares; bridge call past 64 bytes.
+  void emitZero(unsigned Base, int32_t Disp, uint32_t Len) {
+    if (Len <= 64) {
+      uint32_t Off = 0;
+      while (Len - Off >= 8) {
+        A.movMI64s(Base, Disp + static_cast<int32_t>(Off), 0);
+        Off += 8;
+      }
+      while (Len - Off >= 4) {
+        A.movMI32(Base, Disp + static_cast<int32_t>(Off), 0);
+        Off += 4;
+      }
+      if (Off < Len) { // byte tail (cannot happen for 4/8-byte types)
+        A.leaRM(RDI, Base, Disp + static_cast<int32_t>(Off));
+        A.movRI32(RSI, Len - Off);
+        callBridge(reinterpret_cast<const void *>(&covermeJitZero));
+      }
+      return;
+    }
+    A.leaRM(RDI, Base, Disp);
+    A.movRI32(RSI, Len);
+    callBridge(reinterpret_cast<const void *>(&covermeJitZero));
+  }
+};
+
+} // namespace
+
+bool JitUnit::available() { return ExecMemory::supported(); }
+
+std::shared_ptr<const JitUnit>
+JitUnit::build(const std::shared_ptr<const CompiledUnit> &Unit) {
+  if (!Unit || Unit->Functions.empty() || !ExecMemory::supported())
+    return nullptr;
+  Asm A;
+  std::vector<size_t> Offs(Unit->Functions.size(), SIZE_MAX);
+  for (size_t I = 0; I < Unit->Functions.size(); ++I) {
+    size_t Mark = A.Buf.size();
+    while (A.Buf.size() % 16)
+      A.byte(0xCC);
+    size_t Start = A.Buf.size();
+    FnEmitter E(*Unit, Unit->Functions[I], A);
+    if (E.run())
+      Offs[I] = Start;
+    else
+      A.Buf.resize(Mark); // roll the partial fragment back
+  }
+  bool Any = false;
+  for (size_t O : Offs)
+    Any |= O != SIZE_MAX;
+  if (!Any)
+    return nullptr;
+  std::shared_ptr<JitUnit> U(new JitUnit());
+  U->Unit = Unit;
+  if (!U->Mem.seal(A.Buf.data(), A.Buf.size()))
+    return nullptr;
+  uintptr_t Base = reinterpret_cast<uintptr_t>(U->Mem.base());
+  U->Fragments.assign(Offs.size(), nullptr);
+  for (size_t I = 0; I < Offs.size(); ++I)
+    if (Offs[I] != SIZE_MAX)
+      U->Fragments[I] = reinterpret_cast<JitEntryFn>(Base + Offs[I]);
+  return U;
+}
+
+#else // !COVERME_JIT_ENABLED
+
+bool JitUnit::available() { return false; }
+
+std::shared_ptr<const JitUnit>
+JitUnit::build(const std::shared_ptr<const CompiledUnit> &Unit) {
+  (void)Unit;
+  return nullptr;
+}
+
+#endif // COVERME_JIT_ENABLED

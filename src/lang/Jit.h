@@ -1,0 +1,133 @@
+//===- Jit.h - Template JIT for the bytecode tier -------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third executor: an x86-64 template JIT over lang/Bytecode.h. Each
+/// eligible function is compiled once, instruction by instruction, into a
+/// native fragment — straight-line arithmetic, loads/stores, compares and
+/// branches become machine code; CondSite instrumentation calls back into
+/// rt::cond through a C bridge in the same order the VM would fire it; and
+/// the VM's block-granular step accounting is baked in as per-edge budget
+/// charges, so exhaustion points are bit-identical to both existing tiers.
+///
+/// Eligibility is per function (CanJit, mirroring the compiler's
+/// WritesGlobals clamp): a function whose reachable body contains an
+/// Op::Call — or any shape the emitter cannot prove safe, such as an
+/// inconsistent operand-stack depth at a join — gets no fragment and its
+/// entries fall back to the interpreter VM transparently. Traps do not
+/// bail to the VM: every VM trap (null deref, OOB, division by zero,
+/// budget exhaustion, TrapOp) has a native exit path that reports the
+/// identical message through Vm::trapMessage(), keeping trap-to-NaN
+/// semantics observably equal.
+///
+/// Fragments run inside a Vm probe (Vm::boundProbe routes to the fragment
+/// when one is bound): the Vm still owns all mutable state — frame arena,
+/// global arena copy, step budget — and the fragment receives it through a
+/// JitFrame. Code lives in a sealed W^X ExecMemory arena owned by the
+/// JitUnit, which also shares ownership of the CompiledUnit it mirrors.
+///
+/// Builds without COVERME_JIT (or on non-x86-64 targets) keep this API but
+/// available() is false and build() returns null; callers degrade to the
+/// plain bytecode tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_JIT_H
+#define COVERME_LANG_JIT_H
+
+#include "lang/Bytecode.h"
+#include "support/ExecMemory.h"
+
+#include <memory>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+namespace bc {
+
+/// The mutable state a fragment executes against, lent by the owning Vm
+/// for the duration of one probe. Field offsets are part of the fragment
+/// ABI (the emitter hard-codes them); keep in sync with Jit.cpp.
+struct JitFrame {
+  uint8_t *FMem;        ///< Frame arena base (cells + the entry frame).
+  uint8_t *GMem;        ///< The Vm's private global arena copy.
+  const double *Pool;   ///< CompiledUnit::DoublePool.
+  uint64_t StepsLeft;   ///< In: remaining budget. Out: after the run.
+  uint64_t ResultBits;  ///< Out: raw slot bits of the Ret value.
+  uint32_t TrapCode;    ///< Out: JitTrap; None on clean return.
+  uint32_t TrapAux;     ///< Out: TrapMessages index when Code==Message.
+  /// In: nonzero when no ExecutionContext is installed for this probe.
+  /// rt::cond is then a pure comparison, so cond-site fragments evaluate
+  /// it inline (bit-identical to evalCmp) instead of calling the bridge.
+  uint64_t CondFast;
+};
+
+/// Native trap exits, mapped back to the VM's exact trap strings by
+/// Vm::boundProbe's JIT path.
+enum class JitTrap : uint32_t {
+  None = 0,
+  Budget,      ///< "step budget exhausted"
+  NullDeref,   ///< "null pointer dereference"
+  OutOfBounds, ///< "out-of-bounds memory access"
+  DivZero,     ///< "integer division by zero"
+  RemZero,     ///< "integer remainder by zero"
+  BadPtrConv,  ///< "invalid conversion to pointer type"
+  Message,     ///< TrapOp: CompiledUnit::TrapMessages[TrapAux]
+};
+
+/// Entry point of one compiled fragment.
+using JitEntryFn = void (*)(JitFrame *);
+
+/// The immutable JIT form of one CompiledUnit: a sealed code arena plus a
+/// per-function fragment table. Shareable across threads like the unit
+/// itself — fragments hold no mutable state.
+class JitUnit {
+public:
+  /// True when this build can emit and run native fragments (COVERME_JIT
+  /// on an x86-64 POSIX toolchain with executable memory available).
+  static bool available();
+
+  /// Compiles every eligible function of \p Unit. Returns null when the
+  /// build has no JIT, executable memory is unavailable, or no function
+  /// is eligible — callers then run the unit on the plain VM tier.
+  static std::shared_ptr<const JitUnit>
+  build(const std::shared_ptr<const CompiledUnit> &Unit);
+
+  /// The fragment for function \p FnIndex, or null when it fell back.
+  JitEntryFn fragment(unsigned FnIndex) const {
+    return FnIndex < Fragments.size() ? Fragments[FnIndex] : nullptr;
+  }
+
+  /// Per-function CanJit flag (the fall-back clamp).
+  bool canJit(unsigned FnIndex) const { return fragment(FnIndex) != nullptr; }
+
+  /// Number of functions that compiled to fragments.
+  unsigned jittedCount() const {
+    unsigned N = 0;
+    for (JitEntryFn F : Fragments)
+      if (F)
+        ++N;
+    return N;
+  }
+
+  /// Bytes of sealed machine code.
+  size_t codeBytes() const { return Mem.size(); }
+
+  const CompiledUnit &unit() const { return *Unit; }
+
+private:
+  JitUnit() = default;
+
+  std::shared_ptr<const CompiledUnit> Unit;
+  ExecMemory Mem;
+  std::vector<JitEntryFn> Fragments;
+};
+
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_JIT_H

@@ -2,6 +2,7 @@
 
 #include "lang/SourceProgram.h"
 
+#include "lang/Jit.h"
 #include "lang/Sema.h"
 #include "lang/Vm.h"
 
@@ -105,7 +106,8 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
   Result.Prog.TotalLines =
       Opts.TotalLines ? Opts.TotalLines : functionLineExtent(*Result.Entry);
 
-  if (Opts.Tier == ExecutionTier::Bytecode) {
+  if (Opts.Tier == ExecutionTier::Bytecode ||
+      Opts.Tier == ExecutionTier::Jit) {
     bc::CompileResult Compiled =
         bc::compileUnit(*Result.Unit, Opts.Interp, Opts.Fuse);
     if (!Compiled.success()) {
@@ -115,6 +117,12 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
     Result.Code = Compiled.Unit;
     int EntryIdx = Result.Code->functionIndex(EntryName);
     assert(EntryIdx >= 0 && "entry function survived Sema but not compile");
+    // The Jit tier rides the bytecode tier: build native fragments for the
+    // eligible functions once, and let every per-thread Vm attach them.
+    // A null JitUnit (no-JIT build, nothing eligible) degrades to the
+    // plain VM transparently — same closures, Jit stays null.
+    if (Opts.Tier == ExecutionTier::Jit)
+      Result.Jit = bc::JitUnit::build(Result.Code);
     // Shared immutable code, per-thread Vm state: the body is reentrant,
     // so campaign rounds shard across the ThreadPool (compile once, run
     // per thread). The exception is a program that writes global storage:
@@ -125,9 +133,11 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
     // outlives this SourceProgram if the caller copies it out.
     Result.Prog.ThreadSafeBody = !Result.Code->WritesGlobals;
     Result.Prog.Body = [Unit = Result.Unit, Code = Result.Code,
+                        Jit = Result.Jit,
                         EntryIdx = static_cast<unsigned>(EntryIdx),
                         InterpOpts = Opts.Interp](const double *Args) {
-      return bc::threadLocalVm(Code, InterpOpts).callEntry(EntryIdx, Args);
+      return bc::threadLocalVm(Code, InterpOpts, Jit)
+          .callEntry(EntryIdx, Args);
     };
     // Per-run fast path: resolve the calling thread's Vm once and bind
     // the entry (cell layout, result conversion) once, then every probe
@@ -138,10 +148,10 @@ SourceProgram lang::compileSourceProgram(const std::string &Source,
     // genuinely wide backend behind RepresentingFunction::evalBatch:
     // CMA-ES generations and DE/NM seeding land in Vm::runBatch, which
     // hoists the per-probe entry bookkeeping out of the generation loop.
-    Result.Prog.Binder = [Code = Result.Code,
+    Result.Prog.Binder = [Code = Result.Code, Jit = Result.Jit,
                           EntryIdx = static_cast<unsigned>(EntryIdx),
                           InterpOpts = Opts.Interp]() {
-      bc::Vm &V = bc::threadLocalVm(Code, InterpOpts);
+      bc::Vm &V = bc::threadLocalVm(Code, InterpOpts, Jit);
       V.bindEntry(EntryIdx);
       Program::BoundBody B;
       B.Invoke = [](void *State, uint64_t Imm, const double *Args) {

@@ -32,6 +32,10 @@
 namespace coverme {
 namespace lang {
 
+namespace bc {
+class JitUnit; // lang/Jit.h
+}
+
 /// Which executor backs the Program's body.
 enum class ExecutionTier : uint8_t {
   /// Compile once to lang/Bytecode, run on a per-thread lang/Vm. The
@@ -42,6 +46,13 @@ enum class ExecutionTier : uint8_t {
   /// reentrant. Kept as the semantic reference — the differential suite
   /// holds the two tiers bit-identical — and as an escape hatch.
   TreeWalker,
+  /// The Bytecode tier plus lang/Jit native fragments: eligible functions
+  /// run as x86-64 machine code inside the per-thread Vm probe; functions
+  /// the emitter rejects (calls, unprovable stack shapes) and builds
+  /// without COVERME_JIT fall back to the VM transparently. Observably
+  /// identical to both other tiers — returns, hook order, traps, and
+  /// step-budget exhaustion points.
+  Jit,
 };
 
 /// A compiled-from-source program: the analyzed unit, its executors, and
@@ -54,8 +65,12 @@ struct SourceProgram {
   /// The tree-walker over Unit; always built (it doubles as the semantic
   /// reference for differential tests, whichever tier backs Prog).
   std::shared_ptr<Interpreter> Interp;
-  /// The bytecode form; non-null when the Bytecode tier was requested.
+  /// The bytecode form; non-null when the Bytecode or Jit tier was
+  /// requested.
   std::shared_ptr<const bc::CompiledUnit> Code;
+  /// The native form; non-null when the Jit tier was requested and the
+  /// build can JIT (lang/Jit.h). Null means the VM runs everything.
+  std::shared_ptr<const bc::JitUnit> Jit;
   const FunctionDecl *Entry = nullptr;
   Program Prog;
   std::vector<Diagnostic> Diags;

@@ -8,6 +8,8 @@
 
 #include "lang/Vm.h"
 
+#include "lang/FpSemantics.h"
+#include "lang/Jit.h"
 #include "runtime/ExecutionContext.h"
 
 #include <cmath>
@@ -33,6 +35,16 @@ namespace {
 /// stay valid across the dispatch loop; per-function high-water marks are
 /// checked against it at every Call.
 constexpr size_t kOpStackSlots = 16384;
+
+} // namespace
+
+// Shared with the JIT (lang/Jit.cpp declares these): builtins and the
+// saturating conversions must be the very same routines on both executors
+// so no libm or rounding drift between tiers is possible.
+namespace coverme {
+namespace lang {
+namespace bc {
+namespace detail {
 
 /// Saturating double->int32 truncation, identical to the interpreter's
 /// (C leaves out-of-range conversions undefined; execution must stay
@@ -168,7 +180,18 @@ double runBuiltin(BuiltinId Id, double A, double B, int32_t N) {
   return std::numeric_limits<double>::quiet_NaN();
 }
 
-} // namespace
+} // namespace detail
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+// The dispatch-loop body (VmExecBody.inc) and the probe paths below call
+// these unqualified, as before the JIT shared them.
+using coverme::lang::bc::detail::evalCmp;
+using coverme::lang::bc::detail::evalCmpInt;
+using coverme::lang::bc::detail::runBuiltin;
+using coverme::lang::bc::detail::truncToInt32;
+using coverme::lang::bc::detail::truncToUInt32;
 
 bool Vm::cgotoAvailable() { return COVERME_VM_CGOTO_ENABLED != 0; }
 
@@ -267,6 +290,13 @@ bool Vm::runGlobalInit() {
   return !Trapped;
 }
 
+void Vm::attachJit(std::shared_ptr<const JitUnit> J) {
+  if (J && &J->unit() != Unit.get())
+    return; // a JIT form of some other unit: ignore
+  Jit = std::move(J);
+  Bound = BoundEntry{}; // rebind so the fragment pointer resolves
+}
+
 void Vm::bindEntry(unsigned FnIndex) {
   assert(FnIndex < Unit->Functions.size() && "bad function index");
   const FunctionInfo &F = Unit->Functions[FnIndex];
@@ -274,6 +304,7 @@ void Vm::bindEntry(unsigned FnIndex) {
   Bound.Index = FnIndex;
   Bound.CellBytes = 0;
   Bound.Valid = true;
+  Bound.Frag = Jit ? Jit->fragment(FnIndex) : nullptr;
   Bound.InvalidMessage.clear();
   for (const Type &T : F.ParamTypes) {
     if (T.isPointer()) {
@@ -290,9 +321,32 @@ void Vm::bindEntry(unsigned FnIndex) {
       Bound.InvalidMessage = "void entry parameter";
     }
   }
+  Bound.EntryTrap = nullptr;
+  Bound.StepsAfterThunk = 0;
+  Bound.EntryNeeded = Bound.CellBytes + F.FrameBytes;
+  if (Bound.Frag && Bound.Valid) {
+    // Evaluate jitProbe's per-call guards once, in the VM's exact check
+    // order: thunk budget charge, then the Call handler's depth / stack /
+    // operand guards. Each outcome is constant across probes of this
+    // binding, so the probe only tests EntryTrap.
+    uint32_t ThunkCost = Unit->BlockCost[F.Thunk];
+    if (Opts.MaxSteps < ThunkCost)
+      Bound.EntryTrap = "step budget exhausted";
+    else if (Opts.MaxCallDepth == 0)
+      Bound.EntryTrap = "call depth limit exceeded";
+    else if (static_cast<uint64_t>(Bound.CellBytes) + F.FrameBytes >
+             Opts.MaxStackBytes)
+      Bound.EntryTrap = "interpreter stack overflow";
+    else if (F.MaxOperandDepth > kOpStackSlots)
+      Bound.EntryTrap = "operand stack overflow";
+    else
+      Bound.StepsAfterThunk = Opts.MaxSteps - ThunkCost;
+  }
 }
 
 double Vm::boundProbe(const double *Args) {
+  if (Bound.Frag)
+    return jitProbe(Args);
   constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
   const FunctionInfo &F = *Bound.Fn;
   Trapped = false;
@@ -354,6 +408,138 @@ double Vm::boundProbe(const double *Args) {
     trap("pointer used as a number");
     return NaN;
   }
+  switch (F.ReturnType.Base) {
+  case BaseType::Double:
+    return R.D;
+  case BaseType::Int:
+    return static_cast<double>(R.I);
+  case BaseType::UInt:
+    return static_cast<double>(static_cast<uint32_t>(R.U));
+  case BaseType::Void:
+    break;
+  }
+  return 0.0;
+}
+
+double Vm::jitProbe(const double *Args) {
+  constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
+  const FunctionInfo &F = *Bound.Fn;
+  Trapped = false;
+  if (!Message.empty())
+    Message.clear();
+  if (!Bound.Valid) {
+    Trapped = true;
+    Message = Bound.InvalidMessage;
+    return NaN;
+  }
+  Frames.clear();
+  if (Bound.EntryTrap) {
+    // Cold: one of the entry guards fires on every probe of this binding.
+    // Replay the original sequence so trap-side state (StepsLeft, arena
+    // size) stays exactly what the guard-by-guard path produced.
+    StepsLeft = Opts.MaxSteps;
+    FrameMem.resize(Bound.CellBytes);
+    FrameTop = Bound.CellBytes;
+    uint32_t ThunkCost = Unit->BlockCost[F.Thunk];
+    if (StepsLeft >= ThunkCost)
+      StepsLeft -= ThunkCost;
+    trap(Bound.EntryTrap);
+    return NaN;
+  }
+
+  // Hot: bindEntry already charged the thunk block and cleared the Call
+  // handler's guards (their outcomes are per-binding constants), so the
+  // probe only establishes the frame: the arena keeps its high-water size
+  // and the frame region is zeroed in place — the same bytes the VM's
+  // shrink-then-grow resize trajectory produces.
+  StepsLeft = Bound.StepsAfterThunk;
+  const uint32_t Base = Bound.CellBytes;
+  if (FrameMem.size() < Bound.EntryNeeded)
+    FrameMem.resize(Bound.EntryNeeded);
+  std::memset(FrameMem.data() + Base, 0, F.FrameBytes);
+  FrameTop = Bound.EntryNeeded;
+
+  // Entry lowering (Sect. 5.3) fused with the Call handler's marshaling:
+  // pointer arguments seed a fresh cell below the frame, scalars convert
+  // exactly as boundProbe's slots would.
+  uint32_t NextCell = 0;
+  for (size_t P = 0; P < F.ParamTypes.size(); ++P) {
+    const Type T = F.ParamTypes[P];
+    uint8_t *M = FrameMem.data() + Base + F.ParamOffsets[P];
+    if (T.isPointer()) {
+      std::memcpy(FrameMem.data() + NextCell, &Args[P], 8);
+      uint64_t Ptr = encodePtr(Space::Frame, NextCell);
+      std::memcpy(M, &Ptr, 8);
+      NextCell += 8;
+      continue;
+    }
+    switch (T.Base) {
+    case BaseType::Double:
+      std::memcpy(M, &Args[P], 8);
+      break;
+    case BaseType::Int: {
+      int32_t W = truncToInt32(Args[P]);
+      std::memcpy(M, &W, 4);
+      break;
+    }
+    case BaseType::UInt: {
+      uint32_t W = truncToUInt32(Args[P]);
+      std::memcpy(M, &W, 4);
+      break;
+    }
+    case BaseType::Void:
+      break; // unreachable: bindEntry flagged void parameters
+    }
+  }
+
+  JitFrame JF;
+  JF.FMem = FrameMem.data();
+  JF.GMem = GlobalMem.data();
+  JF.Pool = Unit->DoublePool.data();
+  JF.StepsLeft = StepsLeft;
+  JF.ResultBits = 0;
+  JF.TrapCode = 0;
+  JF.TrapAux = 0;
+  JF.CondFast = ExecutionContext::current() == nullptr;
+  Bound.Frag(&JF);
+  StepsLeft = JF.StepsLeft;
+
+  if (JF.TrapCode) {
+    switch (static_cast<JitTrap>(JF.TrapCode)) {
+    case JitTrap::Budget:
+      trap("step budget exhausted");
+      break;
+    case JitTrap::NullDeref:
+      trap("null pointer dereference");
+      break;
+    case JitTrap::OutOfBounds:
+      trap("out-of-bounds memory access");
+      break;
+    case JitTrap::DivZero:
+      trap("integer division by zero");
+      break;
+    case JitTrap::RemZero:
+      trap("integer remainder by zero");
+      break;
+    case JitTrap::BadPtrConv:
+      trap("invalid conversion to pointer type");
+      break;
+    case JitTrap::Message:
+      trap(Unit->TrapMessages[JF.TrapAux].c_str());
+      break;
+    case JitTrap::None:
+      break;
+    }
+    return NaN;
+  }
+  if (F.ReturnType.isVoid())
+    return 0.0;
+  if (F.ReturnType.isPointer()) {
+    trap("pointer used as a number");
+    return NaN;
+  }
+  Slot R;
+  R.U = JF.ResultBits;
   switch (F.ReturnType.Base) {
   case BaseType::Double:
     return R.D;
@@ -440,4 +626,13 @@ Vm &bc::threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,
   LastUnit = Unit.get();
   LastVm = It->second.get();
   return *LastVm;
+}
+
+Vm &bc::threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,
+                      const InterpOptions &Opts,
+                      const std::shared_ptr<const JitUnit> &Jit) {
+  Vm &V = threadLocalVm(Unit, Opts);
+  if (Jit && !V.jitUnit())
+    V.attachJit(Jit);
+  return V;
 }

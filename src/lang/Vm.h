@@ -52,6 +52,9 @@ namespace coverme {
 namespace lang {
 namespace bc {
 
+struct JitFrame; // lang/Jit.h
+class JitUnit;   // lang/Jit.h
+
 /// Per-thread executor over a shared CompiledUnit.
 ///
 /// Thread-compatible, not thread-safe: one Vm per thread (use
@@ -118,6 +121,16 @@ public:
   /// threadLocalVm uses it to evict cache entries it is the last owner of.
   long unitUseCount() const { return Unit.use_count(); }
 
+  /// Attaches the unit's JIT form (lang/Jit.h). Subsequently bound entries
+  /// route their probes to the native fragment when the function has one;
+  /// functions the emitter rejected (CanJit false) keep the interpreter
+  /// path transparently. A JitUnit built from a different CompiledUnit is
+  /// ignored. Resets the current binding so the fragment resolves.
+  void attachJit(std::shared_ptr<const JitUnit> J);
+
+  /// The attached JIT form, or null.
+  const std::shared_ptr<const JitUnit> &jitUnit() const { return Jit; }
+
 private:
   struct CallFrame {
     uint32_t Base = 0;  ///< Frame arena base of the callee.
@@ -130,10 +143,22 @@ private:
     unsigned Index = ~0u;
     uint32_t CellBytes = 0; ///< Pointer-parameter cell bytes below frame 0.
     bool Valid = false;     ///< False: probing traps with InvalidMessage.
+    /// Native fragment for the bound function (null: interpreter path).
+    void (*Frag)(JitFrame *) = nullptr;
     std::string InvalidMessage;
+    /// jitProbe's entry-time work, hoisted to bind time (meaningful only
+    /// when Frag is set). The VM's per-probe guards — thunk budget charge,
+    /// call depth, stack bytes, operand depth — depend only on the binding
+    /// and the options, so their outcome is a per-binding constant:
+    /// EntryTrap carries the first guard's trap message (in the VM's check
+    /// order) or null when every probe may proceed.
+    const char *EntryTrap = nullptr;
+    uint64_t StepsAfterThunk = 0; ///< MaxSteps minus the thunk block cost.
+    uint32_t EntryNeeded = 0;     ///< CellBytes + FrameBytes.
   };
 
   std::shared_ptr<const CompiledUnit> Unit;
+  std::shared_ptr<const JitUnit> Jit; ///< Optional JIT form of Unit.
   InterpOptions Opts;
   bool CGoto = false;             ///< Resolved dispatch mode.
   std::vector<uint8_t> GlobalMem; ///< Private copy of GlobalImage.
@@ -152,6 +177,12 @@ private:
   /// the binding work already done.
   double boundProbe(const double *Args);
 
+  /// The JIT path of boundProbe: replays the VM's per-probe reset, budget
+  /// charges, guard traps and parameter marshaling in the exact order,
+  /// then runs the native fragment and maps its exit back to the VM's
+  /// trap strings and result conversion.
+  double jitProbe(const double *Args);
+
   /// Resolves a checked pointer access; null on trap.
   uint8_t *resolve(uint64_t Ptr, unsigned Size);
 
@@ -169,6 +200,13 @@ private:
 /// \p Opts is honored on first use per (thread, unit).
 Vm &threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,
                   const InterpOptions &Opts);
+
+/// As above, and attaches \p Jit (when non-null) the first time this
+/// thread's Vm for the unit is seen without one — the JIT-tier Program
+/// bodies' entry point.
+Vm &threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,
+                  const InterpOptions &Opts,
+                  const std::shared_ptr<const JitUnit> &Jit);
 
 } // namespace bc
 } // namespace lang

@@ -1,0 +1,78 @@
+//===- ExecMemory.cpp - W^X executable code memory ------------------------===//
+
+#include "support/ExecMemory.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COVERME_EXECMEM_POSIX 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define COVERME_EXECMEM_POSIX 0
+#endif
+
+using namespace coverme;
+
+ExecMemory::~ExecMemory() { release(); }
+
+ExecMemory::ExecMemory(ExecMemory &&Other) noexcept
+    : Base(Other.Base), Bytes(Other.Bytes), Mapped(Other.Mapped) {
+  Other.Base = nullptr;
+  Other.Bytes = 0;
+  Other.Mapped = 0;
+}
+
+ExecMemory &ExecMemory::operator=(ExecMemory &&Other) noexcept {
+  if (this != &Other) {
+    release();
+    Base = Other.Base;
+    Bytes = Other.Bytes;
+    Mapped = Other.Mapped;
+    Other.Base = nullptr;
+    Other.Bytes = 0;
+    Other.Mapped = 0;
+  }
+  return *this;
+}
+
+void ExecMemory::release() {
+#if COVERME_EXECMEM_POSIX
+  if (Base)
+    ::munmap(Base, Mapped);
+#endif
+  Base = nullptr;
+  Bytes = 0;
+  Mapped = 0;
+}
+
+bool ExecMemory::supported() { return COVERME_EXECMEM_POSIX != 0; }
+
+bool ExecMemory::seal(const void *Code, size_t Size) {
+#if COVERME_EXECMEM_POSIX
+  if (Base || !Code || Size == 0)
+    return false;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  size_t Len = (Size + static_cast<size_t>(Page) - 1) &
+               ~(static_cast<size_t>(Page) - 1);
+  void *P = ::mmap(nullptr, Len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  std::memcpy(P, Code, Size);
+  if (::mprotect(P, Len, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(P, Len);
+    return false;
+  }
+  Base = P;
+  Bytes = Size;
+  Mapped = Len;
+  return true;
+#else
+  (void)Code;
+  (void)Size;
+  return false;
+#endif
+}

@@ -1,0 +1,65 @@
+//===- ExecMemory.h - W^X executable code memory --------------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sealed executable mapping for JIT-compiled code. The lifecycle is
+/// strictly write-then-execute (W^X): seal() maps fresh pages read-write,
+/// copies the finished code buffer in, and flips the pages to read-execute
+/// before returning — the mapping is never writable and executable at the
+/// same time, and never becomes writable again. One ExecMemory holds one
+/// immutable code arena for the lifetime of its owning unit (lang/JitUnit
+/// keeps it alongside the CompiledUnit the fragments were compiled from).
+///
+/// On platforms without mmap/mprotect, supported() is false and seal()
+/// fails cleanly; callers degrade to their portable paths (the bytecode
+/// VM tier).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_EXECMEMORY_H
+#define COVERME_SUPPORT_EXECMEMORY_H
+
+#include <cstddef>
+
+namespace coverme {
+
+/// Owns one sealed read-execute mapping. Movable, not copyable.
+class ExecMemory {
+public:
+  ExecMemory() = default;
+  ~ExecMemory();
+
+  ExecMemory(ExecMemory &&Other) noexcept;
+  ExecMemory &operator=(ExecMemory &&Other) noexcept;
+  ExecMemory(const ExecMemory &) = delete;
+  ExecMemory &operator=(const ExecMemory &) = delete;
+
+  /// True when this platform can map executable memory at all.
+  static bool supported();
+
+  /// Maps \p Size bytes read-write, copies \p Code in, and remaps the
+  /// pages read-execute. Returns false (leaving the object empty) on any
+  /// failure — out of address space, hardened allocator refusing PROT_EXEC,
+  /// unsupported platform. May be called once per object.
+  bool seal(const void *Code, size_t Size);
+
+  /// Base of the sealed mapping, or null before a successful seal().
+  const void *base() const { return Base; }
+
+  /// Bytes of code sealed (the mapping itself is page-rounded).
+  size_t size() const { return Bytes; }
+
+private:
+  void release();
+
+  void *Base = nullptr;
+  size_t Bytes = 0;   ///< Code bytes requested by seal().
+  size_t Mapped = 0;  ///< Page-rounded mapping length.
+};
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_EXECMEMORY_H

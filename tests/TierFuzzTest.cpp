@@ -1,0 +1,503 @@
+//===- TierFuzzTest.cpp - Three-tier differential fuzzing -----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// The generative arm of the tier-equivalence contract: a seeded generator
+// produces random well-typed mini-C programs — arithmetic over doubles,
+// ints and unsigneds, comparisons, if/while control flow, local arrays,
+// file-scope const tables, instrumented conditional sites — and every
+// program runs through all three executors (tree-walking interpreter,
+// bytecode VM, JIT-attached VM) on a battery of boundary and random
+// inputs, NaN/Inf included. All observables must agree bit-for-bit:
+// return values, the rt::cond branch trace (site ids, outcomes, order),
+// and trap behavior. Where the hand-written differential suites pin the
+// corners someone thought of, the fuzzer sweeps the combinations nobody
+// did; a failure dumps the program source and its bytecode disassembly so
+// the offending emission is reproducible from the log alone.
+//
+// Builds without the JIT (COVERME_JIT=OFF or non-x86-64) still run the
+// full battery across the two remaining tiers, so the suite passes in
+// both CI configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Disasm.h"
+#include "lang/Jit.h"
+#include "lang/SourceProgram.h"
+#include "lang/Vm.h"
+#include "runtime/ExecutionContext.h"
+#include "support/FloatBits.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Random program generation
+//===----------------------------------------------------------------------===//
+
+/// Emits one random well-typed mini-C program. The grammar is deliberately
+/// close to the subset the paper's subjects exercise: double expressions
+/// (including const-table and array reads and a few libm builtins), int
+/// and unsigned expressions (including wrapping division edges and
+/// shifts), double-compare conditions at if/while heads (these are the
+/// Sema-instrumented sites), and loops bounded by dedicated counters so
+/// most runs terminate inside a small step budget — while division by
+/// zero, out-of-bounds indices and budget exhaustion stay reachable on
+/// purpose: traps are observables under test.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Arity = 1 + static_cast<unsigned>(R.below(3));
+    UseTable = R.chance(0.7);
+    NumLoops = 0;
+    Stmts.clear();
+    unsigned Budget = 6 + static_cast<unsigned>(R.below(10));
+    for (unsigned I = 0; I < Budget; ++I)
+      stmt(Stmts, 0);
+
+    std::string S;
+    if (UseTable) {
+      S += "static const double T[8] = {1.0, -0.5, 0.25, 3.5, -2.0, "
+           "1.0e-3, 8.0, -0.125};\n";
+    }
+    S += "double f(";
+    for (unsigned I = 0; I < Arity; ++I)
+      S += std::string(I ? ", " : "") + "double x" + std::to_string(I);
+    S += ") {\n";
+    // All declarations up front; initializers pull the parameters in so
+    // every input slot is live from the first statement.
+    S += "  double d0 = " + param(0) + " * 2.0;\n";
+    S += "  double d1 = " + param(R.below(Arity)) + " - 1.5;\n";
+    S += "  double d2 = 0.0;\n";
+    S += "  double a[4] = {" + param(0) + ", 1.0, -2.5, 0.0};\n";
+    S += "  int i0 = 1;\n";
+    S += "  int i1 = " + std::to_string(static_cast<int>(R.below(201)) - 100) +
+         ";\n";
+    S += "  int i2 = 7;\n";
+    S += "  unsigned u0 = " + std::to_string(R.next() & 0xffffffffu) + "u;\n";
+    for (unsigned I = 0; I < NumLoops; ++I)
+      S += "  int lc" + std::to_string(I) + " = 0;\n";
+    S += Stmts;
+    S += "  return " + dexpr(2) + ";\n";
+    S += "}\n";
+    return S;
+  }
+
+  unsigned arity() const { return Arity; }
+
+private:
+  Rng R;
+  unsigned Arity = 1;
+  unsigned NumLoops = 0;
+  bool UseTable = false;
+  std::string Stmts;
+
+  std::string param(uint64_t I) { return "x" + std::to_string(I % Arity); }
+  std::string dvar(uint64_t I) { return "d" + std::to_string(I % 3); }
+  std::string ivar(uint64_t I) { return "i" + std::to_string(I % 3); }
+
+  /// A double-typed expression of depth at most \p Depth.
+  std::string dexpr(unsigned Depth) {
+    if (Depth == 0) {
+      switch (R.below(6)) {
+      case 0:
+        return param(R.next());
+      case 1:
+        return dvar(R.next());
+      case 2: {
+        // A mix of tame and extreme literals.
+        static const char *Lits[] = {"0.0",    "1.0",   "-1.0",  "0.5",
+                                     "-2.25",  "3.0",   "1.0e3", "1.0e300",
+                                     "-1.0e-300", "4503599627370496.0"};
+        return Lits[R.below(sizeof(Lits) / sizeof(Lits[0]))];
+      }
+      case 3:
+        return "a[" + idx() + "]";
+      case 4:
+        if (UseTable)
+          return "T[(" + iexpr(0) + ") & 7]";
+        return dvar(R.next());
+      default:
+        return param(R.next());
+      }
+    }
+    switch (R.below(8)) {
+    case 0:
+      return "(" + dexpr(Depth - 1) + " + " + dexpr(Depth - 1) + ")";
+    case 1:
+      return "(" + dexpr(Depth - 1) + " - " + dexpr(Depth - 1) + ")";
+    case 2:
+      return "(" + dexpr(Depth - 1) + " * " + dexpr(Depth - 1) + ")";
+    case 3:
+      return "(" + dexpr(Depth - 1) + " / " + dexpr(Depth - 1) + ")";
+    case 4:
+      // The space keeps a leading negative literal from lexing as `--`.
+      return "(- " + dexpr(Depth - 1) + ")";
+    case 5: {
+      static const char *Fns[] = {"fabs", "sqrt",  "sin",  "floor",
+                                  "rint", "trunc", "cbrt", "tanh"};
+      return std::string(Fns[R.below(sizeof(Fns) / sizeof(Fns[0]))]) + "(" +
+             dexpr(Depth - 1) + ")";
+    }
+    case 6:
+      return "(double)(" + iexpr(Depth - 1) + ")";
+    default:
+      return "(" + dexpr(Depth - 1) + ")";
+    }
+  }
+
+  /// An int-typed expression of depth at most \p Depth.
+  std::string iexpr(unsigned Depth) {
+    if (Depth == 0) {
+      switch (R.below(4)) {
+      case 0:
+        return ivar(R.next());
+      case 1:
+        return std::to_string(static_cast<int>(R.below(41)) - 20);
+      case 2:
+        return "(int)" + dvar(R.next());
+      default:
+        return std::to_string(static_cast<int>(R.below(7)));
+      }
+    }
+    switch (R.below(9)) {
+    case 0:
+      return "(" + iexpr(Depth - 1) + " + " + iexpr(Depth - 1) + ")";
+    case 1:
+      return "(" + iexpr(Depth - 1) + " - " + iexpr(Depth - 1) + ")";
+    case 2:
+      return "(" + iexpr(Depth - 1) + " * " + iexpr(Depth - 1) + ")";
+    case 3:
+      // Raw division: a zero divisor traps, and the trap must be
+      // bit-identical across tiers — that is the point.
+      return "(" + iexpr(Depth - 1) + " / " + iexpr(Depth - 1) + ")";
+    case 4:
+      return "(" + iexpr(Depth - 1) + " % " + iexpr(Depth - 1) + ")";
+    case 5:
+      return "(" + iexpr(Depth - 1) + " & " + iexpr(Depth - 1) + ")";
+    case 6:
+      return "(" + iexpr(Depth - 1) + " ^ " + iexpr(Depth - 1) + ")";
+    case 7:
+      return "(" + iexpr(Depth - 1) + " >> " +
+             std::to_string(static_cast<int>(R.below(33))) + ")";
+    default:
+      return "(int)(u0 >> " + std::to_string(static_cast<int>(R.below(8))) +
+             ")";
+    }
+  }
+
+  /// A branch condition. Double comparisons dominate: those are the
+  /// Sema-instrumented conditional sites whose traces the battery pins.
+  std::string cond() {
+    static const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    const char *Op = Ops[R.below(6)];
+    if (R.chance(0.75))
+      return dexpr(1) + " " + Op + " " + dexpr(1);
+    return iexpr(1) + " " + Op + " " + iexpr(1);
+  }
+
+  /// An array index: usually masked in-bounds, occasionally far out of
+  /// bounds so the "out-of-bounds memory access" trap stays in the tested
+  /// population. Far out, not near: an index a few slots past the array
+  /// still lands inside the frame arena, where each tier's (identical
+  /// arena-granular) bounds check passes and the write aliases a sibling
+  /// local — but the tree-walker and the VM lay frames out differently,
+  /// so which local gets clobbered is tier-specific by design. Indices
+  /// beyond any frame trap identically on all three tiers.
+  std::string idx() {
+    if (R.chance(0.9))
+      return "(" + iexpr(0) + ") & 3";
+    return "(" + iexpr(0) + ") + 1000";
+  }
+
+  void stmt(std::string &Out, unsigned Nest) {
+    switch (R.below(Nest < 2 ? 8 : 5)) {
+    case 0:
+      Out += "  " + dvar(R.next()) + " = " + dexpr(2) + ";\n";
+      break;
+    case 1:
+      Out += "  " + ivar(R.next()) + " = " + iexpr(2) + ";\n";
+      break;
+    case 2:
+      Out += "  a[" + idx() + "] = " + dexpr(1) + ";\n";
+      break;
+    case 3:
+      Out += "  u0 = u0 " + std::string(R.chance(0.5) ? "*" : "+") + " " +
+             std::to_string(1 + (R.next() & 0xffffu)) + "u;\n";
+      break;
+    case 4:
+      Out += "  " + dvar(R.next()) + " = " + dvar(R.next()) + ";\n";
+      break;
+    case 5: { // if / if-else
+      Out += "  if (" + cond() + ") {\n";
+      stmt(Out, Nest + 1);
+      if (R.chance(0.4)) {
+        Out += "  } else {\n";
+        stmt(Out, Nest + 1);
+      }
+      Out += "  }\n";
+      break;
+    }
+    case 6: { // counter-bounded while whose condition still fires a site
+      unsigned LC = NumLoops++;
+      std::string C = "lc" + std::to_string(LC);
+      Out += "  while ((" + cond() + ") && " + C + " < " +
+             std::to_string(2 + R.below(7)) + ") {\n";
+      Out += "    " + C + " = " + C + " + 1;\n";
+      stmt(Out, Nest + 1);
+      stmt(Out, Nest + 1);
+      Out += "  }\n";
+      break;
+    }
+    default: { // accumulation loop over the array
+      unsigned LC = NumLoops++;
+      std::string C = "lc" + std::to_string(LC);
+      Out += "  while (" + C + " < 4) {\n";
+      Out += "    d2 = d2 + a[" + C + "];\n";
+      Out += "    " + C + " = " + C + " + 1;\n";
+      Out += "  }\n";
+      break;
+    }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Three-tier execution and comparison
+//===----------------------------------------------------------------------===//
+
+/// Everything observable about one execution of one tier.
+struct TierRun {
+  uint64_t ResultBits = 0;
+  bool Trapped = false;
+  std::string TrapMessage;
+  std::vector<BranchRef> Trace;
+};
+
+TierRun runTreeWalker(Interpreter &Interp, const FunctionDecl &F,
+                      const std::vector<double> &X) {
+  TierRun Run;
+  ExecutionContext Ctx(Interp.unit().NumSites);
+  Ctx.TraceEnabled = true;
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  Run.ResultBits = doubleToBits(Interp.callEntry(F, X.data()));
+  Run.Trapped = Interp.trapped();
+  Run.TrapMessage = Interp.trapMessage();
+  Run.Trace = Ctx.Trace;
+  return Run;
+}
+
+TierRun runVm(bc::Vm &Vm, unsigned FnIndex, const std::vector<double> &X) {
+  TierRun Run;
+  ExecutionContext Ctx(Vm.unit().NumSites);
+  Ctx.TraceEnabled = true;
+  ExecutionContext::Scope Scope(Ctx);
+  Ctx.beginRun();
+  Run.ResultBits = doubleToBits(Vm.callEntry(FnIndex, X.data()));
+  Run.Trapped = Vm.trapped();
+  Run.TrapMessage = Vm.trapMessage();
+  Run.Trace = Ctx.Trace;
+  return Run;
+}
+
+/// Input battery for one program: IEEE boundary values in every slot plus
+/// seeded raw-bit and exponent-uniform randoms (NaN/Inf by construction).
+std::vector<std::vector<double>> inputBattery(unsigned Arity, uint64_t Seed) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  static const double Boundary[] = {
+      0.0,    -0.0, 1.0,   -1.0,
+      0.5,    2.5,  1e300, -1e300,
+      5e-324, 4503599627370496.0, // 2^52
+      Inf,    -Inf, std::numeric_limits<double>::quiet_NaN(),
+  };
+  std::vector<std::vector<double>> Inputs;
+  for (double B : Boundary) {
+    Inputs.emplace_back(Arity, B);
+    if (Arity > 1) {
+      std::vector<double> Y(Arity, 3.0);
+      Y[0] = B;
+      Inputs.push_back(std::move(Y));
+    }
+  }
+  Rng R(Seed ^ 0xf0221234u);
+  for (unsigned I = 0; I < 10; ++I) {
+    std::vector<double> X(Arity);
+    for (double &V : X)
+      V = (I & 1) ? R.rawBitsDouble() : R.exponentUniformDouble();
+    Inputs.push_back(std::move(X));
+  }
+  return Inputs;
+}
+
+/// One observable mismatch between two tiers, or empty when they agree.
+std::string diffTiers(const TierRun &A, const TierRun &B,
+                      const char *BName) {
+  std::string D;
+  if (A.ResultBits != B.ResultBits)
+    D += std::string("result bits differ: reference ") +
+         std::to_string(A.ResultBits) + " vs " + BName + " " +
+         std::to_string(B.ResultBits) + "\n";
+  if (A.Trapped != B.Trapped)
+    D += std::string("trap state differs: reference ") +
+         (A.Trapped ? A.TrapMessage : "(none)") + " vs " + BName + " " +
+         (B.Trapped ? B.TrapMessage : "(none)") + "\n";
+  else if (A.Trapped && A.TrapMessage != B.TrapMessage)
+    D += "trap message differs: \"" + A.TrapMessage + "\" vs \"" +
+         B.TrapMessage + "\"\n";
+  if (A.Trace.size() != B.Trace.size())
+    D += "trace length differs: reference " + std::to_string(A.Trace.size()) +
+         " vs " + BName + " " + std::to_string(B.Trace.size()) + "\n";
+  else
+    for (size_t I = 0; I < A.Trace.size(); ++I)
+      if (A.Trace[I].Site != B.Trace[I].Site ||
+          A.Trace[I].Outcome != B.Trace[I].Outcome) {
+        D += "trace diverges at hook " + std::to_string(I) + ": site " +
+             std::to_string(A.Trace[I].Site) + "/" +
+             std::to_string(A.Trace[I].Outcome) + " vs " +
+             std::to_string(B.Trace[I].Site) + "/" +
+             std::to_string(B.Trace[I].Outcome) + "\n";
+        break;
+      }
+  return D;
+}
+
+std::string describeInput(const std::vector<double> &X) {
+  std::string S = "input: (";
+  for (size_t I = 0; I < X.size(); ++I) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%s%.17g [bits %016llx]", I ? ", " : "",
+                  X[I], static_cast<unsigned long long>(doubleToBits(X[I])));
+    S += Buf;
+  }
+  return S + ")";
+}
+
+struct FuzzStats {
+  unsigned Programs = 0;
+  unsigned JittedEntries = 0;
+  unsigned SitesTotal = 0;
+  unsigned TrappedRuns = 0;
+  unsigned Inputs = 0;
+};
+
+/// Generates, compiles and cross-checks one program; returns false after
+/// reporting a failure (with source + disassembly) so the caller can stop
+/// before drowning the log.
+bool runOneProgram(uint64_t Seed, FuzzStats &Stats) {
+  ProgramGen Gen(Seed);
+  std::string Source = Gen.generate();
+
+  SourceProgramOptions Opts;
+  Opts.Fuse = (Seed & 1) != 0; // alternate the fusion axis across seeds
+  Opts.Interp.MaxSteps = 60000; // generated loops are counter-bounded;
+                                // runaways must trap fast and identically
+  SourceProgram SP = compileSourceProgram(Source, "f", Opts);
+  if (!SP.success()) {
+    ADD_FAILURE() << "seed " << Seed << ": generated program failed to "
+                  << "compile:\n"
+                  << SP.diagnosticsText() << "\n--- source ---\n"
+                  << Source;
+    return false;
+  }
+  ++Stats.Programs;
+  Stats.SitesTotal += SP.Prog.NumSites;
+
+  bc::Vm PlainVm(SP.Code, Opts.Interp);
+  std::unique_ptr<bc::Vm> JitVm;
+  std::shared_ptr<const bc::JitUnit> Jit;
+  if (bc::JitUnit::available()) {
+    Jit = bc::JitUnit::build(SP.Code);
+    if (Jit && Jit->canJit(0))
+      ++Stats.JittedEntries;
+    if (Jit) {
+      JitVm = std::make_unique<bc::Vm>(SP.Code, Opts.Interp);
+      JitVm->attachJit(Jit);
+    }
+  }
+
+  for (const auto &X : inputBattery(Gen.arity(), Seed)) {
+    ++Stats.Inputs;
+    TierRun Ref = runTreeWalker(*SP.Interp, *SP.Entry, X);
+    if (Ref.Trapped)
+      ++Stats.TrappedRuns;
+
+    std::string D = diffTiers(Ref, runVm(PlainVm, 0, X), "vm");
+    if (D.empty() && JitVm)
+      D = diffTiers(Ref, runVm(*JitVm, 0, X), "jit");
+    if (D.empty() && JitVm) {
+      // No-context lane: with no ExecutionContext installed the JIT takes
+      // its inline rt::cond fast path (and the VM the hook's null-context
+      // branch); results and traps must still match bit for bit.
+      TierRun PlainRef, PlainJit;
+      PlainRef.ResultBits = doubleToBits(PlainVm.callEntry(0u, X.data()));
+      PlainRef.Trapped = PlainVm.trapped();
+      PlainRef.TrapMessage = PlainVm.trapMessage();
+      PlainJit.ResultBits = doubleToBits(JitVm->callEntry(0u, X.data()));
+      PlainJit.Trapped = JitVm->trapped();
+      PlainJit.TrapMessage = JitVm->trapMessage();
+      D = diffTiers(PlainRef, PlainJit, "jit/no-context");
+    }
+    if (!D.empty()) {
+      ADD_FAILURE() << "seed " << Seed << ": tiers diverge\n"
+                    << D << describeInput(X) << "\n--- source ---\n"
+                    << Source << "--- disassembly ---\n"
+                    << disassemble(*SP.Code);
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The battery
+//===----------------------------------------------------------------------===//
+
+TEST(TierFuzzTest, RandomProgramsAgreeAcrossAllTiers) {
+  constexpr unsigned NumPrograms = 220;
+  constexpr uint64_t BaseSeed = 0x7137f022u; // fixed: failures reproduce
+  FuzzStats Stats;
+  unsigned Failures = 0;
+  for (unsigned I = 0; I < NumPrograms && Failures < 3; ++I)
+    if (!runOneProgram(BaseSeed + I, Stats))
+      ++Failures;
+  EXPECT_EQ(Failures, 0u);
+
+  // The population must be meaningful: programs compiled, conditional
+  // sites were instrumented, traps were reached, and — when this build
+  // has the JIT — the generator's entries overwhelmingly compiled to
+  // native fragments (they contain no calls, the one structural clamp).
+  EXPECT_EQ(Stats.Programs, NumPrograms);
+  EXPECT_GT(Stats.SitesTotal, NumPrograms) << "generator lost its sites";
+  EXPECT_GT(Stats.TrappedRuns, 0u) << "trap parity went untested";
+  if (bc::JitUnit::available())
+    EXPECT_GT(Stats.JittedEntries, (NumPrograms * 9) / 10)
+        << "JIT eligibility collapsed: the fuzz battery is no longer "
+           "exercising native fragments";
+  else
+    EXPECT_EQ(Stats.JittedEntries, 0u);
+}
+
+TEST(TierFuzzTest, SweepIsDeterministic) {
+  // The battery itself must be reproducible: the same seed generates the
+  // same source text, else a logged failure seed would not replay.
+  ProgramGen A(12345), B(12345);
+  EXPECT_EQ(A.generate(), B.generate());
+  ProgramGen C(12346);
+  EXPECT_NE(A.generate(), C.generate());
+}

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lang/Compiler.h"
+#include "lang/Jit.h"
 #include "lang/Sema.h"
 #include "lang/SourceSuite.h"
 #include "lang/Vm.h"
@@ -196,11 +197,16 @@ struct VmConfig {
   bool Fuse;
   VmDispatch Dispatch;
   const char *Name;
+  bool Jit = false;
 };
 
-/// Every dispatch/fusion combination this build can execute. Builds
-/// configured with COVERME_VM_CGOTO=OFF still differential-test fused vs
-/// unfused under switch dispatch.
+/// Every executor configuration this build can execute: {switch, cgoto,
+/// jit} x {fused, unfused}. Builds with COVERME_VM_CGOTO=OFF still
+/// differential-test fused vs unfused under switch dispatch; builds with
+/// COVERME_JIT=OFF drop the jit axis the same way. The jit configurations
+/// attach native fragments where the emitter accepted the function and
+/// fall back to switch dispatch where it did not — the fall-back boundary
+/// is inside the configuration, exactly as the Jit tier ships.
 std::vector<VmConfig> vmConfigs() {
   std::vector<VmConfig> Configs = {
       {true, VmDispatch::Switch, "switch/fused"},
@@ -210,7 +216,27 @@ std::vector<VmConfig> vmConfigs() {
     Configs.push_back({true, VmDispatch::ComputedGoto, "cgoto/fused"});
     Configs.push_back({false, VmDispatch::ComputedGoto, "cgoto/unfused"});
   }
+  if (bc::JitUnit::available()) {
+    Configs.push_back({true, VmDispatch::Switch, "jit/fused", true});
+    Configs.push_back({false, VmDispatch::Switch, "jit/unfused", true});
+  }
   return Configs;
+}
+
+/// A Vm for one configuration over \p Unit, with the JIT form attached
+/// when the configuration asks for it (built lazily, cached per unit by
+/// the caller via \p JitForm).
+std::unique_ptr<bc::Vm>
+makeConfigVm(const VmConfig &C, const std::shared_ptr<const bc::CompiledUnit> &Unit,
+             const InterpOptions &Opts,
+             std::shared_ptr<const bc::JitUnit> &JitForm) {
+  auto Vm = std::make_unique<bc::Vm>(Unit, Opts);
+  if (C.Jit) {
+    if (!JitForm)
+      JitForm = bc::JitUnit::build(Unit);
+    Vm->attachJit(JitForm);
+  }
+  return Vm;
 }
 
 /// Runs the battery through the tree-walker and every VM configuration,
@@ -227,12 +253,15 @@ void expectConfigsAgree(const std::string &Source, const std::string &Entry,
 
   std::vector<VmConfig> Configs = vmConfigs();
   std::vector<std::unique_ptr<bc::Vm>> Vms;
+  std::shared_ptr<const bc::JitUnit> JitFused, JitPlain;
   for (const VmConfig &C : Configs) {
     InterpOptions Opts;
     Opts.Dispatch = C.Dispatch;
-    Vms.push_back(std::make_unique<bc::Vm>(
-        C.Fuse ? Fused.Code : Plain.Code, Opts));
-    if (C.Dispatch == VmDispatch::ComputedGoto)
+    Vms.push_back(makeConfigVm(C, C.Fuse ? Fused.Code : Plain.Code, Opts,
+                               C.Fuse ? JitFused : JitPlain));
+    if (C.Jit)
+      ASSERT_NE(Vms.back()->jitUnit(), nullptr) << C.Name;
+    else if (C.Dispatch == VmDispatch::ComputedGoto)
       ASSERT_STREQ(Vms.back()->dispatchName(), "cgoto");
     else
       ASSERT_STREQ(Vms.back()->dispatchName(), "switch");
@@ -533,6 +562,7 @@ TEST(VmDifferentialTest, ExhaustionPointsIdenticalAcrossConfigs) {
 
   std::vector<double> X = {1.5};
   std::vector<VmConfig> Configs = vmConfigs();
+  std::shared_ptr<const bc::JitUnit> JitFused, JitPlain;
   bool SawPartialTrace = false;
   uint64_t FirstCompleting = 0;
   for (uint64_t Budget = 0;; ++Budget) {
@@ -543,7 +573,10 @@ TEST(VmDifferentialTest, ExhaustionPointsIdenticalAcrossConfigs) {
       InterpOptions Opts;
       Opts.MaxSteps = Budget;
       Opts.Dispatch = C.Dispatch;
-      bc::Vm Vm(C.Fuse ? Fused.Unit : Plain.Unit, Opts);
+      std::unique_ptr<bc::Vm> VmPtr =
+          makeConfigVm(C, C.Fuse ? Fused.Unit : Plain.Unit, Opts,
+                       C.Fuse ? JitFused : JitPlain);
+      bc::Vm &Vm = *VmPtr;
       TierRun Got = runVm(Vm, 0, X);
       if (!RefSet) {
         Ref = Got;
@@ -575,6 +608,77 @@ TEST(VmDifferentialTest, ExhaustionPointsIdenticalAcrossConfigs) {
   // minimal completing budget must match the unfused stream's total work.
   EXPECT_TRUE(SawPartialTrace);
   EXPECT_GT(FirstCompleting, 100u);
+}
+
+TEST(VmDifferentialTest, ExhaustionPointsIdenticalAcrossJitFallBack) {
+  // The JIT fall-back boundary under the budget sweep: the entry calls a
+  // helper, so the emitter rejects it (CanJit false — Op::Call) and a
+  // jit-attached Vm runs it on the interpreter path, while the helper
+  // itself compiles. For EVERY budget value, the jit-attached Vm must
+  // trap (or complete) with bit-identical observables to the plain VM on
+  // both entries — exhaustion points cross the fall-back boundary
+  // unchanged.
+  if (!bc::JitUnit::available())
+    GTEST_SKIP() << "build has no JIT";
+  const char *Source = R"(
+    double helper(double y) {
+      double acc = 0.0;
+      int i;
+      for (i = 0; i < 12; i++) {
+        if (acc < 1.0e300) acc = acc + y;
+      }
+      return acc;
+    }
+    double f(double x) {
+      double a = helper(x);
+      double b = helper(x * 2.0);
+      if (a < b) return b - a;
+      return a - b;
+    }
+  )";
+  ParseResult Parsed = parseTranslationUnit(Source);
+  ASSERT_TRUE(Parsed.success());
+  std::vector<Diagnostic> Diags;
+  ASSERT_TRUE(analyze(*Parsed.TU, Diags));
+  bc::CompileResult Compiled = bc::compileUnit(*Parsed.TU, {});
+  ASSERT_TRUE(Compiled.success()) << Compiled.Error;
+
+  std::shared_ptr<const bc::JitUnit> Jit = bc::JitUnit::build(Compiled.Unit);
+  ASSERT_NE(Jit, nullptr);
+  int HelperIdx = Compiled.Unit->functionIndex("helper");
+  int EntryIdx = Compiled.Unit->functionIndex("f");
+  ASSERT_GE(HelperIdx, 0);
+  ASSERT_GE(EntryIdx, 0);
+  EXPECT_TRUE(Jit->canJit(static_cast<unsigned>(HelperIdx)));
+  EXPECT_FALSE(Jit->canJit(static_cast<unsigned>(EntryIdx)))
+      << "Op::Call must clamp the entry off the JIT";
+
+  std::vector<double> X = {1.5};
+  for (int Fn : {EntryIdx, HelperIdx}) {
+    bool Completed = false;
+    for (uint64_t Budget = 0; Budget < 4000 && !Completed; ++Budget) {
+      InterpOptions Opts;
+      Opts.MaxSteps = Budget;
+      bc::Vm Plain(Compiled.Unit, Opts);
+      bc::Vm Jitted(Compiled.Unit, Opts);
+      Jitted.attachJit(Jit);
+      TierRun A = runVm(Plain, static_cast<unsigned>(Fn), X);
+      TierRun B = runVm(Jitted, static_cast<unsigned>(Fn), X);
+      std::string At = "fn " + std::to_string(Fn) + " budget " +
+                       std::to_string(Budget);
+      EXPECT_EQ(A.ResultBits, B.ResultBits) << At;
+      EXPECT_EQ(A.Trapped, B.Trapped) << At;
+      EXPECT_EQ(Plain.trapMessage(), Jitted.trapMessage()) << At;
+      ASSERT_EQ(A.Trace.size(), B.Trace.size()) << At;
+      for (size_t I = 0; I < A.Trace.size(); ++I) {
+        EXPECT_EQ(A.Trace[I].Site, B.Trace[I].Site) << At << " @" << I;
+        EXPECT_EQ(A.Trace[I].Outcome, B.Trace[I].Outcome) << At << " @" << I;
+      }
+      Completed = !A.Trapped;
+    }
+    EXPECT_TRUE(Completed) << "fn " << Fn
+                           << ": sweep failed to reach completion";
+  }
 }
 
 //===----------------------------------------------------------------------===//
