@@ -24,7 +24,10 @@
 // resolved dispatch mode, the fusion-pass stats of the compiled unit, and
 // the derived `vm_speedup` (tree-walker ns / VM ns per plain evaluation),
 // which CI gates at >= 4x, plus `jit_speedup` (fused-VM ns / JIT ns),
-// which CI gates at >= 2x whenever `jit_available` is true.
+// which CI gates at >= 2x whenever `jit_available` is true, plus
+// `vm_batch_simd_speedup` — the suite geomean of batched FOO_R through
+// the wide SIMD batch lane over forced-scalar runBatch — which CI gates
+// at >= 1.5x whenever `simd_available` is true.
 //
 // Usage: bench_interp [--json[=path]] [--evals=N]
 //
@@ -36,12 +39,14 @@
 #include "lang/Jit.h"
 #include "lang/Sema.h"
 #include "lang/SourceProgram.h"
+#include "lang/SourceSuite.h"
 #include "lang/Vm.h"
 #include "runtime/ExecutionContext.h"
 #include "runtime/RepresentingFunction.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -243,6 +248,47 @@ int main(int Argc, char **Argv) {
   double JitRNs = nsPerRepresentingEval(JitSP.Prog, Evals * 8);
   double JitBatchRNs = nsPerBatchedRepresentingEval(JitSP.Prog, Evals * 8);
 
+  // The wide-execution lane: batched FOO_R per suite subject, the default
+  // batch backend (SIMD when the host and the function are eligible)
+  // against forced-scalar runBatch. Two separately compiled programs per
+  // subject so each keeps its own thread-local VM configuration. The
+  // suite geomean is what CI gates (>= 1.5x); hosts without AVX2 report
+  // simd_available=false and CI skips the gate with a notice.
+  const bool SimdOn = bc::Vm::simdAvailable();
+  const unsigned SimdLanes = SimdOn ? bc::wide::kWideLanes : 1;
+  double SimdLogSum = 0.0;
+  unsigned SimdCount = 0;
+  std::string SimdRows, SimdJson;
+  if (SimdOn) {
+    unsigned SuiteEvals = Evals / 4 ? Evals / 4 : 1;
+    for (const SourceBenchmark &B : sourceSuite()) {
+      SourceProgramOptions ScalarOpts;
+      ScalarOpts.Interp.Simd = VmSimd::Off;
+      SourceProgram WideSP = compileSourceProgram(B.Source, B.Name);
+      SourceProgram ScalarSP =
+          compileSourceProgram(B.Source, B.Name, ScalarOpts);
+      if (!WideSP.success() || !ScalarSP.success())
+        continue;
+      double SimdNs = nsPerBatchedRepresentingEval(WideSP.Prog, SuiteEvals);
+      double ScalarNs =
+          nsPerBatchedRepresentingEval(ScalarSP.Prog, SuiteEvals);
+      double Speedup = ScalarNs / SimdNs;
+      SimdLogSum += std::log(Speedup);
+      ++SimdCount;
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf), "%s%s %.2fx", SimdRows.empty() ? "" : "  ",
+                    B.Name.c_str(), Speedup);
+      SimdRows += Buf;
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s    {\"name\": \"%s\", \"simd_ns\": %.3f, "
+                    "\"scalar_ns\": %.3f, \"speedup\": %.3f}",
+                    SimdJson.empty() ? "" : ",\n", B.Name.c_str(), SimdNs,
+                    ScalarNs, Speedup);
+      SimdJson += Buf;
+    }
+  }
+  double SimdGeomean = SimdCount ? std::exp(SimdLogSum / SimdCount) : 0.0;
+
   double InterpCampaign = campaignMs(TreeSP.Prog);
   double VmCampaign = campaignMs(VmSP.Prog);
 
@@ -272,6 +318,15 @@ int main(int Argc, char **Argv) {
               InterpRNs, VmRNs, VmRSpeedup, VmBatchRNs);
   std::printf("  JIT FOO_R                    %8.1f ns | batched %8.1f ns\n",
               JitRNs, JitBatchRNs);
+  if (SimdOn) {
+    std::printf("  VM batched SIMD lane         %u lanes, suite geomean "
+                "%.2fx over scalar runBatch (CI gate: >= 1.5x)\n",
+                SimdLanes, SimdGeomean);
+    std::printf("    %s\n", SimdRows.c_str());
+  } else {
+    std::printf("  VM batched SIMD lane         unavailable "
+                "(no AVX2 on this host or COVERME_VM_SIMD off)\n");
+  }
   std::printf("campaign, n_start=100          tree-walker %8.1f ms | "
               "VM %8.1f ms\n",
               InterpCampaign, VmCampaign);
@@ -308,6 +363,10 @@ int main(int Argc, char **Argv) {
         "  \"vm_foo_r_speedup\": %.3f,\n"
         "  \"jit_foo_r_ns_per_eval\": %.3f,\n"
         "  \"jit_foo_r_batch_ns_per_eval\": %.3f,\n"
+        "  \"simd_available\": %s,\n"
+        "  \"simd_lanes\": %u,\n"
+        "  \"vm_batch_simd\": [\n%s\n  ],\n"
+        "  \"vm_batch_simd_speedup\": %.3f,\n"
         "  \"interp_campaign_ms\": %.3f,\n"
         "  \"vm_campaign_ms\": %.3f\n"
         "}\n",
@@ -317,6 +376,7 @@ int main(int Argc, char **Argv) {
         FrontendUs, BytecodeUs, NativeNs, InterpNs, VmNs, VmSwitchNs,
         VmUnfusedNs, VmSpeedup, JitOn ? "true" : "false", JitNs, JitSpeedup,
         InterpRNs, VmRNs, VmBatchRNs, VmRSpeedup, JitRNs, JitBatchRNs,
+        SimdOn ? "true" : "false", SimdLanes, SimdJson.c_str(), SimdGeomean,
         InterpCampaign, VmCampaign);
     std::fclose(F);
     std::printf("\nwrote %s\n", JsonPath.c_str());

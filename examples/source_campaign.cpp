@@ -23,6 +23,9 @@
 //          --disasm     print the compiled unit's bytecode (with the
 //                       peephole pass's superinstructions) and exit
 //          --no-fuse    compile without the superinstruction pass
+//          --no-simd    force the VM's batched probe entry onto the
+//                       scalar row loop (the wide AVX2 lane otherwise
+//                       engages automatically on eligible hosts)
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +33,7 @@
 #include "core/CoverMe.h"
 #include "lang/Disasm.h"
 #include "lang/SourceProgram.h"
+#include "lang/Vm.h"
 #include "runtime/Coverage.h"
 
 #include <cstdio>
@@ -112,12 +116,14 @@ int main(int argc, char **argv) {
       Disasm = true;
     } else if (std::strcmp(argv[I], "--no-fuse") == 0) {
       SPOpts.Fuse = false;
+    } else if (std::strcmp(argv[I], "--no-simd") == 0) {
+      SPOpts.Interp.Simd = lang::VmSimd::Off;
     } else if (std::strncmp(argv[I], "--threads=", 10) == 0) {
       Threads = static_cast<unsigned>(std::atoi(argv[I] + 10));
     } else if (std::strncmp(argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: %s [--tier=vm|jit|interp] [--threads=N] [--disasm] "
-                   "[--no-fuse] [foo.c entry]\n",
+                   "[--no-fuse] [--no-simd] [foo.c entry]\n",
                    argv[0]);
       return 2;
     } else {
@@ -167,10 +173,21 @@ int main(int argc, char **argv) {
   Opts.NIter = 5;
   Opts.Seed = 1;
   Opts.Threads = Threads;
-  std::printf("executor: %s tier, %u engine thread(s)%s\n",
+  // The batch backend the compiled entry will actually use: "simd" when
+  // the host has AVX2, the build has the wide lane, the function passed
+  // the wide-safety analysis, and --no-simd was not given.
+  const char *BatchBackend = "n/a";
+  if (SP.Code) {
+    lang::bc::Vm Probe(SP.Code, SPOpts.Interp);
+    int FnIndex = SP.Code->functionIndex(Entry);
+    if (FnIndex >= 0)
+      BatchBackend = Probe.batchBackendName(static_cast<unsigned>(FnIndex));
+  }
+  std::printf("executor: %s tier, batch backend %s, %u engine thread(s)%s\n",
               SP.Jit ? "bytecode-VM + x86-64 JIT"
                      : (SP.Prog.ThreadSafeBody ? "bytecode-VM"
                                                : "tree-walker"),
+              BatchBackend,
               CampaignEngine(SP.Prog, Opts).effectiveThreads(),
               !SP.Prog.ThreadSafeBody && Threads > 1
                   ? " (non-reentrant body clamps to 1)"

@@ -343,6 +343,12 @@ struct FunctionInfo {
   uint32_t MaxOperandDepth = 0;
   std::vector<Type> ParamTypes;
   std::vector<uint32_t> ParamOffsets; ///< Frame byte offsets, from Sema.
+  /// No instruction reachable from Entry (transitively through Calls)
+  /// writes global storage, so the VM's wide batch lane — whose four rows
+  /// share one read-only global image — may execute this function. Set by
+  /// the compiler's wide-safety analysis; the wide lane additionally
+  /// requires the unit-level WritesGlobals escape bit to be clear.
+  bool WideSafe = false;
 };
 
 /// What the compiler's optimization passes did to this unit; surfaced by
@@ -356,6 +362,11 @@ struct OptStats {
   /// Final DoublePool slots: bit-pattern-deduplicated literals, plus any
   /// constants the fusion pass folded (ConstI;I2D promotions).
   uint32_t PoolSize = 0;
+  /// Wide-safety analysis outcome: how many functions the SIMD batch lane
+  /// may execute vs. how many touch global storage somewhere in their
+  /// reachable call graph.
+  uint32_t WideSafeFunctions = 0;
+  uint32_t WideUnsafeFunctions = 0;
 };
 
 /// The immutable compiled unit. Safe to share across threads; every Vm

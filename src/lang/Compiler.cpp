@@ -1552,6 +1552,97 @@ void computeBlockCosts(CompiledUnit &U) {
   }
 }
 
+/// Marks FunctionInfo::WideSafe: whether the VM's SIMD wide batch lane
+/// (lang/VmWide) may execute the function. The lane runs four probe rows
+/// against one shared read-only copy of the global arena, so a function
+/// is wide-unsafe iff a direct global write (StG*, ZeroG) is reachable
+/// from its entry — transitively through calls. Stores through escaped
+/// global *addresses* are not analyzed here: the VM additionally requires
+/// the unit-level WritesGlobals bit to be clear, which covers them, and
+/// the wide checked-store handler retires defensively anyway. Runs on the
+/// final instruction stream (after fusion), so superinstruction opcodes
+/// and remapped targets are what gets walked.
+void analyzeWideSafety(CompiledUnit &U) {
+  const size_t NumFns = U.Functions.size();
+  std::vector<uint8_t> Unsafe(NumFns, 0);
+  std::vector<std::vector<uint32_t>> Callees(NumFns);
+  std::vector<uint8_t> Seen(U.Code.size());
+  std::vector<uint32_t> Work;
+  for (size_t FI = 0; FI < NumFns; ++FI) {
+    std::fill(Seen.begin(), Seen.end(), 0);
+    Work.assign(1, U.Functions[FI].Entry);
+    while (!Work.empty() && !Unsafe[FI]) {
+      uint32_t PC = Work.back();
+      Work.pop_back();
+      if (PC >= U.Code.size() || Seen[PC])
+        continue;
+      Seen[PC] = 1;
+      const Insn &In = U.Code[PC];
+      switch (In.Code) {
+      case Op::StGI:
+      case Op::StGU:
+      case Op::StGD:
+      case Op::StGP:
+      case Op::ZeroG:
+        Unsafe[FI] = 1;
+        break;
+      case Op::Call:
+        Callees[FI].push_back(In.A);
+        Work.push_back(PC + 1);
+        break;
+      case Op::Jump:
+        Work.push_back(In.A);
+        break;
+      case Op::JfI:
+      case Op::JfD:
+      case Op::JfP:
+      case Op::JtI:
+      case Op::JtD:
+      case Op::JtP:
+      case Op::CondSiteJf:
+      case Op::CondSiteJt:
+      case Op::CmpDJf:
+      case Op::CmpDJt:
+        Work.push_back(In.A);
+        Work.push_back(PC + 1);
+        break;
+      case Op::Ret:
+      case Op::RetV:
+      case Op::Halt:
+      case Op::TrapOp:
+        break;
+      default:
+        Work.push_back(PC + 1);
+        break;
+      }
+    }
+  }
+  // Unsafety propagates caller-ward over the call graph to a fixpoint
+  // (the graph is tiny; quadratic sweeps beat bookkeeping here).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t FI = 0; FI < NumFns; ++FI) {
+      if (Unsafe[FI])
+        continue;
+      for (uint32_t Callee : Callees[FI]) {
+        if (Callee < NumFns && Unsafe[Callee]) {
+          Unsafe[FI] = 1;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t FI = 0; FI < NumFns; ++FI) {
+    U.Functions[FI].WideSafe = !Unsafe[FI];
+    if (Unsafe[FI])
+      ++U.Stats.WideUnsafeFunctions;
+    else
+      ++U.Stats.WideSafeFunctions;
+  }
+}
+
 } // namespace
 
 CompileResult bc::compileUnit(const TranslationUnit &TU,
@@ -1572,6 +1663,7 @@ CompileResult bc::compileUnit(const TranslationUnit &TU,
   Unit->Stats.InsnsAfterFusion = static_cast<uint32_t>(Unit->Code.size());
   Unit->Stats.PoolSize = static_cast<uint32_t>(Unit->DoublePool.size());
   computeBlockCosts(*Unit);
+  analyzeWideSafety(*Unit);
 
   // Bake the global image by running the init routine once on a scratch
   // Vm. The image is written before the unit is published anywhere else.

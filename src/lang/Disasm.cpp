@@ -190,9 +190,9 @@ std::string bc::disassembleFunction(const CompiledUnit &U, unsigned FnIndex) {
   const FunctionInfo &F = U.Functions[FnIndex];
   std::string Out;
   appendf(Out, "%s(%zu params): frame %" PRIu32 " bytes, entry %" PRIu32
-               ", thunk %" PRIu32 "\n",
+               ", thunk %" PRIu32 "%s\n",
           F.Name.c_str(), F.ParamTypes.size(), F.FrameBytes, F.Entry,
-          F.Thunk);
+          F.Thunk, F.WideSafe ? ", wide-safe" : "");
   for (uint32_t PC = F.Entry; PC < F.Thunk + 2 && PC < U.Code.size(); ++PC) {
     appendf(Out, "%5" PRIu32 "  ", PC);
     Out += renderInsn(U, PC);
@@ -216,6 +216,9 @@ std::string bc::disassemble(const CompiledUnit &U) {
             U.Stats.InsnsAfterFusion);
   else
     Out += "fusion: off\n";
+  appendf(Out,
+          "wide: %" PRIu32 " of %zu functions safe for the SIMD batch lane\n",
+          U.Stats.WideSafeFunctions, U.Functions.size());
   for (unsigned I = 0; I < U.Functions.size(); ++I) {
     Out += '\n';
     Out += disassembleFunction(U, I);

@@ -49,15 +49,28 @@ enum class VmDispatch : uint8_t {
   ComputedGoto,
 };
 
+/// Whether the bytecode VM's batch entry may take the SIMD wide-execution
+/// lane. Like VmDispatch, a pure speed knob: the wide lane retires any row
+/// it cannot finish back to the scalar loop, and the differential suite
+/// holds both bit-identical per row.
+enum class VmSimd : uint8_t {
+  /// Wide lane when the build compiled it in (COVERME_VM_SIMD) and the
+  /// host CPU supports AVX2, else the scalar row loop.
+  Auto,
+  /// Force the scalar row-at-a-time batch loop.
+  Off,
+};
+
 /// Interpreter resource limits. The step budget bounds hostile inputs
 /// that drive loops astronomically long (the interpreter equivalent of a
 /// test harness timeout). Both execution tiers share the budget
-/// semantics; Dispatch is read by the bytecode VM only.
+/// semantics; Dispatch and Simd are read by the bytecode VM only.
 struct InterpOptions {
   uint64_t MaxSteps = 4000000; ///< Expression/statement evaluations per call.
   unsigned MaxCallDepth = 64;  ///< Nested interpreted calls.
   unsigned MaxStackBytes = 1u << 20; ///< Frame arena cap.
   VmDispatch Dispatch = VmDispatch::Auto; ///< VM dispatch loop selection.
+  VmSimd Simd = VmSimd::Auto; ///< VM batch-entry wide-lane selection.
 };
 
 /// Tree-walking evaluator over one analyzed TranslationUnit.

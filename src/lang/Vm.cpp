@@ -11,6 +11,7 @@
 #include "lang/FpSemantics.h"
 #include "lang/Jit.h"
 #include "runtime/ExecutionContext.h"
+#include "support/CpuFeatures.h"
 
 #include <cmath>
 #include <cstring>
@@ -29,14 +30,15 @@ using namespace coverme::lang::bc;
 #define COVERME_VM_CGOTO_ENABLED 0
 #endif
 
-namespace {
-
-/// Fixed operand-stack capacity. Never reallocated, so raw slot pointers
-/// stay valid across the dispatch loop; per-function high-water marks are
-/// checked against it at every Call.
-constexpr size_t kOpStackSlots = 16384;
-
-} // namespace
+// The wide batch lane's translation unit (VmWide.cpp) is only part of the
+// build when CMake enables COVERME_VM_SIMD; this TU never executes AVX2
+// instructions itself — the runtime cpuHasAvx2 check gates every route
+// into the wide code.
+#if defined(COVERME_VM_SIMD)
+#define COVERME_VM_SIMD_ENABLED 1
+#else
+#define COVERME_VM_SIMD_ENABLED 0
+#endif
 
 // Shared with the JIT (lang/Jit.cpp declares these): builtins and the
 // saturating conversions must be the very same routines on both executors
@@ -195,6 +197,16 @@ using coverme::lang::bc::detail::truncToUInt32;
 
 bool Vm::cgotoAvailable() { return COVERME_VM_CGOTO_ENABLED != 0; }
 
+bool Vm::simdAvailable() {
+  return COVERME_VM_SIMD_ENABLED != 0 && cpuHasAvx2();
+}
+
+bool Vm::wideBatchEligible(unsigned FnIndex) {
+  if (Bound.Index != FnIndex)
+    bindEntry(FnIndex);
+  return Bound.Wide;
+}
+
 Vm::Vm(std::shared_ptr<const CompiledUnit> Unit, InterpOptions Opts)
     : Unit(std::move(Unit)), Opts(Opts) {
   switch (Opts.Dispatch) {
@@ -206,6 +218,7 @@ Vm::Vm(std::shared_ptr<const CompiledUnit> Unit, InterpOptions Opts)
     CGoto = cgotoAvailable();
     break;
   }
+  SimdOn = Opts.Simd != VmSimd::Off && simdAvailable();
   OpStack.resize(kOpStackSlots);
   GlobalMem = this->Unit->GlobalImage;
   // Pre-bake scratch Vms start before the image exists.
@@ -324,6 +337,13 @@ void Vm::bindEntry(unsigned FnIndex) {
   Bound.EntryTrap = nullptr;
   Bound.StepsAfterThunk = 0;
   Bound.EntryNeeded = Bound.CellBytes + F.FrameBytes;
+  // The wide batch lane shares one read-only global image across its four
+  // rows, so it requires the compiler's per-function wide-safety proof
+  // (no reachable global store) *and* the unit-level escape bit clear (no
+  // checked store can alias global space either). JIT-fragmented entries
+  // route probes natively and never reach the wide loop.
+  Bound.Wide = SimdOn && Bound.Valid && !Bound.Frag &&
+               !Unit->WritesGlobals && F.WideSafe;
   if (Bound.Frag && Bound.Valid) {
     // Evaluate jitProbe's per-call guards once, in the VM's exact check
     // order: thunk budget charge, then the Call handler's depth / stack /
@@ -573,20 +593,26 @@ void Vm::runBatch(unsigned FnIndex, const double *Xs, size_t Count, size_t N,
                   double *Out) {
   if (Bound.Index != FnIndex)
     bindEntry(FnIndex);
-  // With a context installed this is the batched FOO_R entry: each row is
-  // the exact BoundRun::eval sequence (beginRun, body, read r), with the
-  // binding and per-batch bookkeeping above this loop instead of inside
-  // it. Without one it degenerates to a loop of plain body calls.
-  if (ExecutionContext *Ctx = ExecutionContext::current()) {
-    for (size_t I = 0; I < Count; ++I) {
-      Ctx->beginRun();
-      boundProbe(Xs + I * N);
-      Out[I] = Ctx->R;
-    }
+  ExecutionContext *Ctx = ExecutionContext::current();
+#if COVERME_VM_SIMD_ENABLED
+  // Batches with at least one full lane group take the wide SOA executor;
+  // it retires any row it cannot finish wide (divergence, traps, the
+  // ragged tail) back to the same probeRow driver the scalar loop below
+  // uses, so every row stays bit-identical either way.
+  if (Bound.Wide && Count >= wide::kWideLanes) {
+    runBatchWide(Ctx, Xs, Count, N, Out);
     return;
   }
-  for (size_t I = 0; I < Count; ++I)
-    Out[I] = boundProbe(Xs + I * N);
+#endif
+  // With a context installed this is the batched FOO_R entry: each row is
+  // the exact BoundRun::eval sequence (beginRun, body, read r), with the
+  // binding and per-batch bookkeeping above the loop instead of inside
+  // it. Without one it degenerates to a loop of plain body calls. One
+  // templated row driver carries both shapes.
+  if (Ctx)
+    runRows<true>(Ctx, Xs, Count, N, Out);
+  else
+    runRows<false>(static_cast<ExecutionContext *>(nullptr), Xs, Count, N, Out);
 }
 
 Vm &bc::threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,

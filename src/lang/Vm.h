@@ -26,6 +26,14 @@
 /// a GNU-compatible toolchain, a computed-goto direct-threaded loop.
 /// InterpOptions::Dispatch selects per Vm; results are bit-identical.
 ///
+/// The batch entry additionally carries a SIMD wide-execution lane
+/// (src/lang/VmWide.h, VmWideBody.inc): when the build enables
+/// COVERME_VM_SIMD, the host has AVX2, and the bound function passed the
+/// compiler's wide-safety analysis, runBatch executes four rows per
+/// instruction in structure-of-arrays form, retiring diverging or
+/// trapping rows back to the scalar probe loop so every row stays
+/// bit-identical to scalar execution. InterpOptions::Simd opts out.
+///
 /// The step budget is charged per basic block, not per instruction: at
 /// exec entry and at every control transfer the VM charges the upcoming
 /// straight-line run's pre-summed cost (CompiledUnit::BlockCost) and then
@@ -43,12 +51,16 @@
 
 #include "lang/Bytecode.h"
 #include "lang/Interp.h"
+#include "lang/VmWide.h"
 
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace coverme {
+
+class ExecutionContext; // runtime/ExecutionContext.h
+
 namespace lang {
 namespace bc {
 
@@ -111,6 +123,23 @@ public:
   /// The dispatch loop this Vm resolved to: "cgoto" or "switch".
   const char *dispatchName() const { return CGoto ? "cgoto" : "switch"; }
 
+  /// True when this build compiled the SIMD wide batch lane in
+  /// (COVERME_VM_SIMD) *and* the host CPU supports AVX2 — i.e. a Vm with
+  /// default options can take the wide lane for eligible functions.
+  static bool simdAvailable();
+
+  /// True when runBatch(\p FnIndex, ...) routes groups of wide::kWideLanes
+  /// rows through the SIMD lane: simdAvailable(), Simd not forced Off, the
+  /// entry valid and not JIT-fragmented, and the function wide-safe (no
+  /// global writes in its reachable call graph). Binds the entry.
+  bool wideBatchEligible(unsigned FnIndex);
+
+  /// The batch backend this Vm resolves to for \p FnIndex: "simd" or
+  /// "scalar". Binds the entry.
+  const char *batchBackendName(unsigned FnIndex) {
+    return wideBatchEligible(FnIndex) ? "simd" : "scalar";
+  }
+
   /// Runs the file-scope init routine against a zeroed global arena;
   /// used by the compiler to bake CompiledUnit::GlobalImage. Returns
   /// false on a trap.
@@ -155,12 +184,23 @@ private:
     const char *EntryTrap = nullptr;
     uint64_t StepsAfterThunk = 0; ///< MaxSteps minus the thunk block cost.
     uint32_t EntryNeeded = 0;     ///< CellBytes + FrameBytes.
+    /// runBatch may execute this binding on the SIMD wide lane: the Vm
+    /// resolved SIMD on, the entry is valid and interpreter-routed (no
+    /// JIT fragment), the unit never escapes global addresses, and the
+    /// function is WideSafe.
+    bool Wide = false;
   };
+
+  /// Operand-stack capacity, in slots; shared by the scalar stack and the
+  /// wide lane's WideState::Stack so depth guards mean the same thing on
+  /// both paths.
+  static constexpr size_t kOpStackSlots = 16384;
 
   std::shared_ptr<const CompiledUnit> Unit;
   std::shared_ptr<const JitUnit> Jit; ///< Optional JIT form of Unit.
   InterpOptions Opts;
   bool CGoto = false;             ///< Resolved dispatch mode.
+  bool SimdOn = false;            ///< Resolved wide-lane availability.
   std::vector<uint8_t> GlobalMem; ///< Private copy of GlobalImage.
   std::vector<uint8_t> FrameMem;  ///< Frame arena; grows like Interp's.
   std::vector<Slot> OpStack;      ///< Fixed capacity; never reallocates.
@@ -170,8 +210,71 @@ private:
   uint64_t StepsLeft = 0;
   bool Trapped = false;
   std::string Message;
+  /// Wide-lane state, allocated on the first wide batch (VmWide.cpp).
+  std::unique_ptr<wide::WideState> WideSt;
 
   void trap(const char *Why);
+
+  /// One row of a batch: the context-aware probe sequence
+  /// (beginRun + body + read r) or the bare boundProbe, selected at
+  /// compile time so the scalar row driver and the wide lane's retirement
+  /// path share one definition. CtxT is always ExecutionContext; it is a
+  /// parameter only so the body is type-checked at instantiation, where
+  /// the including TU (Vm.cpp, VmWide.cpp) has the complete type.
+  template <bool HasCtx, typename CtxT = ExecutionContext>
+  double probeRow(CtxT *Ctx, const double *Row) {
+    if (!HasCtx)
+      return boundProbe(Row);
+    Ctx->beginRun();
+    boundProbe(Row);
+    return Ctx->R;
+  }
+
+  /// The scalar batch loop: Count rows through probeRow.
+  template <bool HasCtx, typename CtxT = ExecutionContext>
+  void runRows(CtxT *Ctx, const double *Xs, size_t Count, size_t N,
+               double *Out) {
+    for (size_t I = 0; I < Count; ++I)
+      Out[I] = probeRow<HasCtx>(Ctx, Xs + I * N);
+  }
+
+  /// The SIMD wide batch lane (VmWide.cpp; present only in COVERME_VM_SIMD
+  /// builds). Runs full groups of wide::kWideLanes rows wide, retires
+  /// diverging/trapping rows and the ragged tail through probeRow, and
+  /// replays recorded rt::cond logs per row in scalar row order.
+  void runBatchWide(ExecutionContext *Ctx, const double *Xs, size_t Count,
+                    size_t N, double *Out);
+
+  /// How the wide loop's cond-site handlers treat instrumentation, as a
+  /// compile-time mode: 0 = no context installed (hooks vanish), 1 =
+  /// generic record-and-replay through ExecutionContext::evalCond, 2 =
+  /// the fast in-loop pen/trace path for the plain FOO_R configuration
+  /// (see VmWide.h). runBatchWide picks per batch.
+  enum : int { WideCtxNone = 0, WideCtxReplay = 1, WideCtxFast = 2 };
+
+  template <int CtxMode>
+  void runBatchWideImpl(ExecutionContext *Ctx, const double *Xs,
+                        size_t Count, size_t N, double *Out);
+
+  /// One wide probe group: per-group reset, parameter marshal into the
+  /// interleaved arena, wide dispatch from the bound thunk, and result
+  /// conversion into WideState::Result. Returns the lanes that completed
+  /// wide; the caller re-runs the rest scalar.
+  template <int CtxMode>
+  wide::LaneMask probeGroupWide(const double *Group, size_t N);
+
+  /// Wide dispatch from \p StartPC until Halt or full retirement. \p SPOut
+  /// receives the operand-stack depth at Halt. Returns the lanes still
+  /// active at Halt (0 when every lane retired).
+  template <int CtxMode>
+  wide::LaneMask execWide(uint32_t StartPC, size_t SP0,
+                          wide::LaneMask Active0, size_t *SPOut);
+  template <int CtxMode>
+  wide::LaneMask execWideSwitch(uint32_t StartPC, size_t SP0,
+                                wide::LaneMask Active0, size_t *SPOut);
+  template <int CtxMode>
+  wide::LaneMask execWideCGoto(uint32_t StartPC, size_t SP0,
+                               wide::LaneMask Active0, size_t *SPOut);
 
   /// One probe of the bound entry: the per-call tail of callEntry with
   /// the binding work already done.

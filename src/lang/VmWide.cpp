@@ -1,0 +1,472 @@
+//===- VmWide.cpp - SIMD wide batch lane for the bytecode VM --------------===//
+//
+// The only translation unit in the tree compiled with -mavx2 (see
+// src/lang/CMakeLists.txt); everything here is unreachable unless the
+// runtime cpuHasAvx2() check passed, so no AVX instruction can execute on
+// a host without the feature. The wide dispatch loops live in
+// VmWideBody.inc, included twice below exactly like the scalar pair —
+// once as the portable switch loop, once as computed-goto threading — so
+// InterpOptions::Dispatch means the same thing on both the scalar and the
+// wide path.
+//
+// Identity argument, in one place: a wide group either completes a lane —
+// in which case every instruction it executed computed, lane for lane,
+// the same bits the scalar handler computes (AVX2 packed double ops match
+// lang/FpSemantics.h's pinned SSE NaN rule; integer/builtin/conversion
+// work reuses the very same detail:: helpers) over the same instruction
+// sequence (lanes that would diverge retire at the branch that splits
+// them) — or it retires the lane, and the row re-runs from scratch on
+// boundProbe, the path whose bits are the definition of correct. rt::cond
+// accumulation is record-and-replay (see VmWide.h), so per-row FOO_R
+// values, traces, and coverage hits are those of row-at-a-time execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Vm.h"
+
+#include "runtime/ExecutionContext.h"
+#include "runtime/SaturationTable.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <immintrin.h>
+#include <limits>
+
+#if !defined(__AVX2__)
+#error "VmWide.cpp must be compiled with -mavx2 (see src/lang/CMakeLists.txt)"
+#endif
+
+using namespace coverme;
+using namespace coverme::lang;
+using namespace coverme::lang::bc;
+
+#if defined(COVERME_VM_CGOTO) && (defined(__GNUC__) || defined(__clang__))
+#define COVERME_VM_CGOTO_ENABLED 1
+#else
+#define COVERME_VM_CGOTO_ENABLED 0
+#endif
+
+// Shared scalar helpers, defined in Vm.cpp (see the note there): the wide
+// lane must call the very same routines so no libm, rounding, or compare
+// drift between the lanes and the scalar re-runs is possible.
+namespace coverme {
+namespace lang {
+namespace bc {
+namespace detail {
+int32_t truncToInt32(double V);
+uint32_t truncToUInt32(double V);
+bool evalCmp(CmpOp Op, double L, double R);
+double runBuiltin(BuiltinId Id, double A, double B, int32_t N);
+} // namespace detail
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+using coverme::lang::bc::detail::evalCmp;
+using coverme::lang::bc::detail::runBuiltin;
+using coverme::lang::bc::detail::truncToInt32;
+using coverme::lang::bc::detail::truncToUInt32;
+
+namespace {
+
+// Integer comparisons on already-widened operands; token-identical to
+// detail::evalCmpInt in Vm.cpp (a template has no out-of-line home to
+// share, and the switch is small enough that duplication beats exporting
+// explicit instantiations).
+template <typename T> bool evalCmpInt(CmpOp Op, T L, T R) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return L == R;
+  case CmpOp::NE:
+    return L != R;
+  case CmpOp::LT:
+    return L < R;
+  case CmpOp::LE:
+    return L <= R;
+  case CmpOp::GT:
+    return L > R;
+  case CmpOp::GE:
+    return L >= R;
+  }
+  assert(false && "unknown CmpOp");
+  return false;
+}
+
+// WideSlot is 32-byte aligned and the Slot union's object representation
+// is its 8 value bytes, so whole-slot vector moves are aligned and
+// intrinsic vector types may alias anything (GCC/Clang define them
+// __may_alias__).
+inline __m256d wloadD(const wide::WideSlot &S) {
+  return _mm256_load_pd(reinterpret_cast<const double *>(S.L));
+}
+
+inline void wstoreD(wide::WideSlot &S, __m256d V) {
+  _mm256_store_pd(reinterpret_cast<double *>(S.L), V);
+}
+
+/// All four lanes of the 8-byte frame value at logical offset \p Off —
+/// one aligned 32-byte load, because an 8-aligned logical slot is exactly
+/// one interleave granule (see VmWide.h). Frame doubles are always
+/// 8-aligned: Sema aligns every slot and pointer-parameter cell.
+inline __m256d wframeLoadD(const uint8_t *FW, uint32_t Off) {
+  return _mm256_load_pd(
+      reinterpret_cast<const double *>(FW + wide::granuleByte(Off)));
+}
+
+inline void wframeStoreD(uint8_t *FW, uint32_t Off, __m256d V) {
+  _mm256_store_pd(reinterpret_cast<double *>(FW + wide::granuleByte(Off)), V);
+}
+
+/// Scalar NegD is `-x`: a sign-bit flip with no NaN quieting on x86-64,
+/// which is exactly what xor with -0.0 does per lane.
+inline __m256d wnegD(__m256d V) {
+  return _mm256_xor_pd(V, _mm256_set1_pd(-0.0));
+}
+
+/// Per-lane checked pointer resolution — the wide counterpart of
+/// Vm::resolve. Null means "retire this lane": a genuine trap (null, OOB)
+/// the scalar re-run will reproduce, or an access the wide layout cannot
+/// express (granule-straddling frame bytes, any global store — the wide
+/// group shares one read-only global image).
+inline uint8_t *wideResolveLane(uint64_t Ptr, unsigned Size, unsigned Lane,
+                                uint8_t *FW, uint32_t FrameBytes,
+                                uint8_t *GMem, size_t GSize, bool IsStore) {
+  switch (ptrSpace(Ptr)) {
+  case Space::Global: {
+    if (IsStore)
+      return nullptr;
+    uint64_t Off = ptrOffset(Ptr);
+    if (Off + Size > GSize)
+      return nullptr;
+    return GMem + Off;
+  }
+  case Space::Frame: {
+    uint32_t Off = ptrOffset(Ptr);
+    if (static_cast<uint64_t>(Off) + Size > FrameBytes)
+      return nullptr;
+    if ((Off & 7u) + Size > 8u)
+      return nullptr; // straddles an interleave granule
+    return FW + wide::laneByte(Off, Lane);
+  }
+  default:
+    return nullptr; // Space::Null or a garbage tag: scalar traps
+  }
+}
+
+/// ZeroF over the interleaved arena: whole granules as one 32-byte memset
+/// (ZeroF offsets are 8-aligned — Sema-placed aggregates — making this
+/// the only path in practice), ragged edges per lane.
+inline void wideZeroFrame(uint8_t *FW, uint32_t Off, uint32_t Len) {
+  while (Len) {
+    uint32_t In = Off & 7u;
+    uint32_t Chunk = 8u - In < Len ? 8u - In : Len;
+    if (Chunk == 8u) {
+      std::memset(FW + wide::granuleByte(Off), 0, sizeof(wide::WideSlot));
+    } else {
+      for (unsigned L = 0; L < wide::kWideLanes; ++L)
+        std::memset(FW + wide::laneByte(Off, L), 0, Chunk);
+    }
+    Off += Chunk;
+    Len -= Chunk;
+  }
+}
+
+/// Packed evalCmpOp: NaN must make every ordered comparison false and !=
+/// true, which is exactly the ordered-quiet / unordered-quiet predicate
+/// split of vcmppd.
+inline __m256d wideCmp(CmpOp Op, __m256d A, __m256d B) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return _mm256_cmp_pd(A, B, _CMP_EQ_OQ);
+  case CmpOp::NE:
+    return _mm256_cmp_pd(A, B, _CMP_NEQ_UQ);
+  case CmpOp::LT:
+    return _mm256_cmp_pd(A, B, _CMP_LT_OQ);
+  case CmpOp::LE:
+    return _mm256_cmp_pd(A, B, _CMP_LE_OQ);
+  case CmpOp::GT:
+    return _mm256_cmp_pd(A, B, _CMP_GT_OQ);
+  case CmpOp::GE:
+    return _mm256_cmp_pd(A, B, _CMP_GE_OQ);
+  }
+  assert(false && "unknown CmpOp");
+  return _mm256_setzero_pd();
+}
+
+/// Packed branchDistance (Def. 4.1), bit-identical to the scalar per lane:
+/// same sub/mul/add sequence (neither the scalar TU nor this one enables
+/// FMA, so no contraction can split them), satisfied lanes masked to +0.0
+/// by andnot exactly where the scalar returns the 0.0 literal, and GE/GT
+/// recompute the swapped-operand diff just like the scalar recursion.
+inline __m256d wideDist(CmpOp Op, __m256d A, __m256d B, __m256d Eps) {
+  const __m256d Diff = _mm256_sub_pd(A, B);
+  switch (Op) {
+  case CmpOp::EQ:
+    return _mm256_mul_pd(Diff, Diff);
+  case CmpOp::NE:
+    return _mm256_andnot_pd(_mm256_cmp_pd(A, B, _CMP_NEQ_UQ), Eps);
+  case CmpOp::LE:
+    return _mm256_andnot_pd(_mm256_cmp_pd(A, B, _CMP_LE_OQ),
+                            _mm256_mul_pd(Diff, Diff));
+  case CmpOp::LT:
+    return _mm256_andnot_pd(_mm256_cmp_pd(A, B, _CMP_LT_OQ),
+                            _mm256_add_pd(_mm256_mul_pd(Diff, Diff), Eps));
+  case CmpOp::GE:
+    return wideDist(CmpOp::LE, B, A, Eps);
+  case CmpOp::GT:
+    return wideDist(CmpOp::LT, B, A, Eps);
+  }
+  assert(false && "unknown CmpOp");
+  return _mm256_setzero_pd();
+}
+
+/// The fast hook route (WideCtxFast, see VmWide.h): pen for one cond site,
+/// all lanes at once, against the batch's frozen saturation state.
+/// Decomposes ExecutionContext::evalCond for the minimizer configuration
+/// (pen on, trace on, no coverage, no operand recording): the outcome bits
+/// are one packed compare + movmskpd, and r is *replaced* per site —
+/// Definition 4.2's arm logic — across the whole RWide slot. No lane mask
+/// anywhere: lanes retired earlier get garbage outcome/r values, but only
+/// lanes that finish wide are ever read, and those were active at every
+/// site. The arm saturation flags are loop-invariant per site because
+/// nothing mutates the table during a batch.
+inline void widePen(wide::WideState &W, uint32_t Site, CmpOp Op,
+                    const wide::WideSlot &Av, const wide::WideSlot &Bv) {
+  const __m256d A = wloadD(Av), B = wloadD(Bv);
+  W.CondLog.push_back(
+      {Site, static_cast<uint8_t>(_mm256_movemask_pd(wideCmp(Op, A, B)))});
+  const bool TrueArm = W.Table->isSaturated({Site, true});
+  const bool FalseArm = W.Table->isSaturated({Site, false});
+  if (TrueArm && FalseArm)
+    return; // site can no longer guide the search: keep the previous r
+  __m256d R;
+  if (!TrueArm && !FalseArm)
+    R = _mm256_setzero_pd();
+  else if (!TrueArm)
+    R = wideDist(Op, A, B, _mm256_set1_pd(W.Epsilon));
+  else
+    R = wideDist(negateCmpOp(Op), A, B, _mm256_set1_pd(W.Epsilon));
+  wstoreD(W.RWide, R);
+}
+
+} // namespace
+
+template <int CtxMode>
+wide::LaneMask Vm::execWideSwitch(uint32_t StartPC, size_t SP0,
+                                  wide::LaneMask Active0, size_t *SPOut) {
+#define VM_USE_CGOTO 0
+#include "lang/VmWideBody.inc"
+#undef VM_USE_CGOTO
+}
+
+template <int CtxMode>
+wide::LaneMask Vm::execWideCGoto(uint32_t StartPC, size_t SP0,
+                                 wide::LaneMask Active0, size_t *SPOut) {
+#if COVERME_VM_CGOTO_ENABLED
+#define VM_USE_CGOTO 1
+#include "lang/VmWideBody.inc"
+#undef VM_USE_CGOTO
+#else
+  return execWideSwitch<CtxMode>(StartPC, SP0, Active0, SPOut);
+#endif
+}
+
+template <int CtxMode>
+wide::LaneMask Vm::execWide(uint32_t StartPC, size_t SP0,
+                            wide::LaneMask Active0, size_t *SPOut) {
+#if COVERME_VM_CGOTO_ENABLED
+  if (CGoto)
+    return execWideCGoto<CtxMode>(StartPC, SP0, Active0, SPOut);
+#endif
+  return execWideSwitch<CtxMode>(StartPC, SP0, Active0, SPOut);
+}
+
+template <int CtxMode>
+wide::LaneMask Vm::probeGroupWide(const double *Group, size_t N) {
+  const FunctionInfo &F = *Bound.Fn;
+  wide::WideState &W = *WideSt;
+  if (CtxMode == WideCtxReplay) {
+    for (unsigned L = 0; L < wide::kWideLanes; ++L)
+      W.HookLog[L].clear();
+  } else if (CtxMode == WideCtxFast) {
+    W.CondLog.clear();
+    for (unsigned L = 0; L < wide::kWideLanes; ++L)
+      W.RWide.L[L].D = 1.0; // beginRun's r = 1.0
+  }
+
+  // The per-probe reset of boundProbe, once per group: active lanes run
+  // in lockstep, so the shared budget/frame trajectory is every lane's
+  // own scalar trajectory. Shrinking the arena to the cell prefix and
+  // zero-filling on later growth reproduces the scalar FrameMem dance
+  // per lane granule for granule (Bound.CellBytes is 8-aligned).
+  StepsLeft = Opts.MaxSteps;
+  Frames.clear();
+  W.Frame.resize(Bound.CellBytes >> 3);
+  W.FrameBytes = Bound.CellBytes;
+  FrameTop = Bound.CellBytes;
+  uint8_t *FW = reinterpret_cast<uint8_t *>(W.Frame.data());
+
+  size_t SP = 0;
+  uint32_t NextCell = 0;
+  for (size_t P = 0; P < F.ParamTypes.size(); ++P) {
+    const Type T = F.ParamTypes[P];
+    wide::WideSlot &S = W.Stack[SP++];
+    if (T.isPointer()) {
+      uint64_t Ptr = encodePtr(Space::Frame, NextCell);
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        std::memcpy(FW + wide::laneByte(NextCell, L), &Group[L * N + P], 8);
+        S.L[L].U = Ptr;
+      }
+      NextCell += 8;
+    } else {
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        Slot V{};
+        switch (T.Base) {
+        case BaseType::Double:
+          V.D = Group[L * N + P];
+          break;
+        case BaseType::Int:
+          V.I = truncToInt32(Group[L * N + P]);
+          break;
+        case BaseType::UInt:
+          V.U = truncToUInt32(Group[L * N + P]);
+          break;
+        case BaseType::Void:
+          break; // unreachable: bindEntry flagged void parameters
+        }
+        S.L[L] = V;
+      }
+    }
+  }
+
+  size_t EndSP = 0;
+  wide::LaneMask Done = execWide<CtxMode>(F.Thunk, SP, wide::kAllLanes, &EndSP);
+  if (!Done)
+    return 0;
+  if (F.ReturnType.isPointer())
+    return 0; // scalar re-runs reproduce "pointer used as a number"
+  if (F.ReturnType.isVoid()) {
+    for (unsigned L = 0; L < wide::kWideLanes; ++L)
+      W.Result[L] = 0.0;
+    return Done;
+  }
+  assert(EndSP >= 1 && "entry call left no result");
+  const wide::WideSlot &R = W.Stack[EndSP - 1];
+  for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+    switch (F.ReturnType.Base) {
+    case BaseType::Double:
+      W.Result[L] = R.L[L].D;
+      break;
+    case BaseType::Int:
+      W.Result[L] = static_cast<double>(R.L[L].I);
+      break;
+    case BaseType::UInt:
+      W.Result[L] = static_cast<double>(static_cast<uint32_t>(R.L[L].U));
+      break;
+    case BaseType::Void:
+      W.Result[L] = 0.0;
+      break;
+    }
+  }
+  return Done;
+}
+
+template <int CtxMode>
+void Vm::runBatchWideImpl(ExecutionContext *Ctx, const double *Xs,
+                          size_t Count, size_t N, double *Out) {
+  constexpr bool HasCtx = CtxMode != WideCtxNone;
+  wide::WideState &W = *WideSt;
+
+  // Adaptive divergence backoff: a subject whose rows take data-dependent
+  // paths (digit loops, iteration-to-convergence) completes few lanes per
+  // group and pays the wide setup on top of near-full scalar re-runs.
+  // Three consecutive groups finishing fewer than two lanes hand the rest
+  // of the batch to the plain scalar loop below.
+  unsigned BadStreak = 0;
+
+  bool LastRowWide = false;
+  size_t I = 0;
+  for (; I + wide::kWideLanes <= Count && BadStreak < 3;
+       I += wide::kWideLanes) {
+    const double *Group = Xs + I * N;
+    wide::LaneMask Done = probeGroupWide<CtxMode>(Group, N);
+    // Finalize rows in scalar row order, so context accumulation —
+    // coverage hits, trace entries, saturation observations — interleaves
+    // exactly as the row-at-a-time loop would have produced it.
+    for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+      if (Done & wide::laneBit(L)) {
+        if (CtxMode == WideCtxReplay) {
+          Ctx->beginRun();
+          for (const wide::WideHookRec &H : W.HookLog[L])
+            Ctx->evalCond(H.Site, H.Op, H.A, H.B);
+          Out[I + L] = Ctx->R;
+        } else if (CtxMode == WideCtxFast) {
+          // The handlers already accumulated this row's pen (widePen);
+          // the lane's running r IS the row's FOO_R value. Nothing reads
+          // the context between the rows of one batch in this
+          // configuration, so the context's observable end state — the
+          // LAST row's r and trace — is materialized once after the loop.
+          Out[I + L] = W.RWide.L[L].D;
+        } else {
+          Out[I + L] = W.Result[L];
+        }
+      } else {
+        Out[I + L] = probeRow<HasCtx>(Ctx, Group + L * N);
+      }
+    }
+    const unsigned Completed =
+        static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(Done)));
+    BadStreak = Completed < 2 ? BadStreak + 1 : 0;
+    LastRowWide = (Done >> (wide::kWideLanes - 1)) & 1u;
+  }
+  // Ragged tail — and, after a backoff, everything that remains.
+  for (; I < Count; ++I) {
+    Out[I] = probeRow<HasCtx>(Ctx, Xs + I * N);
+    LastRowWide = false;
+  }
+
+  // A row that completed wide never touched the trap flags (or, in fast
+  // hook mode, the context); give it the observable end state of its
+  // successful scalar probe. Retired rows mid-batch ran probeRow and left
+  // their own state; if the last row retired, that state is already
+  // correct and LastRowWide is false.
+  if (LastRowWide) {
+    Trapped = false;
+    if (!Message.empty())
+      Message.clear();
+    if (CtxMode == WideCtxFast) {
+      constexpr unsigned Last = wide::kWideLanes - 1;
+      Ctx->beginRun();
+      Ctx->Trace.reserve(W.CondLog.size());
+      for (const wide::WideCondRec &C : W.CondLog)
+        Ctx->Trace.push_back({C.Site, ((C.Outcomes >> Last) & 1u) != 0});
+      Ctx->R = W.RWide.L[Last].D;
+    }
+  }
+}
+
+void Vm::runBatchWide(ExecutionContext *Ctx, const double *Xs, size_t Count,
+                      size_t N, double *Out) {
+  assert(Bound.Wide && "runBatchWide on a non-wide binding");
+  if (!WideSt) {
+    WideSt.reset(new wide::WideState());
+    WideSt->Stack.resize(kOpStackSlots);
+  }
+  if (!Ctx) {
+    runBatchWideImpl<WideCtxNone>(nullptr, Xs, Count, N, Out);
+    return;
+  }
+  // The fast hook route applies to exactly the context shape a minimizer's
+  // FOO_R evaluation installs; anything else (coverage sink, operand
+  // recording, trace off) takes the general record-and-replay route.
+  const bool Fast = Ctx->PenEnabled && !Ctx->Coverage && Ctx->TraceEnabled &&
+                    !Ctx->RecordTraceOperands && !Ctx->RecordOperands;
+  if (Fast) {
+    WideSt->Table = &Ctx->saturation();
+    WideSt->Epsilon = Ctx->Epsilon;
+    runBatchWideImpl<WideCtxFast>(Ctx, Xs, Count, N, Out);
+  } else {
+    runBatchWideImpl<WideCtxReplay>(Ctx, Xs, Count, N, Out);
+  }
+}

@@ -1,0 +1,181 @@
+//===- VmWide.h - Lane model for the VM's SIMD wide batch lane ------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lane and mask model behind the bytecode VM's wide batch execution
+/// (VmWide.cpp / VmWideBody.inc): structure-of-arrays state that runs
+/// kWideLanes probes per instruction over the typed bytecode, one AVX2
+/// `__m256d` per operand-stack slot. This header is deliberately plain
+/// C++ — no intrinsics, no target-feature requirements — so the scalar VM,
+/// tests, benches, and a future JIT vector-fragment tier can all share the
+/// layout while only the one -mavx2 translation unit touches vectors.
+///
+/// Lane model
+///   A batch row occupies lane L of every wide slot. Each 64-bit operand
+///   slot of the scalar VM widens to a 32-byte WideSlot holding the four
+///   lanes' values side by side, so a wide double add is a single vaddpd
+///   and per-lane integer/builtin work indexes `Slot.L[Lane]`.
+///
+/// Divergence and retirement
+///   Execution carries a LaneMask of still-active lanes; the leader is the
+///   lowest active lane. At a conditional the lanes that disagree with the
+///   leader's direction *retire*: they are silently dropped from the mask
+///   and their rows re-run from scratch on the scalar boundProbe path,
+///   which makes per-row result bits, branch traces, and trap messages
+///   identical to scalar execution by construction. Per-lane traps (OOB,
+///   division by zero, ...) retire the same way; uniform traps (step
+///   budget, call-depth/stack guards) retire every active lane at once.
+///
+/// Frame arena layout
+///   Sema 8-aligns every frame slot (params, locals, spill cells), so the
+///   wide frame arena interleaves lanes at 8-byte-granule granularity:
+///   logical frame byte Off of lane L lives at physical byte
+///   laneByte(Off, L) = (Off/8)*32 + L*8 + (Off%8). An aligned 8-byte
+///   frame access for all four lanes is then one 32-byte vector op, while
+///   sub-granule (4-byte int) accesses stay per-lane. A *checked* access
+///   that would straddle a granule boundary retires its lane instead —
+///   scalar re-execution handles the exotic layout.
+///
+/// Instrumentation hooks
+///   rt::cond outcomes are pure in (Site, Op, A, B); only the context's
+///   accumulation (r, trace, coverage) is stateful. The wide loop
+///   therefore *records* per-lane WideHookRec entries in execution order
+///   and the batch driver *replays* each completed row's log into the
+///   ExecutionContext in scalar row order, so FOO_R values and traces are
+///   bit-identical to row-at-a-time execution.
+///
+///   For the dominant context configuration — pen on, trace on, no
+///   coverage sink, no operand recording, i.e. exactly what a minimizer's
+///   FOO_R evaluation installs — the hooks take a faster route: the
+///   saturation table is never mutated during a batch, so pen's value per
+///   site is a pure function the cond-site handler computes lane by lane
+///   as it executes (tracking each lane's running r and pre-formed trace
+///   entries in WideState), and "replay" collapses to assigning the
+///   finished r and trace into the context. Same observable end state,
+///   none of the per-site call overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_VMWIDE_H
+#define COVERME_LANG_VMWIDE_H
+
+#include "lang/Bytecode.h"
+#include "runtime/BranchDistance.h"
+#include "runtime/Program.h" // BranchRef
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coverme {
+
+class SaturationTable; // runtime/SaturationTable.h
+
+namespace lang {
+namespace bc {
+namespace wide {
+
+/// Rows executed per wide instruction: one AVX2 vector of doubles.
+constexpr unsigned kWideLanes = 4;
+
+/// One operand-stack slot or frame granule, widened across the lanes.
+/// 32-byte aligned so vector loads/stores of a whole slot are aligned.
+struct alignas(32) WideSlot {
+  Slot L[kWideLanes];
+};
+
+/// Bitset of still-active lanes; bit L is lane L.
+using LaneMask = uint8_t;
+
+constexpr LaneMask kAllLanes = static_cast<LaneMask>((1u << kWideLanes) - 1);
+
+constexpr LaneMask laneBit(unsigned Lane) {
+  return static_cast<LaneMask>(1u << Lane);
+}
+
+/// The leader lane: lowest set bit. Precondition: M != 0.
+inline unsigned lowestLane(LaneMask M) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_ctz(M));
+#else
+  unsigned L = 0;
+  while (!(M & (1u << L)))
+    ++L;
+  return L;
+#endif
+}
+
+/// Physical byte of logical frame byte \p Off in lane \p Lane under the
+/// interleaved-granule layout described in the file header.
+inline size_t laneByte(uint32_t Off, unsigned Lane) {
+  return ((static_cast<size_t>(Off) >> 3) << 5) +
+         (static_cast<size_t>(Lane) << 3) + (Off & 7u);
+}
+
+/// First physical byte of the 32-byte granule holding logical byte \p Off
+/// — the address a whole-granule (all-lane) vector access uses.
+inline size_t granuleByte(uint32_t Off) {
+  return (static_cast<size_t>(Off) >> 3) << 5;
+}
+
+/// One recorded rt::cond firing for one lane: everything the hook's
+/// outcome and the context's accumulation depend on. Replayed per row in
+/// scalar row order after the wide run completes.
+struct WideHookRec {
+  uint32_t Site;
+  CmpOp Op;
+  double A;
+  double B;
+};
+
+/// One cond-site firing in fast hook mode, shared across lanes: active
+/// lanes execute the same site sequence (divergent lanes retire), so the
+/// trace differs between lanes only in the outcome bit. Bit L of Outcomes
+/// is lane L's `a op b` (a vmovmskpd of the packed compare); bits of lanes
+/// already retired at record time are garbage and never read — a lane that
+/// finishes wide was active at every record.
+struct WideCondRec {
+  uint32_t Site;
+  uint8_t Outcomes;
+};
+
+/// Per-Vm wide execution state, allocated lazily on the first wide batch.
+/// Mirrors the scalar Vm's OpStack/FrameMem pair in structure-of-arrays
+/// form; Frames/FrameTop/StepsLeft stay shared with the scalar VM because
+/// call structure and budget are lockstep-uniform across active lanes.
+struct WideState {
+  /// Wide operand stack, kOpStackSlots entries (sized once).
+  std::vector<WideSlot> Stack;
+  /// Interleaved frame arena in 32-byte granules; granule G holds logical
+  /// bytes [8G, 8G+8) of all four lanes. Zero-filled on growth so the
+  /// scalar arena's resize(Needed, 0) trajectory is reproduced per lane.
+  std::vector<WideSlot> Frame;
+  /// Logical per-lane frame size in bytes (the scalar FrameMem.size()
+  /// equivalent); bytes in [FrameBytes, 8*Frame.size()) stay zero.
+  uint32_t FrameBytes = 0;
+  /// Per-lane instrumentation logs for the current probe group (generic
+  /// record-and-replay mode).
+  std::vector<WideHookRec> HookLog[kWideLanes];
+  /// Per-lane converted return values for lanes that completed wide.
+  double Result[kWideLanes] = {};
+
+  /// Fast hook mode (see the file header): the cond-site handlers read
+  /// the batch's frozen saturation state and epsilon from here, track
+  /// each lane's running r in RWide, and log one CondLog entry per fired
+  /// site, so finishing a row is one assignment plus a trace expansion
+  /// instead of a replay.
+  const SaturationTable *Table = nullptr;
+  double Epsilon = 0.0;
+  WideSlot RWide = {};
+  std::vector<WideCondRec> CondLog;
+};
+
+} // namespace wide
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_VMWIDE_H

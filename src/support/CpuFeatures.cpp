@@ -1,0 +1,22 @@
+//===- CpuFeatures.cpp - Runtime host-CPU feature detection ---------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CpuFeatures.h"
+
+namespace coverme {
+
+bool cpuHasAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports consults libgcc/compiler-rt's cached CPUID
+  // model, which already folds in the OSXSAVE/XGETBV check required for
+  // the OS to preserve ymm state across context switches.
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+} // namespace coverme

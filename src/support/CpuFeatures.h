@@ -1,0 +1,28 @@
+//===- CpuFeatures.h - Runtime host-CPU feature detection -----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime CPU feature queries for the execution tiers that are gated on
+/// instruction-set extensions (the VM's AVX2 wide batch lane). The
+/// implementation translation unit is deliberately compiled *without*
+/// target-feature flags, so querying a feature never itself executes an
+/// instruction the host might lack — the same discipline the JIT tier uses
+/// for its emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_CPUFEATURES_H
+#define COVERME_SUPPORT_CPUFEATURES_H
+
+namespace coverme {
+
+/// True when the host CPU (and OS, via XSAVE state) supports AVX2.
+/// Detected once; subsequent calls are a cached load.
+bool cpuHasAvx2();
+
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_CPUFEATURES_H

@@ -17,6 +17,11 @@
 
 #include "core/CoverMe.h"
 #include "fdlibm/Fdlibm.h"
+#include "lang/SourceProgram.h"
+#include "lang/SourceSuite.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/RepresentingFunction.h"
+#include "support/FloatBits.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -92,6 +97,53 @@ TEST(CmaEsTest, SolvesRosenbrock) {
   EXPECT_LT(Res.Fx, 1e-6);
   EXPECT_NEAR(Res.X[0], 1.0, 1e-2);
   EXPECT_NEAR(Res.X[1], 1.0, 1e-2);
+}
+
+TEST(CmaEsTest, FullRunBatchedSimdMatchesForcedScalarBitForBit) {
+  // A complete CMA-ES minimization of a real FOO_R objective: generations
+  // go through the objective's batch path, which on AVX2 hosts takes the
+  // VM's wide SIMD lane. The same run against a program compiled with the
+  // lane forced off must be bit-identical in every outcome field — the
+  // minimizer's trajectory amplifies any single-probe divergence, so this
+  // pins the whole batch entry end to end.
+  const lang::SourceBenchmark *Tanh = lang::findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  lang::SourceProgram Wide = lang::compileSourceBenchmark(*Tanh);
+  lang::SourceProgramOptions ScalarOpts;
+  ScalarOpts.Interp.Simd = lang::VmSimd::Off;
+  lang::SourceProgram Scalar =
+      lang::compileSourceProgram(Tanh->Source, Tanh->Name, ScalarOpts);
+  ASSERT_TRUE(Wide.success()) << Wide.diagnosticsText();
+  ASSERT_TRUE(Scalar.success()) << Scalar.diagnosticsText();
+
+  CmaEsOptions Opts;
+  Opts.MaxGenerations = 40;
+  CmaEsMinimizer CMA(Opts);
+  for (uint64_t Seed : {1u, 2u, 3u}) {
+    ExecutionContext CtxW(Wide.Prog.NumSites), CtxS(Scalar.Prog.NumSites);
+    // Saturate one arm per site (as a mid-campaign table would) so pen
+    // yields a non-trivial distance landscape instead of the all-zero
+    // objective of a fresh table.
+    for (uint32_t S = 0; S < Wide.Prog.NumSites; ++S) {
+      CtxW.saturate({S, true});
+      CtxS.saturate({S, true});
+    }
+    RepresentingFunction FW(Wide.Prog, CtxW), FS(Scalar.Prog, CtxS);
+    Rng RngW(Seed), RngS(Seed);
+    MinimizeResult ResW = CMA.minimize(FW, {6.0}, RngW);
+    MinimizeResult ResS = CMA.minimize(FS, {6.0}, RngS);
+
+    EXPECT_GT(ResW.NumEvals, 0u) << "seed " << Seed;
+    EXPECT_EQ(ResW.NumEvals, ResS.NumEvals) << "seed " << Seed;
+    EXPECT_EQ(ResW.Iterations, ResS.Iterations) << "seed " << Seed;
+    EXPECT_EQ(ResW.Converged, ResS.Converged) << "seed " << Seed;
+    EXPECT_EQ(doubleToBits(ResW.Fx), doubleToBits(ResS.Fx))
+        << "seed " << Seed;
+    ASSERT_EQ(ResW.X.size(), ResS.X.size()) << "seed " << Seed;
+    for (size_t I = 0; I < ResW.X.size(); ++I)
+      EXPECT_EQ(doubleToBits(ResW.X[I]), doubleToBits(ResS.X[I]))
+          << "seed " << Seed << " x" << I;
+  }
 }
 
 TEST(CmaEsTest, RespectsEvaluationBudget) {

@@ -687,24 +687,31 @@ TEST(VmDifferentialTest, ExhaustionPointsIdenticalAcrossJitFallBack) {
 
 namespace {
 
-/// FOO_R probes, scalar vs batched, must agree bit-for-bit — including
-/// rows that trap after firing hooks.
-void expectBatchMatchesScalar(const SourceProgram &SP, uint64_t Seed) {
+/// Context flag shapes the batched-vs-scalar identity is checked under.
+/// Plain is the minimizer configuration (the SIMD lane's fast hook route);
+/// the recording shapes force the general record-and-replay route.
+struct BatchCtxConfig {
+  bool RecordOperands = false;
+  bool RecordTraceOperands = false;
+  const char *Name = "plain";
+};
+
+/// FOO_R probes over explicit rows, scalar vs batched, must agree
+/// bit-for-bit — including rows that trap after firing hooks — and must
+/// leave the context (r, trace, recorded operands) in the identical end
+/// state.
+void expectBatchMatchesScalarRows(const SourceProgram &SP,
+                                  const std::vector<double> &Xs, size_t Count,
+                                  const BatchCtxConfig &Cfg = {}) {
   ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
   ASSERT_NE(SP.Prog.bind().InvokeBatch, nullptr)
       << "VM tier must expose the wide probe entry";
-
   unsigned N = SP.Prog.Arity;
-  constexpr size_t Count = 300;
-  std::vector<double> Xs(Count * N);
-  Rng R(Seed);
-  for (size_t I = 0; I < Xs.size(); ++I)
-    Xs[I] = (I % 3) ? R.rawBitsDouble() : R.exponentUniformDouble();
-  // A few rows that hit integer-trap paths when the subject has them.
-  for (size_t I = 0; I < 6 * N && I < Xs.size(); ++I)
-    Xs[I] = 0.25;
+  ASSERT_EQ(Xs.size(), Count * N);
 
   ExecutionContext Ctx(SP.Prog.NumSites);
+  Ctx.RecordOperands = Cfg.RecordOperands;
+  Ctx.RecordTraceOperands = Cfg.RecordTraceOperands;
   RepresentingFunction FR(SP.Prog, Ctx);
 
   std::vector<uint64_t> Ref(Count);
@@ -713,19 +720,72 @@ void expectBatchMatchesScalar(const SourceProgram &SP, uint64_t Seed) {
     for (size_t I = 0; I < Count; ++I)
       Ref[I] = doubleToBits(Run.eval(Xs.data() + I * N, N));
   }
+  // Snapshot the context's end state after the last scalar row: the
+  // batched entry must reproduce it exactly (for trace and operands this
+  // pins the wide lane's deferred materialization).
+  const double RefR = Ctx.R;
+  const std::vector<BranchRef> RefTrace = Ctx.Trace;
+  const std::vector<SiteObservation> RefObs = Ctx.Observations;
+  const std::vector<SiteObservation> RefTraceOps = Ctx.TraceOperands;
+
   std::vector<double> Got(Count, -1.0);
   {
     RepresentingFunction::BoundRun Run(FR);
     Run.evalBatch(Xs.data(), Count, N, Got.data());
   }
   for (size_t I = 0; I < Count; ++I)
-    EXPECT_EQ(Ref[I], doubleToBits(Got[I])) << "row " << I;
+    EXPECT_EQ(Ref[I], doubleToBits(Got[I]))
+        << "row " << I << " [" << Cfg.Name << "]";
+
+  EXPECT_EQ(doubleToBits(RefR), doubleToBits(Ctx.R)) << Cfg.Name;
+  ASSERT_EQ(RefTrace.size(), Ctx.Trace.size()) << Cfg.Name;
+  for (size_t I = 0; I < RefTrace.size(); ++I) {
+    EXPECT_EQ(RefTrace[I].Site, Ctx.Trace[I].Site) << Cfg.Name << " @" << I;
+    EXPECT_EQ(RefTrace[I].Outcome, Ctx.Trace[I].Outcome)
+        << Cfg.Name << " @" << I;
+  }
+  ASSERT_EQ(RefObs.size(), Ctx.Observations.size()) << Cfg.Name;
+  for (size_t I = 0; I < RefObs.size(); ++I) {
+    EXPECT_EQ(RefObs[I].Executed, Ctx.Observations[I].Executed)
+        << Cfg.Name << " @" << I;
+    EXPECT_EQ(doubleToBits(RefObs[I].A), doubleToBits(Ctx.Observations[I].A))
+        << Cfg.Name << " @" << I;
+    EXPECT_EQ(doubleToBits(RefObs[I].B), doubleToBits(Ctx.Observations[I].B))
+        << Cfg.Name << " @" << I;
+  }
+  ASSERT_EQ(RefTraceOps.size(), Ctx.TraceOperands.size()) << Cfg.Name;
+  for (size_t I = 0; I < RefTraceOps.size(); ++I) {
+    EXPECT_EQ(doubleToBits(RefTraceOps[I].A),
+              doubleToBits(Ctx.TraceOperands[I].A))
+        << Cfg.Name << " @" << I;
+    EXPECT_EQ(doubleToBits(RefTraceOps[I].B),
+              doubleToBits(Ctx.TraceOperands[I].B))
+        << Cfg.Name << " @" << I;
+  }
 
   // The unbound convenience entry takes the same wide path.
   std::vector<double> Got2(Count, -1.0);
   FR.evalBatch(Xs.data(), Count, N, Got2.data());
   for (size_t I = 0; I < Count; ++I)
-    EXPECT_EQ(Ref[I], doubleToBits(Got2[I])) << "row " << I;
+    EXPECT_EQ(Ref[I], doubleToBits(Got2[I]))
+        << "row " << I << " [" << Cfg.Name << "]";
+}
+
+/// The random-battery wrapper: \p Count rows of raw-bits and
+/// exponent-uniform doubles, plus a few integer-trap-path rows.
+void expectBatchMatchesScalar(const SourceProgram &SP, uint64_t Seed,
+                              size_t Count = 300,
+                              const BatchCtxConfig &Cfg = {}) {
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  unsigned N = SP.Prog.Arity;
+  std::vector<double> Xs(Count * N);
+  Rng R(Seed);
+  for (size_t I = 0; I < Xs.size(); ++I)
+    Xs[I] = (I % 3) ? R.rawBitsDouble() : R.exponentUniformDouble();
+  // A few rows that hit integer-trap paths when the subject has them.
+  for (size_t I = 0; I < 6 * N && I < Xs.size(); ++I)
+    Xs[I] = 0.25;
+  expectBatchMatchesScalarRows(SP, Xs, Count, Cfg);
 }
 
 } // namespace
@@ -754,6 +814,126 @@ TEST(VmDifferentialTest, BatchedProbesMatchScalarWhenRowsTrap) {
   )",
                                           "f");
   expectBatchMatchesScalar(SP, 0xbeef3);
+}
+
+TEST(VmDifferentialTest, BatchedProbesMatchScalarAtRaggedCounts) {
+  // Counts around and below the SIMD lane width: the wide loop handles
+  // full groups only, so every remainder shape must retire to the scalar
+  // row loop with identical bits and identical context end state.
+  const SourceBenchmark *Tanh = findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  SourceProgram SP = compileSourceBenchmark(*Tanh);
+  for (size_t Count : {1, 2, 3, 4, 5, 6, 7, 9, 13, 257})
+    expectBatchMatchesScalar(SP, 0xbeef4 + Count, Count);
+}
+
+TEST(VmDifferentialTest, BatchedProbesMatchScalarWithTrapsAtEveryLane) {
+  // All sixteen trap/no-trap patterns within a 4-row group: (int)x == 0
+  // traps on integer division after the site fired, so each pattern
+  // exercises a different per-lane retirement mask in the wide loop.
+  SourceProgram SP = compileSourceProgram(R"(
+    double f(double x) {
+      int d;
+      d = (int)x;
+      if (x < 8.0) x = x + 1.0;
+      return (double)(7 / d) + x;
+    }
+  )",
+                                          "f");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  constexpr size_t Groups = 16, Count = Groups * 4;
+  std::vector<double> Xs(Count);
+  for (size_t G = 0; G < Groups; ++G)
+    for (size_t L = 0; L < 4; ++L)
+      Xs[G * 4 + L] = (G >> L) & 1 ? 0.25 : 2.0 + static_cast<double>(L);
+  expectBatchMatchesScalarRows(SP, Xs, Count);
+}
+
+TEST(VmDifferentialTest, BatchedProbesMatchScalarUnderBudgetExhaustion) {
+  // Rows whose work is input-dependent under a tight step budget: some
+  // rows complete, others exhaust mid-run (a uniform wide retire), and
+  // the per-row results, traps, and final trap state must match the
+  // scalar loop exactly.
+  SourceProgramOptions Opts;
+  Opts.Interp.MaxSteps = 600;
+  SourceProgram SP = compileSourceProgram(R"(
+    double f(double x) {
+      double acc = 0.0;
+      int i;
+      for (i = 0; (double)i < x; i++) {
+        if (acc < 1.0e300) acc = acc + x;
+      }
+      return acc;
+    }
+  )",
+                                          "f", Opts);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  constexpr size_t Count = 64;
+  std::vector<double> Xs(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    // Mix completing rows (small trip counts) with exhausting rows (huge
+    // trip counts) at every lane position.
+    Xs[I] = (I % 5 == 0 || (I / 4) % 3 == 2) ? 1.0e9
+                                             : static_cast<double>(I % 7);
+  }
+  expectBatchMatchesScalarRows(SP, Xs, Count);
+}
+
+TEST(VmDifferentialTest, BatchedProbesMatchScalarAtThreeParamStride) {
+  // Row stride N = 3: marshaling must pick each lane's row at the right
+  // stride for every parameter, and mixed branch outcomes across the
+  // three inputs drive per-lane divergence retirement.
+  SourceProgram SP = compileSourceProgram(R"(
+    double f(double a, double b, double c) {
+      double r = 0.0;
+      if (a < b) r = r + (b - a);
+      else r = r + (a - b) * 0.5;
+      if (c >= 0.0) r = r * (c + 1.0);
+      if (r > 100.0) r = r - c;
+      return r + a * b;
+    }
+  )",
+                                          "f");
+  expectBatchMatchesScalar(SP, 0xbeef5, 301);
+}
+
+TEST(VmDifferentialTest, BatchedProbesMatchScalarOnReplayHookConfigs) {
+  // Context shapes outside the minimizer configuration (operand
+  // recording on) force the wide lane's general record-and-replay hook
+  // route; the identity must hold there too, including the recorded
+  // per-site and per-trace-position operands of the last row.
+  const SourceBenchmark *Tanh = findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  SourceProgram SP = compileSourceBenchmark(*Tanh);
+  expectBatchMatchesScalar(SP, 0xbeef6, 300,
+                           {/*RecordOperands=*/true,
+                            /*RecordTraceOperands=*/false, "observations"});
+  expectBatchMatchesScalar(SP, 0xbeef7, 300,
+                           {/*RecordOperands=*/false,
+                            /*RecordTraceOperands=*/true, "trace-operands"});
+  expectBatchMatchesScalar(SP, 0xbeef8, 299,
+                           {/*RecordOperands=*/true,
+                            /*RecordTraceOperands=*/true, "both"});
+}
+
+TEST(VmDifferentialTest, WideLaneEngagesForEverySuiteSubject) {
+  // On AVX2 hosts every suite subject must actually take the SIMD batch
+  // backend — the wide-safety analysis has no reason to reject any of
+  // them (they only read globals), and a silent scalar fall-back would
+  // void the perf gate.
+  if (!bc::Vm::simdAvailable())
+    GTEST_SKIP() << "host has no AVX2 or COVERME_VM_SIMD is off";
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SourceProgram SP = compileSourceBenchmark(B);
+    ASSERT_TRUE(SP.success()) << B.Name;
+    bc::Vm Vm(SP.Code);
+    int FnIndex = SP.Code->functionIndex(B.Name);
+    ASSERT_GE(FnIndex, 0) << B.Name;
+    EXPECT_TRUE(Vm.wideBatchEligible(static_cast<unsigned>(FnIndex)))
+        << B.Name;
+    EXPECT_STREQ(Vm.batchBackendName(static_cast<unsigned>(FnIndex)), "simd")
+        << B.Name;
+  }
 }
 
 TEST(VmDifferentialTest, RunBatchWithoutContextMatchesCallEntry) {
