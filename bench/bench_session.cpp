@@ -1,0 +1,156 @@
+//===- bench_session.cpp - Compiled-unit cache amortization ----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// Measures the service layer's reason to exist: a persistent session
+// amortizes the frontend (parse, Sema, lowering, fusion, JIT) across
+// submissions, so a repeat submission of the same source must cost a hash
+// lookup, not a compile. Two lanes:
+//
+//   * cache lane — CompiledUnitCache directly: cold get() (one full
+//     compile) vs hot get() (hash + map lookup), per subject.
+//   * session lane — end-to-end Session::submit + wait for a tiny
+//     campaign, first submission (compiling) vs repeat (cache hit), which
+//     bounds what a serve client actually observes.
+//
+// `--json[=path]` writes BENCH_session.json with per-subject rows plus the
+// derived minimum the CI service gate checks:
+//   min_compile_amortization — min over subjects of cold-compile ns /
+//                              hot-lookup ns (gated >= 10).
+//
+// Usage: bench_session [--json[=path]] [--hits=N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CoverMe.h"
+#include "lang/SourceSuite.h"
+#include "service/Session.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace coverme;
+
+namespace {
+
+struct Row {
+  std::string Subject;
+  double ColdCompileNs = 0; // one full frontend run
+  double HotLookupNs = 0;   // one cache hit, averaged over Hits lookups
+  double Amortization = 0;  // ColdCompileNs / HotLookupNs
+  double FirstSubmitSeconds = 0;  // Session end-to-end, compiling
+  double RepeatSubmitSeconds = 0; // Session end-to-end, cache hit
+};
+
+Row measureSubject(const lang::SourceBenchmark &Entry, unsigned Hits) {
+  Row R;
+  R.Subject = Entry.Name;
+
+  lang::SourceProgramOptions Opts; // default tier: fused VM (+ JIT if built)
+  Opts.TotalLines = Entry.PaperLines;
+  CompiledUnitCache Cache;
+  WallTimer Cold;
+  auto Unit = Cache.get(Entry.Source, Entry.Name, Opts);
+  R.ColdCompileNs = Cold.seconds() * 1e9;
+  if (!Unit) {
+    std::fprintf(stderr, "subject '%s' failed to compile\n",
+                 Entry.Name.c_str());
+    std::exit(1);
+  }
+
+  WallTimer Hot;
+  for (unsigned I = 0; I < Hits; ++I)
+    (void)Cache.get(Entry.Source, Entry.Name, Opts);
+  R.HotLookupNs = Hot.seconds() * 1e9 / Hits;
+  R.Amortization = R.ColdCompileNs / R.HotLookupNs;
+
+  // End-to-end through a session: identical tiny campaigns, differing only
+  // in whether the unit was already resident.
+  Session S;
+  JobRequest Req;
+  Req.Source = Entry.Source;
+  Req.Entry = Entry.Name;
+  Req.Compile = Opts;
+  Req.Campaign.Seed = 7;
+  Req.Campaign.NStart = 2;
+  WallTimer First;
+  uint64_t Id = S.submit(Req);
+  S.wait(Id);
+  R.FirstSubmitSeconds = First.seconds();
+  WallTimer Repeat;
+  Id = S.submit(Req);
+  S.wait(Id);
+  R.RepeatSubmitSeconds = Repeat.seconds();
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Hits = 1000;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--json") == 0) {
+      JsonPath = "BENCH_session.json";
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      JsonPath = Arg + 7;
+    } else if (std::strncmp(Arg, "--hits=", 7) == 0) {
+      Hits = static_cast<unsigned>(std::atoi(Arg + 7));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=path]] [--hits=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (Hits == 0)
+    Hits = 1;
+
+  std::vector<Row> Rows;
+  for (const lang::SourceBenchmark &Entry : lang::sourceSuite())
+    Rows.push_back(measureSubject(Entry, Hits));
+
+  std::printf("Compiled-unit cache amortization (%u hot lookups/subject)\n\n",
+              Hits);
+  std::printf("%-14s %14s %12s %14s %12s %12s\n", "subject", "cold ns",
+              "hot ns", "amortization", "submit1 s", "submit2 s");
+  double MinAmortization = Rows.empty() ? 0 : Rows[0].Amortization;
+  for (const Row &R : Rows) {
+    std::printf("%-14s %14.0f %12.1f %13.0fx %12.6f %12.6f\n",
+                R.Subject.c_str(), R.ColdCompileNs, R.HotLookupNs,
+                R.Amortization, R.FirstSubmitSeconds, R.RepeatSubmitSeconds);
+    if (R.Amortization < MinAmortization)
+      MinAmortization = R.Amortization;
+  }
+  std::printf("\nmin compile amortization: %.0fx\n", MinAmortization);
+
+  if (!JsonPath.empty()) {
+    std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"session\",\n  \"hits\": %u,\n"
+                    "  \"rows\": [\n",
+                 Hits);
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"subject\": \"%s\", \"compile_cold_ns\": %.1f, "
+                   "\"cache_hit_ns\": %.1f, \"compile_amortization\": %.1f, "
+                   "\"first_submit_seconds\": %.6f, "
+                   "\"repeat_submit_seconds\": %.6f}%s\n",
+                   R.Subject.c_str(), R.ColdCompileNs, R.HotLookupNs,
+                   R.Amortization, R.FirstSubmitSeconds,
+                   R.RepeatSubmitSeconds, I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ],\n  \"min_compile_amortization\": %.1f\n}\n",
+                 MinAmortization);
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

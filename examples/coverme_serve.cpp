@@ -1,0 +1,897 @@
+//===- coverme_serve.cpp - Campaign-as-a-service over a local socket --------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// The service/Session layer as a process: a newline-JSON protocol over an
+// AF_UNIX stream socket. Each request is one JSON object on one line; each
+// response is one JSON object per line (the `stream` verb sends several).
+// Campaigns run asynchronously on the session's worker pool, compiled
+// units are cached across submissions by content hash, and any job can be
+// checkpointed at a round boundary and resumed — in this process or, via
+// the serialized snapshot, in another one — continuing bit-identically.
+//
+// Verbs (see README.md for the full field tables):
+//
+//   {"cmd":"submit","source":"...","entry":"f", ...}   -> {"ok":true,"job":N}
+//   {"cmd":"status","job":N}
+//   {"cmd":"wait","job":N}            block until suspended/done/failed
+//   {"cmd":"progress","job":N,"from":K}
+//   {"cmd":"stream","job":N}          one line per committed round, then end
+//   {"cmd":"checkpoint","job":N}      -> {"ok":true,"snapshot":"<hex>"}
+//   {"cmd":"resume","job":N}          continue a suspended job in place
+//   {"cmd":"resume","snapshot":"<hex>","source":...}  new job from bytes
+//   {"cmd":"result","job":N}
+//   {"cmd":"cancel","job":N}
+//   {"cmd":"stats"}                   compiled-unit cache counters
+//   {"cmd":"shutdown"}
+//
+// Usage:
+//   coverme_serve --socket /tmp/coverme.sock [--workers N]
+//   coverme_serve --smoke             self-driving end-to-end scenario
+//
+// The --smoke mode starts the server on a private socket, drives the whole
+// protocol through a real client connection — two subjects, a mid-flight
+// checkpoint, an in-place resume, a resume-from-bytes, a corrupt-snapshot
+// rejection, a cancellation — and verifies the resumed campaigns are
+// bit-identical to uninterrupted ones. CI runs it as the service smoke job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checkpoint.h"
+#include "service/Json.h"
+#include "service/Session.h"
+#include "support/FloatBits.h"
+#include "support/Timer.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace coverme;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Small helpers: hex, line-framed sockets, result digests
+//===----------------------------------------------------------------------===//
+
+std::string toHex(const std::vector<uint8_t> &Bytes) {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (uint8_t B : Bytes) {
+    Out += Digits[B >> 4];
+    Out += Digits[B & 0xf];
+  }
+  return Out;
+}
+
+bool fromHex(const std::string &Hex, std::vector<uint8_t> &Out) {
+  if (Hex.size() % 2 != 0)
+    return false;
+  Out.clear();
+  Out.reserve(Hex.size() / 2);
+  auto Nibble = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  };
+  for (size_t I = 0; I < Hex.size(); I += 2) {
+    int Hi = Nibble(Hex[I]), Lo = Nibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.push_back(static_cast<uint8_t>((Hi << 4) | Lo));
+  }
+  return true;
+}
+
+bool sendLine(int Fd, std::string Line) {
+  Line += '\n';
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::send(Fd, Line.data() + Off, Line.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// recv() with per-connection buffering, returning one '\n'-terminated line
+/// at a time.
+struct LineReader {
+  int Fd;
+  std::string Buffer;
+
+  bool next(std::string &Line) {
+    for (;;) {
+      size_t Pos = Buffer.find('\n');
+      if (Pos != std::string::npos) {
+        Line = Buffer.substr(0, Pos);
+        Buffer.erase(0, Pos + 1);
+        return true;
+      }
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        return false;
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+};
+
+/// Order-sensitive FNV-1a digest over everything a campaign's identity
+/// covers: accepted-input bit patterns, the round log, evaluation count,
+/// and coverage. Two runs digest equal iff they are bit-identical in every
+/// respect the checkpoint golden tests compare.
+uint64_t resultDigest(const CampaignResult &Res) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  for (const auto &Input : Res.Inputs) {
+    Mix(Input.size());
+    for (double Coord : Input)
+      Mix(doubleToBits(Coord));
+  }
+  for (const RoundLog &Log : Res.Rounds) {
+    Mix(Log.Round);
+    Mix(doubleToBits(Log.MinimumValue));
+    Mix(Log.Accepted ? 1 : 0);
+    Mix(Log.MarkedInfeasible ? 1 : 0);
+    Mix(Log.SaturatedArms);
+  }
+  Mix(Res.Evaluations);
+  Mix(Res.StartsUsed);
+  Mix(Res.CoveredBranches);
+  Mix(Res.TotalBranches);
+  for (BranchRef Ref : Res.InfeasibleMarked) {
+    Mix(Ref.Site);
+    Mix(Ref.Outcome ? 1 : 0);
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Request -> options translation
+//===----------------------------------------------------------------------===//
+
+bool parseRequestOptions(const json::Value &Req, JobRequest &Out,
+                         std::string &Err) {
+  Out.Source = Req.str("source");
+  Out.Entry = Req.str("entry");
+  if (Out.Source.empty() || Out.Entry.empty()) {
+    Err = "submit needs non-empty \"source\" and \"entry\"";
+    return false;
+  }
+  std::string Tier = Req.str("tier", "vm");
+  if (Tier == "vm")
+    Out.Compile.Tier = lang::ExecutionTier::Bytecode;
+  else if (Tier == "jit")
+    Out.Compile.Tier = lang::ExecutionTier::Jit;
+  else if (Tier == "interp")
+    Out.Compile.Tier = lang::ExecutionTier::TreeWalker;
+  else {
+    Err = "unknown tier \"" + Tier + "\" (vm|jit|interp)";
+    return false;
+  }
+  Out.Compile.Fuse = Req.boolean("fuse", true);
+
+  Out.Campaign.NStart =
+      static_cast<unsigned>(Req.u64("n_start", Out.Campaign.NStart));
+  Out.Campaign.NIter =
+      static_cast<unsigned>(Req.u64("n_iter", Out.Campaign.NIter));
+  Out.Campaign.Seed = Req.u64("seed", Out.Campaign.Seed);
+  Out.Campaign.Threads =
+      static_cast<unsigned>(Req.u64("threads", Out.Campaign.Threads));
+  Out.Campaign.MaxEvaluations =
+      Req.u64("max_evaluations", Out.Campaign.MaxEvaluations);
+  Out.Campaign.SuspendAfterRounds =
+      static_cast<unsigned>(Req.u64("suspend_after", 0));
+  Out.Campaign.StopWhenAllSaturated =
+      Req.boolean("stop_when_saturated", true);
+  Out.Campaign.MarkInfeasible = Req.boolean("mark_infeasible", true);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The server
+//===----------------------------------------------------------------------===//
+
+std::string errorReply(const std::string &Message) {
+  json::ObjectWriter W;
+  W.field("ok", false).field("error", Message);
+  return W.str();
+}
+
+std::string roundEventJson(const RoundLog &Log) {
+  json::ObjectWriter W;
+  W.field("event", "round")
+      .field("round", Log.Round)
+      .field("minimum", Log.MinimumValue)
+      .field("minimum_bits", doubleToBits(Log.MinimumValue))
+      .field("accepted", Log.Accepted)
+      .field("marked_infeasible", Log.MarkedInfeasible)
+      .field("saturated_arms", Log.SaturatedArms);
+  return W.str();
+}
+
+class Server {
+public:
+  Server(std::string SocketPath, unsigned Workers)
+      : SocketPath(std::move(SocketPath)),
+        TheSession(SessionOptions{Workers}) {}
+
+  ~Server() {
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+    ::unlink(SocketPath.c_str());
+  }
+
+  bool listen() {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return false;
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+      std::fprintf(stderr, "socket path too long: %s\n", SocketPath.c_str());
+      return false;
+    }
+    std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+    ::unlink(SocketPath.c_str());
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+            0 ||
+        ::listen(ListenFd, 8) < 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    return true;
+  }
+
+  /// Accept loop; returns when a client sends shutdown.
+  void run() {
+    std::vector<std::thread> Clients;
+    while (!ShutdownRequested.load(std::memory_order_relaxed)) {
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0)
+        break;
+      Clients.emplace_back([this, Fd] {
+        handleClient(Fd);
+        ::close(Fd);
+      });
+    }
+    for (std::thread &T : Clients)
+      T.join();
+  }
+
+private:
+  void handleClient(int Fd) {
+    LineReader Reader{Fd, {}};
+    std::string Line;
+    while (Reader.next(Line)) {
+      if (Line.empty())
+        continue;
+      json::Value Req;
+      std::string ParseErr;
+      if (!json::parse(Line, Req, ParseErr)) {
+        sendLine(Fd, errorReply("bad JSON: " + ParseErr));
+        continue;
+      }
+      const std::string Cmd = Req.str("cmd");
+      if (Cmd == "shutdown") {
+        sendLine(Fd, "{\"ok\":true}");
+        ShutdownRequested.store(true, std::memory_order_relaxed);
+        // Unblock accept() so run() can exit.
+        ::shutdown(ListenFd, SHUT_RDWR);
+        return;
+      }
+      if (!dispatch(Fd, Cmd, Req))
+        return; // client went away mid-reply
+    }
+  }
+
+  bool dispatch(int Fd, const std::string &Cmd, const json::Value &Req) {
+    if (Cmd == "submit")
+      return cmdSubmit(Fd, Req);
+    if (Cmd == "status")
+      return cmdStatus(Fd, Req);
+    if (Cmd == "wait")
+      return cmdWait(Fd, Req);
+    if (Cmd == "progress")
+      return cmdProgress(Fd, Req);
+    if (Cmd == "stream")
+      return cmdStream(Fd, Req);
+    if (Cmd == "checkpoint")
+      return cmdCheckpoint(Fd, Req);
+    if (Cmd == "resume")
+      return cmdResume(Fd, Req);
+    if (Cmd == "result")
+      return cmdResult(Fd, Req);
+    if (Cmd == "cancel")
+      return cmdCancel(Fd, Req);
+    if (Cmd == "stats")
+      return cmdStats(Fd);
+    return sendLine(Fd, errorReply("unknown cmd \"" + Cmd + "\""));
+  }
+
+  bool cmdSubmit(int Fd, const json::Value &Req) {
+    JobRequest JR;
+    std::string Err;
+    if (!parseRequestOptions(Req, JR, Err))
+      return sendLine(Fd, errorReply(Err));
+    uint64_t Id = TheSession.submit(std::move(JR));
+    if (!Id)
+      return sendLine(Fd, errorReply("session is shutting down"));
+    json::ObjectWriter W;
+    W.field("ok", true).field("job", Id);
+    return sendLine(Fd, W.str());
+  }
+
+  bool statusJson(uint64_t Id, std::string &Out) {
+    JobStatus St;
+    if (!TheSession.status(Id, St))
+      return false;
+    json::ObjectWriter W;
+    W.field("ok", true)
+        .field("job", St.Id)
+        .field("state", jobStateName(St.State))
+        .field("rounds", St.RoundsCommitted)
+        .field("saturated_arms", St.SaturatedArms)
+        .field("cache_hit", St.CacheHit)
+        .field("compile_seconds", St.CompileSeconds)
+        .field("unit_hash", St.UnitHash)
+        .field("has_result", St.HasResult);
+    if (!St.Error.empty())
+      W.field("error", St.Error);
+    Out = W.str();
+    return true;
+  }
+
+  bool cmdStatus(int Fd, const json::Value &Req) {
+    std::string Reply;
+    if (!statusJson(Req.u64("job"), Reply))
+      return sendLine(Fd, errorReply("unknown job"));
+    return sendLine(Fd, Reply);
+  }
+
+  bool cmdWait(int Fd, const json::Value &Req) {
+    uint64_t Id = Req.u64("job");
+    if (!TheSession.wait(Id))
+      return sendLine(Fd, errorReply("unknown job"));
+    std::string Reply;
+    statusJson(Id, Reply);
+    return sendLine(Fd, Reply);
+  }
+
+  bool cmdProgress(int Fd, const json::Value &Req) {
+    uint64_t Id = Req.u64("job");
+    JobStatus St;
+    if (!TheSession.status(Id, St))
+      return sendLine(Fd, errorReply("unknown job"));
+    size_t From = Req.u64("from", 0);
+    std::vector<RoundLog> Events = TheSession.progress(Id, From);
+    std::string Arr = "[";
+    for (size_t I = 0; I < Events.size(); ++I) {
+      if (I)
+        Arr += ',';
+      Arr += roundEventJson(Events[I]);
+    }
+    Arr += ']';
+    json::ObjectWriter W;
+    W.field("ok", true)
+        .field("job", Id)
+        .raw("events", Arr)
+        .field("next", static_cast<uint64_t>(From + Events.size()));
+    return sendLine(Fd, W.str());
+  }
+
+  bool cmdStream(int Fd, const json::Value &Req) {
+    uint64_t Id = Req.u64("job");
+    JobStatus St;
+    if (!TheSession.status(Id, St))
+      return sendLine(Fd, errorReply("unknown job"));
+    size_t Next = 0;
+    for (;;) {
+      std::vector<RoundLog> Events = TheSession.progress(Id, Next);
+      Next += Events.size();
+      for (const RoundLog &Log : Events)
+        if (!sendLine(Fd, roundEventJson(Log)))
+          return false;
+      if (!TheSession.status(Id, St))
+        break;
+      bool Terminal = St.State == JobState::Suspended ||
+                      St.State == JobState::Done ||
+                      St.State == JobState::Failed ||
+                      St.State == JobState::Cancelled;
+      if (Terminal && Events.empty()) {
+        json::ObjectWriter W;
+        W.field("event", "end").field("state", jobStateName(St.State));
+        return sendLine(Fd, W.str());
+      }
+      if (Events.empty())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return sendLine(Fd, errorReply("job disappeared"));
+  }
+
+  bool cmdCheckpoint(int Fd, const json::Value &Req) {
+    std::vector<uint8_t> Bytes;
+    std::string Err;
+    if (!TheSession.checkpoint(Req.u64("job"), Bytes, Err))
+      return sendLine(Fd, errorReply(Err));
+    json::ObjectWriter W;
+    W.field("ok", true)
+        .field("job", Req.u64("job"))
+        .field("bytes", static_cast<uint64_t>(Bytes.size()))
+        .field("snapshot", toHex(Bytes));
+    return sendLine(Fd, W.str());
+  }
+
+  bool cmdResume(int Fd, const json::Value &Req) {
+    std::string Err;
+    // With snapshot bytes: a new job continuing the serialized campaign
+    // (the cross-process path). With just a job id: in-place resume.
+    if (const json::Value *Snap = Req.find("snapshot")) {
+      std::vector<uint8_t> Bytes;
+      if (!Snap->isString() || !fromHex(Snap->Str, Bytes))
+        return sendLine(Fd, errorReply("snapshot must be a hex string"));
+      JobRequest JR;
+      if (!parseRequestOptions(Req, JR, Err))
+        return sendLine(Fd, errorReply(Err));
+      uint64_t Id = TheSession.submitResume(std::move(JR), Bytes, Err);
+      if (!Id)
+        return sendLine(Fd, errorReply("snapshot rejected: " + Err));
+      json::ObjectWriter W;
+      W.field("ok", true).field("job", Id);
+      return sendLine(Fd, W.str());
+    }
+    uint64_t Id = Req.u64("job");
+    if (!TheSession.resume(Id, Err))
+      return sendLine(Fd, errorReply(Err));
+    json::ObjectWriter W;
+    W.field("ok", true).field("job", Id);
+    return sendLine(Fd, W.str());
+  }
+
+  bool cmdResult(int Fd, const json::Value &Req) {
+    uint64_t Id = Req.u64("job");
+    CampaignResult Res;
+    if (!TheSession.result(Id, Res))
+      return sendLine(Fd, errorReply("no result yet (job unknown or still "
+                                     "queued/running)"));
+    std::string Inputs = "[";
+    for (size_t I = 0; I < Res.Inputs.size(); ++I) {
+      if (I)
+        Inputs += ',';
+      Inputs += '[';
+      for (size_t J = 0; J < Res.Inputs[I].size(); ++J) {
+        if (J)
+          Inputs += ',';
+        // Bit patterns, not decimal: the client diffing two runs compares
+        // these exactly.
+        Inputs += std::to_string(doubleToBits(Res.Inputs[I][J]));
+      }
+      Inputs += ']';
+    }
+    Inputs += ']';
+    json::ObjectWriter W;
+    W.field("ok", true)
+        .field("job", Id)
+        .field("suspended", Res.Suspended)
+        .field("rounds", Res.StartsUsed)
+        .field("evaluations", Res.Evaluations)
+        .field("covered_branches", Res.CoveredBranches)
+        .field("total_branches", Res.TotalBranches)
+        .field("branch_coverage", Res.BranchCoverage)
+        .field("inputs", static_cast<uint64_t>(Res.Inputs.size()))
+        .raw("input_bits", Inputs)
+        .field("digest", resultDigest(Res));
+    return sendLine(Fd, W.str());
+  }
+
+  bool cmdCancel(int Fd, const json::Value &Req) {
+    uint64_t Id = Req.u64("job");
+    if (!TheSession.cancel(Id))
+      return sendLine(Fd, errorReply("unknown or already-terminated job"));
+    json::ObjectWriter W;
+    W.field("ok", true).field("job", Id);
+    return sendLine(Fd, W.str());
+  }
+
+  bool cmdStats(int Fd) {
+    CompiledUnitCache::Stats St = TheSession.cacheStats();
+    json::ObjectWriter W;
+    W.field("ok", true)
+        .field("cache_units", static_cast<uint64_t>(TheSession.cacheSize()))
+        .field("cache_hits", St.Hits)
+        .field("cache_misses", St.Misses)
+        .field("failed_compiles", St.FailedCompiles)
+        .field("compile_seconds", St.CompileSeconds)
+        .field("workers", TheSession.workers());
+    return sendLine(Fd, W.str());
+  }
+
+  std::string SocketPath;
+  Session TheSession;
+  int ListenFd = -1;
+  std::atomic<bool> ShutdownRequested{false};
+};
+
+//===----------------------------------------------------------------------===//
+// --smoke: the self-driving protocol scenario
+//===----------------------------------------------------------------------===//
+
+/// Subject A: enough conditional structure that a few rounds cannot finish
+/// it, so mid-flight checkpoints are meaningful.
+const char *ClassifierSource = R"(
+double classify(double a, double b) {
+  double r = 0.0;
+  if (a < 1.0) {
+    if (b < -2.0) r = a + b;
+    else r = a - b;
+  } else {
+    if (b > 100.0) r = b * 2.0;
+    else if (a > 500.0) r = a;
+    else r = 1.0;
+  }
+  if (r > 50.0) r = r - 50.0;
+  return r;
+}
+)";
+
+/// Subject B: a second distinct unit for the cache and queue.
+const char *PolySource = R"(
+double poly(double x) {
+  if (x < 0.0) x = -x;
+  if (x > 10.0) return x * x - 9.0;
+  return x + 1.0;
+}
+)";
+
+struct SmokeClient {
+  int Fd = -1;
+  LineReader Reader{-1, {}};
+
+  bool connect(const std::string &Path) {
+    for (int Attempt = 0; Attempt < 200; ++Attempt) {
+      Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (Fd < 0)
+        return false;
+      sockaddr_un Addr{};
+      Addr.sun_family = AF_UNIX;
+      std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+      if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+          0) {
+        Reader.Fd = Fd;
+        return true;
+      }
+      ::close(Fd);
+      Fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  /// One request, one reply line, parsed.
+  bool call(const std::string &Request, json::Value &Reply) {
+    if (!sendLine(Fd, Request))
+      return false;
+    std::string Line;
+    if (!Reader.next(Line))
+      return false;
+    std::string Err;
+    return json::parse(Line, Reply, Err);
+  }
+
+  ~SmokeClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+};
+
+#define SMOKE_CHECK(Cond, What)                                                \
+  do {                                                                         \
+    if (!(Cond)) {                                                             \
+      std::fprintf(stderr, "SMOKE FAIL at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   What);                                                      \
+      return 1;                                                                \
+    }                                                                          \
+  } while (0)
+
+/// Builds a submit (or, with \p SnapshotHex, a resume-from-bytes) request.
+/// stop_when_saturated is off so campaigns run a deterministic round count
+/// and mid-flight suspension points always land.
+std::string campaignRequest(const char *Cmd, const char *Source,
+                            const char *Entry, uint64_t Seed, unsigned NStart,
+                            unsigned Threads, unsigned SuspendAfter,
+                            const std::string &SnapshotHex = "") {
+  json::ObjectWriter W;
+  W.field("cmd", Cmd)
+      .field("source", Source)
+      .field("entry", Entry)
+      .field("seed", Seed)
+      .field("n_start", NStart)
+      .field("threads", Threads)
+      .field("stop_when_saturated", false);
+  if (SuspendAfter)
+    W.field("suspend_after", SuspendAfter);
+  if (!SnapshotHex.empty())
+    W.field("snapshot", SnapshotHex);
+  return W.str();
+}
+
+int runSmoke() {
+  // Part 1: the compiled-unit cache amortization, measured directly — a
+  // cold compile against the hit path's lookup, the ratio CI gates on.
+  {
+    CompiledUnitCache Cache;
+    lang::SourceProgramOptions Opts;
+    WallTimer Cold;
+    auto First = Cache.get(ClassifierSource, "classify", Opts);
+    double ColdSeconds = Cold.seconds();
+    SMOKE_CHECK(First != nullptr, "cold compile succeeds");
+    const int HitRuns = 200;
+    WallTimer Hits;
+    for (int I = 0; I < HitRuns; ++I) {
+      bool Hit = false;
+      auto Again = Cache.get(ClassifierSource, "classify", Opts, &Hit);
+      SMOKE_CHECK(Hit && Again == First, "repeat get hits the cache");
+    }
+    double HitSeconds = Hits.seconds() / HitRuns;
+    double Ratio = ColdSeconds / (HitSeconds > 0 ? HitSeconds : 1e-9);
+    std::printf("{\"smoke\":\"cache\",\"cold_compile_seconds\":%.6f,"
+                "\"cache_hit_seconds\":%.9f,\"compile_amortization\":%.1f}\n",
+                ColdSeconds, HitSeconds, Ratio);
+    SMOKE_CHECK(Ratio >= 10.0, "cache hit is >=10x cheaper than a compile");
+  }
+
+  // Part 2: the wire protocol, end to end over a real socket.
+  std::string Path = "/tmp/coverme_serve_" + std::to_string(::getpid()) +
+                     ".sock";
+  Server Srv(Path, /*Workers=*/2);
+  if (!Srv.listen()) {
+    std::fprintf(stderr, "cannot listen on %s\n", Path.c_str());
+    return 1;
+  }
+  std::thread ServerThread([&Srv] { Srv.run(); });
+  SmokeClient Client;
+  SMOKE_CHECK(Client.connect(Path), "client connects");
+
+  json::Value R;
+
+  // Subject A on 2 threads, suspending after 6 committed rounds.
+  SMOKE_CHECK(Client.call(campaignRequest("submit", ClassifierSource,
+                                          "classify", /*Seed=*/7,
+                                          /*NStart=*/24, /*Threads=*/2,
+                                          /*SuspendAfter=*/6),
+                          R) &&
+                  R.boolean("ok"),
+              "submit A");
+  uint64_t JobA = R.u64("job");
+
+  // Subject B runs to completion alongside.
+  SMOKE_CHECK(Client.call(campaignRequest("submit", PolySource, "poly",
+                                          /*Seed=*/3, /*NStart=*/10,
+                                          /*Threads=*/1, /*SuspendAfter=*/0),
+                          R) &&
+                  R.boolean("ok"),
+              "submit B");
+  uint64_t JobB = R.u64("job");
+
+  SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" + std::to_string(JobA) +
+                              "}",
+                          R) &&
+                  R.str("state") == "suspended",
+              "A suspends after 6 rounds");
+  SMOKE_CHECK(R.u64("rounds") == 6, "A committed exactly 6 rounds");
+
+  // Checkpoint the suspended job.
+  SMOKE_CHECK(Client.call("{\"cmd\":\"checkpoint\",\"job\":" +
+                              std::to_string(JobA) + "}",
+                          R) &&
+                  R.boolean("ok"),
+              "checkpoint A");
+  std::string SnapshotHex = R.str("snapshot");
+  SMOKE_CHECK(!SnapshotHex.empty(), "checkpoint carries snapshot bytes");
+
+  // Resume A in place; it must run to its natural end.
+  SMOKE_CHECK(Client.call("{\"cmd\":\"resume\",\"job\":" +
+                              std::to_string(JobA) + "}",
+                          R) &&
+                  R.boolean("ok"),
+              "resume A");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" + std::to_string(JobA) +
+                              "}",
+                          R) &&
+                  R.str("state") == "done",
+              "A finishes after resume");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"result\",\"job\":" +
+                              std::to_string(JobA) + "}",
+                          R) &&
+                  R.boolean("ok"),
+              "result A");
+  uint64_t ResumedDigest = R.u64("digest");
+  SMOKE_CHECK(R.u64("rounds") == 24, "A ran all 24 rounds");
+
+  // The uninterrupted reference: same subject, same seed, no suspension,
+  // different thread count — must be bit-identical, and must hit the cache.
+  SMOKE_CHECK(Client.call(campaignRequest("submit", ClassifierSource,
+                                          "classify", /*Seed=*/7,
+                                          /*NStart=*/24, /*Threads=*/1,
+                                          /*SuspendAfter=*/0),
+                          R) &&
+                  R.boolean("ok"),
+              "submit uninterrupted A");
+  uint64_t JobRef = R.u64("job");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" +
+                              std::to_string(JobRef) + "}",
+                          R) &&
+                  R.str("state") == "done",
+              "uninterrupted A finishes");
+  SMOKE_CHECK(R.boolean("cache_hit"), "uninterrupted A reuses the cached unit");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"result\",\"job\":" +
+                              std::to_string(JobRef) + "}",
+                          R) &&
+                  R.boolean("ok"),
+              "result uninterrupted A");
+  uint64_t ReferenceDigest = R.u64("digest");
+  SMOKE_CHECK(ResumedDigest == ReferenceDigest,
+              "checkpoint/resume is bit-identical to the uninterrupted run");
+
+  // Resume-from-bytes: a NEW job continuing the serialized snapshot (the
+  // cross-process migration path) must land on the same digest too.
+  SMOKE_CHECK(Client.call(campaignRequest("resume", ClassifierSource,
+                                          "classify", /*Seed=*/7,
+                                          /*NStart=*/24, /*Threads=*/2,
+                                          /*SuspendAfter=*/0, SnapshotHex),
+                          R) &&
+                  R.boolean("ok"),
+              "resume from snapshot bytes");
+  uint64_t JobMigrated = R.u64("job");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" +
+                              std::to_string(JobMigrated) + "}",
+                          R) &&
+                  R.str("state") == "done",
+              "migrated job finishes");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"result\",\"job\":" +
+                              std::to_string(JobMigrated) + "}",
+                          R) &&
+                  R.u64("digest") == ReferenceDigest,
+              "snapshot-bytes resume is bit-identical too");
+
+  // Corrupt snapshots must be rejected, not half-loaded: flip one byte in
+  // the payload, then truncate.
+  {
+    // Flip a nibble of the magic: any loader must refuse before touching
+    // the payload. (An arbitrary mid-payload flip could land in a raw
+    // coverage counter, which no validator can catch.)
+    std::string Bad = SnapshotHex;
+    Bad[0] = Bad[0] == '0' ? '1' : '0';
+    SMOKE_CHECK(Client.call(campaignRequest("resume", ClassifierSource,
+                                            "classify", 7, 24, 1, 0, Bad),
+                            R) &&
+                    !R.boolean("ok", true),
+                "corrupted-magic snapshot is rejected");
+    std::string Short = SnapshotHex.substr(0, SnapshotHex.size() / 3 * 2);
+    SMOKE_CHECK(Client.call(campaignRequest("resume", ClassifierSource,
+                                            "classify", 7, 24, 1, 0, Short),
+                            R) &&
+                    !R.boolean("ok", true),
+                "truncated snapshot is rejected");
+  }
+
+  // Subject B: completed naturally; its progress buffer replays the
+  // campaign round by round.
+  SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" + std::to_string(JobB) +
+                              "}",
+                          R) &&
+                  R.str("state") == "done",
+              "B finishes");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"progress\",\"job\":" +
+                              std::to_string(JobB) + ",\"from\":0}",
+                          R) &&
+                  R.boolean("ok"),
+              "progress B");
+  const json::Value *Events = R.find("events");
+  SMOKE_CHECK(Events && Events->isArray() && Events->Arr.size() == 10,
+              "B streamed one event per round");
+  for (size_t I = 0; I < Events->Arr.size(); ++I)
+    SMOKE_CHECK(Events->Arr[I].u64("round") == I + 1,
+                "round events arrive in commit order");
+
+  // Cancellation: a long job stops at a round boundary, keeping its prefix.
+  SMOKE_CHECK(Client.call(campaignRequest("submit", ClassifierSource,
+                                          "classify", /*Seed=*/11,
+                                          /*NStart=*/5000, /*Threads=*/2,
+                                          /*SuspendAfter=*/0),
+                          R) &&
+                  R.boolean("ok"),
+              "submit long job");
+  uint64_t JobLong = R.u64("job");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"cancel\",\"job\":" +
+                              std::to_string(JobLong) + "}",
+                          R) &&
+                  R.boolean("ok"),
+              "cancel long job");
+  SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" +
+                              std::to_string(JobLong) + "}",
+                          R) &&
+                  R.str("state") == "cancelled",
+              "long job lands in cancelled");
+
+  // Cache counters: one unit compiled once, reused by every A-submission.
+  SMOKE_CHECK(Client.call("{\"cmd\":\"stats\"}", R) && R.boolean("ok"),
+              "stats");
+  SMOKE_CHECK(R.u64("cache_units") == 2, "two distinct units cached");
+  SMOKE_CHECK(R.u64("cache_hits") >= 3, "repeat submissions hit the cache");
+  std::printf("{\"smoke\":\"protocol\",\"cache_hits\":%llu,"
+              "\"cache_misses\":%llu,\"digest\":%llu}\n",
+              static_cast<unsigned long long>(R.u64("cache_hits")),
+              static_cast<unsigned long long>(R.u64("cache_misses")),
+              static_cast<unsigned long long>(ReferenceDigest));
+
+  SMOKE_CHECK(Client.call("{\"cmd\":\"shutdown\"}", R) && R.boolean("ok"),
+              "shutdown");
+  ServerThread.join();
+  std::printf("SMOKE PASS\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath;
+  unsigned Workers = 1;
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0) {
+      Smoke = true;
+    } else if (std::strncmp(argv[I], "--socket=", 9) == 0) {
+      SocketPath = argv[I] + 9;
+    } else if (std::strcmp(argv[I], "--socket") == 0 && I + 1 < argc) {
+      SocketPath = argv[++I];
+    } else if (std::strncmp(argv[I], "--workers=", 10) == 0) {
+      Workers = static_cast<unsigned>(std::atoi(argv[I] + 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --socket PATH [--workers N] | --smoke\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (Smoke)
+    return runSmoke();
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "usage: %s --socket PATH [--workers N] | --smoke\n",
+                 argv[0]);
+    return 2;
+  }
+  Server Srv(SocketPath, Workers);
+  if (!Srv.listen()) {
+    std::fprintf(stderr, "cannot listen on %s\n", SocketPath.c_str());
+    return 1;
+  }
+  std::printf("coverme_serve listening on %s (%u worker%s)\n",
+              SocketPath.c_str(), Workers ? Workers : 0,
+              Workers == 1 ? "" : "s");
+  Srv.run();
+  return 0;
+}

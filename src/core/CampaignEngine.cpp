@@ -141,6 +141,18 @@ bool CampaignEngine::commitLocked(RoundWork &Work, Worker &W) {
   if (Opts.StopWhenAllSaturated && Table.allSaturated())
     return false;
 
+  // Suspension gate, checked after the natural stop conditions so a
+  // campaign that would terminate here terminates — suspension only
+  // interrupts a campaign that would otherwise continue. The round in
+  // this commit slot is discarded, not committed: round K re-runs
+  // deterministically from (seed, K, restored table) after resume, so the
+  // boundary is exact at every thread count.
+  if (SuspendRequested.load(std::memory_order_relaxed) ||
+      (Opts.SuspendAfterRounds && Res.StartsUsed >= Opts.SuspendAfterRounds)) {
+    Res.Suspended = true;
+    return false;
+  }
+
   // Validate the speculation: version unchanged means the objective read
   // exactly the committed-prefix saturation state (arms never unsaturate,
   // so equal versions imply equal flags). Stale or skipped rounds re-run
@@ -163,7 +175,9 @@ bool CampaignEngine::commitLocked(RoundWork &Work, Worker &W) {
     CoverageMap RunCoverage(Prog.NumSites);
     const std::vector<BranchRef> &Trace =
         replay(W.FR, W.Ctx, Work.Min.X, &RunCoverage);
-    SuiteCoverage.merge(RunCoverage);
+    bool Merged = SuiteCoverage.merge(RunCoverage);
+    assert(Merged && "suite and run coverage maps share the program shape");
+    (void)Merged;
     for (BranchRef Ref : Trace)
       Table.saturate(Ref);
     Log.Accepted = true;
@@ -192,6 +206,8 @@ bool CampaignEngine::commitLocked(RoundWork &Work, Worker &W) {
 
   Log.SaturatedArms = Table.saturatedCount();
   Res.Rounds.push_back(Log);
+  if (Opts.OnRound)
+    Opts.OnRound(Log);
   return true;
 }
 
@@ -238,10 +254,13 @@ CampaignResult CampaignEngine::run() {
   WallTimer Timer;
   Res.TotalBranches = Prog.numBranches();
 
-  // A branch-free program needs a single input to cover everything.
+  // A branch-free program needs a single input to cover everything. A
+  // resumed snapshot of one already holds that input — don't duplicate it.
   if (Prog.NumSites == 0) {
-    std::vector<double> X(Prog.Arity, 1.0);
-    Res.Inputs.push_back(X);
+    if (!Resumed) {
+      std::vector<double> X(Prog.Arity, 1.0);
+      Res.Inputs.push_back(X);
+    }
     Res.Coverage = SuiteCoverage;
     Res.BranchCoverage = SuiteCoverage.branchCoverage(); // 1.0: no arms
     Res.LineCoverage = SuiteCoverage.lineCoverage(Prog);
@@ -254,13 +273,15 @@ CampaignResult CampaignEngine::run() {
   if (Threads <= 1) {
     // Sequential reference path: same commit body, no speculation to
     // invalidate, so the parallel path is bit-identical to this one.
+    // NextCommit starts past the resumed prefix (1 for a fresh campaign).
     Worker W(Prog, Table, Opts);
-    for (unsigned K = 1; K <= Opts.NStart; ++K) {
+    while (NextCommit <= Opts.NStart) {
       RoundWork Work;
-      Work.Round = K;
+      Work.Round = NextCommit;
       std::lock_guard<std::mutex> Lock(CommitMutex);
       if (!commitLocked(Work, W))
         break;
+      ++NextCommit;
     }
   } else {
     ThreadPool Pool(Threads);
@@ -276,4 +297,67 @@ CampaignResult CampaignEngine::run() {
   Res.LineCoverage = SuiteCoverage.lineCoverage(Prog);
   Res.Seconds = Timer.seconds();
   return Res;
+}
+
+bool CampaignEngine::applySnapshot(const CampaignSnapshot &S,
+                                   std::string &Err) {
+  if (S.Arity != Prog.Arity) {
+    Err = "snapshot arity does not match the program";
+    return false;
+  }
+  // The site-count check is the CoverageMap merge shape guard: build a map
+  // of the snapshot's shape and fold it into the (still-zero) suite map.
+  // A mismatched or corrupt snapshot is rejected right here instead of
+  // walking a differently-sized counter array later.
+  CoverageMap Loaded(S.NumSites);
+  if (S.Coverage.TrueHits.size() != S.NumSites ||
+      !Loaded.setCounters(S.Coverage)) {
+    Err = "snapshot coverage counters are malformed";
+    return false;
+  }
+  if (!SuiteCoverage.merge(Loaded)) {
+    Err = "snapshot site count does not match the program";
+    return false;
+  }
+  if (!Table.restore(S.Table)) {
+    // Undo the coverage merge so a failed apply leaves a clean engine.
+    SuiteCoverage.reset(Prog.NumSites);
+    Err = "snapshot saturation table is malformed";
+    return false;
+  }
+  for (const std::vector<double> &X : S.Inputs)
+    if (X.size() != Prog.Arity) {
+      SuiteCoverage.reset(Prog.NumSites);
+      Err = "snapshot input arity does not match the program";
+      return false;
+    }
+
+  // The snapshot is a position in one seeded campaign; its seed wins.
+  Opts.Seed = S.Seed;
+  Res.Inputs = S.Inputs;
+  Res.Rounds = S.Rounds;
+  Res.InfeasibleMarked = S.InfeasibleMarked;
+  Res.Evaluations = S.Evaluations;
+  Res.StartsUsed = S.StartsUsed;
+  CommittedEvals.store(S.Evaluations, std::memory_order_relaxed);
+  NextCommit = S.NextRound;
+  NextLaunch.store(S.NextRound, std::memory_order_relaxed);
+  Resumed = true;
+  return true;
+}
+
+CampaignSnapshot CampaignEngine::snapshot() const {
+  CampaignSnapshot S;
+  S.Seed = Opts.Seed;
+  S.NumSites = Prog.NumSites;
+  S.Arity = Prog.Arity;
+  S.NextRound = NextCommit;
+  S.Table = Table.snapshot();
+  S.Coverage = SuiteCoverage.counters();
+  S.Inputs = Res.Inputs;
+  S.Rounds = Res.Rounds;
+  S.InfeasibleMarked = Res.InfeasibleMarked;
+  S.Evaluations = Res.Evaluations;
+  S.StartsUsed = Res.StartsUsed;
+  return S;
 }

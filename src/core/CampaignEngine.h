@@ -38,17 +38,20 @@
 #ifndef COVERME_CORE_CAMPAIGNENGINE_H
 #define COVERME_CORE_CAMPAIGNENGINE_H
 
+#include "core/Checkpoint.h"
 #include "core/CoverMe.h"
 #include "runtime/SaturationTable.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 
 namespace coverme {
 
 /// Runs one campaign over one program, on `Options.Threads` workers.
-/// Single-shot: construct, call run() once, read the result.
+/// Single-shot: construct, optionally applySnapshot(), call run() once,
+/// read the result — and, when the run suspended, snapshot() the state.
 class CampaignEngine {
 public:
   CampaignEngine(const Program &P, CoverMeOptions Opts);
@@ -60,6 +63,34 @@ public:
   /// resolved (0 = hardware cores) and forced to 1 when the program's body
   /// is not reentrant (Program::ThreadSafeBody).
   unsigned effectiveThreads() const;
+
+  /// Loads a suspended campaign's state so run() continues it instead of
+  /// starting fresh. Must be called before run(). Validates the snapshot
+  /// against the program (site count via the CoverageMap merge shape
+  /// check, arity, table invariants); on failure sets \p Err and leaves
+  /// the engine unusable — construct a new one. The snapshot's seed
+  /// overrides Options.Seed: a snapshot *is* a position in one seeded
+  /// campaign, and resuming it under another seed would be neither that
+  /// campaign nor a fresh one. The thread count is free to differ — the
+  /// deterministic commit protocol makes the continuation bit-identical
+  /// either way.
+  [[nodiscard]] bool applySnapshot(const CampaignSnapshot &S,
+                                   std::string &Err);
+
+  /// Captures the campaign state after run() returned. Meaningful for a
+  /// suspended run (the resumable case); for a completed run it yields a
+  /// snapshot whose resume immediately re-terminates. Single-threaded by
+  /// then, so the capture is trivially quiescent — the version-stable loop
+  /// inside SaturationTable::snapshot() guards the concurrent callers.
+  CampaignSnapshot snapshot() const;
+
+  /// Asks the campaign to stop at the next round-commit boundary (safe
+  /// from any thread; idempotent). run() then returns a result with
+  /// Suspended = true whose snapshot() resumes bit-identically. A
+  /// campaign that terminates naturally first ignores the request.
+  void requestSuspend() {
+    SuspendRequested.store(true, std::memory_order_relaxed);
+  }
 
 private:
   struct Worker;
@@ -83,10 +114,12 @@ private:
   SaturationTable Table;
   CoverageMap SuiteCoverage;
   CampaignResult Res;
+  bool Resumed = false; ///< applySnapshot() loaded a committed prefix.
 
   std::atomic<unsigned> NextLaunch{1};      ///< Next round index to claim.
   std::atomic<uint64_t> CommittedEvals{0};  ///< Mirror of Res.Evaluations.
   std::atomic<bool> Stopped{false};         ///< Set under CommitMutex.
+  std::atomic<bool> SuspendRequested{false}; ///< requestSuspend() latch.
   std::mutex CommitMutex;
   std::condition_variable CommitCv;
   unsigned NextCommit = 1; ///< Round whose commit slot is open.

@@ -1,0 +1,241 @@
+//===- Checkpoint.cpp - Bit-identical campaign snapshot format --------------===//
+
+#include "core/Checkpoint.h"
+
+#include "support/FloatBits.h"
+
+#include <cstring>
+
+using namespace coverme;
+
+namespace {
+
+const uint8_t Magic[8] = {'C', 'V', 'M', 'E', 'S', 'N', 'A', 'P'};
+
+/// Little-endian append-only writer.
+struct Writer {
+  std::vector<uint8_t> Out;
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+};
+
+/// Bounds-checked little-endian reader: every read fails (returns false)
+/// instead of walking past the input, so a truncated or length-corrupted
+/// snapshot can never touch memory it does not own.
+struct Reader {
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+
+  bool u8(uint8_t &V) {
+    if (Size - Pos < 1)
+      return false;
+    V = Data[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Size - Pos < 4)
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Size - Pos < 8)
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return true;
+  }
+  bool done() const { return Pos == Size; }
+};
+
+bool fail(std::string &Err, const char *Why) {
+  Err = Why;
+  return false;
+}
+
+} // namespace
+
+std::vector<uint8_t> coverme::encodeSnapshot(const CampaignSnapshot &S) {
+  Writer W;
+  W.Out.insert(W.Out.end(), Magic, Magic + sizeof(Magic));
+  W.u32(CampaignSnapshot::FormatVersion);
+
+  W.u64(S.Seed);
+  W.u32(S.NumSites);
+  W.u32(S.Arity);
+  W.u32(S.NextRound);
+  W.u64(S.Evaluations);
+  W.u32(S.StartsUsed);
+
+  // Saturation table triple. Sizes are implied by NumSites.
+  W.u64(S.Table.Version);
+  for (uint8_t Arm : S.Table.Arms)
+    W.u8(Arm);
+  for (uint32_t Streak : S.Table.Streaks)
+    W.u32(Streak);
+
+  // Suite coverage counters.
+  for (uint64_t Hits : S.Coverage.TrueHits)
+    W.u64(Hits);
+  for (uint64_t Hits : S.Coverage.FalseHits)
+    W.u64(Hits);
+  W.u64(S.Coverage.TotalHits);
+
+  // Accepted inputs, coordinates as IEEE bit patterns.
+  W.u32(static_cast<uint32_t>(S.Inputs.size()));
+  for (const std::vector<double> &X : S.Inputs)
+    for (double Coord : X)
+      W.u64(doubleToBits(Coord));
+
+  // Committed round log.
+  W.u32(static_cast<uint32_t>(S.Rounds.size()));
+  for (const RoundLog &Log : S.Rounds) {
+    W.u32(Log.Round);
+    W.u64(doubleToBits(Log.MinimumValue));
+    W.u8(Log.Accepted ? 1 : 0);
+    W.u8(Log.MarkedInfeasible ? 1 : 0);
+    W.u32(Log.SaturatedArms);
+  }
+
+  // Infeasible-marked arms.
+  W.u32(static_cast<uint32_t>(S.InfeasibleMarked.size()));
+  for (BranchRef Ref : S.InfeasibleMarked) {
+    W.u32(Ref.Site);
+    W.u8(Ref.Outcome ? 1 : 0);
+  }
+
+  return W.Out;
+}
+
+bool coverme::decodeSnapshot(const uint8_t *Data, size_t Size,
+                             CampaignSnapshot &Out, std::string &Err) {
+  Reader R{Data, Size};
+  if (Size < sizeof(Magic) || std::memcmp(Data, Magic, sizeof(Magic)) != 0)
+    return fail(Err, "not a CoverMe snapshot (bad magic)");
+  R.Pos = sizeof(Magic);
+
+  uint32_t Version = 0;
+  if (!R.u32(Version))
+    return fail(Err, "truncated snapshot header");
+  if (Version != CampaignSnapshot::FormatVersion)
+    return fail(Err, "unsupported snapshot format version");
+
+  CampaignSnapshot S;
+  uint32_t NumSites = 0, Arity = 0;
+  if (!R.u64(S.Seed) || !R.u32(NumSites) || !R.u32(Arity) ||
+      !R.u32(S.NextRound) || !R.u64(S.Evaluations) || !R.u32(S.StartsUsed))
+    return fail(Err, "truncated snapshot header");
+  S.NumSites = NumSites;
+  S.Arity = Arity;
+  if (S.NextRound < 1)
+    return fail(Err, "snapshot next-round index must be >= 1");
+  // The shape header caps every section length below; reject sizes the
+  // remaining input cannot possibly hold before reserving anything.
+  const size_t NumArms = 2 * static_cast<size_t>(NumSites);
+  if (NumArms > Size || static_cast<size_t>(NumSites) * 16 > Size)
+    return fail(Err, "snapshot shape header exceeds input size");
+
+  if (!R.u64(S.Table.Version))
+    return fail(Err, "truncated saturation table");
+  S.Table.Arms.resize(NumArms);
+  uint64_t SetFlags = 0;
+  for (uint8_t &Arm : S.Table.Arms) {
+    if (!R.u8(Arm))
+      return fail(Err, "truncated saturation arms");
+    if (Arm > 1)
+      return fail(Err, "corrupt saturation arm flag");
+    SetFlags += Arm;
+  }
+  if (SetFlags != S.Table.Version)
+    return fail(Err, "saturation version disagrees with arm flags");
+  S.Table.Streaks.resize(NumArms);
+  for (uint32_t &Streak : S.Table.Streaks)
+    if (!R.u32(Streak))
+      return fail(Err, "truncated saturation streaks");
+
+  S.Coverage.TrueHits.resize(NumSites);
+  S.Coverage.FalseHits.resize(NumSites);
+  for (uint64_t &Hits : S.Coverage.TrueHits)
+    if (!R.u64(Hits))
+      return fail(Err, "truncated coverage counters");
+  for (uint64_t &Hits : S.Coverage.FalseHits)
+    if (!R.u64(Hits))
+      return fail(Err, "truncated coverage counters");
+  if (!R.u64(S.Coverage.TotalHits))
+    return fail(Err, "truncated coverage counters");
+
+  uint32_t NumInputs = 0;
+  if (!R.u32(NumInputs))
+    return fail(Err, "truncated input set");
+  if (static_cast<uint64_t>(NumInputs) * Arity * 8 > Size - R.Pos)
+    return fail(Err, "input-set length exceeds input size");
+  S.Inputs.resize(NumInputs);
+  for (std::vector<double> &X : S.Inputs) {
+    X.resize(Arity);
+    for (double &Coord : X) {
+      uint64_t Bits = 0;
+      if (!R.u64(Bits))
+        return fail(Err, "truncated input set");
+      Coord = bitsToDouble(Bits);
+    }
+  }
+
+  uint32_t NumRounds = 0;
+  if (!R.u32(NumRounds))
+    return fail(Err, "truncated round log");
+  if (static_cast<uint64_t>(NumRounds) * 18 > Size - R.Pos)
+    return fail(Err, "round-log length exceeds input size");
+  if (NumRounds != S.StartsUsed)
+    return fail(Err, "round log disagrees with starts-used count");
+  S.Rounds.resize(NumRounds);
+  for (RoundLog &Log : S.Rounds) {
+    uint64_t MinBits = 0;
+    uint8_t Accepted = 0, Marked = 0;
+    if (!R.u32(Log.Round) || !R.u64(MinBits) || !R.u8(Accepted) ||
+        !R.u8(Marked) || !R.u32(Log.SaturatedArms))
+      return fail(Err, "truncated round log");
+    if (Accepted > 1 || Marked > 1)
+      return fail(Err, "corrupt round-log flag");
+    Log.MinimumValue = bitsToDouble(MinBits);
+    Log.Accepted = Accepted != 0;
+    Log.MarkedInfeasible = Marked != 0;
+  }
+
+  uint32_t NumInfeasible = 0;
+  if (!R.u32(NumInfeasible))
+    return fail(Err, "truncated infeasible-arm list");
+  if (static_cast<uint64_t>(NumInfeasible) * 5 > Size - R.Pos)
+    return fail(Err, "infeasible-arm list exceeds input size");
+  S.InfeasibleMarked.resize(NumInfeasible);
+  for (BranchRef &Ref : S.InfeasibleMarked) {
+    uint8_t Outcome = 0;
+    if (!R.u32(Ref.Site) || !R.u8(Outcome))
+      return fail(Err, "truncated infeasible-arm list");
+    if (Outcome > 1 || Ref.Site >= NumSites)
+      return fail(Err, "corrupt infeasible-arm entry");
+    Ref.Outcome = Outcome != 0;
+  }
+
+  if (!R.done())
+    return fail(Err, "trailing bytes after snapshot payload");
+
+  Out = std::move(S);
+  return true;
+}
+
+bool coverme::decodeSnapshot(const std::vector<uint8_t> &Bytes,
+                             CampaignSnapshot &Out, std::string &Err) {
+  return decodeSnapshot(Bytes.data(), Bytes.size(), Out, Err);
+}

@@ -1,0 +1,76 @@
+//===- Checkpoint.h - Bit-identical campaign snapshot format --------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign checkpoint: everything a suspended campaign needs to
+/// continue bit-identically to an uninterrupted run. The engine's
+/// deterministic round speculation makes this set small — round K's work is
+/// a pure function of (seed, K, saturation state), so the "RNG position"
+/// is just the next round index; no generator state needs saving.
+///
+///   * the SaturationTable arm flags + infeasible streaks + version,
+///   * the suite CoverageMap counters,
+///   * the accepted-input set and the committed round log,
+///   * the next round index and the campaign seed.
+///
+/// The wire format is versioned little-endian binary: an 8-byte magic,
+/// a format version, a shape header (sites, arity) that loaders validate
+/// against the program before touching any payload, then length-prefixed
+/// sections. Doubles travel as their IEEE-754 bit patterns, so a snapshot
+/// round-trips bit-exactly — the golden resume tests depend on it.
+/// Decoding never trusts a length field further than the remaining input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_CORE_CHECKPOINT_H
+#define COVERME_CORE_CHECKPOINT_H
+
+#include "core/CoverMe.h"
+#include "runtime/SaturationTable.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coverme {
+
+/// In-memory image of a campaign suspended at a round boundary.
+struct CampaignSnapshot {
+  /// Bumped whenever the wire layout changes; decoders reject unknown
+  /// versions instead of guessing.
+  static constexpr uint32_t FormatVersion = 1;
+
+  uint64_t Seed = 0;      ///< Campaign seed; resume continues this stream.
+  unsigned NumSites = 0;  ///< Program shape, validated on resume.
+  unsigned Arity = 0;     ///< Program arity, validated on resume.
+  unsigned NextRound = 1; ///< First uncommitted round — the RNG position.
+
+  SaturationTable::Snapshot Table; ///< Arms + streaks + version triple.
+  CoverageMap::Counters Coverage;  ///< Suite-map counters.
+
+  // The committed prefix of the CampaignResult.
+  std::vector<std::vector<double>> Inputs; ///< Accepted inputs, in order.
+  std::vector<RoundLog> Rounds;            ///< Per-round log, in order.
+  std::vector<BranchRef> InfeasibleMarked; ///< Arms deemed infeasible.
+  uint64_t Evaluations = 0;                ///< FOO_R evaluations consumed.
+  unsigned StartsUsed = 0;                 ///< Rounds committed so far.
+};
+
+/// Serializes \p S to the versioned binary wire format.
+std::vector<uint8_t> encodeSnapshot(const CampaignSnapshot &S);
+
+/// Parses a snapshot. Returns false and sets \p Err on any malformation:
+/// short input, bad magic, unknown version, section lengths that disagree
+/// with the shape header or overrun the input, trailing bytes, or an arms/
+/// version combination violating the saturation-table invariant.
+[[nodiscard]] bool decodeSnapshot(const uint8_t *Data, size_t Size,
+                                  CampaignSnapshot &Out, std::string &Err);
+[[nodiscard]] bool decodeSnapshot(const std::vector<uint8_t> &Bytes,
+                                  CampaignSnapshot &Out, std::string &Err);
+
+} // namespace coverme
+
+#endif // COVERME_CORE_CHECKPOINT_H

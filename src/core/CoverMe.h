@@ -28,9 +28,18 @@
 #include "runtime/Coverage.h"
 #include "runtime/Program.h"
 
+#include <functional>
 #include <vector>
 
 namespace coverme {
+
+struct RoundLog;
+
+/// Streaming per-round progress: invoked by the campaign engine after each
+/// round commits, in commit (= round) order, under the engine's commit
+/// lock — implementations must be fast and must not call back into the
+/// engine. Deterministic: every thread count fires the same sequence.
+using RoundProgressFn = std::function<void(const RoundLog &Log)>;
 
 /// The unconstrained-programming backend driving Step 3. Thm. 4.3 lets any
 /// global minimizer serve as the black box (Sect. 2); Basinhopping is the
@@ -89,6 +98,21 @@ struct CoverMeOptions {
   /// Clamped to 1 when the program's body is not reentrant
   /// (Program::ThreadSafeBody), e.g. interpreted source programs.
   unsigned Threads = 1;
+
+  /// Deterministic suspension point: stop at the round-commit boundary
+  /// once this many rounds have committed in total (0 = never). The result
+  /// comes back with Suspended = true and the engine retains its state for
+  /// CampaignEngine::snapshot(); resuming the snapshot continues
+  /// bit-identically to an uninterrupted run. Counted over the whole
+  /// campaign, so a resumed run whose committed prefix already reaches the
+  /// value suspends again before committing another round — resumers that
+  /// want further progress must raise or clear it (the service layer
+  /// clears a satisfied value on resume). Natural termination (budget,
+  /// full saturation, NStart) takes precedence over suspension.
+  unsigned SuspendAfterRounds = 0;
+
+  /// Streaming progress callback; see RoundProgressFn. Null = no events.
+  RoundProgressFn OnRound;
 };
 
 /// One Basinhopping round of the campaign, for reporting and examples.
@@ -115,6 +139,10 @@ struct CampaignResult {
   double Seconds = 0.0;        ///< Wall time of the campaign.
   unsigned StartsUsed = 0;     ///< Basinhopping rounds launched.
   bool AllSaturated = false;   ///< Terminated via full saturation.
+  /// True when the campaign stopped at a suspension point (requestSuspend
+  /// or SuspendAfterRounds) rather than terminating: the result is a
+  /// resumable prefix of the full campaign, not its end state.
+  bool Suspended = false;
   std::vector<BranchRef> InfeasibleMarked; ///< Arms deemed infeasible.
   std::vector<RoundLog> Rounds;            ///< Per-round trace.
 };

@@ -8,6 +8,7 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -104,7 +105,9 @@ TesterResult AflFuzzer::run(uint64_t MaxExecutions) {
     FR.execute(Decoded);
     Ctx.Coverage = nullptr;
     ++Res.Executions;
-    Res.Coverage.merge(RunMap);
+    bool Merged = Res.Coverage.merge(RunMap);
+    assert(Merged && "result and run coverage maps share the program shape");
+    (void)Merged;
     bool Novel = false;
     for (uint32_t Site = 0; Site < Prog.NumSites; ++Site) {
       for (unsigned Arm = 0; Arm < 2; ++Arm) {

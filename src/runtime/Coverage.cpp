@@ -2,6 +2,8 @@
 
 #include "runtime/Coverage.h"
 
+#include <cassert>
+
 using namespace coverme;
 
 CoverageMap::CoverageMap(const CoverageMap &Other) {
@@ -22,18 +24,35 @@ CoverageMap &CoverageMap::operator=(const CoverageMap &Other) {
 }
 
 void CoverageMap::reset(unsigned NumSites) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   TrueHits.assign(NumSites, 0);
   FalseHits.assign(NumSites, 0);
   TotalHits = 0;
 }
 
 void CoverageMap::recordHit(uint32_t Site, bool Outcome) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   assert(Site < TrueHits.size() && "site index out of range");
   ++(Outcome ? TrueHits[Site] : FalseHits[Site]);
   ++TotalHits;
 }
 
-unsigned CoverageMap::coveredArms() const {
+unsigned CoverageMap::numSites() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return static_cast<unsigned>(TrueHits.size());
+}
+
+uint64_t CoverageMap::hits(uint32_t Site, bool Outcome) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Outcome ? TrueHits[Site] : FalseHits[Site];
+}
+
+uint64_t CoverageMap::totalHits() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TotalHits;
+}
+
+unsigned CoverageMap::coveredArmsLocked() const {
   unsigned Covered = 0;
   for (size_t I = 0; I < TrueHits.size(); ++I) {
     Covered += TrueHits[I] > 0;
@@ -42,25 +61,32 @@ unsigned CoverageMap::coveredArms() const {
   return Covered;
 }
 
+unsigned CoverageMap::coveredArms() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return coveredArmsLocked();
+}
+
 double CoverageMap::branchCoverage() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (TrueHits.empty())
     return 1.0;
-  return static_cast<double>(coveredArms()) /
+  return static_cast<double>(coveredArmsLocked()) /
          static_cast<double>(2 * TrueHits.size());
 }
 
 double CoverageMap::lineCoverage(const Program &P) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (P.TotalLines == 0)
     return 1.0;
   if (TotalHits == 0 && P.NumSites > 0)
     return 0.0;
   double Covered = P.straightLineCount() +
-                   P.armLineWeight() * static_cast<double>(coveredArms());
+                   P.armLineWeight() * static_cast<double>(coveredArmsLocked());
   double Fraction = Covered / static_cast<double>(P.TotalLines);
   return Fraction > 1.0 ? 1.0 : Fraction;
 }
 
-void CoverageMap::merge(const CoverageMap &Other) {
+bool CoverageMap::merge(const CoverageMap &Other) {
   if (this == &Other) {
     // Self-merge doubles every counter; lock once.
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -69,19 +95,43 @@ void CoverageMap::merge(const CoverageMap &Other) {
       FalseHits[I] *= 2;
     }
     TotalHits *= 2;
-    return;
+    return true;
   }
   std::scoped_lock Lock(Mutex, Other.Mutex);
-  assert(Other.TrueHits.size() == TrueHits.size() &&
-         "merging coverage maps of different shapes");
+  // Shape mismatch is a real runtime check, not an assert: the checkpoint
+  // loader funnels untrusted snapshot counters through here, and Release
+  // builds must reject them instead of walking out of bounds.
+  if (Other.TrueHits.size() != TrueHits.size())
+    return false;
   for (size_t I = 0; I < TrueHits.size(); ++I) {
     TrueHits[I] += Other.TrueHits[I];
     FalseHits[I] += Other.FalseHits[I];
   }
   TotalHits += Other.TotalHits;
+  return true;
+}
+
+CoverageMap::Counters CoverageMap::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters C;
+  C.TrueHits = TrueHits;
+  C.FalseHits = FalseHits;
+  C.TotalHits = TotalHits;
+  return C;
+}
+
+bool CoverageMap::setCounters(Counters C) {
+  if (C.TrueHits.size() != C.FalseHits.size())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  TrueHits = std::move(C.TrueHits);
+  FalseHits = std::move(C.FalseHits);
+  TotalHits = C.TotalHits;
+  return true;
 }
 
 std::vector<BranchRef> CoverageMap::uncoveredArms() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<BranchRef> Out;
   for (size_t I = 0; I < TrueHits.size(); ++I) {
     if (TrueHits[I] == 0)

@@ -25,11 +25,15 @@ namespace coverme {
 
 /// Per-program branch-arm hit counters.
 ///
-/// Thread-safety: recordHit and the readers are single-writer — each run
-/// records into a map owned by one thread. merge() (and copying) are safe
-/// against concurrent merge()/copy on the same maps, which is what the
-/// parallel campaign layers need: workers count hits privately, then fold
-/// their maps into a shared suite map.
+/// Thread-safety: every member — writers (recordHit, reset, merge,
+/// setCounters, assignment) *and* readers (hits, coveredArms, the coverage
+/// fractions, uncoveredArms, counters) — takes the internal mutex, so any
+/// mix of concurrent calls is race-free. The long-lived service layer
+/// needs the reader half: a status thread snapshots a campaign's suite map
+/// while worker threads are still folding per-run maps into it. recordHit
+/// stays cheap (one uncontended lock) because runs record into maps owned
+/// by a single thread; the lock matters only when someone else reads
+/// mid-run.
 class CoverageMap {
 public:
   CoverageMap() = default;
@@ -37,17 +41,23 @@ public:
   CoverageMap(const CoverageMap &Other);
   CoverageMap &operator=(const CoverageMap &Other);
 
+  /// The raw counter state, exported for checkpointing. TrueHits and
+  /// FalseHits always have equal length (one slot per conditional site).
+  struct Counters {
+    std::vector<uint64_t> TrueHits;
+    std::vector<uint64_t> FalseHits;
+    uint64_t TotalHits = 0;
+  };
+
   /// Clears all counters and resizes to \p NumSites conditionals.
   void reset(unsigned NumSites);
 
   /// Records one execution of site \p Site taking arm \p Outcome.
   void recordHit(uint32_t Site, bool Outcome);
 
-  unsigned numSites() const { return static_cast<unsigned>(TrueHits.size()); }
+  unsigned numSites() const;
 
-  uint64_t hits(uint32_t Site, bool Outcome) const {
-    return Outcome ? TrueHits[Site] : FalseHits[Site];
-  }
+  uint64_t hits(uint32_t Site, bool Outcome) const;
 
   bool isCovered(BranchRef Ref) const {
     return hits(Ref.Site, Ref.Outcome) > 0;
@@ -64,17 +74,31 @@ public:
   double lineCoverage(const Program &P) const;
 
   /// Total recorded executions of any site.
-  uint64_t totalHits() const { return TotalHits; }
+  uint64_t totalHits() const;
 
-  /// Accumulates another map's counters (same shape). Safe to call from
-  /// several threads merging into the same target concurrently.
-  void merge(const CoverageMap &Other);
+  /// Accumulates another map's counters. Safe to call from several threads
+  /// merging into the same target concurrently. Returns false — leaving
+  /// this map untouched — when the shapes differ: merging maps of
+  /// different site counts is a caller bug (or, in the checkpoint loader,
+  /// a corrupt snapshot), and must never walk out of bounds in Release.
+  [[nodiscard]] bool merge(const CoverageMap &Other);
+
+  /// Atomic copy of the counter state (for checkpoint writers).
+  Counters counters() const;
+
+  /// Replaces the counter state wholesale (for checkpoint loaders).
+  /// Returns false — leaving this map untouched — when \p C is malformed
+  /// (TrueHits/FalseHits lengths differ).
+  [[nodiscard]] bool setCounters(Counters C);
 
   /// Arms not yet covered, in site order (T arm before F arm).
   std::vector<BranchRef> uncoveredArms() const;
 
 private:
-  mutable std::mutex Mutex; ///< Guards merge/copy; recordHit stays lock-free.
+  /// Callers hold Mutex.
+  unsigned coveredArmsLocked() const;
+
+  mutable std::mutex Mutex; ///< Guards every counter access; see class doc.
   std::vector<uint64_t> TrueHits;
   std::vector<uint64_t> FalseHits;
   uint64_t TotalHits = 0;

@@ -51,3 +51,48 @@ void SaturationTable::resetStreaks() {
   for (size_t I = 0; I < 2 * static_cast<size_t>(Sites); ++I)
     Streaks[I].store(0, std::memory_order_relaxed);
 }
+
+SaturationTable::Snapshot SaturationTable::snapshot() const {
+  const size_t N = 2 * static_cast<size_t>(Sites);
+  Snapshot S;
+  S.Arms.resize(N);
+  S.Streaks.resize(N);
+  for (;;) {
+    uint64_t Before = Version.load(std::memory_order_acquire);
+    uint64_t SetFlags = 0;
+    for (size_t I = 0; I < N; ++I) {
+      S.Arms[I] = Arms[I].load(std::memory_order_acquire);
+      SetFlags += S.Arms[I] != 0;
+    }
+    for (size_t I = 0; I < N; ++I)
+      S.Streaks[I] = Streaks[I].load(std::memory_order_acquire);
+    uint64_t After = Version.load(std::memory_order_acquire);
+    // Consistent iff no saturation published during the scan (Before ==
+    // After) and no saturation was caught mid-publish (an arm flag set
+    // whose version bump has not landed would make SetFlags > Before).
+    if (Before == After && SetFlags == Before) {
+      S.Version = Before;
+      return S;
+    }
+  }
+}
+
+bool SaturationTable::restore(const Snapshot &S) {
+  const size_t N = 2 * static_cast<size_t>(Sites);
+  if (S.Arms.size() != N || S.Streaks.size() != N)
+    return false;
+  uint64_t SetFlags = 0;
+  for (size_t I = 0; I < N; ++I) {
+    if (S.Arms[I] > 1)
+      return false;
+    SetFlags += S.Arms[I];
+  }
+  if (SetFlags != S.Version)
+    return false; // half-written or corrupt capture
+  for (size_t I = 0; I < N; ++I) {
+    Arms[I].store(S.Arms[I], std::memory_order_relaxed);
+    Streaks[I].store(S.Streaks[I], std::memory_order_relaxed);
+  }
+  Version.store(S.Version, std::memory_order_release);
+  return true;
+}

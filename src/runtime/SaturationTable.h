@@ -78,6 +78,33 @@ public:
   /// blamed arms a fresh chance before being written off.
   void resetStreaks();
 
+  /// A self-consistent copy of the table for checkpoint writers: the arm
+  /// flags, streak counters, and the version they correspond to, captured
+  /// as one coherent triple even while other threads saturate concurrently.
+  struct Snapshot {
+    std::vector<uint8_t> Arms;     ///< 2 per site, 0/1.
+    std::vector<uint32_t> Streaks; ///< 2 per site.
+    uint64_t Version = 0;
+  };
+
+  /// Captures a Snapshot whose flags match its version exactly. saturate()
+  /// publishes in two steps (set the arm, then bump the version), and both
+  /// reads here are racy against it, so a naive copy could pair arm flags
+  /// from one instant with a version from another — a resumed campaign
+  /// would then observe a half-written table. The writer's invariant makes
+  /// a stable read checkable: the version increments exactly once per
+  /// newly saturated arm, so a copy is consistent iff the version read
+  /// before the scan, the version read after, and the number of set flags
+  /// in the copy all agree. Retries until they do; terminates because the
+  /// version is bounded by 2 * numSites().
+  Snapshot snapshot() const;
+
+  /// Restores the table from \p S wholesale (checkpoint loader). Returns
+  /// false — leaving the table untouched — unless the snapshot's shape
+  /// matches this table and its version equals its set-flag count (the
+  /// writer-side invariant; a mismatch means corruption).
+  [[nodiscard]] bool restore(const Snapshot &S);
+
 private:
   static size_t index(BranchRef Ref) {
     return static_cast<size_t>(Ref.Site) * 2 + (Ref.Outcome ? 1 : 0);

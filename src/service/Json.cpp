@@ -1,0 +1,309 @@
+//===- Json.cpp - Minimal JSON for the service wire protocol ----------------===//
+
+#include "service/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace coverme;
+using namespace coverme::json;
+
+const Value *Value::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &Member : Obj)
+    if (Member.first == Key)
+      return &Member.second;
+  return nullptr;
+}
+
+std::string Value::str(const std::string &Key, std::string Default) const {
+  const Value *V = find(Key);
+  return V && V->K == Kind::String ? V->Str : std::move(Default);
+}
+
+double Value::num(const std::string &Key, double Default) const {
+  const Value *V = find(Key);
+  return V && V->K == Kind::Number ? V->Num : Default;
+}
+
+uint64_t Value::u64(const std::string &Key, uint64_t Default) const {
+  const Value *V = find(Key);
+  if (!V || V->K != Kind::Number)
+    return Default;
+  // Re-read the raw spelling so 2^63-scale seeds survive exactly.
+  return std::strtoull(V->Str.c_str(), nullptr, 10);
+}
+
+bool Value::boolean(const std::string &Key, bool Default) const {
+  const Value *V = find(Key);
+  return V && V->K == Kind::Bool ? V->B : Default;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded input with a nesting cap —
+/// requests come off a socket, so depth is attacker-controlled.
+struct Parser {
+  const char *P;
+  const char *End;
+  std::string &Err;
+  int Depth = 0;
+  static constexpr int MaxDepth = 32;
+
+  bool fail(const char *Why) {
+    if (Err.empty())
+      Err = Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool literal(const char *Text) {
+    for (; *Text; ++Text, ++P)
+      if (P == End || *P != *Text)
+        return fail("malformed literal");
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (P == End || *P != '"')
+      return fail("expected string");
+    ++P;
+    Out.clear();
+    while (P != End && *P != '"') {
+      char C = *P++;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (P == End)
+        return fail("unterminated escape");
+      char E = *P++;
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        // \uXXXX: decode the code point to UTF-8. The protocol's payloads
+        // (C source, hex snapshots) are ASCII, so the BMP-only handling
+        // (no surrogate pairing) is deliberate simplicity — a lone
+        // surrogate decodes to its replacement-free raw bytes.
+        if (End - P < 4)
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = *P++;
+          Code <<= 4;
+          if (H >= '0' && H <= '9') Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f') Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F') Code |= static_cast<unsigned>(H - 'A' + 10);
+          else return fail("bad \\u escape digit");
+        }
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xc0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3f));
+        } else {
+          Out += static_cast<char>(0xe0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+          Out += static_cast<char>(0x80 | (Code & 0x3f));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (P == End)
+      return fail("unterminated string");
+    ++P; // closing quote
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (P == End)
+      return fail("unexpected end of input");
+    bool Ok = false;
+    switch (*P) {
+    case '{': Ok = parseObject(Out); break;
+    case '[': Ok = parseArray(Out); break;
+    case '"':
+      Out.K = Value::Kind::String;
+      Ok = parseString(Out.Str);
+      break;
+    case 't':
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      Ok = literal("true");
+      break;
+    case 'f':
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      Ok = literal("false");
+      break;
+    case 'n':
+      Out.K = Value::Kind::Null;
+      Ok = literal("null");
+      break;
+    default:
+      Ok = parseNumber(Out);
+      break;
+    }
+    --Depth;
+    return Ok;
+  }
+
+  bool parseNumber(Value &Out) {
+    const char *Start = P;
+    if (P != End && *P == '-')
+      ++P;
+    while (P != End && (std::isdigit(static_cast<unsigned char>(*P)) ||
+                        *P == '.' || *P == 'e' || *P == 'E' || *P == '+' ||
+                        *P == '-'))
+      ++P;
+    if (P == Start)
+      return fail("expected value");
+    Out.K = Value::Kind::Number;
+    Out.Str.assign(Start, P);
+    char *NumEnd = nullptr;
+    Out.Num = std::strtod(Out.Str.c_str(), &NumEnd);
+    if (NumEnd != Out.Str.c_str() + Out.Str.size())
+      return fail("malformed number");
+    return true;
+  }
+
+  bool parseObject(Value &Out) {
+    Out.K = Value::Kind::Object;
+    ++P; // '{'
+    skipWs();
+    if (P != End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (P == End || *P != ':')
+        return fail("expected ':' in object");
+      ++P;
+      Value Member;
+      if (!parseValue(Member))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Member));
+      skipWs();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    Out.K = Value::Kind::Array;
+    ++P; // '['
+    skipWs();
+    if (P != End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      Value Element;
+      if (!parseValue(Element))
+        return false;
+      Out.Arr.push_back(std::move(Element));
+      skipWs();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+};
+
+} // namespace
+
+bool json::parse(const std::string &Text, Value &Out, std::string &Err) {
+  Err.clear();
+  Parser Ps{Text.data(), Text.data() + Text.size(), Err};
+  Value V;
+  if (!Ps.parseValue(V))
+    return false;
+  Ps.skipWs();
+  if (Ps.P != Ps.End) {
+    Err = "trailing characters after JSON value";
+    return false;
+  }
+  Out = std::move(V);
+  return true;
+}
+
+std::string json::quoted(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+      break;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+json::ObjectWriter &json::ObjectWriter::raw(const std::string &Key,
+                                            const std::string &ValueText) {
+  if (!First)
+    Buf += ',';
+  First = false;
+  Buf += quoted(Key);
+  Buf += ':';
+  Buf += ValueText;
+  return *this;
+}
+
+json::ObjectWriter &json::ObjectWriter::field(const std::string &Key,
+                                              double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return raw(Key, Buf);
+}

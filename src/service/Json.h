@@ -1,0 +1,109 @@
+//===- Json.h - Minimal JSON for the service wire protocol ----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON reader/writer for the newline-JSON
+/// protocol coverme_serve speaks. The reader parses one complete JSON
+/// value (the protocol sends one object per line); numbers keep their raw
+/// spelling so 64-bit integers (seeds, budgets) survive exactly rather
+/// than round-tripping through a double. The writer is an append-style
+/// object builder that handles escaping. Neither aims to be a general
+/// JSON library — just enough for the flat request/response shapes the
+/// protocol uses, implemented strictly (no trailing garbage, bounded
+/// nesting) because requests arrive from a socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SERVICE_JSON_H
+#define COVERME_SERVICE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coverme {
+namespace json {
+
+/// One parsed JSON value. A tagged struct rather than a class hierarchy:
+/// protocol handlers pattern-match on the kind and pull typed fields out.
+struct Value {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;     ///< Numeric value (Kind::Number).
+  std::string Str;      ///< String value, or the raw number spelling.
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj; ///< Insertion order kept.
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *find(const std::string &Key) const;
+
+  /// Typed getters over find(), with defaults for absent/mistyped members.
+  std::string str(const std::string &Key, std::string Default = "") const;
+  double num(const std::string &Key, double Default = 0.0) const;
+  /// Exact unsigned 64-bit read from the raw number spelling.
+  uint64_t u64(const std::string &Key, uint64_t Default = 0) const;
+  bool boolean(const std::string &Key, bool Default = false) const;
+};
+
+/// Parses exactly one JSON value spanning all of \p Text (surrounding
+/// whitespace allowed, trailing garbage rejected). Returns false and sets
+/// \p Err on malformed input.
+[[nodiscard]] bool parse(const std::string &Text, Value &Out,
+                         std::string &Err);
+
+/// \p S quoted and escaped as a JSON string literal.
+std::string quoted(const std::string &S);
+
+/// Append-style JSON object writer for one-line protocol replies:
+///
+///   ObjectWriter W;
+///   W.field("ok", true).field("job", Id);
+///   send(W.str());
+class ObjectWriter {
+public:
+  ObjectWriter &field(const std::string &Key, const std::string &V) {
+    return raw(Key, quoted(V));
+  }
+  ObjectWriter &field(const std::string &Key, const char *V) {
+    return raw(Key, quoted(V));
+  }
+  ObjectWriter &field(const std::string &Key, bool V) {
+    return raw(Key, V ? "true" : "false");
+  }
+  ObjectWriter &field(const std::string &Key, uint64_t V) {
+    return raw(Key, std::to_string(V));
+  }
+  ObjectWriter &field(const std::string &Key, unsigned V) {
+    return raw(Key, std::to_string(V));
+  }
+  ObjectWriter &field(const std::string &Key, int V) {
+    return raw(Key, std::to_string(V));
+  }
+  ObjectWriter &field(const std::string &Key, double V);
+
+  /// Appends \p ValueText verbatim (pre-rendered JSON).
+  ObjectWriter &raw(const std::string &Key, const std::string &ValueText);
+
+  /// The finished object, e.g. `{"ok":true,"job":3}`.
+  std::string str() const { return Buf + "}"; }
+
+private:
+  std::string Buf = "{";
+  bool First = true;
+};
+
+} // namespace json
+} // namespace coverme
+
+#endif // COVERME_SERVICE_JSON_H

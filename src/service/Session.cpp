@@ -1,0 +1,493 @@
+//===- Session.cpp - Persistent campaign service sessions -----------------===//
+
+#include "service/Session.h"
+
+#include "core/Checkpoint.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+using namespace coverme;
+
+//===----------------------------------------------------------------------===//
+// Compiled-unit hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t FnvOffset = 1469598103934665603ull;
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+void hashBytes(uint64_t &H, const void *Data, size_t N) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < N; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+}
+
+void hashU64(uint64_t &H, uint64_t V) {
+  uint8_t Bytes[8];
+  for (int I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(V >> (8 * I));
+  hashBytes(H, Bytes, sizeof(Bytes));
+}
+
+void hashString(uint64_t &H, const std::string &S) {
+  // Length-prefixed so ("ab","c") and ("a","bc") cannot collide.
+  hashU64(H, S.size());
+  hashBytes(H, S.data(), S.size());
+}
+
+} // namespace
+
+uint64_t coverme::compiledUnitHash(const std::string &Source,
+                                   const std::string &Entry,
+                                   const lang::SourceProgramOptions &Opts) {
+  uint64_t H = FnvOffset;
+  hashString(H, Source);
+  hashString(H, Entry);
+  // Every SourceProgramOptions field, enumerated explicitly: adding a field
+  // there without extending this hash would alias distinct compiled units.
+  hashU64(H, Opts.Interp.MaxSteps);
+  hashU64(H, Opts.Interp.MaxCallDepth);
+  hashU64(H, Opts.Interp.MaxStackBytes);
+  hashU64(H, static_cast<uint64_t>(Opts.Interp.Dispatch));
+  hashU64(H, static_cast<uint64_t>(Opts.Interp.Simd));
+  hashU64(H, Opts.TotalLines);
+  hashU64(H, static_cast<uint64_t>(Opts.Tier));
+  hashU64(H, Opts.Fuse ? 1 : 0);
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// CompiledUnitCache
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const lang::SourceProgram>
+CompiledUnitCache::get(const std::string &Source, const std::string &Entry,
+                       const lang::SourceProgramOptions &Opts, bool *WasHit,
+                       double *CompileSeconds, std::string *Error) {
+  const uint64_t Hash = compiledUnitHash(Source, Entry, Opts);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Units.find(Hash);
+    if (It != Units.end()) {
+      ++S.Hits;
+      if (WasHit)
+        *WasHit = true;
+      if (CompileSeconds)
+        *CompileSeconds = 0.0;
+      return It->second;
+    }
+  }
+
+  // Compile outside the lock so distinct units build concurrently. Two
+  // threads racing on the same hash both compile; the loser's (identical)
+  // unit is dropped below.
+  WallTimer Timer;
+  auto Unit = std::make_shared<lang::SourceProgram>(
+      lang::compileSourceProgram(Source, Entry, Opts));
+  const double Seconds = Timer.seconds();
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++S.Misses;
+  S.CompileSeconds += Seconds;
+  if (WasHit)
+    *WasHit = false;
+  if (CompileSeconds)
+    *CompileSeconds = Seconds;
+  if (!Unit->success()) {
+    ++S.FailedCompiles;
+    if (Error)
+      *Error = Unit->diagnosticsText();
+    return nullptr;
+  }
+  auto [It, Inserted] = Units.emplace(
+      Hash, std::shared_ptr<const lang::SourceProgram>(std::move(Unit)));
+  (void)Inserted;
+  return It->second;
+}
+
+CompiledUnitCache::Stats CompiledUnitCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return S;
+}
+
+size_t CompiledUnitCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Units.size();
+}
+
+void CompiledUnitCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Units.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+const char *coverme::jobStateName(JobState State) {
+  switch (State) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Compiling:
+    return "compiling";
+  case JobState::Running:
+    return "running";
+  case JobState::Suspended:
+    return "suspended";
+  case JobState::Done:
+    return "done";
+  case JobState::Failed:
+    return "failed";
+  case JobState::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+/// All mutable fields are guarded by the session mutex; the worker running
+/// the job drops the lock only around compile and Engine->run().
+struct Session::Job {
+  uint64_t Id = 0;
+  JobRequest Req;
+  JobProgressFn Progress;
+  uint64_t UnitHash = 0;
+
+  JobState State = JobState::Queued;
+  std::string Error;
+  bool CacheHit = false;
+  double CompileSeconds = 0.0;
+
+  bool SuspendWanted = false; ///< checkpoint() asked; cleared on suspension.
+  bool CancelWanted = false;
+
+  /// Snapshot to load before running (submitResume / in-place resume).
+  std::unique_ptr<CampaignSnapshot> Pending;
+  /// Snapshot captured at the last suspension; present iff Suspended.
+  std::unique_ptr<CampaignSnapshot> Snap;
+
+  /// Rounds committed before this session first observed the job (the
+  /// snapshot prefix of a submitResume job) and the saturation level then.
+  unsigned BaseRounds = 0;
+  unsigned BaseSaturated = 0;
+  /// Commit-ordered round events observed by this session.
+  std::vector<RoundLog> Rounds;
+
+  CampaignResult Result;
+  bool HasResult = false;
+
+  /// Unit precedes Engine: the engine references Unit->Prog, so it must be
+  /// destroyed first.
+  std::shared_ptr<const lang::SourceProgram> Unit;
+  std::unique_ptr<CampaignEngine> Engine; ///< Non-null only while Running.
+};
+
+Session::Session(SessionOptions Opts) : Opts(Opts), Pool(Opts.Workers) {}
+
+Session::~Session() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+    for (auto &Entry : Jobs) {
+      Entry.second->CancelWanted = true;
+      if (Entry.second->Engine)
+        Entry.second->Engine->requestSuspend();
+    }
+    Cv.notify_all();
+  }
+  // Pool is the last member, so its destructor (which drains the queue)
+  // runs before any other member dies; this wait only shortens the window
+  // in which a worker could observe a partially destroyed session.
+  Pool.wait();
+}
+
+std::shared_ptr<Session::Job> Session::findLocked(uint64_t Id) const {
+  auto It = Jobs.find(Id);
+  return It == Jobs.end() ? nullptr : It->second;
+}
+
+void Session::enqueueLocked(const std::shared_ptr<Job> &J) {
+  Pool.submit([this, J] { runJob(J); });
+}
+
+uint64_t Session::submit(JobRequest Req, JobProgressFn Progress) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (ShuttingDown)
+    return 0;
+  auto J = std::make_shared<Job>();
+  J->Id = NextId++;
+  J->Req = std::move(Req);
+  J->Progress = std::move(Progress);
+  J->UnitHash = compiledUnitHash(J->Req.Source, J->Req.Entry, J->Req.Compile);
+  Jobs.emplace(J->Id, J);
+  enqueueLocked(J);
+  return J->Id;
+}
+
+uint64_t Session::submitResume(JobRequest Req,
+                               const std::vector<uint8_t> &Snapshot,
+                               std::string &Err, JobProgressFn Progress) {
+  auto Snap = std::make_unique<CampaignSnapshot>();
+  if (!decodeSnapshot(Snapshot, *Snap, Err))
+    return 0;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (ShuttingDown) {
+    Err = "session is shutting down";
+    return 0;
+  }
+  auto J = std::make_shared<Job>();
+  J->Id = NextId++;
+  J->Req = std::move(Req);
+  J->Progress = std::move(Progress);
+  J->UnitHash = compiledUnitHash(J->Req.Source, J->Req.Entry, J->Req.Compile);
+  J->BaseRounds = Snap->StartsUsed;
+  J->BaseSaturated =
+      Snap->Rounds.empty() ? 0 : Snap->Rounds.back().SaturatedArms;
+  J->Pending = std::move(Snap);
+  Jobs.emplace(J->Id, J);
+  enqueueLocked(J);
+  return J->Id;
+}
+
+bool Session::checkpoint(uint64_t Id, std::vector<uint8_t> &Out,
+                         std::string &Err) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  auto J = findLocked(Id);
+  if (!J) {
+    Err = "unknown job";
+    return false;
+  }
+  for (;;) {
+    switch (J->State) {
+    case JobState::Suspended:
+      Out = encodeSnapshot(*J->Snap);
+      return true;
+    case JobState::Done:
+      Err = "job completed before the checkpoint landed";
+      return false;
+    case JobState::Failed:
+      Err = "job failed: " + J->Error;
+      return false;
+    case JobState::Cancelled:
+      Err = "job was cancelled";
+      return false;
+    case JobState::Queued:
+    case JobState::Compiling:
+      // The worker suspends the engine before its first round commits.
+      J->SuspendWanted = true;
+      break;
+    case JobState::Running:
+      J->SuspendWanted = true;
+      if (J->Engine)
+        J->Engine->requestSuspend();
+      break;
+    }
+    Cv.wait(Lock);
+  }
+}
+
+bool Session::resume(uint64_t Id, std::string &Err) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (ShuttingDown) {
+    Err = "session is shutting down";
+    return false;
+  }
+  auto J = findLocked(Id);
+  if (!J) {
+    Err = "unknown job";
+    return false;
+  }
+  if (J->State != JobState::Suspended) {
+    Err = std::string("job is ") + jobStateName(J->State) + ", not suspended";
+    return false;
+  }
+  J->Pending = std::move(J->Snap);
+  J->State = JobState::Queued;
+  J->HasResult = false;
+  enqueueLocked(J);
+  Cv.notify_all();
+  return true;
+}
+
+bool Session::cancel(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto J = findLocked(Id);
+  if (!J)
+    return false;
+  switch (J->State) {
+  case JobState::Done:
+  case JobState::Failed:
+  case JobState::Cancelled:
+    return false;
+  case JobState::Suspended:
+    // Nothing is running; retire the job in place, keeping its committed
+    // prefix result available.
+    J->Snap.reset();
+    J->State = JobState::Cancelled;
+    Cv.notify_all();
+    return true;
+  case JobState::Queued:
+  case JobState::Compiling:
+    J->CancelWanted = true;
+    return true;
+  case JobState::Running:
+    J->CancelWanted = true;
+    if (J->Engine)
+      J->Engine->requestSuspend();
+    return true;
+  }
+  return false;
+}
+
+bool Session::wait(uint64_t Id) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  auto J = findLocked(Id);
+  if (!J)
+    return false;
+  Cv.wait(Lock, [&] {
+    switch (J->State) {
+    case JobState::Suspended:
+    case JobState::Done:
+    case JobState::Failed:
+    case JobState::Cancelled:
+      return true;
+    default:
+      return false;
+    }
+  });
+  return true;
+}
+
+bool Session::status(uint64_t Id, JobStatus &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto J = findLocked(Id);
+  if (!J)
+    return false;
+  Out.Id = J->Id;
+  Out.State = J->State;
+  Out.CacheHit = J->CacheHit;
+  Out.CompileSeconds = J->CompileSeconds;
+  Out.UnitHash = J->UnitHash;
+  Out.RoundsCommitted = J->BaseRounds + static_cast<unsigned>(J->Rounds.size());
+  Out.SaturatedArms =
+      J->Rounds.empty() ? J->BaseSaturated : J->Rounds.back().SaturatedArms;
+  Out.HasResult = J->HasResult;
+  Out.Error = J->Error;
+  return true;
+}
+
+bool Session::result(uint64_t Id, CampaignResult &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto J = findLocked(Id);
+  if (!J || !J->HasResult)
+    return false;
+  Out = J->Result;
+  return true;
+}
+
+std::vector<RoundLog> Session::progress(uint64_t Id, size_t From) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto J = findLocked(Id);
+  if (!J || From >= J->Rounds.size())
+    return {};
+  return std::vector<RoundLog>(J->Rounds.begin() +
+                                   static_cast<ptrdiff_t>(From),
+                               J->Rounds.end());
+}
+
+void Session::runJob(const std::shared_ptr<Job> &J) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (J->CancelWanted) {
+    J->State = JobState::Cancelled;
+    Cv.notify_all();
+    return;
+  }
+  J->State = JobState::Compiling;
+  Cv.notify_all();
+  Lock.unlock();
+
+  bool Hit = false;
+  double CompileSeconds = 0.0;
+  std::string CompileErr;
+  auto Unit = Cache.get(J->Req.Source, J->Req.Entry, J->Req.Compile, &Hit,
+                        &CompileSeconds, &CompileErr);
+
+  Lock.lock();
+  J->CacheHit = Hit;
+  J->CompileSeconds = CompileSeconds;
+  if (!Unit) {
+    J->State = JobState::Failed;
+    J->Error = CompileErr.empty() ? "compile failed" : CompileErr;
+    Cv.notify_all();
+    return;
+  }
+  J->Unit = std::move(Unit);
+
+  CoverMeOptions Campaign = J->Req.Campaign;
+  // The engine fires OnRound under its commit lock; keep the body to a
+  // locked push plus the user callback. Capturing the raw Job pointer (not
+  // the shared_ptr) avoids a Job -> Engine -> Options -> Job ownership
+  // cycle; runJob's own shared_ptr pins the job for the engine's lifetime.
+  Job *JP = J.get();
+  JobProgressFn UserProgress = J->Progress;
+  const uint64_t Id = J->Id;
+  Campaign.OnRound = [this, JP, Id, UserProgress](const RoundLog &Log) {
+    {
+      std::lock_guard<std::mutex> G(Mutex);
+      JP->Rounds.push_back(Log);
+      Cv.notify_all();
+    }
+    if (UserProgress)
+      UserProgress(Id, Log);
+  };
+  if (J->Pending && Campaign.SuspendAfterRounds &&
+      Campaign.SuspendAfterRounds <= J->Pending->StartsUsed)
+    // The suspension point already fired in the committed prefix; keeping
+    // it would re-suspend before any new round commits.
+    Campaign.SuspendAfterRounds = 0;
+
+  J->Engine = std::make_unique<CampaignEngine>(J->Unit->Prog, Campaign);
+  if (J->Pending) {
+    std::string Err;
+    if (!J->Engine->applySnapshot(*J->Pending, Err)) {
+      J->Engine.reset();
+      J->Pending.reset();
+      J->State = JobState::Failed;
+      J->Error = "snapshot rejected: " + Err;
+      Cv.notify_all();
+      return;
+    }
+    J->Pending.reset();
+  }
+  if (J->SuspendWanted || J->CancelWanted)
+    J->Engine->requestSuspend();
+  J->State = JobState::Running;
+  CampaignEngine *Engine = J->Engine.get();
+  Cv.notify_all();
+  Lock.unlock();
+
+  CampaignResult R = Engine->run();
+
+  Lock.lock();
+  const bool WasSuspended = R.Suspended;
+  J->Result = std::move(R);
+  J->HasResult = true;
+  if (J->CancelWanted) {
+    J->Engine.reset();
+    J->State = JobState::Cancelled;
+  } else if (WasSuspended) {
+    J->Snap = std::make_unique<CampaignSnapshot>(Engine->snapshot());
+    J->Engine.reset();
+    J->SuspendWanted = false;
+    J->State = JobState::Suspended;
+  } else {
+    J->Engine.reset();
+    J->State = JobState::Done;
+  }
+  Cv.notify_all();
+}

@@ -1,0 +1,210 @@
+//===- Session.h - Persistent campaign service sessions -------------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign-as-a-service layer: where the paper's protocol runs one
+/// campaign per subject and exits, a Session is a long-lived object that
+/// absorbs a continuous stream of subject submissions. It owns:
+///
+///  * a **compiled-unit cache** keyed by source content hash — parse,
+///    Sema, bytecode-compile, fuse, and JIT happen once per distinct
+///    (source, entry, compile-options) triple; every later submission of
+///    the same subject reuses the shared immutable SourceProgram (the
+///    JIT-cache pattern: executors are per-thread, code is shared),
+///  * an **async job queue** feeding the support/ThreadPool: submit()
+///    returns a job id immediately, the campaign runs on a pool worker,
+///    and per-round progress streams through a callback and a pollable
+///    per-job round buffer,
+///  * **checkpoint/resume**: any running job can be suspended at a round
+///    boundary, serialized to the versioned core/Checkpoint format, and
+///    resumed — in place, or in another session/process via the snapshot
+///    bytes — continuing bit-identically to an uninterrupted run at any
+///    thread count.
+///
+/// Thread-safety: every public member is safe to call from any thread;
+/// progress callbacks fire on the worker running the job's engine, in
+/// round order, outside the session lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SERVICE_SESSION_H
+#define COVERME_SERVICE_SESSION_H
+
+#include "core/CampaignEngine.h"
+#include "lang/SourceProgram.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace coverme {
+
+/// Content hash identifying one compiled unit: FNV-1a over the source
+/// text, entry name, and every SourceProgramOptions field that affects
+/// the compiled artifact or its execution (tier, fusion, interp budgets,
+/// dispatch/SIMD selection). Two submissions with equal hashes are
+/// interchangeable down to the bit level.
+uint64_t compiledUnitHash(const std::string &Source, const std::string &Entry,
+                          const lang::SourceProgramOptions &Opts);
+
+/// The parse/Sema/compile/fuse/JIT cache. Thread-safe; compiles of
+/// distinct units can proceed concurrently (only the map lookup/insert
+/// serializes). On a hash race the first finished compile wins and the
+/// duplicate is dropped — units are immutable, so either copy is correct.
+class CompiledUnitCache {
+public:
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t FailedCompiles = 0;
+    double CompileSeconds = 0.0; ///< Total time spent in real compiles.
+  };
+
+  /// Returns the cached unit for the triple, compiling on a miss. Null on
+  /// compile failure, with diagnostics in \p Error. \p WasHit and
+  /// \p CompileSeconds (0 on a hit) report the amortization the service
+  /// layer exists for.
+  std::shared_ptr<const lang::SourceProgram>
+  get(const std::string &Source, const std::string &Entry,
+      const lang::SourceProgramOptions &Opts, bool *WasHit = nullptr,
+      double *CompileSeconds = nullptr, std::string *Error = nullptr);
+
+  Stats stats() const;
+  size_t size() const;
+  void clear();
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<uint64_t, std::shared_ptr<const lang::SourceProgram>>
+      Units;
+  Stats S;
+};
+
+/// Lifecycle of one submitted campaign.
+enum class JobState : uint8_t {
+  Queued,    ///< Accepted, waiting for a pool worker.
+  Compiling, ///< Resolving the compiled unit (cache miss compiles here).
+  Running,   ///< Campaign engine executing rounds.
+  Suspended, ///< Stopped at a round boundary; snapshot/resume available.
+  Done,      ///< Terminated naturally; result available.
+  Failed,    ///< Compile or snapshot error; see JobStatus::Error.
+  Cancelled, ///< cancel() took effect.
+};
+
+const char *jobStateName(JobState State);
+
+/// One campaign submission: the subject and both option sets.
+struct JobRequest {
+  std::string Source; ///< Self-contained C source text.
+  std::string Entry;  ///< Entry function name.
+  lang::SourceProgramOptions Compile;
+  CoverMeOptions Campaign;
+};
+
+/// Point-in-time view of a job, cheap to take while it runs.
+struct JobStatus {
+  uint64_t Id = 0;
+  JobState State = JobState::Queued;
+  bool CacheHit = false;
+  double CompileSeconds = 0.0; ///< 0 for cache hits.
+  uint64_t UnitHash = 0;
+  unsigned RoundsCommitted = 0; ///< Live counter, includes resumed prefix.
+  unsigned SaturatedArms = 0;   ///< From the latest committed round.
+  bool HasResult = false;       ///< result() is available.
+  std::string Error;            ///< Set when State == Failed.
+};
+
+/// Streamed per-round progress; fires in commit order on the job's worker.
+using JobProgressFn = std::function<void(uint64_t JobId, const RoundLog &)>;
+
+struct SessionOptions {
+  /// Concurrent jobs (pool workers); 0 = one per hardware core. Each
+  /// job's engine may additionally run CoverMeOptions::Threads round
+  /// workers of its own.
+  unsigned Workers = 1;
+};
+
+/// A persistent multi-campaign session; see file comment.
+class Session {
+public:
+  explicit Session(SessionOptions Opts = {});
+
+  /// Cancels outstanding jobs (requesting suspension of running engines)
+  /// and drains the pool before returning.
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Enqueues a fresh campaign; returns its job id (0 iff shutting down).
+  uint64_t submit(JobRequest Req, JobProgressFn Progress = nullptr);
+
+  /// Enqueues a campaign continuing from serialized snapshot bytes (the
+  /// cross-process migration path). The snapshot is decoded eagerly —
+  /// corrupt bytes fail here with \p Err set and no job created (returns
+  /// 0). Shape mismatches against the compiled program are detected when
+  /// the job reaches a worker and surface as JobState::Failed.
+  uint64_t submitResume(JobRequest Req, const std::vector<uint8_t> &Snapshot,
+                        std::string &Err, JobProgressFn Progress = nullptr);
+
+  /// Suspends the job at its next round boundary and serializes the
+  /// checkpoint. Blocks until the suspension lands (queued jobs suspend
+  /// before their first round). The job stays Suspended and resumable.
+  /// Fails (with \p Err) for unknown ids and jobs already terminated.
+  bool checkpoint(uint64_t Id, std::vector<uint8_t> &Out, std::string &Err);
+
+  /// Re-queues a Suspended job to continue in place.
+  bool resume(uint64_t Id, std::string &Err);
+
+  /// Requests cancellation; running engines stop at the next round
+  /// boundary. False for unknown or already-terminated jobs.
+  bool cancel(uint64_t Id);
+
+  /// Blocks until the job reaches Suspended, Done, Failed, or Cancelled.
+  /// False for unknown ids.
+  bool wait(uint64_t Id);
+
+  bool status(uint64_t Id, JobStatus &Out) const;
+
+  /// Copies the job's campaign result; available once HasResult (Done, or
+  /// Suspended — then it is the committed prefix; Cancelled jobs keep the
+  /// prefix committed before cancellation took effect).
+  bool result(uint64_t Id, CampaignResult &Out) const;
+
+  /// The job's committed-round event buffer from index \p From on — the
+  /// poll half of progress streaming. Events this session observed only;
+  /// a submitResume job's buffer starts at its snapshot's round.
+  std::vector<RoundLog> progress(uint64_t Id, size_t From) const;
+
+  CompiledUnitCache::Stats cacheStats() const { return Cache.stats(); }
+  size_t cacheSize() const { return Cache.size(); }
+  unsigned workers() const { return Pool.size(); }
+
+private:
+  struct Job;
+
+  std::shared_ptr<Job> findLocked(uint64_t Id) const;
+  void enqueueLocked(const std::shared_ptr<Job> &J);
+  void runJob(const std::shared_ptr<Job> &J);
+
+  SessionOptions Opts;
+  CompiledUnitCache Cache;
+  mutable std::mutex Mutex; ///< Guards Jobs, job fields, NextId, shutdown.
+  std::condition_variable Cv; ///< Signaled on every job state change.
+  std::unordered_map<uint64_t, std::shared_ptr<Job>> Jobs;
+  uint64_t NextId = 1;
+  bool ShuttingDown = false;
+  ThreadPool Pool; ///< Last member: destroyed (drained) first.
+};
+
+} // namespace coverme
+
+#endif // COVERME_SERVICE_SESSION_H

@@ -1,0 +1,390 @@
+//===- CheckpointTest.cpp - Golden checkpoint/resume bit-identity ----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint contract, end to end: a campaign suspended at any round
+/// boundary, serialized through the versioned snapshot format, and resumed
+/// — at any thread count, on any execution tier — must produce a final
+/// result bit-identical to the same seeded campaign run uninterrupted.
+/// Every comparison is on IEEE bit patterns, never on approximate values.
+///
+/// The negative half pins the loader: corrupt snapshots (bad magic,
+/// truncation at every byte, unknown version, invariant-violating tables)
+/// and shape-mismatched snapshots (wrong program) must be rejected before
+/// any engine state is touched — the CoverageMap::merge runtime shape
+/// check is deliberately the loader's rejection path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CampaignEngine.h"
+#include "core/Checkpoint.h"
+#include "core/CoverMe.h"
+#include "fdlibm/Fdlibm.h"
+#include "lang/SourceProgram.h"
+#include "support/FloatBits.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace coverme;
+
+namespace {
+
+/// Same VM-tier subject the pipeline goldens pin: pure-arithmetic branch
+/// thresholds, so trajectories depend only on IEEE semantics and the seed.
+const char *ClassifierSource =
+    "double classify(double x, double y) {\n"
+    "  double s = 0.0;\n"
+    "  if (x > 1000.0) s = s + 1.0;\n"
+    "  if (y < -2.5) s = s + 2.0;\n"
+    "  if (x * x + y * y < 0.25) s = s + 4.0;\n"
+    "  if (x == y) s = s + 8.0;\n"
+    "  if (x + y > 1.0e20) s = s + 16.0;\n"
+    "  return s;\n"
+    "}\n";
+
+CoverMeOptions baseOptions(unsigned Threads) {
+  CoverMeOptions Opts;
+  Opts.NStart = 24;
+  Opts.Seed = 7;
+  Opts.Threads = Threads;
+  // Run the full deterministic round count so every suspension point in
+  // [1, NStart) is reachable regardless of how fast the subject saturates.
+  Opts.StopWhenAllSaturated = false;
+  return Opts;
+}
+
+/// Bit-exact equality over everything a campaign result states.
+void expectBitIdentical(const CampaignResult &A, const CampaignResult &B,
+                        const std::string &What) {
+  EXPECT_EQ(A.Evaluations, B.Evaluations) << What;
+  EXPECT_EQ(A.StartsUsed, B.StartsUsed) << What;
+  EXPECT_EQ(A.CoveredBranches, B.CoveredBranches) << What;
+  EXPECT_EQ(A.TotalBranches, B.TotalBranches) << What;
+  ASSERT_EQ(A.Inputs.size(), B.Inputs.size()) << What;
+  for (size_t I = 0; I < A.Inputs.size(); ++I) {
+    ASSERT_EQ(A.Inputs[I].size(), B.Inputs[I].size()) << What;
+    for (size_t C = 0; C < A.Inputs[I].size(); ++C)
+      EXPECT_EQ(doubleToBits(A.Inputs[I][C]), doubleToBits(B.Inputs[I][C]))
+          << What << " input " << I << " coord " << C;
+  }
+  ASSERT_EQ(A.Rounds.size(), B.Rounds.size()) << What;
+  for (size_t I = 0; I < A.Rounds.size(); ++I) {
+    EXPECT_EQ(A.Rounds[I].Round, B.Rounds[I].Round) << What;
+    EXPECT_EQ(doubleToBits(A.Rounds[I].MinimumValue),
+              doubleToBits(B.Rounds[I].MinimumValue))
+        << What << " round " << I + 1;
+    EXPECT_EQ(A.Rounds[I].Accepted, B.Rounds[I].Accepted)
+        << What << " round " << I + 1;
+    EXPECT_EQ(A.Rounds[I].MarkedInfeasible, B.Rounds[I].MarkedInfeasible)
+        << What << " round " << I + 1;
+    EXPECT_EQ(A.Rounds[I].SaturatedArms, B.Rounds[I].SaturatedArms)
+        << What << " round " << I + 1;
+  }
+  ASSERT_EQ(A.InfeasibleMarked.size(), B.InfeasibleMarked.size()) << What;
+  for (size_t I = 0; I < A.InfeasibleMarked.size(); ++I) {
+    EXPECT_EQ(A.InfeasibleMarked[I].Site, B.InfeasibleMarked[I].Site) << What;
+    EXPECT_EQ(A.InfeasibleMarked[I].Outcome, B.InfeasibleMarked[I].Outcome)
+        << What;
+  }
+  CoverageMap::Counters CA = A.Coverage.counters();
+  CoverageMap::Counters CB = B.Coverage.counters();
+  EXPECT_EQ(CA.TrueHits, CB.TrueHits) << What;
+  EXPECT_EQ(CA.FalseHits, CB.FalseHits) << What;
+  EXPECT_EQ(CA.TotalHits, CB.TotalHits) << What;
+}
+
+/// Suspend at round \p SuspendAt on \p SuspendThreads workers, serialize,
+/// decode, resume on \p ResumeThreads workers, and compare the stitched
+/// result to \p Reference (the uninterrupted run).
+void runSuspendResume(const Program &P, const CampaignResult &Reference,
+                      unsigned SuspendAt, unsigned SuspendThreads,
+                      unsigned ResumeThreads) {
+  const std::string What = "suspend@" + std::to_string(SuspendAt) + " t" +
+                           std::to_string(SuspendThreads) + "->t" +
+                           std::to_string(ResumeThreads);
+
+  CoverMeOptions Opts = baseOptions(SuspendThreads);
+  Opts.SuspendAfterRounds = SuspendAt;
+  CampaignEngine Suspending(P, Opts);
+  CampaignResult Partial = Suspending.run();
+  ASSERT_TRUE(Partial.Suspended) << What;
+  ASSERT_EQ(Partial.StartsUsed, SuspendAt) << What;
+
+  // Through the wire format, not just the in-memory struct.
+  std::vector<uint8_t> Bytes = encodeSnapshot(Suspending.snapshot());
+  CampaignSnapshot Decoded;
+  std::string Err;
+  ASSERT_TRUE(decodeSnapshot(Bytes, Decoded, Err)) << What << ": " << Err;
+
+  CoverMeOptions ResumeOpts = baseOptions(ResumeThreads);
+  CampaignEngine Resuming(P, ResumeOpts);
+  ASSERT_TRUE(Resuming.applySnapshot(Decoded, Err)) << What << ": " << Err;
+  CampaignResult Full = Resuming.run();
+  EXPECT_FALSE(Full.Suspended) << What;
+  expectBitIdentical(Full, Reference, What);
+}
+
+class CheckpointGoldenTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CheckpointGoldenTest, VmTierSuspendResumeMatchesUninterrupted) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CampaignResult Reference = CoverMe(SP.Prog, baseOptions(1)).run();
+  for (unsigned SuspendAt : {1u, 5u, 12u, 23u})
+    runSuspendResume(SP.Prog, Reference, SuspendAt, /*SuspendThreads=*/2,
+                     GetParam());
+}
+
+TEST_P(CheckpointGoldenTest, JitTierSuspendResumeMatchesUninterrupted) {
+  lang::SourceProgramOptions SPOpts;
+  SPOpts.Tier = lang::ExecutionTier::Jit;
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify", SPOpts);
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CampaignResult Reference = CoverMe(SP.Prog, baseOptions(1)).run();
+  for (unsigned SuspendAt : {1u, 7u, 16u})
+    runSuspendResume(SP.Prog, Reference, SuspendAt, /*SuspendThreads=*/4,
+                     GetParam());
+}
+
+TEST_P(CheckpointGoldenTest, NativeSubjectSuspendResumeMatchesUninterrupted) {
+  const Program *P = fdlibm::lookup("ieee754_sqrt");
+  ASSERT_NE(P, nullptr);
+  CampaignResult Reference = CoverMe(*P, baseOptions(1)).run();
+  for (unsigned SuspendAt : {2u, 11u})
+    runSuspendResume(*P, Reference, SuspendAt, /*SuspendThreads=*/1,
+                     GetParam());
+}
+
+TEST_P(CheckpointGoldenTest, ChainedSuspensionsStillLandOnTheSameBits) {
+  // Suspend, resume, suspend again further in, resume again: two splice
+  // points in one campaign.
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CampaignResult Reference = CoverMe(SP.Prog, baseOptions(1)).run();
+
+  CoverMeOptions First = baseOptions(GetParam());
+  First.SuspendAfterRounds = 4;
+  CampaignEngine E1(SP.Prog, First);
+  CampaignResult R1 = E1.run();
+  ASSERT_TRUE(R1.Suspended);
+  std::vector<uint8_t> Bytes1 = encodeSnapshot(E1.snapshot());
+
+  CampaignSnapshot S1;
+  std::string Err;
+  ASSERT_TRUE(decodeSnapshot(Bytes1, S1, Err)) << Err;
+  CoverMeOptions Second = baseOptions(1);
+  Second.SuspendAfterRounds = 15; // total committed rounds, not increment
+  CampaignEngine E2(SP.Prog, Second);
+  ASSERT_TRUE(E2.applySnapshot(S1, Err)) << Err;
+  CampaignResult R2 = E2.run();
+  ASSERT_TRUE(R2.Suspended);
+  ASSERT_EQ(R2.StartsUsed, 15u);
+  std::vector<uint8_t> Bytes2 = encodeSnapshot(E2.snapshot());
+
+  CampaignSnapshot S2;
+  ASSERT_TRUE(decodeSnapshot(Bytes2, S2, Err)) << Err;
+  CampaignEngine E3(SP.Prog, baseOptions(GetParam()));
+  ASSERT_TRUE(E3.applySnapshot(S2, Err)) << Err;
+  expectBitIdentical(E3.run(), Reference, "chained resume");
+}
+
+INSTANTIATE_TEST_SUITE_P(ResumeThreads, CheckpointGoldenTest,
+                         ::testing::Values(1u, 2u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned> &Info) {
+                           return "t" + std::to_string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Suspension semantics
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointSemantics, NaturalTerminationBeatsSuspension) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CoverMeOptions Opts = baseOptions(1);
+  Opts.SuspendAfterRounds = Opts.NStart + 10; // beyond the campaign's end
+  CampaignResult Res = CampaignEngine(SP.Prog, Opts).run();
+  EXPECT_FALSE(Res.Suspended);
+  EXPECT_EQ(Res.StartsUsed, Opts.NStart);
+}
+
+TEST(CheckpointSemantics, SuspendBeforeFirstRoundResumesFromScratch) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CampaignResult Reference = CoverMe(SP.Prog, baseOptions(1)).run();
+
+  CoverMeOptions Opts = baseOptions(2);
+  CampaignEngine E(SP.Prog, Opts);
+  E.requestSuspend(); // lands before any round commits
+  CampaignResult Partial = E.run();
+  ASSERT_TRUE(Partial.Suspended);
+  EXPECT_EQ(Partial.StartsUsed, 0u);
+
+  std::vector<uint8_t> Bytes = encodeSnapshot(E.snapshot());
+  CampaignSnapshot S;
+  std::string Err;
+  ASSERT_TRUE(decodeSnapshot(Bytes, S, Err)) << Err;
+  EXPECT_EQ(S.NextRound, 1u);
+  CampaignEngine R(SP.Prog, baseOptions(1));
+  ASSERT_TRUE(R.applySnapshot(S, Err)) << Err;
+  expectBitIdentical(R.run(), Reference, "resume-from-round-0");
+}
+
+TEST(CheckpointSemantics, SnapshotSeedOverridesResumeOptions) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CampaignResult Reference = CoverMe(SP.Prog, baseOptions(1)).run();
+
+  CoverMeOptions Opts = baseOptions(1);
+  Opts.SuspendAfterRounds = 6;
+  CampaignEngine E(SP.Prog, Opts);
+  (void)E.run();
+  CampaignSnapshot S = E.snapshot();
+  EXPECT_EQ(S.Seed, 7u);
+
+  CoverMeOptions Wrong = baseOptions(1);
+  Wrong.Seed = 99; // must be ignored: the snapshot's campaign is seed 7
+  CampaignEngine R(SP.Prog, Wrong);
+  std::string Err;
+  ASSERT_TRUE(R.applySnapshot(S, Err)) << Err;
+  expectBitIdentical(R.run(), Reference, "seed-override");
+}
+
+//===----------------------------------------------------------------------===//
+// Wire format: round-trip and rejection
+//===----------------------------------------------------------------------===//
+
+class CheckpointWireTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    SP = lang::compileSourceProgram(ClassifierSource, "classify");
+    ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+    CoverMeOptions Opts = baseOptions(1);
+    Opts.SuspendAfterRounds = 6;
+    CampaignEngine E(SP.Prog, Opts);
+    CampaignResult Res = E.run();
+    ASSERT_TRUE(Res.Suspended);
+    Snap = E.snapshot();
+    Bytes = encodeSnapshot(Snap);
+  }
+
+  lang::SourceProgram SP;
+  CampaignSnapshot Snap;
+  std::vector<uint8_t> Bytes;
+};
+
+TEST_F(CheckpointWireTest, EncodeDecodeRoundTripsEveryField) {
+  CampaignSnapshot Back;
+  std::string Err;
+  ASSERT_TRUE(decodeSnapshot(Bytes, Back, Err)) << Err;
+  EXPECT_EQ(Back.Seed, Snap.Seed);
+  EXPECT_EQ(Back.NumSites, Snap.NumSites);
+  EXPECT_EQ(Back.Arity, Snap.Arity);
+  EXPECT_EQ(Back.NextRound, Snap.NextRound);
+  EXPECT_EQ(Back.Evaluations, Snap.Evaluations);
+  EXPECT_EQ(Back.StartsUsed, Snap.StartsUsed);
+  EXPECT_EQ(Back.Table.Arms, Snap.Table.Arms);
+  EXPECT_EQ(Back.Table.Streaks, Snap.Table.Streaks);
+  EXPECT_EQ(Back.Table.Version, Snap.Table.Version);
+  EXPECT_EQ(Back.Coverage.TrueHits, Snap.Coverage.TrueHits);
+  EXPECT_EQ(Back.Coverage.FalseHits, Snap.Coverage.FalseHits);
+  EXPECT_EQ(Back.Coverage.TotalHits, Snap.Coverage.TotalHits);
+  ASSERT_EQ(Back.Inputs.size(), Snap.Inputs.size());
+  for (size_t I = 0; I < Snap.Inputs.size(); ++I) {
+    ASSERT_EQ(Back.Inputs[I].size(), Snap.Inputs[I].size());
+    for (size_t C = 0; C < Snap.Inputs[I].size(); ++C)
+      EXPECT_EQ(doubleToBits(Back.Inputs[I][C]),
+                doubleToBits(Snap.Inputs[I][C]));
+  }
+  ASSERT_EQ(Back.Rounds.size(), Snap.Rounds.size());
+  EXPECT_EQ(Back.InfeasibleMarked.size(), Snap.InfeasibleMarked.size());
+  // Re-encoding the decoded image must be byte-identical: the format has
+  // one canonical serialization.
+  EXPECT_EQ(encodeSnapshot(Back), Bytes);
+}
+
+TEST_F(CheckpointWireTest, RejectsBadMagicAndUnknownVersion) {
+  CampaignSnapshot Out;
+  std::string Err;
+
+  std::vector<uint8_t> BadMagic = Bytes;
+  BadMagic[0] ^= 0xff;
+  EXPECT_FALSE(decodeSnapshot(BadMagic, Out, Err));
+  EXPECT_FALSE(Err.empty());
+
+  std::vector<uint8_t> BadVersion = Bytes;
+  BadVersion[8] = 0xfe; // version field follows the 8-byte magic
+  EXPECT_FALSE(decodeSnapshot(BadVersion, Out, Err));
+}
+
+TEST_F(CheckpointWireTest, RejectsTruncationAtEveryLength) {
+  CampaignSnapshot Out;
+  std::string Err;
+  for (size_t Len = 0; Len < Bytes.size(); ++Len)
+    EXPECT_FALSE(decodeSnapshot(Bytes.data(), Len, Out, Err))
+        << "prefix of " << Len << " bytes decoded";
+}
+
+TEST_F(CheckpointWireTest, RejectsTrailingBytes) {
+  CampaignSnapshot Out;
+  std::string Err;
+  std::vector<uint8_t> Longer = Bytes;
+  Longer.push_back(0);
+  EXPECT_FALSE(decodeSnapshot(Longer, Out, Err));
+}
+
+TEST_F(CheckpointWireTest, RejectsSaturationInvariantViolations) {
+  CampaignSnapshot Out;
+  std::string Err;
+
+  // An arm flag that is neither 0 nor 1.
+  CampaignSnapshot BadArm = Snap;
+  ASSERT_FALSE(BadArm.Table.Arms.empty());
+  BadArm.Table.Arms[0] = 2;
+  EXPECT_FALSE(decodeSnapshot(encodeSnapshot(BadArm), Out, Err));
+
+  // Version disagreeing with the number of set flags.
+  CampaignSnapshot BadVersion = Snap;
+  BadVersion.Table.Version += 1;
+  EXPECT_FALSE(decodeSnapshot(encodeSnapshot(BadVersion), Out, Err));
+}
+
+TEST_F(CheckpointWireTest, ApplySnapshotRejectsWrongProgramShape) {
+  // The classifier snapshot against a different program: the loader's
+  // rejection path is the CoverageMap merge shape check plus the arity
+  // guard — both must fire, neither may touch engine state fatally.
+  const Program *Sqrt = fdlibm::lookup("ieee754_sqrt");
+  ASSERT_NE(Sqrt, nullptr);
+  ASSERT_NE(Sqrt->NumSites, SP.Prog.NumSites);
+
+  CampaignSnapshot Decoded;
+  std::string Err;
+  ASSERT_TRUE(decodeSnapshot(Bytes, Decoded, Err)) << Err;
+  CampaignEngine E(*Sqrt, baseOptions(1));
+  EXPECT_FALSE(E.applySnapshot(Decoded, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST_F(CheckpointWireTest, ApplySnapshotRejectsWrongArity) {
+  CampaignSnapshot Decoded;
+  std::string Err;
+  ASSERT_TRUE(decodeSnapshot(Bytes, Decoded, Err)) << Err;
+  Decoded.Arity += 1;
+  CampaignEngine E(SP.Prog, baseOptions(1));
+  EXPECT_FALSE(E.applySnapshot(Decoded, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

@@ -16,6 +16,8 @@
 #include "runtime/SaturationTable.h"
 #include "support/Random.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <gtest/gtest.h>
 #include <thread>
@@ -344,7 +346,7 @@ TEST(CoverageMapTest, MergeAccumulates) {
   A.recordHit(0, true);
   B.recordHit(1, false);
   B.recordHit(0, true);
-  A.merge(B);
+  EXPECT_TRUE(A.merge(B));
   EXPECT_EQ(A.hits(0, true), 2u);
   EXPECT_EQ(A.hits(1, false), 1u);
   EXPECT_EQ(A.coveredArms(), 2u);
@@ -355,7 +357,7 @@ TEST(CoverageMapTest, MergeSelfDoublesCounters) {
   A.recordHit(0, true);
   A.recordHit(1, false);
   A.recordHit(1, false);
-  A.merge(A);
+  EXPECT_TRUE(A.merge(A));
   EXPECT_EQ(A.hits(0, true), 2u);
   EXPECT_EQ(A.hits(1, false), 4u);
   EXPECT_EQ(A.totalHits(), 6u);
@@ -374,7 +376,7 @@ TEST(CoverageMapTest, ConcurrentMergeIntoSharedTarget) {
       Local.recordHit(T % 4, true);
       Local.recordHit((T + 1) % 4, false);
       for (unsigned I = 0; I < MergesPerThread; ++I)
-        Suite.merge(Local);
+        EXPECT_TRUE(Suite.merge(Local));
     });
   for (std::thread &T : Threads)
     T.join();
@@ -414,6 +416,191 @@ TEST(CoverageMapTest, LineModelMonotoneInArms) {
     Map.recordHit(S, false);
   EXPECT_LE(Map.lineCoverage(P), 1.0);
   EXPECT_GT(Map.lineCoverage(P), Prev);
+}
+
+TEST(CoverageMapTest, ConcurrentReadersDuringWritesAndReset) {
+  // The service layer's status path reads a live suite map while workers
+  // keep folding into it and checkpoint loaders occasionally replace it
+  // wholesale. Run under TSan, this test is the proof that the reader half
+  // of the CoverageMap contract actually locks: four writers (recordHit,
+  // merge, setCounters, reset to the same shape) race four readers
+  // (counters, coveredArms/branchCoverage, uncoveredArms, copy-construct).
+  // Reset keeps the shape, so every racy interleaving is still well-formed
+  // and the readers only check internal consistency, not exact counts.
+  static constexpr unsigned NumSites = 8;
+  Program P;
+  P.NumSites = NumSites;
+  P.TotalLines = 80;
+  CoverageMap Suite(NumSites);
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 2; ++T)
+    Threads.emplace_back([&Suite, &Stop, T] {
+      CoverageMap Local(NumSites);
+      Local.recordHit(T, true);
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Suite.recordHit((T * 3) % NumSites, false);
+        EXPECT_TRUE(Suite.merge(Local));
+      }
+    });
+  Threads.emplace_back([&Suite, &Stop] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Suite.reset(NumSites);
+      CoverageMap::Counters C;
+      C.TrueHits.assign(NumSites, 1);
+      C.FalseHits.assign(NumSites, 1);
+      C.TotalHits = 2 * NumSites;
+      EXPECT_TRUE(Suite.setCounters(std::move(C)));
+    }
+  });
+  for (unsigned T = 0; T < 4; ++T)
+    Threads.emplace_back([&Suite, &Stop, &P, T] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        switch (T % 4) {
+        case 0: {
+          CoverageMap::Counters C = Suite.counters();
+          ASSERT_EQ(C.TrueHits.size(), size_t(NumSites));
+          ASSERT_EQ(C.FalseHits.size(), size_t(NumSites));
+          break;
+        }
+        case 1:
+          EXPECT_LE(Suite.branchCoverage(), 1.0);
+          EXPECT_LE(Suite.coveredArms(), 2 * NumSites);
+          break;
+        case 2:
+          EXPECT_LE(Suite.uncoveredArms().size(), size_t(2) * NumSites);
+          EXPECT_GE(Suite.lineCoverage(P), 0.0);
+          break;
+        default: {
+          CoverageMap Copy(Suite);
+          EXPECT_EQ(Copy.numSites(), NumSites);
+          CoverageMap Assigned(2);
+          Assigned = Suite;
+          EXPECT_EQ(Assigned.numSites(), NumSites);
+          break;
+        }
+        }
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+TEST(CoverageMapTest, MergeShapeMismatchRejectsAndLeavesTargetUntouched) {
+  // The checkpoint loader funnels snapshot counters through this check, so
+  // a corrupt snapshot must be an error return in Release, not UB (the old
+  // assert-only guard compiled away and walked out of bounds).
+  CoverageMap Target(3), Wider(5), Narrower(2);
+  Target.recordHit(1, true);
+  Wider.recordHit(4, false);
+  EXPECT_FALSE(Target.merge(Wider));
+  EXPECT_FALSE(Target.merge(Narrower));
+  EXPECT_EQ(Target.numSites(), 3u);
+  EXPECT_EQ(Target.totalHits(), 1u) << "failed merge must not partially apply";
+  EXPECT_EQ(Target.hits(1, true), 1u);
+  EXPECT_FALSE(Wider.merge(Target)) << "rejection is symmetric";
+}
+
+TEST(CoverageMapTest, SetCountersRoundTripsAndRejectsMalformed) {
+  CoverageMap Map(2);
+  Map.recordHit(0, true);
+  Map.recordHit(1, false);
+  CoverageMap::Counters Saved = Map.counters();
+
+  CoverageMap Restored(7); // setCounters adopts the new shape wholesale
+  EXPECT_TRUE(Restored.setCounters(Saved));
+  EXPECT_EQ(Restored.numSites(), 2u);
+  EXPECT_EQ(Restored.hits(0, true), 1u);
+  EXPECT_EQ(Restored.hits(1, false), 1u);
+  EXPECT_EQ(Restored.totalHits(), Map.totalHits());
+
+  CoverageMap::Counters Ragged;
+  Ragged.TrueHits.assign(3, 0);
+  Ragged.FalseHits.assign(2, 0); // lengths disagree: corrupt
+  EXPECT_FALSE(Restored.setCounters(std::move(Ragged)));
+  EXPECT_EQ(Restored.numSites(), 2u) << "rejected load leaves state intact";
+  EXPECT_EQ(Restored.hits(0, true), 1u);
+}
+
+TEST(SaturationTableTest, SnapshotUnderConcurrentSaturationIsConsistent) {
+  // saturate() publishes arm-then-version; a naive concurrent copy can pair
+  // flags from one instant with a version from another. snapshot() promises
+  // a coherent triple: in every capture taken mid-saturation, the version
+  // must equal the number of set flags, and restore() must accept it.
+  static constexpr unsigned NumSites = 48;
+  SaturationTable Table(NumSites);
+  std::atomic<bool> Stop{false};
+  std::vector<SaturationTable::Snapshot> Captures;
+  std::thread Reader([&Table, &Stop, &Captures] {
+    while (!Stop.load(std::memory_order_relaxed))
+      Captures.push_back(Table.snapshot());
+  });
+  std::vector<std::thread> Writers;
+  for (unsigned T = 0; T < 4; ++T)
+    Writers.emplace_back([&Table, T] {
+      for (uint32_t S = 0; S < NumSites; ++S) {
+        Table.saturate({S, (S + T) % 2 == 0});
+        Table.bumpStreak({S, false});
+        std::this_thread::yield();
+      }
+    });
+  for (std::thread &T : Writers)
+    T.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Reader.join();
+
+  ASSERT_FALSE(Captures.empty());
+  for (const SaturationTable::Snapshot &S : Captures) {
+    uint64_t SetFlags = 0;
+    for (uint8_t A : S.Arms)
+      SetFlags += A != 0;
+    EXPECT_EQ(S.Version, SetFlags)
+        << "snapshot paired flags with a foreign version";
+    SaturationTable Fresh(NumSites);
+    EXPECT_TRUE(Fresh.restore(S));
+    EXPECT_EQ(Fresh.version(), S.Version);
+    EXPECT_EQ(Fresh.saturatedCount(), SetFlags);
+  }
+  // The writers saturated everything; the final state round-trips too.
+  EXPECT_EQ(Captures.back().Arms.size(), size_t(2) * NumSites);
+  EXPECT_TRUE(Table.allSaturated());
+}
+
+TEST(SaturationTableTest, RestoreRejectsCorruptSnapshots) {
+  SaturationTable Table(4);
+  Table.saturate({0, true});
+  Table.saturate({2, false});
+  Table.bumpStreak({1, true});
+  SaturationTable::Snapshot Good = Table.snapshot();
+
+  SaturationTable Fresh(4);
+  // Wrong shape: arms/streaks sized for a different site count.
+  SaturationTable::Snapshot WrongShape = Good;
+  WrongShape.Arms.push_back(0);
+  EXPECT_FALSE(Fresh.restore(WrongShape));
+  WrongShape = Good;
+  WrongShape.Streaks.pop_back();
+  EXPECT_FALSE(Fresh.restore(WrongShape));
+  // Invariant violations: version out of step with the set-flag count, or
+  // a flag byte that is neither 0 nor 1.
+  SaturationTable::Snapshot BadVersion = Good;
+  BadVersion.Version += 1;
+  EXPECT_FALSE(Fresh.restore(BadVersion));
+  SaturationTable::Snapshot BadFlag = Good;
+  BadFlag.Arms[0] = 2;
+  EXPECT_FALSE(Fresh.restore(BadFlag));
+  // Nothing above may have mutated the target.
+  EXPECT_EQ(Fresh.version(), 0u);
+  EXPECT_EQ(Fresh.saturatedCount(), 0u);
+
+  ASSERT_TRUE(Fresh.restore(Good));
+  EXPECT_TRUE(Fresh.isSaturated({0, true}));
+  EXPECT_TRUE(Fresh.isSaturated({2, false}));
+  EXPECT_FALSE(Fresh.isSaturated({1, true}));
+  EXPECT_EQ(Fresh.streak({1, true}), 1u);
+  EXPECT_EQ(Fresh.version(), Good.Version);
 }
 
 //===----------------------------------------------------------------------===//

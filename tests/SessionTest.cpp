@@ -1,0 +1,499 @@
+//===- SessionTest.cpp - Service-layer sessions, cache, jobs ---------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service layer's contracts: the compiled-unit cache deduplicates by
+/// content hash (and only by content — any option that changes the
+/// artifact changes the key), the async job queue runs campaigns that are
+/// bit-identical to direct CoverMe::run calls, progress streams in commit
+/// order, and checkpoint/resume through the session — in place or from
+/// serialized bytes — splices onto the uninterrupted trajectory exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Checkpoint.h"
+#include "core/CoverMe.h"
+#include "lang/SourceProgram.h"
+#include "service/Json.h"
+#include "service/Session.h"
+#include "support/FloatBits.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace coverme;
+
+namespace {
+
+const char *ClassifierSource =
+    "double classify(double x, double y) {\n"
+    "  double s = 0.0;\n"
+    "  if (x > 1000.0) s = s + 1.0;\n"
+    "  if (y < -2.5) s = s + 2.0;\n"
+    "  if (x * x + y * y < 0.25) s = s + 4.0;\n"
+    "  if (x == y) s = s + 8.0;\n"
+    "  if (x + y > 1.0e20) s = s + 16.0;\n"
+    "  return s;\n"
+    "}\n";
+
+const char *PolySource = "double poly(double x) {\n"
+                         "  if (x < 0.0) x = -x;\n"
+                         "  if (x > 10.0) return x * x - 9.0;\n"
+                         "  return x + 1.0;\n"
+                         "}\n";
+
+JobRequest classifierRequest(uint64_t Seed, unsigned NStart,
+                             unsigned Threads) {
+  JobRequest Req;
+  Req.Source = ClassifierSource;
+  Req.Entry = "classify";
+  Req.Campaign.Seed = Seed;
+  Req.Campaign.NStart = NStart;
+  Req.Campaign.Threads = Threads;
+  Req.Campaign.StopWhenAllSaturated = false;
+  return Req;
+}
+
+void expectBitIdentical(const CampaignResult &A, const CampaignResult &B) {
+  EXPECT_EQ(A.Evaluations, B.Evaluations);
+  EXPECT_EQ(A.StartsUsed, B.StartsUsed);
+  EXPECT_EQ(A.CoveredBranches, B.CoveredBranches);
+  ASSERT_EQ(A.Inputs.size(), B.Inputs.size());
+  for (size_t I = 0; I < A.Inputs.size(); ++I)
+    for (size_t C = 0; C < A.Inputs[I].size(); ++C)
+      EXPECT_EQ(doubleToBits(A.Inputs[I][C]), doubleToBits(B.Inputs[I][C]));
+  ASSERT_EQ(A.Rounds.size(), B.Rounds.size());
+  for (size_t I = 0; I < A.Rounds.size(); ++I) {
+    EXPECT_EQ(doubleToBits(A.Rounds[I].MinimumValue),
+              doubleToBits(B.Rounds[I].MinimumValue));
+    EXPECT_EQ(A.Rounds[I].Accepted, B.Rounds[I].Accepted);
+    EXPECT_EQ(A.Rounds[I].SaturatedArms, B.Rounds[I].SaturatedArms);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled-unit cache
+//===----------------------------------------------------------------------===//
+
+TEST(CompiledUnitCache, HitsShareOneUnitAndSkipCompilation) {
+  CompiledUnitCache Cache;
+  lang::SourceProgramOptions Opts;
+  bool Hit = true;
+  double Seconds = -1.0;
+  auto First = Cache.get(ClassifierSource, "classify", Opts, &Hit, &Seconds);
+  ASSERT_NE(First, nullptr);
+  EXPECT_FALSE(Hit);
+  EXPECT_GT(Seconds, 0.0);
+
+  auto Second = Cache.get(ClassifierSource, "classify", Opts, &Hit, &Seconds);
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(Seconds, 0.0);
+  EXPECT_EQ(Second.get(), First.get()) << "hits share the compiled unit";
+
+  CompiledUnitCache::Stats St = Cache.stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.FailedCompiles, 0u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(CompiledUnitCache, EveryOptionFieldIsPartOfTheKey) {
+  // Two option sets differing in any artifact-affecting field must map to
+  // distinct units; recompiling with the original options must still hit.
+  lang::SourceProgramOptions Base;
+  std::vector<lang::SourceProgramOptions> Variants;
+  {
+    lang::SourceProgramOptions O = Base;
+    O.Tier = lang::ExecutionTier::Jit;
+    Variants.push_back(O);
+    O = Base;
+    O.Fuse = false;
+    Variants.push_back(O);
+    O = Base;
+    O.Interp.MaxSteps += 1;
+    Variants.push_back(O);
+    O = Base;
+    O.TotalLines = 123;
+    Variants.push_back(O);
+    O = Base;
+    O.Interp.Simd = lang::VmSimd::Off;
+    Variants.push_back(O);
+  }
+  const uint64_t BaseHash =
+      compiledUnitHash(ClassifierSource, "classify", Base);
+  for (const auto &V : Variants)
+    EXPECT_NE(compiledUnitHash(ClassifierSource, "classify", V), BaseHash);
+  EXPECT_NE(compiledUnitHash(PolySource, "poly", Base), BaseHash);
+  EXPECT_NE(compiledUnitHash(ClassifierSource, "poly", Base), BaseHash);
+  EXPECT_EQ(compiledUnitHash(ClassifierSource, "classify", Base), BaseHash);
+
+  CompiledUnitCache Cache;
+  (void)Cache.get(ClassifierSource, "classify", Base);
+  for (const auto &V : Variants) {
+    bool Hit = true;
+    (void)Cache.get(ClassifierSource, "classify", V, &Hit);
+    EXPECT_FALSE(Hit);
+  }
+  EXPECT_EQ(Cache.size(), 1 + Variants.size());
+}
+
+TEST(CompiledUnitCache, FailedCompilesAreReportedAndNotCached) {
+  CompiledUnitCache Cache;
+  lang::SourceProgramOptions Opts;
+  std::string Error;
+  auto Unit = Cache.get("double broken(double x) { return y; }", "broken",
+                        Opts, nullptr, nullptr, &Error);
+  EXPECT_EQ(Unit, nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(Cache.size(), 0u) << "failures must not be cached";
+  EXPECT_EQ(Cache.stats().FailedCompiles, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Jobs
+//===----------------------------------------------------------------------===//
+
+TEST(SessionJobs, SubmitMatchesDirectRunBitForBit) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  JobRequest Req = classifierRequest(/*Seed=*/7, /*NStart=*/12,
+                                     /*Threads=*/2);
+  CampaignResult Direct = CoverMe(SP.Prog, Req.Campaign).run();
+
+  Session S;
+  uint64_t Id = S.submit(Req);
+  ASSERT_NE(Id, 0u);
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  EXPECT_EQ(St.State, JobState::Done);
+  EXPECT_EQ(St.RoundsCommitted, 12u);
+  CampaignResult Res;
+  ASSERT_TRUE(S.result(Id, Res));
+  expectBitIdentical(Res, Direct);
+}
+
+TEST(SessionJobs, ProgressStreamsInCommitOrderThroughBothChannels) {
+  std::mutex Mutex;
+  std::vector<unsigned> CallbackRounds;
+  Session S;
+  JobRequest Req = classifierRequest(/*Seed=*/5, /*NStart=*/9, /*Threads=*/2);
+  uint64_t Id = S.submit(Req, [&](uint64_t JobId, const RoundLog &Log) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    EXPECT_NE(JobId, 0u);
+    CallbackRounds.push_back(Log.Round);
+  });
+  ASSERT_TRUE(S.wait(Id));
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ASSERT_EQ(CallbackRounds.size(), 9u);
+  for (size_t I = 0; I < CallbackRounds.size(); ++I)
+    EXPECT_EQ(CallbackRounds[I], I + 1) << "callback order";
+
+  std::vector<RoundLog> Polled = S.progress(Id, 0);
+  ASSERT_EQ(Polled.size(), 9u);
+  for (size_t I = 0; I < Polled.size(); ++I)
+    EXPECT_EQ(Polled[I].Round, I + 1) << "poll order";
+  EXPECT_EQ(S.progress(Id, 6).size(), 3u) << "from-offset slice";
+  EXPECT_TRUE(S.progress(Id, 9).empty());
+}
+
+TEST(SessionJobs, RepeatSubmissionHitsTheCache) {
+  Session S;
+  uint64_t First = S.submit(classifierRequest(7, 4, 1));
+  ASSERT_TRUE(S.wait(First));
+  uint64_t Second = S.submit(classifierRequest(11, 4, 1));
+  ASSERT_TRUE(S.wait(Second));
+
+  JobStatus St1, St2;
+  ASSERT_TRUE(S.status(First, St1));
+  ASSERT_TRUE(S.status(Second, St2));
+  EXPECT_FALSE(St1.CacheHit);
+  EXPECT_GT(St1.CompileSeconds, 0.0);
+  EXPECT_TRUE(St2.CacheHit) << "identical unit, different campaign";
+  EXPECT_EQ(St2.CompileSeconds, 0.0);
+  EXPECT_EQ(St1.UnitHash, St2.UnitHash);
+  EXPECT_EQ(S.cacheStats().Hits, 1u);
+  EXPECT_EQ(S.cacheStats().Misses, 1u);
+}
+
+TEST(SessionJobs, CompileErrorsFailTheJobWithDiagnostics) {
+  Session S;
+  JobRequest Req;
+  Req.Source = "double broken(double x) { return nope; }";
+  Req.Entry = "broken";
+  uint64_t Id = S.submit(Req);
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  EXPECT_EQ(St.State, JobState::Failed);
+  EXPECT_FALSE(St.Error.empty());
+  CampaignResult Res;
+  EXPECT_FALSE(S.result(Id, Res));
+}
+
+TEST(SessionJobs, ConcurrentSubmissionsAllLandDeterministically) {
+  // Four workers, eight campaigns over two subjects: every job finishes,
+  // same-seed same-subject jobs agree bit-for-bit, and the cache converges
+  // to one unit per subject. Workers racing on the same cold unit may each
+  // compile it (get() compiles outside the lock; the first insert wins),
+  // so the miss count is >= the subject count, not equal to it.
+  Session S(SessionOptions{/*Workers=*/4});
+  std::vector<uint64_t> ClassifyJobs, PolyJobs;
+  for (int I = 0; I < 4; ++I) {
+    ClassifyJobs.push_back(S.submit(classifierRequest(7, 6, 2)));
+    JobRequest Poly;
+    Poly.Source = PolySource;
+    Poly.Entry = "poly";
+    Poly.Campaign.Seed = 3;
+    Poly.Campaign.NStart = 6;
+    Poly.Campaign.StopWhenAllSaturated = false;
+    PolyJobs.push_back(S.submit(Poly));
+  }
+  for (uint64_t Id : ClassifyJobs)
+    ASSERT_TRUE(S.wait(Id));
+  for (uint64_t Id : PolyJobs)
+    ASSERT_TRUE(S.wait(Id));
+
+  CampaignResult FirstClassify;
+  ASSERT_TRUE(S.result(ClassifyJobs[0], FirstClassify));
+  for (uint64_t Id : ClassifyJobs) {
+    CampaignResult Res;
+    ASSERT_TRUE(S.result(Id, Res));
+    expectBitIdentical(Res, FirstClassify);
+  }
+  CompiledUnitCache::Stats St = S.cacheStats();
+  EXPECT_EQ(S.cacheSize(), 2u) << "one unit per distinct subject survives";
+  EXPECT_GE(St.Misses, 2u);
+  EXPECT_EQ(St.Hits + St.Misses, 8u);
+  EXPECT_EQ(St.FailedCompiles, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / resume through the session
+//===----------------------------------------------------------------------===//
+
+TEST(SessionCheckpoint, SuspendResumeInPlaceMatchesUninterrupted) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  JobRequest Req = classifierRequest(/*Seed=*/7, /*NStart=*/18, /*Threads=*/2);
+  CampaignResult Reference = CoverMe(SP.Prog, Req.Campaign).run();
+
+  Session S;
+  JobRequest Suspending = Req;
+  Suspending.Campaign.SuspendAfterRounds = 5;
+  uint64_t Id = S.submit(Suspending);
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  ASSERT_EQ(St.State, JobState::Suspended);
+  EXPECT_EQ(St.RoundsCommitted, 5u);
+
+  // The suspended prefix is a readable result in its own right.
+  CampaignResult Prefix;
+  ASSERT_TRUE(S.result(Id, Prefix));
+  EXPECT_TRUE(Prefix.Suspended);
+  EXPECT_EQ(Prefix.StartsUsed, 5u);
+
+  std::vector<uint8_t> Bytes;
+  std::string Err;
+  ASSERT_TRUE(S.checkpoint(Id, Bytes, Err)) << Err;
+  EXPECT_FALSE(Bytes.empty());
+
+  ASSERT_TRUE(S.resume(Id, Err)) << Err;
+  ASSERT_TRUE(S.wait(Id));
+  ASSERT_TRUE(S.status(Id, St));
+  ASSERT_EQ(St.State, JobState::Done);
+  CampaignResult Full;
+  ASSERT_TRUE(S.result(Id, Full));
+  expectBitIdentical(Full, Reference);
+
+  // The progress buffer saw every round exactly once across the splice.
+  std::vector<RoundLog> Events = S.progress(Id, 0);
+  ASSERT_EQ(Events.size(), 18u);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Round, I + 1);
+}
+
+TEST(SessionCheckpoint, ResumeFromBytesInAFreshSessionMatches) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  JobRequest Req = classifierRequest(/*Seed=*/7, /*NStart=*/14, /*Threads=*/1);
+  CampaignResult Reference = CoverMe(SP.Prog, Req.Campaign).run();
+
+  std::vector<uint8_t> Bytes;
+  {
+    Session First;
+    JobRequest Suspending = Req;
+    Suspending.Campaign.SuspendAfterRounds = 4;
+    uint64_t Id = First.submit(Suspending);
+    std::string Err;
+    ASSERT_TRUE(First.checkpoint(Id, Bytes, Err)) << Err;
+  } // session torn down: the bytes are all that survives
+
+  Session Second;
+  std::string Err;
+  JobRequest Resumed = Req;
+  Resumed.Campaign.Threads = 4; // thread count is free to differ
+  uint64_t Id = Second.submitResume(Resumed, Bytes, Err);
+  ASSERT_NE(Id, 0u) << Err;
+  ASSERT_TRUE(Second.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(Second.status(Id, St));
+  ASSERT_EQ(St.State, JobState::Done);
+  EXPECT_EQ(St.RoundsCommitted, 14u) << "prefix + new rounds";
+  CampaignResult Full;
+  ASSERT_TRUE(Second.result(Id, Full));
+  expectBitIdentical(Full, Reference);
+}
+
+TEST(SessionCheckpoint, CorruptBytesAreRejectedEagerly) {
+  Session S;
+  std::string Err;
+  std::vector<uint8_t> Garbage = {'n', 'o', 't', 'a', 's', 'n', 'a', 'p'};
+  EXPECT_EQ(S.submitResume(classifierRequest(7, 10, 1), Garbage, Err), 0u);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(SessionCheckpoint, ShapeMismatchedBytesFailTheJob) {
+  // Valid snapshot, wrong program: rejected when the worker applies it —
+  // through the CoverageMap merge shape check.
+  std::vector<uint8_t> Bytes;
+  {
+    Session S;
+    JobRequest Req = classifierRequest(7, 10, 1);
+    Req.Campaign.SuspendAfterRounds = 3;
+    uint64_t Id = S.submit(Req);
+    std::string Err;
+    ASSERT_TRUE(S.checkpoint(Id, Bytes, Err)) << Err;
+  }
+  Session S;
+  JobRequest Poly;
+  Poly.Source = PolySource;
+  Poly.Entry = "poly";
+  std::string Err;
+  uint64_t Id = S.submitResume(Poly, Bytes, Err);
+  ASSERT_NE(Id, 0u) << "decode succeeds; shape check happens at apply time";
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  EXPECT_EQ(St.State, JobState::Failed);
+  EXPECT_FALSE(St.Error.empty());
+}
+
+TEST(SessionCheckpoint, CheckpointBeforeFirstRoundSuspendsAtRoundZero) {
+  Session S;
+  uint64_t Id = S.submit(classifierRequest(/*Seed=*/7, /*NStart=*/400,
+                                           /*Threads=*/1));
+  std::vector<uint8_t> Bytes;
+  std::string Err;
+  // Whether the worker has started or not, the checkpoint lands at a round
+  // boundary and the snapshot resumes bit-identically (golden half covers
+  // the resume; here we only need the call to land).
+  ASSERT_TRUE(S.checkpoint(Id, Bytes, Err)) << Err;
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  EXPECT_EQ(St.State, JobState::Suspended);
+  CampaignSnapshot Snap;
+  ASSERT_TRUE(decodeSnapshot(Bytes, Snap, Err)) << Err;
+  EXPECT_EQ(Snap.StartsUsed, St.RoundsCommitted);
+}
+
+TEST(SessionCheckpoint, CancelStopsARunningJobAtARoundBoundary) {
+  Session S;
+  uint64_t Id = S.submit(classifierRequest(/*Seed=*/13, /*NStart=*/100000,
+                                           /*Threads=*/2));
+  EXPECT_TRUE(S.cancel(Id));
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  EXPECT_EQ(St.State, JobState::Cancelled);
+  EXPECT_FALSE(S.cancel(Id)) << "terminal jobs cannot be re-cancelled";
+  std::string Err;
+  EXPECT_FALSE(S.resume(Id, Err)) << "cancelled jobs cannot resume";
+}
+
+TEST(SessionCheckpoint, UnknownJobIdsFailCleanly) {
+  Session S;
+  JobStatus St;
+  CampaignResult Res;
+  std::vector<uint8_t> Bytes;
+  std::string Err;
+  EXPECT_FALSE(S.status(42, St));
+  EXPECT_FALSE(S.result(42, Res));
+  EXPECT_FALSE(S.wait(42));
+  EXPECT_FALSE(S.cancel(42));
+  EXPECT_FALSE(S.checkpoint(42, Bytes, Err));
+  EXPECT_FALSE(S.resume(42, Err));
+  EXPECT_TRUE(S.progress(42, 0).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The wire-protocol JSON helpers
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceJson, ParsesTheProtocolShapes) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(
+      "{\"cmd\":\"submit\",\"seed\":18446744073709551615,\"n_start\":24,"
+      "\"ok\":true,\"nested\":{\"a\":[1,2.5,-3]},\"name\":\"tanh\\n\"}",
+      V, Err))
+      << Err;
+  EXPECT_EQ(V.str("cmd"), "submit");
+  EXPECT_EQ(V.u64("seed"), 18446744073709551615ull)
+      << "64-bit integers survive exactly";
+  EXPECT_EQ(V.u64("n_start"), 24u);
+  EXPECT_TRUE(V.boolean("ok"));
+  EXPECT_EQ(V.str("name"), "tanh\n");
+  const json::Value *Nested = V.find("nested");
+  ASSERT_NE(Nested, nullptr);
+  const json::Value *Arr = Nested->find("a");
+  ASSERT_NE(Arr, nullptr);
+  ASSERT_TRUE(Arr->isArray());
+  ASSERT_EQ(Arr->Arr.size(), 3u);
+  EXPECT_EQ(Arr->Arr[1].Num, 2.5);
+}
+
+TEST(ServiceJson, RejectsMalformedInput) {
+  json::Value V;
+  std::string Err;
+  for (const char *Bad :
+       {"", "{", "{\"a\":}", "{\"a\":1,}", "[1,2", "{\"a\":1} trailing",
+        "{\"a\":\"unterminated}", "{'a':1}", "nullx", "{\"a\":01e}",
+        "{\"\\u12\":1}"}) {
+    EXPECT_FALSE(json::parse(Bad, V, Err)) << Bad;
+  }
+  // Nesting bomb: bounded, not stack-overflowed.
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  EXPECT_FALSE(json::parse(Deep, V, Err));
+}
+
+TEST(ServiceJson, WriterEscapesAndRoundTrips) {
+  json::ObjectWriter W;
+  W.field("text", "line1\nline2\t\"quoted\"")
+      .field("flag", false)
+      .field("big", uint64_t(18446744073709551615ull))
+      .field("pi", 3.141592653589793);
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(W.str(), V, Err)) << Err << ": " << W.str();
+  EXPECT_EQ(V.str("text"), "line1\nline2\t\"quoted\"");
+  EXPECT_FALSE(V.boolean("flag", true));
+  EXPECT_EQ(V.u64("big"), 18446744073709551615ull);
+  EXPECT_EQ(V.num("pi"), 3.141592653589793);
+}
+
+} // namespace
