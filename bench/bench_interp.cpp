@@ -289,6 +289,57 @@ int main(int Argc, char **Argv) {
   }
   double SimdGeomean = SimdCount ? std::exp(SimdLogSum / SimdCount) : 0.0;
 
+  // The wide-JIT lane: batched FOO_R through the 4-lane native fragments
+  // (JIT tier, SIMD on) against the scalar-fragment batch (JIT tier, SIMD
+  // forced off) per suite subject. This is the composition of the two
+  // accelerators above, so the interesting figure is again the suite
+  // geomean, gated >= 1.3x by CI whenever both are available; the
+  // divergence-heavy subjects (sqrt) are expected near 1x — the
+  // low-completion bail-out hands them back to the scalar fragments.
+  const bool WideJitOn = JitOn && SimdOn;
+  double WideJitLogSum = 0.0;
+  unsigned WideJitCount = 0;
+  std::string WideJitRows, WideJitJson;
+  if (WideJitOn) {
+    unsigned SuiteEvals = Evals / 2 ? Evals / 2 : 1;
+    for (const SourceBenchmark &B : sourceSuite()) {
+      SourceProgramOptions WideOpts;
+      WideOpts.Tier = ExecutionTier::Jit;
+      SourceProgramOptions ScalarOpts;
+      ScalarOpts.Tier = ExecutionTier::Jit;
+      ScalarOpts.Interp.Simd = VmSimd::Off;
+      SourceProgram WideSP = compileSourceProgram(B.Source, B.Name, WideOpts);
+      SourceProgram ScalarSP =
+          compileSourceProgram(B.Source, B.Name, ScalarOpts);
+      if (!WideSP.success() || !ScalarSP.success())
+        continue;
+      // Interleave the two sides (like the jit_speedup lanes) so host
+      // drift cancels out of the gated ratio.
+      double WideNs = 1e300, ScalarNs = 1e300;
+      for (int Rep = 0; Rep < 2; ++Rep) {
+        WideNs = std::min(
+            WideNs, nsPerBatchedRepresentingEval(WideSP.Prog, SuiteEvals));
+        ScalarNs = std::min(
+            ScalarNs, nsPerBatchedRepresentingEval(ScalarSP.Prog, SuiteEvals));
+      }
+      double Speedup = ScalarNs / WideNs;
+      WideJitLogSum += std::log(Speedup);
+      ++WideJitCount;
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf), "%s%s %.2fx",
+                    WideJitRows.empty() ? "" : "  ", B.Name.c_str(), Speedup);
+      WideJitRows += Buf;
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s    {\"name\": \"%s\", \"jit_wide_ns\": %.3f, "
+                    "\"jit_scalar_ns\": %.3f, \"speedup\": %.3f}",
+                    WideJitJson.empty() ? "" : ",\n", B.Name.c_str(), WideNs,
+                    ScalarNs, Speedup);
+      WideJitJson += Buf;
+    }
+  }
+  double WideJitGeomean =
+      WideJitCount ? std::exp(WideJitLogSum / WideJitCount) : 0.0;
+
   double InterpCampaign = campaignMs(TreeSP.Prog);
   double VmCampaign = campaignMs(VmSP.Prog);
 
@@ -326,6 +377,15 @@ int main(int Argc, char **Argv) {
   } else {
     std::printf("  VM batched SIMD lane         unavailable "
                 "(no AVX2 on this host or COVERME_VM_SIMD off)\n");
+  }
+  if (WideJitOn) {
+    std::printf("  wide-JIT batch lane          suite geomean %.2fx over "
+                "scalar-JIT runBatch (CI gate: >= 1.3x)\n",
+                WideJitGeomean);
+    std::printf("    %s\n", WideJitRows.c_str());
+  } else {
+    std::printf("  wide-JIT batch lane          unavailable "
+                "(needs COVERME_JIT + COVERME_VM_SIMD + AVX2)\n");
   }
   std::printf("campaign, n_start=100          tree-walker %8.1f ms | "
               "VM %8.1f ms\n",
@@ -367,6 +427,9 @@ int main(int Argc, char **Argv) {
         "  \"simd_lanes\": %u,\n"
         "  \"vm_batch_simd\": [\n%s\n  ],\n"
         "  \"vm_batch_simd_speedup\": %.3f,\n"
+        "  \"jit_wide_available\": %s,\n"
+        "  \"jit_wide\": [\n%s\n  ],\n"
+        "  \"jit_wide_speedup\": %.3f,\n"
         "  \"interp_campaign_ms\": %.3f,\n"
         "  \"vm_campaign_ms\": %.3f\n"
         "}\n",
@@ -377,6 +440,7 @@ int main(int Argc, char **Argv) {
         VmUnfusedNs, VmSpeedup, JitOn ? "true" : "false", JitNs, JitSpeedup,
         InterpRNs, VmRNs, VmBatchRNs, VmRSpeedup, JitRNs, JitBatchRNs,
         SimdOn ? "true" : "false", SimdLanes, SimdJson.c_str(), SimdGeomean,
+        WideJitOn ? "true" : "false", WideJitJson.c_str(), WideJitGeomean,
         InterpCampaign, VmCampaign);
     std::fclose(F);
     std::printf("\nwrote %s\n", JsonPath.c_str());

@@ -173,12 +173,18 @@ int main(int argc, char **argv) {
   Opts.NIter = 5;
   Opts.Seed = 1;
   Opts.Threads = Threads;
-  // The batch backend the compiled entry will actually use: "simd" when
-  // the host has AVX2, the build has the wide lane, the function passed
-  // the wide-safety analysis, and --no-simd was not given.
+  // The batch backend the compiled entry will actually use, resolved on a
+  // probe Vm configured exactly like the engine's: "jit-wide" (4-lane
+  // native fragments) when the JIT tier is attached and the host has
+  // AVX2, "vm-wide" (interpreted SIMD lane) without the JIT, "scalar-jit"
+  // or "scalar" under --no-simd or on ineligible functions/hosts. The
+  // probe must carry SP.Jit: the fragment chain is per-Vm state, and a
+  // bare Vm would under-report a --tier=jit run as "vm-wide".
   const char *BatchBackend = "n/a";
   if (SP.Code) {
     lang::bc::Vm Probe(SP.Code, SPOpts.Interp);
+    if (SP.Jit)
+      Probe.attachJit(SP.Jit);
     int FnIndex = SP.Code->functionIndex(Entry);
     if (FnIndex >= 0)
       BatchBackend = Probe.batchBackendName(static_cast<unsigned>(FnIndex));

@@ -2,6 +2,7 @@
 
 #include "lang/Disasm.h"
 
+#include "lang/JitAsm.h"            // fragment eligibility analysis
 #include "runtime/BranchDistance.h" // cmpOpSpelling
 
 #include <cinttypes>
@@ -193,6 +194,20 @@ std::string bc::disassembleFunction(const CompiledUnit &U, unsigned FnIndex) {
                ", thunk %" PRIu32 "%s\n",
           F.Name.c_str(), F.ParamTypes.size(), F.FrameBytes, F.Entry,
           F.Thunk, F.WideSafe ? ", wide-safe" : "");
+  // Batch-backend eligibility. Pure static analysis (JitAsm.h), so the
+  // annotation — and the goldens pinning it — are identical on every
+  // build, including ones compiled without the JIT or the SIMD lane.
+  jit::FragAnalysis FA;
+  FA.analyze(U, F);
+  const char *WideWhy = jit::wideFragRejection(U, F, FA);
+  if (FA.Reject)
+    appendf(Out, "  batch: scalar fragment rejected (%s)", FA.Reject);
+  else
+    Out += "  batch: scalar fragment ok";
+  if (WideWhy)
+    appendf(Out, ", wide fragment rejected (%s)\n", WideWhy);
+  else
+    Out += ", wide fragment ok\n";
   for (uint32_t PC = F.Entry; PC < F.Thunk + 2 && PC < U.Code.size(); ++PC) {
     appendf(Out, "%5" PRIu32 "  ", PC);
     Out += renderInsn(U, PC);
@@ -219,6 +234,19 @@ std::string bc::disassemble(const CompiledUnit &U) {
   appendf(Out,
           "wide: %" PRIu32 " of %zu functions safe for the SIMD batch lane\n",
           U.Stats.WideSafeFunctions, U.Functions.size());
+  unsigned ScalarOk = 0, WideOk = 0;
+  for (const FunctionInfo &F : U.Functions) {
+    jit::FragAnalysis FA;
+    FA.analyze(U, F);
+    if (!FA.Reject)
+      ++ScalarOk;
+    if (!jit::wideFragRejection(U, F, FA))
+      ++WideOk;
+  }
+  appendf(Out,
+          "jit: %u of %zu functions scalar-fragment-able, %u wide-fragment-"
+          "able\n",
+          ScalarOk, U.Functions.size(), WideOk);
   for (unsigned I = 0; I < U.Functions.size(); ++I) {
     Out += '\n';
     Out += disassembleFunction(U, I);

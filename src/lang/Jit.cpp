@@ -33,6 +33,8 @@
 
 #include "lang/Jit.h"
 
+#include "lang/JitAsm.h"
+#include "lang/JitWide.h"
 #include "runtime/ExecutionContext.h"
 
 #include <algorithm>
@@ -43,6 +45,7 @@
 using namespace coverme;
 using namespace coverme::lang;
 using namespace coverme::lang::bc;
+using namespace coverme::lang::bc::jit;
 
 // The emitter needs an x86-64 POSIX target; everything else keeps the API
 // with available() == false.
@@ -98,359 +101,9 @@ void covermeJitZero(uint8_t *P, uint64_t N) { std::memset(P, 0, N); }
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Minimal x86-64 assembler
-//===----------------------------------------------------------------------===//
-
-// GP register numbers.
-enum : unsigned {
-  RAX = 0,
-  RCX = 1,
-  RDX = 2,
-  RBX = 3,
-  RSP = 4,
-  RBP = 5,
-  RSI = 6,
-  RDI = 7,
-  R13 = 13,
-  R14 = 14,
-  R15 = 15,
-};
-
-// Condition codes (jcc = 0F 80+cc, setcc = 0F 90+cc).
-enum : unsigned {
-  CC_B = 0x2,  // below (CF=1)
-  CC_AE = 0x3, // above-equal (CF=0)
-  CC_E = 0x4,  // equal (ZF=1)
-  CC_NE = 0x5, // not equal
-  CC_BE = 0x6, // below-equal (CF=1 or ZF=1)
-  CC_A = 0x7,  // above (CF=0 and ZF=0)
-  CC_P = 0xA,  // parity (unordered)
-  CC_NP = 0xB, // no parity
-  CC_L = 0xC,  // signed less
-  CC_GE = 0xD,
-  CC_LE = 0xE,
-  CC_G = 0xF,
-};
-
-class Asm {
-public:
-  std::vector<uint8_t> Buf;
-
-  size_t pos() const { return Buf.size(); }
-  void byte(uint8_t B) { Buf.push_back(B); }
-  void u32(uint32_t V) {
-    for (int I = 0; I < 4; ++I)
-      byte(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void u64(uint64_t V) {
-    for (int I = 0; I < 8; ++I)
-      byte(static_cast<uint8_t>(V >> (8 * I)));
-  }
-
-  // REX prefix; emitted only when a bit is set (all uses below are
-  // register codes < 8 unless extension bits are wanted).
-  void rex(bool W, unsigned R, unsigned X, unsigned B) {
-    uint8_t P = 0x40 | (static_cast<uint8_t>(W) << 3) | (((R >> 3) & 1) << 2) |
-                (((X >> 3) & 1) << 1) | ((B >> 3) & 1);
-    if (P != 0x40)
-      byte(P);
-  }
-  void rexW(unsigned R, unsigned B) {
-    byte(0x48 | (((R >> 3) & 1) << 2) | ((B >> 3) & 1));
-  }
-
-  void modrmReg(unsigned Reg, unsigned Rm) {
-    byte(0xC0 | ((Reg & 7) << 3) | (Rm & 7));
-  }
-  // [Base + disp32], always mod=10 (uniform; avoids the rbp/r13 and
-  // rsp/r12 special cases biting).
-  void modrmMem(unsigned Reg, unsigned Base, int32_t Disp) {
-    byte(0x80 | ((Reg & 7) << 3) | (Base & 7));
-    if ((Base & 7) == RSP)
-      byte(0x24); // SIB: no index
-    u32(static_cast<uint32_t>(Disp));
-  }
-
-  // ---- 64-bit moves -----------------------------------------------------
-  void movRR64(unsigned Dst, unsigned Src) {
-    rexW(Src, Dst);
-    byte(0x89);
-    modrmReg(Src, Dst);
-  }
-  void movRM64(unsigned Dst, unsigned Base, int32_t Disp) {
-    rexW(Dst, Base);
-    byte(0x8B);
-    modrmMem(Dst, Base, Disp);
-  }
-  void movMR64(unsigned Base, int32_t Disp, unsigned Src) {
-    rexW(Src, Base);
-    byte(0x89);
-    modrmMem(Src, Base, Disp);
-  }
-  void movRI64(unsigned Dst, uint64_t Imm) {
-    rexW(0, Dst);
-    byte(0xB8 + (Dst & 7));
-    u64(Imm);
-  }
-
-  // ---- 32-bit moves (results zero-extend to 64) -------------------------
-  void movRR32(unsigned Dst, unsigned Src) {
-    rex(false, Src, 0, Dst);
-    byte(0x89);
-    modrmReg(Src, Dst);
-  }
-  void movRM32(unsigned Dst, unsigned Base, int32_t Disp) {
-    rex(false, Dst, 0, Base);
-    byte(0x8B);
-    modrmMem(Dst, Base, Disp);
-  }
-  void movMR32(unsigned Base, int32_t Disp, unsigned Src) {
-    rex(false, Src, 0, Base);
-    byte(0x89);
-    modrmMem(Src, Base, Disp);
-  }
-  void movRI32(unsigned Dst, uint32_t Imm) {
-    rex(false, 0, 0, Dst);
-    byte(0xB8 + (Dst & 7));
-    u32(Imm);
-  }
-  // Store imm32 as a dword.
-  void movMI32(unsigned Base, int32_t Disp, uint32_t Imm) {
-    rex(false, 0, 0, Base);
-    byte(0xC7);
-    modrmMem(0, Base, Disp);
-    u32(Imm);
-  }
-  // Store sign-extended imm32 as a qword.
-  void movMI64s(unsigned Base, int32_t Disp, int32_t Imm) {
-    rexW(0, Base);
-    byte(0xC7);
-    modrmMem(0, Base, Disp);
-    u32(static_cast<uint32_t>(Imm));
-  }
-
-  // ---- sign extension ---------------------------------------------------
-  void movsxdRM(unsigned Dst, unsigned Base, int32_t Disp) {
-    rexW(Dst, Base);
-    byte(0x63);
-    modrmMem(Dst, Base, Disp);
-  }
-  void movsxdRR(unsigned Dst, unsigned Src) {
-    rexW(Dst, Src);
-    byte(0x63);
-    modrmReg(Dst, Src);
-  }
-
-  // ---- ALU --------------------------------------------------------------
-  // "r/m, r" forms: add=01 sub=29 and=21 or=09 xor=31 cmp=39 test=85.
-  void aluRR64(uint8_t Opc, unsigned Dst, unsigned Src) {
-    rexW(Src, Dst);
-    byte(Opc);
-    modrmReg(Src, Dst);
-  }
-  void aluRR32(uint8_t Opc, unsigned Dst, unsigned Src) {
-    rex(false, Src, 0, Dst);
-    byte(Opc);
-    modrmReg(Src, Dst);
-  }
-  // "r, r/m" memory forms: add=03 sub=2B and=23 or=0B xor=33 cmp=3B.
-  void aluRM32(uint8_t Opc, unsigned Dst, unsigned Base, int32_t Disp) {
-    rex(false, Dst, 0, Base);
-    byte(Opc);
-    modrmMem(Dst, Base, Disp);
-  }
-  void imulRM32(unsigned Dst, unsigned Base, int32_t Disp) {
-    rex(false, Dst, 0, Base);
-    byte(0x0F);
-    byte(0xAF);
-    modrmMem(Dst, Base, Disp);
-  }
-  void imulRR64(unsigned Dst, unsigned Src) {
-    rexW(Dst, Src);
-    byte(0x0F);
-    byte(0xAF);
-    modrmReg(Dst, Src);
-  }
-  // 81 /ext forms.
-  void aluRI32(uint8_t Ext, unsigned Reg, uint32_t Imm) {
-    rex(false, 0, 0, Reg);
-    byte(0x81);
-    modrmReg(Ext, Reg);
-    u32(Imm);
-  }
-  void aluRI64(uint8_t Ext, unsigned Reg, uint32_t Imm) {
-    rexW(0, Reg);
-    byte(0x81);
-    modrmReg(Ext, Reg);
-    u32(Imm);
-  }
-  void cmpRI32(unsigned Reg, uint32_t Imm) { aluRI32(7, Reg, Imm); }
-  void cmpRI64(unsigned Reg, uint32_t Imm) { aluRI64(7, Reg, Imm); }
-  void subRI64(unsigned Reg, uint32_t Imm) { aluRI64(5, Reg, Imm); }
-  void addRI64(unsigned Reg, uint32_t Imm) { aluRI64(0, Reg, Imm); }
-
-  void testRR64(unsigned A, unsigned B) { aluRR64(0x85, A, B); }
-  void testRR32(unsigned A, unsigned B) { aluRR32(0x85, A, B); }
-
-  // F7 group.
-  void grp3R32(uint8_t Ext, unsigned Reg) {
-    rex(false, 0, 0, Reg);
-    byte(0xF7);
-    modrmReg(Ext, Reg);
-  }
-  void negR32(unsigned Reg) { grp3R32(3, Reg); }
-  void notR32(unsigned Reg) { grp3R32(2, Reg); }
-  void divR32(unsigned Reg) { grp3R32(6, Reg); }
-  void idivR32(unsigned Reg) { grp3R32(7, Reg); }
-  void negR64(unsigned Reg) {
-    rexW(0, Reg);
-    byte(0xF7);
-    modrmReg(3, Reg);
-  }
-  void cdq() { byte(0x99); }
-
-  // Shifts by cl (hardware masks the count & 31 in 32-bit forms, exactly
-  // the VM's mask).
-  void shlCl32(unsigned Reg) {
-    rex(false, 0, 0, Reg);
-    byte(0xD3);
-    modrmReg(4, Reg);
-  }
-  void shrCl32(unsigned Reg) {
-    rex(false, 0, 0, Reg);
-    byte(0xD3);
-    modrmReg(5, Reg);
-  }
-  void sarCl32(unsigned Reg) {
-    rex(false, 0, 0, Reg);
-    byte(0xD3);
-    modrmReg(7, Reg);
-  }
-  void shrRI64(unsigned Reg, uint8_t Imm) {
-    rexW(0, Reg);
-    byte(0xC1);
-    modrmReg(5, Reg);
-    byte(Imm);
-  }
-
-  // setcc r8 (low registers only: al/cl).
-  void setcc(unsigned CC, unsigned Reg) {
-    byte(0x0F);
-    byte(0x90 + CC);
-    byte(0xC0 | (Reg & 7));
-  }
-  void movzxR32R8(unsigned Dst, unsigned Src) {
-    rex(false, Dst, 0, Src);
-    byte(0x0F);
-    byte(0xB6);
-    modrmReg(Dst, Src);
-  }
-  void and8RR(unsigned Dst, unsigned Src) {
-    byte(0x20);
-    modrmReg(Src, Dst);
-  }
-  void or8RR(unsigned Dst, unsigned Src) {
-    byte(0x08);
-    modrmReg(Src, Dst);
-  }
-
-  void leaRM(unsigned Dst, unsigned Base, int32_t Disp) {
-    rexW(Dst, Base);
-    byte(0x8D);
-    modrmMem(Dst, Base, Disp);
-  }
-  void callR(unsigned Reg) {
-    rex(false, 0, 0, Reg);
-    byte(0xFF);
-    modrmReg(2, Reg);
-  }
-  void push(unsigned Reg) {
-    if (Reg >= 8)
-      byte(0x41);
-    byte(0x50 + (Reg & 7));
-  }
-  void pop(unsigned Reg) {
-    if (Reg >= 8)
-      byte(0x41);
-    byte(0x58 + (Reg & 7));
-  }
-  void ret() { byte(0xC3); }
-
-  // ---- SSE scalar double ------------------------------------------------
-  void movsdXM(unsigned X, unsigned Base, int32_t Disp) {
-    byte(0xF2);
-    rex(false, X, 0, Base);
-    byte(0x0F);
-    byte(0x10);
-    modrmMem(X, Base, Disp);
-  }
-  void movsdMX(unsigned Base, int32_t Disp, unsigned X) {
-    byte(0xF2);
-    rex(false, X, 0, Base);
-    byte(0x0F);
-    byte(0x11);
-    modrmMem(X, Base, Disp);
-  }
-  // addsd=58 mulsd=59 subsd=5C divsd=5E, xmm <- [mem].
-  void sseXM(uint8_t Opc, unsigned X, unsigned Base, int32_t Disp) {
-    byte(0xF2);
-    rex(false, X, 0, Base);
-    byte(0x0F);
-    byte(Opc);
-    modrmMem(X, Base, Disp);
-  }
-  void ucomisdXR(unsigned A, unsigned B) {
-    byte(0x66);
-    rex(false, A, 0, B);
-    byte(0x0F);
-    byte(0x2E);
-    modrmReg(A, B);
-  }
-  void xorpdXR(unsigned Dst, unsigned Src) {
-    byte(0x66);
-    rex(false, Dst, 0, Src);
-    byte(0x0F);
-    byte(0x57);
-    modrmReg(Dst, Src);
-  }
-  void cvtsi2sdXR64(unsigned X, unsigned Reg) {
-    byte(0xF2);
-    rexW(X, Reg);
-    byte(0x0F);
-    byte(0x2A);
-    modrmReg(X, Reg);
-  }
-  void cvtsi2sdXM64(unsigned X, unsigned Base, int32_t Disp) {
-    byte(0xF2);
-    rexW(X, Base);
-    byte(0x0F);
-    byte(0x2A);
-    modrmMem(X, Base, Disp);
-  }
-
-  // ---- control flow (rel32, patched later) ------------------------------
-  size_t jmp32() {
-    byte(0xE9);
-    size_t P = pos();
-    u32(0);
-    return P;
-  }
-  size_t jcc32(unsigned CC) {
-    byte(0x0F);
-    byte(0x80 + CC);
-    size_t P = pos();
-    u32(0);
-    return P;
-  }
-  void patch32(size_t Pos, size_t Target) {
-    int64_t Rel = static_cast<int64_t>(Target) - static_cast<int64_t>(Pos + 4);
-    uint32_t V = static_cast<uint32_t>(static_cast<int32_t>(Rel));
-    for (int I = 0; I < 4; ++I)
-      Buf[Pos + I] = static_cast<uint8_t>(V >> (8 * I));
-  }
-  void bindLocal(size_t Pos) { patch32(Pos, pos()); }
-};
+// The assembler, register/condition-code names, and the eligibility
+// analysis live in lang/JitAsm.h, shared with the wide emitter
+// (JitWide.cpp) and the disassembler's backend annotations.
 
 //===----------------------------------------------------------------------===//
 // Per-function emitter
@@ -471,7 +124,21 @@ public:
       : U(U), F(F), A(A) {}
 
   /// Analyzes and emits; false leaves the caller to roll the buffer back.
-  bool run() { return analyze() && emit(); }
+  bool run() {
+    FragAnalysis FA;
+    if (!FA.analyze(U, F))
+      return false;
+    Depth = std::move(FA.Depth);
+    MaxDepth = FA.MaxDepth;
+    CellBytes = FA.CellBytes;
+    FrameDisp = FA.FrameDisp;
+    FrameLimit = FA.FrameLimit;
+    GlobalLimit = FA.GlobalLimit;
+    StackAdj =
+        static_cast<uint32_t>((static_cast<uint64_t>(MaxDepth) * 8 + 15) &
+                              ~static_cast<uint64_t>(15));
+    return emit();
+  }
 
 private:
   const CompiledUnit &U;
@@ -497,263 +164,6 @@ private:
   std::vector<size_t> ExitFix;  ///< jumps to the epilogue
 
   static int32_t slot(int D) { return D * 8; }
-
-  bool effect(const Insn &I, int &Pop, int &Push, bool &Terminal) {
-    Terminal = false;
-    switch (I.Code) {
-    case Op::ConstD:
-    case Op::ConstI:
-    case Op::ConstU:
-    case Op::AddrG:
-    case Op::AddrF:
-    case Op::LdFI:
-    case Op::LdFU:
-    case Op::LdFD:
-    case Op::LdFP:
-    case Op::LdGI:
-    case Op::LdGU:
-    case Op::LdGD:
-    case Op::LdGP:
-    case Op::LdF2AddD:
-    case Op::LdF2SubD:
-    case Op::LdF2MulD:
-    case Op::LdF2DivD:
-    case Op::LdFI2D:
-    case Op::LdFU2D:
-      Pop = 0;
-      Push = 1;
-      return true;
-    case Op::Pop:
-      Pop = 1;
-      Push = 0;
-      return true;
-    case Op::Dup:
-      Pop = 1;
-      Push = 2;
-      return true;
-    case Op::Swap:
-      Pop = 2;
-      Push = 2;
-      return true;
-    case Op::Rot:
-      Pop = 3;
-      Push = 3;
-      return true;
-    case Op::LoadI:
-    case Op::LoadU:
-    case Op::LoadD:
-    case Op::LoadP:
-    case Op::NegD:
-    case Op::NegI:
-    case Op::NegU:
-    case Op::NotI:
-    case Op::NotU:
-    case Op::BoolI:
-    case Op::BoolD:
-    case Op::BoolP:
-    case Op::LogNotI:
-    case Op::LogNotD:
-    case Op::LogNotP:
-    case Op::I2D:
-    case Op::U2D:
-    case Op::D2I:
-    case Op::D2U:
-    case Op::I2U:
-    case Op::U2I:
-    case Op::I2P:
-    case Op::PNullCmp:
-    case Op::LdFAddD:
-    case Op::LdFSubD:
-    case Op::LdFMulD:
-    case Op::LdFDivD:
-    case Op::LdGAddD:
-    case Op::LdGSubD:
-    case Op::LdGMulD:
-    case Op::LdGDivD:
-    case Op::ConstAddD:
-    case Op::ConstSubD:
-    case Op::ConstMulD:
-    case Op::ConstDivD:
-      Pop = 1;
-      Push = 1;
-      return true;
-    case Op::StoreI:
-    case Op::StoreU:
-    case Op::StoreD:
-    case Op::StoreP:
-      Pop = 2;
-      Push = I.B ? 1 : 0;
-      return true;
-    case Op::StFI:
-    case Op::StFU:
-    case Op::StFD:
-    case Op::StFP:
-    case Op::StGI:
-    case Op::StGU:
-    case Op::StGD:
-    case Op::StGP:
-      Pop = 1;
-      Push = I.B ? 1 : 0;
-      return true;
-    case Op::ZeroF:
-    case Op::ZeroG:
-      Pop = 0;
-      Push = 0;
-      return true;
-    case Op::AddD:
-    case Op::SubD:
-    case Op::MulD:
-    case Op::DivD:
-    case Op::AddI:
-    case Op::SubI:
-    case Op::MulI:
-    case Op::DivI:
-    case Op::RemI:
-    case Op::AddU:
-    case Op::SubU:
-    case Op::MulU:
-    case Op::DivU:
-    case Op::RemU:
-    case Op::ShlI:
-    case Op::ShrI:
-    case Op::ShlU:
-    case Op::ShrU:
-    case Op::And32:
-    case Op::Or32:
-    case Op::Xor32:
-    case Op::CmpD:
-    case Op::CmpI:
-    case Op::CmpU:
-    case Op::CmpP:
-    case Op::PtrAdd:
-    case Op::CondSite:
-      Pop = 2;
-      Push = 1;
-      return true;
-    case Op::Jump:
-      Pop = 0;
-      Push = 0;
-      return true;
-    case Op::JfI:
-    case Op::JfD:
-    case Op::JfP:
-    case Op::JtI:
-    case Op::JtD:
-    case Op::JtP:
-      Pop = 1;
-      Push = 0;
-      return true;
-    case Op::CondSiteJf:
-    case Op::CondSiteJt:
-    case Op::CmpDJf:
-    case Op::CmpDJt:
-      Pop = 2;
-      Push = 0;
-      return true;
-    case Op::CallB:
-      if (static_cast<BuiltinId>(I.A) == BuiltinId::Scalbn || I.B == 2) {
-        Pop = 2;
-        Push = 1;
-      } else {
-        Pop = 1;
-        Push = 1;
-      }
-      return true;
-    case Op::Ret:
-      Pop = 1;
-      Push = 0;
-      Terminal = true;
-      return true;
-    case Op::RetV:
-    case Op::TrapOp:
-      Pop = 0;
-      Push = 0;
-      Terminal = true;
-      return true;
-    case Op::Call:
-    case Op::Halt:
-    default:
-      return false; // not JIT-able: fall back to the VM
-    }
-  }
-
-  // Worklist reachability + static operand-depth check from F.Entry.
-  // Rejection (false) means CanJit=false for this function.
-  bool analyze() {
-    size_t N = U.Code.size();
-    if (F.Entry >= N)
-      return false;
-    Depth.assign(N, -1);
-    std::vector<uint32_t> Work;
-    auto visit = [&](uint32_t PC, int D) -> bool {
-      if (PC >= N)
-        return false;
-      if (Depth[PC] < 0) {
-        Depth[PC] = D;
-        Work.push_back(PC);
-        return true;
-      }
-      return Depth[PC] == D; // join depths must agree
-    };
-    if (!visit(F.Entry, 0))
-      return false;
-    while (!Work.empty()) {
-      uint32_t PC = Work.back();
-      Work.pop_back();
-      int D = Depth[PC];
-      const Insn &I = U.Code[PC];
-      int Pop, Push;
-      bool Terminal;
-      if (!effect(I, Pop, Push, Terminal))
-        return false;
-      if (D < Pop)
-        return false;
-      int ND = D - Pop + Push;
-      MaxDepth = std::max(MaxDepth, std::max(D, ND));
-      if (Terminal)
-        continue;
-      switch (I.Code) {
-      case Op::Jump:
-        if (!visit(I.A, ND))
-          return false;
-        break;
-      case Op::JfI:
-      case Op::JfD:
-      case Op::JfP:
-      case Op::JtI:
-      case Op::JtD:
-      case Op::JtP:
-      case Op::CondSiteJf:
-      case Op::CondSiteJt:
-      case Op::CmpDJf:
-      case Op::CmpDJt:
-        if (!visit(I.A, ND) || !visit(PC + 1, ND))
-          return false;
-        break;
-      default:
-        if (!visit(PC + 1, ND))
-          return false;
-        break;
-      }
-    }
-    // Block costs must fit the sign-extended imm32 the charges use.
-    for (uint32_t C : U.BlockCost)
-      if (C > 0x7fffffffu)
-        return false;
-    // Entry-call frame geometry: pointer-parameter cells sit below the
-    // frame, so CurBase == CellBytes for the whole fragment.
-    for (const Type &T : F.ParamTypes)
-      if (T.isPointer())
-        CellBytes += 8;
-    FrameDisp = CellBytes;
-    FrameLimit = static_cast<uint64_t>(CellBytes) + F.FrameBytes;
-    GlobalLimit = std::max<uint64_t>(U.GlobalImage.size(), U.GlobalBytes);
-    uint64_t Slots = static_cast<uint64_t>(MaxDepth) * 8;
-    if (Slots > 0x7fffff00ull)
-      return false;
-    StackAdj = static_cast<uint32_t>((Slots + 15) & ~15ull);
-    return true;
-  }
 
   // ---- emission helpers -------------------------------------------------
 
@@ -1634,6 +1044,25 @@ JitUnit::build(const std::shared_ptr<const CompiledUnit> &Unit) {
     else
       A.Buf.resize(Mark); // roll the partial fragment back
   }
+  // The 4-lane wide fragment family (lang/JitWide.cpp) shares the code
+  // arena. Only functions with a scalar fragment get one: retired lanes
+  // re-run through the scalar fragment, and the bind-time thunk hoist
+  // (StepsAfterThunk) is only computed on the scalar-fragment path.
+  std::vector<size_t> WOffs(Unit->Functions.size(), SIZE_MAX);
+  if (wjit::wideEmitterAvailable()) {
+    for (size_t I = 0; I < Unit->Functions.size(); ++I) {
+      if (Offs[I] == SIZE_MAX)
+        continue;
+      size_t Mark = A.Buf.size();
+      while (A.Buf.size() % 16)
+        A.byte(0xCC);
+      size_t Start = A.Buf.size();
+      if (wjit::emitWideFragment(*Unit, static_cast<unsigned>(I), A))
+        WOffs[I] = Start;
+      else
+        A.Buf.resize(Mark);
+    }
+  }
   bool Any = false;
   for (size_t O : Offs)
     Any |= O != SIZE_MAX;
@@ -1648,6 +1077,10 @@ JitUnit::build(const std::shared_ptr<const CompiledUnit> &Unit) {
   for (size_t I = 0; I < Offs.size(); ++I)
     if (Offs[I] != SIZE_MAX)
       U->Fragments[I] = reinterpret_cast<JitEntryFn>(Base + Offs[I]);
+  U->WideFragments.assign(WOffs.size(), nullptr);
+  for (size_t I = 0; I < WOffs.size(); ++I)
+    if (WOffs[I] != SIZE_MAX)
+      U->WideFragments[I] = reinterpret_cast<WideFn>(Base + WOffs[I]);
   return U;
 }
 

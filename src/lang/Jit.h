@@ -81,6 +81,8 @@ enum class JitTrap : uint32_t {
 /// Entry point of one compiled fragment.
 using JitEntryFn = void (*)(JitFrame *);
 
+struct JitWideFrame; // lang/JitWide.h — the 4-lane fragment family's frame
+
 /// The immutable JIT form of one CompiledUnit: a sealed code arena plus a
 /// per-function fragment table. Shareable across threads like the unit
 /// itself — fragments hold no mutable state.
@@ -104,10 +106,34 @@ public:
   /// Per-function CanJit flag (the fall-back clamp).
   bool canJit(unsigned FnIndex) const { return fragment(FnIndex) != nullptr; }
 
+  /// Entry point of one compiled 4-lane wide fragment (lang/JitWide.h).
+  using WideFn = void (*)(JitWideFrame *);
+
+  /// The wide fragment for function \p FnIndex, or null when the function
+  /// has no 4-lane lowering (then batched entries fall down the chain:
+  /// interpreted wide lane, scalar fragment rows, scalar VM).
+  WideFn wideFragment(unsigned FnIndex) const {
+    return FnIndex < WideFragments.size() ? WideFragments[FnIndex] : nullptr;
+  }
+
+  /// Per-function wide-JIT eligibility flag.
+  bool canJitWide(unsigned FnIndex) const {
+    return wideFragment(FnIndex) != nullptr;
+  }
+
   /// Number of functions that compiled to fragments.
   unsigned jittedCount() const {
     unsigned N = 0;
     for (JitEntryFn F : Fragments)
+      if (F)
+        ++N;
+    return N;
+  }
+
+  /// Number of functions that also compiled to wide fragments.
+  unsigned wideJittedCount() const {
+    unsigned N = 0;
+    for (WideFn F : WideFragments)
       if (F)
         ++N;
     return N;
@@ -124,6 +150,7 @@ private:
   std::shared_ptr<const CompiledUnit> Unit;
   ExecMemory Mem;
   std::vector<JitEntryFn> Fragments;
+  std::vector<WideFn> WideFragments;
 };
 
 } // namespace bc

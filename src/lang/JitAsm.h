@@ -1,0 +1,931 @@
+//===- JitAsm.h - x86-64 byte assembler + fragment eligibility ------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pieces the scalar template JIT (Jit.cpp) and the 4-lane wide JIT
+/// (JitWide.cpp) share: a minimal x86-64 byte assembler (base ISA, SSE2
+/// scalar double, and the VEX-encoded AVX/AVX2 subset the wide fragments
+/// use) plus the static fragment-eligibility analysis.
+///
+/// The analysis (FragAnalysis, scalarFragRejection, wideFragRejection) is
+/// plain reachability + operand-depth inference over the bytecode and
+/// compiles on every build configuration — the disassembler uses it to
+/// annotate batch-backend eligibility identically whether or not the build
+/// carries the JIT or the SIMD lane, so golden outputs never vary across
+/// CI matrix legs. The emitters use the same analysis, which is what keeps
+/// "what the disassembler says" and "what the JIT does" from drifting.
+///
+/// Everything here only assembles bytes into a std::vector; no part of
+/// this header requires an x86-64 host to compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_JITASM_H
+#define COVERME_LANG_JITASM_H
+
+#include "lang/Bytecode.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coverme {
+namespace lang {
+namespace bc {
+namespace jit {
+
+// GP register numbers.
+enum : unsigned {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+// Condition codes (jcc = 0F 80+cc, setcc = 0F 90+cc).
+enum : unsigned {
+  CC_B = 0x2,  // below (CF=1)
+  CC_AE = 0x3, // above-equal (CF=0)
+  CC_E = 0x4,  // equal (ZF=1)
+  CC_NE = 0x5, // not equal
+  CC_BE = 0x6, // below-equal (CF=1 or ZF=1)
+  CC_A = 0x7,  // above (CF=0 and ZF=0)
+  CC_P = 0xA,  // parity (unordered)
+  CC_NP = 0xB, // no parity
+  CC_L = 0xC,  // signed less
+  CC_GE = 0xD,
+  CC_LE = 0xE,
+  CC_G = 0xF,
+};
+
+//===----------------------------------------------------------------------===//
+// Minimal x86-64 assembler
+//===----------------------------------------------------------------------===//
+
+class Asm {
+public:
+  std::vector<uint8_t> Buf;
+
+  size_t pos() const { return Buf.size(); }
+  void byte(uint8_t B) { Buf.push_back(B); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      byte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  // REX prefix; emitted only when a bit is set (all uses below are
+  // register codes < 8 unless extension bits are wanted).
+  void rex(bool W, unsigned R, unsigned X, unsigned B) {
+    uint8_t P = 0x40 | (static_cast<uint8_t>(W) << 3) | (((R >> 3) & 1) << 2) |
+                (((X >> 3) & 1) << 1) | ((B >> 3) & 1);
+    if (P != 0x40)
+      byte(P);
+  }
+  void rexW(unsigned R, unsigned B) {
+    byte(0x48 | (((R >> 3) & 1) << 2) | ((B >> 3) & 1));
+  }
+
+  void modrmReg(unsigned Reg, unsigned Rm) {
+    byte(0xC0 | ((Reg & 7) << 3) | (Rm & 7));
+  }
+  // [Base + disp32], always mod=10 (uniform; avoids the rbp/r13 and
+  // rsp/r12 special cases biting).
+  void modrmMem(unsigned Reg, unsigned Base, int32_t Disp) {
+    byte(0x80 | ((Reg & 7) << 3) | (Base & 7));
+    if ((Base & 7) == RSP)
+      byte(0x24); // SIB: no index
+    u32(static_cast<uint32_t>(Disp));
+  }
+
+  // ---- 64-bit moves -----------------------------------------------------
+  void movRR64(unsigned Dst, unsigned Src) {
+    rexW(Src, Dst);
+    byte(0x89);
+    modrmReg(Src, Dst);
+  }
+  void movRM64(unsigned Dst, unsigned Base, int32_t Disp) {
+    rexW(Dst, Base);
+    byte(0x8B);
+    modrmMem(Dst, Base, Disp);
+  }
+  void movMR64(unsigned Base, int32_t Disp, unsigned Src) {
+    rexW(Src, Base);
+    byte(0x89);
+    modrmMem(Src, Base, Disp);
+  }
+  void movRI64(unsigned Dst, uint64_t Imm) {
+    rexW(0, Dst);
+    byte(0xB8 + (Dst & 7));
+    u64(Imm);
+  }
+
+  // ---- 32-bit moves (results zero-extend to 64) -------------------------
+  void movRR32(unsigned Dst, unsigned Src) {
+    rex(false, Src, 0, Dst);
+    byte(0x89);
+    modrmReg(Src, Dst);
+  }
+  void movRM32(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x8B);
+    modrmMem(Dst, Base, Disp);
+  }
+  void movMR32(unsigned Base, int32_t Disp, unsigned Src) {
+    rex(false, Src, 0, Base);
+    byte(0x89);
+    modrmMem(Src, Base, Disp);
+  }
+  void movRI32(unsigned Dst, uint32_t Imm) {
+    rex(false, 0, 0, Dst);
+    byte(0xB8 + (Dst & 7));
+    u32(Imm);
+  }
+  // Store imm32 as a dword.
+  void movMI32(unsigned Base, int32_t Disp, uint32_t Imm) {
+    rex(false, 0, 0, Base);
+    byte(0xC7);
+    modrmMem(0, Base, Disp);
+    u32(Imm);
+  }
+  // Store sign-extended imm32 as a qword.
+  void movMI64s(unsigned Base, int32_t Disp, int32_t Imm) {
+    rexW(0, Base);
+    byte(0xC7);
+    modrmMem(0, Base, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  // Store the low byte of \p Src (al/cl/dl/bl only: no REX is emitted for
+  // the register operand, so codes >= 4 would alias spl/bpl/sil/dil).
+  void movMR8(unsigned Base, int32_t Disp, unsigned Src) {
+    rex(false, Src, 0, Base);
+    byte(0x88);
+    modrmMem(Src, Base, Disp);
+  }
+
+  // ---- sign/zero extension ----------------------------------------------
+  void movsxdRM(unsigned Dst, unsigned Base, int32_t Disp) {
+    rexW(Dst, Base);
+    byte(0x63);
+    modrmMem(Dst, Base, Disp);
+  }
+  void movsxdRR(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    byte(0x63);
+    modrmReg(Dst, Src);
+  }
+  void movzxR32M8(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x0F);
+    byte(0xB6);
+    modrmMem(Dst, Base, Disp);
+  }
+
+  // ---- ALU --------------------------------------------------------------
+  // "r/m, r" forms: add=01 sub=29 and=21 or=09 xor=31 cmp=39 test=85.
+  void aluRR64(uint8_t Opc, unsigned Dst, unsigned Src) {
+    rexW(Src, Dst);
+    byte(Opc);
+    modrmReg(Src, Dst);
+  }
+  void aluRR32(uint8_t Opc, unsigned Dst, unsigned Src) {
+    rex(false, Src, 0, Dst);
+    byte(Opc);
+    modrmReg(Src, Dst);
+  }
+  // "r, r/m" memory forms: add=03 sub=2B and=23 or=0B xor=33 cmp=3B.
+  void aluRM32(uint8_t Opc, unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(Opc);
+    modrmMem(Dst, Base, Disp);
+  }
+  void aluRM64(uint8_t Opc, unsigned Dst, unsigned Base, int32_t Disp) {
+    rexW(Dst, Base);
+    byte(Opc);
+    modrmMem(Dst, Base, Disp);
+  }
+  void imulRM32(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x0F);
+    byte(0xAF);
+    modrmMem(Dst, Base, Disp);
+  }
+  void imulRR64(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    byte(0x0F);
+    byte(0xAF);
+    modrmReg(Dst, Src);
+  }
+  // 81 /ext forms.
+  void aluRI32(uint8_t Ext, unsigned Reg, uint32_t Imm) {
+    rex(false, 0, 0, Reg);
+    byte(0x81);
+    modrmReg(Ext, Reg);
+    u32(Imm);
+  }
+  void aluRI64(uint8_t Ext, unsigned Reg, uint32_t Imm) {
+    rexW(0, Reg);
+    byte(0x81);
+    modrmReg(Ext, Reg);
+    u32(Imm);
+  }
+  void cmpRI32(unsigned Reg, uint32_t Imm) { aluRI32(7, Reg, Imm); }
+  void cmpRI64(unsigned Reg, uint32_t Imm) { aluRI64(7, Reg, Imm); }
+  void subRI64(unsigned Reg, uint32_t Imm) { aluRI64(5, Reg, Imm); }
+  void addRI64(unsigned Reg, uint32_t Imm) { aluRI64(0, Reg, Imm); }
+  void andRI32(unsigned Reg, uint32_t Imm) { aluRI32(4, Reg, Imm); }
+
+  void testRR64(unsigned A, unsigned B) { aluRR64(0x85, A, B); }
+  void testRR32(unsigned A, unsigned B) { aluRR32(0x85, A, B); }
+  void testRI32(unsigned Reg, uint32_t Imm) {
+    rex(false, 0, 0, Reg);
+    byte(0xF7);
+    modrmReg(0, Reg);
+    u32(Imm);
+  }
+
+  // F7 group.
+  void grp3R32(uint8_t Ext, unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xF7);
+    modrmReg(Ext, Reg);
+  }
+  void negR32(unsigned Reg) { grp3R32(3, Reg); }
+  void notR32(unsigned Reg) { grp3R32(2, Reg); }
+  void divR32(unsigned Reg) { grp3R32(6, Reg); }
+  void idivR32(unsigned Reg) { grp3R32(7, Reg); }
+  void negR64(unsigned Reg) {
+    rexW(0, Reg);
+    byte(0xF7);
+    modrmReg(3, Reg);
+  }
+  void cdq() { byte(0x99); }
+
+  // Shifts by cl (hardware masks the count & 31 in 32-bit forms, exactly
+  // the VM's mask).
+  void shlCl32(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xD3);
+    modrmReg(4, Reg);
+  }
+  void shrCl32(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xD3);
+    modrmReg(5, Reg);
+  }
+  void sarCl32(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xD3);
+    modrmReg(7, Reg);
+  }
+  void shrRI64(unsigned Reg, uint8_t Imm) {
+    rexW(0, Reg);
+    byte(0xC1);
+    modrmReg(5, Reg);
+    byte(Imm);
+  }
+  void shlRI64(unsigned Reg, uint8_t Imm) {
+    rexW(0, Reg);
+    byte(0xC1);
+    modrmReg(4, Reg);
+    byte(Imm);
+  }
+  void shrRI32(unsigned Reg, uint8_t Imm) {
+    rex(false, 0, 0, Reg);
+    byte(0xC1);
+    modrmReg(5, Reg);
+    byte(Imm);
+  }
+  void shlRI32(unsigned Reg, uint8_t Imm) {
+    rex(false, 0, 0, Reg);
+    byte(0xC1);
+    modrmReg(4, Reg);
+    byte(Imm);
+  }
+
+  // setcc r8 (low registers only: al/cl).
+  void setcc(unsigned CC, unsigned Reg) {
+    byte(0x0F);
+    byte(0x90 + CC);
+    byte(0xC0 | (Reg & 7));
+  }
+  void movzxR32R8(unsigned Dst, unsigned Src) {
+    rex(false, Dst, 0, Src);
+    byte(0x0F);
+    byte(0xB6);
+    modrmReg(Dst, Src);
+  }
+  void and8RR(unsigned Dst, unsigned Src) {
+    byte(0x20);
+    modrmReg(Src, Dst);
+  }
+  void or8RR(unsigned Dst, unsigned Src) {
+    byte(0x08);
+    modrmReg(Src, Dst);
+  }
+
+  void leaRM(unsigned Dst, unsigned Base, int32_t Disp) {
+    rexW(Dst, Base);
+    byte(0x8D);
+    modrmMem(Dst, Base, Disp);
+  }
+  void callR(unsigned Reg) {
+    rex(false, 0, 0, Reg);
+    byte(0xFF);
+    modrmReg(2, Reg);
+  }
+  void push(unsigned Reg) {
+    if (Reg >= 8)
+      byte(0x41);
+    byte(0x50 + (Reg & 7));
+  }
+  void pop(unsigned Reg) {
+    if (Reg >= 8)
+      byte(0x41);
+    byte(0x58 + (Reg & 7));
+  }
+  void ret() { byte(0xC3); }
+
+  // ---- SSE scalar double ------------------------------------------------
+  void movsdXM(unsigned X, unsigned Base, int32_t Disp) {
+    byte(0xF2);
+    rex(false, X, 0, Base);
+    byte(0x0F);
+    byte(0x10);
+    modrmMem(X, Base, Disp);
+  }
+  void movsdMX(unsigned Base, int32_t Disp, unsigned X) {
+    byte(0xF2);
+    rex(false, X, 0, Base);
+    byte(0x0F);
+    byte(0x11);
+    modrmMem(X, Base, Disp);
+  }
+  // addsd=58 mulsd=59 subsd=5C divsd=5E, xmm <- [mem].
+  void sseXM(uint8_t Opc, unsigned X, unsigned Base, int32_t Disp) {
+    byte(0xF2);
+    rex(false, X, 0, Base);
+    byte(0x0F);
+    byte(Opc);
+    modrmMem(X, Base, Disp);
+  }
+  void ucomisdXR(unsigned A, unsigned B) {
+    byte(0x66);
+    rex(false, A, 0, B);
+    byte(0x0F);
+    byte(0x2E);
+    modrmReg(A, B);
+  }
+  void xorpdXR(unsigned Dst, unsigned Src) {
+    byte(0x66);
+    rex(false, Dst, 0, Src);
+    byte(0x0F);
+    byte(0x57);
+    modrmReg(Dst, Src);
+  }
+  void cvtsi2sdXR64(unsigned X, unsigned Reg) {
+    byte(0xF2);
+    rexW(X, Reg);
+    byte(0x0F);
+    byte(0x2A);
+    modrmReg(X, Reg);
+  }
+  void cvtsi2sdXM64(unsigned X, unsigned Base, int32_t Disp) {
+    byte(0xF2);
+    rexW(X, Base);
+    byte(0x0F);
+    byte(0x2A);
+    modrmMem(X, Base, Disp);
+  }
+
+  // ---- VEX-encoded AVX/AVX2, 256-bit unless noted -----------------------
+  //
+  // The wide JIT computes in ymm0-ymm5 and pins derived constants in
+  // ymm14/ymm15; vex() carries the R/B extension bits for both, and a
+  // memory base register >= 8 (r13 arenas) or an extended rm forces the
+  // 3-byte form. pp is always 1 (the 66 prefix) for this subset.
+
+  // 2-byte C5 when possible, else 3-byte C4. \p B extends modrm.rm (a GP
+  // base or a ymm in the rm slot); \p VVVV is the first source register.
+  void vex(unsigned R, unsigned B, unsigned VVVV, unsigned Map = 1,
+           bool W = false, unsigned L = 1) {
+    if (B < 8 && Map == 1 && !W) {
+      byte(0xC5);
+      byte((((R >> 3) & 1) ? 0 : 0x80) | ((~VVVV & 0xF) << 3) | (L << 2) | 1);
+      return;
+    }
+    byte(0xC4);
+    byte((((R >> 3) & 1) ? 0 : 0x80) | 0x40 |
+         (((B >> 3) & 1) ? 0 : 0x20) | (Map & 0x1F));
+    byte((W ? 0x80 : 0) | ((~VVVV & 0xF) << 3) | (L << 2) | 1);
+  }
+
+  // vmovapd ymm <- [base+disp] / [base+disp] <- ymm (32-byte aligned).
+  void vmovapdYM(unsigned Y, unsigned Base, int32_t Disp) {
+    vex(Y, Base, 0);
+    byte(0x28);
+    modrmMem(Y, Base, Disp);
+  }
+  void vmovapdMY(unsigned Base, int32_t Disp, unsigned Y) {
+    vex(Y, Base, 0);
+    byte(0x29);
+    modrmMem(Y, Base, Disp);
+  }
+  // Unaligned store (the wide result slot is only 8-aligned).
+  void vmovupdMY(unsigned Base, int32_t Disp, unsigned Y) {
+    vex(Y, Base, 0);
+    byte(0x11);
+    modrmMem(Y, Base, Disp);
+  }
+  // vaddpd=58 vmulpd=59 vsubpd=5C vdivpd=5E vandpd=54 vandnpd=55 vxorpd=57:
+  // Dst = Src1 op Src2 / Dst = Src1 op [base+disp].
+  void vpdYYY(uint8_t Opc, unsigned Dst, unsigned Src1, unsigned Src2) {
+    vex(Dst, Src2, Src1);
+    byte(Opc);
+    modrmReg(Dst, Src2);
+  }
+  void vpdYYM(uint8_t Opc, unsigned Dst, unsigned Src1, unsigned Base,
+              int32_t Disp) {
+    vex(Dst, Base, Src1);
+    byte(Opc);
+    modrmMem(Dst, Base, Disp);
+  }
+  void vxorpdYYY(unsigned Dst, unsigned Src1, unsigned Src2) {
+    vpdYYY(0x57, Dst, Src1, Src2);
+  }
+  // vcmppd Dst = Src1 pred Src2 (all-ones/all-zeros lane masks).
+  void vcmppdYYY(unsigned Dst, unsigned Src1, unsigned Src2, uint8_t Pred) {
+    vpdYYY(0xC2, Dst, Src1, Src2);
+    byte(Pred);
+  }
+  // vmovmskpd r32 <- ymm sign bits.
+  void vmovmskpd(unsigned Gp, unsigned Y) {
+    vex(Gp, Y, 0);
+    byte(0x50);
+    modrmReg(Gp, Y);
+  }
+  // vbroadcastsd ymm <- [base+disp] (AVX) / ymm <- xmm (AVX2).
+  void vbroadcastsdYM(unsigned Y, unsigned Base, int32_t Disp) {
+    vex(Y, Base, 0, 2);
+    byte(0x19);
+    modrmMem(Y, Base, Disp);
+  }
+  // vpcmpeqq (AVX2): Dst lanes = Src1 == Src2 ? ~0 : 0.
+  void vpcmpeqqYYY(unsigned Dst, unsigned Src1, unsigned Src2) {
+    vex(Dst, Src2, Src1, 2);
+    byte(0x29);
+    modrmReg(Dst, Src2);
+  }
+  // vpsrlq Dst = Src >> Imm (AVX2; Dst rides in VEX.vvvv for imm shifts).
+  void vpsrlqYI(unsigned Dst, unsigned Src, uint8_t Imm) {
+    vex(0, Src, Dst);
+    byte(0x73);
+    modrmReg(2, Src);
+    byte(Imm);
+  }
+  // Remaining AVX2 immediate shifts, same vvvv-destination shape.
+  void vpsllqYI(unsigned Dst, unsigned Src, uint8_t Imm) {
+    vex(0, Src, Dst);
+    byte(0x73);
+    modrmReg(6, Src);
+    byte(Imm);
+  }
+  void vpsrldYI(unsigned Dst, unsigned Src, uint8_t Imm) {
+    vex(0, Src, Dst);
+    byte(0x72);
+    modrmReg(2, Src);
+    byte(Imm);
+  }
+  void vpsradYI(unsigned Dst, unsigned Src, uint8_t Imm) {
+    vex(0, Src, Dst);
+    byte(0x72);
+    modrmReg(4, Src);
+    byte(Imm);
+  }
+  // Map-1 packed-integer ALU: vpaddd=FE vpsubd=FA vpaddq=D4 vpand=DB
+  // vpor=EB vpxor=EF vpcmpeqd=76; Dst = Src1 op Src2.
+  void vpiYYY(uint8_t Opc, unsigned Dst, unsigned Src1, unsigned Src2) {
+    vex(Dst, Src2, Src1);
+    byte(Opc);
+    modrmReg(Dst, Src2);
+  }
+  // Map-2 packed-integer ops (AVX2): vpmulld=40 vpcmpgtq=37 vpsrlvd=45
+  // vpsravd=46 vpsllvd=47; Dst = Src1 op Src2 (shift counts in Src2).
+  void vpi2YYY(uint8_t Opc, unsigned Dst, unsigned Src1, unsigned Src2) {
+    vex(Dst, Src2, Src1, 2);
+    byte(Opc);
+    modrmReg(Dst, Src2);
+  }
+  // vpshufd Dst = per-128-lane dword shuffle of Src by Imm (vvvv unused).
+  void vpshufdYI(unsigned Dst, unsigned Src, uint8_t Imm) {
+    vex(Dst, Src, 0);
+    byte(0x70);
+    modrmReg(Dst, Src);
+    byte(Imm);
+  }
+  // vpblendd Dst = dword blend: Imm bit i set -> dword i from Src2.
+  void vpblenddYYYI(unsigned Dst, unsigned Src1, unsigned Src2, uint8_t Imm) {
+    vex(Dst, Src2, Src1, 3);
+    byte(0x02);
+    modrmReg(Dst, Src2);
+    byte(Imm);
+  }
+  void vzeroupper() {
+    byte(0xC5);
+    byte(0xF8);
+    byte(0x77);
+  }
+
+  // ---- control flow (rel32, patched later) ------------------------------
+  size_t jmp32() {
+    byte(0xE9);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  size_t jcc32(unsigned CC) {
+    byte(0x0F);
+    byte(0x80 + CC);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  void patch32(size_t Pos, size_t Target) {
+    int64_t Rel = static_cast<int64_t>(Target) - static_cast<int64_t>(Pos + 4);
+    uint32_t V = static_cast<uint32_t>(static_cast<int32_t>(Rel));
+    for (int I = 0; I < 4; ++I)
+      Buf[Pos + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+  void bindLocal(size_t Pos) { patch32(Pos, pos()); }
+};
+
+//===----------------------------------------------------------------------===//
+// Fragment eligibility analysis (shared by both emitters and the
+// disassembler; build-configuration independent)
+//===----------------------------------------------------------------------===//
+
+/// Worklist reachability + static operand-depth inference from F.Entry —
+/// the precondition both fragment families share. On success Depth[PC]
+/// holds the operand depth before each reachable PC (-1 dead) and the
+/// frame/global geometry fields are set; on failure Reject names why in
+/// the disassembler's vocabulary.
+struct FragAnalysis {
+  std::vector<int> Depth; ///< Operand depth before each PC; -1 dead.
+  int MaxDepth = 0;
+  uint32_t CellBytes = 0;  ///< Entry pointer-parameter cells below frame.
+  uint32_t FrameDisp = 0;  ///< CurBase for an entry call (= CellBytes).
+  uint64_t FrameLimit = 0; ///< FrameMem.size() during the fragment.
+  uint64_t GlobalLimit = 0; ///< GlobalMem.size() during the fragment.
+  bool HasRet = false;      ///< Some reachable Ret/RetV.
+  const char *Reject = nullptr; ///< Why analyze() failed (null: eligible).
+
+  /// Operand-stack effect of \p I; false when the opcode has no fragment
+  /// (Op::Call, Op::Halt).
+  static bool effect(const Insn &I, int &Pop, int &Push, bool &Terminal) {
+    Terminal = false;
+    switch (I.Code) {
+    case Op::ConstD:
+    case Op::ConstI:
+    case Op::ConstU:
+    case Op::AddrG:
+    case Op::AddrF:
+    case Op::LdFI:
+    case Op::LdFU:
+    case Op::LdFD:
+    case Op::LdFP:
+    case Op::LdGI:
+    case Op::LdGU:
+    case Op::LdGD:
+    case Op::LdGP:
+    case Op::LdF2AddD:
+    case Op::LdF2SubD:
+    case Op::LdF2MulD:
+    case Op::LdF2DivD:
+    case Op::LdFI2D:
+    case Op::LdFU2D:
+      Pop = 0;
+      Push = 1;
+      return true;
+    case Op::Pop:
+      Pop = 1;
+      Push = 0;
+      return true;
+    case Op::Dup:
+      Pop = 1;
+      Push = 2;
+      return true;
+    case Op::Swap:
+      Pop = 2;
+      Push = 2;
+      return true;
+    case Op::Rot:
+      Pop = 3;
+      Push = 3;
+      return true;
+    case Op::LoadI:
+    case Op::LoadU:
+    case Op::LoadD:
+    case Op::LoadP:
+    case Op::NegD:
+    case Op::NegI:
+    case Op::NegU:
+    case Op::NotI:
+    case Op::NotU:
+    case Op::BoolI:
+    case Op::BoolD:
+    case Op::BoolP:
+    case Op::LogNotI:
+    case Op::LogNotD:
+    case Op::LogNotP:
+    case Op::I2D:
+    case Op::U2D:
+    case Op::D2I:
+    case Op::D2U:
+    case Op::I2U:
+    case Op::U2I:
+    case Op::I2P:
+    case Op::PNullCmp:
+    case Op::LdFAddD:
+    case Op::LdFSubD:
+    case Op::LdFMulD:
+    case Op::LdFDivD:
+    case Op::LdGAddD:
+    case Op::LdGSubD:
+    case Op::LdGMulD:
+    case Op::LdGDivD:
+    case Op::ConstAddD:
+    case Op::ConstSubD:
+    case Op::ConstMulD:
+    case Op::ConstDivD:
+      Pop = 1;
+      Push = 1;
+      return true;
+    case Op::StoreI:
+    case Op::StoreU:
+    case Op::StoreD:
+    case Op::StoreP:
+      Pop = 2;
+      Push = I.B ? 1 : 0;
+      return true;
+    case Op::StFI:
+    case Op::StFU:
+    case Op::StFD:
+    case Op::StFP:
+    case Op::StGI:
+    case Op::StGU:
+    case Op::StGD:
+    case Op::StGP:
+      Pop = 1;
+      Push = I.B ? 1 : 0;
+      return true;
+    case Op::ZeroF:
+    case Op::ZeroG:
+      Pop = 0;
+      Push = 0;
+      return true;
+    case Op::AddD:
+    case Op::SubD:
+    case Op::MulD:
+    case Op::DivD:
+    case Op::AddI:
+    case Op::SubI:
+    case Op::MulI:
+    case Op::DivI:
+    case Op::RemI:
+    case Op::AddU:
+    case Op::SubU:
+    case Op::MulU:
+    case Op::DivU:
+    case Op::RemU:
+    case Op::ShlI:
+    case Op::ShrI:
+    case Op::ShlU:
+    case Op::ShrU:
+    case Op::And32:
+    case Op::Or32:
+    case Op::Xor32:
+    case Op::CmpD:
+    case Op::CmpI:
+    case Op::CmpU:
+    case Op::CmpP:
+    case Op::PtrAdd:
+    case Op::CondSite:
+      Pop = 2;
+      Push = 1;
+      return true;
+    case Op::Jump:
+      Pop = 0;
+      Push = 0;
+      return true;
+    case Op::JfI:
+    case Op::JfD:
+    case Op::JfP:
+    case Op::JtI:
+    case Op::JtD:
+    case Op::JtP:
+      Pop = 1;
+      Push = 0;
+      return true;
+    case Op::CondSiteJf:
+    case Op::CondSiteJt:
+    case Op::CmpDJf:
+    case Op::CmpDJt:
+      Pop = 2;
+      Push = 0;
+      return true;
+    case Op::CallB:
+      if (static_cast<BuiltinId>(I.A) == BuiltinId::Scalbn || I.B == 2) {
+        Pop = 2;
+        Push = 1;
+      } else {
+        Pop = 1;
+        Push = 1;
+      }
+      return true;
+    case Op::Ret:
+      Pop = 1;
+      Push = 0;
+      Terminal = true;
+      return true;
+    case Op::RetV:
+    case Op::TrapOp:
+      Pop = 0;
+      Push = 0;
+      Terminal = true;
+      return true;
+    case Op::Call:
+    case Op::Halt:
+    default:
+      return false; // no fragment: fall back to the VM
+    }
+  }
+
+  bool analyze(const CompiledUnit &U, const FunctionInfo &F) {
+    size_t N = U.Code.size();
+    if (F.Entry >= N)
+      return fail("entry out of range");
+    Depth.assign(N, -1);
+    std::vector<uint32_t> Work;
+    auto visit = [&](uint32_t PC, int D) -> bool {
+      if (PC >= N)
+        return false;
+      if (Depth[PC] < 0) {
+        Depth[PC] = D;
+        Work.push_back(PC);
+        return true;
+      }
+      return Depth[PC] == D; // join depths must agree
+    };
+    if (!visit(F.Entry, 0))
+      return fail("inconsistent operand depth");
+    while (!Work.empty()) {
+      uint32_t PC = Work.back();
+      Work.pop_back();
+      int D = Depth[PC];
+      const Insn &I = U.Code[PC];
+      int Pop, Push;
+      bool Terminal;
+      if (!effect(I, Pop, Push, Terminal))
+        return fail(I.Code == Op::Call ? "contains a call"
+                                       : "unsupported opcode");
+      if (D < Pop)
+        return fail("operand stack underflow");
+      int ND = D - Pop + Push;
+      MaxDepth = std::max(MaxDepth, std::max(D, ND));
+      if (I.Code == Op::Ret || I.Code == Op::RetV)
+        HasRet = true;
+      if (Terminal)
+        continue;
+      switch (I.Code) {
+      case Op::Jump:
+        if (!visit(I.A, ND))
+          return fail("bad jump target");
+        break;
+      case Op::JfI:
+      case Op::JfD:
+      case Op::JfP:
+      case Op::JtI:
+      case Op::JtD:
+      case Op::JtP:
+      case Op::CondSiteJf:
+      case Op::CondSiteJt:
+      case Op::CmpDJf:
+      case Op::CmpDJt:
+        if (!visit(I.A, ND) || !visit(PC + 1, ND))
+          return fail("bad branch target");
+        break;
+      default:
+        if (!visit(PC + 1, ND))
+          return fail("bad fallthrough");
+        break;
+      }
+    }
+    // Block costs must fit the sign-extended imm32 the charges use.
+    for (uint32_t C : U.BlockCost)
+      if (C > 0x7fffffffu)
+        return fail("block cost overflow");
+    // The return edge charges BlockCost[Thunk + 1] (the Halt block).
+    if (HasRet && static_cast<size_t>(F.Thunk) + 1 >= U.BlockCost.size())
+      return fail("return thunk out of range");
+    // Entry-call frame geometry: pointer-parameter cells sit below the
+    // frame, so CurBase == CellBytes for the whole fragment.
+    for (const Type &T : F.ParamTypes)
+      if (T.isPointer())
+        CellBytes += 8;
+    FrameDisp = CellBytes;
+    FrameLimit = static_cast<uint64_t>(CellBytes) + F.FrameBytes;
+    GlobalLimit = std::max<uint64_t>(U.GlobalImage.size(), U.GlobalBytes);
+    uint64_t Slots = static_cast<uint64_t>(MaxDepth) * 8;
+    if (Slots > 0x7fffff00ull)
+      return fail("operand stack too deep");
+    return true;
+  }
+
+private:
+  bool fail(const char *Why) {
+    Reject = Why;
+    return false;
+  }
+};
+
+/// Why the scalar template JIT has no fragment for \p F, or null when it
+/// is scalar-JIT-able. Pure static analysis: identical on every build.
+inline const char *scalarFragRejection(const CompiledUnit &U,
+                                       const FunctionInfo &F) {
+  FragAnalysis FA;
+  FA.analyze(U, F);
+  return FA.Reject;
+}
+
+/// Why the 4-lane wide JIT has no fragment for \p F given a completed
+/// scalar analysis \p FA, or null when it is wide-JIT-able. The wide
+/// family rejects everything the scalar emitter rejects, everything the
+/// compiler's wide-safety analysis rejects, plus the few shapes that have
+/// no lane-interleaved lowering.
+inline const char *wideFragRejection(const CompiledUnit &U,
+                                     const FunctionInfo &F,
+                                     const FragAnalysis &FA) {
+  if (FA.Reject)
+    return FA.Reject;
+  if (!F.WideSafe)
+    return "not wide-safe";
+  if (U.WritesGlobals)
+    return "unit writes globals";
+  if (F.ReturnType.isPointer())
+    return "pointer return";
+  for (size_t PC = 0; PC < U.Code.size(); ++PC) {
+    if (FA.Depth[PC] < 0)
+      continue;
+    const Insn &I = U.Code[PC];
+    if (I.Code != Op::ZeroF)
+      continue;
+    // The wide ZeroF lowering only handles whole 8-byte granules and
+    // aligned 4-byte halves; Sema never emits anything else, but reject
+    // rather than mis-lower if it ever does.
+    uint32_t Off = FA.FrameDisp + I.A;
+    uint32_t Len = I.B;
+    while (Len) {
+      uint32_t In = Off & 7;
+      uint32_t Chunk = std::min(8u - In, Len);
+      if (Chunk != 8 && !(Chunk == 4 && (In == 0 || In == 4)))
+        return "unaligned local array clear";
+      Off += Chunk;
+      Len -= Chunk;
+    }
+  }
+  return nullptr;
+}
+
+/// Convenience overload running the scalar analysis internally.
+inline const char *wideFragRejection(const CompiledUnit &U,
+                                     const FunctionInfo &F) {
+  FragAnalysis FA;
+  FA.analyze(U, F);
+  return wideFragRejection(U, F, FA);
+}
+
+} // namespace jit
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_JITASM_H

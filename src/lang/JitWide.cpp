@@ -1,0 +1,1479 @@
+//===- JitWide.cpp - 4-lane AVX2 fragment family + wide batch driver ------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// The wide half of the copy-and-patch JIT (see lang/JitWide.h): every
+// bytecode instruction lowers to a fixed native fragment executing all
+// four lanes of the SIMD batch lane's structure-of-arrays state — double
+// arithmetic and the fused superinstructions as one 256-bit VEX op per
+// instruction, integer/pointer/builtin work as per-lane scalar fallout,
+// and the FOO_R cond-site hook as the vectorized pen fast path (packed
+// compare + movemask outcome recording, Def-4.2 penalty in vector
+// registers, trace/r materialized once per group by the driver).
+//
+// Bit-identity is inherited from the two proven layers this composes:
+//  * Arithmetic recipes mirror the interpreted wide lane (VmWideBody.inc /
+//    VmWide.cpp) shape for shape — vaddpd-family packed ops match
+//    lang/FpSemantics.h's pinned SSE NaN rule, the penalty sequence is the
+//    same FMA-free sub/mul/add order as wideDist, and integer / builtin /
+//    conversion work calls the very detail:: helpers every tier shares.
+//  * Divergence reuses the wide lane's retirement protocol exactly: at a
+//    branch the leader (lowest active) lane's direction is consensus and
+//    disagreeing lanes drop from the mask; per-lane traps retire the lane
+//    silently; budget shortfall, TrapOp, global stores and hook-log
+//    overflow retire the whole group. Retired rows re-run scalar from
+//    scratch (scalar JIT fragment, then interpreter), the path whose bits
+//    define correct.
+//  * Step budgeting replays the VM's block-granular schedule: the driver
+//    hoists the thunk charge exactly like jitProbe (StepsAfterThunk), and
+//    the fragment charges BlockCost on the same edges as the scalar
+//    fragment — entry, every jump/branch edge, the return-to-thunk edge —
+//    so exhaustion points are identical across all four tiers.
+//
+// Fragment ABI (JitWideFrame offsets are hard-coded; see lang/JitWide.h):
+//   rdi on entry = JitWideFrame*    rbp = JitWideFrame* (saved)
+//   rbx = wide frame arena (FW)     r13 = GMem base
+//   r15 = DoublePool base           r14 = StepsLeft
+//   r12d = active lane mask
+//   wide operand slot i lives at [rsp + i*32] (rsp is 32-aligned by the
+//   prologue; the original rsp is spilled to the frame). One extra 32-byte
+//   granule above the slots serves as broadcast scratch.
+// Scratch: rax rcx rdx rsi rdi r8-r11, ymm0-ymm5 — caller-saved, and no
+// operand value is live in a register across an instruction boundary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/JitWide.h"
+
+#include "lang/Jit.h"
+#include "lang/Vm.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/SaturationTable.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+using namespace coverme;
+using namespace coverme::lang;
+using namespace coverme::lang::bc;
+using namespace coverme::lang::bc::jit;
+
+// The wide emitter needs both the JIT and the SIMD lane compiled in: the
+// fragments execute over VmWide's lane-interleaved state and retire rows
+// to the scalar JIT fragments. Host AVX2 is a separate runtime question
+// (Vm::simdAvailable gates binding, not emission).
+#if defined(COVERME_JIT) && defined(COVERME_VM_SIMD) &&                        \
+    defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+#define COVERME_JIT_WIDE_ENABLED 1
+#else
+#define COVERME_JIT_WIDE_ENABLED 0
+#endif
+
+namespace coverme {
+namespace lang {
+namespace bc {
+namespace detail {
+// Defined in Vm.cpp; shared verbatim so the tiers cannot drift.
+int32_t truncToInt32(double V);
+uint32_t truncToUInt32(double V);
+} // namespace detail
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#if COVERME_JIT_WIDE_ENABLED
+
+// C bridges the per-lane fallout calls — defined in Jit.cpp (the gate
+// above implies COVERME_JIT_ENABLED there).
+extern "C" {
+double covermeJitBuiltin(uint32_t Id, double A, double B);
+double covermeJitScalbn(double A, int32_t N);
+uint64_t covermeJitD2I(double V);
+uint64_t covermeJitD2U(double V);
+}
+
+namespace {
+
+// JitWideFrame field offsets (static_asserted against the struct below).
+enum : int32_t {
+  JwFW = 0,
+  JwGMem = 8,
+  JwPool = 16,
+  JwSteps = 24,
+  JwActive = 32,
+  JwSavedRsp = 40,
+  JwResult = 48,
+  JwSatFlags = 80,
+  JwEpsilon = 88,
+  JwRWide = 96,
+  JwCondLog = 104,
+  JwCondCount = 112,
+  JwCondCap = 120,
+};
+
+static_assert(offsetof(JitWideFrame, FW) == JwFW, "ABI drift");
+static_assert(offsetof(JitWideFrame, GMem) == JwGMem, "ABI drift");
+static_assert(offsetof(JitWideFrame, Pool) == JwPool, "ABI drift");
+static_assert(offsetof(JitWideFrame, StepsLeft) == JwSteps, "ABI drift");
+static_assert(offsetof(JitWideFrame, Active) == JwActive, "ABI drift");
+static_assert(offsetof(JitWideFrame, SavedRsp) == JwSavedRsp, "ABI drift");
+static_assert(offsetof(JitWideFrame, ResultBits) == JwResult, "ABI drift");
+static_assert(offsetof(JitWideFrame, SatFlags) == JwSatFlags, "ABI drift");
+static_assert(offsetof(JitWideFrame, Epsilon) == JwEpsilon, "ABI drift");
+static_assert(offsetof(JitWideFrame, RWide) == JwRWide, "ABI drift");
+static_assert(offsetof(JitWideFrame, CondLog) == JwCondLog, "ABI drift");
+static_assert(offsetof(JitWideFrame, CondCount) == JwCondCount, "ABI drift");
+static_assert(offsetof(JitWideFrame, CondCap) == JwCondCap, "ABI drift");
+static_assert(sizeof(wide::WideCondRec) == 8, "CondLog stride is baked in");
+
+/// vcmppd predicate for a CmpOp, NaN semantics included: ordered-quiet
+/// for the ordered comparisons (NaN compares false), unordered-quiet for
+/// NE (NaN compares true) — exactly wideCmp in VmWide.cpp.
+inline uint8_t vcmpPred(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return 0x00; // EQ_OQ
+  case CmpOp::NE:
+    return 0x04; // NEQ_UQ
+  case CmpOp::LT:
+    return 0x11; // LT_OQ
+  case CmpOp::LE:
+    return 0x12; // LE_OQ
+  case CmpOp::GT:
+    return 0x1E; // GT_OQ
+  case CmpOp::GE:
+    return 0x1D; // GE_OQ
+  }
+  return 0x00;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function wide emitter
+//===----------------------------------------------------------------------===//
+
+class FnWideEmitter {
+public:
+  FnWideEmitter(const CompiledUnit &U, const FunctionInfo &F, Asm &A)
+      : U(U), F(F), A(A) {}
+
+  /// Analyzes and emits; false leaves the caller to roll the buffer back.
+  bool run() {
+    FragAnalysis FA;
+    FA.analyze(U, F);
+    if (wideFragRejection(U, F, FA))
+      return false;
+    Depth = std::move(FA.Depth);
+    MaxDepth = FA.MaxDepth;
+    FrameDisp = FA.FrameDisp;
+    FrameLimit = FA.FrameLimit;
+    GlobalLimit = FA.GlobalLimit;
+    // Wide slots are 4x the scalar ones; keep every baked displacement
+    // comfortably inside imm32 (the analysis only guarded the scalar 8x).
+    if (static_cast<uint64_t>(MaxDepth) * 32 + 32 > 0x7fff0000ull)
+      return false;
+    if (FrameLimit * 4 + 64 > 0x7fff0000ull)
+      return false;
+    if (GlobalLimit > 0x7fff0000ull)
+      return false;
+    ScratchOff = MaxDepth * 32;
+    StackAdjW = static_cast<uint32_t>(MaxDepth + 1) * 32;
+    return emit();
+  }
+
+private:
+  const CompiledUnit &U;
+  const FunctionInfo &F;
+  Asm &A;
+
+  std::vector<int> Depth;  ///< Operand depth before each PC; -1 dead.
+  int MaxDepth = 0;
+  uint32_t FrameDisp = 0;  ///< CurBase for an entry call (= CellBytes).
+  uint64_t FrameLimit = 0; ///< Logical per-lane frame bytes.
+  uint64_t GlobalLimit = 0;
+  int32_t ScratchOff = 0;  ///< Broadcast scratch granule above the slots.
+  uint32_t StackAdjW = 0;  ///< Prologue rsp adjustment (32-aligned).
+
+  std::vector<size_t> CodeOff;
+  struct Fixup {
+    size_t Pos;
+    uint32_t TargetPC;
+  };
+  std::vector<Fixup> JumpFix;    ///< rel32 -> CodeOff[TargetPC]
+  std::vector<size_t> RetireFix; ///< jumps to the retire-all epilogue
+  std::vector<size_t> ExitFix;   ///< jumps to the epilogue (mask kept)
+
+  // Wide operand slot / lane displacements off rsp.
+  static int32_t wslot(int D) { return D * 32; }
+  static int32_t wlane(int D, unsigned L) {
+    return D * 32 + static_cast<int32_t>(L) * 8;
+  }
+  // Frame granule / lane displacements off rbx (the interleaved arena).
+  int32_t fgran(uint32_t Off) const {
+    return static_cast<int32_t>(wide::granuleByte(FrameDisp + Off));
+  }
+  int32_t flane(uint32_t Off, unsigned L) const {
+    return static_cast<int32_t>(wide::laneByte(FrameDisp + Off, L));
+  }
+
+  // ---- emission helpers -------------------------------------------------
+
+  void jccRetire(unsigned CC) { RetireFix.push_back(A.jcc32(CC)); }
+  void jmpRetire() { RetireFix.push_back(A.jmp32()); }
+
+  // The wide VM_CHARGE: a block that does not fit the remaining budget
+  // retires every active lane (VMW_ALL_RETIRED) — never a trap; the rows
+  // re-run scalar and exhaust at the identical point. r14 = StepsLeft.
+  void charge(uint32_t TargetPC) {
+    uint32_t C = U.BlockCost[TargetPC];
+    if (C == 0)
+      return;
+    A.cmpRI64(R14, C);
+    jccRetire(CC_B);
+    A.subRI64(R14, C);
+  }
+
+  void jmpTo(uint32_t TargetPC) { JumpFix.push_back({A.jmp32(), TargetPC}); }
+
+  void callBridge(const void *Fn) {
+    A.movRI64(RAX, reinterpret_cast<uint64_t>(Fn));
+    A.callR(RAX);
+  }
+
+  // Retire lanes whose bits cleared since the last branch; all gone ->
+  // exit with Active = 0 (the whole group re-runs scalar).
+  void deadCheck() {
+    A.testRR32(R12, R12);
+    jccRetire(CC_E);
+  }
+
+  // Broadcast rax into all four lanes of wide slot D (via the scratch
+  // granule; vbroadcastsd has no GP-register source form).
+  void bcastRaxToSlot(int D) {
+    A.movMR64(RSP, ScratchOff, RAX);
+    A.vbroadcastsdYM(0, RSP, ScratchOff);
+    A.vmovapdMY(RSP, wslot(D), 0);
+  }
+
+  // ---- pinned packed constants ------------------------------------------
+  //
+  // ymm15 = all-ones and ymm14 = zero live for the whole fragment: every
+  // other packed constant the integer recipes need (sign bit, shift mask,
+  // space-tag mask, abs mask) is one immediate shift away from ymm15.
+  // Bridge calls clobber every vector register, so each bridge cluster
+  // re-emits this two-instruction sequence on its way out.
+  void emitPinnedConsts() {
+    A.vpiYYY(0x76, 15, 15, 15); // vpcmpeqd: all-ones
+    A.vpiYYY(0xEF, 14, 14, 14); // vpxor: zero
+  }
+
+  // Canonicalize a packed int32 result exactly like the lane-wise recipes
+  // it replaces: each 64-bit lane's low dword is the value; rewrite the
+  // high dword with the value's sign (Int, the movsxd) or with zero
+  // (UInt, the implicit 32-bit zero extension). Clobbers \p S.
+  void sext32(unsigned V, unsigned S) {
+    A.vpshufdYI(V, V, 0xA0);       // [v0 v0 v2 v2] per 128-bit half
+    A.vpsradYI(S, V, 31);          // [s0 s0 s2 s2]
+    A.vpblenddYYYI(V, V, S, 0xAA); // [v0 s0 v2 s2]
+  }
+  void zext32(unsigned V) { A.vpblenddYYYI(V, V, 14, 0xAA); }
+
+  // Exact packed int64 -> double via the 2^52 + 2^51 magic constant:
+  // valid for lanes within +/-2^51, and every canonical int lane is in
+  // (-2^31, 2^32) — the same exact result as the per-row cvtsi2sd. Leaves
+  // the converted doubles in ymm\p V; clobbers ymm\p S and the scratch
+  // granule.
+  void emitInt64ToDouble(unsigned V, unsigned S) {
+    A.movRI64(RAX, 0x4338000000000000ull); // the bits of 2^52 + 2^51
+    A.movMR64(RSP, ScratchOff, RAX);
+    A.vbroadcastsdYM(S, RSP, ScratchOff);
+    A.vpiYYY(0xD4, V, V, S); // vpaddq: mantissa-encode 2^52 + 2^51 + v
+    A.vpdYYY(0x5C, V, V, S); // vsubpd the magic back out — exact
+  }
+
+  // VMW_BRANCH, with the taken-lane mask in eax (bits 0..3; higher bits
+  // must be clear): lanes agreeing with the leader continue, the rest
+  // retire. The leader always survives, so no dead-check is needed, and
+  // both edges charge their target block exactly like the VM.
+  void emitBranch(uint32_t TargetPC, uint32_t FallPC) {
+    A.aluRR32(0x21, RAX, R12); // taken &= active
+    A.movRR32(RCX, R12);
+    A.negR32(RCX);
+    A.aluRR32(0x21, RCX, R12); // ecx = active & -active (the leader bit)
+    A.testRR32(RAX, RCX);
+    size_t JNot = A.jcc32(CC_E);
+    A.movRR32(R12, RAX); // leader takes the branch: active = taken
+    charge(TargetPC);
+    jmpTo(TargetPC);
+    A.bindLocal(JNot);
+    A.notR32(RAX);
+    A.aluRR32(0x21, R12, RAX); // active &= ~taken
+    charge(FallPC);
+    // fall through to FallPC's code
+  }
+
+  // The packed Def-4.1 branch distance: same FP ops in the same order as
+  // VmWide.cpp's wideDist (itself pinned to BranchDistance.cpp's scalar
+  // mul-then-add shapes) — and since these are hand-picked vaddpd/vmulpd
+  // bytes, no compiler can ever contract them into FMA. In: A = ymm1,
+  // B = ymm2. Out: ymm3. Scratch: ymm4, ymm5.
+  void emitWideDist(CmpOp Op) {
+    unsigned Va = 1, Vb = 2;
+    if (Op == CmpOp::GE) {
+      Op = CmpOp::LE;
+      std::swap(Va, Vb);
+    } else if (Op == CmpOp::GT) {
+      Op = CmpOp::LT;
+      std::swap(Va, Vb);
+    }
+    switch (Op) {
+    case CmpOp::EQ:
+      A.vpdYYY(0x5C, 3, Va, Vb); // diff = a - b
+      A.vpdYYY(0x59, 3, 3, 3);   // diff * diff
+      break;
+    case CmpOp::NE:
+      A.vbroadcastsdYM(5, RBP, JwEpsilon);
+      A.vcmppdYYY(4, Va, Vb, 0x04);
+      A.vpdYYY(0x55, 3, 4, 5); // andnot(a != b, eps)
+      break;
+    case CmpOp::LE:
+      A.vcmppdYYY(4, Va, Vb, 0x12);
+      A.vpdYYY(0x5C, 3, Va, Vb);
+      A.vpdYYY(0x59, 3, 3, 3);
+      A.vpdYYY(0x55, 3, 4, 3); // andnot(a <= b, diff * diff)
+      break;
+    case CmpOp::LT:
+      A.vbroadcastsdYM(5, RBP, JwEpsilon);
+      A.vcmppdYYY(4, Va, Vb, 0x11);
+      A.vpdYYY(0x5C, 3, Va, Vb);
+      A.vpdYYY(0x59, 3, 3, 3);
+      A.vpdYYY(0x58, 3, 3, 5); // diff * diff + eps
+      A.vpdYYY(0x55, 3, 4, 3);
+      break;
+    case CmpOp::GT:
+    case CmpOp::GE:
+      break; // rewritten above
+    }
+  }
+
+  // The vectorized FOO_R pen hook (widePen in VmWide.cpp): append one
+  // CondLog record with this site's packed outcome bits, then replace the
+  // wide running r per Definition 4.2 against the batch's frozen per-site
+  // saturation snapshot. Null SatFlags = no context installed: the hook
+  // vanishes (WideCtxNone). Preserves eax (the outcome mask, which branch
+  // forms consume next) and ymm0-ymm2; uses rcx/rdx/rsi and ymm3-ymm5.
+  // In: A = ymm1, B = ymm2, movemask of the site's compare in eax.
+  void emitPenBlock(uint32_t Site, CmpOp Op) {
+    A.movRM64(RCX, RBP, JwSatFlags);
+    A.testRR64(RCX, RCX);
+    size_t JNoCtx = A.jcc32(CC_E);
+    // CondLog[CondCount++] = {Site, outcome bits}; a full log retires the
+    // group (the scalar re-runs rebuild the trace row by row).
+    A.movRM64(RDX, RBP, JwCondCount);
+    A.aluRM64(0x3B, RDX, RBP, JwCondCap);
+    jccRetire(CC_AE);
+    A.movRR64(RSI, RDX);
+    A.shlRI64(RSI, 3); // sizeof(WideCondRec)
+    A.aluRM64(0x03, RSI, RBP, JwCondLog);
+    A.movMI32(RSI, 0, Site);
+    A.movMR8(RSI, 4, RAX); // Outcomes = al
+    A.addRI64(RDX, 1);
+    A.movMR64(RBP, JwCondCount, RDX);
+    // Arm flags: bit 0 = true arm saturated, bit 1 = false arm saturated.
+    A.movzxR32M8(RDX, RCX, static_cast<int32_t>(Site));
+    A.cmpRI32(RDX, 3);
+    size_t JKeep = A.jcc32(CC_E); // both arms: keep the previous r
+    A.testRR32(RDX, RDX);
+    size_t JSome = A.jcc32(CC_NE);
+    A.vxorpdYYY(3, 3, 3); // neither arm: r = 0
+    size_t JStore1 = A.jmp32();
+    A.bindLocal(JSome);
+    A.cmpRI32(RDX, 2);
+    size_t JDistOp = A.jcc32(CC_E); // only false arm: dist(Op)
+    emitWideDist(negateCmpOp(Op));  // only true arm: dist(negate(Op))
+    size_t JStore2 = A.jmp32();
+    A.bindLocal(JDistOp);
+    emitWideDist(Op);
+    A.bindLocal(JStore1);
+    A.bindLocal(JStore2);
+    A.movRM64(RCX, RBP, JwRWide);
+    A.vmovapdMY(RCX, 0, 3);
+    A.bindLocal(JNoCtx);
+    A.bindLocal(JKeep);
+  }
+
+  // Per-lane Vm::resolve over the interleaved arena — the native form of
+  // wideResolveLane: a lane whose pointer is null/garbage, out of bounds,
+  // granule-straddling, or a global store pushes a fixup onto \p LaneFail
+  // (the caller retires the lane); on success the final lane address is
+  // in rsi. Clobbers rax, rcx, rdx.
+  void emitResolveLane(int Dp, unsigned L, unsigned Size, bool IsStore,
+                       std::vector<size_t> &LaneFail) {
+    A.movRM64(RAX, RSP, wlane(Dp, L));
+    A.movRR64(RCX, RAX);
+    A.shrRI64(RCX, 56);
+    A.cmpRI32(RCX, 2);
+    size_t JFrame = A.jcc32(CC_E);
+    A.cmpRI32(RCX, 1);
+    LaneFail.push_back(A.jcc32(CC_NE)); // null or garbage tag
+    size_t JDone = SIZE_MAX;
+    if (IsStore || GlobalLimit < Size) {
+      // The wide group shares one read-only global image: any global
+      // store retires the lane and the row re-runs scalar.
+      LaneFail.push_back(A.jmp32());
+    } else {
+      A.movRR32(RDX, RAX);
+      A.cmpRI32(RDX, static_cast<uint32_t>(GlobalLimit - Size));
+      LaneFail.push_back(A.jcc32(CC_A));
+      A.movRR64(RSI, R13);
+      A.aluRR64(0x01, RSI, RDX);
+      JDone = A.jmp32();
+    }
+    A.bindLocal(JFrame);
+    A.movRR32(RDX, RAX);
+    if (FrameLimit < Size) {
+      LaneFail.push_back(A.jmp32());
+    } else {
+      A.cmpRI32(RDX, static_cast<uint32_t>(FrameLimit - Size));
+      LaneFail.push_back(A.jcc32(CC_A));
+      // Granule-straddle check ((Off & 7) + Size > 8): the wide layout
+      // cannot express it; scalar re-execution handles the exotic case.
+      if (Size == 8) {
+        A.testRI32(RDX, 7);
+        LaneFail.push_back(A.jcc32(CC_NE));
+      } else {
+        A.movRR32(RCX, RDX);
+        A.andRI32(RCX, 7);
+        A.cmpRI32(RCX, 4);
+        LaneFail.push_back(A.jcc32(CC_A));
+      }
+      // rsi = FW + (Off/8)*32 + L*8 + (Off%7... Off&7)
+      A.movRR32(RSI, RDX);
+      A.shrRI32(RSI, 3);
+      A.shlRI32(RSI, 5);
+      A.andRI32(RDX, 7);
+      A.aluRR32(0x01, RSI, RDX);
+      if (L)
+        A.aluRI32(0, RSI, L * 8);
+      A.aluRR64(0x01, RSI, RBX);
+    }
+    if (JDone != SIZE_MAX)
+      A.bindLocal(JDone);
+  }
+
+
+  bool emit() {
+    size_t N = U.Code.size();
+    CodeOff.assign(N, SIZE_MAX);
+    // Prologue. Entry rsp % 16 == 8; after the spill-and-align dance rsp
+    // is 32-aligned (wide slots are vmovapd'd), which also keeps every
+    // bridge call site 16-aligned.
+    A.push(RBP);
+    A.push(RBX);
+    A.push(R12);
+    A.push(R13);
+    A.push(R14);
+    A.push(R15);
+    A.movRR64(RBP, RDI);
+    A.movMR64(RBP, JwSavedRsp, RSP);
+    A.aluRI64(4, RSP, 0xffffffe0u); // and rsp, -32
+    A.subRI64(RSP, StackAdjW);
+    A.movRM64(RBX, RBP, JwFW);
+    A.movRM64(R13, RBP, JwGMem);
+    A.movRM64(R15, RBP, JwPool);
+    A.movRM64(R14, RBP, JwSteps);
+    A.movRM64(R12, RBP, JwActive);
+    emitPinnedConsts();
+    charge(F.Entry); // the VM's VM_JUMP(F.Entry) edge at the entry Call
+    for (uint32_t PC = 0; PC < N; ++PC) {
+      if (Depth[PC] < 0)
+        continue;
+      CodeOff[PC] = A.pos();
+      if (!emitInsn(PC))
+        return false;
+    }
+    // Retire-all: budget shortfall, TrapOp, global effects, log overflow.
+    size_t RetireAll = A.pos();
+    for (size_t P : RetireFix)
+      A.patch32(P, RetireAll);
+    A.aluRR32(0x31, R12, R12); // active = 0; fall into the epilogue
+    size_t Exit = A.pos();
+    for (size_t P : ExitFix)
+      A.patch32(P, Exit);
+    A.movMR64(RBP, JwSteps, R14);
+    A.movMR64(RBP, JwActive, R12);
+    A.vzeroupper();
+    A.movRM64(RSP, RBP, JwSavedRsp);
+    A.pop(R15);
+    A.pop(R14);
+    A.pop(R13);
+    A.pop(R12);
+    A.pop(RBX);
+    A.pop(RBP);
+    A.ret();
+    for (const Fixup &J : JumpFix) {
+      if (J.TargetPC >= N || CodeOff[J.TargetPC] == SIZE_MAX)
+        return false;
+      A.patch32(J.Pos, CodeOff[J.TargetPC]);
+    }
+    return true;
+  }
+
+  bool emitInsn(uint32_t PC) {
+    const Insn &I = U.Code[PC];
+    int D = Depth[PC];
+    switch (I.Code) {
+    // ---- constants ------------------------------------------------------
+    case Op::ConstD:
+      A.vbroadcastsdYM(0, R15, static_cast<int32_t>(I.A * 8));
+      A.vmovapdMY(RSP, wslot(D), 0);
+      return true;
+    case Op::ConstI:
+      A.movRI64(RAX, static_cast<uint64_t>(
+                         static_cast<int64_t>(static_cast<int32_t>(I.A))));
+      bcastRaxToSlot(D);
+      return true;
+    case Op::ConstU:
+      A.movRI32(RAX, I.A);
+      bcastRaxToSlot(D);
+      return true;
+
+    // ---- stack shuffling ------------------------------------------------
+    case Op::Pop:
+      return true;
+    case Op::Dup:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vmovapdMY(RSP, wslot(D), 0);
+      return true;
+    case Op::Swap:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vmovapdYM(1, RSP, wslot(D - 2));
+      A.vmovapdMY(RSP, wslot(D - 1), 1);
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    case Op::Rot:
+      A.vmovapdYM(0, RSP, wslot(D - 3));
+      A.vmovapdYM(1, RSP, wslot(D - 2));
+      A.vmovapdYM(2, RSP, wslot(D - 1));
+      A.vmovapdMY(RSP, wslot(D - 3), 1);
+      A.vmovapdMY(RSP, wslot(D - 2), 2);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+
+    // ---- addresses ------------------------------------------------------
+    case Op::AddrG:
+      A.movRI64(RAX, encodePtr(Space::Global, I.A));
+      bcastRaxToSlot(D);
+      return true;
+    case Op::AddrF:
+      A.movRI64(RAX, encodePtr(Space::Frame, FrameDisp + I.A));
+      bcastRaxToSlot(D);
+      return true;
+
+    // ---- checked accesses (per lane; failing lanes retire) --------------
+    case Op::LoadI:
+    case Op::LoadU:
+    case Op::LoadD:
+    case Op::LoadP: {
+      unsigned Size = (I.Code == Op::LoadI || I.Code == Op::LoadU) ? 4 : 8;
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        std::vector<size_t> LaneFail;
+        emitResolveLane(D - 1, L, Size, /*IsStore=*/false, LaneFail);
+        if (I.Code == Op::LoadI)
+          A.movsxdRM(RAX, RSI, 0);
+        else if (I.Code == Op::LoadU)
+          A.movRM32(RAX, RSI, 0);
+        else
+          A.movRM64(RAX, RSI, 0);
+        A.movMR64(RSP, wlane(D - 1, L), RAX);
+        size_t JOk = A.jmp32();
+        for (size_t P : LaneFail)
+          A.bindLocal(P);
+        A.andRI32(R12, ~static_cast<uint32_t>(wide::laneBit(L)));
+        A.bindLocal(JOk);
+      }
+      deadCheck();
+      return true;
+    }
+    case Op::StoreI:
+    case Op::StoreU:
+    case Op::StoreD:
+    case Op::StoreP: {
+      unsigned Size = (I.Code == Op::StoreI || I.Code == Op::StoreU) ? 4 : 8;
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        std::vector<size_t> LaneFail;
+        emitResolveLane(D - 2, L, Size, /*IsStore=*/true, LaneFail);
+        if (Size == 4) {
+          A.movRM32(RCX, RSP, wlane(D - 1, L));
+          A.movMR32(RSI, 0, RCX);
+        } else {
+          A.movRM64(RCX, RSP, wlane(D - 1, L));
+          A.movMR64(RSI, 0, RCX);
+        }
+        size_t JOk = A.jmp32();
+        for (size_t P : LaneFail)
+          A.bindLocal(P);
+        A.andRI32(R12, ~static_cast<uint32_t>(wide::laneBit(L)));
+        A.bindLocal(JOk);
+      }
+      deadCheck();
+      if (I.B) { // push the full value slot back (scalar StoreI/StoreD B)
+        A.vmovapdYM(0, RSP, wslot(D - 1));
+        A.vmovapdMY(RSP, wslot(D - 2), 0);
+      }
+      return true;
+    }
+
+    // ---- fused unchecked accesses ---------------------------------------
+    case Op::LdFI:
+    case Op::LdFU: {
+      // A 4-byte frame cell is one half of its lane qword (the rejection
+      // admits only aligned halves): load the granule packed, shift the
+      // high half down when that's where the cell lives, recanonicalize.
+      uint32_t In = (FrameDisp + I.A) & 7u;
+      A.vmovapdYM(0, RBX, fgran(I.A));
+      if (In)
+        A.vpsrlqYI(0, 0, 32);
+      if (I.Code == Op::LdFI)
+        sext32(0, 1);
+      else
+        zext32(0);
+      A.vmovapdMY(RSP, wslot(D), 0);
+      return true;
+    }
+    case Op::LdFD:
+    case Op::LdFP:
+      A.vmovapdYM(0, RBX, fgran(I.A));
+      A.vmovapdMY(RSP, wslot(D), 0);
+      return true;
+    // Globals are lane-uniform (one shared read-only image): load once,
+    // broadcast.
+    case Op::LdGI:
+      A.movsxdRM(RAX, R13, static_cast<int32_t>(I.A));
+      bcastRaxToSlot(D);
+      return true;
+    case Op::LdGU:
+      A.movRM32(RAX, R13, static_cast<int32_t>(I.A));
+      bcastRaxToSlot(D);
+      return true;
+    case Op::LdGD:
+    case Op::LdGP:
+      A.vbroadcastsdYM(0, R13, static_cast<int32_t>(I.A));
+      A.vmovapdMY(RSP, wslot(D), 0);
+      return true;
+    case Op::StFI:
+    case Op::StFU: {
+      // Blend the value dwords into the granule, preserving each lane's
+      // other 4-byte half.
+      uint32_t In = (FrameDisp + I.A) & 7u;
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vmovapdYM(1, RBX, fgran(I.A));
+      if (In) {
+        A.vpsllqYI(0, 0, 32);
+        A.vpblenddYYYI(1, 1, 0, 0xAA);
+      } else {
+        A.vpblenddYYYI(1, 1, 0, 0x55);
+      }
+      A.vmovapdMY(RBX, fgran(I.A), 1);
+      return true; // B: the slot simply stays
+    }
+    case Op::StFD:
+    case Op::StFP:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vmovapdMY(RBX, fgran(I.A), 0);
+      return true;
+    case Op::StGI:
+    case Op::StGU:
+    case Op::StGD:
+    case Op::StGP:
+    case Op::ZeroG:
+      // Unreachable in a wide-eligible function (wideFragRejection demands
+      // WideSafe + !WritesGlobals); retire the group defensively.
+      jmpRetire();
+      return true;
+    case Op::ZeroF: {
+      A.vxorpdYYY(0, 0, 0);
+      uint32_t Off = FrameDisp + I.A;
+      uint32_t Len = I.B;
+      while (Len) {
+        uint32_t In = Off & 7u;
+        uint32_t Chunk = 8u - In < Len ? 8u - In : Len;
+        if (Chunk == 8u) {
+          A.vmovapdMY(RBX, static_cast<int32_t>(wide::granuleByte(Off)), 0);
+        } else {
+          // wideFragRejection admitted only aligned 4-byte halves here.
+          for (unsigned L = 0; L < wide::kWideLanes; ++L)
+            A.movMI32(RBX, static_cast<int32_t>(wide::laneByte(Off, L)), 0);
+        }
+        Off += Chunk;
+        Len -= Chunk;
+      }
+      return true;
+    }
+
+    // ---- double arithmetic (one packed op for all lanes) ----------------
+    case Op::AddD:
+    case Op::SubD:
+    case Op::MulD:
+    case Op::DivD: {
+      uint8_t Opc = I.Code == Op::AddD   ? 0x58
+                    : I.Code == Op::SubD ? 0x5C
+                    : I.Code == Op::MulD ? 0x59
+                                         : 0x5E;
+      A.vmovapdYM(0, RSP, wslot(D - 2));
+      A.vpdYYM(Opc, 0, 0, RSP, wslot(D - 1));
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    }
+    case Op::NegD:
+      A.vpsllqYI(1, 15, 63); // the sign-bit mask
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpdYYY(0x57, 0, 0, 1); // xor: flip the sign bit, NaN included
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+
+    // ---- integer arithmetic (packed: 32-bit dword ops, then the lane
+    // high dwords recanonicalized by signedness) -------------------------
+    case Op::AddI:
+    case Op::SubI:
+    case Op::MulI:
+    case Op::AddU:
+    case Op::SubU:
+    case Op::MulU: {
+      bool Signed = I.Code == Op::AddI || I.Code == Op::SubI ||
+                    I.Code == Op::MulI;
+      bool Mul = I.Code == Op::MulI || I.Code == Op::MulU;
+      bool Add = I.Code == Op::AddI || I.Code == Op::AddU;
+      A.vmovapdYM(0, RSP, wslot(D - 2));
+      A.vmovapdYM(1, RSP, wslot(D - 1));
+      if (Mul)
+        A.vpi2YYY(0x40, 0, 0, 1); // vpmulld: the imul low-32 products
+      else
+        A.vpiYYY(Add ? 0xFE : 0xFA, 0, 0, 1); // vpaddd / vpsubd
+      if (Signed)
+        sext32(0, 1);
+      else
+        zext32(0);
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    }
+    case Op::DivI:
+    case Op::RemI: {
+      bool Rem = I.Code == Op::RemI;
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        A.movRM32(RAX, RSP, wlane(D - 2, L));
+        A.movRM32(RCX, RSP, wlane(D - 1, L));
+        A.testRR32(RCX, RCX);
+        size_t JZero = A.jcc32(CC_E); // the scalar re-run traps
+        // INT_MIN / -1 wraps (quotient INT_MIN, remainder 0), not #DE.
+        A.cmpRI32(RAX, 0x80000000u);
+        size_t JDo1 = A.jcc32(CC_NE);
+        A.cmpRI32(RCX, 0xffffffffu);
+        size_t JDo2 = A.jcc32(CC_NE);
+        if (Rem)
+          A.aluRR32(0x31, RAX, RAX);
+        size_t JStore = A.jmp32();
+        A.bindLocal(JDo1);
+        A.bindLocal(JDo2);
+        A.cdq();
+        A.idivR32(RCX);
+        if (Rem)
+          A.movRR32(RAX, RDX);
+        A.bindLocal(JStore);
+        A.movsxdRR(RAX, RAX);
+        A.movMR64(RSP, wlane(D - 2, L), RAX);
+        size_t JOk = A.jmp32();
+        A.bindLocal(JZero);
+        A.andRI32(R12, ~static_cast<uint32_t>(wide::laneBit(L)));
+        A.bindLocal(JOk);
+      }
+      deadCheck();
+      return true;
+    }
+    case Op::DivU:
+    case Op::RemU: {
+      bool Rem = I.Code == Op::RemU;
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        A.movRM32(RAX, RSP, wlane(D - 2, L));
+        A.movRM32(RCX, RSP, wlane(D - 1, L));
+        A.testRR32(RCX, RCX);
+        size_t JZero = A.jcc32(CC_E);
+        A.aluRR32(0x31, RDX, RDX);
+        A.divR32(RCX);
+        A.movMR64(RSP, wlane(D - 2, L), Rem ? RDX : RAX);
+        size_t JOk = A.jmp32();
+        A.bindLocal(JZero);
+        A.andRI32(R12, ~static_cast<uint32_t>(wide::laneBit(L)));
+        A.bindLocal(JOk);
+      }
+      deadCheck();
+      return true;
+    }
+    case Op::NegI:
+    case Op::NegU:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpiYYY(0xFA, 0, 14, 0); // vpsubd: 0 - v, the 32-bit neg
+      if (I.Code == Op::NegI)
+        sext32(0, 1);
+      else
+        zext32(0);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    case Op::ShlI:
+    case Op::ShrI:
+    case Op::ShlU:
+    case Op::ShrU: {
+      bool Signed = I.Code == Op::ShlI || I.Code == Op::ShrI;
+      A.vmovapdYM(0, RSP, wslot(D - 2));
+      A.vmovapdYM(1, RSP, wslot(D - 1));
+      A.vpsrldYI(2, 15, 27);   // 31 in every dword
+      A.vpiYYY(0xDB, 1, 1, 2); // count &= 31, the scalar cl-shift mask
+      if (I.Code == Op::ShlI || I.Code == Op::ShlU)
+        A.vpi2YYY(0x47, 0, 0, 1); // vpsllvd
+      else if (I.Code == Op::ShrI)
+        A.vpi2YYY(0x46, 0, 0, 1); // vpsravd: arithmetic, as Fdlibm assumes
+      else
+        A.vpi2YYY(0x45, 0, 0, 1); // vpsrlvd
+      if (Signed)
+        sext32(0, 1);
+      else
+        zext32(0);
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    }
+    case Op::And32:
+    case Op::Or32:
+    case Op::Xor32: {
+      uint8_t Opc = I.Code == Op::And32  ? 0xDB
+                    : I.Code == Op::Or32 ? 0xEB
+                                         : 0xEF; // vpand / vpor / vpxor
+      A.vmovapdYM(0, RSP, wslot(D - 2));
+      A.vmovapdYM(1, RSP, wslot(D - 1));
+      A.vpiYYY(Opc, 0, 0, 1);
+      zext32(0); // the scalar recipe stores its 32-bit result zero-extended
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    }
+    case Op::NotI:
+    case Op::NotU:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpiYYY(0xEF, 0, 0, 15); // vpxor all-ones: the 32-bit not
+      if (I.Code == Op::NotI)
+        sext32(0, 1);
+      else
+        zext32(0);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+
+    // ---- truthiness -----------------------------------------------------
+    case Op::BoolI:
+    case Op::LogNotI:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpcmpeqqYYY(0, 0, 14); // full 64-bit lane == 0
+      if (I.Code == Op::BoolI)
+        A.vpiYYY(0xEF, 0, 0, 15); // invert: the truthy lanes
+      A.vpsrlqYI(0, 0, 63);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    case Op::BoolD:
+    case Op::LogNotD:
+      // D != 0.0 (NaN: true) / D == 0.0 (NaN: false), packed: the compare
+      // mask shifted down to canonical 0/1 int slots.
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vxorpdYYY(1, 1, 1);
+      A.vcmppdYYY(0, 0, 1, I.Code == Op::BoolD ? 0x04 : 0x00);
+      A.vpsrlqYI(0, 0, 63);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    case Op::BoolP:
+    case Op::LogNotP:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpsrlqYI(0, 0, 56);    // the space tag; zero = null
+      A.vpcmpeqqYYY(0, 0, 14);
+      if (I.Code == Op::BoolP)
+        A.vpiYYY(0xEF, 0, 0, 15);
+      A.vpsrlqYI(0, 0, 63);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+
+    // ---- conversions ----------------------------------------------------
+    case Op::I2D:
+    case Op::U2D:
+      // Both convert the canonical int64 lane (a UInt lane is already
+      // zero-extended), exactly what the per-row cvtsi2sd computed.
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      emitInt64ToDouble(0, 1);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    case Op::D2I:
+    case Op::D2U: {
+      // The saturating conversions the VM compiles; pure, so retired-lane
+      // garbage inputs are harmless and no masking is needed.
+      const void *Fn = I.Code == Op::D2I
+                           ? reinterpret_cast<const void *>(&covermeJitD2I)
+                           : reinterpret_cast<const void *>(&covermeJitD2U);
+      A.vzeroupper();
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        A.movsdXM(0, RSP, wlane(D - 1, L));
+        callBridge(Fn);
+        A.movMR64(RSP, wlane(D - 1, L), RAX);
+      }
+      emitPinnedConsts(); // the bridge clobbered ymm14/ymm15
+      return true;
+    }
+    case Op::I2U:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      zext32(0); // low 32, zero-extended
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    case Op::U2I:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      sext32(0, 1);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    case Op::I2P:
+      // Only 0 converts (the null pointer); a nonzero lane retires and
+      // the scalar re-run reports the conversion trap.
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        A.movRM64(RAX, RSP, wlane(D - 1, L));
+        A.testRR64(RAX, RAX);
+        size_t JBad = A.jcc32(CC_NE);
+        A.movMI64s(RSP, wlane(D - 1, L), 0);
+        size_t JOk = A.jmp32();
+        A.bindLocal(JBad);
+        A.andRI32(R12, ~static_cast<uint32_t>(wide::laneBit(L)));
+        A.bindLocal(JOk);
+      }
+      deadCheck();
+      return true;
+
+    // ---- comparisons ----------------------------------------------------
+    case Op::CmpD:
+      A.vmovapdYM(1, RSP, wslot(D - 2));
+      A.vmovapdYM(2, RSP, wslot(D - 1));
+      A.vcmppdYYY(0, 1, 2, vcmpPred(static_cast<CmpOp>(I.A)));
+      A.vpsrlqYI(0, 0, 63);
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    case Op::CmpI:
+    case Op::CmpU:
+    case Op::CmpP: {
+      // Full 64-bit lane compares, canonical 0/1 results — evalCmpInt,
+      // packed. Unsigned orderings bias both sides by the sign bit so the
+      // (signed) vpcmpgtq orders them like an unsigned compare.
+      CmpOp Op = static_cast<CmpOp>(I.A);
+      bool Order = Op != CmpOp::EQ && Op != CmpOp::NE;
+      A.vmovapdYM(1, RSP, wslot(D - 2));
+      A.vmovapdYM(2, RSP, wslot(D - 1));
+      if (I.Code != Op::CmpI && Order) {
+        A.vpsllqYI(3, 15, 63);
+        A.vpiYYY(0xEF, 1, 1, 3);
+        A.vpiYYY(0xEF, 2, 2, 3);
+      }
+      bool Invert = false;
+      switch (Op) {
+      case CmpOp::EQ:
+        A.vpcmpeqqYYY(0, 1, 2);
+        break;
+      case CmpOp::NE:
+        A.vpcmpeqqYYY(0, 1, 2);
+        Invert = true;
+        break;
+      case CmpOp::LT:
+        A.vpi2YYY(0x37, 0, 2, 1); // b > a
+        break;
+      case CmpOp::GT:
+        A.vpi2YYY(0x37, 0, 1, 2);
+        break;
+      case CmpOp::LE:
+        A.vpi2YYY(0x37, 0, 1, 2); // !(a > b)
+        Invert = true;
+        break;
+      case CmpOp::GE:
+        A.vpi2YYY(0x37, 0, 2, 1); // !(b > a)
+        Invert = true;
+        break;
+      }
+      if (Invert)
+        A.vpiYYY(0xEF, 0, 0, 15);
+      A.vpsrlqYI(0, 0, 63);
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    }
+    case Op::PNullCmp:
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpsrlqYI(0, 0, 56);
+      A.vpcmpeqqYYY(0, 0, 14); // lanes whose tag is zero: null
+      if (I.A == 0)
+        A.vpiYYY(0xEF, 0, 0, 15); // the != null form
+      A.vpsrlqYI(0, 0, 63);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+
+    // ---- pointer arithmetic ---------------------------------------------
+    case Op::PtrAdd:
+      // offset' = uint32 wrap of offset + low32(index * elemsize); bits
+      // 32..55 cleared, the space tag kept — the scalar recipe, packed
+      // (negating before or after the 32-bit truncation is the same).
+      A.movRI64(RAX, (static_cast<uint64_t>(I.A) << 32) | I.A);
+      A.movMR64(RSP, ScratchOff, RAX);
+      A.vbroadcastsdYM(2, RSP, ScratchOff); // elemsize in every dword
+      A.vmovapdYM(0, RSP, wslot(D - 2));    // pointers
+      A.vmovapdYM(1, RSP, wslot(D - 1));    // indices
+      A.vpi2YYY(0x40, 1, 1, 2);             // vpmulld: low-32 products
+      if (I.B)
+        A.vpiYYY(0xFA, 1, 14, 1); // negative subscript scale
+      A.vpiYYY(0xFE, 1, 0, 1);    // vpaddd: low dwords = the new offsets
+      A.vpsllqYI(2, 15, 56);      // the space-tag mask
+      A.vpiYYY(0xDB, 0, 0, 2);
+      zext32(1);
+      A.vpiYYY(0xEB, 0, 0, 1);
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+
+    // ---- control flow ---------------------------------------------------
+    case Op::Jump:
+      charge(I.A);
+      jmpTo(I.A);
+      return true;
+    case Op::JfI:
+    case Op::JtI:
+      // Falsy mask: lanes whose full 64-bit slot is zero.
+      A.vxorpdYYY(1, 1, 1);
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpcmpeqqYYY(0, 0, 1);
+      A.vmovmskpd(RAX, 0);
+      if (I.Code == Op::JtI)
+        A.aluRI32(6, RAX, 15); // taken = truthy lanes
+      emitBranch(I.A, PC + 1);
+      return true;
+    case Op::JfP:
+    case Op::JtP:
+      // Falsy mask: lanes whose space tag (bits 56..63) is zero (null).
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpsrlqYI(0, 0, 56);
+      A.vxorpdYYY(1, 1, 1);
+      A.vpcmpeqqYYY(0, 0, 1);
+      A.vmovmskpd(RAX, 0);
+      if (I.Code == Op::JtP)
+        A.aluRI32(6, RAX, 15);
+      emitBranch(I.A, PC + 1);
+      return true;
+    case Op::JfD:
+    case Op::JtD:
+      // Falsy mask: D == 0.0 ordered — NaN lanes compare false, i.e.
+      // truthy, exactly the scalar ucomisd parity handling.
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vxorpdYYY(1, 1, 1);
+      A.vcmppdYYY(0, 0, 1, 0x00);
+      A.vmovmskpd(RAX, 0);
+      if (I.Code == Op::JtD)
+        A.aluRI32(6, RAX, 15);
+      emitBranch(I.A, PC + 1);
+      return true;
+
+    // ---- instrumentation ------------------------------------------------
+    case Op::CondSite: {
+      CmpOp Cmp = static_cast<CmpOp>(I.B);
+      A.vmovapdYM(1, RSP, wslot(D - 2));
+      A.vmovapdYM(2, RSP, wslot(D - 1));
+      A.vcmppdYYY(0, 1, 2, vcmpPred(Cmp));
+      A.vmovmskpd(RAX, 0);
+      emitPenBlock(I.A, Cmp);
+      A.vpsrlqYI(0, 0, 63); // canonical 0/1 outcome value
+      A.vmovapdMY(RSP, wslot(D - 2), 0);
+      return true;
+    }
+    case Op::CondSiteJf:
+    case Op::CondSiteJt: {
+      CmpOp Cmp = static_cast<CmpOp>(I.B & 7u);
+      A.vmovapdYM(1, RSP, wslot(D - 2));
+      A.vmovapdYM(2, RSP, wslot(D - 1));
+      A.vcmppdYYY(0, 1, 2, vcmpPred(Cmp));
+      A.vmovmskpd(RAX, 0);
+      emitPenBlock(I.B >> 3, Cmp); // hook fires before the branch
+      if (I.Code == Op::CondSiteJf)
+        A.aluRI32(6, RAX, 15); // Jf takes the false lanes
+      emitBranch(I.A, PC + 1);
+      return true;
+    }
+    case Op::CmpDJf:
+    case Op::CmpDJt:
+      A.vmovapdYM(1, RSP, wslot(D - 2));
+      A.vmovapdYM(2, RSP, wslot(D - 1));
+      A.vcmppdYYY(0, 1, 2, vcmpPred(static_cast<CmpOp>(I.B)));
+      A.vmovmskpd(RAX, 0);
+      if (I.Code == Op::CmpDJf)
+        A.aluRI32(6, RAX, 15);
+      emitBranch(I.A, PC + 1);
+      return true;
+
+    // ---- builtin calls --------------------------------------------------
+    case Op::CallB: {
+      BuiltinId Id = static_cast<BuiltinId>(I.A);
+      if (Id == BuiltinId::Fabs) {
+        // A pure packed sign-bit clear, matching the scalar inline AND.
+        A.vpsrlqYI(1, 15, 1); // the abs mask
+        A.vmovapdYM(0, RSP, wslot(D - 1));
+        A.vpdYYY(0x54, 0, 0, 1);
+        A.vmovapdMY(RSP, wslot(D - 1), 0);
+        return true;
+      }
+      // Per-lane bridge calls into the shared runBuiltin — pure, so no
+      // lane masking (retired-lane garbage arguments are never read).
+      A.vzeroupper();
+      if (Id == BuiltinId::Scalbn) {
+        for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+          A.movRM32(RDI, RSP, wlane(D - 1, L)); // int32 exponent
+          A.movsdXM(0, RSP, wlane(D - 2, L));
+          callBridge(reinterpret_cast<const void *>(&covermeJitScalbn));
+          A.movsdMX(RSP, wlane(D - 2, L), 0);
+        }
+      } else if (I.B == 2) {
+        for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+          A.movRI32(RDI, I.A);
+          A.movsdXM(0, RSP, wlane(D - 2, L));
+          A.movsdXM(1, RSP, wlane(D - 1, L));
+          callBridge(reinterpret_cast<const void *>(&covermeJitBuiltin));
+          A.movsdMX(RSP, wlane(D - 2, L), 0);
+        }
+      } else {
+        for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+          A.movRI32(RDI, I.A);
+          A.movsdXM(0, RSP, wlane(D - 1, L));
+          A.xorpdXR(1, 1);
+          callBridge(reinterpret_cast<const void *>(&covermeJitBuiltin));
+          A.movsdMX(RSP, wlane(D - 1, L), 0);
+        }
+      }
+      emitPinnedConsts(); // the bridge clobbered ymm14/ymm15
+      return true;
+    }
+
+    // ---- returns and traps ----------------------------------------------
+    case Op::Ret:
+    case Op::RetV: {
+      // Replay the VM's return-to-thunk edge charge (VM_JUMP(Thunk+1)).
+      uint32_t HaltPC = F.Thunk + 1;
+      if (HaltPC >= U.BlockCost.size())
+        return false;
+      charge(HaltPC);
+      if (I.Code == Op::Ret) {
+        A.vmovapdYM(0, RSP, wslot(D - 1));
+        A.vmovupdMY(RBP, JwResult, 0); // ResultBits is only 8-aligned
+      }
+      ExitFix.push_back(A.jmp32());
+      return true;
+    }
+    case Op::TrapOp:
+      // The scalar re-runs reproduce the trap message row by row.
+      jmpRetire();
+      return true;
+
+    // ---- superinstructions ----------------------------------------------
+    case Op::LdF2AddD:
+    case Op::LdF2SubD:
+    case Op::LdF2MulD:
+    case Op::LdF2DivD: {
+      uint8_t Opc = I.Code == Op::LdF2AddD   ? 0x58
+                    : I.Code == Op::LdF2SubD ? 0x5C
+                    : I.Code == Op::LdF2MulD ? 0x59
+                                             : 0x5E;
+      A.vmovapdYM(0, RBX, fgran(I.A));
+      A.vpdYYM(Opc, 0, 0, RBX, fgran(I.B));
+      A.vmovapdMY(RSP, wslot(D), 0);
+      return true;
+    }
+    case Op::LdFAddD:
+    case Op::LdFSubD:
+    case Op::LdFMulD:
+    case Op::LdFDivD: {
+      uint8_t Opc = I.Code == Op::LdFAddD   ? 0x58
+                    : I.Code == Op::LdFSubD ? 0x5C
+                    : I.Code == Op::LdFMulD ? 0x59
+                                            : 0x5E;
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpdYYM(Opc, 0, 0, RBX, fgran(I.A));
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    }
+    case Op::LdGAddD:
+    case Op::LdGSubD:
+    case Op::LdGMulD:
+    case Op::LdGDivD: {
+      uint8_t Opc = I.Code == Op::LdGAddD   ? 0x58
+                    : I.Code == Op::LdGSubD ? 0x5C
+                    : I.Code == Op::LdGMulD ? 0x59
+                                            : 0x5E;
+      A.vbroadcastsdYM(1, R13, static_cast<int32_t>(I.A));
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpdYYY(Opc, 0, 0, 1);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    }
+    case Op::ConstAddD:
+    case Op::ConstSubD:
+    case Op::ConstMulD:
+    case Op::ConstDivD: {
+      uint8_t Opc = I.Code == Op::ConstAddD   ? 0x58
+                    : I.Code == Op::ConstSubD ? 0x5C
+                    : I.Code == Op::ConstMulD ? 0x59
+                                              : 0x5E;
+      A.vbroadcastsdYM(1, R15, static_cast<int32_t>(I.A * 8));
+      A.vmovapdYM(0, RSP, wslot(D - 1));
+      A.vpdYYY(Opc, 0, 0, 1);
+      A.vmovapdMY(RSP, wslot(D - 1), 0);
+      return true;
+    }
+    case Op::LdFI2D:
+    case Op::LdFU2D: {
+      uint32_t In = (FrameDisp + I.A) & 7u;
+      A.vmovapdYM(0, RBX, fgran(I.A));
+      if (In)
+        A.vpsrlqYI(0, 0, 32);
+      if (I.Code == Op::LdFI2D)
+        sext32(0, 1);
+      else
+        zext32(0);
+      emitInt64ToDouble(0, 1);
+      A.vmovapdMY(RSP, wslot(D), 0);
+      return true;
+    }
+
+    default:
+      return false;
+    }
+  }
+};
+
+} // namespace
+
+bool wjit::wideEmitterAvailable() { return true; }
+
+bool wjit::emitWideFragment(const CompiledUnit &U, unsigned FnIndex,
+                            jit::Asm &A) {
+  if (FnIndex >= U.Functions.size())
+    return false;
+  FnWideEmitter E(U, U.Functions[FnIndex], A);
+  return E.run();
+}
+
+#else // !COVERME_JIT_WIDE_ENABLED
+
+bool wjit::wideEmitterAvailable() { return false; }
+
+bool wjit::emitWideFragment(const CompiledUnit &U, unsigned FnIndex,
+                            jit::Asm &A) {
+  (void)U;
+  (void)FnIndex;
+  (void)A;
+  return false;
+}
+
+#endif // COVERME_JIT_WIDE_ENABLED
+
+//===----------------------------------------------------------------------===//
+// Vm::runBatchJitWide - the wide-JIT batch driver
+//===----------------------------------------------------------------------===//
+//
+// Defined unconditionally (Vm.cpp references it whenever the SIMD lane is
+// compiled in, whether or not the JIT is); without the wide emitter no
+// binding ever carries a wide fragment, so the delegate below is dead.
+
+#if COVERME_JIT_WIDE_ENABLED
+
+void Vm::runBatchJitWide(ExecutionContext *Ctx, const double *Xs, size_t Count,
+                         size_t N, double *Out) {
+  assert(Bound.WideFrag && "runBatchJitWide without a wide fragment");
+  const FunctionInfo &Fn = *Bound.Fn;
+  if (!WideSt) {
+    WideSt.reset(new wide::WideState());
+    WideSt->Stack.resize(kOpStackSlots);
+  }
+  wide::WideState &W = *WideSt;
+
+  // runBatch routed here only for the no-context or the fast FOO_R
+  // context shape (pen on, trace on, no coverage/operand recording); the
+  // generic replay shape stays on the scalar-JIT row loop.
+  const bool Fast = Ctx != nullptr;
+  if (Fast) {
+    // Freeze the per-site saturation snapshot the pen fragments read —
+    // loop-invariant across the batch because nothing mutates the table
+    // during one (the interpreted wide lane relies on the same fact).
+    const SaturationTable &T = Ctx->saturation();
+    W.SatSnap.assign(Unit->NumSites, 0);
+    for (uint32_t S = 0; S < Unit->NumSites; ++S)
+      W.SatSnap[S] =
+          static_cast<uint8_t>((T.isSaturated({S, true}) ? 1u : 0u) |
+                               (T.isSaturated({S, false}) ? 2u : 0u));
+    W.Epsilon = Ctx->Epsilon;
+  }
+  // Fragments append outcome records into a fixed-capacity log; a group
+  // that would overflow it retires wholesale (rows re-run scalar). The
+  // budget bounds sites per run far below this in practice.
+  constexpr size_t kJitWideCondCap = 16384;
+  if (W.CondLog.size() < kJitWideCondCap)
+    W.CondLog.resize(kJitWideCondCap);
+
+  // Frame arena: grow to the binding's high-water granule count once; the
+  // per-group reset is a memset of the frame region, exactly jitProbe's
+  // keep-the-arena / zero-the-frame dance per lane granule for granule
+  // (CellBytes and FrameBytes are both 8-aligned).
+  const size_t Granules = (static_cast<size_t>(Bound.EntryNeeded) + 7) >> 3;
+  if (W.Frame.size() < Granules)
+    W.Frame.resize(Granules);
+  W.FrameBytes = Bound.EntryNeeded;
+
+  unsigned BadStreak = 0; // same divergence backoff as the wide interpreter
+  bool LastRowWide = false;
+  uint64_t LastCondCount = 0;
+  size_t I = 0;
+  for (; I + wide::kWideLanes <= Count && BadStreak < 3;
+       I += wide::kWideLanes) {
+    const double *Group = Xs + I * N;
+    uint8_t *FW = reinterpret_cast<uint8_t *>(W.Frame.data());
+    std::memset(FW + wide::granuleByte(Bound.CellBytes), 0,
+                static_cast<size_t>(Fn.FrameBytes) * wide::kWideLanes);
+    // Entry lowering per lane, jitProbe's direct-to-frame form.
+    uint32_t NextCell = 0;
+    for (size_t P = 0; P < Fn.ParamTypes.size(); ++P) {
+      const Type T = Fn.ParamTypes[P];
+      const uint32_t M = Bound.CellBytes + Fn.ParamOffsets[P];
+      if (T.isPointer()) {
+        uint64_t Ptr = encodePtr(Space::Frame, NextCell);
+        for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+          std::memcpy(FW + wide::laneByte(NextCell, L), &Group[L * N + P], 8);
+          std::memcpy(FW + wide::laneByte(M, L), &Ptr, 8);
+        }
+        NextCell += 8;
+        continue;
+      }
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        switch (T.Base) {
+        case BaseType::Double:
+          std::memcpy(FW + wide::laneByte(M, L), &Group[L * N + P], 8);
+          break;
+        case BaseType::Int: {
+          int32_t V = detail::truncToInt32(Group[L * N + P]);
+          std::memcpy(FW + wide::laneByte(M, L), &V, 4);
+          break;
+        }
+        case BaseType::UInt: {
+          uint32_t V = detail::truncToUInt32(Group[L * N + P]);
+          std::memcpy(FW + wide::laneByte(M, L), &V, 4);
+          break;
+        }
+        case BaseType::Void:
+          break; // unreachable: bindEntry flagged void parameters
+        }
+      }
+    }
+    if (Fast) {
+      for (unsigned L = 0; L < wide::kWideLanes; ++L)
+        W.RWide.L[L].D = 1.0; // beginRun's r = 1.0
+    }
+
+    JitWideFrame JF;
+    JF.FW = FW;
+    JF.GMem = GlobalMem.data();
+    JF.Pool = Unit->DoublePool.data();
+    JF.StepsLeft = Bound.StepsAfterThunk; // thunk charge hoisted at bind
+    JF.Active = wide::kAllLanes;
+    JF.SavedRsp = 0;
+    for (unsigned L = 0; L < wide::kWideLanes; ++L)
+      JF.ResultBits[L] = 0;
+    JF.SatFlags = Fast ? W.SatSnap.data() : nullptr;
+    JF.Epsilon = W.Epsilon;
+    JF.RWide = &W.RWide;
+    JF.CondLog = W.CondLog.data();
+    JF.CondCount = 0;
+    JF.CondCap = W.CondLog.size();
+    Bound.WideFrag(&JF);
+    StepsLeft = JF.StepsLeft;
+    Frames.clear();
+    FrameTop = Bound.EntryNeeded;
+    const wide::LaneMask Done =
+        static_cast<wide::LaneMask>(JF.Active & wide::kAllLanes);
+    LastCondCount = JF.CondCount;
+
+    if (!Fast && Done) {
+      // Convert completed lanes' raw Ret bits exactly like jitProbe's
+      // tail (pointer returns never get a wide fragment).
+      for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+        Slot R;
+        R.U = JF.ResultBits[L];
+        switch (Fn.ReturnType.Base) {
+        case BaseType::Double:
+          W.Result[L] = R.D;
+          break;
+        case BaseType::Int:
+          W.Result[L] = static_cast<double>(R.I);
+          break;
+        case BaseType::UInt:
+          W.Result[L] = static_cast<double>(static_cast<uint32_t>(R.U));
+          break;
+        case BaseType::Void:
+          W.Result[L] = 0.0;
+          break;
+        }
+      }
+    }
+    // Finalize rows in scalar row order; retired rows re-run from scratch
+    // through probeRow -> boundProbe -> jitProbe (the scalar fragment,
+    // then the interpreter for functions it rejected).
+    for (unsigned L = 0; L < wide::kWideLanes; ++L) {
+      if (Done & wide::laneBit(L)) {
+        Out[I + L] = Fast ? W.RWide.L[L].D : W.Result[L];
+      } else if (Fast) {
+        Out[I + L] = probeRow<true>(Ctx, Group + L * N);
+      } else {
+        Out[I + L] = probeRow<false>(static_cast<ExecutionContext *>(nullptr),
+                                     Group + L * N);
+      }
+    }
+    const unsigned Completed =
+        static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(Done)));
+    BadStreak = Completed < 2 ? BadStreak + 1 : 0;
+    LastRowWide = (Done >> (wide::kWideLanes - 1)) & 1u;
+  }
+  // Ragged tail — and, after a backoff, everything that remains.
+  for (; I < Count; ++I) {
+    if (Fast)
+      Out[I] = probeRow<true>(Ctx, Xs + I * N);
+    else
+      Out[I] = probeRow<false>(static_cast<ExecutionContext *>(nullptr),
+                               Xs + I * N);
+    LastRowWide = false;
+  }
+
+  // Observable end state when the last row completed wide: a clean probe's
+  // trap flags, and (fast mode) the last row's r and trace materialized
+  // from the recorded outcome log — identical to runBatchWideImpl.
+  if (LastRowWide) {
+    Trapped = false;
+    if (!Message.empty())
+      Message.clear();
+    if (Fast) {
+      constexpr unsigned Last = wide::kWideLanes - 1;
+      Ctx->beginRun();
+      Ctx->Trace.reserve(LastCondCount);
+      for (uint64_t C = 0; C < LastCondCount; ++C)
+        Ctx->Trace.push_back(
+            {W.CondLog[C].Site, ((W.CondLog[C].Outcomes >> Last) & 1u) != 0});
+      Ctx->R = W.RWide.L[Last].D;
+    }
+  }
+}
+
+#else // !COVERME_JIT_WIDE_ENABLED
+
+void Vm::runBatchJitWide(ExecutionContext *Ctx, const double *Xs, size_t Count,
+                         size_t N, double *Out) {
+  // Unreachable: no wide fragment is ever built in this configuration.
+  if (Ctx)
+    runRows<true>(Ctx, Xs, Count, N, Out);
+  else
+    runRows<false>(static_cast<ExecutionContext *>(nullptr), Xs, Count, N, Out);
+}
+
+#endif // COVERME_JIT_WIDE_ENABLED

@@ -1,0 +1,99 @@
+//===- JitWide.h - 4-lane AVX2 fragment family for the template JIT -------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wide half of the copy-and-patch JIT: a second fragment family that
+/// executes four probe rows per instruction over the SIMD batch lane's
+/// lane-interleaved frame arena (lang/VmWide.h), composing PR 6's native
+/// fragments with PR 7's wide execution model. Double arithmetic and the
+/// fused superinstructions lower to 256-bit VEX code (`vaddpd`-shaped, FMA
+/// contraction impossible by construction — the emitter only ever produces
+/// the separate mul/add shapes BranchDistance.cpp pins); integer, pointer
+/// and builtin operations run as per-lane scalar fallout; and the FOO_R
+/// `pen` fast path is vectorized (packed compare + movemask outcome
+/// recording, the Def-4.2 penalty evaluated in vector registers, context
+/// trace/r materialized once at batch end from the recorded log).
+///
+/// Divergence reuses the wide lane's retirement protocol exactly: at a
+/// branch, the leader (lowest active) lane's direction is consensus;
+/// disagreeing lanes drop out of the active mask, as do lanes that trap
+/// (per-lane) and whole groups whose budget charge fails. Retired lanes
+/// re-run scalar from scratch through the scalar JIT fragment (then the
+/// interpreter, per the existing chain), so every row's bits, branch
+/// trace, trap string and exhaustion point stay scalar-identical by
+/// construction.
+///
+/// Builds without COVERME_JIT + COVERME_VM_SIMD on x86-64 POSIX keep this
+/// API; emitWideFragment then refuses every function and the batch
+/// dispatch falls back down the chain (VmWide, scalar JIT rows, scalar
+/// VM).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_LANG_JITWIDE_H
+#define COVERME_LANG_JITWIDE_H
+
+#include "lang/Bytecode.h"
+#include "lang/JitAsm.h"
+
+#include <cstdint>
+
+namespace coverme {
+namespace lang {
+namespace bc {
+
+/// The mutable state one wide fragment executes against, lent by the
+/// owning Vm for the duration of one 4-row probe group. Field offsets are
+/// part of the fragment ABI (the emitter hard-codes them); keep in sync
+/// with JitWide.cpp.
+struct JitWideFrame {
+  /// Wide frame arena base (lane-interleaved WideSlot granules; must be
+  /// 32-byte aligned — it is WideState::Frame's storage).
+  uint8_t *FW;           // offset 0
+  uint8_t *GMem;         // offset 8: the Vm's private global arena copy.
+  const double *Pool;    // offset 16: CompiledUnit::DoublePool.
+  uint64_t StepsLeft;    // offset 24: in remaining budget / out after run.
+  /// In: the full lane mask. Out: the lanes that completed wide (0 when
+  /// the whole group retired — budget, trap, log overflow).
+  uint64_t Active;       // offset 32
+  uint64_t SavedRsp;     // offset 40: prologue spill for the 32-alignment.
+  uint64_t ResultBits[4]; // offset 48: raw Ret slot bits per lane.
+  /// In: per-site saturation snapshot (2 bits: TrueArm | FalseArm << 1),
+  /// or null when no context is installed — cond sites then skip the pen
+  /// block entirely (the WideCtxNone shape).
+  const uint8_t *SatFlags; // offset 80
+  double Epsilon;          // offset 88: the context's Def-4.2 epsilon.
+  /// 32-byte-aligned 4-lane running r (a wide::WideSlot).
+  void *RWide;             // offset 96
+  /// wide::WideCondRec array the pen block appends outcome records to.
+  void *CondLog;           // offset 104
+  uint64_t CondCount;      // offset 112: in 0 / out records written.
+  uint64_t CondCap;        // offset 120: record capacity; overflow retires
+                           // the whole group (rows re-run scalar).
+};
+
+/// Entry point of one compiled wide fragment.
+using JitWideEntryFn = void (*)(JitWideFrame *);
+
+namespace wjit {
+
+/// True when this build can emit wide fragments at all (COVERME_JIT and
+/// COVERME_VM_SIMD on an x86-64 POSIX toolchain). Host AVX2 support is a
+/// separate, runtime question answered by Vm::simdAvailable().
+bool wideEmitterAvailable();
+
+/// Emits the 4-lane fragment for \p U's function \p FnIndex into \p A.
+/// False — with the buffer rolled back by the caller — when the function
+/// has no wide lowering (see jit::wideFragRejection) or the build has no
+/// wide emitter.
+bool emitWideFragment(const CompiledUnit &U, unsigned FnIndex, jit::Asm &A);
+
+} // namespace wjit
+} // namespace bc
+} // namespace lang
+} // namespace coverme
+
+#endif // COVERME_LANG_JITWIDE_H

@@ -344,6 +344,7 @@ void Vm::bindEntry(unsigned FnIndex) {
   // route probes natively and never reach the wide loop.
   Bound.Wide = SimdOn && Bound.Valid && !Bound.Frag &&
                !Unit->WritesGlobals && F.WideSafe;
+  Bound.WideFrag = nullptr;
   if (Bound.Frag && Bound.Valid) {
     // Evaluate jitProbe's per-call guards once, in the VM's exact check
     // order: thunk budget charge, then the Call handler's depth / stack /
@@ -361,6 +362,12 @@ void Vm::bindEntry(unsigned FnIndex) {
       Bound.EntryTrap = "operand stack overflow";
     else
       Bound.StepsAfterThunk = Opts.MaxSteps - ThunkCost;
+    // The 4-lane wide fragment composes the SIMD lane with the scalar
+    // fragment (which retired lanes re-run through), so it needs both:
+    // SIMD resolved on this Vm and a clean per-binding entry (a constant
+    // entry trap makes every row trap identically — scalar handles that).
+    if (!Bound.EntryTrap && SimdOn)
+      Bound.WideFrag = Jit->wideFragment(FnIndex);
   }
 }
 
@@ -595,6 +602,16 @@ void Vm::runBatch(unsigned FnIndex, const double *Xs, size_t Count, size_t N,
     bindEntry(FnIndex);
   ExecutionContext *Ctx = ExecutionContext::current();
 #if COVERME_VM_SIMD_ENABLED
+  // JIT-fragmented entries with a 4-lane wide fragment take it for full
+  // lane groups — the composition of the two accelerators. The native pen
+  // block only covers the no-context and the fast FOO_R context shapes;
+  // the generic record-and-replay shapes stay on the scalar fragment rows.
+  if (Bound.WideFrag && Count >= wide::kWideLanes &&
+      (!Ctx || (Ctx->PenEnabled && !Ctx->Coverage && Ctx->TraceEnabled &&
+                !Ctx->RecordTraceOperands && !Ctx->RecordOperands))) {
+    runBatchJitWide(Ctx, Xs, Count, N, Out);
+    return;
+  }
   // Batches with at least one full lane group take the wide SOA executor;
   // it retires any row it cannot finish wide (divergence, traps, the
   // ragged tail) back to the same probeRow driver the scalar loop below
@@ -613,6 +630,18 @@ void Vm::runBatch(unsigned FnIndex, const double *Xs, size_t Count, size_t N,
     runRows<true>(Ctx, Xs, Count, N, Out);
   else
     runRows<false>(static_cast<ExecutionContext *>(nullptr), Xs, Count, N, Out);
+}
+
+const char *Vm::batchBackendName(unsigned FnIndex) {
+  if (Bound.Index != FnIndex)
+    bindEntry(FnIndex);
+  if (Bound.WideFrag)
+    return "jit-wide";
+  if (Bound.Wide)
+    return "vm-wide";
+  if (Bound.Frag)
+    return "scalar-jit";
+  return "scalar";
 }
 
 Vm &bc::threadLocalVm(const std::shared_ptr<const CompiledUnit> &Unit,

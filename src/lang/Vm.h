@@ -64,8 +64,9 @@ class ExecutionContext; // runtime/ExecutionContext.h
 namespace lang {
 namespace bc {
 
-struct JitFrame; // lang/Jit.h
-class JitUnit;   // lang/Jit.h
+struct JitFrame;     // lang/Jit.h
+class JitUnit;       // lang/Jit.h
+struct JitWideFrame; // lang/JitWide.h
 
 /// Per-thread executor over a shared CompiledUnit.
 ///
@@ -134,11 +135,11 @@ public:
   /// global writes in its reachable call graph). Binds the entry.
   bool wideBatchEligible(unsigned FnIndex);
 
-  /// The batch backend this Vm resolves to for \p FnIndex: "simd" or
-  /// "scalar". Binds the entry.
-  const char *batchBackendName(unsigned FnIndex) {
-    return wideBatchEligible(FnIndex) ? "simd" : "scalar";
-  }
+  /// The batch backend this Vm resolves to for \p FnIndex: "jit-wide"
+  /// (4-lane native fragments), "vm-wide" (the interpreted SIMD lane),
+  /// "scalar-jit" (native fragment rows), or "scalar" (interpreter rows).
+  /// Binds the entry.
+  const char *batchBackendName(unsigned FnIndex);
 
   /// Runs the file-scope init routine against a zeroed global arena;
   /// used by the compiler to bake CompiledUnit::GlobalImage. Returns
@@ -189,6 +190,11 @@ private:
     /// JIT fragment), the unit never escapes global addresses, and the
     /// function is WideSafe.
     bool Wide = false;
+    /// The 4-lane native fragment (lang/JitWide.h), when the Vm resolved
+    /// SIMD on, the entry is fragment-routed with no per-binding entry
+    /// trap, and the wide emitter accepted the function. runBatch then
+    /// prefers it over every other backend for eligible batch shapes.
+    void (*WideFrag)(JitWideFrame *) = nullptr;
   };
 
   /// Operand-stack capacity, in slots; shared by the scalar stack and the
@@ -255,6 +261,14 @@ private:
   template <int CtxMode>
   void runBatchWideImpl(ExecutionContext *Ctx, const double *Xs,
                         size_t Count, size_t N, double *Out);
+
+  /// The wide-JIT batch driver (JitWide.cpp): full groups of
+  /// wide::kWideLanes rows through the bound 4-lane native fragment, with
+  /// the wide lane's retirement protocol (retired rows re-run through
+  /// probeRow, i.e. the scalar fragment), its low-completion backoff to
+  /// the scalar loop, and the same end-of-batch context materialization.
+  void runBatchJitWide(ExecutionContext *Ctx, const double *Xs, size_t Count,
+                       size_t N, double *Out);
 
   /// One wide probe group: per-group reset, parameter marshal into the
   /// interleaved arena, wide dispatch from the bound thunk, and result

@@ -171,6 +171,11 @@ struct WideState {
   double Epsilon = 0.0;
   WideSlot RWide = {};
   std::vector<WideCondRec> CondLog;
+  /// Wide-JIT fast mode only (JitWide.cpp): the batch's per-site
+  /// saturation snapshot, 2 bits per site (TrueArm | FalseArm << 1),
+  /// frozen before the group loop so the native pen block reads plain
+  /// bytes instead of calling into the table.
+  std::vector<uint8_t> SatSnap;
 };
 
 } // namespace wide

@@ -58,8 +58,10 @@ TEST(DisasmGoldenTest, TanhFusedStream) {
   EXPECT_EQ(bc::disassemble(*SP.Code), R"disasm(unit: 98 insns, 1 functions, pool 8 slots (5 literal requests), 6 sites
 fusion: on, 26 superinsns (124 -> 98 insns)
 wide: 1 of 1 functions safe for the SIMD batch lane
+jit: 1 of 1 functions scalar-fragment-able, 1 wide-fragment-able
 
 tanh(1 params): frame 40 bytes, entry 0, thunk 89, wide-safe
+  batch: scalar fragment ok, wide fragment ok
     0  ConstD      pool[0]=0
     1  StFD        f+8
     2  ConstD      pool[0]=0
@@ -168,8 +170,10 @@ TEST(DisasmGoldenTest, LogbFusedStream) {
   EXPECT_EQ(bc::disassemble(*SP.Code), R"disasm(unit: 56 insns, 1 functions, pool 4 slots (2 literal requests), 3 sites
 fusion: on, 8 superinsns (65 -> 56 insns)
 wide: 1 of 1 functions safe for the SIMD batch lane
+jit: 1 of 1 functions scalar-fragment-able, 1 wide-fragment-able
 
 logb(1 params): frame 24 bytes, entry 0, thunk 53, wide-safe
+  batch: scalar fragment ok, wide fragment ok
     0  ConstI      0
     1  StFI        f+8
     2  ConstI      0

@@ -1,0 +1,315 @@
+//===- JitWideTest.cpp - 4-lane wide JIT vs interpreted wide lane ----------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+// The wide JIT's contract: batched FOO_R evaluation through the 4-lane
+// native fragments is bit-identical to the interpreted SIMD lane (itself
+// proven bit-identical to scalar execution) — per-row r values, the
+// end-of-batch context (r, trace), trap rows, and budget exhaustion
+// points. The FP-contraction pin lives here too: the penalty sequence the
+// native pen block evaluates is hand-picked vaddpd/vmulpd/vsubpd bytes, so
+// these comparisons hold on any compiler flags by construction, and the
+// test proves it by comparing pen values bit-for-bit across backends under
+// every saturation-flag shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Jit.h"
+#include "lang/SourceProgram.h"
+#include "lang/SourceSuite.h"
+#include "lang/Vm.h"
+#include "runtime/ExecutionContext.h"
+#include "runtime/SaturationTable.h"
+#include "support/FloatBits.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace coverme;
+using namespace coverme::lang;
+
+namespace {
+
+/// True when this host can run 4-lane wide fragments: the build has both
+/// the JIT and the SIMD lane, and the CPU has AVX2.
+bool wideJitAvailable() {
+  return bc::JitUnit::available() && bc::Vm::simdAvailable();
+}
+
+/// Everything observable about one batched FOO_R evaluation.
+struct BatchRun {
+  std::vector<uint64_t> RowBits;
+  uint64_t RBits = 0;
+  std::vector<BranchRef> Trace;
+  bool Trapped = false;
+  std::string TrapMessage;
+};
+
+/// Runs \p Count rows through \p Vm's batch entry under a fresh context
+/// whose saturation flags are copied from \p Sat (when non-null), and
+/// captures the rows plus the context end state.
+BatchRun runBatchFooR(bc::Vm &Vm, unsigned FnIndex, const double *Xs,
+                      size_t Count, size_t N,
+                      const std::vector<BranchRef> *Sat = nullptr) {
+  BatchRun Run;
+  ExecutionContext Ctx(Vm.unit().NumSites);
+  if (Sat)
+    for (const BranchRef &R : *Sat)
+      Ctx.saturation().saturate(R);
+  ExecutionContext::Scope Scope(Ctx);
+  std::vector<double> Out(Count, -7.0);
+  Vm.runBatch(FnIndex, Xs, Count, N, Out.data());
+  Run.RowBits.reserve(Count);
+  for (double V : Out)
+    Run.RowBits.push_back(doubleToBits(V));
+  Run.RBits = doubleToBits(Ctx.R);
+  Run.Trace = Ctx.Trace;
+  Run.Trapped = Vm.trapped();
+  Run.TrapMessage = Vm.trapMessage();
+  return Run;
+}
+
+void expectSameBatch(const BatchRun &A, const BatchRun &B,
+                     const std::string &At) {
+  ASSERT_EQ(A.RowBits.size(), B.RowBits.size()) << At;
+  for (size_t I = 0; I < A.RowBits.size(); ++I)
+    EXPECT_EQ(A.RowBits[I], B.RowBits[I]) << At << " row " << I;
+  EXPECT_EQ(A.RBits, B.RBits) << At << " end-of-batch r";
+  ASSERT_EQ(A.Trace.size(), B.Trace.size()) << At << " trace length";
+  for (size_t I = 0; I < A.Trace.size(); ++I) {
+    EXPECT_EQ(A.Trace[I].Site, B.Trace[I].Site) << At << " trace @" << I;
+    EXPECT_EQ(A.Trace[I].Outcome, B.Trace[I].Outcome) << At << " trace @" << I;
+  }
+  EXPECT_EQ(A.Trapped, B.Trapped) << At;
+  EXPECT_EQ(A.TrapMessage, B.TrapMessage) << At;
+}
+
+/// Deterministic input rows: IEEE boundary values cycled through the lane
+/// positions (so every boundary value lands on every lane of a group) plus
+/// splitmix64 raw bit patterns, which reach NaNs, infinities, and
+/// subnormals by construction.
+std::vector<double> inputRows(unsigned Arity, size_t Count, uint64_t Seed) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  const double Boundary[] = {
+      0.0,   -0.0,  1.0,   -1.0, 0.5,    22.0,   -22.0,  5e-324,
+      1e300, -1e30, 1e-30, Inf,  -Inf,   std::numeric_limits<double>::max(),
+      3.725290298461914e-09, // the asinh/atanh tiny-x knee
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+  constexpr size_t NB = sizeof(Boundary) / sizeof(Boundary[0]);
+  Rng R(Seed);
+  std::vector<double> Xs(Count * Arity);
+  for (size_t I = 0; I < Xs.size(); ++I) {
+    if (I < NB * 4) // boundary phase: walk values across lane positions
+      Xs[I] = Boundary[(I + I / 4) % NB];
+    else
+      Xs[I] = R.rawBitsDouble();
+  }
+  return Xs;
+}
+
+/// One suite subject compiled three ways sharing one CompiledUnit: the
+/// wide-JIT Vm (fragments attached, SIMD on), the interpreted wide lane
+/// (no fragments), and the scalar-fragment rows (fragments, SIMD off).
+struct SubjectVms {
+  std::shared_ptr<const bc::CompiledUnit> Code;
+  std::shared_ptr<const bc::JitUnit> Jit;
+  std::unique_ptr<bc::Vm> JitWide, VmWide, ScalarJit;
+  unsigned FnIndex = 0;
+  unsigned Arity = 0;
+};
+
+SubjectVms buildSubject(const SourceBenchmark &B, InterpOptions Opts = {}) {
+  SubjectVms S;
+  SourceProgram SP = compileSourceBenchmark(B);
+  EXPECT_TRUE(SP.success()) << B.Name << ": " << SP.diagnosticsText();
+  S.Code = SP.Code;
+  S.Jit = bc::JitUnit::build(SP.Code);
+  EXPECT_NE(S.Jit, nullptr) << B.Name;
+  int Idx = SP.Code->functionIndex(B.Name);
+  EXPECT_GE(Idx, 0) << B.Name;
+  S.FnIndex = static_cast<unsigned>(Idx);
+  S.Arity = static_cast<unsigned>(
+      SP.Code->Functions[S.FnIndex].ParamTypes.size());
+  S.JitWide.reset(new bc::Vm(S.Code, Opts));
+  S.JitWide->attachJit(S.Jit);
+  S.VmWide.reset(new bc::Vm(S.Code, Opts));
+  InterpOptions NoSimd = Opts;
+  NoSimd.Simd = VmSimd::Off;
+  S.ScalarJit.reset(new bc::Vm(S.Code, NoSimd));
+  S.ScalarJit->attachJit(S.Jit);
+  return S;
+}
+
+} // namespace
+
+TEST(JitWideTest, SuiteSubjectsGetWideFragments) {
+  // Every suite subject is WideSafe and scalar-JIT-able, so on a
+  // JIT+SIMD build each must also get a 4-lane fragment — a silent
+  // rejection would void the perf gate exactly like a scalar fall-back.
+  if (!wideJitAvailable())
+    GTEST_SKIP() << "build lacks JIT or SIMD lane, or host has no AVX2";
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SourceProgram SP = compileSourceBenchmark(B);
+    ASSERT_TRUE(SP.success()) << B.Name;
+    std::shared_ptr<const bc::JitUnit> Jit = bc::JitUnit::build(SP.Code);
+    ASSERT_NE(Jit, nullptr) << B.Name;
+    int Idx = SP.Code->functionIndex(B.Name);
+    ASSERT_GE(Idx, 0) << B.Name;
+    EXPECT_TRUE(Jit->canJit(static_cast<unsigned>(Idx))) << B.Name;
+    EXPECT_TRUE(Jit->canJitWide(static_cast<unsigned>(Idx))) << B.Name;
+    EXPECT_GT(Jit->wideJittedCount(), 0u) << B.Name;
+  }
+}
+
+TEST(JitWideTest, BatchBackendNameReportsTheChain) {
+  const SourceBenchmark *Tanh = findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  SourceProgram SP = compileSourceBenchmark(*Tanh);
+  ASSERT_TRUE(SP.success());
+  int Idx = SP.Code->functionIndex("tanh");
+  ASSERT_GE(Idx, 0);
+  unsigned Fn = static_cast<unsigned>(Idx);
+
+  if (bc::Vm::simdAvailable()) {
+    bc::Vm Plain(SP.Code);
+    EXPECT_STREQ(Plain.batchBackendName(Fn), "vm-wide");
+  }
+  if (bc::JitUnit::available()) {
+    std::shared_ptr<const bc::JitUnit> Jit = bc::JitUnit::build(SP.Code);
+    ASSERT_NE(Jit, nullptr);
+    bc::Vm Jitted(SP.Code);
+    Jitted.attachJit(Jit);
+    EXPECT_STREQ(Jitted.batchBackendName(Fn),
+                 wideJitAvailable() ? "jit-wide" : "scalar-jit");
+    InterpOptions NoSimd;
+    NoSimd.Simd = VmSimd::Off;
+    bc::Vm Scalar(SP.Code, NoSimd);
+    Scalar.attachJit(Jit);
+    EXPECT_STREQ(Scalar.batchBackendName(Fn), "scalar-jit");
+  }
+}
+
+TEST(JitWideTest, PenBitIdenticalAcrossBackendsNoContraction) {
+  // The FP-contraction pin. The tanh and logb subjects exercise the exact
+  // BranchDistance.cpp shapes (mul-then-add: (a-b)*(a-b) and
+  // (a-b)*(a-b)+eps): an FMA-contracted penalty would differ in the last
+  // ulp on almost any input battery this size, so bit-equality of every
+  // row's r against the interpreted wide lane — and against the scalar
+  // fragment rows — pins the no-FMA shape of the native pen block. Every
+  // saturation shape of the first two sites runs, covering all four
+  // Def-4.2 arms (keep, zero, dist(op), dist(negate(op))).
+  if (!wideJitAvailable())
+    GTEST_SKIP() << "build lacks JIT or SIMD lane, or host has no AVX2";
+  for (const char *Name : {"tanh", "logb"}) {
+    const SourceBenchmark *B = findSourceBenchmark(Name);
+    ASSERT_NE(B, nullptr) << Name;
+    SubjectVms S = buildSubject(*B);
+    ASSERT_TRUE(S.Jit->canJitWide(S.FnIndex)) << Name;
+    ASSERT_STREQ(S.JitWide->batchBackendName(S.FnIndex), "jit-wide") << Name;
+    ASSERT_STREQ(S.VmWide->batchBackendName(S.FnIndex), "vm-wide") << Name;
+
+    constexpr size_t Count = 256;
+    std::vector<double> Xs = inputRows(S.Arity, Count, 0x5eed0 + S.FnIndex);
+
+    const std::vector<std::vector<BranchRef>> SatShapes = {
+        {},                             // nothing saturated: dist arms fire
+        {{0, true}},                    // true arm only: dist(negate(op))
+        {{0, false}},                   // false arm only: dist(op)
+        {{0, true}, {0, false}},        // both arms: keep
+        {{1, true}, {1, false}},        // a later site fully saturated
+    };
+    for (size_t Shape = 0; Shape < SatShapes.size(); ++Shape) {
+      const std::vector<BranchRef> &Sat = SatShapes[Shape];
+      BatchRun W = runBatchFooR(*S.JitWide, S.FnIndex, Xs.data(), Count,
+                                S.Arity, &Sat);
+      BatchRun V = runBatchFooR(*S.VmWide, S.FnIndex, Xs.data(), Count,
+                                S.Arity, &Sat);
+      BatchRun J = runBatchFooR(*S.ScalarJit, S.FnIndex, Xs.data(), Count,
+                                S.Arity, &Sat);
+      std::string At = std::string(Name) + " sat-shape " +
+                       std::to_string(Shape);
+      expectSameBatch(V, W, At + " [jit-wide vs vm-wide]");
+      expectSameBatch(J, W, At + " [jit-wide vs scalar-jit]");
+    }
+  }
+}
+
+TEST(JitWideTest, FullSuiteBatchedFooRBitIdentical) {
+  // Whole-suite sweep including the divergence-heavy subjects (sqrt's
+  // bit-twiddling loop retires lanes constantly) and two-parameter
+  // entries: wide JIT vs interpreted wide lane vs scalar fragment rows,
+  // rows + context end state, on 259 rows (ragged tail included).
+  if (!wideJitAvailable())
+    GTEST_SKIP() << "build lacks JIT or SIMD lane, or host has no AVX2";
+  for (const SourceBenchmark &B : sourceSuite()) {
+    SubjectVms S = buildSubject(B);
+    constexpr size_t Count = 259;
+    std::vector<double> Xs = inputRows(S.Arity, Count, 0xab5eed);
+    BatchRun W = runBatchFooR(*S.JitWide, S.FnIndex, Xs.data(), Count,
+                              S.Arity);
+    BatchRun V = runBatchFooR(*S.VmWide, S.FnIndex, Xs.data(), Count,
+                              S.Arity);
+    BatchRun J = runBatchFooR(*S.ScalarJit, S.FnIndex, Xs.data(), Count,
+                              S.Arity);
+    expectSameBatch(V, W, std::string(B.Name) + " [jit-wide vs vm-wide]");
+    expectSameBatch(J, W, std::string(B.Name) + " [jit-wide vs scalar-jit]");
+  }
+}
+
+TEST(JitWideTest, NoContextBatchMatchesCallEntry) {
+  // Without an installed context runBatch degrades to plain body rows;
+  // the wide fragments must reproduce callEntry's bits, NaN trap rows
+  // included.
+  if (!wideJitAvailable())
+    GTEST_SKIP() << "build lacks JIT or SIMD lane, or host has no AVX2";
+  for (const char *Name : {"tanh", "sqrt", "nextafter"}) {
+    const SourceBenchmark *B = findSourceBenchmark(Name);
+    ASSERT_NE(B, nullptr) << Name;
+    SubjectVms S = buildSubject(*B);
+    constexpr size_t Count = 64;
+    std::vector<double> Xs = inputRows(S.Arity, Count, 0xfeed5);
+    std::vector<double> Out(Count, -7.0);
+    S.JitWide->runBatch(S.FnIndex, Xs.data(), Count, S.Arity, Out.data());
+    for (size_t I = 0; I < Count; ++I) {
+      double Ref = S.ScalarJit->callEntry(S.FnIndex, Xs.data() + I * S.Arity);
+      EXPECT_EQ(doubleToBits(Ref), doubleToBits(Out[I]))
+          << Name << " row " << I;
+    }
+  }
+}
+
+TEST(JitWideTest, BudgetExhaustionPointsIdentical) {
+  // Sweep the step budget across the interesting range: at every budget
+  // the three backends must agree per row (NaN exhaustion rows included)
+  // and on the end-of-batch state — the wide fragment's block-granular
+  // charges replay the VM schedule exactly, and a group whose charge
+  // fails retires wholesale to scalar re-runs.
+  if (!wideJitAvailable())
+    GTEST_SKIP() << "build lacks JIT or SIMD lane, or host has no AVX2";
+  const SourceBenchmark *Tanh = findSourceBenchmark("tanh");
+  ASSERT_NE(Tanh, nullptr);
+  constexpr size_t Count = 12;
+  for (uint64_t Budget : {0ull, 1ull, 7ull, 23ull, 61ull, 101ull, 397ull,
+                          1009ull, 60000ull}) {
+    InterpOptions Opts;
+    Opts.MaxSteps = Budget;
+    SubjectVms S = buildSubject(*Tanh, Opts);
+    std::vector<double> Xs = inputRows(S.Arity, Count, 0xb0d9e7);
+    BatchRun W = runBatchFooR(*S.JitWide, S.FnIndex, Xs.data(), Count,
+                              S.Arity);
+    BatchRun V = runBatchFooR(*S.VmWide, S.FnIndex, Xs.data(), Count,
+                              S.Arity);
+    BatchRun J = runBatchFooR(*S.ScalarJit, S.FnIndex, Xs.data(), Count,
+                              S.Arity);
+    std::string At = "budget " + std::to_string(Budget);
+    expectSameBatch(V, W, At + " [jit-wide vs vm-wide]");
+    expectSameBatch(J, W, At + " [jit-wide vs scalar-jit]");
+  }
+}

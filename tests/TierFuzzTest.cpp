@@ -462,6 +462,159 @@ bool runOneProgram(uint64_t Seed, FuzzStats &Stats) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Batched lane: the same population through runBatch on every backend
+//===----------------------------------------------------------------------===//
+
+/// Everything observable about one batched evaluation: per-row result
+/// bits plus the end-of-batch state (context r and trace, Vm trap) packed
+/// into a TierRun so diffTiers can compare it.
+struct BatchObs {
+  std::vector<uint64_t> RowBits;
+  TierRun End; ///< ResultBits holds the end-of-batch context r.
+};
+
+BatchObs runBatchLane(bc::Vm &Vm, const double *Xs, size_t Count, size_t N) {
+  BatchObs Run;
+  ExecutionContext Ctx(Vm.unit().NumSites);
+  Ctx.TraceEnabled = true;
+  ExecutionContext::Scope Scope(Ctx);
+  std::vector<double> Out(Count, -7.0);
+  Vm.runBatch(0, Xs, Count, N, Out.data());
+  Run.RowBits.reserve(Count);
+  for (double V : Out)
+    Run.RowBits.push_back(doubleToBits(V));
+  Run.End.ResultBits = doubleToBits(Ctx.R);
+  Run.End.Trace = Ctx.Trace;
+  Run.End.Trapped = Vm.trapped();
+  Run.End.TrapMessage = Vm.trapMessage();
+  return Run;
+}
+
+std::string diffBatch(const BatchObs &A, const BatchObs &B,
+                      const char *BName) {
+  std::string D;
+  for (size_t I = 0; I < A.RowBits.size() && I < B.RowBits.size(); ++I)
+    if (A.RowBits[I] != B.RowBits[I]) {
+      D += "row " + std::to_string(I) + " bits differ: reference " +
+           std::to_string(A.RowBits[I]) + " vs " + BName + " " +
+           std::to_string(B.RowBits[I]) + "\n";
+      break;
+    }
+  return D + diffTiers(A.End, B.End, BName);
+}
+
+/// Batched input rows: the boundary battery walked across lane positions
+/// (so every NaN, infinity and trap-provoking value lands on every lane
+/// of the 4-wide groups) followed by seeded raw-bit and exponent-uniform
+/// randoms.
+std::vector<double> batchRows(unsigned Arity, size_t Count, uint64_t Seed) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  static const double Boundary[] = {
+      0.0,    -0.0, 1.0,   -1.0,
+      0.5,    2.5,  1e300, -1e300,
+      5e-324, 4503599627370496.0, // 2^52
+      Inf,    -Inf, std::numeric_limits<double>::quiet_NaN(),
+  };
+  constexpr size_t NB = sizeof(Boundary) / sizeof(Boundary[0]);
+  Rng R(Seed ^ 0xb47c4edu);
+  std::vector<double> Xs(Count * Arity);
+  for (size_t I = 0; I < Xs.size(); ++I)
+    Xs[I] = I < NB * 4 ? Boundary[(I + I / 4) % NB]
+                       : (I & 1) ? R.rawBitsDouble()
+                                 : R.exponentUniformDouble();
+  return Xs;
+}
+
+struct BatchFuzzStats {
+  unsigned Programs = 0;
+  unsigned JitWideRouted = 0;  ///< programs routed to 4-lane fragments
+  unsigned TrapRows = 0;       ///< reference rows that trapped (full budget)
+  unsigned BudgetTrapRows = 0; ///< reference rows that trapped (tight budget)
+};
+
+/// Compiles one generated program and runs a ragged \p Count-row batch
+/// through every backend in the fall-back chain — interpreted SIMD lane,
+/// scalar fragments, 4-lane wide fragments — against the scalar
+/// interpreter rows, under both the full step budget and a tight one that
+/// exhausts mid-row for the loopier programs (so "step budget exhausted"
+/// rows land at arbitrary batch positions and every backend must place
+/// them identically).
+bool runOneBatchedProgram(uint64_t Seed, size_t Count, BatchFuzzStats &Stats) {
+  ProgramGen Gen(Seed);
+  std::string Source = Gen.generate();
+
+  SourceProgramOptions Opts;
+  Opts.Fuse = (Seed & 1) != 0;
+  Opts.Interp.MaxSteps = 60000;
+  SourceProgram SP = compileSourceProgram(Source, "f", Opts);
+  if (!SP.success()) {
+    ADD_FAILURE() << "seed " << Seed << ": generated program failed to "
+                  << "compile:\n"
+                  << SP.diagnosticsText() << "\n--- source ---\n"
+                  << Source;
+    return false;
+  }
+  ++Stats.Programs;
+
+  unsigned N = Gen.arity();
+  std::vector<double> Xs = batchRows(N, Count, Seed);
+
+  std::shared_ptr<const bc::JitUnit> Jit;
+  if (bc::JitUnit::available())
+    Jit = bc::JitUnit::build(SP.Code);
+
+  for (uint64_t MaxSteps : {uint64_t{60000}, uint64_t{150}}) {
+    InterpOptions ScalarOpts = Opts.Interp;
+    ScalarOpts.MaxSteps = MaxSteps;
+    ScalarOpts.Simd = VmSimd::Off;
+    InterpOptions WideOpts = Opts.Interp;
+    WideOpts.MaxSteps = MaxSteps;
+
+    bc::Vm RefVm(SP.Code, ScalarOpts); // interpreter rows: the reference
+    BatchObs Ref = runBatchLane(RefVm, Xs.data(), Count, N);
+    for (size_t I = 0; I < Count; ++I) {
+      RefVm.callEntry(0u, Xs.data() + I * N);
+      if (RefVm.trapped())
+        ++(MaxSteps == 150 ? Stats.BudgetTrapRows : Stats.TrapRows);
+    }
+
+    std::vector<std::pair<std::string, BatchObs>> Lanes;
+    bc::Vm WideVm(SP.Code, WideOpts);
+    Lanes.emplace_back(std::string("vm-batch/") + WideVm.batchBackendName(0),
+                       runBatchLane(WideVm, Xs.data(), Count, N));
+    if (Jit) {
+      bc::Vm ScalarJit(SP.Code, ScalarOpts);
+      ScalarJit.attachJit(Jit);
+      Lanes.emplace_back(std::string("jit-batch/") +
+                             ScalarJit.batchBackendName(0),
+                         runBatchLane(ScalarJit, Xs.data(), Count, N));
+      bc::Vm JitWide(SP.Code, WideOpts);
+      JitWide.attachJit(Jit);
+      std::string Backend = JitWide.batchBackendName(0);
+      if (MaxSteps != 150 && Backend == "jit-wide")
+        ++Stats.JitWideRouted;
+      Lanes.emplace_back("jit-wide-chain/" + Backend,
+                         runBatchLane(JitWide, Xs.data(), Count, N));
+    }
+    for (const auto &L : Lanes) {
+      std::string D = diffBatch(Ref, L.second, L.first.c_str());
+      if (!D.empty()) {
+        ADD_FAILURE() << "seed " << Seed << ": batched lane (" << L.first
+                      << ", count " << Count << ", budget " << MaxSteps
+                      << ") diverges from scalar rows\n"
+                      << D << describeInput(std::vector<double>(
+                             Xs.begin(), Xs.begin() + N))
+                      << "\n--- source ---\n"
+                      << Source << "--- disassembly ---\n"
+                      << disassemble(*SP.Code);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -491,6 +644,33 @@ TEST(TierFuzzTest, RandomProgramsAgreeAcrossAllTiers) {
            "exercising native fragments";
   else
     EXPECT_EQ(Stats.JittedEntries, 0u);
+}
+
+TEST(TierFuzzTest, RandomProgramsBatchedLaneAgreesAcrossBackends) {
+  // The batched arm of the same contract: the identical 220-program
+  // population, evaluated as ragged batches (counts 1..257, so every
+  // group-boundary and tail shape occurs) through runBatch on every
+  // backend the fall-back chain can resolve to. Rows, end-of-batch
+  // context, and traps must match the scalar interpreter rows bit for
+  // bit — including "step budget exhausted" rows mid-batch.
+  constexpr unsigned NumPrograms = 220;
+  constexpr uint64_t BaseSeed = 0x7137f022u; // same population as above
+  BatchFuzzStats Stats;
+  unsigned Failures = 0;
+  for (unsigned I = 0; I < NumPrograms && Failures < 3; ++I)
+    if (!runOneBatchedProgram(BaseSeed + I, 1 + (I * 131) % 257, Stats))
+      ++Failures;
+  EXPECT_EQ(Failures, 0u);
+
+  EXPECT_EQ(Stats.Programs, NumPrograms);
+  EXPECT_GT(Stats.TrapRows, 0u) << "trap-row parity went untested";
+  EXPECT_GT(Stats.BudgetTrapRows, 0u) << "budget exhaustion went untested";
+  if (bc::JitUnit::available() && bc::Vm::simdAvailable()) {
+    EXPECT_GT(Stats.JitWideRouted, NumPrograms / 2)
+        << "wide-fragment routing collapsed (" << Stats.JitWideRouted
+        << " of " << NumPrograms << "): the batched battery is no longer "
+        << "exercising 4-lane native fragments";
+  }
 }
 
 TEST(TierFuzzTest, SweepIsDeterministic) {

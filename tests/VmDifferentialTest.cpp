@@ -931,7 +931,8 @@ TEST(VmDifferentialTest, WideLaneEngagesForEverySuiteSubject) {
     ASSERT_GE(FnIndex, 0) << B.Name;
     EXPECT_TRUE(Vm.wideBatchEligible(static_cast<unsigned>(FnIndex)))
         << B.Name;
-    EXPECT_STREQ(Vm.batchBackendName(static_cast<unsigned>(FnIndex)), "simd")
+    EXPECT_STREQ(Vm.batchBackendName(static_cast<unsigned>(FnIndex)),
+                 "vm-wide")
         << B.Name;
   }
 }
