@@ -13,8 +13,12 @@
 // Verbs (see README.md for the full field tables):
 //
 //   {"cmd":"submit","source":"...","entry":"f", ...}   -> {"ok":true,"job":N}
+//     ... accepts deadline_seconds (wall deadline per run) and
+//     checkpoint_every (durable checkpoint cadence, with --state-dir)
 //   {"cmd":"status","job":N}
 //   {"cmd":"wait","job":N}            block until suspended/done/failed
+//   {"cmd":"wait","job":N,"timeout_ms":T}  bounded; "timed_out":true +
+//     the live status when the job is still running
 //   {"cmd":"progress","job":N,"from":K}
 //   {"cmd":"stream","job":N}          one line per committed round, then end
 //   {"cmd":"checkpoint","job":N}      -> {"ok":true,"snapshot":"<hex>"}
@@ -22,36 +26,52 @@
 //   {"cmd":"resume","snapshot":"<hex>","source":...}  new job from bytes
 //   {"cmd":"result","job":N}
 //   {"cmd":"cancel","job":N}
+//   {"cmd":"jobs"}                    every job's status (find recovered ids)
 //   {"cmd":"stats"}                   compiled-unit cache counters
 //   {"cmd":"shutdown"}
 //
 // Usage:
 //   coverme_serve --socket /tmp/coverme.sock [--workers N]
+//                 [--state-dir DIR] [--checkpoint-every N]
 //   coverme_serve --smoke             self-driving end-to-end scenario
+//
+// With --state-dir the daemon journals every campaign to a durable
+// checkpoint store (write-temp/fsync/rename, CRC-framed) and, on startup,
+// recovers whatever a crashed predecessor left there — resuming each
+// campaign from its newest valid snapshot, bit-identically.
 //
 // The --smoke mode starts the server on a private socket, drives the whole
 // protocol through a real client connection — two subjects, a mid-flight
 // checkpoint, an in-place resume, a resume-from-bytes, a corrupt-snapshot
-// rejection, a cancellation — and verifies the resumed campaigns are
-// bit-identical to uninterrupted ones. CI runs it as the service smoke job.
+// rejection, a deadline expiry, a bounded wait, an oversized request, a
+// cancellation — then runs the crash drill: a journaling daemon child is
+// SIGKILLed mid-campaign and a restarted daemon on the same --state-dir
+// must recover the job and finish it bit-identically. CI runs it as the
+// service smoke job.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Checkpoint.h"
+#include "service/CheckpointStore.h"
+#include "service/JobWire.h"
 #include "service/Json.h"
 #include "service/Session.h"
 #include "support/FloatBits.h"
 #include "support/Timer.h"
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -103,6 +123,8 @@ bool sendLine(int Fd, std::string Line) {
   size_t Off = 0;
   while (Off < Line.size()) {
     ssize_t N = ::send(Fd, Line.data() + Off, Line.size() - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR)
+      continue; // a signal landing mid-send must not drop the reply
     if (N <= 0)
       return false;
     Off += static_cast<size_t>(N);
@@ -111,104 +133,47 @@ bool sendLine(int Fd, std::string Line) {
 }
 
 /// recv() with per-connection buffering, returning one '\n'-terminated line
-/// at a time.
+/// at a time. Bounded: a line longer than MaxLine is discarded through its
+/// terminating newline and reported as TooLarge, so one hostile or buggy
+/// client cannot balloon the daemon's memory — and the connection stays
+/// usable for the next request.
 struct LineReader {
+  static constexpr size_t MaxLine = 8u << 20; // 8 MiB
+
   int Fd;
   std::string Buffer;
+  bool Discarding = false;
 
-  bool next(std::string &Line) {
+  enum class Status : uint8_t { Line, TooLarge, Closed };
+
+  Status next(std::string &Line) {
     for (;;) {
       size_t Pos = Buffer.find('\n');
       if (Pos != std::string::npos) {
+        if (Discarding) {
+          // The tail of an over-long line; drop it and resynchronize.
+          Buffer.erase(0, Pos + 1);
+          Discarding = false;
+          return Status::TooLarge;
+        }
         Line = Buffer.substr(0, Pos);
         Buffer.erase(0, Pos + 1);
-        return true;
+        return Status::Line;
+      }
+      if (Buffer.size() > MaxLine) {
+        Buffer.clear();
+        Discarding = true;
       }
       char Chunk[4096];
       ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
       if (N <= 0)
-        return false;
+        return Status::Closed;
       Buffer.append(Chunk, static_cast<size_t>(N));
     }
   }
 };
-
-/// Order-sensitive FNV-1a digest over everything a campaign's identity
-/// covers: accepted-input bit patterns, the round log, evaluation count,
-/// and coverage. Two runs digest equal iff they are bit-identical in every
-/// respect the checkpoint golden tests compare.
-uint64_t resultDigest(const CampaignResult &Res) {
-  uint64_t H = 1469598103934665603ull;
-  auto Mix = [&H](uint64_t V) {
-    for (int I = 0; I < 8; ++I) {
-      H ^= (V >> (8 * I)) & 0xff;
-      H *= 1099511628211ull;
-    }
-  };
-  for (const auto &Input : Res.Inputs) {
-    Mix(Input.size());
-    for (double Coord : Input)
-      Mix(doubleToBits(Coord));
-  }
-  for (const RoundLog &Log : Res.Rounds) {
-    Mix(Log.Round);
-    Mix(doubleToBits(Log.MinimumValue));
-    Mix(Log.Accepted ? 1 : 0);
-    Mix(Log.MarkedInfeasible ? 1 : 0);
-    Mix(Log.SaturatedArms);
-  }
-  Mix(Res.Evaluations);
-  Mix(Res.StartsUsed);
-  Mix(Res.CoveredBranches);
-  Mix(Res.TotalBranches);
-  for (BranchRef Ref : Res.InfeasibleMarked) {
-    Mix(Ref.Site);
-    Mix(Ref.Outcome ? 1 : 0);
-  }
-  return H;
-}
-
-//===----------------------------------------------------------------------===//
-// Request -> options translation
-//===----------------------------------------------------------------------===//
-
-bool parseRequestOptions(const json::Value &Req, JobRequest &Out,
-                         std::string &Err) {
-  Out.Source = Req.str("source");
-  Out.Entry = Req.str("entry");
-  if (Out.Source.empty() || Out.Entry.empty()) {
-    Err = "submit needs non-empty \"source\" and \"entry\"";
-    return false;
-  }
-  std::string Tier = Req.str("tier", "vm");
-  if (Tier == "vm")
-    Out.Compile.Tier = lang::ExecutionTier::Bytecode;
-  else if (Tier == "jit")
-    Out.Compile.Tier = lang::ExecutionTier::Jit;
-  else if (Tier == "interp")
-    Out.Compile.Tier = lang::ExecutionTier::TreeWalker;
-  else {
-    Err = "unknown tier \"" + Tier + "\" (vm|jit|interp)";
-    return false;
-  }
-  Out.Compile.Fuse = Req.boolean("fuse", true);
-
-  Out.Campaign.NStart =
-      static_cast<unsigned>(Req.u64("n_start", Out.Campaign.NStart));
-  Out.Campaign.NIter =
-      static_cast<unsigned>(Req.u64("n_iter", Out.Campaign.NIter));
-  Out.Campaign.Seed = Req.u64("seed", Out.Campaign.Seed);
-  Out.Campaign.Threads =
-      static_cast<unsigned>(Req.u64("threads", Out.Campaign.Threads));
-  Out.Campaign.MaxEvaluations =
-      Req.u64("max_evaluations", Out.Campaign.MaxEvaluations);
-  Out.Campaign.SuspendAfterRounds =
-      static_cast<unsigned>(Req.u64("suspend_after", 0));
-  Out.Campaign.StopWhenAllSaturated =
-      Req.boolean("stop_when_saturated", true);
-  Out.Campaign.MarkInfeasible = Req.boolean("mark_infeasible", true);
-  return true;
-}
 
 //===----------------------------------------------------------------------===//
 // The server
@@ -232,11 +197,22 @@ std::string roundEventJson(const RoundLog &Log) {
   return W.str();
 }
 
+SessionOptions sessionOptions(unsigned Workers, CheckpointStore *Store,
+                              unsigned CheckpointEvery) {
+  SessionOptions Opts;
+  Opts.Workers = Workers;
+  Opts.Store = Store;
+  Opts.CheckpointEveryRounds = CheckpointEvery;
+  return Opts;
+}
+
 class Server {
 public:
-  Server(std::string SocketPath, unsigned Workers)
+  Server(std::string SocketPath, unsigned Workers, std::string StateDir = "",
+         unsigned CheckpointEvery = 0)
       : SocketPath(std::move(SocketPath)),
-        TheSession(SessionOptions{Workers}) {}
+        Store(StateDir.empty() ? nullptr : new CheckpointStore(StateDir)),
+        TheSession(sessionOptions(Workers, Store.get(), CheckpointEvery)) {}
 
   ~Server() {
     if (ListenFd >= 0)
@@ -266,6 +242,27 @@ public:
     return true;
   }
 
+  /// Scans the state directory and resubmits every journaled campaign a
+  /// previous process left behind. Call once, before serving clients.
+  void recover() {
+    if (!Store)
+      return;
+    if (!Store->ok()) {
+      std::fprintf(stderr, "warning: state dir %s unusable; journaling off\n",
+                   Store->directory().c_str());
+      return;
+    }
+    std::vector<uint64_t> Ids = TheSession.recoverFromStore();
+    for (uint64_t Id : Ids)
+      std::printf("recovered job %llu from %s\n",
+                  static_cast<unsigned long long>(Id),
+                  Store->directory().c_str());
+    if (unsigned Q = Store->quarantinedCount())
+      std::fprintf(stderr, "warning: %u torn/corrupt journal file%s "
+                           "quarantined as .corrupt\n",
+                   Q, Q == 1 ? "" : "s");
+  }
+
   /// Accept loop; returns when a client sends shutdown.
   void run() {
     std::vector<std::thread> Clients;
@@ -284,9 +281,17 @@ public:
 
 private:
   void handleClient(int Fd) {
-    LineReader Reader{Fd, {}};
+    LineReader Reader{Fd, {}, false};
     std::string Line;
-    while (Reader.next(Line)) {
+    for (;;) {
+      LineReader::Status St = Reader.next(Line);
+      if (St == LineReader::Status::Closed)
+        return;
+      if (St == LineReader::Status::TooLarge) {
+        if (!sendLine(Fd, errorReply("request too large")))
+          return;
+        continue;
+      }
       if (Line.empty())
         continue;
       json::Value Req;
@@ -329,13 +334,15 @@ private:
       return cmdCancel(Fd, Req);
     if (Cmd == "stats")
       return cmdStats(Fd);
+    if (Cmd == "jobs")
+      return cmdJobs(Fd);
     return sendLine(Fd, errorReply("unknown cmd \"" + Cmd + "\""));
   }
 
   bool cmdSubmit(int Fd, const json::Value &Req) {
     JobRequest JR;
     std::string Err;
-    if (!parseRequestOptions(Req, JR, Err))
+    if (!jobRequestFromJson(Req, JR, Err))
       return sendLine(Fd, errorReply(Err));
     uint64_t Id = TheSession.submit(std::move(JR));
     if (!Id)
@@ -345,22 +352,32 @@ private:
     return sendLine(Fd, W.str());
   }
 
-  bool statusJson(uint64_t Id, std::string &Out) {
-    JobStatus St;
-    if (!TheSession.status(Id, St))
-      return false;
-    json::ObjectWriter W;
-    W.field("ok", true)
-        .field("job", St.Id)
+  static void statusFields(json::ObjectWriter &W, const JobStatus &St) {
+    W.field("job", St.Id)
         .field("state", jobStateName(St.State))
         .field("rounds", St.RoundsCommitted)
         .field("saturated_arms", St.SaturatedArms)
         .field("cache_hit", St.CacheHit)
         .field("compile_seconds", St.CompileSeconds)
         .field("unit_hash", St.UnitHash)
-        .field("has_result", St.HasResult);
+        .field("has_result", St.HasResult)
+        .field("stop_reason", stopReasonName(St.Stop));
+    if (!St.StoreKey.empty())
+      W.field("store_key", St.StoreKey).field("checkpoints",
+                                              St.CheckpointsSaved);
+    if (!St.StoreError.empty())
+      W.field("store_error", St.StoreError);
     if (!St.Error.empty())
       W.field("error", St.Error);
+  }
+
+  bool statusJson(uint64_t Id, std::string &Out) {
+    JobStatus St;
+    if (!TheSession.status(Id, St))
+      return false;
+    json::ObjectWriter W;
+    W.field("ok", true);
+    statusFields(W, St);
     Out = W.str();
     return true;
   }
@@ -374,11 +391,38 @@ private:
 
   bool cmdWait(int Fd, const json::Value &Req) {
     uint64_t Id = Req.u64("job");
-    if (!TheSession.wait(Id))
+    // With "timeout_ms": bounded wait — a still-running job is not an
+    // error, the reply carries its live status plus "timed_out":true.
+    double TimeoutSeconds = -1.0;
+    if (Req.find("timeout_ms"))
+      TimeoutSeconds = Req.num("timeout_ms") / 1000.0;
+    Session::WaitOutcome Outcome = TheSession.waitFor(Id, TimeoutSeconds);
+    if (Outcome == Session::WaitOutcome::Unknown)
       return sendLine(Fd, errorReply("unknown job"));
-    std::string Reply;
-    statusJson(Id, Reply);
-    return sendLine(Fd, Reply);
+    JobStatus St;
+    TheSession.status(Id, St);
+    json::ObjectWriter W;
+    W.field("ok", true)
+        .field("timed_out", Outcome == Session::WaitOutcome::TimedOut);
+    statusFields(W, St);
+    return sendLine(Fd, W.str());
+  }
+
+  bool cmdJobs(int Fd) {
+    std::string Arr = "[";
+    bool First = true;
+    for (const JobStatus &St : TheSession.jobs()) {
+      if (!First)
+        Arr += ',';
+      First = false;
+      json::ObjectWriter W;
+      statusFields(W, St);
+      Arr += W.str();
+    }
+    Arr += ']';
+    json::ObjectWriter W;
+    W.field("ok", true).raw("jobs", Arr);
+    return sendLine(Fd, W.str());
   }
 
   bool cmdProgress(int Fd, const json::Value &Req) {
@@ -454,7 +498,7 @@ private:
       if (!Snap->isString() || !fromHex(Snap->Str, Bytes))
         return sendLine(Fd, errorReply("snapshot must be a hex string"));
       JobRequest JR;
-      if (!parseRequestOptions(Req, JR, Err))
+      if (!jobRequestFromJson(Req, JR, Err))
         return sendLine(Fd, errorReply(Err));
       uint64_t Id = TheSession.submitResume(std::move(JR), Bytes, Err);
       if (!Id)
@@ -496,6 +540,7 @@ private:
     W.field("ok", true)
         .field("job", Id)
         .field("suspended", Res.Suspended)
+        .field("stop_reason", stopReasonName(Res.Stop))
         .field("rounds", Res.StartsUsed)
         .field("evaluations", Res.Evaluations)
         .field("covered_branches", Res.CoveredBranches)
@@ -530,6 +575,9 @@ private:
   }
 
   std::string SocketPath;
+  /// Declared before TheSession: the session keeps a raw pointer to the
+  /// store, so the store must outlive it (destruction is reverse order).
+  std::unique_ptr<CheckpointStore> Store;
   Session TheSession;
   int ListenFd = -1;
   std::atomic<bool> ShutdownRequested{false};
@@ -595,7 +643,7 @@ struct SmokeClient {
     if (!sendLine(Fd, Request))
       return false;
     std::string Line;
-    if (!Reader.next(Line))
+    if (Reader.next(Line) != LineReader::Status::Line)
       return false;
     std::string Err;
     return json::parse(Line, Reply, Err);
@@ -636,6 +684,132 @@ std::string campaignRequest(const char *Cmd, const char *Source,
   if (!SnapshotHex.empty())
     W.field("snapshot", SnapshotHex);
   return W.str();
+}
+
+/// Forks a real daemon child on \p SocketPath/\p StateDir. fork+exec (not
+/// plain fork): the parent runs a thread pool, and exec gives the child a
+/// clean single-threaded address space instead of a forked copy of ours.
+pid_t spawnDaemon(const std::string &SocketPath, const std::string &StateDir,
+                  unsigned CheckpointEvery) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  std::string SocketArg = "--socket=" + SocketPath;
+  std::string StateArg = "--state-dir=" + StateDir;
+  std::string CkptArg = "--checkpoint-every=" + std::to_string(CheckpointEvery);
+  ::execl("/proc/self/exe", "coverme_serve", SocketArg.c_str(),
+          StateArg.c_str(), CkptArg.c_str(), "--workers=2",
+          static_cast<char *>(nullptr));
+  _exit(127);
+}
+
+/// The kill-and-restart drill: a journaling daemon is SIGKILLed mid-
+/// campaign — after at least two durable checkpoints — then a fresh daemon
+/// process on the same --state-dir recovers the job from the journal and
+/// runs it to completion. The gate: the recovered campaign's digest equals
+/// a fresh uninterrupted run of the same request, bit for bit.
+int runCrashDrill() {
+  const std::string Base = "/tmp/coverme_drill_" + std::to_string(::getpid());
+  const std::string SockA = Base + "_a.sock";
+  const std::string SockB = Base + "_b.sock";
+  const std::string StateDir = Base + ".state";
+
+  pid_t PidA = spawnDaemon(SockA, StateDir, /*CheckpointEvery=*/2);
+  SMOKE_CHECK(PidA > 0, "first daemon forks");
+  json::Value R;
+  {
+    SmokeClient Client;
+    SMOKE_CHECK(Client.connect(SockA), "client connects to first daemon");
+    SMOKE_CHECK(Client.call(campaignRequest("submit", ClassifierSource,
+                                            "classify", /*Seed=*/7,
+                                            /*NStart=*/24, /*Threads=*/2,
+                                            /*SuspendAfter=*/0),
+                            R) &&
+                    R.boolean("ok"),
+                "drill submit");
+    uint64_t Job = R.u64("job");
+    // Let the journal accumulate real mid-campaign checkpoints, then pull
+    // the rug: SIGKILL, no shutdown handshake, no flush.
+    bool Checkpointed = false;
+    for (int I = 0; I < 4000 && !Checkpointed; ++I) {
+      SMOKE_CHECK(Client.call("{\"cmd\":\"status\",\"job\":" +
+                                  std::to_string(Job) + "}",
+                              R) &&
+                      R.boolean("ok"),
+                  "drill status poll");
+      Checkpointed = R.u64("checkpoints") >= 2;
+      if (!Checkpointed)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    SMOKE_CHECK(Checkpointed, "daemon journaled checkpoints before the kill");
+    SMOKE_CHECK(R.str("state") == "running", "job was mid-campaign at the kill");
+  }
+  SMOKE_CHECK(::kill(PidA, SIGKILL) == 0, "SIGKILL lands");
+  int WaitStatus = 0;
+  SMOKE_CHECK(::waitpid(PidA, &WaitStatus, 0) == PidA, "daemon reaped");
+  SMOKE_CHECK(WIFSIGNALED(WaitStatus) && WTERMSIG(WaitStatus) == SIGKILL,
+              "daemon died by SIGKILL, not a clean exit");
+
+  // Restart on the same state directory; recovery resubmits the job.
+  pid_t PidB = spawnDaemon(SockB, StateDir, /*CheckpointEvery=*/2);
+  SMOKE_CHECK(PidB > 0, "second daemon forks");
+  uint64_t RecoveredDigest = 0, ReferenceDigest = 0;
+  {
+    SmokeClient Client;
+    SMOKE_CHECK(Client.connect(SockB), "client connects to restarted daemon");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"jobs\"}", R) && R.boolean("ok"),
+                "jobs listing on restarted daemon");
+    const json::Value *JobsArr = R.find("jobs");
+    SMOKE_CHECK(JobsArr && JobsArr->isArray() && JobsArr->Arr.size() == 1,
+                "exactly one job recovered from the journal");
+    uint64_t Recovered = JobsArr->Arr[0].u64("job");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" +
+                                std::to_string(Recovered) + "}",
+                            R) &&
+                    R.str("state") == "done",
+                "recovered job completes");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"result\",\"job\":" +
+                                std::to_string(Recovered) + "}",
+                            R) &&
+                    R.boolean("ok"),
+                "recovered result");
+    SMOKE_CHECK(R.u64("rounds") == 24, "recovered job ran all 24 rounds");
+    RecoveredDigest = R.u64("digest");
+
+    // The uninterrupted reference, on the same daemon (different thread
+    // count for good measure — determinism is thread-count-invariant).
+    SMOKE_CHECK(Client.call(campaignRequest("submit", ClassifierSource,
+                                            "classify", /*Seed=*/7,
+                                            /*NStart=*/24, /*Threads=*/1,
+                                            /*SuspendAfter=*/0),
+                            R) &&
+                    R.boolean("ok"),
+                "reference submit");
+    uint64_t Ref = R.u64("job");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" + std::to_string(Ref) +
+                                "}",
+                            R) &&
+                    R.str("state") == "done",
+                "reference completes");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"result\",\"job\":" +
+                                std::to_string(Ref) + "}",
+                            R) &&
+                    R.boolean("ok"),
+                "reference result");
+    ReferenceDigest = R.u64("digest");
+    SMOKE_CHECK(RecoveredDigest == ReferenceDigest,
+                "crash recovery is bit-identical to the uninterrupted run");
+
+    SMOKE_CHECK(Client.call("{\"cmd\":\"shutdown\"}", R) && R.boolean("ok"),
+                "restarted daemon shuts down");
+  }
+  SMOKE_CHECK(::waitpid(PidB, &WaitStatus, 0) == PidB,
+              "restarted daemon reaped");
+  std::printf("{\"smoke\":\"crash_drill\",\"recovered_digest\":%llu,"
+              "\"reference_digest\":%llu}\n",
+              static_cast<unsigned long long>(RecoveredDigest),
+              static_cast<unsigned long long>(ReferenceDigest));
+  return 0;
 }
 
 int runSmoke() {
@@ -817,6 +991,37 @@ int runSmoke() {
     SMOKE_CHECK(Events->Arr[I].u64("round") == I + 1,
                 "round events arrive in commit order");
 
+  // Deadline: a tiny wall deadline stops the campaign at a round boundary
+  // with a valid resumable prefix and stop_reason deadline-expired.
+  {
+    json::ObjectWriter W;
+    W.field("cmd", "submit")
+        .field("source", ClassifierSource)
+        .field("entry", "classify")
+        .field("seed", static_cast<uint64_t>(5))
+        .field("n_start", 5000u)
+        .field("threads", 2u)
+        .field("stop_when_saturated", false)
+        .field("deadline_seconds", 0.02);
+    SMOKE_CHECK(Client.call(W.str(), R) && R.boolean("ok"),
+                "submit deadline-bounded job");
+    uint64_t JobD = R.u64("job");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" +
+                                std::to_string(JobD) + "}",
+                            R) &&
+                    R.str("state") == "suspended",
+                "deadline expiry suspends the job");
+    SMOKE_CHECK(R.str("stop_reason") == "deadline-expired",
+                "stop reason is deadline-expired");
+    SMOKE_CHECK(R.u64("rounds") >= 1 && R.u64("rounds") < 5000,
+                "deadline left a partial committed prefix");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"cancel\",\"job\":" +
+                                std::to_string(JobD) + "}",
+                            R) &&
+                    R.boolean("ok"),
+                "retire deadline job");
+  }
+
   // Cancellation: a long job stops at a round boundary, keeping its prefix.
   SMOKE_CHECK(Client.call(campaignRequest("submit", ClassifierSource,
                                           "classify", /*Seed=*/11,
@@ -826,6 +1031,15 @@ int runSmoke() {
                   R.boolean("ok"),
               "submit long job");
   uint64_t JobLong = R.u64("job");
+  // Bounded wait on a job that cannot finish: the reply must come back
+  // promptly with timed_out=true and the live (non-terminal) status.
+  SMOKE_CHECK(Client.call("{\"cmd\":\"wait\",\"job\":" +
+                              std::to_string(JobLong) + ",\"timeout_ms\":50}",
+                          R) &&
+                  R.boolean("ok"),
+              "wait with timeout replies");
+  SMOKE_CHECK(R.boolean("timed_out"), "bounded wait on a running job times out");
+  SMOKE_CHECK(R.str("state") != "done", "timed-out wait reports a live state");
   SMOKE_CHECK(Client.call("{\"cmd\":\"cancel\",\"job\":" +
                               std::to_string(JobLong) + "}",
                           R) &&
@@ -848,9 +1062,29 @@ int runSmoke() {
               static_cast<unsigned long long>(R.u64("cache_misses")),
               static_cast<unsigned long long>(ReferenceDigest));
 
+  // Hardening: a request bigger than the line cap gets a structured error
+  // and the connection survives for the next request.
+  {
+    std::string Huge = "{\"cmd\":\"submit\",\"source\":\"";
+    Huge.append((8u << 20) + 4096, 'x');
+    Huge += "\"}";
+    SMOKE_CHECK(Client.call(Huge, R) && !R.boolean("ok", true),
+                "oversized request is refused");
+    SMOKE_CHECK(R.str("error") == "request too large",
+                "oversized request gets the structured error");
+    SMOKE_CHECK(Client.call("{\"cmd\":\"stats\"}", R) && R.boolean("ok"),
+                "connection survives an oversized request");
+  }
+
   SMOKE_CHECK(Client.call("{\"cmd\":\"shutdown\"}", R) && R.boolean("ok"),
               "shutdown");
   ServerThread.join();
+
+  // Part 3: the crash drill — SIGKILL a daemon mid-campaign, restart it on
+  // the same state directory, and gate on digest equality.
+  if (int Rc = runCrashDrill())
+    return Rc;
+
   std::printf("SMOKE PASS\n");
   return 0;
 }
@@ -859,8 +1093,12 @@ int runSmoke() {
 
 int main(int argc, char **argv) {
   std::string SocketPath;
+  std::string StateDir;
   unsigned Workers = 1;
+  unsigned CheckpointEvery = 0;
   bool Smoke = false;
+  const char *Usage = "usage: %s --socket PATH [--workers N] "
+                      "[--state-dir DIR] [--checkpoint-every N] | --smoke\n";
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--smoke") == 0) {
       Smoke = true;
@@ -870,25 +1108,31 @@ int main(int argc, char **argv) {
       SocketPath = argv[++I];
     } else if (std::strncmp(argv[I], "--workers=", 10) == 0) {
       Workers = static_cast<unsigned>(std::atoi(argv[I] + 10));
+    } else if (std::strncmp(argv[I], "--state-dir=", 12) == 0) {
+      StateDir = argv[I] + 12;
+    } else if (std::strcmp(argv[I], "--state-dir") == 0 && I + 1 < argc) {
+      StateDir = argv[++I];
+    } else if (std::strncmp(argv[I], "--checkpoint-every=", 19) == 0) {
+      CheckpointEvery = static_cast<unsigned>(std::atoi(argv[I] + 19));
     } else {
-      std::fprintf(stderr,
-                   "usage: %s --socket PATH [--workers N] | --smoke\n",
-                   argv[0]);
+      std::fprintf(stderr, Usage, argv[0]);
       return 2;
     }
   }
   if (Smoke)
     return runSmoke();
   if (SocketPath.empty()) {
-    std::fprintf(stderr, "usage: %s --socket PATH [--workers N] | --smoke\n",
-                 argv[0]);
+    std::fprintf(stderr, Usage, argv[0]);
     return 2;
   }
-  Server Srv(SocketPath, Workers);
+  Server Srv(SocketPath, Workers, StateDir, CheckpointEvery);
   if (!Srv.listen()) {
     std::fprintf(stderr, "cannot listen on %s\n", SocketPath.c_str());
     return 1;
   }
+  // Recover before accepting clients: a `jobs` request arriving right
+  // after startup must already see the resubmitted campaigns.
+  Srv.recover();
   std::printf("coverme_serve listening on %s (%u worker%s)\n",
               SocketPath.c_str(), Workers ? Workers : 0,
               Workers == 1 ? "" : "s");

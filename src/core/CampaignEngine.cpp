@@ -136,10 +136,26 @@ MinimizeResult CampaignEngine::minimizeRound(unsigned Round, Worker &W) {
 
 bool CampaignEngine::commitLocked(RoundWork &Work, Worker &W) {
   // Algo. 1 loop guards, evaluated in round order over committed state.
-  if (Res.Evaluations >= Opts.MaxEvaluations)
+  if (Res.Evaluations >= Opts.MaxEvaluations) {
+    Res.Stop = StopReason::BudgetExhausted;
     return false;
-  if (Opts.StopWhenAllSaturated && Table.allSaturated())
+  }
+  if (Opts.StopWhenAllSaturated && Table.allSaturated()) {
+    Res.Stop = StopReason::AllSaturated;
     return false;
+  }
+
+  // Deadline gate: evaluated after the natural stops (a campaign that
+  // terminates at this boundary terminates with its real reason) and
+  // before voluntary suspension. The round in this commit slot is
+  // discarded like a suspension's, so the result is a clean resumable
+  // prefix and expiry lands within one round boundary of the wall
+  // crossing at every thread count.
+  if (Opts.WallDeadline > 0.0 && RunTimer.seconds() >= Opts.WallDeadline) {
+    Res.Suspended = true;
+    Res.Stop = StopReason::DeadlineExpired;
+    return false;
+  }
 
   // Suspension gate, checked after the natural stop conditions so a
   // campaign that would terminate here terminates — suspension only
@@ -150,6 +166,7 @@ bool CampaignEngine::commitLocked(RoundWork &Work, Worker &W) {
   if (SuspendRequested.load(std::memory_order_relaxed) ||
       (Opts.SuspendAfterRounds && Res.StartsUsed >= Opts.SuspendAfterRounds)) {
     Res.Suspended = true;
+    Res.Stop = StopReason::Suspended;
     return false;
   }
 
@@ -208,6 +225,14 @@ bool CampaignEngine::commitLocked(RoundWork &Work, Worker &W) {
   Res.Rounds.push_back(Log);
   if (Opts.OnRound)
     Opts.OnRound(Log);
+  // Periodic durable checkpoint: the commit lock is held, so the captured
+  // state is exactly the committed prefix through this round; the next
+  // uncommitted round is the one just past this slot. Cadence counts
+  // total committed rounds (resumed prefix included), keeping checkpoint
+  // boundaries stable across interruptions.
+  if (Opts.CheckpointEveryRounds && Opts.OnCheckpoint &&
+      Res.StartsUsed % Opts.CheckpointEveryRounds == 0)
+    Opts.OnCheckpoint(snapshotWithNext(Work.Round + 1));
   return true;
 }
 
@@ -252,6 +277,7 @@ void CampaignEngine::workerLoop() {
 
 CampaignResult CampaignEngine::run() {
   WallTimer Timer;
+  RunTimer.restart(); // the WallDeadline window opens here
   Res.TotalBranches = Prog.numBranches();
 
   // A branch-free program needs a single input to cover everything. A
@@ -265,6 +291,7 @@ CampaignResult CampaignEngine::run() {
     Res.BranchCoverage = SuiteCoverage.branchCoverage(); // 1.0: no arms
     Res.LineCoverage = SuiteCoverage.lineCoverage(Prog);
     Res.AllSaturated = true;
+    Res.Stop = StopReason::AllSaturated;
     Res.Seconds = Timer.seconds();
     return Res;
   }
@@ -290,6 +317,10 @@ CampaignResult CampaignEngine::run() {
     Pool.wait();
   }
 
+  // The loop exits without a commitLocked verdict only by consuming every
+  // starting point; any other exit stamped its reason at the stop slot.
+  if (Res.Stop == StopReason::None)
+    Res.Stop = StopReason::RoundsExhausted;
   Res.AllSaturated = Table.allSaturated();
   Res.Coverage = SuiteCoverage;
   Res.CoveredBranches = SuiteCoverage.coveredArms();
@@ -347,11 +378,15 @@ bool CampaignEngine::applySnapshot(const CampaignSnapshot &S,
 }
 
 CampaignSnapshot CampaignEngine::snapshot() const {
+  return snapshotWithNext(NextCommit);
+}
+
+CampaignSnapshot CampaignEngine::snapshotWithNext(unsigned NextRound) const {
   CampaignSnapshot S;
   S.Seed = Opts.Seed;
   S.NumSites = Prog.NumSites;
   S.Arity = Prog.Arity;
-  S.NextRound = NextCommit;
+  S.NextRound = NextRound;
   S.Table = Table.snapshot();
   S.Coverage = SuiteCoverage.counters();
   S.Inputs = Res.Inputs;

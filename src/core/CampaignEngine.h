@@ -41,6 +41,7 @@
 #include "core/Checkpoint.h"
 #include "core/CoverMe.h"
 #include "runtime/SaturationTable.h"
+#include "support/Timer.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -109,6 +110,12 @@ private:
   /// Claim-speculate-commit loop each pool worker runs.
   void workerLoop();
 
+  /// Snapshot with an explicit next-round index: the periodic OnCheckpoint
+  /// hook captures inside a commit slot, where the committed round count
+  /// is Work.Round but NextCommit has not advanced yet. Caller must hold
+  /// CommitMutex or have exclusive access (post-run snapshot()).
+  CampaignSnapshot snapshotWithNext(unsigned NextRound) const;
+
   const Program &Prog;
   CoverMeOptions Opts;
   SaturationTable Table;
@@ -123,6 +130,7 @@ private:
   std::mutex CommitMutex;
   std::condition_variable CommitCv;
   unsigned NextCommit = 1; ///< Round whose commit slot is open.
+  WallTimer RunTimer; ///< Restarted by run(); WallDeadline measures it.
 };
 
 } // namespace coverme

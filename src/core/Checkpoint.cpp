@@ -239,3 +239,34 @@ bool coverme::decodeSnapshot(const std::vector<uint8_t> &Bytes,
                              CampaignSnapshot &Out, std::string &Err) {
   return decodeSnapshot(Bytes.data(), Bytes.size(), Out, Err);
 }
+
+uint64_t coverme::resultDigest(const CampaignResult &Res) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  for (const auto &Input : Res.Inputs) {
+    Mix(Input.size());
+    for (double Coord : Input)
+      Mix(doubleToBits(Coord));
+  }
+  for (const RoundLog &Log : Res.Rounds) {
+    Mix(Log.Round);
+    Mix(doubleToBits(Log.MinimumValue));
+    Mix(Log.Accepted ? 1 : 0);
+    Mix(Log.MarkedInfeasible ? 1 : 0);
+    Mix(Log.SaturatedArms);
+  }
+  Mix(Res.Evaluations);
+  Mix(Res.StartsUsed);
+  Mix(Res.CoveredBranches);
+  Mix(Res.TotalBranches);
+  for (BranchRef Ref : Res.InfeasibleMarked) {
+    Mix(Ref.Site);
+    Mix(Ref.Outcome ? 1 : 0);
+  }
+  return H;
+}

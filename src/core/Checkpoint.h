@@ -71,6 +71,13 @@ std::vector<uint8_t> encodeSnapshot(const CampaignSnapshot &S);
 [[nodiscard]] bool decodeSnapshot(const std::vector<uint8_t> &Bytes,
                                   CampaignSnapshot &Out, std::string &Err);
 
+/// Order-sensitive FNV-1a digest over everything a campaign's identity
+/// covers: accepted-input bit patterns, the round log, evaluation count,
+/// coverage, and infeasible marks. Two runs digest equal iff they are
+/// bit-identical in every respect the checkpoint golden tests compare —
+/// the crash-recovery drills gate on this equality.
+uint64_t resultDigest(const CampaignResult &Res);
+
 } // namespace coverme
 
 #endif // COVERME_CORE_CHECKPOINT_H

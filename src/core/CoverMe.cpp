@@ -38,6 +38,25 @@ const char *coverme::globalBackendKindName(GlobalBackendKind Kind) {
   return "unknown";
 }
 
+const char *coverme::stopReasonName(StopReason Reason) {
+  switch (Reason) {
+  case StopReason::None:
+    return "none";
+  case StopReason::RoundsExhausted:
+    return "rounds-exhausted";
+  case StopReason::AllSaturated:
+    return "all-saturated";
+  case StopReason::BudgetExhausted:
+    return "budget-exhausted";
+  case StopReason::DeadlineExpired:
+    return "deadline-expired";
+  case StopReason::Suspended:
+    return "suspended";
+  }
+  assert(false && "unknown StopReason");
+  return "unknown";
+}
+
 std::vector<size_t>
 coverme::reduceSuite(const Program &P,
                      const std::vector<std::vector<double>> &Inputs) {

@@ -34,6 +34,7 @@
 namespace coverme {
 
 struct RoundLog;
+struct CampaignSnapshot;
 
 /// Streaming per-round progress: invoked by the campaign engine after each
 /// round commits, in commit (= round) order, under the engine's commit
@@ -54,6 +55,29 @@ enum class GlobalBackendKind {
 
 /// Spelling used in reports and option parsing.
 const char *globalBackendKindName(GlobalBackendKind Kind);
+
+/// Why a campaign's round loop stopped. Exactly one reason applies: the
+/// engine evaluates them in a fixed order at each round-commit boundary
+/// (natural termination first, then the deadline, then voluntary
+/// suspension), so the reason is deterministic per thread count like
+/// everything else the commit protocol decides.
+enum class StopReason : uint8_t {
+  None,            ///< Campaign has not run (a default CampaignResult).
+  RoundsExhausted, ///< All NStart starting points were consumed.
+  AllSaturated,    ///< Every branch arm saturated (paper's callback).
+  BudgetExhausted, ///< MaxEvaluations reached.
+  DeadlineExpired, ///< WallDeadline passed; the result is a resumable
+                   ///< prefix exactly like a suspension.
+  Suspended,       ///< requestSuspend()/SuspendAfterRounds interrupted it.
+};
+
+const char *stopReasonName(StopReason Reason);
+
+/// Streamed checkpoint notification: the engine hands over a complete
+/// resumable snapshot every CheckpointEveryRounds committed rounds, under
+/// the commit lock in commit order (same discipline as RoundProgressFn).
+/// The service layer's durable journal writes hang off this hook.
+using CheckpointProgressFn = std::function<void(const CampaignSnapshot &)>;
 
 /// Algorithm 1's inputs plus engineering budgets.
 struct CoverMeOptions {
@@ -111,8 +135,26 @@ struct CoverMeOptions {
   /// full saturation, NStart) takes precedence over suspension.
   unsigned SuspendAfterRounds = 0;
 
+  /// Wall-clock deadline in seconds for one run() invocation (0 = none),
+  /// checked at every round-commit boundary: the first commit slot that
+  /// opens past the deadline stops the campaign with
+  /// StopReason::DeadlineExpired and a valid, resumable partial result —
+  /// so expiry is detected within one round of the wall crossing, never
+  /// mid-round. A resumed run gets a fresh deadline window; the committed
+  /// prefix it continues is bit-identical either way.
+  double WallDeadline = 0.0;
+
+  /// Emit a resumable snapshot through OnCheckpoint every N committed
+  /// rounds (0 = never). Fires at the commit boundary right after the
+  /// Nth/2Nth/... round commits, so the snapshot cadence — like the
+  /// rounds themselves — is identical at every thread count.
+  unsigned CheckpointEveryRounds = 0;
+
   /// Streaming progress callback; see RoundProgressFn. Null = no events.
   RoundProgressFn OnRound;
+
+  /// Periodic snapshot callback; see CheckpointProgressFn. Null = none.
+  CheckpointProgressFn OnCheckpoint;
 };
 
 /// One Basinhopping round of the campaign, for reporting and examples.
@@ -139,10 +181,13 @@ struct CampaignResult {
   double Seconds = 0.0;        ///< Wall time of the campaign.
   unsigned StartsUsed = 0;     ///< Basinhopping rounds launched.
   bool AllSaturated = false;   ///< Terminated via full saturation.
-  /// True when the campaign stopped at a suspension point (requestSuspend
-  /// or SuspendAfterRounds) rather than terminating: the result is a
-  /// resumable prefix of the full campaign, not its end state.
+  /// True when the campaign stopped at a suspension point (requestSuspend,
+  /// SuspendAfterRounds, or a WallDeadline expiry) rather than
+  /// terminating: the result is a resumable prefix of the full campaign,
+  /// not its end state.
   bool Suspended = false;
+  /// The single reason the round loop stopped; see StopReason.
+  StopReason Stop = StopReason::None;
   std::vector<BranchRef> InfeasibleMarked; ///< Arms deemed infeasible.
   std::vector<RoundLog> Rounds;            ///< Per-round trace.
 };

@@ -12,6 +12,7 @@
 #include "lang/Jit.h"
 #include "runtime/ExecutionContext.h"
 #include "support/CpuFeatures.h"
+#include "support/FaultInject.h"
 
 #include <cmath>
 #include <cstring>
@@ -218,7 +219,11 @@ Vm::Vm(std::shared_ptr<const CompiledUnit> Unit, InterpOptions Opts)
     CGoto = cgotoAvailable();
     break;
   }
-  SimdOn = Opts.Simd != VmSimd::Off && simdAvailable();
+  // The wide lane resolves per Vm; an injected init failure here leaves
+  // every batch on the scalar backends (the same degradation a host
+  // without AVX2 or a -DCOVERME_VM_SIMD=OFF build takes), bit-identically.
+  SimdOn = Opts.Simd != VmSimd::Off && simdAvailable() &&
+           !faultinject::shouldFail("vm.simd.init");
   OpStack.resize(kOpStackSlots);
   GlobalMem = this->Unit->GlobalImage;
   // Pre-bake scratch Vms start before the image exists.

@@ -1,0 +1,505 @@
+//===- CheckpointStore.cpp - Durable crash-recoverable checkpoint journal -===//
+
+#include "service/CheckpointStore.h"
+
+#include "support/FaultInject.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COVERME_CKPTSTORE_POSIX 1
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define COVERME_CKPTSTORE_POSIX 0
+#endif
+
+using namespace coverme;
+
+//===----------------------------------------------------------------------===//
+// CRC-32 and the journal frame
+//===----------------------------------------------------------------------===//
+
+uint32_t coverme::crc32(const uint8_t *Data, size_t Size) {
+  // IEEE 802.3 reflected polynomial, nibble-at-a-time: small table, no
+  // global init order questions, fast enough for journal-sized payloads.
+  static const uint32_t Nibble[16] = {
+      0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac, 0x76dc4190, 0x6b6b51f4,
+      0x4db26158, 0x5005713c, 0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+      0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c};
+  uint32_t Crc = 0xffffffffu;
+  for (size_t I = 0; I < Size; ++I) {
+    Crc ^= Data[I];
+    Crc = (Crc >> 4) ^ Nibble[Crc & 0xf];
+    Crc = (Crc >> 4) ^ Nibble[Crc & 0xf];
+  }
+  return ~Crc;
+}
+
+namespace {
+
+const uint8_t FrameMagic[8] = {'C', 'V', 'M', 'E', 'J', 'R', 'N', 'L'};
+constexpr uint32_t FrameVersion = 1;
+/// magic + version + generation + metaLen + snapLen + crc.
+constexpr size_t FrameHeaderBytes = 8 + 4 + 8 + 4 + 4 + 4;
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+uint32_t getU32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+uint64_t getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+std::vector<uint8_t> encodeFrame(uint64_t Generation, const std::string &Meta,
+                                 const std::vector<uint8_t> &Snapshot) {
+  std::vector<uint8_t> Out;
+  Out.reserve(FrameHeaderBytes + Meta.size() + Snapshot.size());
+  Out.insert(Out.end(), FrameMagic, FrameMagic + sizeof(FrameMagic));
+  putU32(Out, FrameVersion);
+  putU64(Out, Generation);
+  putU32(Out, static_cast<uint32_t>(Meta.size()));
+  putU32(Out, static_cast<uint32_t>(Snapshot.size()));
+  // CRC covers metadata and snapshot together: a frame whose payload
+  // halves were torn independently cannot pass by luck of one half.
+  std::vector<uint8_t> Payload;
+  Payload.reserve(Meta.size() + Snapshot.size());
+  Payload.insert(Payload.end(), Meta.begin(), Meta.end());
+  Payload.insert(Payload.end(), Snapshot.begin(), Snapshot.end());
+  putU32(Out, crc32(Payload.data(), Payload.size()));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+bool validKey(const std::string &Key) {
+  if (Key.empty() || Key.size() > 128)
+    return false;
+  for (char C : Key) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '-' || C == '_';
+    if (!Ok)
+      return false; // no '.', no '/': keys become file-name stems
+  }
+  return true;
+}
+
+/// Parses `<key>.gen<N>.ckpt`; false for every other name.
+bool parseEntryName(const std::string &Name, std::string &Key,
+                    uint64_t &Generation) {
+  const std::string Suffix = ".ckpt";
+  if (Name.size() <= Suffix.size() ||
+      Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+    return false;
+  const std::string Stem = Name.substr(0, Name.size() - Suffix.size());
+  size_t Dot = Stem.rfind(".gen");
+  if (Dot == std::string::npos || Dot == 0)
+    return false;
+  const std::string Digits = Stem.substr(Dot + 4);
+  if (Digits.empty())
+    return false;
+  uint64_t G = 0;
+  for (char C : Digits) {
+    if (C < '0' || C > '9')
+      return false;
+    G = G * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Key = Stem.substr(0, Dot);
+  Generation = G;
+  return validKey(Key);
+}
+
+#if COVERME_CKPTSTORE_POSIX
+
+bool fsyncPath(const std::string &Path, bool Directory) {
+  int Fd = ::open(Path.c_str(), Directory ? (O_RDONLY | O_DIRECTORY)
+                                          : O_RDONLY);
+  if (Fd < 0)
+    return false;
+  int Rc;
+  do
+    Rc = ::fsync(Fd);
+  while (Rc != 0 && errno == EINTR);
+  ::close(Fd);
+  return Rc == 0;
+}
+
+bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    ssize_t N = ::write(Fd, Data + Off, Size - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::vector<std::string> listDir(const std::string &Dir) {
+  std::vector<std::string> Names;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Names;
+  while (dirent *E = ::readdir(D)) {
+    if (std::strcmp(E->d_name, ".") == 0 || std::strcmp(E->d_name, "..") == 0)
+      continue;
+    Names.emplace_back(E->d_name);
+  }
+  ::closedir(D);
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+#endif // COVERME_CKPTSTORE_POSIX
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CheckpointStore
+//===----------------------------------------------------------------------===//
+
+CheckpointStore::CheckpointStore(std::string Dir) : Dir(std::move(Dir)) {
+#if COVERME_CKPTSTORE_POSIX
+  if (this->Dir.empty())
+    return;
+  struct stat St{};
+  if (::stat(this->Dir.c_str(), &St) == 0) {
+    if (!S_ISDIR(St.st_mode))
+      return;
+  } else if (::mkdir(this->Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return;
+  }
+  Usable = true;
+  // Seed the serial and generation counters past everything on disk so a
+  // restarted daemon never reuses a live key or regresses a generation.
+  for (const std::string &Name : listDir(this->Dir)) {
+    std::string Key;
+    uint64_t Generation = 0;
+    if (!parseEntryName(Name, Key, Generation))
+      continue;
+    NextGeneration = std::max(NextGeneration, Generation + 1);
+    if (Key.compare(0, 3, "job") == 0) {
+      uint64_t Serial = 0;
+      bool Numeric = Key.size() > 3;
+      for (size_t I = 3; I < Key.size(); ++I) {
+        if (Key[I] < '0' || Key[I] > '9') {
+          Numeric = false;
+          break;
+        }
+        Serial = Serial * 10 + static_cast<uint64_t>(Key[I] - '0');
+      }
+      if (Numeric)
+        NextSerial = std::max(NextSerial, Serial + 1);
+    }
+  }
+#endif
+}
+
+std::string CheckpointStore::allocateKey() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return "job" + std::to_string(NextSerial++);
+}
+
+std::vector<CheckpointStore::Gen>
+CheckpointStore::generationsLocked(const std::string &Key) const {
+  std::vector<Gen> Gens;
+#if COVERME_CKPTSTORE_POSIX
+  for (const std::string &Name : listDir(Dir)) {
+    std::string K;
+    uint64_t Generation = 0;
+    if (parseEntryName(Name, K, Generation) && K == Key)
+      Gens.push_back({Generation, Name});
+  }
+  std::sort(Gens.begin(), Gens.end(),
+            [](const Gen &A, const Gen &B) { return A.Generation > B.Generation; });
+#else
+  (void)Key;
+#endif
+  return Gens;
+}
+
+bool CheckpointStore::readFrameLocked(const std::string &FileName, Entry &Out,
+                                      std::string &Err) const {
+#if COVERME_CKPTSTORE_POSIX
+  const std::string Path = Dir + "/" + FileName;
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0) {
+    Err = "cannot open journal entry";
+    return false;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Chunk[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      Err = "read error on journal entry";
+      return false;
+    }
+    if (N == 0)
+      break;
+    Bytes.insert(Bytes.end(), Chunk, Chunk + N);
+  }
+  ::close(Fd);
+
+  if (Bytes.size() < FrameHeaderBytes ||
+      std::memcmp(Bytes.data(), FrameMagic, sizeof(FrameMagic)) != 0) {
+    Err = "torn or foreign journal frame (bad magic/short header)";
+    return false;
+  }
+  const uint8_t *P = Bytes.data() + sizeof(FrameMagic);
+  if (getU32(P) != FrameVersion) {
+    Err = "unsupported journal frame version";
+    return false;
+  }
+  const uint64_t Generation = getU64(P + 4);
+  const uint32_t MetaLen = getU32(P + 12);
+  const uint32_t SnapLen = getU32(P + 16);
+  const uint32_t Crc = getU32(P + 20);
+  if (Bytes.size() != FrameHeaderBytes + static_cast<uint64_t>(MetaLen) +
+                          SnapLen) {
+    Err = "torn journal frame (length disagrees with header)";
+    return false;
+  }
+  const uint8_t *Payload = Bytes.data() + FrameHeaderBytes;
+  if (crc32(Payload, MetaLen + static_cast<size_t>(SnapLen)) != Crc) {
+    Err = "corrupt journal frame (CRC mismatch)";
+    return false;
+  }
+  Out.Generation = Generation;
+  Out.Meta.assign(reinterpret_cast<const char *>(Payload), MetaLen);
+  Out.Snapshot.assign(Payload + MetaLen, Payload + MetaLen + SnapLen);
+  return true;
+#else
+  (void)FileName;
+  (void)Out;
+  Err = "checkpoint store unsupported on this platform";
+  return false;
+#endif
+}
+
+void CheckpointStore::quarantineLocked(const std::string &FileName) {
+#if COVERME_CKPTSTORE_POSIX
+  // Keep the evidence under a name no scan ever treats as live. A rename
+  // failure leaves the bad file in place; it will fail validation again
+  // next scan, which is safe — just noisier.
+  const std::string From = Dir + "/" + FileName;
+  const std::string To = From + ".corrupt";
+  if (::rename(From.c_str(), To.c_str()) == 0)
+    ++Quarantined;
+#else
+  (void)FileName;
+#endif
+}
+
+void CheckpointStore::removeStaleLocked(const std::string &Key,
+                                        uint64_t KeepNewest,
+                                        uint64_t KeepPrevious) {
+#if COVERME_CKPTSTORE_POSIX
+  for (const Gen &G : generationsLocked(Key))
+    if (G.Generation != KeepNewest && G.Generation != KeepPrevious)
+      ::unlink((Dir + "/" + G.FileName).c_str());
+#else
+  (void)Key;
+  (void)KeepNewest;
+  (void)KeepPrevious;
+#endif
+}
+
+bool CheckpointStore::save(const std::string &Key, const std::string &Meta,
+                           const std::vector<uint8_t> &Snapshot,
+                           std::string &Err) {
+#if COVERME_CKPTSTORE_POSIX
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Usable) {
+    Err = "checkpoint store directory is not usable: " + Dir;
+    return false;
+  }
+  if (!validKey(Key)) {
+    Err = "invalid journal key";
+    return false;
+  }
+
+  const uint64_t Generation = NextGeneration++;
+  const std::vector<uint8_t> Frame = encodeFrame(Generation, Meta, Snapshot);
+  const std::string TmpPath = Dir + "/" + Key + ".tmp";
+  const std::string FinalName =
+      Key + ".gen" + std::to_string(Generation) + ".ckpt";
+
+  // Step 1: write the frame to the temp file. The injected failure tears
+  // the write mid-frame — exactly the state a power cut leaves — and
+  // returns without cleanup, because a real crash cleans nothing either;
+  // recovery quarantines the orphan.
+  int Fd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Err = "cannot create journal temp file";
+    return false;
+  }
+  if (faultinject::shouldFail("ckpt.write")) {
+    (void)writeAll(Fd, Frame.data(), Frame.size() / 2);
+    ::close(Fd);
+    Err = "injected fault: torn checkpoint write";
+    return false;
+  }
+  if (!writeAll(Fd, Frame.data(), Frame.size())) {
+    ::close(Fd);
+    Err = "short write on journal temp file";
+    return false;
+  }
+
+  // Step 2: fsync the file — the frame must be durable before the rename
+  // can make it the newest generation.
+  if (faultinject::shouldFail("ckpt.fsync")) {
+    ::close(Fd);
+    Err = "injected fault: checkpoint fsync failed";
+    return false;
+  }
+  int Rc;
+  do
+    Rc = ::fsync(Fd);
+  while (Rc != 0 && errno == EINTR);
+  ::close(Fd);
+  if (Rc != 0) {
+    Err = "fsync failed on journal temp file";
+    return false;
+  }
+
+  // Step 3: atomic rename onto the generation name. Until this returns,
+  // the previous generation is the newest valid entry — a crash (or the
+  // injected fault) here loses only the new frame, never the old one.
+  if (faultinject::shouldFail("ckpt.rename")) {
+    Err = "injected fault: crash between checkpoint write and rename";
+    return false;
+  }
+  if (::rename(TmpPath.c_str(), (Dir + "/" + FinalName).c_str()) != 0) {
+    Err = "rename failed on journal entry";
+    return false;
+  }
+
+  // Step 4: fsync the directory so the rename itself is durable.
+  (void)fsyncPath(Dir, /*Directory=*/true);
+
+  // Retention: newest plus one predecessor; everything older goes.
+  uint64_t Previous = 0;
+  for (const Gen &G : generationsLocked(Key))
+    if (G.Generation != Generation)
+      Previous = std::max(Previous, G.Generation);
+  removeStaleLocked(Key, Generation, Previous);
+  return true;
+#else
+  (void)Key;
+  (void)Meta;
+  (void)Snapshot;
+  Err = "checkpoint store unsupported on this platform";
+  return false;
+#endif
+}
+
+bool CheckpointStore::load(const std::string &Key, Entry &Out,
+                           std::string &Err) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+#if COVERME_CKPTSTORE_POSIX
+  if (!Usable) {
+    Err = "checkpoint store directory is not usable: " + Dir;
+    return false;
+  }
+  // An orphaned temp means a save never completed; quarantine it so the
+  // evidence survives but no future scan mistakes it for progress.
+  struct stat St{};
+  if (::stat((Dir + "/" + Key + ".tmp").c_str(), &St) == 0)
+    quarantineLocked(Key + ".tmp");
+
+  for (const Gen &G : generationsLocked(Key)) {
+    Entry E;
+    E.Key = Key;
+    std::string FrameErr;
+    if (readFrameLocked(G.FileName, E, FrameErr)) {
+      Out = std::move(E);
+      return true;
+    }
+    quarantineLocked(G.FileName);
+  }
+  Err = "no valid journal entry for key " + Key;
+  return false;
+#else
+  (void)Key;
+  (void)Out;
+  Err = "checkpoint store unsupported on this platform";
+  return false;
+#endif
+}
+
+std::vector<CheckpointStore::Entry> CheckpointStore::loadAll() {
+  std::vector<Entry> Entries;
+#if COVERME_CKPTSTORE_POSIX
+  std::vector<std::string> Keys;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Usable)
+      return Entries;
+    for (const std::string &Name : listDir(Dir)) {
+      std::string Key;
+      uint64_t Generation = 0;
+      if (parseEntryName(Name, Key, Generation)) {
+        if (std::find(Keys.begin(), Keys.end(), Key) == Keys.end())
+          Keys.push_back(Key);
+      } else if (Name.size() > 4 &&
+                 Name.compare(Name.size() - 4, 4, ".tmp") == 0) {
+        quarantineLocked(Name);
+      }
+    }
+  }
+  std::sort(Keys.begin(), Keys.end());
+  for (const std::string &Key : Keys) {
+    Entry E;
+    std::string Err;
+    if (load(Key, E, Err))
+      Entries.push_back(std::move(E));
+  }
+#endif
+  return Entries;
+}
+
+void CheckpointStore::remove(const std::string &Key) {
+#if COVERME_CKPTSTORE_POSIX
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Usable || !validKey(Key))
+    return;
+  for (const Gen &G : generationsLocked(Key))
+    ::unlink((Dir + "/" + G.FileName).c_str());
+  ::unlink((Dir + "/" + Key + ".tmp").c_str());
+  (void)fsyncPath(Dir, /*Directory=*/true);
+#else
+  (void)Key;
+#endif
+}
+
+unsigned CheckpointStore::quarantinedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Quarantined;
+}

@@ -1,0 +1,128 @@
+//===- CheckpointStore.h - Durable crash-recoverable checkpoint journal ---===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk half of crash recovery: a directory of journal entries,
+/// one per live campaign, each a CRC-framed record wrapping the CVMESNAP
+/// snapshot encoding plus an opaque metadata blob (the service layer
+/// stores the original job request as JSON there, so a recovered daemon
+/// can recompile the subject and resume).
+///
+/// Durability protocol (save): write the full frame to `<key>.tmp`,
+/// fsync the file, rename onto `<key>.gen<N>.ckpt`, fsync the directory.
+/// Each save bumps the generation and removes generations older than the
+/// previous one, so the directory always holds the newest entry plus one
+/// predecessor — the fallback a torn newest entry degrades to.
+///
+/// Recovery protocol (load): scan a key's generations newest-first,
+/// validate each frame (magic, version, lengths, CRC-32 over metadata and
+/// snapshot payload together), return the first good one, and quarantine
+/// every torn or corrupt entry by renaming it to `<name>.corrupt` —
+/// leaving the evidence on disk without ever re-reading it as live state.
+/// Orphaned `.tmp` files (a crash during the write, or between write and
+/// rename) are quarantined the same way; their rename never happened, so
+/// the previous generation is the truth.
+///
+/// The frame CRC is what distinguishes "the filesystem lost the tail of
+/// this file in a power cut" from "this snapshot is the committed prefix
+/// of a campaign": the CVMESNAP decoder validates structure, the CRC
+/// validates every byte, and recovery trusts nothing that fails either.
+///
+/// Fault points (support/FaultInject): `ckpt.write`, `ckpt.fsync`,
+/// `ckpt.rename` — each aborts save() exactly where the real syscall
+/// would fail, leaving the previous generation untouched, so tests can
+/// prove torn-write recovery deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SERVICE_CHECKPOINTSTORE_H
+#define COVERME_SERVICE_CHECKPOINTSTORE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coverme {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over \p Data. Exposed for
+/// tests that construct torn frames by hand.
+uint32_t crc32(const uint8_t *Data, size_t Size);
+
+/// One durable campaign journal; see file comment. All methods are
+/// thread-safe (one mutex — journal I/O is cold next to campaign work).
+class CheckpointStore {
+public:
+  /// One recovered journal entry: the newest generation of one key that
+  /// passed every integrity check.
+  struct Entry {
+    std::string Key;
+    uint64_t Generation = 0;
+    std::string Meta;              ///< Opaque caller blob (job request).
+    std::vector<uint8_t> Snapshot; ///< CVMESNAP bytes; empty = the job
+                                   ///< was journaled before its first
+                                   ///< checkpoint — recover it fresh.
+  };
+
+  /// Opens (creating if needed) the journal directory. ok() reports
+  /// whether the directory is usable; a dead store fails every save.
+  explicit CheckpointStore(std::string Dir);
+
+  bool ok() const { return Usable; }
+  const std::string &directory() const { return Dir; }
+
+  /// Allocates a fresh journal key, unique across process restarts: keys
+  /// are "job<serial>" with the serial seeded past everything the opening
+  /// scan found on disk.
+  std::string allocateKey();
+
+  /// Durably records (Meta, Snapshot) as the newest generation of \p Key
+  /// using the write-temp/fsync/rename/fsync-dir protocol. On any failure
+  /// — injected or real — returns false with \p Err set and the previous
+  /// generation intact.
+  bool save(const std::string &Key, const std::string &Meta,
+            const std::vector<uint8_t> &Snapshot, std::string &Err);
+
+  /// Loads the newest generation of \p Key that validates, quarantining
+  /// everything newer that does not. False when no good entry exists.
+  bool load(const std::string &Key, Entry &Out, std::string &Err);
+
+  /// Scans the whole journal: every key's newest good entry, sorted by
+  /// key. Torn/corrupt entries and orphaned temps are quarantined.
+  std::vector<Entry> loadAll();
+
+  /// Removes every generation of \p Key (campaign completed or cancelled;
+  /// nothing left to recover). Quarantined files are left as evidence.
+  void remove(const std::string &Key);
+
+  /// Files quarantined (renamed to .corrupt) since construction.
+  unsigned quarantinedCount() const;
+
+private:
+  struct Gen {
+    uint64_t Generation;
+    std::string FileName;
+  };
+
+  /// All `<key>.gen<N>.ckpt` files for \p Key, newest first.
+  std::vector<Gen> generationsLocked(const std::string &Key) const;
+  bool readFrameLocked(const std::string &FileName, Entry &Out,
+                       std::string &Err) const;
+  void quarantineLocked(const std::string &FileName);
+  void removeStaleLocked(const std::string &Key, uint64_t KeepNewest,
+                         uint64_t KeepPrevious);
+
+  mutable std::mutex Mutex;
+  std::string Dir;
+  bool Usable = false;
+  uint64_t NextSerial = 1;
+  uint64_t NextGeneration = 1;
+  unsigned Quarantined = 0;
+};
+
+} // namespace coverme
+
+#endif // COVERME_SERVICE_CHECKPOINTSTORE_H

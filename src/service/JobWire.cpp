@@ -1,0 +1,92 @@
+//===- JobWire.cpp - JSON wire form of campaign job requests --------------===//
+
+#include "service/JobWire.h"
+
+using namespace coverme;
+
+namespace {
+
+const char *tierName(lang::ExecutionTier Tier) {
+  switch (Tier) {
+  case lang::ExecutionTier::Bytecode:
+    return "vm";
+  case lang::ExecutionTier::Jit:
+    return "jit";
+  case lang::ExecutionTier::TreeWalker:
+    return "interp";
+  }
+  return "vm";
+}
+
+} // namespace
+
+std::string coverme::jobRequestToJson(const JobRequest &Req) {
+  json::ObjectWriter W;
+  W.field("source", Req.Source)
+      .field("entry", Req.Entry)
+      .field("tier", tierName(Req.Compile.Tier))
+      .field("fuse", Req.Compile.Fuse)
+      .field("n_start", Req.Campaign.NStart)
+      .field("n_iter", Req.Campaign.NIter)
+      .field("seed", Req.Campaign.Seed)
+      .field("threads", Req.Campaign.Threads)
+      .field("max_evaluations", Req.Campaign.MaxEvaluations)
+      .field("suspend_after", Req.Campaign.SuspendAfterRounds)
+      .field("stop_when_saturated", Req.Campaign.StopWhenAllSaturated)
+      .field("mark_infeasible", Req.Campaign.MarkInfeasible)
+      .field("deadline_seconds", Req.Campaign.WallDeadline)
+      .field("checkpoint_every", Req.Campaign.CheckpointEveryRounds);
+  return W.str();
+}
+
+bool coverme::jobRequestFromJson(const json::Value &V, JobRequest &Out,
+                                 std::string &Err) {
+  Out.Source = V.str("source");
+  Out.Entry = V.str("entry");
+  if (Out.Source.empty() || Out.Entry.empty()) {
+    Err = "submit needs non-empty \"source\" and \"entry\"";
+    return false;
+  }
+  std::string Tier = V.str("tier", "vm");
+  if (Tier == "vm")
+    Out.Compile.Tier = lang::ExecutionTier::Bytecode;
+  else if (Tier == "jit")
+    Out.Compile.Tier = lang::ExecutionTier::Jit;
+  else if (Tier == "interp")
+    Out.Compile.Tier = lang::ExecutionTier::TreeWalker;
+  else {
+    Err = "unknown tier \"" + Tier + "\" (vm|jit|interp)";
+    return false;
+  }
+  Out.Compile.Fuse = V.boolean("fuse", true);
+
+  Out.Campaign.NStart =
+      static_cast<unsigned>(V.u64("n_start", Out.Campaign.NStart));
+  Out.Campaign.NIter =
+      static_cast<unsigned>(V.u64("n_iter", Out.Campaign.NIter));
+  Out.Campaign.Seed = V.u64("seed", Out.Campaign.Seed);
+  Out.Campaign.Threads =
+      static_cast<unsigned>(V.u64("threads", Out.Campaign.Threads));
+  Out.Campaign.MaxEvaluations =
+      V.u64("max_evaluations", Out.Campaign.MaxEvaluations);
+  Out.Campaign.SuspendAfterRounds =
+      static_cast<unsigned>(V.u64("suspend_after", 0));
+  Out.Campaign.StopWhenAllSaturated = V.boolean("stop_when_saturated", true);
+  Out.Campaign.MarkInfeasible = V.boolean("mark_infeasible", true);
+  Out.Campaign.WallDeadline = V.num("deadline_seconds", 0.0);
+  Out.Campaign.CheckpointEveryRounds =
+      static_cast<unsigned>(V.u64("checkpoint_every", 0));
+  return true;
+}
+
+bool coverme::jobRequestFromJson(const std::string &Text, JobRequest &Out,
+                                 std::string &Err) {
+  json::Value V;
+  if (!json::parse(Text, V, Err))
+    return false;
+  if (!V.isObject()) {
+    Err = "job request metadata is not a JSON object";
+    return false;
+  }
+  return jobRequestFromJson(V, Out, Err);
+}

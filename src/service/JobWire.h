@@ -1,0 +1,49 @@
+//===- JobWire.h - JSON wire form of campaign job requests ----------------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One JSON spelling for a JobRequest, shared by the two places a request
+/// crosses a process boundary: the coverme_serve submit verb and the
+/// durable checkpoint journal's metadata blob. Sharing the encoder and
+/// decoder is what makes crash recovery honest — the restarted daemon
+/// re-parses exactly the object a client could have sent, so a recovered
+/// campaign is configured bit-identically to the original submission.
+///
+/// The round trip covers the protocol-representable subset of the option
+/// structs (tier, fuse, n_start, n_iter, seed, threads, budgets, deadline,
+/// checkpoint cadence, the saturation/infeasibility switches); fields only
+/// reachable through the C++ API keep their defaults on decode, matching
+/// what the serve protocol can express.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SERVICE_JOBWIRE_H
+#define COVERME_SERVICE_JOBWIRE_H
+
+#include "service/Json.h"
+#include "service/Session.h"
+
+#include <string>
+
+namespace coverme {
+
+/// Serializes \p Req as the flat JSON object the serve submit verb accepts
+/// (without the "cmd" member). This is the journal metadata format.
+std::string jobRequestToJson(const JobRequest &Req);
+
+/// Parses the submit-verb fields of \p V into \p Out. Unknown members are
+/// ignored (the serve dispatcher passes whole requests through). False
+/// with \p Err set on missing source/entry or an unknown tier spelling.
+[[nodiscard]] bool jobRequestFromJson(const json::Value &V, JobRequest &Out,
+                                      std::string &Err);
+
+/// Convenience overload parsing \p Text first (the journal recovery path).
+[[nodiscard]] bool jobRequestFromJson(const std::string &Text,
+                                      JobRequest &Out, std::string &Err);
+
+} // namespace coverme
+
+#endif // COVERME_SERVICE_JOBWIRE_H

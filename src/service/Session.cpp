@@ -3,8 +3,13 @@
 #include "service/Session.h"
 
 #include "core/Checkpoint.h"
+#include "service/CheckpointStore.h"
+#include "service/JobWire.h"
+#include "support/FaultInject.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <utility>
@@ -105,8 +110,16 @@ CompiledUnitCache::get(const std::string &Source, const std::string &Entry,
       *Error = Unit->diagnosticsText();
     return nullptr;
   }
-  auto [It, Inserted] = Units.emplace(
-      Hash, std::shared_ptr<const lang::SourceProgram>(std::move(Unit)));
+  // Fault point `cache.insert`: a failed insertion (think allocation
+  // pressure in the cache map) costs only amortization — the freshly
+  // compiled unit is returned and the job runs; the next submission of
+  // the same subject just compiles again.
+  std::shared_ptr<const lang::SourceProgram> Shared(std::move(Unit));
+  if (faultinject::shouldFail("cache.insert")) {
+    ++S.InsertFailures;
+    return Shared;
+  }
+  auto [It, Inserted] = Units.emplace(Hash, std::move(Shared));
   (void)Inserted;
   return It->second;
 }
@@ -163,6 +176,13 @@ struct Session::Job {
   bool CacheHit = false;
   double CompileSeconds = 0.0;
 
+  /// Journal identity; both immutable after creation (safe to read
+  /// without the session lock).
+  std::string StoreKey;
+  std::string MetaJson;
+  unsigned CheckpointsSaved = 0;
+  std::string StoreError;
+
   bool SuspendWanted = false; ///< checkpoint() asked; cleared on suspension.
   bool CancelWanted = false;
 
@@ -215,18 +235,46 @@ void Session::enqueueLocked(const std::shared_ptr<Job> &J) {
   Pool.submit([this, J] { runJob(J); });
 }
 
-uint64_t Session::submit(JobRequest Req, JobProgressFn Progress) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  if (ShuttingDown)
-    return 0;
+uint64_t Session::enqueueNewJobLocked(JobRequest Req, JobProgressFn Progress,
+                                      std::unique_ptr<CampaignSnapshot> Pending,
+                                      std::string StoreKey) {
   auto J = std::make_shared<Job>();
   J->Id = NextId++;
   J->Req = std::move(Req);
   J->Progress = std::move(Progress);
   J->UnitHash = compiledUnitHash(J->Req.Source, J->Req.Entry, J->Req.Compile);
+  J->StoreKey = std::move(StoreKey);
+  if (!J->StoreKey.empty())
+    J->MetaJson = jobRequestToJson(J->Req);
+  if (Pending) {
+    J->BaseRounds = Pending->StartsUsed;
+    J->BaseSaturated =
+        Pending->Rounds.empty() ? 0 : Pending->Rounds.back().SaturatedArms;
+    J->Pending = std::move(Pending);
+  }
   Jobs.emplace(J->Id, J);
   enqueueLocked(J);
   return J->Id;
+}
+
+uint64_t Session::submit(JobRequest Req, JobProgressFn Progress) {
+  // Journal the request before the job can run: a crash any time after
+  // submit() returns finds at least the fresh-start record on disk.
+  std::string StoreKey, StoreErr;
+  if (Opts.Store) {
+    StoreKey = Opts.Store->allocateKey();
+    std::string Err;
+    if (!Opts.Store->save(StoreKey, jobRequestToJson(Req), {}, Err))
+      StoreErr = Err;
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (ShuttingDown)
+    return 0;
+  uint64_t Id = enqueueNewJobLocked(std::move(Req), std::move(Progress),
+                                    nullptr, std::move(StoreKey));
+  if (Id && !StoreErr.empty())
+    Jobs[Id]->StoreError = StoreErr;
+  return Id;
 }
 
 uint64_t Session::submitResume(JobRequest Req,
@@ -235,23 +283,53 @@ uint64_t Session::submitResume(JobRequest Req,
   auto Snap = std::make_unique<CampaignSnapshot>();
   if (!decodeSnapshot(Snapshot, *Snap, Err))
     return 0;
+  // Journal the provided snapshot as the job's recovery point — a crash
+  // before the first in-process checkpoint resumes from here.
+  std::string StoreKey, StoreErr;
+  if (Opts.Store) {
+    StoreKey = Opts.Store->allocateKey();
+    std::string SaveErr;
+    if (!Opts.Store->save(StoreKey, jobRequestToJson(Req), Snapshot, SaveErr))
+      StoreErr = SaveErr;
+  }
   std::lock_guard<std::mutex> Lock(Mutex);
   if (ShuttingDown) {
     Err = "session is shutting down";
     return 0;
   }
-  auto J = std::make_shared<Job>();
-  J->Id = NextId++;
-  J->Req = std::move(Req);
-  J->Progress = std::move(Progress);
-  J->UnitHash = compiledUnitHash(J->Req.Source, J->Req.Entry, J->Req.Compile);
-  J->BaseRounds = Snap->StartsUsed;
-  J->BaseSaturated =
-      Snap->Rounds.empty() ? 0 : Snap->Rounds.back().SaturatedArms;
-  J->Pending = std::move(Snap);
-  Jobs.emplace(J->Id, J);
-  enqueueLocked(J);
-  return J->Id;
+  uint64_t Id = enqueueNewJobLocked(std::move(Req), std::move(Progress),
+                                    std::move(Snap), std::move(StoreKey));
+  if (Id && !StoreErr.empty())
+    Jobs[Id]->StoreError = StoreErr;
+  return Id;
+}
+
+std::vector<uint64_t> Session::recoverFromStore() {
+  std::vector<uint64_t> Ids;
+  CheckpointStore *Store = Opts.Store;
+  if (!Store || !Store->ok())
+    return Ids;
+  for (CheckpointStore::Entry &E : Store->loadAll()) {
+    JobRequest Req;
+    std::string Err;
+    if (!jobRequestFromJson(E.Meta, Req, Err))
+      continue; // foreign or hand-damaged metadata; entry left as evidence
+    std::unique_ptr<CampaignSnapshot> Pending;
+    if (!E.Snapshot.empty()) {
+      Pending = std::make_unique<CampaignSnapshot>();
+      if (!decodeSnapshot(E.Snapshot, *Pending, Err))
+        continue; // CRC passed but the payload is no snapshot: leave it
+    }
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShuttingDown)
+      break;
+    // The recovered job keeps its journal key: its future checkpoints
+    // overwrite the same entry, and completion retires it.
+    if (uint64_t Id = enqueueNewJobLocked(std::move(Req), nullptr,
+                                          std::move(Pending), E.Key))
+      Ids.push_back(Id);
+  }
+  return Ids;
 }
 
 bool Session::checkpoint(uint64_t Id, std::vector<uint8_t> &Out,
@@ -326,9 +404,12 @@ bool Session::cancel(uint64_t Id) {
     return false;
   case JobState::Suspended:
     // Nothing is running; retire the job in place, keeping its committed
-    // prefix result available.
+    // prefix result available. An explicit cancel means nothing is left
+    // to recover, so the journal entry goes too.
     J->Snap.reset();
     J->State = JobState::Cancelled;
+    if (Opts.Store && !J->StoreKey.empty())
+      Opts.Store->remove(J->StoreKey);
     Cv.notify_all();
     return true;
   case JobState::Queued:
@@ -345,11 +426,15 @@ bool Session::cancel(uint64_t Id) {
 }
 
 bool Session::wait(uint64_t Id) {
+  return waitFor(Id, -1.0) == WaitOutcome::Terminal;
+}
+
+Session::WaitOutcome Session::waitFor(uint64_t Id, double TimeoutSeconds) {
   std::unique_lock<std::mutex> Lock(Mutex);
   auto J = findLocked(Id);
   if (!J)
-    return false;
-  Cv.wait(Lock, [&] {
+    return WaitOutcome::Unknown;
+  auto Terminal = [&] {
     switch (J->State) {
     case JobState::Suspended:
     case JobState::Done:
@@ -359,8 +444,32 @@ bool Session::wait(uint64_t Id) {
     default:
       return false;
     }
-  });
-  return true;
+  };
+  if (TimeoutSeconds < 0.0) {
+    Cv.wait(Lock, Terminal);
+    return WaitOutcome::Terminal;
+  }
+  return Cv.wait_for(Lock, std::chrono::duration<double>(TimeoutSeconds),
+                     Terminal)
+             ? WaitOutcome::Terminal
+             : WaitOutcome::TimedOut;
+}
+
+void Session::statusLocked(const Job &J, JobStatus &Out) const {
+  Out.Id = J.Id;
+  Out.State = J.State;
+  Out.CacheHit = J.CacheHit;
+  Out.CompileSeconds = J.CompileSeconds;
+  Out.UnitHash = J.UnitHash;
+  Out.RoundsCommitted = J.BaseRounds + static_cast<unsigned>(J.Rounds.size());
+  Out.SaturatedArms =
+      J.Rounds.empty() ? J.BaseSaturated : J.Rounds.back().SaturatedArms;
+  Out.HasResult = J.HasResult;
+  Out.Error = J.Error;
+  Out.Stop = J.HasResult ? J.Result.Stop : StopReason::None;
+  Out.StoreKey = J.StoreKey;
+  Out.CheckpointsSaved = J.CheckpointsSaved;
+  Out.StoreError = J.StoreError;
 }
 
 bool Session::status(uint64_t Id, JobStatus &Out) const {
@@ -368,17 +477,22 @@ bool Session::status(uint64_t Id, JobStatus &Out) const {
   auto J = findLocked(Id);
   if (!J)
     return false;
-  Out.Id = J->Id;
-  Out.State = J->State;
-  Out.CacheHit = J->CacheHit;
-  Out.CompileSeconds = J->CompileSeconds;
-  Out.UnitHash = J->UnitHash;
-  Out.RoundsCommitted = J->BaseRounds + static_cast<unsigned>(J->Rounds.size());
-  Out.SaturatedArms =
-      J->Rounds.empty() ? J->BaseSaturated : J->Rounds.back().SaturatedArms;
-  Out.HasResult = J->HasResult;
-  Out.Error = J->Error;
+  statusLocked(*J, Out);
   return true;
+}
+
+std::vector<JobStatus> Session::jobs() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<JobStatus> Out;
+  Out.reserve(Jobs.size());
+  for (const auto &Entry : Jobs) {
+    JobStatus St;
+    statusLocked(*Entry.second, St);
+    Out.push_back(std::move(St));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const JobStatus &A, const JobStatus &B) { return A.Id < B.Id; });
+  return Out;
 }
 
 bool Session::result(uint64_t Id, CampaignResult &Out) const {
@@ -404,7 +518,12 @@ void Session::runJob(const std::shared_ptr<Job> &J) {
   std::unique_lock<std::mutex> Lock(Mutex);
   if (J->CancelWanted) {
     J->State = JobState::Cancelled;
+    const bool RetireEntry = !ShuttingDown && Opts.Store &&
+                             !J->StoreKey.empty();
     Cv.notify_all();
+    Lock.unlock();
+    if (RetireEntry)
+      Opts.Store->remove(J->StoreKey);
     return;
   }
   J->State = JobState::Compiling;
@@ -451,6 +570,32 @@ void Session::runJob(const std::shared_ptr<Job> &J) {
     // it would re-suspend before any new round commits.
     Campaign.SuspendAfterRounds = 0;
 
+  // Durable checkpoint cadence for journaled jobs: the job's own value
+  // wins, the session default fills in. The save happens on the engine's
+  // commit path, so every checkpoint is a committed prefix; a failed save
+  // is recorded and the campaign keeps running on the stale recovery
+  // point.
+  CheckpointStore *Store = Opts.Store;
+  const bool Journaled = Store && !J->StoreKey.empty();
+  if (Journaled) {
+    if (!Campaign.CheckpointEveryRounds)
+      Campaign.CheckpointEveryRounds = Opts.CheckpointEveryRounds;
+    if (Campaign.CheckpointEveryRounds) {
+      const std::string Key = J->StoreKey;
+      const std::string Meta = J->MetaJson;
+      Campaign.OnCheckpoint = [this, JP, Store, Key,
+                               Meta](const CampaignSnapshot &S) {
+        std::string Err;
+        const bool Saved = Store->save(Key, Meta, encodeSnapshot(S), Err);
+        std::lock_guard<std::mutex> G(Mutex);
+        if (Saved)
+          ++JP->CheckpointsSaved;
+        else
+          JP->StoreError = Err;
+      };
+    }
+  }
+
   J->Engine = std::make_unique<CampaignEngine>(J->Unit->Prog, Campaign);
   if (J->Pending) {
     std::string Err;
@@ -477,17 +622,56 @@ void Session::runJob(const std::shared_ptr<Job> &J) {
   const bool WasSuspended = R.Suspended;
   J->Result = std::move(R);
   J->HasResult = true;
+  // Journal work is decided under the lock but performed after it: the
+  // store does fsync-grade I/O, and status()/wait() must not stall on it.
+  bool Retire = false;
+  std::vector<uint8_t> FinalSnapshot;
   if (J->CancelWanted) {
     J->Engine.reset();
     J->State = JobState::Cancelled;
+    // A user cancel retires the journal entry; a shutdown-forced cancel
+    // is this process "crashing" politely — the entry must survive for
+    // the next process to recover.
+    Retire = Journaled && !ShuttingDown;
   } else if (WasSuspended) {
     J->Snap = std::make_unique<CampaignSnapshot>(Engine->snapshot());
     J->Engine.reset();
     J->SuspendWanted = false;
     J->State = JobState::Suspended;
+    if (Journaled)
+      FinalSnapshot = encodeSnapshot(*J->Snap);
   } else {
     J->Engine.reset();
     J->State = JobState::Done;
+    Retire = Journaled;
   }
   Cv.notify_all();
+  Lock.unlock();
+
+  if (Retire) {
+    Store->remove(J->StoreKey);
+  } else if (!FinalSnapshot.empty()) {
+    // Suspension (voluntary or deadline-expired) journals the exact
+    // boundary snapshot, so recovery never replays past it.
+    std::string Err;
+    const bool Saved =
+        Store->save(J->StoreKey, J->MetaJson, FinalSnapshot, Err);
+    bool RemoveAgain = false;
+    {
+      std::lock_guard<std::mutex> G(Mutex);
+      if (Saved)
+        ++J->CheckpointsSaved;
+      else
+        J->StoreError = Err;
+      // The job became visible as Suspended the moment the lock dropped,
+      // so a user cancel can retire the entry while this save is in
+      // flight — in which case the save just resurrected a journal entry
+      // for a job with nothing left to recover. Retire it again. (Only an
+      // explicit cancel() moves Suspended to Cancelled — shutdown leaves
+      // suspended jobs suspended — so this never undoes a crash record.)
+      RemoveAgain = Saved && J->State == JobState::Cancelled;
+    }
+    if (RemoveAgain)
+      Store->remove(J->StoreKey);
+  }
 }

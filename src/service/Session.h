@@ -22,7 +22,14 @@
 ///    boundary, serialized to the versioned core/Checkpoint format, and
 ///    resumed — in place, or in another session/process via the snapshot
 ///    bytes — continuing bit-identically to an uninterrupted run at any
-///    thread count.
+///    thread count,
+///  * **durable crash recovery**: with a CheckpointStore attached, every
+///    submission is journaled (request metadata at submit, a resumable
+///    snapshot every CheckpointEveryRounds committed rounds and at every
+///    suspension), entries are retired when jobs complete or are
+///    cancelled, and recoverFromStore() resubmits whatever a crashed
+///    process left behind — resuming from the newest valid snapshot,
+///    bit-identically to the uninterrupted campaign.
 ///
 /// Thread-safety: every public member is safe to call from any thread;
 /// progress callbacks fire on the worker running the job's engine, in
@@ -47,6 +54,8 @@
 
 namespace coverme {
 
+class CheckpointStore;
+
 /// Content hash identifying one compiled unit: FNV-1a over the source
 /// text, entry name, and every SourceProgramOptions field that affects
 /// the compiled artifact or its execution (tier, fusion, interp budgets,
@@ -65,6 +74,10 @@ public:
     uint64_t Hits = 0;
     uint64_t Misses = 0;
     uint64_t FailedCompiles = 0;
+    /// Compiles whose map insertion failed (fault point `cache.insert`):
+    /// the unit is still returned and the job proceeds — a dead cache
+    /// degrades amortization, never correctness.
+    uint64_t InsertFailures = 0;
     double CompileSeconds = 0.0; ///< Total time spent in real compiles.
   };
 
@@ -120,6 +133,13 @@ struct JobStatus {
   unsigned SaturatedArms = 0;   ///< From the latest committed round.
   bool HasResult = false;       ///< result() is available.
   std::string Error;            ///< Set when State == Failed.
+  /// Why the latest run() stopped; None until a run completes.
+  StopReason Stop = StopReason::None;
+  std::string StoreKey;         ///< Journal key; empty = not journaled.
+  unsigned CheckpointsSaved = 0; ///< Durable snapshots written so far.
+  /// Last journal save failure, if any. Journal failures are non-fatal:
+  /// the campaign continues, only its recovery point goes stale.
+  std::string StoreError;
 };
 
 /// Streamed per-round progress; fires in commit order on the job's worker.
@@ -130,6 +150,17 @@ struct SessionOptions {
   /// job's engine may additionally run CoverMeOptions::Threads round
   /// workers of its own.
   unsigned Workers = 1;
+
+  /// Durable journal for crash recovery (not owned; must outlive the
+  /// session). Null = no journaling; a dead store (ok() false) records
+  /// per-job StoreError but never blocks submissions.
+  CheckpointStore *Store = nullptr;
+
+  /// Session-wide default checkpoint cadence for journaled jobs, in
+  /// committed rounds (0 = only the submit record and suspension
+  /// snapshots are journaled). A job's own
+  /// CoverMeOptions::CheckpointEveryRounds, when nonzero, wins.
+  unsigned CheckpointEveryRounds = 0;
 };
 
 /// A persistent multi-campaign session; see file comment.
@@ -172,6 +203,23 @@ public:
   /// False for unknown ids.
   bool wait(uint64_t Id);
 
+  /// wait() with a deadline. Terminal = the job reached a terminal state
+  /// within the window; TimedOut = it is still queued/compiling/running
+  /// (the job is untouched — poll or wait again); Unknown = no such job.
+  /// Negative \p TimeoutSeconds waits forever.
+  enum class WaitOutcome : uint8_t { Terminal, TimedOut, Unknown };
+  WaitOutcome waitFor(uint64_t Id, double TimeoutSeconds);
+
+  /// Resubmits every job the attached store can recover: fresh campaigns
+  /// for entries journaled before their first checkpoint, snapshot
+  /// resumes otherwise. Recovered jobs keep their journal key, so their
+  /// later checkpoints overwrite the same entry. Returns the new job ids,
+  /// in journal-key order. No-op without a usable store.
+  std::vector<uint64_t> recoverFromStore();
+
+  /// Point-in-time statuses of every job this session knows, id order.
+  std::vector<JobStatus> jobs() const;
+
   bool status(uint64_t Id, JobStatus &Out) const;
 
   /// Copies the job's campaign result; available once HasResult (Done, or
@@ -194,6 +242,12 @@ private:
   std::shared_ptr<Job> findLocked(uint64_t Id) const;
   void enqueueLocked(const std::shared_ptr<Job> &J);
   void runJob(const std::shared_ptr<Job> &J);
+  void statusLocked(const Job &J, JobStatus &Out) const;
+  /// Shared tail of submit/submitResume/recoverFromStore: builds the Job,
+  /// registers it, and enqueues it. \p StoreKey nonempty = journaled.
+  uint64_t enqueueNewJobLocked(JobRequest Req, JobProgressFn Progress,
+                               std::unique_ptr<CampaignSnapshot> Pending,
+                               std::string StoreKey);
 
   SessionOptions Opts;
   CompiledUnitCache Cache;

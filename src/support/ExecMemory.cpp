@@ -2,6 +2,8 @@
 
 #include "support/ExecMemory.h"
 
+#include "support/FaultInject.h"
+
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -57,12 +59,19 @@ bool ExecMemory::seal(const void *Code, size_t Size) {
     Page = 4096;
   size_t Len = (Size + static_cast<size_t>(Page) - 1) &
                ~(static_cast<size_t>(Page) - 1);
+  // Fault points model the two ways a hardened host refuses JIT memory:
+  // the anonymous mapping itself (address-space exhaustion, mmap lockdown)
+  // and the W^X flip (PROT_EXEC denied by policy). Either failure leaves
+  // the object empty and callers on their portable tier.
+  if (faultinject::shouldFail("execmem.mmap"))
+    return false;
   void *P = ::mmap(nullptr, Len, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (P == MAP_FAILED)
     return false;
   std::memcpy(P, Code, Size);
-  if (::mprotect(P, Len, PROT_READ | PROT_EXEC) != 0) {
+  if (faultinject::shouldFail("execmem.seal") ||
+      ::mprotect(P, Len, PROT_READ | PROT_EXEC) != 0) {
     ::munmap(P, Len);
     return false;
   }

@@ -1,0 +1,131 @@
+//===- FaultInject.cpp - Deterministic fault-injection point registry -----===//
+
+#include "support/FaultInject.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+using namespace coverme;
+
+namespace {
+
+struct PointState {
+  uint64_t Hits = 0;
+  uint64_t Fails = 0;
+  uint64_t FirstHit = 0; ///< 1-based first failing hit; 0 = disarmed.
+  uint64_t Count = 0;    ///< Consecutive failing hits from FirstHit.
+};
+
+struct Registry {
+  std::mutex Mutex;
+  std::unordered_map<std::string, PointState> Points;
+};
+
+/// Leaked singleton: fault points fire from arbitrary library code, some
+/// of it reachable during static destruction (thread-local Vm caches), so
+/// the registry must never be destroyed under a live caller.
+Registry &registry() {
+  static Registry *R = new Registry();
+  return *R;
+}
+
+/// Fast-path gate: false means no point anywhere is armed, so shouldFail
+/// can return without touching the mutex — the only cost production code
+/// pays for carrying the registry.
+std::atomic<bool> AnyArmed{false};
+
+} // namespace
+
+bool faultinject::shouldFail(const char *Point) {
+  if (!AnyArmed.load(std::memory_order_relaxed))
+    return false;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  PointState &S = R.Points[Point];
+  ++S.Hits;
+  if (!S.FirstHit || S.Hits < S.FirstHit || S.Hits >= S.FirstHit + S.Count)
+    return false;
+  ++S.Fails;
+  return true;
+}
+
+void faultinject::arm(const std::string &Point, uint64_t FirstHit,
+                      uint64_t Count) {
+  if (!FirstHit || !Count)
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  PointState &S = R.Points[Point];
+  S = PointState{};
+  S.FirstHit = FirstHit;
+  S.Count = Count;
+  AnyArmed.store(true, std::memory_order_relaxed);
+}
+
+void faultinject::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Points.clear();
+  AnyArmed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t faultinject::hitCount(const std::string &Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  return It == R.Points.end() ? 0 : It->second.Hits;
+}
+
+uint64_t faultinject::failCount(const std::string &Point) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Points.find(Point);
+  return It == R.Points.end() ? 0 : It->second.Fails;
+}
+
+bool faultinject::armFromSpec(const std::string &Spec) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    const std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+    size_t Colon = Entry.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Entry.size())
+      return false;
+    const std::string Point = Entry.substr(0, Colon);
+    const std::string Sched = Entry.substr(Colon + 1);
+    size_t X = Sched.find('x');
+    uint64_t FirstHit = 0, Count = 1;
+    char *EndPtr = nullptr;
+    FirstHit = std::strtoull(Sched.c_str(), &EndPtr, 10);
+    if (EndPtr == Sched.c_str())
+      return false;
+    if (X != std::string::npos) {
+      if (static_cast<size_t>(EndPtr - Sched.c_str()) != X)
+        return false;
+      char *CountEnd = nullptr;
+      Count = std::strtoull(Sched.c_str() + X + 1, &CountEnd, 10);
+      if (CountEnd == Sched.c_str() + X + 1 || *CountEnd)
+        return false;
+    } else if (*EndPtr) {
+      return false;
+    }
+    if (!FirstHit || !Count)
+      return false;
+    arm(Point, FirstHit, Count);
+  }
+  return true;
+}
+
+bool faultinject::armFromEnvironment() {
+  const char *Spec = std::getenv("COVERME_FAULTS");
+  if (!Spec || !*Spec)
+    return false;
+  return armFromSpec(Spec);
+}

@@ -1,0 +1,86 @@
+//===- FaultInject.h - Deterministic fault-injection point registry -------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A schedule-driven fault-injection registry for proving that every
+/// failure path degrades gracefully instead of aborting. Production code
+/// names its fallible operations as *points* — string literals like
+/// "execmem.mmap" or "ckpt.rename" — and asks `shouldFail(Point)` at the
+/// moment the real operation would run. Tests *arm* a point with an exact
+/// schedule ("fail the Kth hit", or "fail hits K..K+N-1"); unarmed points
+/// cost one relaxed atomic load and always succeed, so the registry can
+/// stay compiled into release binaries.
+///
+/// Determinism is the design center: a schedule is expressed in hit
+/// ordinals, not probabilities, so a test that arms "fail the 3rd
+/// checkpoint rename" fails exactly that rename on every run, on every
+/// thread count — the same philosophy as the engine's deterministic round
+/// speculation. Hit counters advance on every call, armed or not, so
+/// ordinals refer to a stable global sequence per point.
+///
+/// Schedules can also come from the environment (`COVERME_FAULTS`,
+/// e.g. "execmem.seal:1;ckpt.rename:2x3") so the serve daemon's crash
+/// drills can inject faults across a fork/exec boundary without a wire
+/// verb. The spec grammar is `point:firstHit[xCount][;...]`.
+///
+/// Registered points live in the fixed table below — `shouldFail` accepts
+/// any string, but keeping the canonical list here documents the fault
+/// surface in one place:
+///
+///   execmem.mmap    ExecMemory::seal's anonymous mapping
+///   execmem.seal    ExecMemory::seal's W^X mprotect flip
+///   vm.simd.init    Vm construction resolving the AVX2 wide lane
+///   ckpt.write      CheckpointStore journal temp-file write
+///   ckpt.fsync      CheckpointStore journal fsync
+///   ckpt.rename     CheckpointStore temp -> journal rename
+///   cache.insert    CompiledUnitCache unit insertion
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COVERME_SUPPORT_FAULTINJECT_H
+#define COVERME_SUPPORT_FAULTINJECT_H
+
+#include <cstdint>
+#include <string>
+
+namespace coverme {
+namespace faultinject {
+
+/// True iff \p Point's armed schedule covers this hit. Every call counts
+/// one hit against the point whether or not anything is armed; with the
+/// registry globally disarmed the cost is a single relaxed atomic load.
+bool shouldFail(const char *Point);
+
+/// Arms \p Point to fail hits [FirstHit, FirstHit + Count) of its global
+/// hit sequence, 1-based. Re-arming a point replaces its schedule and
+/// resets its hit counter (so ordinals are relative to the arming).
+void arm(const std::string &Point, uint64_t FirstHit, uint64_t Count = 1);
+
+/// Disarms every point, zeroes all hit counters, and returns the registry
+/// to its free (single-load) fast path.
+void reset();
+
+/// Hits recorded against \p Point since the last reset()/arm() of it.
+uint64_t hitCount(const std::string &Point);
+
+/// Number of times \p Point actually failed (shouldFail returned true).
+uint64_t failCount(const std::string &Point);
+
+/// Parses a `point:firstHit[xCount]` list separated by ';' and arms each
+/// entry. Returns false (arming nothing further) on a malformed entry.
+/// Example: "execmem.seal:1" or "ckpt.write:2x3;ckpt.rename:1".
+bool armFromSpec(const std::string &Spec);
+
+/// Arms from the COVERME_FAULTS environment variable when set. Called by
+/// processes that want env-driven injection (the serve daemon); library
+/// code never reads the environment on its own. Returns true when a spec
+/// was present and parsed.
+bool armFromEnvironment();
+
+} // namespace faultinject
+} // namespace coverme
+
+#endif // COVERME_SUPPORT_FAULTINJECT_H

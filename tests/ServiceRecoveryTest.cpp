@@ -1,0 +1,777 @@
+//===- ServiceRecoveryTest.cpp - Crash recovery, faults, deadlines ---------===//
+//
+// Part of the CoverMe reproduction (Fu & Su, PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-tolerance contracts of the service runtime:
+///
+///  * CheckpointStore's durability protocol — torn writes, CRC failures,
+///    and crashes between write and rename all fall back to the previous
+///    good generation, with the damaged file quarantined as evidence,
+///  * the crash-recovery golden matrix — a campaign interrupted
+///    mid-flight (on the VM or JIT tier, with the journal save itself
+///    failing at any step) recovers in a fresh session and finishes
+///    bit-identically to the uninterrupted run,
+///  * the fault-injection matrix — every registered fault point degrades
+///    to a slower-but-correct path, never to an abort or a wrong answer,
+///  * wall-clock deadlines — expiry lands at a round boundary with a
+///    valid, resumable partial result,
+///  * bounded waits — waitFor distinguishes terminal, timed-out, and
+///    unknown without disturbing the job.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Checkpoint.h"
+#include "core/CoverMe.h"
+#include "lang/SourceProgram.h"
+#include "service/CheckpointStore.h"
+#include "service/JobWire.h"
+#include "service/Json.h"
+#include "service/Session.h"
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace coverme;
+
+namespace {
+
+const char *ClassifierSource =
+    "double classify(double x, double y) {\n"
+    "  double s = 0.0;\n"
+    "  if (x > 1000.0) s = s + 1.0;\n"
+    "  if (y < -2.5) s = s + 2.0;\n"
+    "  if (x * x + y * y < 0.25) s = s + 4.0;\n"
+    "  if (x == y) s = s + 8.0;\n"
+    "  if (x + y > 1.0e20) s = s + 16.0;\n"
+    "  return s;\n"
+    "}\n";
+
+JobRequest classifierRequest(uint64_t Seed, unsigned NStart,
+                             unsigned Threads) {
+  JobRequest Req;
+  Req.Source = ClassifierSource;
+  Req.Entry = "classify";
+  Req.Campaign.Seed = Seed;
+  Req.Campaign.NStart = NStart;
+  Req.Campaign.Threads = Threads;
+  Req.Campaign.StopWhenAllSaturated = false;
+  return Req;
+}
+
+/// Digest of the uninterrupted campaign every recovery/degradation path
+/// must reproduce. Computed on the default (VM) tier: the tiers are
+/// bit-identical by construction, so one reference serves them all.
+uint64_t referenceDigest(const JobRequest &Req) {
+  lang::SourceProgram SP = lang::compileSourceProgram(Req.Source, Req.Entry);
+  EXPECT_TRUE(SP.success()) << SP.diagnosticsText();
+  return resultDigest(CoverMe(SP.Prog, Req.Campaign).run());
+}
+
+/// Leaves the global fault registry disarmed no matter how the test exits.
+struct FaultInjectGuard {
+  FaultInjectGuard() { faultinject::reset(); }
+  ~FaultInjectGuard() { faultinject::reset(); }
+};
+
+/// mkdtemp-backed scratch directory, recursively (one level) removed on
+/// destruction — the store never creates subdirectories.
+class TempDir {
+public:
+  explicit TempDir(const char *Tag) {
+    std::string Templ = std::string("/tmp/coverme_") + Tag + "_XXXXXX";
+    std::vector<char> Buf(Templ.begin(), Templ.end());
+    Buf.push_back('\0');
+    if (char *P = ::mkdtemp(Buf.data()))
+      Path = P;
+  }
+  ~TempDir() {
+    if (Path.empty())
+      return;
+    if (DIR *D = ::opendir(Path.c_str())) {
+      while (dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Path + "/" + Name).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Path.c_str());
+  }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+std::vector<std::string> listDir(const std::string &Dir) {
+  std::vector<std::string> Names;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        Names.push_back(Name);
+    }
+    ::closedir(D);
+  }
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+size_t countWithSuffix(const std::string &Dir, const std::string &Suffix) {
+  size_t N = 0;
+  for (const std::string &Name : listDir(Dir))
+    if (Name.size() >= Suffix.size() &&
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) == 0)
+      ++N;
+  return N;
+}
+
+/// The `<key>.gen<N>.ckpt` file with the largest N, or "".
+std::string newestEntryFile(const std::string &Dir, const std::string &Key) {
+  std::string Best;
+  uint64_t BestGen = 0;
+  const std::string Prefix = Key + ".gen";
+  for (const std::string &Name : listDir(Dir)) {
+    if (Name.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    if (Name.size() < 5 || Name.compare(Name.size() - 5, 5, ".ckpt") != 0)
+      continue;
+    uint64_t Gen = std::strtoull(Name.c_str() + Prefix.size(), nullptr, 10);
+    if (Gen >= BestGen) {
+      BestGen = Gen;
+      Best = Name;
+    }
+  }
+  return Best;
+}
+
+void truncateToHalf(const std::string &Path) {
+  struct stat St;
+  ASSERT_EQ(::stat(Path.c_str(), &St), 0);
+  ASSERT_EQ(::truncate(Path.c_str(), St.st_size / 2), 0);
+}
+
+void flipOneByte(const std::string &Path, size_t OffsetFromEnd) {
+  struct stat St;
+  ASSERT_EQ(::stat(Path.c_str(), &St), 0);
+  ASSERT_GT(static_cast<size_t>(St.st_size), OffsetFromEnd);
+  int Fd = ::open(Path.c_str(), O_RDWR);
+  ASSERT_GE(Fd, 0);
+  off_t Pos = St.st_size - static_cast<off_t>(OffsetFromEnd) - 1;
+  uint8_t Byte = 0;
+  ASSERT_EQ(::pread(Fd, &Byte, 1, Pos), 1);
+  Byte ^= 0x40;
+  ASSERT_EQ(::pwrite(Fd, &Byte, 1, Pos), 1);
+  ::close(Fd);
+}
+
+std::vector<uint8_t> bytesOf(const char *Text) {
+  return std::vector<uint8_t>(Text, Text + std::char_traits<char>::length(Text));
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointStore durability protocol
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointStore, SaveLoadRoundTripsMetaAndSnapshot) {
+  TempDir Dir("store");
+  CheckpointStore Store(Dir.path());
+  ASSERT_TRUE(Store.ok());
+
+  std::string Err;
+  ASSERT_TRUE(Store.save("job1", "{\"seed\":7}", bytesOf("snapbytes"), Err))
+      << Err;
+  CheckpointStore::Entry E;
+  ASSERT_TRUE(Store.load("job1", E, Err)) << Err;
+  EXPECT_EQ(E.Key, "job1");
+  EXPECT_EQ(E.Meta, "{\"seed\":7}");
+  EXPECT_EQ(E.Snapshot, bytesOf("snapbytes"));
+  EXPECT_GT(E.Generation, 0u);
+
+  EXPECT_FALSE(Store.load("job2", E, Err)) << "missing keys load nothing";
+  EXPECT_EQ(Store.quarantinedCount(), 0u);
+}
+
+TEST(CheckpointStore, EmptySnapshotMarksAFreshStartRecord) {
+  // A job journaled at submit, before its first checkpoint: the entry
+  // carries the request only, and recovery starts the campaign fresh.
+  TempDir Dir("store");
+  CheckpointStore Store(Dir.path());
+  std::string Err;
+  ASSERT_TRUE(Store.save("job1", "meta", {}, Err)) << Err;
+  CheckpointStore::Entry E;
+  ASSERT_TRUE(Store.load("job1", E, Err)) << Err;
+  EXPECT_EQ(E.Meta, "meta");
+  EXPECT_TRUE(E.Snapshot.empty());
+}
+
+TEST(CheckpointStore, RetentionKeepsNewestPlusOnePredecessor) {
+  TempDir Dir("store");
+  CheckpointStore Store(Dir.path());
+  std::string Err;
+  for (int I = 1; I <= 5; ++I)
+    ASSERT_TRUE(Store.save("job1", "gen" + std::to_string(I),
+                           bytesOf("snap"), Err))
+        << Err;
+  EXPECT_EQ(countWithSuffix(Dir.path(), ".ckpt"), 2u)
+      << "newest + fallback, nothing older";
+  CheckpointStore::Entry E;
+  ASSERT_TRUE(Store.load("job1", E, Err)) << Err;
+  EXPECT_EQ(E.Meta, "gen5");
+}
+
+TEST(CheckpointStore, KeysStayUniqueAcrossReopen) {
+  TempDir Dir("store");
+  std::string First;
+  {
+    CheckpointStore Store(Dir.path());
+    First = Store.allocateKey();
+    std::string Err;
+    ASSERT_TRUE(Store.save(First, "survivor", {}, Err)) << Err;
+  }
+  CheckpointStore Reopened(Dir.path());
+  ASSERT_TRUE(Reopened.ok());
+  EXPECT_NE(Reopened.allocateKey(), First)
+      << "serials are seeded past the on-disk scan";
+  CheckpointStore::Entry E;
+  std::string Err;
+  ASSERT_TRUE(Reopened.load(First, E, Err)) << Err;
+  EXPECT_EQ(E.Meta, "survivor");
+}
+
+TEST(CheckpointStore, HostileKeysAreRejected) {
+  TempDir Dir("store");
+  CheckpointStore Store(Dir.path());
+  std::string Err;
+  for (const char *Bad : {"", "../escape", "a/b", "a.b", "dir/"}) {
+    EXPECT_FALSE(Store.save(Bad, "m", {}, Err)) << Bad;
+  }
+}
+
+TEST(CheckpointStore, RemoveRetiresEveryGeneration) {
+  TempDir Dir("store");
+  CheckpointStore Store(Dir.path());
+  std::string Err;
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(Store.save("job1", "m", bytesOf("s"), Err)) << Err;
+  Store.remove("job1");
+  CheckpointStore::Entry E;
+  EXPECT_FALSE(Store.load("job1", E, Err));
+  EXPECT_TRUE(listDir(Dir.path()).empty());
+}
+
+TEST(CheckpointStore, TornNewestEntryFallsBackToPreviousGeneration) {
+  TempDir Dir("store");
+  CheckpointStore Store(Dir.path());
+  std::string Err;
+  ASSERT_TRUE(Store.save("job1", "good", bytesOf("old-snap"), Err)) << Err;
+  ASSERT_TRUE(Store.save("job1", "newer", bytesOf("new-snap"), Err)) << Err;
+
+  // A power cut mid-write leaves the newest generation short.
+  std::string Newest = newestEntryFile(Dir.path(), "job1");
+  ASSERT_FALSE(Newest.empty());
+  truncateToHalf(Dir.path() + "/" + Newest);
+
+  CheckpointStore::Entry E;
+  ASSERT_TRUE(Store.load("job1", E, Err)) << Err;
+  EXPECT_EQ(E.Meta, "good") << "the predecessor is the truth";
+  EXPECT_EQ(E.Snapshot, bytesOf("old-snap"));
+  EXPECT_EQ(Store.quarantinedCount(), 1u);
+  EXPECT_EQ(countWithSuffix(Dir.path(), ".corrupt"), 1u)
+      << "the torn file stays on disk as evidence";
+}
+
+TEST(CheckpointStore, CrcCatchesASingleFlippedPayloadByte) {
+  TempDir Dir("store");
+  CheckpointStore Store(Dir.path());
+  std::string Err;
+  ASSERT_TRUE(Store.save("job1", "good", bytesOf("old-snap"), Err)) << Err;
+  ASSERT_TRUE(Store.save("job1", "newer", bytesOf("corrupted-soon"), Err))
+      << Err;
+
+  // Flip one payload byte: lengths and magic stay plausible, only the
+  // CRC can tell.
+  std::string Newest = newestEntryFile(Dir.path(), "job1");
+  ASSERT_FALSE(Newest.empty());
+  flipOneByte(Dir.path() + "/" + Newest, /*OffsetFromEnd=*/2);
+
+  CheckpointStore::Entry E;
+  ASSERT_TRUE(Store.load("job1", E, Err)) << Err;
+  EXPECT_EQ(E.Meta, "good");
+  EXPECT_EQ(Store.quarantinedCount(), 1u);
+}
+
+TEST(CheckpointStore, InjectedTornWriteLeavesPreviousGenerationLive) {
+  TempDir Dir("store");
+  FaultInjectGuard Guard;
+  {
+    CheckpointStore Store(Dir.path());
+    std::string Err;
+    ASSERT_TRUE(Store.save("job1", "good", bytesOf("snap"), Err)) << Err;
+    faultinject::arm("ckpt.write", 1);
+    EXPECT_FALSE(Store.save("job1", "lost", bytesOf("lost"), Err));
+    EXPECT_NE(Err.find("torn"), std::string::npos) << Err;
+  }
+  faultinject::reset();
+  EXPECT_EQ(countWithSuffix(Dir.path(), ".tmp"), 1u)
+      << "the crash left its half-written temp behind";
+
+  // The next process quarantines the orphan and serves the predecessor.
+  CheckpointStore Recovered(Dir.path());
+  std::vector<CheckpointStore::Entry> All = Recovered.loadAll();
+  ASSERT_EQ(All.size(), 1u);
+  EXPECT_EQ(All[0].Meta, "good");
+  EXPECT_GE(Recovered.quarantinedCount(), 1u);
+  EXPECT_EQ(countWithSuffix(Dir.path(), ".tmp"), 0u);
+}
+
+TEST(CheckpointStore, InjectedCrashBetweenWriteAndRenameIsQuarantined) {
+  TempDir Dir("store");
+  FaultInjectGuard Guard;
+  {
+    CheckpointStore Store(Dir.path());
+    std::string Err;
+    ASSERT_TRUE(Store.save("job1", "good", bytesOf("snap"), Err)) << Err;
+    faultinject::arm("ckpt.rename", 1);
+    EXPECT_FALSE(Store.save("job1", "unrenamed", bytesOf("full"), Err));
+  }
+  faultinject::reset();
+
+  // The temp is fully written and would pass the CRC — but its rename
+  // never happened, so it was never committed and must not be trusted.
+  CheckpointStore Recovered(Dir.path());
+  std::vector<CheckpointStore::Entry> All = Recovered.loadAll();
+  ASSERT_EQ(All.size(), 1u);
+  EXPECT_EQ(All[0].Meta, "good");
+  EXPECT_GE(Recovered.quarantinedCount(), 1u);
+  EXPECT_EQ(countWithSuffix(Dir.path(), ".tmp"), 0u);
+}
+
+TEST(CheckpointStore, InjectedFsyncFailureFailsTheSaveCleanly) {
+  TempDir Dir("store");
+  FaultInjectGuard Guard;
+  CheckpointStore Store(Dir.path());
+  std::string Err;
+  ASSERT_TRUE(Store.save("job1", "good", bytesOf("snap"), Err)) << Err;
+  faultinject::arm("ckpt.fsync", 1);
+  EXPECT_FALSE(Store.save("job1", "lost", bytesOf("lost"), Err));
+  faultinject::reset();
+  CheckpointStore::Entry E;
+  ASSERT_TRUE(Store.load("job1", E, Err)) << Err;
+  EXPECT_EQ(E.Meta, "good");
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-recovery golden matrix
+//===----------------------------------------------------------------------===//
+
+/// One crash-recovery scenario: run a journaled campaign to its round-7
+/// suspension (the stand-in for the crash point — a session that dies
+/// with a suspended job leaves its journal entry behind, exactly like a
+/// killed process), optionally failing every journal save from the
+/// second periodic checkpoint on, then recover in a fresh session and
+/// prove the finished campaign digests equal to \p Reference.
+///
+/// With \p FaultPoint null the newest entry is the round-7 suspension
+/// snapshot; with "ckpt.write"/"ckpt.rename" armed the round-6 and
+/// round-7 saves tear, so recovery falls back to the round-3 checkpoint
+/// and replays rounds 4..7 deterministically before finishing.
+void runCrashRecoveryScenario(lang::ExecutionTier Tier,
+                              const char *FaultPoint, uint64_t Reference) {
+  TempDir Dir("golden");
+  FaultInjectGuard Guard;
+
+  // Phase 1: the process that "crashes". Journal save ordinals per
+  // point: submit record (1), checkpoint@3 (2), checkpoint@6 (3),
+  // suspension@7 (4) — arming from ordinal 3 tears everything past the
+  // first periodic checkpoint.
+  {
+    CheckpointStore Store(Dir.path());
+    ASSERT_TRUE(Store.ok());
+    SessionOptions SO;
+    SO.Store = &Store;
+    Session S(SO);
+
+    JobRequest Req = classifierRequest(/*Seed=*/7, /*NStart=*/12,
+                                       /*Threads=*/2);
+    Req.Compile.Tier = Tier;
+    Req.Campaign.CheckpointEveryRounds = 3;
+    Req.Campaign.SuspendAfterRounds = 7;
+    if (FaultPoint)
+      faultinject::arm(FaultPoint, /*FirstHit=*/3, /*Count=*/1000);
+
+    uint64_t Id = S.submit(Req);
+    ASSERT_NE(Id, 0u);
+    ASSERT_TRUE(S.wait(Id));
+    JobStatus St;
+    ASSERT_TRUE(S.status(Id, St));
+    ASSERT_EQ(St.State, JobState::Suspended);
+    EXPECT_EQ(St.Stop, StopReason::Suspended);
+    EXPECT_EQ(St.RoundsCommitted, 7u);
+    EXPECT_FALSE(St.StoreKey.empty());
+    if (FaultPoint) {
+      EXPECT_FALSE(St.StoreError.empty())
+          << "the torn checkpoint@6 save must be reported";
+    }
+  } // session dies with the job suspended: the journal entry survives
+
+  faultinject::reset();
+
+  // Phase 2: the recovering process.
+  CheckpointStore Store(Dir.path());
+  ASSERT_TRUE(Store.ok());
+  {
+    SessionOptions SO;
+    SO.Store = &Store;
+    Session S(SO);
+    std::vector<uint64_t> Ids = S.recoverFromStore();
+    ASSERT_EQ(Ids.size(), 1u);
+    if (FaultPoint) {
+      EXPECT_GE(Store.quarantinedCount(), 1u)
+          << "recovery must quarantine the torn save";
+    }
+
+    ASSERT_TRUE(S.wait(Ids[0]));
+    JobStatus St;
+    ASSERT_TRUE(S.status(Ids[0], St));
+    if (St.State == JobState::Suspended) {
+      // Recovered below the journaled suspend_after point (the fallback
+      // checkpoint cases): the suspension fires once more, then resume —
+      // which clears the satisfied trigger — carries it to the end.
+      EXPECT_EQ(St.RoundsCommitted, 7u);
+      std::string Err;
+      ASSERT_TRUE(S.resume(Ids[0], Err)) << Err;
+      ASSERT_TRUE(S.wait(Ids[0]));
+      ASSERT_TRUE(S.status(Ids[0], St));
+    }
+    ASSERT_EQ(St.State, JobState::Done);
+    EXPECT_EQ(St.RoundsCommitted, 12u);
+    EXPECT_EQ(St.Stop, StopReason::RoundsExhausted);
+
+    CampaignResult Res;
+    ASSERT_TRUE(S.result(Ids[0], Res));
+    EXPECT_EQ(resultDigest(Res), Reference)
+        << "recovered campaign must be bit-identical to uninterrupted";
+  } // session drains: the completion-retirement I/O has landed
+
+  EXPECT_TRUE(Store.loadAll().empty())
+      << "a completed campaign leaves nothing to recover";
+}
+
+TEST(CrashRecoveryGolden, VmTierAcrossAllCrashPoints) {
+  const uint64_t Reference = referenceDigest(classifierRequest(7, 12, 2));
+  for (const char *FaultPoint :
+       {static_cast<const char *>(nullptr), "ckpt.write", "ckpt.rename"}) {
+    SCOPED_TRACE(FaultPoint ? FaultPoint : "mid-campaign");
+    runCrashRecoveryScenario(lang::ExecutionTier::Bytecode, FaultPoint,
+                             Reference);
+  }
+}
+
+TEST(CrashRecoveryGolden, JitTierAcrossAllCrashPoints) {
+  const uint64_t Reference = referenceDigest(classifierRequest(7, 12, 2));
+  for (const char *FaultPoint :
+       {static_cast<const char *>(nullptr), "ckpt.write", "ckpt.rename"}) {
+    SCOPED_TRACE(FaultPoint ? FaultPoint : "mid-campaign");
+    runCrashRecoveryScenario(lang::ExecutionTier::Jit, FaultPoint, Reference);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injection matrix: every degradation is slower, never wrong
+//===----------------------------------------------------------------------===//
+
+TEST(FaultMatrix, JitMemoryFaultsFallBackToTheVmTier) {
+  JobRequest Req = classifierRequest(/*Seed=*/11, /*NStart=*/10,
+                                     /*Threads=*/2);
+  const uint64_t Reference = referenceDigest(Req);
+  for (const char *Point : {"execmem.mmap", "execmem.seal"}) {
+    SCOPED_TRACE(Point);
+    FaultInjectGuard Guard;
+    faultinject::arm(Point, /*FirstHit=*/1, /*Count=*/100000);
+
+    Session S;
+    JobRequest JitReq = Req;
+    JitReq.Compile.Tier = lang::ExecutionTier::Jit;
+    uint64_t Id = S.submit(JitReq);
+    ASSERT_TRUE(S.wait(Id));
+    JobStatus St;
+    ASSERT_TRUE(S.status(Id, St));
+    ASSERT_EQ(St.State, JobState::Done) << St.Error;
+    CampaignResult Res;
+    ASSERT_TRUE(S.result(Id, Res));
+    EXPECT_EQ(resultDigest(Res), Reference)
+        << "VM fallback must be bit-identical";
+    EXPECT_GE(faultinject::failCount(Point), 1u)
+        << "the fault must actually have fired";
+  }
+}
+
+TEST(FaultMatrix, SimdInitFaultFallsBackToScalarBatches) {
+  JobRequest Req = classifierRequest(/*Seed=*/13, /*NStart=*/10,
+                                     /*Threads=*/2);
+  const uint64_t Reference = referenceDigest(Req);
+  FaultInjectGuard Guard;
+  faultinject::arm("vm.simd.init", /*FirstHit=*/1, /*Count=*/100000);
+
+  Session S;
+  uint64_t Id = S.submit(Req);
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  ASSERT_EQ(St.State, JobState::Done) << St.Error;
+  CampaignResult Res;
+  ASSERT_TRUE(S.result(Id, Res));
+  EXPECT_EQ(resultDigest(Res), Reference)
+      << "scalar batches must be bit-identical to the wide lane";
+}
+
+TEST(FaultMatrix, CacheInsertFailureCostsAmortizationNotCorrectness) {
+  JobRequest Req = classifierRequest(/*Seed=*/17, /*NStart=*/8,
+                                     /*Threads=*/1);
+  const uint64_t Reference = referenceDigest(Req);
+  FaultInjectGuard Guard;
+  faultinject::arm("cache.insert", /*FirstHit=*/1);
+
+  Session S;
+  uint64_t Id = S.submit(Req);
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  ASSERT_EQ(St.State, JobState::Done) << St.Error;
+  CampaignResult Res;
+  ASSERT_TRUE(S.result(Id, Res));
+  EXPECT_EQ(resultDigest(Res), Reference);
+  EXPECT_EQ(S.cacheSize(), 0u) << "the insertion failed";
+  EXPECT_EQ(S.cacheStats().InsertFailures, 1u);
+
+  // The schedule is spent; the same subject now caches normally.
+  uint64_t Second = S.submit(Req);
+  ASSERT_TRUE(S.wait(Second));
+  EXPECT_EQ(S.cacheSize(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Wall-clock deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(Deadline, ExpiryStopsAtARoundBoundaryWithAResumablePrefix) {
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CoverMeOptions Opts;
+  Opts.Seed = 19;
+  Opts.NStart = 1000000;
+  Opts.Threads = 2;
+  Opts.StopWhenAllSaturated = false;
+  Opts.WallDeadline = 0.02;
+  CampaignResult Res = CoverMe(SP.Prog, Opts).run();
+  EXPECT_EQ(Res.Stop, StopReason::DeadlineExpired);
+  EXPECT_TRUE(Res.Suspended) << "an expired campaign is a resumable prefix";
+  EXPECT_LT(Res.StartsUsed, Opts.NStart);
+  EXPECT_EQ(Res.Rounds.size(), Res.StartsUsed)
+      << "every committed round is in the log, nothing mid-round";
+}
+
+TEST(Deadline, ExpiredJobResumesBitIdenticallyThroughTheSession) {
+  JobRequest Req = classifierRequest(/*Seed=*/23, /*NStart=*/30,
+                                     /*Threads=*/2);
+  const uint64_t Reference = referenceDigest(Req);
+
+  Session S;
+  JobRequest Expiring = Req;
+  Expiring.Campaign.WallDeadline = 1e-6; // expires at the first boundary
+  uint64_t Id = S.submit(Expiring);
+  ASSERT_TRUE(S.wait(Id));
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  ASSERT_EQ(St.State, JobState::Suspended);
+  EXPECT_EQ(St.Stop, StopReason::DeadlineExpired);
+  EXPECT_LT(St.RoundsCommitted, 30u);
+
+  std::vector<uint8_t> Bytes;
+  std::string Err;
+  ASSERT_TRUE(S.checkpoint(Id, Bytes, Err)) << Err;
+
+  // Resume in a fresh session with the deadline lifted.
+  Session Fresh;
+  JobRequest Unbounded = Req;
+  uint64_t Resumed = Fresh.submitResume(Unbounded, Bytes, Err);
+  ASSERT_NE(Resumed, 0u) << Err;
+  ASSERT_TRUE(Fresh.wait(Resumed));
+  ASSERT_TRUE(Fresh.status(Resumed, St));
+  ASSERT_EQ(St.State, JobState::Done);
+  EXPECT_EQ(St.RoundsCommitted, 30u);
+  CampaignResult Res;
+  ASSERT_TRUE(Fresh.result(Resumed, Res));
+  EXPECT_EQ(resultDigest(Res), Reference);
+}
+
+TEST(Deadline, DeadlineOutranksVoluntarySuspension) {
+  // Both trip at the same boundary; the fixed evaluation order makes the
+  // deadline the reported reason.
+  lang::SourceProgram SP =
+      lang::compileSourceProgram(ClassifierSource, "classify");
+  ASSERT_TRUE(SP.success()) << SP.diagnosticsText();
+  CoverMeOptions Opts;
+  Opts.Seed = 29;
+  Opts.NStart = 100000;
+  Opts.Threads = 1;
+  Opts.StopWhenAllSaturated = false;
+  Opts.WallDeadline = 1e-9;
+  Opts.SuspendAfterRounds = 50000;
+  CampaignResult Res = CoverMe(SP.Prog, Opts).run();
+  EXPECT_EQ(Res.Stop, StopReason::DeadlineExpired);
+  EXPECT_TRUE(Res.Suspended);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded waits
+//===----------------------------------------------------------------------===//
+
+TEST(SessionWait, WaitForDistinguishesTerminalTimedOutUnknown) {
+  Session S;
+  EXPECT_EQ(S.waitFor(99, 0.01), Session::WaitOutcome::Unknown);
+
+  uint64_t Id = S.submit(classifierRequest(/*Seed=*/31, /*NStart=*/1000000,
+                                           /*Threads=*/2));
+  ASSERT_NE(Id, 0u);
+  EXPECT_EQ(S.waitFor(Id, 0.05), Session::WaitOutcome::TimedOut);
+  JobStatus St;
+  ASSERT_TRUE(S.status(Id, St));
+  EXPECT_NE(St.State, JobState::Done) << "a timed-out wait leaves the job be";
+
+  EXPECT_TRUE(S.cancel(Id));
+  EXPECT_EQ(S.waitFor(Id, -1.0), Session::WaitOutcome::Terminal);
+  ASSERT_TRUE(S.status(Id, St));
+  EXPECT_EQ(St.State, JobState::Cancelled);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal lifecycle through the session
+//===----------------------------------------------------------------------===//
+
+TEST(SessionJournal, CadencedCheckpointsAndRetirementOnCompletion) {
+  TempDir Dir("journal");
+  CheckpointStore Store(Dir.path());
+  ASSERT_TRUE(Store.ok());
+  {
+    SessionOptions SO;
+    SO.Store = &Store;
+    SO.CheckpointEveryRounds = 4; // the session default path
+    Session S(SO);
+    uint64_t Id = S.submit(classifierRequest(/*Seed=*/37, /*NStart=*/12,
+                                             /*Threads=*/2));
+    ASSERT_TRUE(S.wait(Id));
+    JobStatus St;
+    ASSERT_TRUE(S.status(Id, St));
+    ASSERT_EQ(St.State, JobState::Done);
+    EXPECT_FALSE(St.StoreKey.empty());
+    EXPECT_GE(St.CheckpointsSaved, 2u) << "rounds 4 and 8 checkpointed";
+    EXPECT_TRUE(St.StoreError.empty()) << St.StoreError;
+  } // drain: retirement I/O lands before the store is inspected
+  EXPECT_TRUE(Store.loadAll().empty())
+      << "completion retires the journal entry";
+  EXPECT_EQ(Store.quarantinedCount(), 0u);
+}
+
+TEST(SessionJournal, ExplicitCancelRetiresButShutdownPreserves) {
+  TempDir Dir("journal");
+  CheckpointStore Store(Dir.path());
+  {
+    SessionOptions SO;
+    SO.Store = &Store;
+    Session S(SO);
+    // A suspended job cancelled by the user: nothing left to recover.
+    JobRequest Req = classifierRequest(/*Seed=*/41, /*NStart=*/20,
+                                       /*Threads=*/1);
+    Req.Campaign.SuspendAfterRounds = 3;
+    uint64_t Id = S.submit(Req);
+    ASSERT_TRUE(S.wait(Id));
+    EXPECT_TRUE(S.cancel(Id));
+  }
+  EXPECT_TRUE(Store.loadAll().empty());
+
+  {
+    SessionOptions SO;
+    SO.Store = &Store;
+    Session S(SO);
+    JobRequest Req = classifierRequest(/*Seed=*/41, /*NStart=*/20,
+                                       /*Threads=*/1);
+    Req.Campaign.SuspendAfterRounds = 3;
+    uint64_t Id = S.submit(Req);
+    ASSERT_TRUE(S.wait(Id));
+    // No cancel: the session shuts down with the job suspended — the
+    // polite version of a crash. The entry must survive for recovery.
+  }
+  EXPECT_EQ(Store.loadAll().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The job-request wire form shared by serve and the journal
+//===----------------------------------------------------------------------===//
+
+TEST(JobWire, RequestRoundTripsThroughJson) {
+  JobRequest Req;
+  Req.Source = "double f(double x) { return x; }";
+  Req.Entry = "f";
+  Req.Compile.Tier = lang::ExecutionTier::Jit;
+  Req.Compile.Fuse = false;
+  Req.Campaign.Seed = 18446744073709551615ull;
+  Req.Campaign.NStart = 77;
+  Req.Campaign.NIter = 5;
+  Req.Campaign.Threads = 3;
+  Req.Campaign.MaxEvaluations = 123456;
+  Req.Campaign.SuspendAfterRounds = 9;
+  Req.Campaign.StopWhenAllSaturated = false;
+  Req.Campaign.MarkInfeasible = false;
+  Req.Campaign.WallDeadline = 2.5;
+  Req.Campaign.CheckpointEveryRounds = 6;
+
+  JobRequest Out;
+  std::string Err;
+  ASSERT_TRUE(jobRequestFromJson(jobRequestToJson(Req), Out, Err)) << Err;
+  EXPECT_EQ(Out.Source, Req.Source);
+  EXPECT_EQ(Out.Entry, Req.Entry);
+  EXPECT_EQ(Out.Compile.Tier, lang::ExecutionTier::Jit);
+  EXPECT_FALSE(Out.Compile.Fuse);
+  EXPECT_EQ(Out.Campaign.Seed, Req.Campaign.Seed);
+  EXPECT_EQ(Out.Campaign.NStart, 77u);
+  EXPECT_EQ(Out.Campaign.NIter, 5u);
+  EXPECT_EQ(Out.Campaign.Threads, 3u);
+  EXPECT_EQ(Out.Campaign.MaxEvaluations, 123456u);
+  EXPECT_EQ(Out.Campaign.SuspendAfterRounds, 9u);
+  EXPECT_FALSE(Out.Campaign.StopWhenAllSaturated);
+  EXPECT_FALSE(Out.Campaign.MarkInfeasible);
+  EXPECT_EQ(Out.Campaign.WallDeadline, 2.5);
+  EXPECT_EQ(Out.Campaign.CheckpointEveryRounds, 6u);
+}
+
+TEST(JobWire, MalformedRequestsAreRejected) {
+  JobRequest Out;
+  std::string Err;
+  EXPECT_FALSE(jobRequestFromJson("{\"entry\":\"f\"}", Out, Err))
+      << "source is mandatory";
+  EXPECT_FALSE(jobRequestFromJson(
+      "{\"source\":\"double f(double x){return x;}\",\"entry\":\"f\","
+      "\"tier\":\"gpu\"}",
+      Out, Err))
+      << "unknown tiers are rejected, not defaulted";
+  EXPECT_FALSE(jobRequestFromJson("[1,2,3]", Out, Err));
+  EXPECT_FALSE(jobRequestFromJson("not json", Out, Err));
+}
+
+} // namespace

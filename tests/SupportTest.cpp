@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/FaultInject.h"
 #include "support/FloatBits.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -14,6 +15,7 @@
 #include <cmath>
 #include <gtest/gtest.h>
 #include <numeric>
+#include <vector>
 
 using namespace coverme;
 
@@ -313,4 +315,96 @@ TEST(ThreadPoolTest, ZeroMeansHardwareThreads) {
   ThreadPool Pool(0);
   EXPECT_EQ(Pool.size(), ThreadPool::hardwareThreads());
   EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInject
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every fault-injection test must leave the registry disarmed: the points
+/// are global, and a leaked schedule would fail unrelated tests' syscalls.
+struct FaultInjectGuard {
+  FaultInjectGuard() { faultinject::reset(); }
+  ~FaultInjectGuard() { faultinject::reset(); }
+};
+
+} // namespace
+
+TEST(FaultInjectTest, DisarmedRegistryNeverFails) {
+  FaultInjectGuard Guard;
+  for (int I = 0; I < 5; ++I)
+    EXPECT_FALSE(faultinject::shouldFail("test.point"));
+  EXPECT_EQ(faultinject::failCount("test.point"), 0u);
+}
+
+TEST(FaultInjectTest, UnarmedPointsCountHitsOnceRegistryIsLive) {
+  FaultInjectGuard Guard;
+  // Arming any point takes every point off the free fast path, so hit
+  // ordinals accumulate even for points with no schedule.
+  faultinject::arm("test.other", 1);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_FALSE(faultinject::shouldFail("test.point"));
+  EXPECT_EQ(faultinject::hitCount("test.point"), 5u);
+  EXPECT_EQ(faultinject::failCount("test.point"), 0u);
+}
+
+TEST(FaultInjectTest, ScheduleFailsExactlyTheArmedOrdinals) {
+  FaultInjectGuard Guard;
+  faultinject::arm("test.window", /*FirstHit=*/3, /*Count=*/2);
+  std::vector<bool> Outcomes;
+  for (int I = 0; I < 6; ++I)
+    Outcomes.push_back(faultinject::shouldFail("test.window"));
+  EXPECT_EQ(Outcomes,
+            (std::vector<bool>{false, false, true, true, false, false}));
+  EXPECT_EQ(faultinject::failCount("test.window"), 2u);
+}
+
+TEST(FaultInjectTest, RearmingResetsTheHitOrdinals) {
+  FaultInjectGuard Guard;
+  faultinject::arm("test.rearm", 1);
+  EXPECT_TRUE(faultinject::shouldFail("test.rearm"));
+  EXPECT_FALSE(faultinject::shouldFail("test.rearm"));
+  // Ordinals are relative to the arming, so hit 1 fails again.
+  faultinject::arm("test.rearm", 1);
+  EXPECT_TRUE(faultinject::shouldFail("test.rearm"));
+}
+
+TEST(FaultInjectTest, PointsAreIndependent) {
+  FaultInjectGuard Guard;
+  faultinject::arm("test.a", 1);
+  EXPECT_FALSE(faultinject::shouldFail("test.b"));
+  EXPECT_TRUE(faultinject::shouldFail("test.a"));
+  EXPECT_EQ(faultinject::failCount("test.b"), 0u);
+}
+
+TEST(FaultInjectTest, SpecGrammarArmsSchedules) {
+  FaultInjectGuard Guard;
+  ASSERT_TRUE(faultinject::armFromSpec("test.one:2;test.many:1x3"));
+  EXPECT_FALSE(faultinject::shouldFail("test.one"));
+  EXPECT_TRUE(faultinject::shouldFail("test.one"));
+  EXPECT_FALSE(faultinject::shouldFail("test.one"));
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(faultinject::shouldFail("test.many"));
+  EXPECT_FALSE(faultinject::shouldFail("test.many"));
+}
+
+TEST(FaultInjectTest, MalformedSpecsAreRejected) {
+  FaultInjectGuard Guard;
+  EXPECT_FALSE(faultinject::armFromSpec("nocolon"));
+  EXPECT_FALSE(faultinject::armFromSpec("point:"));
+  EXPECT_FALSE(faultinject::armFromSpec("point:abc"));
+  EXPECT_FALSE(faultinject::armFromSpec("point:1x"));
+  EXPECT_FALSE(faultinject::armFromSpec(":3"));
+}
+
+TEST(FaultInjectTest, ResetDisarmsEverything) {
+  FaultInjectGuard Guard;
+  faultinject::arm("test.reset", 1, 100);
+  EXPECT_TRUE(faultinject::shouldFail("test.reset"));
+  faultinject::reset();
+  // Back on the free fast path: no failures, and no hit accounting either.
+  EXPECT_FALSE(faultinject::shouldFail("test.reset"));
+  EXPECT_EQ(faultinject::hitCount("test.reset"), 0u);
 }
